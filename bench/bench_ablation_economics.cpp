@@ -1,0 +1,73 @@
+// Ablation A5 — the economics behind the tubes (§1, §6.2).
+//
+// Prices the constructed map under first-builder-pays rules and compares
+// against the counterfactual where every ISP trenches alone — the
+// "substantial cost savings" the paper says dictate conduit sharing —
+// plus the optical-plant inventory the map implies.
+#include <algorithm>
+
+#include "bench_support.hpp"
+#include "optical/economics.hpp"
+#include "optical/plant.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace intertubes;
+
+void print_artifact() {
+  const auto& map = bench::scenario().map();
+  const auto& profiles = bench::scenario().truth().profiles();
+  bench::artifact_banner("Ablation: deployment economics",
+                         "build cost with sharing vs trench-alone counterfactual");
+
+  const auto audit = optical::audit_map_economics(map);
+  TextTable table({"ISP", "actual $M", "standalone $M", "savings %"});
+  std::vector<isp::IspId> order(profiles.size());
+  for (isp::IspId i = 0; i < profiles.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&audit](isp::IspId x, isp::IspId y) {
+    return audit.per_isp[x].savings_fraction > audit.per_isp[y].savings_fraction;
+  });
+  for (isp::IspId i : order) {
+    const auto& row = audit.per_isp[i];
+    table.start_row();
+    table.add_cell(profiles[i].name);
+    table.add_cell(row.actual_cost / 1e6, 1);
+    table.add_cell(row.standalone_cost / 1e6, 1);
+    table.add_cell(100.0 * row.savings_fraction, 1);
+  }
+  std::cout << table.render("per-ISP capex (descending savings)");
+  std::cout << "\nfleet total: $" << format_double(audit.total_actual / 1e9, 2)
+            << "B with sharing vs $" << format_double(audit.total_standalone / 1e9, 2)
+            << "B standalone — " << format_double(100.0 * audit.total_savings_fraction, 1)
+            << "% saved (the §1 economics that produce the sharing §4 measures)\n";
+
+  const auto inventory = optical::plant_inventory(map);
+  std::cout << "\noptical plant implied by the map: " << inventory.conduit_amplifier_sites
+            << " amplifier hut sites, " << inventory.link_regenerations
+            << " OEO regenerations across all links, mean link delay "
+            << format_double(inventory.mean_link_delay_ms, 2) << " ms\n";
+}
+
+void BM_EconomicsAudit(benchmark::State& state) {
+  for (auto _ : state) {
+    auto audit = optical::audit_map_economics(bench::scenario().map());
+    benchmark::DoNotOptimize(audit.total_actual);
+  }
+}
+BENCHMARK(BM_EconomicsAudit)->Unit(benchmark::kMicrosecond);
+
+void BM_PlantInventory(benchmark::State& state) {
+  for (auto _ : state) {
+    auto inventory = optical::plant_inventory(bench::scenario().map());
+    benchmark::DoNotOptimize(inventory.conduit_amplifier_sites);
+  }
+}
+BENCHMARK(BM_PlantInventory)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  return intertubes::bench::run_benchmarks(argc, argv);
+}

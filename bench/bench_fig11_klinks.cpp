@@ -1,0 +1,74 @@
+// Experiment E11 — Figure 11: improvement in per-ISP average shared risk
+// when up to k = 10 new conduits are deployed along previously unused
+// rights-of-way (equation 2's greedy optimization).
+//
+// Paper: thin-footprint lessees (Telia, Tata, ...) improve substantially;
+// facilities-rich carriers (Level 3, CenturyLink, Cogent) barely move;
+// Suddenlink shows no improvement at all despite multiple added links.
+#include "bench_support.hpp"
+#include "optimize/expansion.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace intertubes;
+
+void print_artifact() {
+  const auto& profiles = bench::scenario().truth().profiles();
+  bench::artifact_banner("Figure 11",
+                         "improvement ratio (1 - risk_after/risk_before) vs number of links "
+                         "added, per ISP");
+
+  std::vector<std::string> headers{"ISP", "baseline"};
+  for (int k = 1; k <= 10; ++k) headers.push_back("k=" + std::to_string(k));
+  TextTable table(headers);
+
+  std::vector<std::pair<std::string, double>> final_improvements;
+  for (isp::IspId isp = 0; isp < profiles.size(); ++isp) {
+    const auto result =
+        optimize::optimize_expansion(bench::scenario().map(), bench::scenario().row(), isp, 10);
+    table.start_row();
+    table.add_cell(profiles[isp].name);
+    table.add_cell(result.baseline_avg_shared_risk, 2);
+    for (const auto& step : result.steps) {
+      table.add_cell(step.improvement_ratio, 3);
+    }
+    final_improvements.emplace_back(profiles[isp].name,
+                                    result.steps.empty() ? 0.0
+                                                         : result.steps.back().improvement_ratio);
+  }
+  std::cout << table.render();
+
+  std::sort(final_improvements.begin(), final_improvements.end(),
+            [](const auto& x, const auto& y) { return x.second > y.second; });
+  std::cout << "\nlargest improvements: ";
+  for (std::size_t i = 0; i < 4 && i < final_improvements.size(); ++i) {
+    std::cout << final_improvements[i].first << " ("
+              << format_double(final_improvements[i].second, 2) << ")  ";
+  }
+  std::cout << "\nsmallest improvements: ";
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto& entry = final_improvements[final_improvements.size() - 1 - i];
+    std::cout << entry.first << " (" << format_double(entry.second, 2) << ")  ";
+  }
+  std::cout << "\npaper shape: small-footprint lessees gain most; Level 3 / CenturyLink / "
+               "Cogent gain little\n";
+}
+
+void BM_ExpansionOneIspK3(benchmark::State& state) {
+  const isp::IspId sprint =
+      isp::find_profile(bench::scenario().truth().profiles(), "Sprint");
+  for (auto _ : state) {
+    auto result =
+        optimize::optimize_expansion(bench::scenario().map(), bench::scenario().row(), sprint, 3);
+    benchmark::DoNotOptimize(result.steps.size());
+  }
+}
+BENCHMARK(BM_ExpansionOneIspK3)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  return intertubes::bench::run_benchmarks(argc, argv);
+}

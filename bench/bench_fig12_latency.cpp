@@ -1,0 +1,90 @@
+// Experiment E12 — Figure 12: CDFs of one-way propagation delay between
+// linked city pairs, for (a) the best existing physical path, (b) the
+// line-of-sight lower bound, (c) the average over existing paths, and
+// (d) the best right-of-way path.
+//
+// Paper: avg >> best; ~65 % of best paths are already the best ROW path;
+// the LOS-vs-ROW gap is < 100 µs for half the pairs but > 500 µs for a
+// quarter, with outliers past 2 ms.
+#include "bench_support.hpp"
+#include "optimize/latency.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace intertubes;
+
+const optimize::LatencyStudy& study() {
+  static const optimize::LatencyStudy s = optimize::latency_study(
+      bench::scenario().map(), core::Scenario::cities(), bench::scenario().row());
+  return s;
+}
+
+void print_artifact() {
+  bench::artifact_banner("Figure 12",
+                         "CDF of one-way latency per linked city pair: best / LOS / average / "
+                         "best-ROW");
+  std::vector<double> best, avg, row, los;
+  for (const auto& pair : study().pairs) {
+    best.push_back(pair.best_ms);
+    avg.push_back(pair.avg_ms);
+    row.push_back(pair.row_ms);
+    los.push_back(pair.los_ms);
+  }
+  const auto cdf_best = empirical_cdf(best);
+  const auto cdf_avg = empirical_cdf(avg);
+  const auto cdf_row = empirical_cdf(row);
+  const auto cdf_los = empirical_cdf(los);
+
+  TextTable table({"latency (ms)", "best paths", "LOS", "avg existing", "ROW"});
+  for (double x = 0.25; x <= 6.0; x += 0.25) {
+    table.start_row();
+    table.add_cell(x, 2);
+    table.add_cell(cdf_at(cdf_best, x), 3);
+    table.add_cell(cdf_at(cdf_los, x), 3);
+    table.add_cell(cdf_at(cdf_avg, x), 3);
+    table.add_cell(cdf_at(cdf_row, x), 3);
+  }
+  std::cout << table.render();
+
+  std::cout << "\n" << study().pairs.size() << " linked city pairs\n";
+  std::cout << "best existing path is also the best ROW path for "
+            << format_double(100.0 * study().fraction_best_is_row, 1)
+            << "% of pairs (paper: ~65%)\n";
+
+  std::vector<double> gap_us;
+  for (const auto& pair : study().pairs) {
+    gap_us.push_back((pair.row_ms - pair.los_ms) * 1000.0);
+  }
+  std::cout << "LOS-vs-ROW gap: median " << format_double(median(gap_us), 0) << " us, p75 "
+            << format_double(quartile75(gap_us), 0) << " us, p95 "
+            << format_double(percentile(gap_us, 95.0), 0)
+            << " us (paper: <100 us for 50%, >500 us for 25%)\n";
+}
+
+void BM_LatencyStudy(benchmark::State& state) {
+  for (auto _ : state) {
+    auto s = optimize::latency_study(bench::scenario().map(), core::Scenario::cities(),
+                                     bench::scenario().row());
+    benchmark::DoNotOptimize(s.pairs.size());
+  }
+}
+BENCHMARK(BM_LatencyStudy)->Unit(benchmark::kMillisecond);
+
+void BM_RowShortestPath(benchmark::State& state) {
+  const auto a = core::Scenario::cities().find("New York, NY");
+  const auto b = core::Scenario::cities().find("Los Angeles, CA");
+  for (auto _ : state) {
+    auto path = bench::scenario().row().shortest_path(*a, *b);
+    benchmark::DoNotOptimize(path.length_km);
+  }
+}
+BENCHMARK(BM_RowShortestPath)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  return intertubes::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,84 @@
+// Experiment E0 — Figures 1, 2 and 3: the maps themselves.
+//
+// Figure 1 is the constructed conduit map of the continental US; Figures
+// 2–3 are the National Atlas roadway/railway layers.  This harness
+// exports all three as GeoJSON (plus the §8 future-work annotated map
+// with per-conduit traffic), and quantifies §2.5's "prominent features":
+// dense coastal/NE deployment, long-haul hub cities, the sparse upper
+// plains, and spur routes.
+#include <fstream>
+
+#include "bench_support.hpp"
+#include "core/exporter.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace intertubes;
+
+void print_artifact() {
+  const auto& scenario = bench::scenario();
+  const auto& cities = core::Scenario::cities();
+
+  bench::artifact_banner("Figure 1 (+2, 3)", "conduit map and transport layers, GeoJSON export");
+
+  // Annotated conduit map (tenancy, validation, delay, probe traffic).
+  core::MapAnnotations annotations;
+  for (const auto& usage : bench::overlay().usage) {
+    annotations.probes_per_conduit.push_back(usage.total());
+  }
+  const std::string fiber_json =
+      core::export_fiber_map_geojson(scenario.map(), cities, scenario.row(), annotations);
+  write_file("fiber_map.geojson", fiber_json);
+  const std::string road_json = core::export_transport_geojson(scenario.bundle().road, cities);
+  write_file("roadways.geojson", road_json);
+  const std::string rail_json = core::export_transport_geojson(scenario.bundle().rail, cities);
+  write_file("railways.geojson", rail_json);
+  std::cout << "wrote fiber_map.geojson (" << fiber_json.size() / 1024 << " KiB), "
+            << "roadways.geojson (" << road_json.size() / 1024 << " KiB), "
+            << "railways.geojson (" << rail_json.size() / 1024 << " KiB)\n";
+
+  // Prominent feature 1: regional density (dense NE/coasts, sparse plains).
+  TextTable regions({"region", "nodes", "conduit endpoints", "conduit-km", "mean tenants"});
+  for (const auto& summary :
+       core::summarize_regions(scenario.map(), cities, scenario.row())) {
+    regions.start_row();
+    regions.add_cell(std::string(transport::region_name(summary.region)));
+    regions.add_cell(summary.nodes);
+    regions.add_cell(summary.conduits);
+    regions.add_cell(summary.conduit_km, 0);
+    regions.add_cell(summary.mean_tenants, 2);
+  }
+  std::cout << "\n" << regions.render("regional deployment density (Fig. 1 features i & iii)");
+
+  // Prominent feature 2: long-haul hubs (paper: Denver, Salt Lake City).
+  std::cout << "\nlong-haul hub cities by conduit degree (Fig. 1 feature ii):\n";
+  for (const auto& [city, degree] : core::hub_ranking(scenario.map(), 10)) {
+    std::cout << "  " << cities.city(city).display_name() << ": " << degree << " conduits\n";
+  }
+}
+
+void BM_ExportFiberMapGeojson(benchmark::State& state) {
+  for (auto _ : state) {
+    auto json = core::export_fiber_map_geojson(bench::scenario().map(),
+                                               core::Scenario::cities(), bench::scenario().row());
+    benchmark::DoNotOptimize(json.size());
+  }
+}
+BENCHMARK(BM_ExportFiberMapGeojson)->Unit(benchmark::kMillisecond);
+
+void BM_RegionSummary(benchmark::State& state) {
+  for (auto _ : state) {
+    auto summary = core::summarize_regions(bench::scenario().map(), core::Scenario::cities(),
+                                           bench::scenario().row());
+    benchmark::DoNotOptimize(summary.size());
+  }
+}
+BENCHMARK(BM_RegionSummary)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  return intertubes::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,99 @@
+// Experiment E2 — Figure 4: fraction of physical links co-located with
+// transportation infrastructure (roadway, railway, and their union).
+//
+// Paper: histogram of per-link co-location fractions; road > rail; the
+// union highest; a minority of conduits co-located with neither (those
+// follow pipeline ROWs — the Laurel, MS case of §3).
+#include "bench_support.hpp"
+#include "geo/colocation.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace intertubes;
+
+const geo::ReferenceNetwork& road_net() {
+  static const geo::ReferenceNetwork net = [] {
+    geo::ReferenceNetwork n("road");
+    for (const auto& e : bench::scenario().bundle().road.edges()) n.add_route(e.path);
+    return n;
+  }();
+  return net;
+}
+
+const geo::ReferenceNetwork& rail_net() {
+  static const geo::ReferenceNetwork net = [] {
+    geo::ReferenceNetwork n("rail");
+    for (const auto& e : bench::scenario().bundle().rail.edges()) n.add_route(e.path);
+    return n;
+  }();
+  return net;
+}
+
+std::vector<geo::Polyline> conduit_routes() {
+  std::vector<geo::Polyline> routes;
+  for (const auto& conduit : bench::scenario().map().conduits()) {
+    routes.push_back(bench::scenario().row().corridor(conduit.corridor).path);
+  }
+  return routes;
+}
+
+void print_artifact() {
+  bench::artifact_banner("Figure 4",
+                         "fraction of physical links co-located with road/rail infrastructure");
+  const auto routes = conduit_routes();
+  const auto hist = geo::colocation_histogram(routes, {&road_net(), &rail_net()}, 2.0, 10.0, 10);
+
+  TextTable table({"fraction bin", "road", "rail", "rail and road"});
+  for (std::size_t b = 0; b < 10; ++b) {
+    table.start_row();
+    table.add_cell(format_double(0.1 * static_cast<double>(b), 1) + "-" +
+                   format_double(0.1 * static_cast<double>(b + 1), 1));
+    table.add_cell(hist.rel_freq[0][b], 3);
+    table.add_cell(hist.rel_freq[1][b], 3);
+    table.add_cell(hist.rel_freq[2][b], 3);
+  }
+  std::cout << table.render("relative frequency of per-link co-location fraction");
+  std::cout << "\nmean co-location: road " << format_double(hist.mean_fraction[0], 3) << ", rail "
+            << format_double(hist.mean_fraction[1], 3) << ", union "
+            << format_double(hist.mean_fraction[2], 3) << "\n"
+            << "paper shape: road > rail, union highest; most links fully co-located\n";
+
+  // The §3 outliers: conduits co-located with neither road nor rail.
+  std::size_t off_transport = 0;
+  for (const auto& route : routes) {
+    const auto res = geo::colocation_fractions(route, {&road_net(), &rail_net()}, 2.0, 10.0);
+    if (res.fraction_any < 0.5) ++off_transport;
+  }
+  std::cout << off_transport << " of " << routes.size()
+            << " conduits follow neither road nor rail (pipeline rights-of-way)\n";
+}
+
+void BM_ColocationOneRoute(benchmark::State& state) {
+  const auto routes = conduit_routes();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto res = geo::colocation_fractions(routes[i % routes.size()],
+                                               {&road_net(), &rail_net()}, 2.0, 10.0);
+    benchmark::DoNotOptimize(res.fraction_any);
+    ++i;
+  }
+}
+BENCHMARK(BM_ColocationOneRoute)->Unit(benchmark::kMicrosecond);
+
+void BM_ColocationHistogramFullMap(benchmark::State& state) {
+  const auto routes = conduit_routes();
+  for (auto _ : state) {
+    const auto hist =
+        geo::colocation_histogram(routes, {&road_net(), &rail_net()}, 2.0, 10.0, 10);
+    benchmark::DoNotOptimize(hist.mean_fraction[0]);
+  }
+}
+BENCHMARK(BM_ColocationHistogramFullMap)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  return intertubes::bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,72 @@
+// Shared support for the per-table/figure benchmark harnesses.
+//
+// Every harness prints the paper artifact it regenerates (rows for tables,
+// series for figures) and then runs google-benchmark timings of the
+// computational kernel behind it.  The world is built once per binary at
+// the canonical seed so that EXPERIMENTS.md numbers are stable.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/scenario.hpp"
+#include "risk/risk_matrix.hpp"
+#include "traceroute/overlay.hpp"
+
+namespace intertubes::bench {
+
+inline constexpr std::uint64_t kSeed = 0x1257;
+
+inline const core::Scenario& scenario() {
+  static const core::Scenario s{core::ScenarioParams::with_seed(kSeed)};
+  return s;
+}
+
+inline const risk::RiskMatrix& risk_matrix() {
+  static const risk::RiskMatrix m = risk::RiskMatrix::from_map(scenario().map());
+  return m;
+}
+
+inline const traceroute::L3Topology& l3_topology() {
+  static const traceroute::L3Topology t =
+      traceroute::L3Topology::from_ground_truth(scenario().truth(), core::Scenario::cities());
+  return t;
+}
+
+/// The standard campaign used by the traffic experiments (Tables 2–4,
+/// Figure 9): 500k probes, mirroring the paper's multi-month Edgescope
+/// trace at our world's scale.
+inline const traceroute::Campaign& campaign() {
+  static const traceroute::Campaign c = [] {
+    traceroute::CampaignParams params;
+    params.seed = kSeed;
+    params.num_probes = 500000;
+    return run_campaign(l3_topology(), core::Scenario::cities(), params);
+  }();
+  return c;
+}
+
+inline const traceroute::OverlayResult& overlay() {
+  static const traceroute::OverlayResult o =
+      traceroute::overlay_campaign(scenario().map(), core::Scenario::cities(), campaign());
+  return o;
+}
+
+/// Print the artifact header used by EXPERIMENTS.md extraction.
+inline void artifact_banner(const std::string& id, const std::string& caption) {
+  std::cout << "\n================================================================\n"
+            << id << " — " << caption << "\n"
+            << "================================================================\n";
+}
+
+/// Run the registered google-benchmark timings (call at the end of main).
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace intertubes::bench

@@ -1,0 +1,98 @@
+// Experiment E1 — Table 1 and the §2.5 headline numbers.
+//
+// Paper: per-ISP node and link counts for the nine geocoded-map ISPs
+// (AT&T 25/57 … Zayo 98/111) and the final map's totals (273 nodes, 2411
+// links, 542 conduits).  Here: the same tables for our generated world,
+// plus the fidelity score against ground truth (measurable only in
+// simulation).
+#include "bench_support.hpp"
+#include "core/fidelity.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace intertubes;
+
+void print_artifact() {
+  const auto& scenario = bench::scenario();
+  const auto stats = core::compute_stats(scenario.map());
+  const auto& profiles = scenario.truth().profiles();
+
+  bench::artifact_banner("Table 1", "nodes and long-haul links per step-1 (geocoded-map) ISP");
+  TextTable table({"ISP", "nodes", "links"});
+  for (isp::IspId i = 0; i < profiles.size(); ++i) {
+    if (!profiles[i].publishes_geocoded_map) continue;
+    table.start_row();
+    table.add_cell(profiles[i].name);
+    table.add_cell(stats.nodes_per_isp[i]);
+    table.add_cell(stats.links_per_isp[i]);
+  }
+  std::cout << table.render();
+
+  std::cout << "\nPOP-only (step-3) ISPs added to the augmented map:\n";
+  TextTable table3({"ISP", "nodes", "links"});
+  for (isp::IspId i = 0; i < profiles.size(); ++i) {
+    if (profiles[i].publishes_geocoded_map) continue;
+    table3.start_row();
+    table3.add_cell(profiles[i].name);
+    table3.add_cell(stats.nodes_per_isp[i]);
+    table3.add_cell(stats.links_per_isp[i]);
+  }
+  std::cout << table3.render();
+
+  std::cout << "\nmap totals: " << stats.nodes << " nodes, " << stats.links << " links, "
+            << stats.conduits << " conduits (" << stats.validated_conduits << " validated, "
+            << format_double(stats.total_conduit_km, 0) << " conduit-km)\n"
+            << "paper totals at US scale: 273 nodes, 2411 links, 542 conduits\n";
+
+  const auto fidelity = core::score_fidelity(scenario.map(), scenario.truth());
+  std::cout << "fidelity vs ground truth: conduit P/R = "
+            << format_double(fidelity.conduit_precision, 3) << "/"
+            << format_double(fidelity.conduit_recall, 3)
+            << ", tenancy P/R = " << format_double(fidelity.tenancy_precision, 3) << "/"
+            << format_double(fidelity.tenancy_recall, 3) << "\n";
+}
+
+void BM_FullPipelineBuild(benchmark::State& state) {
+  const auto& s = bench::scenario();
+  for (auto _ : state) {
+    core::MapBuilder builder(core::Scenario::cities(), s.row(), s.truth().profiles(), s.corpus());
+    auto result = builder.build(s.published());
+    benchmark::DoNotOptimize(result.map.conduits().size());
+  }
+}
+BENCHMARK(BM_FullPipelineBuild)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_SnapGeometry(benchmark::State& state) {
+  const auto& s = bench::scenario();
+  core::MapBuilder builder(core::Scenario::cities(), s.row(), s.truth().profiles(), s.corpus());
+  // A representative geocoded link.
+  const isp::PublishedMap* geocoded = nullptr;
+  for (const auto& map : s.published()) {
+    if (map.geocoded && !map.links.empty()) {
+      geocoded = &map;
+      break;
+    }
+  }
+  const auto& link = geocoded->links.front();
+  for (auto _ : state) {
+    auto snapped = builder.snap_geometry(link.a, link.b, *link.geometry);
+    benchmark::DoNotOptimize(snapped.size());
+  }
+}
+BENCHMARK(BM_SnapGeometry)->Unit(benchmark::kMillisecond);
+
+void BM_ComputeStats(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stats = core::compute_stats(bench::scenario().map());
+    benchmark::DoNotOptimize(stats.links);
+  }
+}
+BENCHMARK(BM_ComputeStats)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  return intertubes::bench::run_benchmarks(argc, argv);
+}

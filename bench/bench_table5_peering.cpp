@@ -1,0 +1,64 @@
+// Experiment E10 — Table 5: the top-3 peering/supplier suggestions per
+// ISP produced by the robustness-suggestion framework over the twelve
+// most shared conduits.
+//
+// Paper: Level 3 is predominantly the best peer to add ("largely due to
+// their already-robust infrastructure"), with AT&T and CenturyLink the
+// other prominent suggestions.
+#include "bench_support.hpp"
+#include "optimize/robustness.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace intertubes;
+
+void print_artifact() {
+  const auto& profiles = bench::scenario().truth().profiles();
+  const auto targets = bench::risk_matrix().most_shared_conduits(12);
+
+  bench::artifact_banner("Table 5", "top 3 suggested peers per ISP (twelve shared targets)");
+  const auto peering =
+      optimize::suggest_peering(bench::scenario().map(), bench::risk_matrix(), targets, 3);
+  TextTable table({"ISP", "suggested peering"});
+  for (const auto& p : peering) {
+    std::string names;
+    for (std::size_t i = 0; i < p.suggested.size(); ++i) {
+      if (i) names += " | ";
+      names += profiles[p.suggested[i]].name;
+    }
+    table.start_row();
+    table.add_cell(profiles[p.isp].name);
+    table.add_cell(names.empty() ? "(none)" : names);
+  }
+  std::cout << table.render();
+
+  // Frequency of each ISP across all suggestion slots.
+  std::vector<std::size_t> counts(profiles.size(), 0);
+  for (const auto& p : peering) {
+    for (auto s : p.suggested) ++counts[s];
+  }
+  std::cout << "\nsuggestion frequency:\n";
+  for (isp::IspId i = 0; i < profiles.size(); ++i) {
+    if (counts[i] > 0) std::cout << "  " << profiles[i].name << ": " << counts[i] << "\n";
+  }
+  std::cout << "paper: Level 3 dominates; AT&T and CenturyLink are the other frequent "
+               "suggestions\n";
+}
+
+void BM_SuggestPeeringAllIsps(benchmark::State& state) {
+  const auto targets = bench::risk_matrix().most_shared_conduits(12);
+  for (auto _ : state) {
+    auto peering =
+        optimize::suggest_peering(bench::scenario().map(), bench::risk_matrix(), targets, 3);
+    benchmark::DoNotOptimize(peering.size());
+  }
+}
+BENCHMARK(BM_SuggestPeeringAllIsps)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  return intertubes::bench::run_benchmarks(argc, argv);
+}

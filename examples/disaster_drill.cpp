@@ -1,0 +1,73 @@
+// Disaster drill: what a regional catastrophe does to the long-haul map.
+//
+// Picks (or grid-searches) a disaster region, severs every conduit in it,
+// and reports the §4-style shared-risk damage — providers hit, links cut,
+// connectivity loss — plus whether the undersea festoons of footnote 8
+// keep the coasts reachable.
+//
+// Usage: disaster_drill [city-name] [radius-km] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/scenario.hpp"
+#include "risk/cuts.hpp"
+#include "risk/geo_hazard.hpp"
+#include "transport/undersea.hpp"
+#include "util/table.hpp"
+
+using namespace intertubes;
+
+int main(int argc, char** argv) {
+  const std::string epicenter = argc > 1 ? argv[1] : "";
+  const double radius_km = argc > 2 ? std::strtod(argv[2], nullptr) : 100.0;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 0) : 0x1257;
+
+  core::Scenario scenario{core::ScenarioParams::with_seed(seed)};
+  const auto& cities = core::Scenario::cities();
+  const auto& map = scenario.map();
+
+  risk::HazardRegion region;
+  region.radius_km = radius_km;
+  if (epicenter.empty()) {
+    region = risk::worst_case_placement(map, cities, scenario.row(), radius_km, 100.0);
+    std::cout << "no epicenter given; grid-searched the worst case: near "
+              << cities.city(cities.nearest(region.center)).display_name() << "\n";
+  } else {
+    const auto id = cities.find(epicenter);
+    if (!id) {
+      std::cerr << "unknown city: " << epicenter << "\n";
+      return 1;
+    }
+    region.center = cities.city(*id).location;
+  }
+
+  const auto impact = risk::assess_hazard(map, scenario.row(), region);
+  std::cout << "\ndisaster radius " << radius_km << " km:\n"
+            << "  conduits severed: " << impact.conduits_cut << "\n"
+            << "  provider links hit: " << impact.links_hit << " across " << impact.isps_hit
+            << " ISPs\n"
+            << "  node-pair connectivity: " << format_double(impact.connectivity, 3) << "\n";
+
+  // Which providers suffer most.
+  const auto cut = risk::conduits_in_region(map, scenario.row(), region);
+  std::vector<std::size_t> hits(map.num_isps(), 0);
+  for (core::ConduitId cid : cut) {
+    for (isp::IspId t : map.conduit(cid).tenants) ++hits[t];
+  }
+  std::cout << "\nconduits lost per provider:\n";
+  const auto& profiles = scenario.truth().profiles();
+  for (isp::IspId i = 0; i < profiles.size(); ++i) {
+    if (hits[i] > 0) std::cout << "  " << profiles[i].name << ": " << hits[i] << "\n";
+  }
+
+  // Footnote 8 check: do the coasts stay mutually reachable?
+  const auto festoons = transport::default_us_festoons(cities);
+  const auto sf = cities.find("San Francisco, CA");
+  const auto nyc = cities.find("New York, NY");
+  if (sf && nyc) {
+    std::cout << "\nSF <-> NYC disjoint paths: terrestrial "
+              << risk::min_conduit_cut(map, *sf, *nyc) << ", with undersea festoons "
+              << risk::min_conduit_cut_with_undersea(map, festoons, *sf, *nyc) << "\n";
+  }
+  return 0;
+}

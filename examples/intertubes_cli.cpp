@@ -1,0 +1,263 @@
+// intertubes_cli — the library's command-line front end.
+//
+// Subcommands:
+//   build   build the world + map and save the dataset TSV
+//   stats   headline map statistics and the long-haul census
+//   risk    shared-risk analysis (sharing distribution, ranking, choke points)
+//   cuts    resilience: bridges, coast-to-coast min cuts, disaster drill
+//   plan    §5 mitigation toolkit for one ISP (re-routes, expansion, latency)
+//   export  GeoJSON map + transport layers
+//
+// Common flags: --seed <n> (default 0x1257). Run with no arguments for help.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/dataset_diff.hpp"
+#include "core/dataset_io.hpp"
+#include "core/exporter.hpp"
+#include "core/longhaul.hpp"
+#include "core/scenario.hpp"
+#include "optimize/expansion.hpp"
+#include "optimize/latency.hpp"
+#include "optimize/robustness.hpp"
+#include "risk/cuts.hpp"
+#include "risk/geo_hazard.hpp"
+#include "risk/risk_matrix.hpp"
+#include "util/table.hpp"
+
+using namespace intertubes;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::uint64_t seed = 0x1257;
+  std::string isp = "Sprint";
+  std::string out = "intertubes_dataset.tsv";
+  std::string prefix = "intertubes";
+  std::string before_path;
+  std::string after_path;
+  std::size_t k = 5;
+  double radius_km = 100.0;
+};
+
+void usage() {
+  std::cout <<
+      "usage: intertubes_cli <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  build    build the world and mapping pipeline, save dataset TSV (--out)\n"
+      "  stats    headline statistics and the long-haul census\n"
+      "  risk     shared-risk analysis of the constructed map\n"
+      "  cuts     bridges, min cuts, and a disaster drill (--radius)\n"
+      "  plan     mitigation toolkit for one ISP (--isp, --k)\n"
+      "  export   write GeoJSON layers (--prefix)\n"
+      "  diff     compare two dataset files (--before, --after)\n"
+      "\n"
+      "flags:\n"
+      "  --seed <n>     world seed (default 0x1257)\n"
+      "  --isp <name>   ISP for `plan` (default Sprint)\n"
+      "  --out <file>   dataset path for `build`\n"
+      "  --prefix <p>   output prefix for `export`\n"
+      "  --k <n>        expansion steps for `plan` (default 5)\n"
+      "  --radius <km>  disaster radius for `cuts` (default 100)\n";
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  if (argc < 2) return false;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--seed") {
+      args.seed = std::strtoull(value.c_str(), nullptr, 0);
+    } else if (flag == "--isp") {
+      args.isp = value;
+    } else if (flag == "--out") {
+      args.out = value;
+    } else if (flag == "--prefix") {
+      args.prefix = value;
+    } else if (flag == "--before") {
+      args.before_path = value;
+    } else if (flag == "--after") {
+      args.after_path = value;
+    } else if (flag == "--k") {
+      args.k = std::strtoul(value.c_str(), nullptr, 0);
+    } else if (flag == "--radius") {
+      args.radius_km = std::strtod(value.c_str(), nullptr);
+    } else {
+      std::cerr << "unknown flag: " << flag << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmd_build(const core::Scenario& scenario, const Args& args) {
+  core::save_dataset(args.out, scenario.map(), core::Scenario::cities(), scenario.row(),
+                     scenario.truth().profiles());
+  const auto stats = core::compute_stats(scenario.map());
+  std::cout << "built map: " << stats.nodes << " nodes, " << stats.links << " links, "
+            << stats.conduits << " conduits\n"
+            << "dataset written to " << args.out << "\n";
+  return 0;
+}
+
+int cmd_stats(const core::Scenario& scenario, const Args&) {
+  const auto stats = core::compute_stats(scenario.map());
+  std::cout << "nodes: " << stats.nodes << "\nlinks: " << stats.links
+            << "\nconduits: " << stats.conduits << " (" << stats.validated_conduits
+            << " validated)\nconduit-km: " << format_double(stats.total_conduit_km, 0) << "\n";
+  const auto census = core::long_haul_census(scenario.map(), core::Scenario::cities());
+  std::cout << "\nlong-haul census (30 mi / 100k population / >=2 providers):\n"
+            << "  long-haul conduits: " << census.long_haul_conduits << " ("
+            << census.by_span << " by span, " << census.by_population << " by population, "
+            << census.by_sharing << " by sharing)\n"
+            << "  metro conduits:     " << census.metro_conduits << "\n";
+  std::cout << "\nlong-haul hubs:\n";
+  for (const auto& [city, degree] : core::hub_ranking(scenario.map(), 8)) {
+    std::cout << "  " << core::Scenario::cities().city(city).display_name() << " (" << degree
+              << " conduits)\n";
+  }
+  return 0;
+}
+
+int cmd_risk(const core::Scenario& scenario, const Args&) {
+  const auto matrix = risk::RiskMatrix::from_map(scenario.map());
+  const auto counts = matrix.conduits_shared_by_at_least();
+  const double total = static_cast<double>(matrix.num_conduits());
+  for (std::size_t k = 2; k <= 4 && k <= counts.size(); ++k) {
+    std::cout << "conduits shared by >= " << k << " ISPs: " << counts[k - 1] << " ("
+              << format_double(100.0 * static_cast<double>(counts[k - 1]) / total, 1) << "%)\n";
+  }
+  TextTable ranking({"ISP", "conduits", "avg sharing"});
+  const auto& profiles = scenario.truth().profiles();
+  for (const auto& row : matrix.isp_risk_ranking()) {
+    ranking.start_row();
+    ranking.add_cell(profiles[row.isp].name);
+    ranking.add_cell(row.conduits_used);
+    ranking.add_cell(row.mean_sharing, 2);
+  }
+  std::cout << "\n" << ranking.render("per-ISP shared risk (ascending)");
+  return 0;
+}
+
+int cmd_cuts(const core::Scenario& scenario, const Args& args) {
+  const auto& cities = core::Scenario::cities();
+  const auto bridges = risk::bridge_conduits(scenario.map());
+  std::cout << bridges.size() << " single-point-of-failure conduits\n";
+  const auto sf = cities.find("San Francisco, CA");
+  const auto ny = cities.find("New York, NY");
+  if (sf && ny) {
+    std::cout << "SF <-> NYC conduit-disjoint paths: "
+              << risk::min_conduit_cut(scenario.map(), *sf, *ny) << "\n";
+  }
+  const auto study = risk::hazard_study(scenario.map(), cities, scenario.row(), args.radius_km,
+                                        100, args.seed);
+  std::cout << "\ndisaster drill (radius " << args.radius_km << " km, 100 samples):\n"
+            << "  mean links hit: " << format_double(study.mean_links_hit, 1)
+            << ", p95: " << format_double(study.p95_links_hit, 1) << "\n"
+            << "  worst sample: " << study.worst_impact.links_hit << " links across "
+            << study.worst_impact.isps_hit << " ISPs near "
+            << cities.city(cities.nearest(study.worst_region.center)).display_name() << "\n";
+  return 0;
+}
+
+int cmd_plan(const core::Scenario& scenario, const Args& args) {
+  const auto& profiles = scenario.truth().profiles();
+  const isp::IspId isp = isp::find_profile(profiles, args.isp);
+  if (isp == isp::kNoIsp) {
+    std::cerr << "unknown ISP: " << args.isp << " (names: ";
+    for (const auto& p : profiles) std::cerr << p.name << " ";
+    std::cerr << ")\n";
+    return 1;
+  }
+  const auto matrix = risk::RiskMatrix::from_map(scenario.map());
+  const auto targets = matrix.most_shared_conduits(12);
+  const auto summaries = optimize::summarize_robustness(scenario.map(), matrix, targets);
+  for (const auto& s : summaries) {
+    if (s.isp != isp) continue;
+    std::cout << args.isp << " rides " << s.targets_using
+              << " of the 12 most shared conduits; re-routing costs " << format_double(s.pi_avg, 2)
+              << " extra hops on average and cuts worst-tube tenancy by "
+              << format_double(s.srr_avg, 1) << "\n";
+  }
+  const auto peering = optimize::suggest_peering(scenario.map(), matrix, targets, 3);
+  std::cout << "suggested peers: ";
+  for (isp::IspId peer : peering[isp].suggested) std::cout << profiles[peer].name << "  ";
+  std::cout << "\n\nexpansion (up to k=" << args.k << " new conduits):\n";
+  const auto expansion =
+      optimize::optimize_expansion(scenario.map(), scenario.row(), isp, args.k);
+  for (std::size_t k = 0; k < expansion.steps.size(); ++k) {
+    const auto& step = expansion.steps[k];
+    std::cout << "  k=" << (k + 1) << ": improvement "
+              << format_double(100.0 * step.improvement_ratio, 1) << "%";
+    if (step.added != transport::kNoCorridor) {
+      const auto& corridor = scenario.row().corridor(step.added);
+      std::cout << " (+ " << core::Scenario::cities().city(corridor.a).display_name() << " -- "
+                << core::Scenario::cities().city(corridor.b).display_name() << ")";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmd_export(const core::Scenario& scenario, const Args& args) {
+  const auto& cities = core::Scenario::cities();
+  const auto fiber =
+      core::export_fiber_map_geojson(scenario.map(), cities, scenario.row());
+  write_file(args.prefix + "_fiber_map.geojson", fiber);
+  write_file(args.prefix + "_roadways.geojson",
+             core::export_transport_geojson(scenario.bundle().road, cities));
+  write_file(args.prefix + "_railways.geojson",
+             core::export_transport_geojson(scenario.bundle().rail, cities));
+  std::cout << "wrote " << args.prefix << "_{fiber_map,roadways,railways}.geojson\n";
+  return 0;
+}
+
+int cmd_diff(const core::Scenario& scenario, const Args& args) {
+  if (args.before_path.empty() || args.after_path.empty()) {
+    std::cerr << "diff requires --before <file> and --after <file>\n";
+    return 1;
+  }
+  const auto& profiles = scenario.truth().profiles();
+  const auto before = core::load_dataset(args.before_path, core::Scenario::cities(),
+                                         scenario.row(), profiles);
+  const auto after = core::load_dataset(args.after_path, core::Scenario::cities(),
+                                        scenario.row(), profiles);
+  const auto diff = core::diff_maps(before, after);
+  if (diff.empty()) {
+    std::cout << "datasets are structurally identical\n";
+  } else {
+    std::cout << core::render_diff(diff, core::Scenario::cities(), profiles);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    usage();
+    return argc < 2 ? 0 : 1;
+  }
+  try {
+    const core::Scenario scenario{core::ScenarioParams::with_seed(args.seed)};
+    if (args.command == "build") return cmd_build(scenario, args);
+    if (args.command == "stats") return cmd_stats(scenario, args);
+    if (args.command == "risk") return cmd_risk(scenario, args);
+    if (args.command == "cuts") return cmd_cuts(scenario, args);
+    if (args.command == "plan") return cmd_plan(scenario, args);
+    if (args.command == "export") return cmd_export(scenario, args);
+    if (args.command == "diff") return cmd_diff(scenario, args);
+    std::cerr << "unknown command: " << args.command << "\n";
+    usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,39 @@
+// Map fidelity ablation: how good does the public paper trail have to be
+// for the four-step pipeline to recover the infrastructure?  Sweeps the
+// corpus density and reports conduit/tenancy precision-recall — an
+// experiment the paper itself could not run, possible here because the
+// world is generated.
+//
+// Usage: map_fidelity [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/fidelity.hpp"
+#include "core/scenario.hpp"
+#include "util/table.hpp"
+
+using namespace intertubes;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 0x1257;
+
+  TextTable table({"docs/tenancy", "documents", "tenants inferred", "conduit P", "conduit R",
+                   "tenancy P", "tenancy R"});
+  for (const double density : {0.0, 0.25, 0.5, 0.9, 1.5, 2.5}) {
+    auto params = core::ScenarioParams::with_seed(seed);
+    params.corpus.docs_per_tenancy = density;
+    core::Scenario scenario{params};
+    const auto fidelity = core::score_fidelity(scenario.map(), scenario.truth());
+    table.start_row();
+    table.add_cell(density, 2);
+    table.add_cell(scenario.corpus().documents.size());
+    table.add_cell(scenario.pipeline().step2.tenants_inferred);
+    table.add_cell(fidelity.conduit_precision, 3);
+    table.add_cell(fidelity.conduit_recall, 3);
+    table.add_cell(fidelity.tenancy_precision, 3);
+    table.add_cell(fidelity.tenancy_recall, 3);
+  }
+  std::cout << table.render("pipeline fidelity vs public-records density (seed " +
+                            std::to_string(seed) + ")");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Network planning: the §5 mitigation toolkit on the constructed map —
+// re-route suggestions around the most shared conduits, candidate peers,
+// greedy new-conduit expansion for one ISP, and the latency headroom
+// between today's paths and the right-of-way/line-of-sight bounds.
+//
+// Usage: network_planning [isp-name] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/scenario.hpp"
+#include "optimize/expansion.hpp"
+#include "optimize/latency.hpp"
+#include "optimize/robustness.hpp"
+#include "risk/risk_matrix.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace intertubes;
+
+int main(int argc, char** argv) {
+  const std::string isp_name = argc > 1 ? argv[1] : "Sprint";
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 0x1257;
+
+  core::Scenario scenario{core::ScenarioParams::with_seed(seed)};
+  const auto& cities = core::Scenario::cities();
+  const auto& profiles = scenario.truth().profiles();
+  const auto matrix = risk::RiskMatrix::from_map(scenario.map());
+
+  const isp::IspId isp = isp::find_profile(profiles, isp_name);
+  if (isp == isp::kNoIsp) {
+    std::cerr << "unknown ISP: " << isp_name << "\n";
+    return 1;
+  }
+
+  // Re-route suggestions around the twelve most shared conduits.
+  const auto targets = matrix.most_shared_conduits(12);
+  std::cout << "re-route suggestions for " << isp_name << ":\n";
+  for (core::ConduitId target : targets) {
+    if (!matrix.uses(isp, target)) continue;
+    const auto s = optimize::suggest_reroute(scenario.map(), matrix, target, isp);
+    const auto& c = scenario.map().conduit(target);
+    std::cout << "  " << cities.city(c.a).display_name() << " -- "
+              << cities.city(c.b).display_name() << " (" << matrix.sharing_count(target)
+              << " tenants): ";
+    if (s.optimized_path.empty()) {
+      std::cout << "no alternative path\n";
+    } else {
+      std::cout << "PI=" << s.path_inflation << " hops, SRR=" << s.shared_risk_reduction << "\n";
+    }
+  }
+
+  const auto peering = optimize::suggest_peering(scenario.map(), matrix, targets, 3);
+  std::cout << "\nsuggested peers for " << isp_name << ": ";
+  for (isp::IspId peer : peering[isp].suggested) std::cout << profiles[peer].name << "  ";
+  std::cout << "\n";
+
+  // Greedy expansion with up to 10 new conduits.
+  const auto expansion = optimize::optimize_expansion(scenario.map(), scenario.row(), isp, 10);
+  std::cout << "\nexpansion for " << isp_name
+            << " (baseline avg shared risk = " << format_double(expansion.baseline_avg_shared_risk, 2)
+            << "):\n";
+  for (std::size_t k = 0; k < expansion.steps.size(); ++k) {
+    const auto& step = expansion.steps[k];
+    std::cout << "  k=" << (k + 1) << ": avg=" << format_double(step.avg_shared_risk, 2)
+              << " improvement=" << format_double(100.0 * step.improvement_ratio, 1) << "%";
+    if (step.added != transport::kNoCorridor) {
+      const auto& corridor = scenario.row().corridor(step.added);
+      std::cout << "  (+ " << cities.city(corridor.a).display_name() << " -- "
+                << cities.city(corridor.b).display_name() << ")";
+    }
+    std::cout << "\n";
+  }
+
+  // Latency study headline.
+  const auto study = optimize::latency_study(scenario.map(), cities, scenario.row());
+  std::vector<double> gap_ms;
+  for (const auto& pair : study.pairs) gap_ms.push_back(pair.row_ms - pair.los_ms);
+  std::cout << "\nlatency study over " << study.pairs.size() << " city pairs:\n";
+  std::cout << "  best existing path is already the best ROW path for "
+            << format_double(100.0 * study.fraction_best_is_row, 1) << "% of pairs\n";
+  std::cout << "  ROW-vs-LOS gap: median=" << format_double(median(gap_ms) * 1000.0, 0)
+            << " us, p75=" << format_double(quartile75(gap_ms) * 1000.0, 0) << " us\n";
+  return 0;
+}

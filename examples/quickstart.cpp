@@ -1,0 +1,82 @@
+// Quickstart: build the world, run the four-step mapping pipeline, and
+// print the headline statistics of the constructed US long-haul fiber map
+// (the analogue of the paper's §2.5 summary: nodes, links, conduits).
+//
+// Usage: quickstart [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/fidelity.hpp"
+#include "core/pipeline.hpp"
+#include "isp/published_maps.hpp"
+#include "records/corpus.hpp"
+#include "risk/risk_matrix.hpp"
+#include "transport/cities.hpp"
+#include "transport/network.hpp"
+#include "util/table.hpp"
+
+using namespace intertubes;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 0x1257;
+
+  // 1. The physical world: cities and rights-of-way.
+  const auto& cities = transport::CityDatabase::us_default();
+  transport::NetworkGenParams net_params;
+  net_params.seed = seed;
+  const auto bundle = transport::generate_bundle(cities, net_params);
+  const transport::RightOfWayRegistry row(bundle);
+  std::cout << "world: " << cities.size() << " cities, " << row.corridors().size()
+            << " right-of-way corridors (road " << bundle.road.edges().size() << ", rail "
+            << bundle.rail.edges().size() << ", pipeline " << bundle.pipeline.edges().size()
+            << ")\n";
+
+  // 2. Ground truth: twenty ISPs deploy fiber with reuse economics.
+  isp::GroundTruthParams gt_params;
+  gt_params.seed = seed;
+  const auto truth = isp::generate_ground_truth(cities, row, isp::default_profiles(), gt_params);
+  std::cout << "ground truth: " << truth.links().size() << " deployed links, "
+            << truth.lit_corridors().size() << " lit conduits\n";
+
+  // 3. Published artifacts: maps and the public-records paper trail.
+  isp::PublishParams pub_params;
+  pub_params.seed = seed;
+  const auto published = isp::render_all_published_maps(truth, row, pub_params);
+  records::CorpusParams corpus_params;
+  corpus_params.seed = seed;
+  const auto corpus = records::generate_corpus(cities, row, truth, corpus_params);
+  std::cout << "corpus: " << corpus.documents.size() << " public-records documents\n";
+
+  // 4. The four-step mapping pipeline.
+  core::MapBuilder builder(cities, row, truth.profiles(), corpus);
+  const auto result = builder.build(published);
+  const auto stats = core::compute_stats(result.map);
+
+  std::cout << "\nconstructed long-haul map: " << stats.nodes << " nodes, " << stats.links
+            << " links, " << stats.conduits << " conduits (" << stats.validated_conduits
+            << " validated)\n";
+  std::cout << "step 1: " << result.step1.links_added << " links, " << result.step1.conduits_added
+            << " conduits, " << result.step1.snap_fallbacks << " snap fallbacks\n";
+  std::cout << "step 2: " << result.step2.tenants_inferred << " tenants inferred, "
+            << result.step2.conduits_validated << " conduits validated\n";
+  std::cout << "step 3: " << result.step3.links_added << " links, " << result.step3.conduits_added
+            << " conduits added\n";
+  std::cout << "step 4: " << result.step4.links_rerouted << " links re-routed\n";
+
+  // 5. Shared-risk headline (the §4.2 percentages).
+  const auto matrix = risk::RiskMatrix::from_map(result.map);
+  const auto at_least = matrix.conduits_shared_by_at_least();
+  const double total = static_cast<double>(matrix.num_conduits());
+  for (std::size_t k = 2; k <= 4 && k <= at_least.size(); ++k) {
+    std::cout << "conduits shared by >= " << k << " ISPs: " << at_least[k - 1] << " ("
+              << format_double(100.0 * static_cast<double>(at_least[k - 1]) / total, 1) << "%)\n";
+  }
+
+  // 6. Fidelity vs ground truth (possible only in simulation).
+  const auto fidelity = core::score_fidelity(result.map, truth);
+  std::cout << "\nfidelity: conduit P/R = " << format_double(fidelity.conduit_precision, 3) << "/"
+            << format_double(fidelity.conduit_recall, 3)
+            << ", tenancy P/R = " << format_double(fidelity.tenancy_precision, 3) << "/"
+            << format_double(fidelity.tenancy_recall, 3) << "\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Risk audit: the shared-risk picture of §4 for the constructed map —
+// which conduits are choke points, which ISPs carry the most shared risk,
+// and which pairs of ISPs have nearly identical risk profiles.
+//
+// Usage: risk_audit [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/scenario.hpp"
+#include "risk/risk_matrix.hpp"
+#include "util/table.hpp"
+
+using namespace intertubes;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 0x1257;
+  core::Scenario scenario{core::ScenarioParams::with_seed(seed)};
+  const auto& cities = core::Scenario::cities();
+  const auto& profiles = scenario.truth().profiles();
+  const auto matrix = risk::RiskMatrix::from_map(scenario.map());
+
+  // Sharing distribution.
+  const auto at_least = matrix.conduits_shared_by_at_least();
+  std::cout << "conduits: " << matrix.num_conduits() << "\n";
+  for (std::size_t k = 1; k <= at_least.size(); ++k) {
+    std::cout << "  shared by >= " << k << " ISPs: " << at_least[k - 1] << "\n";
+  }
+
+  // The most heavily shared conduits.
+  std::cout << "\nmost shared conduits:\n";
+  for (core::ConduitId cid : matrix.most_shared_conduits(10)) {
+    const auto& c = scenario.map().conduit(cid);
+    std::cout << "  " << cities.city(c.a).display_name() << " -- "
+              << cities.city(c.b).display_name() << ": " << c.tenants.size() << " tenants\n";
+  }
+
+  // Per-ISP ranking (Fig. 6 right axis).
+  TextTable ranking({"ISP", "conduits", "avg sharing", "SE", "p25", "p75"});
+  for (const auto& row : matrix.isp_risk_ranking()) {
+    ranking.start_row();
+    ranking.add_cell(profiles[row.isp].name);
+    ranking.add_cell(row.conduits_used);
+    ranking.add_cell(row.mean_sharing, 2);
+    ranking.add_cell(row.standard_error, 2);
+    ranking.add_cell(row.p25, 1);
+    ranking.add_cell(row.p75, 1);
+  }
+  std::cout << "\n" << ranking.render("per-ISP shared risk (ascending)");
+
+  // Most-similar risk profiles by Hamming distance (Fig. 8).
+  const auto hamming = matrix.hamming_matrix();
+  std::cout << "\nmost similar risk profiles (smallest Hamming distance):\n";
+  struct Pair {
+    std::size_t d;
+    isp::IspId i, j;
+  };
+  std::vector<Pair> pairs;
+  for (isp::IspId i = 0; i < profiles.size(); ++i) {
+    for (isp::IspId j = i + 1; j < profiles.size(); ++j) {
+      pairs.push_back({hamming[i][j], i, j});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& x, const Pair& y) { return x.d < y.d; });
+  for (std::size_t k = 0; k < 5 && k < pairs.size(); ++k) {
+    std::cout << "  " << profiles[pairs[k].i].name << " ~ " << profiles[pairs[k].j].name
+              << " (distance " << pairs[k].d << ")\n";
+  }
+  return 0;
+}

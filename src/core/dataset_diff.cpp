@@ -1,0 +1,86 @@
+#include "core/dataset_diff.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace intertubes::core {
+
+namespace {
+
+using TenantsByKey = std::map<ConduitKey, std::set<isp::IspId>>;
+
+TenantsByKey collect(const FiberMap& map) {
+  TenantsByKey out;
+  for (const auto& conduit : map.conduits()) {
+    const ConduitKey key{std::min(conduit.a, conduit.b), std::max(conduit.a, conduit.b)};
+    out[key].insert(conduit.tenants.begin(), conduit.tenants.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+MapDiff diff_maps(const FiberMap& before, const FiberMap& after) {
+  MapDiff diff;
+  diff.links_before = before.links().size();
+  diff.links_after = after.links().size();
+
+  const auto old_tenants = collect(before);
+  const auto new_tenants = collect(after);
+
+  for (const auto& [key, tenants] : new_tenants) {
+    if (!old_tenants.count(key)) diff.added_conduits.push_back(key);
+  }
+  for (const auto& [key, tenants] : old_tenants) {
+    if (!new_tenants.count(key)) diff.removed_conduits.push_back(key);
+  }
+  for (const auto& [key, old_set] : old_tenants) {
+    const auto it = new_tenants.find(key);
+    if (it == new_tenants.end()) continue;
+    const auto& new_set = it->second;
+    TenancyChange change;
+    change.conduit = key;
+    std::set_difference(new_set.begin(), new_set.end(), old_set.begin(), old_set.end(),
+                        std::back_inserter(change.added_tenants));
+    std::set_difference(old_set.begin(), old_set.end(), new_set.begin(), new_set.end(),
+                        std::back_inserter(change.removed_tenants));
+    if (!change.added_tenants.empty() || !change.removed_tenants.empty()) {
+      diff.tenancy_changes.push_back(std::move(change));
+    }
+  }
+  return diff;
+}
+
+std::string render_diff(const MapDiff& diff, const transport::CityDatabase& cities,
+                        const std::vector<isp::IspProfile>& profiles) {
+  std::ostringstream out;
+  auto pair_name = [&cities](const ConduitKey& key) {
+    return cities.city(key.a).display_name() + " -- " + cities.city(key.b).display_name();
+  };
+  auto isp_list = [&profiles](const std::vector<isp::IspId>& isps) {
+    std::string names;
+    for (std::size_t i = 0; i < isps.size(); ++i) {
+      if (i) names += ", ";
+      names += profiles[isps[i]].name;
+    }
+    return names;
+  };
+  for (const auto& key : diff.added_conduits) {
+    out << "+ conduit " << pair_name(key) << "\n";
+  }
+  for (const auto& key : diff.removed_conduits) {
+    out << "- conduit " << pair_name(key) << "\n";
+  }
+  for (const auto& change : diff.tenancy_changes) {
+    out << "~ " << pair_name(change.conduit);
+    if (!change.added_tenants.empty()) out << "  +[" << isp_list(change.added_tenants) << "]";
+    if (!change.removed_tenants.empty()) out << "  -[" << isp_list(change.removed_tenants) << "]";
+    out << "\n";
+  }
+  out << "links: " << diff.links_before << " -> " << diff.links_after << "\n";
+  return out.str();
+}
+
+}  // namespace intertubes::core

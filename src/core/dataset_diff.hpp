@@ -1,0 +1,51 @@
+// Dataset diffing — tooling for the community-mapping workflow the paper
+// proposes in §2.5: "we hope this work will spark a community effort aimed
+// at gradually improving the overall fidelity of our basic map by
+// contributing to a growing database of information about geocoded
+// conduits and their tenants."  Contributions arrive as new dataset
+// versions; this module computes what changed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/fiber_map.hpp"
+
+namespace intertubes::core {
+
+/// A conduit identified portably by its endpoints (city ids) — dataset
+/// conduit ids are not stable across versions.
+struct ConduitKey {
+  transport::CityId a = transport::kNoCity;  ///< min endpoint
+  transport::CityId b = transport::kNoCity;  ///< max endpoint
+  auto operator<=>(const ConduitKey&) const = default;
+};
+
+struct TenancyChange {
+  ConduitKey conduit;
+  std::vector<isp::IspId> added_tenants;
+  std::vector<isp::IspId> removed_tenants;
+};
+
+struct MapDiff {
+  std::vector<ConduitKey> added_conduits;
+  std::vector<ConduitKey> removed_conduits;
+  std::vector<TenancyChange> tenancy_changes;  ///< conduits present in both
+  std::size_t links_before = 0;
+  std::size_t links_after = 0;
+
+  bool empty() const noexcept {
+    return added_conduits.empty() && removed_conduits.empty() && tenancy_changes.empty();
+  }
+};
+
+/// Structural diff from `before` to `after`.  Conduits are matched by
+/// endpoint pair; parallel conduits between the same cities are merged for
+/// diffing purposes (their tenant sets are unioned).
+MapDiff diff_maps(const FiberMap& before, const FiberMap& after);
+
+/// Human-readable rendering ("+ Denver, CO -- Cheyenne, WY [Sprint]").
+std::string render_diff(const MapDiff& diff, const transport::CityDatabase& cities,
+                        const std::vector<isp::IspProfile>& profiles);
+
+}  // namespace intertubes::core

@@ -1,0 +1,167 @@
+#include "core/dataset_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace intertubes::core {
+
+using transport::CityDatabase;
+using transport::CityId;
+
+namespace {
+
+std::string tenants_field(const Conduit& conduit, const std::vector<isp::IspProfile>& profiles) {
+  std::vector<std::string> names;
+  names.reserve(conduit.tenants.size());
+  for (isp::IspId t : conduit.tenants) names.push_back(profiles[t].name);
+  return join(names, ",");
+}
+
+std::string conduit_ids_field(const Link& link) {
+  std::vector<std::string> ids;
+  ids.reserve(link.conduits.size());
+  for (ConduitId cid : link.conduits) ids.push_back(std::to_string(cid));
+  return join(ids, ",");
+}
+
+CityId resolve_city(const CityDatabase& cities, const std::string& name) {
+  const auto id = cities.find(name);
+  IT_CHECK_MSG(id.has_value(), "unknown city in dataset: " + name);
+  return *id;
+}
+
+isp::IspId resolve_isp(const std::vector<isp::IspProfile>& profiles, const std::string& name) {
+  const auto id = isp::find_profile(profiles, name);
+  IT_CHECK_MSG(id != isp::kNoIsp, "unknown ISP in dataset: " + name);
+  return id;
+}
+
+transport::TransportMode parse_mode(const std::string& name) {
+  if (name == "road") return transport::TransportMode::Road;
+  if (name == "rail") return transport::TransportMode::Rail;
+  if (name == "pipeline") return transport::TransportMode::Pipeline;
+  IT_CHECK_MSG(false, "unknown ROW mode in dataset: " + name);
+  return transport::TransportMode::Road;
+}
+
+}  // namespace
+
+std::string serialize_dataset(const FiberMap& map, const CityDatabase& cities,
+                              const transport::RightOfWayRegistry& row,
+                              const std::vector<isp::IspProfile>& profiles) {
+  std::ostringstream out;
+  out << "# InterTubes long-haul fiber dataset\n";
+
+  out << "#nodes\tcity\tstate\tlat\tlon\tpopulation\n";
+  for (CityId node : map.nodes()) {
+    const auto& city = cities.city(node);
+    out << "node\t" << city.name << "\t" << city.state << "\t" << format_double(city.location.lat_deg, 4)
+        << "\t" << format_double(city.location.lon_deg, 4) << "\t" << city.population << "\n";
+  }
+
+  out << "#conduits\tid\tfrom\tto\tmode\tlength_km\tvalidated\ttenants\n";
+  for (const Conduit& conduit : map.conduits()) {
+    out << "conduit\t" << conduit.id << "\t" << cities.city(conduit.a).display_name() << "\t"
+        << cities.city(conduit.b).display_name() << "\t"
+        << transport::mode_name(row.corridor(conduit.corridor).mode) << "\t"
+        << format_double(conduit.length_km, 3) << "\t" << (conduit.validated ? 1 : 0) << "\t"
+        << tenants_field(conduit, profiles) << "\n";
+  }
+
+  out << "#links\tisp\tfrom\tto\tgeocoded\tconduits\n";
+  for (const Link& link : map.links()) {
+    out << "link\t" << profiles[link.isp].name << "\t" << cities.city(link.a).display_name()
+        << "\t" << cities.city(link.b).display_name() << "\t" << (link.geocoded ? 1 : 0) << "\t"
+        << conduit_ids_field(link) << "\n";
+  }
+  return out.str();
+}
+
+FiberMap parse_dataset(const std::string& text, const CityDatabase& cities,
+                       const transport::RightOfWayRegistry& row,
+                       const std::vector<isp::IspProfile>& profiles) {
+  FiberMap map(profiles.size());
+  // Dataset conduit id → map conduit id.
+  std::unordered_map<ConduitId, ConduitId> remap;
+  // Tenancy as serialized, to restore tenants with no surviving link
+  // (records-only tenants).
+  std::vector<std::pair<ConduitId, isp::IspId>> tenancy;
+
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = split(line, "\t");
+    IT_CHECK_MSG(!fields.empty(), "malformed dataset line");
+    if (fields[0] == "node") {
+      IT_CHECK_MSG(fields.size() == 6, "malformed node line: " + line);
+      resolve_city(cities, fields[1] + ", " + fields[2]);  // existence check
+    } else if (fields[0] == "conduit") {
+      IT_CHECK_MSG(fields.size() == 8, "malformed conduit line: " + line);
+      const auto dataset_id = static_cast<ConduitId>(std::stoul(fields[1]));
+      const CityId a = resolve_city(cities, fields[2]);
+      const CityId b = resolve_city(cities, fields[3]);
+      const auto mode = parse_mode(fields[4]);
+      const double length_km = std::stod(fields[5]);
+      transport::Corridor corridor;
+      const auto direct = row.direct(a, b, mode);
+      if (direct) {
+        corridor = row.corridor(*direct);
+      } else {
+        corridor.id = 0x40000000u + dataset_id;  // synthetic corridor id
+        corridor.a = a;
+        corridor.b = b;
+        corridor.mode = mode;
+        corridor.path =
+            geo::Polyline::straight(cities.city(a).location, cities.city(b).location);
+        corridor.length_km = length_km;
+      }
+      const ConduitId cid = map.ensure_conduit(corridor, Provenance::GeocodedMap);
+      if (fields[6] == "1") map.mark_validated(cid);
+      IT_CHECK_MSG(!remap.count(dataset_id), "duplicate conduit id in dataset");
+      remap[dataset_id] = cid;
+      for (const auto& name : split(fields[7], ",")) {
+        tenancy.emplace_back(cid, resolve_isp(profiles, name));
+      }
+    } else if (fields[0] == "link") {
+      IT_CHECK_MSG(fields.size() == 6, "malformed link line: " + line);
+      const isp::IspId isp_id = resolve_isp(profiles, fields[1]);
+      const CityId a = resolve_city(cities, fields[2]);
+      const CityId b = resolve_city(cities, fields[3]);
+      std::vector<ConduitId> conduits;
+      for (const auto& id_text : split(fields[5], ",")) {
+        const auto dataset_id = static_cast<ConduitId>(std::stoul(id_text));
+        const auto it = remap.find(dataset_id);
+        IT_CHECK_MSG(it != remap.end(), "link references unknown conduit " + id_text);
+        conduits.push_back(it->second);
+      }
+      map.add_link(isp_id, a, b, conduits, fields[4] == "1");
+    } else {
+      IT_CHECK_MSG(false, "unknown dataset record type: " + fields[0]);
+    }
+  }
+
+  for (const auto& [cid, isp_id] : tenancy) map.add_tenant(cid, isp_id);
+  return map;
+}
+
+void save_dataset(const std::string& path, const FiberMap& map, const CityDatabase& cities,
+                  const transport::RightOfWayRegistry& row,
+                  const std::vector<isp::IspProfile>& profiles) {
+  write_file(path, serialize_dataset(map, cities, row, profiles));
+}
+
+FiberMap load_dataset(const std::string& path, const CityDatabase& cities,
+                      const transport::RightOfWayRegistry& row,
+                      const std::vector<isp::IspProfile>& profiles) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open dataset: " + path);
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return parse_dataset(text, cities, row, profiles);
+}
+
+}  // namespace intertubes::core

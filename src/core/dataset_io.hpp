@@ -1,0 +1,45 @@
+// Dataset serialization — the paper's published artifact.
+//
+// "The constructed long-haul map along with datasets are openly available
+// to the community through the U.S. DHS PREDICT portal."  This module
+// writes and reads that deliverable: a three-table TSV dataset (nodes,
+// conduits, links) keyed by stable human-readable names, so the map can be
+// shared, diffed, and reloaded without the generator.
+#pragma once
+
+#include <string>
+
+#include "core/fiber_map.hpp"
+#include "transport/row.hpp"
+
+namespace intertubes::core {
+
+/// Serialize a FiberMap as a TSV dataset.  Three sections in one document:
+///   #nodes    city <tab> state <tab> lat <tab> lon <tab> population
+///   #conduits id <tab> from <tab> to <tab> mode <tab> length_km
+///             <tab> validated <tab> tenants (comma-joined ISP names)
+///   #links    isp <tab> from <tab> to <tab> geocoded <tab> conduit ids
+std::string serialize_dataset(const FiberMap& map, const transport::CityDatabase& cities,
+                              const transport::RightOfWayRegistry& row,
+                              const std::vector<isp::IspProfile>& profiles);
+
+/// Parse a dataset back into a FiberMap.  City and ISP names are resolved
+/// against the given database/profiles; unknown names throw.  The ROW
+/// registry supplies conduit geometry (by the stored corridor city pair
+/// and mode); a conduit with no matching corridor gets straight-line
+/// geometry.
+FiberMap parse_dataset(const std::string& text, const transport::CityDatabase& cities,
+                       const transport::RightOfWayRegistry& row,
+                       const std::vector<isp::IspProfile>& profiles);
+
+/// Convenience wrappers over files.
+void save_dataset(const std::string& path, const FiberMap& map,
+                  const transport::CityDatabase& cities,
+                  const transport::RightOfWayRegistry& row,
+                  const std::vector<isp::IspProfile>& profiles);
+
+FiberMap load_dataset(const std::string& path, const transport::CityDatabase& cities,
+                      const transport::RightOfWayRegistry& row,
+                      const std::vector<isp::IspProfile>& profiles);
+
+}  // namespace intertubes::core

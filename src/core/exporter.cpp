@@ -1,0 +1,106 @@
+#include "core/exporter.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "geo/geojson.hpp"
+#include "geo/latency.hpp"
+#include "util/check.hpp"
+
+namespace intertubes::core {
+
+using transport::CityDatabase;
+using transport::CityId;
+using transport::Region;
+
+std::string export_fiber_map_geojson(const FiberMap& map, const CityDatabase& cities,
+                                     const transport::RightOfWayRegistry& row,
+                                     const MapAnnotations& annotations) {
+  geo::GeoJsonWriter writer;
+  for (const Conduit& conduit : map.conduits()) {
+    const auto& corridor = row.corridor(conduit.corridor);
+    std::vector<geo::GeoProperty> props{
+        geo::GeoProperty::str("kind", "conduit"),
+        geo::GeoProperty::str("from", cities.city(conduit.a).display_name()),
+        geo::GeoProperty::str("to", cities.city(conduit.b).display_name()),
+        geo::GeoProperty::str("row_mode", std::string(transport::mode_name(corridor.mode))),
+        geo::GeoProperty::num("tenants", static_cast<double>(conduit.tenants.size())),
+        geo::GeoProperty::num("validated", conduit.validated ? 1.0 : 0.0),
+        geo::GeoProperty::num("length_km", conduit.length_km),
+        geo::GeoProperty::num("delay_ms", geo::fiber_delay_ms(conduit.length_km)),
+    };
+    if (conduit.id < annotations.probes_per_conduit.size()) {
+      props.push_back(geo::GeoProperty::num(
+          "probes", static_cast<double>(annotations.probes_per_conduit[conduit.id])));
+    }
+    writer.add_linestring(corridor.path, props);
+  }
+  for (CityId node : map.nodes()) {
+    const auto& city = cities.city(node);
+    writer.add_point(city.location,
+                     {geo::GeoProperty::str("kind", "node"),
+                      geo::GeoProperty::str("name", city.display_name()),
+                      geo::GeoProperty::num("population", static_cast<double>(city.population)),
+                      geo::GeoProperty::num("degree",
+                                            static_cast<double>(map.conduits_at(node).size()))});
+  }
+  return writer.to_string();
+}
+
+std::string export_transport_geojson(const transport::TransportNetwork& network,
+                                     const CityDatabase& cities) {
+  geo::GeoJsonWriter writer;
+  for (const auto& edge : network.edges()) {
+    writer.add_linestring(
+        edge.path, {geo::GeoProperty::str("kind", std::string(transport::mode_name(edge.mode))),
+                    geo::GeoProperty::str("from", cities.city(edge.a).display_name()),
+                    geo::GeoProperty::str("to", cities.city(edge.b).display_name()),
+                    geo::GeoProperty::num("length_km", edge.length_km)});
+  }
+  return writer.to_string();
+}
+
+std::vector<RegionSummary> summarize_regions(const FiberMap& map, const CityDatabase& cities,
+                                             const transport::RightOfWayRegistry& row) {
+  (void)row;
+  std::vector<RegionSummary> out;
+  for (int r = 0; r < 5; ++r) {
+    RegionSummary summary;
+    summary.region = static_cast<Region>(r);
+    out.push_back(summary);
+  }
+  // A conduit contributes to the region of each endpoint (half weight each
+  // for km, so national totals add up).
+  for (const Conduit& conduit : map.conduits()) {
+    for (CityId end : {conduit.a, conduit.b}) {
+      auto& summary = out[static_cast<std::size_t>(cities.city(end).region)];
+      summary.conduit_km += conduit.length_km / 2.0;
+      ++summary.conduits;  // endpoint-weighted count
+      summary.mean_tenants += static_cast<double>(conduit.tenants.size());
+    }
+  }
+  for (auto& summary : out) {
+    if (summary.conduits > 0) summary.mean_tenants /= static_cast<double>(summary.conduits);
+  }
+  for (CityId node : map.nodes()) {
+    ++out[static_cast<std::size_t>(cities.city(node).region)].nodes;
+  }
+  return out;
+}
+
+std::vector<std::pair<CityId, std::size_t>> hub_ranking(const FiberMap& map, std::size_t top_n) {
+  std::map<CityId, std::size_t> degree;
+  for (const Conduit& conduit : map.conduits()) {
+    ++degree[conduit.a];
+    ++degree[conduit.b];
+  }
+  std::vector<std::pair<CityId, std::size_t>> ranked(degree.begin(), degree.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& x, const auto& y) {
+    if (x.second != y.second) return x.second > y.second;
+    return x.first < y.first;
+  });
+  if (ranked.size() > top_n) ranked.resize(top_n);
+  return ranked;
+}
+
+}  // namespace intertubes::core

@@ -1,0 +1,57 @@
+// Map export — the cartographic artifacts of the paper.
+//
+// Figure 1 is the conduit map of the continental US; Figures 2–3 are the
+// National Atlas road/rail layers; §8 lists "annotated versions of our
+// map, focusing in particular on traffic and propagation delay" as future
+// work.  This module renders all of them as GeoJSON, plus a regional
+// summary of the map's "prominent features" (§2.5: dense northeast,
+// long-haul hubs, sparse upper plains, parallel deployments, spurs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/fiber_map.hpp"
+#include "transport/network.hpp"
+#include "transport/row.hpp"
+
+namespace intertubes::core {
+
+/// Per-conduit annotations for the future-work "annotated map".
+struct MapAnnotations {
+  /// Probe frequency per conduit, indexed by ConduitId (e.g. the totals of
+  /// a traceroute::OverlayResult); empty disables the annotation.
+  std::vector<std::uint64_t> probes_per_conduit;
+};
+
+/// GeoJSON of the constructed fiber map: one LineString per conduit with
+/// tenancy / validation / length / delay (and, if given, traffic)
+/// properties, plus one Point per node city.
+std::string export_fiber_map_geojson(const FiberMap& map, const transport::CityDatabase& cities,
+                                     const transport::RightOfWayRegistry& row,
+                                     const MapAnnotations& annotations = {});
+
+/// GeoJSON of one transport network (Figures 2–3).
+std::string export_transport_geojson(const transport::TransportNetwork& network,
+                                     const transport::CityDatabase& cities);
+
+/// §2.5's qualitative map features, quantified per region: conduit count,
+/// conduit-km, and mean tenancy, ordered West/Mountain/Central/South/East.
+struct RegionSummary {
+  transport::Region region;
+  std::size_t conduits = 0;
+  double conduit_km = 0.0;
+  double mean_tenants = 0.0;
+  std::size_t nodes = 0;
+};
+
+std::vector<RegionSummary> summarize_regions(const FiberMap& map,
+                                             const transport::CityDatabase& cities,
+                                             const transport::RightOfWayRegistry& row);
+
+/// The map's long-haul hub cities: nodes ranked by incident conduit count
+/// (the paper calls out Denver and Salt Lake City).
+std::vector<std::pair<transport::CityId, std::size_t>> hub_ranking(
+    const FiberMap& map, std::size_t top_n = 10);
+
+}  // namespace intertubes::core

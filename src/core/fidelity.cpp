@@ -1,0 +1,54 @@
+#include "core/fidelity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace intertubes::core {
+
+using transport::CorridorId;
+
+FidelityReport score_fidelity(const FiberMap& map, const isp::GroundTruth& truth) {
+  FidelityReport report;
+
+  const auto& truth_tenants = truth.tenants_by_corridor();
+  std::vector<char> truth_lit(truth_tenants.size(), 0);
+  for (CorridorId cid = 0; cid < truth_tenants.size(); ++cid) {
+    if (!truth_tenants[cid].empty()) {
+      truth_lit[cid] = 1;
+      ++report.true_conduits;
+      report.true_tenancies += truth_tenants[cid].size();
+    }
+  }
+
+  std::size_t mae_n = 0;
+  double mae_sum = 0.0;
+  for (const Conduit& conduit : map.conduits()) {
+    ++report.mapped_conduits;
+    report.mapped_tenancies += conduit.tenants.size();
+    const bool real = conduit.corridor < truth_lit.size() && truth_lit[conduit.corridor];
+    if (real) {
+      ++report.detected_conduits;
+      const auto& truth_set = truth_tenants[conduit.corridor];
+      for (isp::IspId t : conduit.tenants) {
+        if (std::binary_search(truth_set.begin(), truth_set.end(), t)) {
+          ++report.correct_tenancies;
+        }
+      }
+      mae_sum += std::abs(static_cast<double>(conduit.tenants.size()) -
+                          static_cast<double>(truth_set.size()));
+      ++mae_n;
+    }
+  }
+
+  auto ratio = [](std::size_t num, std::size_t den) {
+    return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+  };
+  report.conduit_precision = ratio(report.detected_conduits, report.mapped_conduits);
+  report.conduit_recall = ratio(report.detected_conduits, report.true_conduits);
+  report.tenancy_precision = ratio(report.correct_tenancies, report.mapped_tenancies);
+  report.tenancy_recall = ratio(report.correct_tenancies, report.true_tenancies);
+  report.tenant_count_mae = mae_n == 0 ? 0.0 : mae_sum / static_cast<double>(mae_n);
+  return report;
+}
+
+}  // namespace intertubes::core

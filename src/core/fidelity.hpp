@@ -1,0 +1,36 @@
+// Map fidelity scoring — a capability the paper could not have: because
+// the world here is generated, the constructed map can be graded against
+// ground truth.  Used by integration tests and the EXPERIMENTS.md report
+// to show the pipeline genuinely recovers the infrastructure rather than
+// copying it.
+#pragma once
+
+#include "core/fiber_map.hpp"
+#include "isp/ground_truth.hpp"
+
+namespace intertubes::core {
+
+struct FidelityReport {
+  /// Conduit detection: a corridor counts as detected when the map holds a
+  /// conduit on it.
+  std::size_t true_conduits = 0;       ///< lit corridors in ground truth
+  std::size_t mapped_conduits = 0;     ///< conduits in constructed map
+  std::size_t detected_conduits = 0;   ///< intersection
+  double conduit_precision = 0.0;
+  double conduit_recall = 0.0;
+
+  /// Tenancy: (corridor, ISP) pairs.
+  std::size_t true_tenancies = 0;
+  std::size_t mapped_tenancies = 0;
+  std::size_t correct_tenancies = 0;
+  double tenancy_precision = 0.0;
+  double tenancy_recall = 0.0;
+
+  /// Mean absolute error of per-conduit tenant counts, over corridors
+  /// present in both map and truth (the quantity risk metrics consume).
+  double tenant_count_mae = 0.0;
+};
+
+FidelityReport score_fidelity(const FiberMap& map, const isp::GroundTruth& truth);
+
+}  // namespace intertubes::core

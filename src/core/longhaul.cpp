@@ -1,0 +1,99 @@
+#include "core/longhaul.hpp"
+
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace intertubes::core {
+
+using transport::CityDatabase;
+
+LongHaulReason classify_conduit(const Conduit& conduit, const CityDatabase& cities,
+                                const LongHaulCriteria& criteria) {
+  LongHaulReason reason = LongHaulReason::None;
+  if (conduit.length_km >= criteria.min_span_km) reason = reason | LongHaulReason::Span;
+  if (cities.city(conduit.a).population >= criteria.min_population &&
+      cities.city(conduit.b).population >= criteria.min_population) {
+    reason = reason | LongHaulReason::Population;
+  }
+  if (conduit.tenants.size() >= criteria.min_tenants) reason = reason | LongHaulReason::Shared;
+  return reason;
+}
+
+LongHaulReason classify_link(const FiberMap& map, const Link& link, const CityDatabase& cities,
+                             const LongHaulCriteria& criteria) {
+  LongHaulReason reason = LongHaulReason::None;
+  if (link.length_km >= criteria.min_span_km) reason = reason | LongHaulReason::Span;
+  if (cities.city(link.a).population >= criteria.min_population &&
+      cities.city(link.b).population >= criteria.min_population) {
+    reason = reason | LongHaulReason::Population;
+  }
+  for (ConduitId cid : link.conduits) {
+    if (map.conduit(cid).tenants.size() >= criteria.min_tenants) {
+      reason = reason | LongHaulReason::Shared;
+      break;
+    }
+  }
+  return reason;
+}
+
+LongHaulCensus long_haul_census(const FiberMap& map, const CityDatabase& cities,
+                                const LongHaulCriteria& criteria) {
+  LongHaulCensus census;
+  for (const Conduit& conduit : map.conduits()) {
+    const auto reason = classify_conduit(conduit, cities, criteria);
+    if (reason == LongHaulReason::None) {
+      ++census.metro_conduits;
+      continue;
+    }
+    ++census.long_haul_conduits;
+    if (has_reason(reason, LongHaulReason::Span)) ++census.by_span;
+    if (has_reason(reason, LongHaulReason::Population)) ++census.by_population;
+    if (has_reason(reason, LongHaulReason::Shared)) ++census.by_sharing;
+  }
+  for (const Link& link : map.links()) {
+    if (classify_link(map, link, cities, criteria) == LongHaulReason::None) {
+      ++census.metro_links;
+    } else {
+      ++census.long_haul_links;
+    }
+  }
+  return census;
+}
+
+FiberMap filter_long_haul(const FiberMap& map, const CityDatabase& cities,
+                          const LongHaulCriteria& criteria) {
+  FiberMap filtered(map.num_isps());
+  // Old conduit id → new conduit id, created on first use.
+  std::unordered_map<ConduitId, ConduitId> remap;
+  for (const Link& link : map.links()) {
+    if (classify_link(map, link, cities, criteria) == LongHaulReason::None) continue;
+    std::vector<ConduitId> conduits;
+    conduits.reserve(link.conduits.size());
+    for (ConduitId old_id : link.conduits) {
+      const auto it = remap.find(old_id);
+      if (it != remap.end()) {
+        conduits.push_back(it->second);
+        continue;
+      }
+      const Conduit& old_conduit = map.conduit(old_id);
+      // Rebuild a corridor record from the old conduit (geometry lives in
+      // the ROW registry; the filtered map only needs topology + length).
+      transport::Corridor corridor;
+      corridor.id = old_conduit.corridor;
+      corridor.a = old_conduit.a;
+      corridor.b = old_conduit.b;
+      corridor.length_km = old_conduit.length_km;
+      corridor.path = geo::Polyline::straight(cities.city(old_conduit.a).location,
+                                              cities.city(old_conduit.b).location);
+      const ConduitId new_id = filtered.ensure_conduit(corridor, old_conduit.provenance);
+      if (old_conduit.validated) filtered.mark_validated(new_id);
+      remap.emplace(old_id, new_id);
+      conduits.push_back(new_id);
+    }
+    filtered.add_link(link.isp, link.a, link.b, conduits, link.geocoded);
+  }
+  return filtered;
+}
+
+}  // namespace intertubes::core

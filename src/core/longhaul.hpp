@@ -1,0 +1,68 @@
+// The paper's concrete long-haul definition (§2):
+//
+//   "We define a long-haul link as one that spans at least 30 miles, or
+//    that connects population centers of at least 100,000 people, or that
+//    is shared by at least 2 providers."
+//
+// This module implements that predicate over links and conduits and can
+// filter a FiberMap down to its long-haul core — the operation the paper
+// applies when deciding what belongs in the map at all.
+#pragma once
+
+#include "core/fiber_map.hpp"
+
+namespace intertubes::core {
+
+struct LongHaulCriteria {
+  double min_span_km = 48.28;            ///< 30 miles
+  std::uint32_t min_population = 100000; ///< both endpoints at least this
+  std::size_t min_tenants = 2;           ///< sharing alone qualifies
+};
+
+/// Why a link/conduit qualifies (bitwise-or of reasons; 0 = not long-haul).
+enum class LongHaulReason : std::uint8_t {
+  None = 0,
+  Span = 1,        ///< spans >= 30 miles
+  Population = 2,  ///< joins two >= 100k population centers
+  Shared = 4,      ///< shared by >= 2 providers
+};
+
+constexpr LongHaulReason operator|(LongHaulReason a, LongHaulReason b) noexcept {
+  return static_cast<LongHaulReason>(static_cast<std::uint8_t>(a) |
+                                     static_cast<std::uint8_t>(b));
+}
+constexpr bool has_reason(LongHaulReason value, LongHaulReason flag) noexcept {
+  return (static_cast<std::uint8_t>(value) & static_cast<std::uint8_t>(flag)) != 0;
+}
+
+/// Classify one conduit.
+LongHaulReason classify_conduit(const Conduit& conduit, const transport::CityDatabase& cities,
+                                const LongHaulCriteria& criteria = {});
+
+/// Classify one link (span = total route length; population = endpoints;
+/// shared = any of its conduits shared).
+LongHaulReason classify_link(const FiberMap& map, const Link& link,
+                             const transport::CityDatabase& cities,
+                             const LongHaulCriteria& criteria = {});
+
+/// Census of the map under the definition.
+struct LongHaulCensus {
+  std::size_t long_haul_conduits = 0;
+  std::size_t metro_conduits = 0;  ///< conduits failing every criterion
+  std::size_t by_span = 0;         ///< qualifying via the span rule
+  std::size_t by_population = 0;
+  std::size_t by_sharing = 0;
+  std::size_t long_haul_links = 0;
+  std::size_t metro_links = 0;
+};
+
+LongHaulCensus long_haul_census(const FiberMap& map, const transport::CityDatabase& cities,
+                                const LongHaulCriteria& criteria = {});
+
+/// A copy of the map containing only long-haul links (and the conduits
+/// they ride).  Conduit ids are reassigned; tenancy is recomputed from the
+/// surviving links.
+FiberMap filter_long_haul(const FiberMap& map, const transport::CityDatabase& cities,
+                          const LongHaulCriteria& criteria = {});
+
+}  // namespace intertubes::core

@@ -1,0 +1,15 @@
+#include "core/scenario.hpp"
+
+namespace intertubes::core {
+
+Scenario::Scenario(const ScenarioParams& params)
+    : bundle_(transport::generate_bundle(cities(), params.network)),
+      row_(bundle_),
+      truth_(isp::generate_ground_truth(cities(), row_, isp::default_profiles(),
+                                        params.ground_truth)),
+      published_(isp::render_all_published_maps(truth_, row_, params.publish)),
+      corpus_(records::generate_corpus(cities(), row_, truth_, params.corpus)),
+      pipeline_(MapBuilder(cities(), row_, truth_.profiles(), corpus_, params.pipeline)
+                    .build(published_)) {}
+
+}  // namespace intertubes::core

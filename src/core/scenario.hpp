@@ -1,0 +1,62 @@
+// One-call construction of the full experimental world: transport
+// networks → right-of-way registry → ground-truth deployments → published
+// maps → public-records corpus → the four-step mapping pipeline.
+//
+// Examples, tests and benchmark harnesses all build on this type so that
+// "the world at seed S" means exactly the same thing everywhere.
+#pragma once
+
+#include "core/pipeline.hpp"
+#include "isp/published_maps.hpp"
+#include "records/corpus.hpp"
+#include "transport/network.hpp"
+#include "transport/row.hpp"
+
+namespace intertubes::core {
+
+struct ScenarioParams {
+  std::uint64_t seed = 0x1257;
+  transport::NetworkGenParams network;
+  isp::GroundTruthParams ground_truth;
+  isp::PublishParams publish;
+  records::CorpusParams corpus;
+  PipelineParams pipeline;
+
+  /// Propagate `seed` into every sub-parameter block.
+  static ScenarioParams with_seed(std::uint64_t seed) {
+    ScenarioParams p;
+    p.seed = seed;
+    p.network.seed = seed;
+    p.ground_truth.seed = seed;
+    p.publish.seed = seed;
+    p.corpus.seed = seed;
+    return p;
+  }
+};
+
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioParams& params = ScenarioParams::with_seed(0x1257));
+
+  static const transport::CityDatabase& cities() {
+    return transport::CityDatabase::us_default();
+  }
+
+  const transport::TransportBundle& bundle() const noexcept { return bundle_; }
+  const transport::RightOfWayRegistry& row() const noexcept { return row_; }
+  const isp::GroundTruth& truth() const noexcept { return truth_; }
+  const std::vector<isp::PublishedMap>& published() const noexcept { return published_; }
+  const records::Corpus& corpus() const noexcept { return corpus_; }
+  const PipelineResult& pipeline() const noexcept { return pipeline_; }
+  const FiberMap& map() const noexcept { return pipeline_.map; }
+
+ private:
+  transport::TransportBundle bundle_;
+  transport::RightOfWayRegistry row_;
+  isp::GroundTruth truth_;
+  std::vector<isp::PublishedMap> published_;
+  records::Corpus corpus_;
+  PipelineResult pipeline_;
+};
+
+}  // namespace intertubes::core

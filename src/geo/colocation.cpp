@@ -1,0 +1,80 @@
+#include "geo/colocation.hpp"
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace intertubes::geo {
+
+ReferenceNetwork::ReferenceNetwork(std::string name, double cell_km)
+    : name_(std::move(name)), index_(cell_km) {}
+
+void ReferenceNetwork::add_route(const Polyline& line) { index_.add_polyline(line, 0); }
+
+bool ReferenceNetwork::covers(const GeoPoint& p, double buffer_km) const {
+  return index_.anything_within(p, buffer_km);
+}
+
+ColocationResult colocation_fractions(const Polyline& route,
+                                      const std::vector<const ReferenceNetwork*>& references,
+                                      double buffer_km, double sample_km) {
+  IT_CHECK(buffer_km > 0.0);
+  IT_CHECK(!references.empty());
+  const auto samples = route.sample_every_km(sample_km);
+  ColocationResult result;
+  result.fraction.assign(references.size(), 0.0);
+  if (samples.empty()) return result;
+
+  std::size_t any_count = 0;
+  std::vector<std::size_t> counts(references.size(), 0);
+  for (const auto& p : samples) {
+    bool any = false;
+    for (std::size_t r = 0; r < references.size(); ++r) {
+      if (references[r]->covers(p, buffer_km)) {
+        ++counts[r];
+        any = true;
+      }
+    }
+    if (any) ++any_count;
+  }
+  const double n = static_cast<double>(samples.size());
+  for (std::size_t r = 0; r < references.size(); ++r) {
+    result.fraction[r] = static_cast<double>(counts[r]) / n;
+  }
+  result.fraction_any = static_cast<double>(any_count) / n;
+  return result;
+}
+
+ColocationHistogram colocation_histogram(const std::vector<Polyline>& routes,
+                                         const std::vector<const ReferenceNetwork*>& references,
+                                         double buffer_km, double sample_km, std::size_t bins) {
+  IT_CHECK(!routes.empty());
+  ColocationHistogram out;
+  std::vector<Histogram> hists;
+  for (const auto* ref : references) {
+    out.series_names.push_back(ref->name());
+    hists.emplace_back(0.0, 1.0 + 1e-9, bins);
+  }
+  out.series_names.emplace_back("any");
+  hists.emplace_back(0.0, 1.0 + 1e-9, bins);
+
+  std::vector<RunningStats> means(references.size() + 1);
+  for (const auto& route : routes) {
+    const auto res = colocation_fractions(route, references, buffer_km, sample_km);
+    for (std::size_t r = 0; r < references.size(); ++r) {
+      hists[r].add(res.fraction[r]);
+      means[r].add(res.fraction[r]);
+    }
+    hists.back().add(res.fraction_any);
+    means.back().add(res.fraction_any);
+  }
+
+  for (std::size_t s = 0; s < hists.size(); ++s) {
+    std::vector<double> freq(bins, 0.0);
+    for (std::size_t b = 0; b < bins; ++b) freq[b] = hists[s].relative(b);
+    out.rel_freq.push_back(std::move(freq));
+    out.mean_fraction.push_back(means[s].mean());
+  }
+  return out;
+}
+
+}  // namespace intertubes::geo

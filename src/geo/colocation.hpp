@@ -1,0 +1,63 @@
+// Co-location analysis — the ArcGIS polygon-overlap substitute.
+//
+// Given a fiber route polyline and one or more reference infrastructure
+// networks (roadway, railway, pipeline), compute the fraction of the
+// route's length that lies within a buffer of each network.  This is the
+// computation behind the paper's Figure 4 ("fraction of physical links
+// co-located with transportation infrastructure").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/polyline.hpp"
+#include "geo/spatial_index.hpp"
+
+namespace intertubes::geo {
+
+/// One reference network prepared for fast queries.
+class ReferenceNetwork {
+ public:
+  ReferenceNetwork(std::string name, double cell_km = 50.0);
+
+  void add_route(const Polyline& line);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t segment_count() const noexcept { return index_.segment_count(); }
+
+  /// True if p lies within buffer_km of any route of this network.
+  bool covers(const GeoPoint& p, double buffer_km) const;
+
+ private:
+  std::string name_;
+  SegmentIndex index_;
+};
+
+/// Per-route co-location fractions against a set of reference networks.
+struct ColocationResult {
+  /// fraction[i] — fraction of samples within buffer of reference i.
+  std::vector<double> fraction;
+  /// Fraction of samples within buffer of *at least one* reference.
+  double fraction_any = 0.0;
+};
+
+/// Analyze a single route.  `sample_km` controls sampling density.
+ColocationResult colocation_fractions(const Polyline& route,
+                                      const std::vector<const ReferenceNetwork*>& references,
+                                      double buffer_km, double sample_km = 5.0);
+
+/// Aggregate view over many routes: the relative-frequency histogram of
+/// co-location fractions (10 bins over [0,1]) for each reference and for
+/// the union — the series plotted in Figure 4.
+struct ColocationHistogram {
+  std::vector<std::string> series_names;        // per reference + "any"
+  std::vector<std::vector<double>> rel_freq;    // [series][bin], bins over [0,1]
+  std::vector<double> mean_fraction;            // per series
+};
+
+ColocationHistogram colocation_histogram(const std::vector<Polyline>& routes,
+                                         const std::vector<const ReferenceNetwork*>& references,
+                                         double buffer_km, double sample_km = 5.0,
+                                         std::size_t bins = 10);
+
+}  // namespace intertubes::geo

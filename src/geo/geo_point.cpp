@@ -1,0 +1,117 @@
+#include "geo/geo_point.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace intertubes::geo {
+
+namespace {
+
+struct Vec3 {
+  double x, y, z;
+};
+
+Vec3 to_unit_vec(const GeoPoint& p) noexcept {
+  const double lat = deg_to_rad(p.lat_deg);
+  const double lon = deg_to_rad(p.lon_deg);
+  return {std::cos(lat) * std::cos(lon), std::cos(lat) * std::sin(lon), std::sin(lat)};
+}
+
+GeoPoint from_unit_vec(const Vec3& v) noexcept {
+  const double lat = std::atan2(v.z, std::sqrt(v.x * v.x + v.y * v.y));
+  const double lon = std::atan2(v.y, v.x);
+  return {rad_to_deg(lat), rad_to_deg(lon)};
+}
+
+double dot(const Vec3& a, const Vec3& b) noexcept { return a.x * b.x + a.y * b.y + a.z * b.z; }
+
+}  // namespace
+
+double distance_km(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double lat1 = deg_to_rad(a.lat_deg);
+  const double lat2 = deg_to_rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg_to_rad(b.lon_deg - a.lon_deg);
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlon = std::sin(dlon / 2.0);
+  const double h = sin_dlat * sin_dlat + std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double initial_bearing_deg(const GeoPoint& a, const GeoPoint& b) noexcept {
+  const double lat1 = deg_to_rad(a.lat_deg);
+  const double lat2 = deg_to_rad(b.lat_deg);
+  const double dlon = deg_to_rad(b.lon_deg - a.lon_deg);
+  const double y = std::sin(dlon) * std::cos(lat2);
+  const double x = std::cos(lat1) * std::sin(lat2) - std::sin(lat1) * std::cos(lat2) * std::cos(dlon);
+  double bearing = rad_to_deg(std::atan2(y, x));
+  if (bearing < 0.0) bearing += 360.0;
+  return bearing;
+}
+
+GeoPoint destination(const GeoPoint& start, double bearing_deg, double dist_km) noexcept {
+  const double lat1 = deg_to_rad(start.lat_deg);
+  const double lon1 = deg_to_rad(start.lon_deg);
+  const double theta = deg_to_rad(bearing_deg);
+  const double delta = dist_km / kEarthRadiusKm;
+  const double lat2 =
+      std::asin(std::sin(lat1) * std::cos(delta) + std::cos(lat1) * std::sin(delta) * std::cos(theta));
+  const double lon2 =
+      lon1 + std::atan2(std::sin(theta) * std::sin(delta) * std::cos(lat1),
+                        std::cos(delta) - std::sin(lat1) * std::sin(lat2));
+  double lon_deg = rad_to_deg(lon2);
+  while (lon_deg > 180.0) lon_deg -= 360.0;
+  while (lon_deg < -180.0) lon_deg += 360.0;
+  return {rad_to_deg(lat2), lon_deg};
+}
+
+GeoPoint interpolate(const GeoPoint& a, const GeoPoint& b, double t) noexcept {
+  if (t <= 0.0) return a;
+  if (t >= 1.0) return b;
+  const Vec3 va = to_unit_vec(a);
+  const Vec3 vb = to_unit_vec(b);
+  double cos_omega = dot(va, vb);
+  if (cos_omega > 1.0) cos_omega = 1.0;
+  if (cos_omega < -1.0) cos_omega = -1.0;
+  const double omega = std::acos(cos_omega);
+  if (omega < 1e-12) return a;
+  const double s = std::sin(omega);
+  const double wa = std::sin((1.0 - t) * omega) / s;
+  const double wb = std::sin(t * omega) / s;
+  const Vec3 v{wa * va.x + wb * vb.x, wa * va.y + wb * vb.y, wa * va.z + wb * vb.z};
+  return from_unit_vec(v);
+}
+
+double point_to_segment_km(const GeoPoint& p, const GeoPoint& a, const GeoPoint& b) noexcept {
+  // Work on a local equirectangular projection centred at the segment —
+  // accurate to <1 % for segments up to a few hundred km, which is the
+  // regime of transport-network edges in this library.
+  const double lat0 = deg_to_rad((a.lat_deg + b.lat_deg) / 2.0);
+  const double kx = std::cos(lat0) * kEarthRadiusKm * kPi / 180.0;  // km per deg lon
+  const double ky = kEarthRadiusKm * kPi / 180.0;                   // km per deg lat
+  const double ax = a.lon_deg * kx, ay = a.lat_deg * ky;
+  const double bx = b.lon_deg * kx, by = b.lat_deg * ky;
+  const double px = p.lon_deg * kx, py = p.lat_deg * ky;
+  const double dx = bx - ax, dy = by - ay;
+  const double len2 = dx * dx + dy * dy;
+  double t = 0.0;
+  if (len2 > 0.0) {
+    t = ((px - ax) * dx + (py - ay) * dy) / len2;
+    if (t < 0.0) t = 0.0;
+    if (t > 1.0) t = 1.0;
+  }
+  const double cx = ax + t * dx, cy = ay + t * dy;
+  const double ex = px - cx, ey = py - cy;
+  return std::sqrt(ex * ex + ey * ey);
+}
+
+GeoPoint midpoint(const GeoPoint& a, const GeoPoint& b) noexcept { return interpolate(a, b, 0.5); }
+
+std::string to_string(const GeoPoint& p) {
+  std::ostringstream out;
+  out.precision(4);
+  out << std::fixed << "(" << p.lat_deg << ", " << p.lon_deg << ")";
+  return out.str();
+}
+
+}  // namespace intertubes::geo

@@ -1,0 +1,52 @@
+// Geographic primitives: points on the WGS-84-ish sphere and great-circle
+// math.  A spherical Earth (mean radius 6371.0088 km) is accurate to ~0.5 %
+// for continental-US distances, which is far below the fidelity of the
+// mapping data the paper works from.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace intertubes::geo {
+
+inline constexpr double kEarthRadiusKm = 6371.0088;
+inline constexpr double kPi = 3.14159265358979323846;
+
+inline constexpr double deg_to_rad(double deg) noexcept { return deg * kPi / 180.0; }
+inline constexpr double rad_to_deg(double rad) noexcept { return rad * 180.0 / kPi; }
+
+/// A point on the sphere, in degrees.  Latitude in [-90, 90], longitude in
+/// [-180, 180].  Plain data: no invariant beyond range (checked by callers
+/// that construct from untrusted input).
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// Great-circle distance in kilometres (haversine formula).
+double distance_km(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Initial bearing from a to b, degrees clockwise from north in [0, 360).
+double initial_bearing_deg(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Destination point given start, bearing (degrees) and distance (km).
+GeoPoint destination(const GeoPoint& start, double bearing_deg, double dist_km) noexcept;
+
+/// Spherical linear interpolation along the great circle, t in [0, 1].
+GeoPoint interpolate(const GeoPoint& a, const GeoPoint& b, double t) noexcept;
+
+/// Cross-track distance (km) from point p to the great-circle *segment* ab:
+/// the perpendicular distance if the foot of the perpendicular lies within
+/// the segment, else the distance to the nearer endpoint.
+double point_to_segment_km(const GeoPoint& p, const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Midpoint along the great circle.
+GeoPoint midpoint(const GeoPoint& a, const GeoPoint& b) noexcept;
+
+/// Human-readable "(41.88, -87.63)".
+std::string to_string(const GeoPoint& p);
+
+}  // namespace intertubes::geo

@@ -1,0 +1,104 @@
+#include "geo/geojson.hpp"
+
+#include <sstream>
+
+namespace intertubes::geo {
+
+GeoProperty GeoProperty::str(std::string key, std::string value) {
+  GeoProperty p;
+  p.key = std::move(key);
+  p.string_value = std::move(value);
+  return p;
+}
+
+GeoProperty GeoProperty::num(std::string key, double value) {
+  GeoProperty p;
+  p.key = std::move(key);
+  p.number_value = value;
+  p.is_number = true;
+  return p;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string properties_json(const std::vector<GeoProperty>& properties) {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < properties.size(); ++i) {
+    if (i) out << ",";
+    const auto& p = properties[i];
+    out << "\"" << json_escape(p.key) << "\":";
+    if (p.is_number) {
+      out << p.number_value;
+    } else {
+      out << "\"" << json_escape(p.string_value) << "\"";
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string coord(const GeoPoint& p) {
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed << "[" << p.lon_deg << "," << p.lat_deg << "]";
+  return out.str();
+}
+
+}  // namespace
+
+void GeoJsonWriter::add_point(const GeoPoint& p, const std::vector<GeoProperty>& properties) {
+  std::ostringstream out;
+  out << "{\"type\":\"Feature\",\"geometry\":{\"type\":\"Point\",\"coordinates\":" << coord(p)
+      << "},\"properties\":" << properties_json(properties) << "}";
+  features_.push_back(out.str());
+}
+
+void GeoJsonWriter::add_linestring(const Polyline& line,
+                                   const std::vector<GeoProperty>& properties) {
+  std::ostringstream out;
+  out << "{\"type\":\"Feature\",\"geometry\":{\"type\":\"LineString\",\"coordinates\":[";
+  const auto& pts = line.points();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (i) out << ",";
+    out << coord(pts[i]);
+  }
+  out << "]},\"properties\":" << properties_json(properties) << "}";
+  features_.push_back(out.str());
+}
+
+std::string GeoJsonWriter::to_string() const {
+  std::ostringstream out;
+  out << "{\"type\":\"FeatureCollection\",\"features\":[";
+  for (std::size_t i = 0; i < features_.size(); ++i) {
+    if (i) out << ",";
+    out << features_[i];
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace intertubes::geo

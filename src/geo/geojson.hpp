@@ -1,0 +1,43 @@
+// Minimal GeoJSON (RFC 7946) writer — enough to export maps of the
+// constructed infrastructure (Figure 1's conduit map, the transport
+// layers of Figures 2–3, and the annotated traffic/delay maps the paper
+// lists as future work) for inspection in any GIS viewer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/polyline.hpp"
+
+namespace intertubes::geo {
+
+/// A property bag entry; values are emitted as JSON strings or numbers.
+struct GeoProperty {
+  std::string key;
+  std::string string_value;
+  double number_value = 0.0;
+  bool is_number = false;
+
+  static GeoProperty str(std::string key, std::string value);
+  static GeoProperty num(std::string key, double value);
+};
+
+/// Incremental FeatureCollection builder.
+class GeoJsonWriter {
+ public:
+  void add_point(const GeoPoint& p, const std::vector<GeoProperty>& properties = {});
+  void add_linestring(const Polyline& line, const std::vector<GeoProperty>& properties = {});
+
+  std::size_t feature_count() const noexcept { return features_.size(); }
+
+  /// Serialize the FeatureCollection.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> features_;
+};
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s);
+
+}  // namespace intertubes::geo

@@ -1,0 +1,11 @@
+#include "geo/latency.hpp"
+
+namespace intertubes::geo {
+
+double fiber_delay_ms(double km) noexcept { return km / kFiberKmPerMs; }
+
+double fiber_km_for_ms(double ms) noexcept { return ms * kFiberKmPerMs; }
+
+double los_delay_ms(double great_circle_km) noexcept { return fiber_delay_ms(great_circle_km); }
+
+}  // namespace intertubes::geo

@@ -1,0 +1,26 @@
+// Fiber propagation-delay model.
+//
+// Light in standard single-mode fiber travels at c / n with group index
+// n ≈ 1.468, i.e. ≈ 204 km per millisecond — the constant the paper's §5.3
+// latency analysis relies on (100 µs ≈ 20 km, 500 µs ≈ 100 km, 2 ms ≈
+// 400 km; these correspondences pin one-way delay at ~0.2 km/µs... i.e. the
+// paper quotes *round-trip-free* one-way propagation).
+#pragma once
+
+namespace intertubes::geo {
+
+inline constexpr double kSpeedOfLightKmPerMs = 299792.458 / 1000.0;  // km per ms in vacuum
+inline constexpr double kFiberGroupIndex = 1.468;
+inline constexpr double kFiberKmPerMs = kSpeedOfLightKmPerMs / kFiberGroupIndex;  // ≈ 204.2
+
+/// One-way propagation delay (ms) over `km` of fiber.
+double fiber_delay_ms(double km) noexcept;
+
+/// Distance (km) covered by one-way propagation of `ms` milliseconds.
+double fiber_km_for_ms(double ms) noexcept;
+
+/// Delay over a *line-of-sight* route: great-circle km through fiber glass
+/// (hypothetical straight conduit, the paper's lower bound).
+double los_delay_ms(double great_circle_km) noexcept;
+
+}  // namespace intertubes::geo

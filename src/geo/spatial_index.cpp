@@ -1,0 +1,110 @@
+#include "geo/spatial_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace intertubes::geo {
+
+namespace {
+// Degrees of latitude per km (longitude handled with the same cell size;
+// the index is conservative, never incorrect, if cells are slightly
+// rectangular in km terms).
+constexpr double kDegPerKm = 180.0 / (kEarthRadiusKm * kPi);
+}  // namespace
+
+SegmentIndex::SegmentIndex(double cell_km) : cell_deg_(cell_km * kDegPerKm) {
+  IT_CHECK(cell_km > 0.0);
+}
+
+std::int64_t SegmentIndex::cell_key(double lat, double lon) const noexcept {
+  const auto ci = static_cast<std::int64_t>(std::floor(lat / cell_deg_));
+  const auto cj = static_cast<std::int64_t>(std::floor(lon / cell_deg_));
+  return (ci << 32) ^ (cj & 0xffffffffLL);
+}
+
+void SegmentIndex::add_polyline(const Polyline& line, std::uint32_t owner_id) {
+  const auto& pts = line.points();
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    const auto seg_idx = static_cast<std::uint32_t>(segments_.size());
+    segments_.push_back({pts[i], pts[i + 1], owner_id});
+    // Register the segment in every cell its bounding box touches.
+    const double min_lat = std::min(pts[i].lat_deg, pts[i + 1].lat_deg);
+    const double max_lat = std::max(pts[i].lat_deg, pts[i + 1].lat_deg);
+    const double min_lon = std::min(pts[i].lon_deg, pts[i + 1].lon_deg);
+    const double max_lon = std::max(pts[i].lon_deg, pts[i + 1].lon_deg);
+    for (double lat = min_lat; ; lat += cell_deg_) {
+      const double clat = std::min(lat, max_lat);
+      for (double lon = min_lon; ; lon += cell_deg_) {
+        const double clon = std::min(lon, max_lon);
+        grid_[cell_key(clat, clon)].push_back(seg_idx);
+        if (clon >= max_lon) break;
+      }
+      if (clat >= max_lat) break;
+    }
+  }
+}
+
+void SegmentIndex::visit_cells(
+    const GeoPoint& p, double radius_km,
+    const std::function<void(const std::vector<std::uint32_t>&)>& fn) const {
+  const double radius_deg = radius_km * kDegPerKm / std::max(0.2, std::cos(deg_to_rad(p.lat_deg)));
+  const auto lo_i = static_cast<std::int64_t>(std::floor((p.lat_deg - radius_deg) / cell_deg_));
+  const auto hi_i = static_cast<std::int64_t>(std::floor((p.lat_deg + radius_deg) / cell_deg_));
+  const auto lo_j = static_cast<std::int64_t>(std::floor((p.lon_deg - radius_deg) / cell_deg_));
+  const auto hi_j = static_cast<std::int64_t>(std::floor((p.lon_deg + radius_deg) / cell_deg_));
+  for (std::int64_t i = lo_i; i <= hi_i; ++i) {
+    for (std::int64_t j = lo_j; j <= hi_j; ++j) {
+      const std::int64_t key = (i << 32) ^ (j & 0xffffffffLL);
+      const auto it = grid_.find(key);
+      if (it != grid_.end()) fn(it->second);
+    }
+  }
+}
+
+SegmentIndex::NearestResult SegmentIndex::nearest(const GeoPoint& p, double max_radius_km) const {
+  NearestResult result;
+  visit_cells(p, max_radius_km, [&](const std::vector<std::uint32_t>& cell) {
+    for (std::uint32_t idx : cell) {
+      const auto& seg = segments_[idx];
+      const double d = point_to_segment_km(p, seg.a, seg.b);
+      if (d < result.distance_km) {
+        result.distance_km = d;
+        result.owner_id = seg.owner_id;
+      }
+    }
+  });
+  if (result.distance_km > max_radius_km) return NearestResult{};
+  return result;
+}
+
+std::vector<std::uint32_t> SegmentIndex::owners_within(const GeoPoint& p, double radius_km) const {
+  std::vector<std::uint32_t> owners;
+  visit_cells(p, radius_km, [&](const std::vector<std::uint32_t>& cell) {
+    for (std::uint32_t idx : cell) {
+      const auto& seg = segments_[idx];
+      if (point_to_segment_km(p, seg.a, seg.b) <= radius_km) owners.push_back(seg.owner_id);
+    }
+  });
+  std::sort(owners.begin(), owners.end());
+  owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+  return owners;
+}
+
+bool SegmentIndex::anything_within(const GeoPoint& p, double radius_km) const {
+  bool found = false;
+  visit_cells(p, radius_km, [&](const std::vector<std::uint32_t>& cell) {
+    if (found) return;
+    for (std::uint32_t idx : cell) {
+      const auto& seg = segments_[idx];
+      if (point_to_segment_km(p, seg.a, seg.b) <= radius_km) {
+        found = true;
+        return;
+      }
+    }
+  });
+  return found;
+}
+
+}  // namespace intertubes::geo

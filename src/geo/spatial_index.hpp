@@ -1,0 +1,63 @@
+// A grid-hash spatial index over polyline segments, so that "distance of a
+// point to the nearest road/rail" queries during co-location analysis are
+// sub-linear instead of scanning every edge of the transport network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/polyline.hpp"
+
+namespace intertubes::geo {
+
+/// Index entry: one great-circle segment of a registered polyline, tagged
+/// with the id supplied at registration time.
+struct IndexedSegment {
+  GeoPoint a;
+  GeoPoint b;
+  std::uint32_t owner_id;
+};
+
+/// Spatial hash over a fixed lat/lon cell grid.  The cell size is chosen at
+/// construction in km (converted to degrees at the latitude of the
+/// continental US).  Queries examine the 3×3 (or larger) neighbourhood of
+/// cells needed to cover the search radius.
+class SegmentIndex {
+ public:
+  explicit SegmentIndex(double cell_km = 50.0);
+
+  /// Register all segments of `line` under `owner_id`.
+  void add_polyline(const Polyline& line, std::uint32_t owner_id);
+
+  std::size_t segment_count() const noexcept { return segments_.size(); }
+
+  /// Distance (km) from p to the nearest indexed segment, and the id of its
+  /// owner.  Returns infinity / owner npos when the index is empty or
+  /// nothing lies within `max_radius_km`.
+  struct NearestResult {
+    double distance_km = std::numeric_limits<double>::infinity();
+    std::uint32_t owner_id = std::numeric_limits<std::uint32_t>::max();
+  };
+  NearestResult nearest(const GeoPoint& p, double max_radius_km) const;
+
+  /// All distinct owner ids with a segment within radius_km of p.
+  std::vector<std::uint32_t> owners_within(const GeoPoint& p, double radius_km) const;
+
+  /// True if any indexed segment lies within radius_km of p.
+  bool anything_within(const GeoPoint& p, double radius_km) const;
+
+ private:
+  std::int64_t cell_key(double lat, double lon) const noexcept;
+  void visit_cells(const GeoPoint& p, double radius_km,
+                   const std::function<void(const std::vector<std::uint32_t>&)>& fn) const;
+
+  double cell_deg_;
+  std::vector<IndexedSegment> segments_;
+  // cell key → indices into segments_
+  std::unordered_map<std::int64_t, std::vector<std::uint32_t>> grid_;
+};
+
+}  // namespace intertubes::geo

@@ -1,0 +1,281 @@
+#include "isp/ground_truth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace intertubes::isp {
+
+using transport::CityDatabase;
+using transport::CityId;
+using transport::Corridor;
+using transport::CorridorId;
+using transport::RightOfWayRegistry;
+using transport::TransportMode;
+
+GroundTruth::GroundTruth(std::vector<IspProfile> profiles,
+                         std::vector<std::vector<CityId>> pops, std::vector<TrueLink> links,
+                         std::size_t num_corridors)
+    : profiles_(std::move(profiles)), pops_(std::move(pops)), links_(std::move(links)) {
+  IT_CHECK(pops_.size() == profiles_.size());
+  links_by_isp_.resize(profiles_.size());
+  tenants_by_corridor_.assign(num_corridors, {});
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const auto& link = links_[i];
+    IT_CHECK(link.isp < profiles_.size());
+    links_by_isp_[link.isp].push_back(i);
+    for (CorridorId cid : link.corridors) {
+      IT_CHECK(cid < num_corridors);
+      auto& tenants = tenants_by_corridor_[cid];
+      if (std::find(tenants.begin(), tenants.end(), link.isp) == tenants.end()) {
+        tenants.push_back(link.isp);
+      }
+    }
+  }
+  for (auto& tenants : tenants_by_corridor_) std::sort(tenants.begin(), tenants.end());
+}
+
+const std::vector<CityId>& GroundTruth::pops_of(IspId isp) const {
+  IT_CHECK(isp < pops_.size());
+  return pops_[isp];
+}
+
+const std::vector<std::size_t>& GroundTruth::link_indices_of(IspId isp) const {
+  IT_CHECK(isp < links_by_isp_.size());
+  return links_by_isp_[isp];
+}
+
+std::vector<CorridorId> GroundTruth::lit_corridors() const {
+  std::vector<CorridorId> out;
+  for (CorridorId cid = 0; cid < tenants_by_corridor_.size(); ++cid) {
+    if (!tenants_by_corridor_[cid].empty()) out.push_back(cid);
+  }
+  return out;
+}
+
+bool GroundTruth::is_tenant(CorridorId corridor, IspId isp) const {
+  IT_CHECK(corridor < tenants_by_corridor_.size());
+  const auto& tenants = tenants_by_corridor_[corridor];
+  return std::binary_search(tenants.begin(), tenants.end(), isp);
+}
+
+std::size_t GroundTruth::tenant_count(CorridorId corridor) const {
+  IT_CHECK(corridor < tenants_by_corridor_.size());
+  return tenants_by_corridor_[corridor].size();
+}
+
+namespace {
+
+/// Pick the POP cities for one profile: population-biased, region-weighted
+/// sampling without replacement; national tier-1s always anchor the
+/// largest city of every region they serve.
+std::vector<CityId> choose_pops(const CityDatabase& cities, const IspProfile& prof, Rng& rng) {
+  const auto n = static_cast<CityId>(cities.size());
+  std::set<CityId> chosen;
+
+  if (prof.kind != IspKind::Regional) {
+    // Anchor: biggest city in each region with meaningful weight.
+    std::array<CityId, 5> best{};
+    std::array<std::uint32_t, 5> best_pop{};
+    best.fill(transport::kNoCity);
+    best_pop.fill(0);
+    for (CityId id = 0; id < n; ++id) {
+      const auto& c = cities.city(id);
+      const auto r = static_cast<std::size_t>(c.region);
+      if (prof.region_weight[r] >= 0.5 && c.population > best_pop[r]) {
+        best_pop[r] = c.population;
+        best[r] = id;
+      }
+    }
+    for (CityId id : best) {
+      if (id != transport::kNoCity && chosen.size() < prof.target_pops) chosen.insert(id);
+    }
+  }
+
+  std::vector<double> weights(n, 0.0);
+  for (CityId id = 0; id < n; ++id) {
+    const auto& c = cities.city(id);
+    const auto r = static_cast<std::size_t>(c.region);
+    weights[id] =
+        std::pow(static_cast<double>(c.population), prof.pop_bias) * prof.region_weight[r];
+  }
+  while (chosen.size() < prof.target_pops) {
+    const std::size_t pick = rng.weighted_pick(weights);
+    weights[pick] = 0.0;  // without replacement
+    chosen.insert(static_cast<CityId>(pick));
+    bool any_left = false;
+    for (double w : weights) {
+      if (w > 0.0) {
+        any_left = true;
+        break;
+      }
+    }
+    if (!any_left) break;
+  }
+  return {chosen.begin(), chosen.end()};
+}
+
+/// City pairs an ISP will build links between: MST over great-circle
+/// distance + redundancy extras + express routes between top hubs.
+std::vector<std::pair<CityId, CityId>> plan_links(const CityDatabase& cities,
+                                                  const std::vector<CityId>& pops,
+                                                  const IspProfile& prof, Rng& rng) {
+  IT_CHECK(pops.size() >= 2);
+  const std::size_t m = pops.size();
+  auto dist = [&](std::size_t i, std::size_t j) {
+    return geo::distance_km(cities.city(pops[i]).location, cities.city(pops[j]).location);
+  };
+
+  // Prim's MST over POPs.
+  std::vector<bool> in_tree(m, false);
+  std::vector<double> best_d(m, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> best_from(m, 0);
+  std::vector<std::pair<std::size_t, std::size_t>> tree_edges;
+  in_tree[0] = true;
+  for (std::size_t j = 1; j < m; ++j) {
+    best_d[j] = dist(0, j);
+    best_from[j] = 0;
+  }
+  for (std::size_t step = 1; step < m; ++step) {
+    std::size_t pick = m;
+    double pick_d = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!in_tree[j] && best_d[j] < pick_d) {
+        pick_d = best_d[j];
+        pick = j;
+      }
+    }
+    IT_CHECK(pick < m);
+    in_tree[pick] = true;
+    tree_edges.emplace_back(best_from[pick], pick);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!in_tree[j]) {
+        const double d = dist(pick, j);
+        if (d < best_d[j]) {
+          best_d[j] = d;
+          best_from[j] = pick;
+        }
+      }
+    }
+  }
+
+  std::set<std::pair<std::size_t, std::size_t>> have;
+  auto norm = [](std::size_t i, std::size_t j) {
+    return std::make_pair(std::min(i, j), std::max(i, j));
+  };
+  for (const auto& [i, j] : tree_edges) have.insert(norm(i, j));
+
+  // Redundancy: shortest non-tree pairs with jitter, favouring pairs whose
+  // tree path is long (classic ring-closure economics).
+  const auto extra = static_cast<std::size_t>(std::lround(prof.redundancy * static_cast<double>(m)));
+  struct Cand {
+    double score;
+    std::size_t i, j;
+  };
+  std::vector<Cand> cands;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      if (have.count({i, j})) continue;
+      cands.push_back({dist(i, j) * rng.uniform(0.7, 1.3), i, j});
+    }
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& x, const Cand& y) { return x.score < y.score; });
+  for (std::size_t k = 0; k < cands.size() && have.size() < tree_edges.size() + extra; ++k) {
+    have.insert(norm(cands[k].i, cands[k].j));
+  }
+
+  // Express links between the biggest hub POPs.
+  std::vector<std::size_t> hubs(m);
+  for (std::size_t i = 0; i < m; ++i) hubs[i] = i;
+  std::sort(hubs.begin(), hubs.end(), [&](std::size_t x, std::size_t y) {
+    return cities.city(pops[x]).population > cities.city(pops[y]).population;
+  });
+  const std::size_t top = std::min<std::size_t>(hubs.size(), 8);
+  std::size_t added_express = 0;
+  for (std::size_t a = 0; a < top && added_express < prof.express_links; ++a) {
+    for (std::size_t b = a + 1; b < top && added_express < prof.express_links; ++b) {
+      if (have.insert(norm(hubs[a], hubs[b])).second) ++added_express;
+    }
+  }
+
+  std::vector<std::pair<CityId, CityId>> out;
+  out.reserve(have.size());
+  for (const auto& [i, j] : have) out.emplace_back(pops[i], pops[j]);
+  return out;
+}
+
+}  // namespace
+
+GroundTruth generate_ground_truth(const CityDatabase& cities, const RightOfWayRegistry& row,
+                                  const std::vector<IspProfile>& profiles,
+                                  const GroundTruthParams& params) {
+  IT_CHECK(!profiles.empty());
+  Rng rng(mix64(params.seed ^ 0x6f17c3d2ULL));
+
+  // Deployment order: facilities owners (high reuse_discount ⇒ willing to
+  // trench) deploy first; lessees follow and find conduits to share.
+  std::vector<IspId> order(profiles.size());
+  for (IspId i = 0; i < profiles.size(); ++i) order[i] = i;
+  std::vector<double> order_key(profiles.size());
+  for (IspId i = 0; i < profiles.size(); ++i) {
+    order_key[i] = profiles[i].reuse_discount + rng.uniform(-params.order_jitter, params.order_jitter);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](IspId x, IspId y) { return order_key[x] > order_key[y]; });
+
+  std::vector<std::vector<CityId>> pops(profiles.size());
+  std::vector<TrueLink> links;
+  // occupancy[cid] — bitset-ish: which ISPs already lit this corridor.
+  std::vector<std::vector<IspId>> occupancy(row.corridors().size());
+
+  for (IspId isp : order) {
+    const auto& prof = profiles[isp];
+    Rng isp_rng(mix64(params.seed ^ (0x9e3779b9ULL * (isp + 1))));
+    pops[isp] = choose_pops(cities, prof, isp_rng);
+    const auto pairs = plan_links(cities, pops[isp], prof, isp_rng);
+
+    std::uint64_t link_salt = 0;
+    auto weight = [&](const Corridor& c) {
+      double w = c.length_km;
+      if (c.mode == TransportMode::Pipeline) w *= params.pipeline_factor;
+      const auto& occ = occupancy[c.id];
+      if (std::find(occ.begin(), occ.end(), isp) != occ.end()) {
+        w *= params.own_reuse_factor;  // own conduit: nearly free
+      } else if (!occ.empty()) {
+        w *= prof.reuse_discount;  // someone else's conduit: lease/IRU
+      }
+      if (params.route_jitter > 0.0) {
+        // Deterministic per (link, corridor) log-normal noise.
+        const std::uint64_t h = mix64(link_salt ^ (0x51edULL * (c.id + 1)));
+        const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+        w *= std::exp(params.route_jitter * (2.0 * u - 1.0));
+      }
+      return w;
+    };
+
+    for (const auto& [a, b] : pairs) {
+      link_salt = mix64(params.seed ^ (static_cast<std::uint64_t>(isp) << 48) ^
+                        (static_cast<std::uint64_t>(a) << 24) ^ b);
+      const auto path = row.shortest_path(a, b, weight);
+      if (path.empty()) continue;  // disconnected ROW graph (should not happen)
+      TrueLink link;
+      link.isp = isp;
+      link.a = a;
+      link.b = b;
+      link.corridors = path.corridors;
+      link.length_km = path.length_km;
+      for (CorridorId cid : link.corridors) {
+        auto& occ = occupancy[cid];
+        if (std::find(occ.begin(), occ.end(), isp) == occ.end()) occ.push_back(isp);
+      }
+      links.push_back(std::move(link));
+    }
+  }
+
+  return GroundTruth(profiles, std::move(pops), std::move(links), row.corridors().size());
+}
+
+}  // namespace intertubes::isp

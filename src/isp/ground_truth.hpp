@@ -1,0 +1,88 @@
+// Ground-truth infrastructure generator.
+//
+// The paper reverse-engineers a map of fiber that exists in the world; the
+// world itself is unavailable offline, so this module *builds* that world:
+// each ISP profile deploys a backbone over the right-of-way graph with
+// reuse economics (installing into an existing conduit is far cheaper than
+// trenching a new one), which makes heavy conduit sharing an emergent
+// property rather than an assumption.  The mapping pipeline in core/ then
+// tries to recover this ground truth from the published artifacts — and
+// because we hold the truth, fidelity is measurable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isp/profiles.hpp"
+#include "transport/row.hpp"
+#include "util/rng.hpp"
+
+namespace intertubes::isp {
+
+struct GroundTruthParams {
+  std::uint64_t seed = 0x1257;
+  /// Cost factor for a corridor already holding *this* ISP's own fiber
+  /// (pulling more strands through your own conduit is almost free).
+  double own_reuse_factor = 0.40;
+  /// Log-normal routing noise per (link, corridor): different build years,
+  /// permitting fights and acquisition legacies keep real deployments from
+  /// collapsing onto one canonical shortest path.  0 disables.
+  double route_jitter = 0.42;
+  /// Cost factor applied to pipeline corridors (harder ROW negotiations).
+  double pipeline_factor = 1.12;
+  /// Deployment-order shuffling jitter: ISPs deploy in decreasing order of
+  /// reuse_discount (facilities owners dig first, lessees arrive later).
+  double order_jitter = 0.05;
+};
+
+/// One long-haul fiber link as deployed in the world: an ISP's fiber
+/// between two of its POP cities, routed through a sequence of corridors.
+struct TrueLink {
+  IspId isp = kNoIsp;
+  transport::CityId a = transport::kNoCity;
+  transport::CityId b = transport::kNoCity;
+  std::vector<transport::CorridorId> corridors;
+  double length_km = 0.0;
+};
+
+class GroundTruth {
+ public:
+  GroundTruth(std::vector<IspProfile> profiles, std::vector<std::vector<transport::CityId>> pops,
+              std::vector<TrueLink> links, std::size_t num_corridors);
+
+  const std::vector<IspProfile>& profiles() const noexcept { return profiles_; }
+  std::size_t num_isps() const noexcept { return profiles_.size(); }
+
+  /// POP cities of one ISP.
+  const std::vector<transport::CityId>& pops_of(IspId isp) const;
+
+  const std::vector<TrueLink>& links() const noexcept { return links_; }
+  /// Indices into links() belonging to one ISP.
+  const std::vector<std::size_t>& link_indices_of(IspId isp) const;
+
+  /// Tenant ISPs per corridor (sorted, unique); empty for unlit corridors.
+  const std::vector<std::vector<IspId>>& tenants_by_corridor() const noexcept {
+    return tenants_by_corridor_;
+  }
+
+  /// Corridor ids that carry at least one ISP's fiber ("lit" conduits).
+  std::vector<transport::CorridorId> lit_corridors() const;
+
+  bool is_tenant(transport::CorridorId corridor, IspId isp) const;
+  std::size_t tenant_count(transport::CorridorId corridor) const;
+
+ private:
+  std::vector<IspProfile> profiles_;
+  std::vector<std::vector<transport::CityId>> pops_;
+  std::vector<TrueLink> links_;
+  std::vector<std::vector<std::size_t>> links_by_isp_;
+  std::vector<std::vector<IspId>> tenants_by_corridor_;
+};
+
+/// Deploy all profiles over the ROW graph.  Deterministic in params.seed.
+GroundTruth generate_ground_truth(const transport::CityDatabase& cities,
+                                  const transport::RightOfWayRegistry& row,
+                                  const std::vector<IspProfile>& profiles,
+                                  const GroundTruthParams& params = {});
+
+}  // namespace intertubes::isp

@@ -1,0 +1,104 @@
+#include "isp/profiles.hpp"
+
+namespace intertubes::isp {
+
+std::string_view kind_name(IspKind k) noexcept {
+  switch (k) {
+    case IspKind::Tier1: return "tier1";
+    case IspKind::Cable: return "cable";
+    case IspKind::Regional: return "regional";
+  }
+  return "?";
+}
+
+namespace {
+
+// Region weight order: West, Mountain, Central, South, East.
+constexpr std::array<double, 5> kNational{1.0, 1.0, 1.0, 1.0, 1.0};
+constexpr std::array<double, 5> kCoastal{1.6, 0.5, 0.6, 1.0, 1.6};
+constexpr std::array<double, 5> kNorthwest{2.5, 1.6, 0.4, 0.1, 0.1};
+constexpr std::array<double, 5> kSouthCentral{0.3, 0.4, 1.8, 1.6, 0.2};
+constexpr std::array<double, 5> kSouthEast{0.3, 0.2, 0.8, 2.0, 1.2};
+
+std::vector<IspProfile> make_profiles() {
+  std::vector<IspProfile> p;
+
+  auto add = [&p](std::string name, IspKind kind, bool us, bool geocoded, std::size_t pops,
+                  std::array<double, 5> region, double redundancy, std::size_t express,
+                  double reuse_discount, double pop_bias) {
+    IspProfile prof;
+    prof.name = std::move(name);
+    prof.kind = kind;
+    prof.us_based = us;
+    prof.publishes_geocoded_map = geocoded;
+    prof.target_pops = pops;
+    prof.region_weight = region;
+    prof.redundancy = redundancy;
+    prof.express_links = express;
+    prof.reuse_discount = reuse_discount;
+    prof.pop_bias = pop_bias;
+    p.push_back(std::move(prof));
+  };
+
+  // ---- Step-1 ISPs: geocoded published maps (paper Table 1 order). ----
+  // AT&T: large facilities owner, digs its own trench relatively often.
+  add("AT&T", IspKind::Tier1, true, true, 46, kNational, 0.40, 7, 0.80, 1.2);
+  // Comcast: national cable, mostly rides leased/IRU fiber (e.g. Level 3).
+  add("Comcast", IspKind::Cable, true, true, 44, kNational, 0.35, 5, 0.40, 1.3);
+  // Cogent: lean tier-1 riding purchased dark fiber.
+  add("Cogent", IspKind::Tier1, true, true, 50, kNational, 0.30, 5, 0.35, 1.1);
+  // EarthLink: very wide footprint, many spur routes (248 nodes in paper).
+  add("EarthLink", IspKind::Tier1, true, true, 86, kNational, 0.45, 6, 0.60, 0.7);
+  // Integra: regional carrier concentrated in the Northwest.
+  add("Integra", IspKind::Regional, true, true, 22, kNorthwest, 0.25, 2, 0.55, 0.8);
+  // Level 3: the richest physical footprint in the study (240 nodes).
+  add("Level 3", IspKind::Tier1, true, true, 82, kNational, 0.55, 9, 0.85, 0.9);
+  // Suddenlink: regional cable, geographically diverse spurs (39 nodes).
+  add("Suddenlink", IspKind::Cable, true, true, 26, kSouthCentral, 0.15, 2, 0.70, 0.6);
+  // Verizon (MCI legacy long-haul).
+  add("Verizon", IspKind::Tier1, true, true, 54, kCoastal, 0.40, 7, 0.75, 1.2);
+  // Zayo: dark-fiber specialist with wide route inventory.
+  add("Zayo", IspKind::Tier1, true, true, 52, kNational, 0.40, 5, 0.65, 0.9);
+
+  // ---- Step-3 ISPs: POP-level published maps only. ----
+  // CenturyLink (Qwest legacy): large facilities owner.
+  add("CenturyLink", IspKind::Tier1, true, false, 58, kNational, 0.45, 7, 0.80, 1.0);
+  // Cox: regional cable in the South/Southeast.
+  add("Cox", IspKind::Cable, true, false, 30, kSouthEast, 0.30, 3, 0.40, 1.1);
+  // Deutsche Telekom: non-US, expands via dig-once/leases into shared tubes.
+  add("Deutsche Telekom", IspKind::Tier1, false, false, 16, kCoastal, 0.15, 3, 0.15, 1.6);
+  // Hurricane Electric: transit-heavy, leased waves.
+  add("HE", IspKind::Tier1, true, false, 32, kNational, 0.25, 4, 0.30, 1.3);
+  // Inteliquent: interconnection-focused, small footprint.
+  add("Inteliquent", IspKind::Regional, true, false, 16, kNational, 0.15, 2, 0.25, 1.5);
+  // NTT: non-US tier-1 on heavily shared routes.
+  add("NTT", IspKind::Tier1, false, false, 18, kCoastal, 0.15, 3, 0.15, 1.6);
+  // Sprint: legacy national long-haul along railroad ROWs.
+  add("Sprint", IspKind::Tier1, true, false, 44, kNational, 0.35, 6, 0.70, 1.1);
+  // Tata: non-US carrier.
+  add("Tata", IspKind::Tier1, false, false, 16, kCoastal, 0.15, 3, 0.15, 1.6);
+  // TeliaSonera: non-US carrier.
+  add("TeliaSonera", IspKind::Tier1, false, false, 18, kCoastal, 0.15, 3, 0.15, 1.5);
+  // Time Warner Cable.
+  add("TWC", IspKind::Cable, true, false, 34, kNational, 0.30, 4, 0.40, 1.2);
+  // XO: tier-1 but rides heavily shared conduits (paper: high shared risk).
+  add("XO", IspKind::Tier1, true, false, 34, kNational, 0.25, 4, 0.20, 1.3);
+
+  return p;
+}
+
+}  // namespace
+
+const std::vector<IspProfile>& default_profiles() {
+  static const std::vector<IspProfile> profiles = make_profiles();
+  return profiles;
+}
+
+IspId find_profile(const std::vector<IspProfile>& profiles, std::string_view name) {
+  for (IspId i = 0; i < profiles.size(); ++i) {
+    if (profiles[i].name == name) return i;
+  }
+  return kNoIsp;
+}
+
+}  // namespace intertubes::isp

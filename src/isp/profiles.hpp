@@ -1,0 +1,66 @@
+// Deployment profiles for the twenty service providers the paper studies.
+//
+// Nine providers published geocoded fiber maps (the paper's step-1 set);
+// eleven published POP-level maps only (the step-3 set).  Profile
+// parameters — footprint size, regional bias, redundancy, and the
+// propensity to trench new conduit rather than lease/reuse — drive the
+// ground-truth generator so that the emergent sharing structure matches
+// the qualitative picture in the paper (facilities-rich US carriers own
+// diverse paths; non-US carriers lease into existing, highly shared
+// conduits).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "transport/cities.hpp"
+
+namespace intertubes::isp {
+
+using IspId = std::uint32_t;
+inline constexpr IspId kNoIsp = 0xffffffffu;
+
+enum class IspKind : std::uint8_t {
+  Tier1,     ///< Facilities-based backbone carrier.
+  Cable,     ///< Major cable/broadband provider with national fiber.
+  Regional,  ///< Regional carrier with a concentrated footprint.
+};
+
+std::string_view kind_name(IspKind k) noexcept;
+
+struct IspProfile {
+  std::string name;
+  IspKind kind = IspKind::Tier1;
+  bool us_based = true;
+  /// True for the nine step-1 ISPs whose published maps carry full
+  /// geocoded link geometry; false for the eleven POP-only step-3 ISPs.
+  bool publishes_geocoded_map = false;
+  /// Target number of POP cities.
+  std::size_t target_pops = 40;
+  /// Per-region deployment weight (West, Mountain, Central, South, East).
+  std::array<double, 5> region_weight{1.0, 1.0, 1.0, 1.0, 1.0};
+  /// Extra redundant links as a fraction of the backbone size.  High for
+  /// carriers with famously rich path diversity (Level 3), low for
+  /// carriers that ride a handful of leased routes.
+  double redundancy = 0.3;
+  /// Number of long express routes between top hubs.
+  std::size_t express_links = 4;
+  /// Multiplicative discount applied to a corridor's routing cost when the
+  /// corridor already holds a conduit.  Smaller ⇒ stronger preference for
+  /// reuse ("simple economics" of §1); non-US dig-once/lease carriers get
+  /// the smallest values.
+  double reuse_discount = 0.45;
+  /// Exponent biasing POP selection toward large cities.
+  double pop_bias = 1.0;
+};
+
+/// The twenty providers of the study, in the paper's step order: the nine
+/// geocoded-map ISPs first (Table 1), then the eleven POP-only ISPs.
+const std::vector<IspProfile>& default_profiles();
+
+/// Index of a profile by name (exact match); kNoIsp if absent.
+IspId find_profile(const std::vector<IspProfile>& profiles, std::string_view name);
+
+}  // namespace intertubes::isp

@@ -1,0 +1,84 @@
+#include "isp/published_maps.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace intertubes::isp {
+
+using transport::CityId;
+using transport::CorridorId;
+
+namespace {
+
+geo::Polyline jittered(const geo::Polyline& line, double noise_km, Rng& rng) {
+  if (noise_km <= 0.0) return line;
+  std::vector<geo::GeoPoint> pts = line.points();
+  // Endpoints stay exact (cities are well known); interior vertices wobble.
+  for (std::size_t i = 1; i + 1 < pts.size(); ++i) {
+    const double bearing = rng.uniform(0.0, 360.0);
+    const double dist = std::abs(rng.normal(0.0, noise_km));
+    pts[i] = geo::destination(pts[i], bearing, dist);
+  }
+  return geo::Polyline(std::move(pts));
+}
+
+}  // namespace
+
+PublishedMap render_published_map(const GroundTruth& truth,
+                                  const transport::RightOfWayRegistry& row, IspId isp,
+                                  const PublishParams& params) {
+  IT_CHECK(isp < truth.num_isps());
+  const auto& prof = truth.profiles()[isp];
+  Rng rng(mix64(params.seed ^ (0xc0ffee11ULL * (isp + 1))));
+
+  PublishedMap map;
+  map.isp = isp;
+  map.isp_name = prof.name;
+  map.geocoded = prof.publishes_geocoded_map;
+
+  std::set<CityId> nodes;
+  for (std::size_t idx : truth.link_indices_of(isp)) {
+    const TrueLink& link = truth.links()[idx];
+    if (rng.chance(params.omit_link_prob)) continue;  // map lags deployment
+    PublishedLink pub;
+    pub.a = link.a;
+    pub.b = link.b;
+    if (map.geocoded) {
+      // Published geometry is the concatenated corridor geometry with
+      // georeferencing jitter.
+      transport::RowPath path;
+      path.corridors = link.corridors;
+      path.cities.push_back(link.a);
+      // Reconstruct visited city sequence by walking the corridors.
+      CityId cur = link.a;
+      for (CorridorId cid : link.corridors) {
+        const auto& c = row.corridor(cid);
+        cur = (c.a == cur) ? c.b : c.a;
+        path.cities.push_back(cur);
+      }
+      IT_CHECK(cur == link.b);
+      const geo::Polyline exact = row.path_geometry(path);
+      pub.geometry = jittered(exact, params.coord_noise_km, rng);
+    }
+    nodes.insert(link.a);
+    nodes.insert(link.b);
+    map.links.push_back(std::move(pub));
+  }
+  map.nodes.assign(nodes.begin(), nodes.end());
+  return map;
+}
+
+std::vector<PublishedMap> render_all_published_maps(const GroundTruth& truth,
+                                                    const transport::RightOfWayRegistry& row,
+                                                    const PublishParams& params) {
+  std::vector<PublishedMap> maps;
+  maps.reserve(truth.num_isps());
+  for (IspId isp = 0; isp < truth.num_isps(); ++isp) {
+    maps.push_back(render_published_map(truth, row, isp, params));
+  }
+  return maps;
+}
+
+}  // namespace intertubes::isp

@@ -1,0 +1,53 @@
+// Rendering of the artifacts ISPs actually publish, from ground truth.
+//
+// Step-1 ISPs publish maps with full geocoded link geometry (possibly
+// noisy: scanned PDFs, manual georeferencing); step-3 ISPs publish
+// POP-level connectivity only ("a simple point with two names").  A small
+// fraction of links is missing from any published map — published maps lag
+// deployments — which is one of the noise sources the mapping pipeline
+// must survive.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isp/ground_truth.hpp"
+
+namespace intertubes::isp {
+
+struct PublishedLink {
+  transport::CityId a = transport::kNoCity;
+  transport::CityId b = transport::kNoCity;
+  /// Full route geometry for geocoded maps; nullopt on POP-only maps.
+  std::optional<geo::Polyline> geometry;
+};
+
+struct PublishedMap {
+  IspId isp = kNoIsp;
+  std::string isp_name;
+  bool geocoded = false;
+  std::vector<transport::CityId> nodes;
+  std::vector<PublishedLink> links;
+};
+
+struct PublishParams {
+  std::uint64_t seed = 0x1257;
+  /// Probability a deployed link is absent from the published map.
+  double omit_link_prob = 0.04;
+  /// Std-dev (km) of the per-vertex jitter applied to geocoded geometry,
+  /// modelling georeferencing error of scanned maps.
+  double coord_noise_km = 2.0;
+};
+
+/// Render the published map of one ISP from ground truth.
+PublishedMap render_published_map(const GroundTruth& truth,
+                                  const transport::RightOfWayRegistry& row, IspId isp,
+                                  const PublishParams& params = {});
+
+/// Render all twenty, in profile order.
+std::vector<PublishedMap> render_all_published_maps(const GroundTruth& truth,
+                                                    const transport::RightOfWayRegistry& row,
+                                                    const PublishParams& params = {});
+
+}  // namespace intertubes::isp

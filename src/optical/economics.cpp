@@ -1,0 +1,61 @@
+#include "optical/economics.hpp"
+
+#include "util/check.hpp"
+
+namespace intertubes::optical {
+
+double route_cost(double length_km, BuildMethod method, const CostModel& model) {
+  IT_CHECK(length_km >= 0.0);
+  const auto sites = static_cast<double>(plan_span(length_km, model.plant).amplifiers);
+  switch (method) {
+    case BuildMethod::NewTrench:
+      return length_km * (model.trench_per_km + model.pull_per_km) +
+             sites * model.amplifier_site;
+    case BuildMethod::ExistingConduit:
+      // Pull through someone's conduit; amplifier huts already exist and
+      // are shared at a fraction of build cost.
+      return length_km * model.pull_per_km + sites * model.amplifier_site * 0.15;
+    case BuildMethod::DarkFiberIru:
+      return length_km * model.iru_per_km;
+  }
+  IT_CHECK_MSG(false, "unreachable");
+  return 0.0;
+}
+
+EconomicsAudit audit_map_economics(const core::FiberMap& map, const CostModel& model) {
+  EconomicsAudit audit;
+  audit.per_isp.resize(map.num_isps());
+  for (isp::IspId i = 0; i < map.num_isps(); ++i) audit.per_isp[i].isp = i;
+
+  // Facilities proxy: total mapped link length per ISP.
+  std::vector<double> network_km(map.num_isps(), 0.0);
+  for (const auto& link : map.links()) network_km[link.isp] += link.length_km;
+
+  for (const auto& conduit : map.conduits()) {
+    if (conduit.tenants.empty()) continue;
+    // Builder-pays: the facilities-richest tenant trenches; the rest pull.
+    isp::IspId builder = conduit.tenants.front();
+    for (isp::IspId tenant : conduit.tenants) {
+      if (network_km[tenant] > network_km[builder]) builder = tenant;
+    }
+    for (isp::IspId tenant : conduit.tenants) {
+      const auto method =
+          tenant == builder ? BuildMethod::NewTrench : BuildMethod::ExistingConduit;
+      audit.per_isp[tenant].actual_cost += route_cost(conduit.length_km, method, model);
+      audit.per_isp[tenant].standalone_cost +=
+          route_cost(conduit.length_km, BuildMethod::NewTrench, model);
+    }
+  }
+
+  for (auto& row : audit.per_isp) {
+    audit.total_actual += row.actual_cost;
+    audit.total_standalone += row.standalone_cost;
+    row.savings_fraction =
+        row.standalone_cost > 0.0 ? 1.0 - row.actual_cost / row.standalone_cost : 0.0;
+  }
+  audit.total_savings_fraction =
+      audit.total_standalone > 0.0 ? 1.0 - audit.total_actual / audit.total_standalone : 0.0;
+  return audit;
+}
+
+}  // namespace intertubes::optical

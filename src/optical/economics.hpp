@@ -1,0 +1,56 @@
+// Deployment economics — the force behind the paper's central finding.
+//
+// §1: infrastructure sharing "is dictated by simple economics —
+// substantial cost savings as compared to deploying fiber in newly
+// constructed conduits."  This module prices a deployment three ways —
+// new trench, pulling fiber through existing conduit, and leasing dark
+// fiber (IRU) — and can audit a whole map: what did the world's builds
+// cost given sharing, and what would the same connectivity have cost if
+// every provider trenched alone?  The difference is the savings the paper
+// invokes, and the quantity that dig-once policy debates (§6.2) trade
+// against resilience.
+#pragma once
+
+#include "core/fiber_map.hpp"
+#include "optical/plant.hpp"
+
+namespace intertubes::optical {
+
+/// Unit costs, order-of-magnitude realistic for the paper's era (USD).
+struct CostModel {
+  double trench_per_km = 50000.0;       ///< new conduit construction
+  double pull_per_km = 4000.0;          ///< blowing fiber through existing conduit
+  double iru_per_km = 2500.0;           ///< 20-year dark-fiber IRU
+  double amplifier_site = 150000.0;     ///< ILA hut, powered and equipped
+  double regeneration_site = 400000.0;  ///< OEO terminal
+  PlantParams plant;
+};
+
+enum class BuildMethod : std::uint8_t { NewTrench, ExistingConduit, DarkFiberIru };
+
+/// Cost of provisioning `length_km` of route by one method (per-km cost
+/// plus the amplifier sites the span implies; trenchers also pay huts,
+/// pullers share existing huts, IRU riders pay nothing site-wise).
+double route_cost(double length_km, BuildMethod method, const CostModel& model = {});
+
+/// Per-ISP audit of the constructed map under builder-pays rules: the
+/// tenant with the largest total network (the facilities-richest carrier,
+/// the likeliest original trencher) is deemed each conduit's builder and
+/// pays trench + huts; every other tenant pays the pull rate.
+struct IspCapex {
+  isp::IspId isp = isp::kNoIsp;
+  double actual_cost = 0.0;      ///< with sharing, by the rule above
+  double standalone_cost = 0.0;  ///< if the ISP had trenched everything alone
+  double savings_fraction = 0.0; ///< 1 − actual/standalone
+};
+
+struct EconomicsAudit {
+  std::vector<IspCapex> per_isp;     ///< in profile order
+  double total_actual = 0.0;
+  double total_standalone = 0.0;
+  double total_savings_fraction = 0.0;
+};
+
+EconomicsAudit audit_map_economics(const core::FiberMap& map, const CostModel& model = {});
+
+}  // namespace intertubes::optical

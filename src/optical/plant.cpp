@@ -1,0 +1,72 @@
+#include "optical/plant.hpp"
+
+#include <cmath>
+
+#include "geo/latency.hpp"
+#include "util/check.hpp"
+
+namespace intertubes::optical {
+
+SpanPlan plan_span(double length_km, const PlantParams& params) {
+  IT_CHECK(length_km >= 0.0);
+  IT_CHECK(params.amplifier_spacing_km > 0.0);
+  SpanPlan plan;
+  plan.length_km = length_km;
+  if (length_km > params.amplifier_spacing_km) {
+    // Huts at every spacing interval, excluding the endpoints (terminal
+    // sites have their own equipment).
+    plan.amplifiers =
+        static_cast<std::size_t>(std::ceil(length_km / params.amplifier_spacing_km)) - 1;
+  }
+  return plan;
+}
+
+RoutePlan plan_route(const std::vector<double>& conduit_lengths_km, const PlantParams& params) {
+  IT_CHECK(params.transparent_reach_km > 0.0);
+  RoutePlan plan;
+  double since_regen = 0.0;
+  for (double length : conduit_lengths_km) {
+    IT_CHECK(length >= 0.0);
+    plan.length_km += length;
+    plan.amplifiers += plan_span(length, params).amplifiers;
+    since_regen += length;
+    while (since_regen > params.transparent_reach_km) {
+      ++plan.regenerations;
+      since_regen -= params.transparent_reach_km;
+    }
+  }
+  plan.equipment_delay_ms =
+      (static_cast<double>(plan.amplifiers) * params.amplifier_delay_us +
+       static_cast<double>(plan.regenerations) * params.regeneration_delay_us) /
+      1000.0;
+  plan.total_delay_ms = geo::fiber_delay_ms(plan.length_km) + plan.equipment_delay_ms;
+  return plan;
+}
+
+RoutePlan plan_link(const core::FiberMap& map, const core::Link& link,
+                    const PlantParams& params) {
+  std::vector<double> lengths;
+  lengths.reserve(link.conduits.size());
+  for (core::ConduitId cid : link.conduits) {
+    lengths.push_back(map.conduit(cid).length_km);
+  }
+  return plan_route(lengths, params);
+}
+
+PlantInventory plant_inventory(const core::FiberMap& map, const PlantParams& params) {
+  PlantInventory inventory;
+  for (const auto& conduit : map.conduits()) {
+    inventory.conduit_amplifier_sites += plan_span(conduit.length_km, params).amplifiers;
+  }
+  double delay_sum = 0.0;
+  for (const auto& link : map.links()) {
+    const auto plan = plan_link(map, link, params);
+    inventory.link_regenerations += plan.regenerations;
+    delay_sum += plan.total_delay_ms;
+  }
+  inventory.mean_link_delay_ms =
+      map.links().empty() ? 0.0 : delay_sum / static_cast<double>(map.links().size());
+  return inventory;
+}
+
+}  // namespace intertubes::optical

@@ -1,0 +1,63 @@
+// The optical plant of a long-haul route.
+//
+// §1 distinguishes long-haul routes by their ability to run between major
+// city pairs with "minimal use of repeaters".  This module models the
+// physical-layer consequences of route length: inline amplifier (ILA)
+// huts every ~90 km, OEO regeneration when accumulated amplified spans
+// exceed the transparent reach (~1500 km for 10G-era long-haul, the
+// paper's vintage), and the latency those sites add.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/fiber_map.hpp"
+
+namespace intertubes::optical {
+
+struct PlantParams {
+  double amplifier_spacing_km = 90.0;   ///< EDFA hut spacing
+  double transparent_reach_km = 1500.0; ///< distance before OEO regeneration
+  double amplifier_delay_us = 0.1;      ///< per-ILA group delay (negligible but real)
+  double regeneration_delay_us = 50.0;  ///< per-OEO latency
+};
+
+/// Amplifier plan for one conduit-length span.
+struct SpanPlan {
+  double length_km = 0.0;
+  std::size_t amplifiers = 0;  ///< inline amplifier huts along the span
+};
+
+/// Amplifiers needed along `length_km` of fiber (one every spacing, none
+/// for spans that fit in a single hop).
+SpanPlan plan_span(double length_km, const PlantParams& params = {});
+
+/// End-to-end plan for a multi-conduit route.
+struct RoutePlan {
+  double length_km = 0.0;
+  std::size_t amplifiers = 0;
+  std::size_t regenerations = 0;  ///< OEO sites where reach is exhausted
+  double equipment_delay_ms = 0.0;
+  double total_delay_ms = 0.0;    ///< propagation + equipment
+};
+
+/// Plan a route given its conduit lengths in path order.
+RoutePlan plan_route(const std::vector<double>& conduit_lengths_km,
+                     const PlantParams& params = {});
+
+/// Plan one mapped link.
+RoutePlan plan_link(const core::FiberMap& map, const core::Link& link,
+                    const PlantParams& params = {});
+
+/// Whole-map inventory: total amplifier and regeneration sites implied by
+/// the mapped links (sites on shared conduits are shared too — counted
+/// once per conduit, plus per-link regenerations).
+struct PlantInventory {
+  std::size_t conduit_amplifier_sites = 0;  ///< one set of huts per conduit
+  std::size_t link_regenerations = 0;       ///< OEO sites across all links
+  double mean_link_delay_ms = 0.0;          ///< propagation + equipment
+};
+
+PlantInventory plant_inventory(const core::FiberMap& map, const PlantParams& params = {});
+
+}  // namespace intertubes::optical

@@ -1,0 +1,48 @@
+// Network expansion (§5.2): add up to k new city-to-city conduits along
+// previously unused rights-of-way so that shared risk falls the most at
+// the least deployment cost (equation 2).
+//
+// For one ISP at a time: candidate conduits are unlit ROW corridors
+// touching the ISP's footprint; a greedy sweep picks the candidate with
+// the best (shared-risk reduction − cost) surrogate, adds it as a private
+// conduit, re-routes the ISP's links with min-shared-risk routing, and
+// measures the improvement ratio of the ISP's average shared risk.
+#pragma once
+
+#include <vector>
+
+#include "core/fiber_map.hpp"
+#include "risk/risk_matrix.hpp"
+#include "transport/row.hpp"
+
+namespace intertubes::optimize {
+
+struct ExpansionParams {
+  /// Weight of deployment cost (per 1000 km of new trench) against one
+  /// unit of summed shared-risk reduction in the greedy score.
+  double cost_weight = 0.35;
+  /// Candidate corridors are limited to those with an endpoint within
+  /// this many conduit-graph hops of the ISP's used conduits (0 = only
+  /// corridors between cities the ISP already touches).
+  std::size_t candidate_hops = 1;
+};
+
+struct ExpansionStep {
+  transport::CorridorId added = transport::kNoCorridor;
+  double avg_shared_risk = 0.0;  ///< ISP's mean tenancy after this step
+  double improvement_ratio = 0.0;  ///< 1 − after/before(baseline)
+};
+
+struct ExpansionResult {
+  isp::IspId isp = isp::kNoIsp;
+  double baseline_avg_shared_risk = 0.0;
+  std::vector<ExpansionStep> steps;  ///< one per k = 1..max_k
+};
+
+/// Greedy k-link expansion for one ISP.  The map is not mutated; the
+/// hypothetical conduits live only inside the computation.
+ExpansionResult optimize_expansion(const core::FiberMap& map,
+                                   const transport::RightOfWayRegistry& row, isp::IspId isp,
+                                   std::size_t max_k, const ExpansionParams& params = {});
+
+}  // namespace intertubes::optimize

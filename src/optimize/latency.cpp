@@ -1,0 +1,56 @@
+#include "optimize/latency.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "geo/latency.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace intertubes::optimize {
+
+using core::FiberMap;
+using transport::CityId;
+
+LatencyStudy latency_study(const FiberMap& map, const transport::CityDatabase& cities,
+                           const transport::RightOfWayRegistry& row, double tolerance_ms) {
+  // Collect existing physical paths per (unordered) city pair.
+  std::map<std::pair<CityId, CityId>, std::vector<double>> lengths_km;
+  for (const auto& link : map.links()) {
+    const auto key = std::make_pair(std::min(link.a, link.b), std::max(link.a, link.b));
+    lengths_km[key].push_back(link.length_km);
+  }
+
+  LatencyStudy study;
+  std::size_t best_is_row = 0;
+  for (const auto& [key, lengths] : lengths_km) {
+    PairDelay pair;
+    pair.a = key.first;
+    pair.b = key.second;
+    pair.path_count = lengths.size();
+
+    double best = lengths.front();
+    RunningStats avg;
+    for (double km : lengths) {
+      best = std::min(best, km);
+      avg.add(km);
+    }
+    pair.best_ms = geo::fiber_delay_ms(best);
+    pair.avg_ms = geo::fiber_delay_ms(avg.mean());
+
+    const auto row_path = row.shortest_path(pair.a, pair.b);
+    pair.row_ms = row_path.empty() ? pair.best_ms : geo::fiber_delay_ms(row_path.length_km);
+
+    pair.los_ms = geo::los_delay_ms(
+        geo::distance_km(cities.city(pair.a).location, cities.city(pair.b).location));
+
+    if (pair.best_ms <= pair.row_ms + tolerance_ms) ++best_is_row;
+    study.pairs.push_back(pair);
+  }
+  study.fraction_best_is_row =
+      study.pairs.empty() ? 0.0
+                          : static_cast<double>(best_is_row) / static_cast<double>(study.pairs.size());
+  return study;
+}
+
+}  // namespace intertubes::optimize

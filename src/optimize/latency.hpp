@@ -1,0 +1,41 @@
+// Propagation-delay study (§5.3, Figure 12): for every city pair that has
+// existing fiber between it, compare
+//   * the best existing physical path,
+//   * the average over all existing physical paths,
+//   * the best possible right-of-way path (new conduit along existing
+//     roads/rails/pipelines), and
+//   * the line-of-sight lower bound,
+// all expressed as one-way propagation delay through fiber.
+#pragma once
+
+#include <vector>
+
+#include "core/fiber_map.hpp"
+#include "transport/row.hpp"
+
+namespace intertubes::optimize {
+
+struct PairDelay {
+  transport::CityId a = transport::kNoCity;
+  transport::CityId b = transport::kNoCity;
+  double best_ms = 0.0;  ///< best existing physical path
+  double avg_ms = 0.0;   ///< mean over existing physical paths
+  double row_ms = 0.0;   ///< best right-of-way path
+  double los_ms = 0.0;   ///< line-of-sight lower bound
+  std::size_t path_count = 0;  ///< existing physical paths between the pair
+};
+
+struct LatencyStudy {
+  std::vector<PairDelay> pairs;
+  /// Fraction of pairs whose best existing path already is the best ROW
+  /// path (within tolerance_ms) — the paper reports ≈65 %.
+  double fraction_best_is_row = 0.0;
+};
+
+/// Existing physical paths between a city pair are the mapped links whose
+/// endpoints are that pair (across all ISPs).  `tolerance_ms` controls the
+/// best-equals-ROW bookkeeping.
+LatencyStudy latency_study(const core::FiberMap& map, const transport::CityDatabase& cities,
+                           const transport::RightOfWayRegistry& row, double tolerance_ms = 0.05);
+
+}  // namespace intertubes::optimize

@@ -1,0 +1,189 @@
+#include "optimize/robustness.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace intertubes::optimize {
+
+using core::ConduitId;
+using core::FiberMap;
+using isp::IspId;
+using transport::CityId;
+
+namespace {
+
+/// Min-shared-risk Dijkstra between two cities over the conduit graph,
+/// excluding one conduit.  Weight: tenant count, with a tiny length term
+/// so equally-risky paths prefer shorter fiber.
+std::vector<ConduitId> min_risk_path(const FiberMap& map, const risk::RiskMatrix& matrix,
+                                     CityId from, CityId to, ConduitId excluded) {
+  std::unordered_map<CityId, double> dist;
+  std::unordered_map<CityId, ConduitId> via;
+  using Entry = std::pair<double, CityId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  dist[from] = 0.0;
+  queue.push({0.0, from});
+  bool reached = false;
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    if (u == to) {
+      reached = true;
+      break;
+    }
+    for (ConduitId cid : map.conduits_at(u)) {
+      if (cid == excluded) continue;
+      const auto& c = map.conduit(cid);
+      const CityId v = (c.a == u) ? c.b : c.a;
+      const double w =
+          static_cast<double>(matrix.sharing_count(cid)) + 1e-4 * c.length_km;
+      const double nd = d + w;
+      const auto dv = dist.find(v);
+      if (dv == dist.end() || nd < dv->second) {
+        dist[v] = nd;
+        via[v] = cid;
+        queue.push({nd, v});
+      }
+    }
+  }
+  if (!reached) return {};
+  std::vector<ConduitId> path;
+  CityId cur = to;
+  while (cur != from) {
+    const ConduitId cid = via.at(cur);
+    path.push_back(cid);
+    const auto& c = map.conduit(cid);
+    cur = (c.a == cur) ? c.b : c.a;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+RerouteSuggestion suggest_reroute(const FiberMap& map, const risk::RiskMatrix& matrix,
+                                  ConduitId target, IspId isp) {
+  const auto& conduit = map.conduit(target);
+  RerouteSuggestion suggestion;
+  suggestion.target = target;
+  suggestion.isp = isp;
+  suggestion.optimized_path = min_risk_path(map, matrix, conduit.a, conduit.b, target);
+  if (suggestion.optimized_path.empty()) return suggestion;
+  suggestion.path_inflation = static_cast<int>(suggestion.optimized_path.size()) - 1;
+  std::size_t worst = 0;
+  for (ConduitId cid : suggestion.optimized_path) {
+    worst = std::max(worst, matrix.sharing_count(cid));
+  }
+  suggestion.shared_risk_reduction =
+      static_cast<int>(matrix.sharing_count(target)) - static_cast<int>(worst);
+  return suggestion;
+}
+
+std::vector<IspRobustnessSummary> summarize_robustness(const FiberMap& map,
+                                                       const risk::RiskMatrix& matrix,
+                                                       const std::vector<ConduitId>& targets) {
+  std::vector<IspRobustnessSummary> out;
+  for (IspId isp = 0; isp < map.num_isps(); ++isp) {
+    RunningStats pi;
+    RunningStats srr;
+    std::size_t used = 0;
+    for (ConduitId target : targets) {
+      if (!matrix.uses(isp, target)) continue;
+      ++used;
+      const auto suggestion = suggest_reroute(map, matrix, target, isp);
+      if (suggestion.optimized_path.empty()) continue;
+      pi.add(static_cast<double>(suggestion.path_inflation));
+      srr.add(static_cast<double>(suggestion.shared_risk_reduction));
+    }
+    IspRobustnessSummary summary;
+    summary.isp = isp;
+    summary.targets_using = used;
+    if (pi.count() > 0) {
+      summary.pi_min = pi.min();
+      summary.pi_max = pi.max();
+      summary.pi_avg = pi.mean();
+      summary.srr_min = srr.min();
+      summary.srr_max = srr.max();
+      summary.srr_avg = srr.mean();
+    }
+    out.push_back(summary);
+  }
+  return out;
+}
+
+std::vector<PeeringSuggestion> suggest_peering(const FiberMap& map,
+                                               const risk::RiskMatrix& matrix,
+                                               const std::vector<ConduitId>& targets,
+                                               std::size_t count) {
+  std::vector<PeeringSuggestion> out;
+  for (IspId isp = 0; isp < map.num_isps(); ++isp) {
+    // Score candidate peers by how much low-risk capacity they would lend
+    // across all optimized paths for this ISP's shared targets.
+    std::vector<double> score(map.num_isps(), 0.0);
+    for (ConduitId target : targets) {
+      if (!matrix.uses(isp, target)) continue;
+      const auto suggestion = suggest_reroute(map, matrix, target, isp);
+      for (ConduitId cid : suggestion.optimized_path) {
+        if (matrix.uses(isp, cid)) continue;  // already on net
+        const auto& tenants = map.conduit(cid).tenants;
+        if (tenants.empty()) continue;
+        // Credit each tenant, weighting sparsely-shared conduits higher
+        // (a peer that owns a quiet path is a better peer).
+        const double credit = 1.0 / static_cast<double>(tenants.size());
+        for (IspId t : tenants) {
+          if (t != isp) score[t] += credit;
+        }
+      }
+    }
+    PeeringSuggestion suggestion;
+    suggestion.isp = isp;
+    std::vector<IspId> order;
+    for (IspId t = 0; t < map.num_isps(); ++t) {
+      if (score[t] > 0.0) order.push_back(t);
+    }
+    std::sort(order.begin(), order.end(), [&score](IspId x, IspId y) {
+      if (score[x] != score[y]) return score[x] > score[y];
+      return x < y;
+    });
+    if (order.size() > count) order.resize(count);
+    suggestion.suggested = std::move(order);
+    out.push_back(std::move(suggestion));
+  }
+  return out;
+}
+
+NetworkWideGain network_wide_gain(const FiberMap& map, const risk::RiskMatrix& matrix,
+                                  std::size_t top_count) {
+  NetworkWideGain gain;
+  const auto top = matrix.most_shared_conduits(top_count);
+  std::vector<char> is_top(map.conduits().size(), 0);
+  for (ConduitId cid : top) is_top[cid] = 1;
+
+  RunningStats top_stats;
+  RunningStats rest_stats;
+  for (const auto& conduit : map.conduits()) {
+    if (conduit.tenants.empty()) continue;
+    ++gain.conduits_evaluated;
+    const auto suggestion = suggest_reroute(map, matrix, conduit.id, conduit.tenants.front());
+    const double srr =
+        suggestion.optimized_path.empty()
+            ? 0.0
+            : std::max(0, suggestion.shared_risk_reduction);
+    if (srr <= 0.0) ++gain.already_optimal;
+    if (is_top[conduit.id]) {
+      top_stats.add(srr);
+    } else {
+      rest_stats.add(srr);
+    }
+  }
+  gain.avg_srr_top = top_stats.mean();
+  gain.avg_srr_rest = rest_stats.mean();
+  return gain;
+}
+
+}  // namespace intertubes::optimize

@@ -1,0 +1,78 @@
+// The robustness-suggestion framework of §5.1.
+//
+// For a heavily shared conduit and an ISP that rides it, find the
+// alternative path between the conduit's endpoints over the existing
+// conduit infrastructure (equation 1: the path minimizing shared risk),
+// and measure
+//   * path inflation (PI): extra hops of the optimized path, and
+//   * shared-risk reduction (SRR): tenancy of the original conduit minus
+//     the worst tenancy along the optimized path.
+// The conduits on the optimized path that the ISP does not already use
+// imply peering/acquisition opportunities — aggregated, they give the
+// paper's Table 5 "best peer" suggestions.
+#pragma once
+
+#include <vector>
+
+#include "core/fiber_map.hpp"
+#include "risk/risk_matrix.hpp"
+
+namespace intertubes::optimize {
+
+struct RerouteSuggestion {
+  core::ConduitId target = core::kNoConduit;
+  isp::IspId isp = isp::kNoIsp;
+  std::vector<core::ConduitId> optimized_path;  ///< empty if no alternative
+  int path_inflation = 0;        ///< hops(optimized) − 1
+  int shared_risk_reduction = 0; ///< tenants(target) − max tenants(optimized)
+};
+
+/// Equation 1 for one (conduit, ISP): minimize the summed shared-risk of
+/// the path between the conduit's endpoints, excluding the target conduit
+/// itself.  Path weight per conduit is its tenant count (ties broken by
+/// length).
+RerouteSuggestion suggest_reroute(const core::FiberMap& map, const risk::RiskMatrix& matrix,
+                                  core::ConduitId target, isp::IspId isp);
+
+/// Aggregates of PI / SRR per ISP over a set of target conduits (Fig 10).
+struct IspRobustnessSummary {
+  isp::IspId isp = isp::kNoIsp;
+  std::size_t targets_using = 0;  ///< how many targets this ISP rides
+  double pi_min = 0.0, pi_max = 0.0, pi_avg = 0.0;
+  double srr_min = 0.0, srr_max = 0.0, srr_avg = 0.0;
+};
+
+std::vector<IspRobustnessSummary> summarize_robustness(
+    const core::FiberMap& map, const risk::RiskMatrix& matrix,
+    const std::vector<core::ConduitId>& targets);
+
+/// Table 5: for each ISP, the top-`count` other ISPs whose conduits its
+/// optimized paths lean on (candidate peers/suppliers).
+struct PeeringSuggestion {
+  isp::IspId isp = isp::kNoIsp;
+  std::vector<isp::IspId> suggested;  ///< descending by usefulness
+};
+
+std::vector<PeeringSuggestion> suggest_peering(const core::FiberMap& map,
+                                               const risk::RiskMatrix& matrix,
+                                               const std::vector<core::ConduitId>& targets,
+                                               std::size_t count = 3);
+
+/// §5.1's network-wide check: "we also considered... all 542 conduits...
+/// many of the existing paths used by ISPs were already the best paths,
+/// and the potential gains were minimal compared to the gains obtained
+/// when just considering the 12 conduits."  Evaluates the attainable SRR
+/// for every conduit (via its first tenant) and contrasts the top targets
+/// with the rest.
+struct NetworkWideGain {
+  std::size_t conduits_evaluated = 0;
+  /// Conduits where no alternative path lowers the worst tenancy.
+  std::size_t already_optimal = 0;
+  double avg_srr_top = 0.0;   ///< mean positive SRR over the top targets
+  double avg_srr_rest = 0.0;  ///< mean positive SRR over everything else
+};
+
+NetworkWideGain network_wide_gain(const core::FiberMap& map, const risk::RiskMatrix& matrix,
+                                  std::size_t top_count = 12);
+
+}  // namespace intertubes::optimize

@@ -1,0 +1,19 @@
+#include "records/document.hpp"
+
+namespace intertubes::records {
+
+std::string_view doc_type_name(DocType t) noexcept {
+  switch (t) {
+    case DocType::AgencyFiling: return "agency filing";
+    case DocType::IruAgreement: return "IRU agreement";
+    case DocType::FranchiseAgreement: return "franchise agreement";
+    case DocType::EnvironmentalImpact: return "environmental impact statement";
+    case DocType::PressRelease: return "press release";
+    case DocType::Settlement: return "settlement";
+    case DocType::ProjectPlan: return "project plan";
+    case DocType::LeaseAgreement: return "lease agreement";
+  }
+  return "?";
+}
+
+}  // namespace intertubes::records

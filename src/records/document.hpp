@@ -1,0 +1,43 @@
+// The public-records document model.
+//
+// The paper's step 2/4 mine government agency filings, IRU agreements,
+// franchise agreements, environmental impact statements, press releases,
+// class-action settlements, project plans and lease agreements for
+// evidence of where fiber runs and who shares a conduit.  This module
+// models such documents as plain text; all downstream consumers (search,
+// entity extraction, inference) operate on the text alone — generation
+// metadata is never leaked to them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace intertubes::records {
+
+using DocId = std::uint32_t;
+
+enum class DocType : std::uint8_t {
+  AgencyFiling,         ///< e.g. FCC / state-DOT filings
+  IruAgreement,         ///< indefeasible-right-of-use contracts
+  FranchiseAgreement,   ///< municipal franchise agreements
+  EnvironmentalImpact,  ///< environmental impact statements
+  PressRelease,
+  Settlement,           ///< railroad-ROW class-action settlements
+  ProjectPlan,          ///< construction / design project documents
+  LeaseAgreement,       ///< conduit / dark-fiber lease agreements
+};
+
+inline constexpr std::size_t kNumDocTypes = 8;
+
+std::string_view doc_type_name(DocType t) noexcept;
+
+struct Document {
+  DocId id = 0;
+  DocType type = DocType::AgencyFiling;
+  std::string title;
+  std::string text;
+};
+
+}  // namespace intertubes::records

@@ -1,0 +1,53 @@
+// A small ranked-retrieval search engine over the public-records corpus —
+// the stand-in for the web searches ("los angeles to san francisco fiber
+// iru at&t sprint") that drive the paper's validation steps.
+//
+// Documents are tokenized with the shared tokenizer; queries are bags of
+// terms scored by TF-IDF with a minimum match-fraction gate so that a
+// query about two cities and three ISPs does not return documents sharing
+// only the word "fiber".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "records/document.hpp"
+
+namespace intertubes::records {
+
+struct SearchHit {
+  DocId doc = 0;
+  double score = 0.0;
+  /// Fraction of distinct query terms present in the document.
+  double match_fraction = 0.0;
+};
+
+class SearchIndex {
+ public:
+  explicit SearchIndex(const std::vector<Document>& docs);
+
+  std::size_t num_documents() const noexcept { return doc_lengths_.size(); }
+  std::size_t vocabulary_size() const noexcept { return postings_.size(); }
+
+  /// Ranked retrieval.  `min_match` gates hits by the fraction of distinct
+  /// query terms they contain; `limit` caps the result count.
+  std::vector<SearchHit> query(std::string_view text, double min_match = 0.5,
+                               std::size_t limit = 20) const;
+
+  /// Document frequency of a term (0 if absent).
+  std::size_t doc_frequency(std::string_view term) const;
+
+ private:
+  struct Posting {
+    DocId doc;
+    std::uint32_t tf;
+  };
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::vector<std::uint32_t> doc_lengths_;
+  double avg_doc_length_ = 0.0;
+};
+
+}  // namespace intertubes::records

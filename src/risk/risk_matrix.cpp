@@ -1,0 +1,122 @@
+#include "risk/risk_matrix.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace intertubes::risk {
+
+using core::ConduitId;
+using isp::IspId;
+
+RiskMatrix RiskMatrix::from_map(const core::FiberMap& map) {
+  RiskMatrix m;
+  m.uses_.assign(map.num_isps(), std::vector<char>(map.conduits().size(), 0));
+  m.sharing_.assign(map.conduits().size(), 0);
+  for (const auto& conduit : map.conduits()) {
+    m.sharing_[conduit.id] = static_cast<std::uint16_t>(conduit.tenants.size());
+    for (IspId t : conduit.tenants) m.uses_[t][conduit.id] = 1;
+  }
+  return m;
+}
+
+std::size_t RiskMatrix::sharing_count(ConduitId c) const {
+  IT_CHECK(c < sharing_.size());
+  return sharing_[c];
+}
+
+bool RiskMatrix::uses(IspId i, ConduitId c) const {
+  IT_CHECK(i < uses_.size());
+  IT_CHECK(c < sharing_.size());
+  return uses_[i][c] != 0;
+}
+
+std::size_t RiskMatrix::entry(IspId i, ConduitId c) const {
+  return uses(i, c) ? sharing_[c] : 0;
+}
+
+std::vector<std::size_t> RiskMatrix::conduits_shared_by_at_least() const {
+  std::size_t max_sharing = 0;
+  for (auto s : sharing_) max_sharing = std::max<std::size_t>(max_sharing, s);
+  std::vector<std::size_t> counts(max_sharing, 0);
+  for (auto s : sharing_) {
+    for (std::size_t k = 1; k <= s; ++k) ++counts[k - 1];
+  }
+  return counts;
+}
+
+std::vector<ConduitId> RiskMatrix::conduits_shared_by_more_than(std::size_t k) const {
+  std::vector<ConduitId> out;
+  for (ConduitId c = 0; c < sharing_.size(); ++c) {
+    if (sharing_[c] > k) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<ConduitId> RiskMatrix::most_shared_conduits(std::size_t count) const {
+  std::vector<ConduitId> ids(sharing_.size());
+  for (ConduitId c = 0; c < sharing_.size(); ++c) ids[c] = c;
+  std::sort(ids.begin(), ids.end(), [this](ConduitId x, ConduitId y) {
+    if (sharing_[x] != sharing_[y]) return sharing_[x] > sharing_[y];
+    return x < y;
+  });
+  if (ids.size() > count) ids.resize(count);
+  return ids;
+}
+
+std::vector<RiskMatrix::IspRisk> RiskMatrix::isp_risk_ranking() const {
+  std::vector<IspRisk> out;
+  out.reserve(uses_.size());
+  for (IspId i = 0; i < uses_.size(); ++i) {
+    IspRisk row;
+    row.isp = i;
+    RunningStats stats;
+    std::vector<double> values;
+    for (ConduitId c = 0; c < sharing_.size(); ++c) {
+      if (!uses_[i][c]) continue;
+      stats.add(static_cast<double>(sharing_[c]));
+      values.push_back(static_cast<double>(sharing_[c]));
+    }
+    row.conduits_used = stats.count();
+    if (!values.empty()) {
+      row.mean_sharing = stats.mean();
+      row.standard_error = stats.standard_error();
+      row.p25 = quartile25(values);
+      row.p75 = quartile75(values);
+    }
+    out.push_back(row);
+  }
+  std::sort(out.begin(), out.end(), [](const IspRisk& x, const IspRisk& y) {
+    if (x.mean_sharing != y.mean_sharing) return x.mean_sharing < y.mean_sharing;
+    return x.isp < y.isp;
+  });
+  return out;
+}
+
+std::vector<std::size_t> RiskMatrix::shared_conduit_counts() const {
+  std::vector<std::size_t> out(uses_.size(), 0);
+  for (IspId i = 0; i < uses_.size(); ++i) {
+    for (ConduitId c = 0; c < sharing_.size(); ++c) {
+      if (uses_[i][c] && sharing_[c] >= 2) ++out[i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> RiskMatrix::hamming_matrix() const {
+  const std::size_t n = uses_.size();
+  std::vector<std::vector<std::size_t>> h(n, std::vector<std::size_t>(n, 0));
+  for (IspId i = 0; i < n; ++i) {
+    for (IspId j = i + 1; j < n; ++j) {
+      std::size_t d = 0;
+      for (ConduitId c = 0; c < sharing_.size(); ++c) {
+        if (uses_[i][c] != uses_[j][c]) ++d;
+      }
+      h[i][j] = h[j][i] = d;
+    }
+  }
+  return h;
+}
+
+}  // namespace intertubes::risk

@@ -1,0 +1,67 @@
+// Shared-risk analysis (§4): the ISP × conduit risk matrix and the metrics
+// derived from it — the conduit-sharing distribution (Fig. 6), the per-ISP
+// shared-risk ranking (Fig. 6/7), and the Hamming-distance similarity of
+// ISP risk profiles (Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fiber_map.hpp"
+
+namespace intertubes::risk {
+
+/// The paper's risk matrix: rows are ISPs, columns are conduits; the entry
+/// for (ISP i, conduit c) is the number of ISPs sharing c if i uses c, and
+/// 0 otherwise.
+class RiskMatrix {
+ public:
+  static RiskMatrix from_map(const core::FiberMap& map);
+
+  std::size_t num_isps() const noexcept { return uses_.size(); }
+  std::size_t num_conduits() const noexcept { return sharing_.size(); }
+
+  /// Number of ISPs in conduit c.
+  std::size_t sharing_count(core::ConduitId c) const;
+  bool uses(isp::IspId i, core::ConduitId c) const;
+  /// The matrix entry as defined above.
+  std::size_t entry(isp::IspId i, core::ConduitId c) const;
+
+  /// Figure 6 (bar series): count of conduits shared by at least k ISPs,
+  /// for k = 1..max; result[k-1] is the count for k.
+  std::vector<std::size_t> conduits_shared_by_at_least() const;
+
+  /// Conduits with more than `k` tenants (the paper's "12 out of 542
+  /// conduits shared by more than 17 ISPs").
+  std::vector<core::ConduitId> conduits_shared_by_more_than(std::size_t k) const;
+
+  /// The `count` most shared conduits, descending by tenancy.
+  std::vector<core::ConduitId> most_shared_conduits(std::size_t count) const;
+
+  /// Figure 6 (ranking): per-ISP average shared risk over the conduits the
+  /// ISP uses, with standard error and quartiles.
+  struct IspRisk {
+    isp::IspId isp = isp::kNoIsp;
+    std::size_t conduits_used = 0;
+    double mean_sharing = 0.0;
+    double standard_error = 0.0;
+    double p25 = 0.0;
+    double p75 = 0.0;
+  };
+  /// Sorted ascending by mean_sharing (the paper's left-to-right order).
+  std::vector<IspRisk> isp_risk_ranking() const;
+
+  /// Figure 7: per ISP, the raw number of its conduits shared with at
+  /// least one other provider.
+  std::vector<std::size_t> shared_conduit_counts() const;
+
+  /// Figure 8: pairwise Hamming distance between ISP usage rows (smaller
+  /// distance ⇒ more similar risk profile).
+  std::vector<std::vector<std::size_t>> hamming_matrix() const;
+
+ private:
+  std::vector<std::vector<char>> uses_;   // [isp][conduit]
+  std::vector<std::uint16_t> sharing_;    // [conduit] tenant count
+};
+
+}  // namespace intertubes::risk

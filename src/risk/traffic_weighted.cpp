@@ -1,0 +1,97 @@
+#include "risk/traffic_weighted.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace intertubes::risk {
+
+using core::ConduitId;
+
+namespace {
+
+double combined_score(std::size_t tenants, std::uint64_t probes) {
+  return static_cast<double>(tenants) * std::log2(1.0 + static_cast<double>(probes));
+}
+
+}  // namespace
+
+std::vector<WeightedConduitRisk> traffic_weighted_ranking(
+    const RiskMatrix& matrix, const std::vector<std::uint64_t>& probes_per_conduit) {
+  IT_CHECK(probes_per_conduit.size() == matrix.num_conduits());
+  std::vector<WeightedConduitRisk> ranking;
+  ranking.reserve(matrix.num_conduits());
+  for (ConduitId c = 0; c < matrix.num_conduits(); ++c) {
+    WeightedConduitRisk entry;
+    entry.conduit = c;
+    entry.tenants = matrix.sharing_count(c);
+    entry.probes = probes_per_conduit[c];
+    entry.score = combined_score(entry.tenants, entry.probes);
+    ranking.push_back(entry);
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const WeightedConduitRisk& x, const WeightedConduitRisk& y) {
+              if (x.score != y.score) return x.score > y.score;
+              return x.conduit < y.conduit;
+            });
+  return ranking;
+}
+
+std::vector<IspWeightedRisk> isp_traffic_weighted_ranking(
+    const RiskMatrix& matrix, const std::vector<std::uint64_t>& probes_per_conduit) {
+  IT_CHECK(probes_per_conduit.size() == matrix.num_conduits());
+  std::vector<IspWeightedRisk> out;
+  for (isp::IspId i = 0; i < matrix.num_isps(); ++i) {
+    IspWeightedRisk row;
+    row.isp = i;
+    RunningStats stats;
+    for (ConduitId c = 0; c < matrix.num_conduits(); ++c) {
+      if (!matrix.uses(i, c)) continue;
+      stats.add(combined_score(matrix.sharing_count(c), probes_per_conduit[c]));
+    }
+    row.conduits_used = stats.count();
+    row.mean_score = stats.mean();
+    out.push_back(row);
+  }
+  std::sort(out.begin(), out.end(), [](const IspWeightedRisk& x, const IspWeightedRisk& y) {
+    if (x.mean_score != y.mean_score) return x.mean_score < y.mean_score;
+    return x.isp < y.isp;
+  });
+  return out;
+}
+
+double ranking_rank_correlation(const RiskMatrix& matrix,
+                                const std::vector<std::uint64_t>& probes_per_conduit) {
+  IT_CHECK(probes_per_conduit.size() == matrix.num_conduits());
+  const std::size_t n = matrix.num_conduits();
+  IT_CHECK(n >= 2);
+
+  // Ranks (average-rank tie handling) for both orderings.
+  auto ranks_of = [n](auto key) {
+    std::vector<ConduitId> order(n);
+    for (ConduitId c = 0; c < n; ++c) order[c] = c;
+    std::sort(order.begin(), order.end(),
+              [&key](ConduitId x, ConduitId y) { return key(x) < key(y); });
+    std::vector<double> ranks(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t j = i;
+      while (j + 1 < n && key(order[j + 1]) == key(order[i])) ++j;
+      const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0;
+      for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+      i = j + 1;
+    }
+    return ranks;
+  };
+
+  const auto tenancy_ranks =
+      ranks_of([&matrix](ConduitId c) { return static_cast<double>(matrix.sharing_count(c)); });
+  const auto weighted_ranks = ranks_of([&](ConduitId c) {
+    return combined_score(matrix.sharing_count(c), probes_per_conduit[c]);
+  });
+  return pearson(tenancy_ranks, weighted_ranks);
+}
+
+}  // namespace intertubes::risk

@@ -1,0 +1,49 @@
+// Traffic-weighted shared risk (§4.3's combined metric).
+//
+// "We are able to identify those components of the long-haul fiber-optic
+// infrastructure which experience high levels of infrastructure sharing as
+// well as high volumes of traffic."  Conduit tenancy alone treats a
+// 19-tenant rural spur like a 19-tenant Chicago artery; weighting by
+// observed probe volume separates them.  Probe counts come from any
+// traceroute overlay (passed as a plain per-conduit vector so this module
+// stays independent of the measurement machinery).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "risk/risk_matrix.hpp"
+
+namespace intertubes::risk {
+
+struct WeightedConduitRisk {
+  core::ConduitId conduit = core::kNoConduit;
+  std::size_t tenants = 0;
+  std::uint64_t probes = 0;
+  /// tenants × log2(1 + probes): linear in how many providers share the
+  /// cut, logarithmic in traffic (route popularity is heavy-tailed).
+  double score = 0.0;
+};
+
+/// All conduits ranked by combined risk, descending.
+std::vector<WeightedConduitRisk> traffic_weighted_ranking(
+    const RiskMatrix& matrix, const std::vector<std::uint64_t>& probes_per_conduit);
+
+/// Per-ISP mean combined risk over the conduits the ISP uses — the
+/// traffic-aware version of Fig. 6's ranking.  Sorted ascending by score.
+struct IspWeightedRisk {
+  isp::IspId isp = isp::kNoIsp;
+  double mean_score = 0.0;
+  std::size_t conduits_used = 0;
+};
+
+std::vector<IspWeightedRisk> isp_traffic_weighted_ranking(
+    const RiskMatrix& matrix, const std::vector<std::uint64_t>& probes_per_conduit);
+
+/// Spearman rank correlation between the tenancy-only conduit ranking and
+/// the traffic-weighted one — how much does traffic reshuffle the risk
+/// picture?
+double ranking_rank_correlation(const RiskMatrix& matrix,
+                                const std::vector<std::uint64_t>& probes_per_conduit);
+
+}  // namespace intertubes::risk

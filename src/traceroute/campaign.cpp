@@ -1,0 +1,112 @@
+#include "traceroute/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace intertubes::traceroute {
+
+using transport::CityId;
+
+namespace {
+
+/// Flow key: (src city, access router, dst city).
+struct FlowKey {
+  CityId src;
+  RouterIdx access;
+  CityId dst;
+  bool operator<(const FlowKey& o) const noexcept {
+    if (src != o.src) return src < o.src;
+    if (access != o.access) return access < o.access;
+    return dst < o.dst;
+  }
+};
+
+}  // namespace
+
+Campaign run_campaign(const L3Topology& topo, const transport::CityDatabase& cities,
+                      const CampaignParams& params) {
+  return run_campaign(topo, cities, isp::default_profiles(), params);
+}
+
+Campaign run_campaign(const L3Topology& topo, const transport::CityDatabase& cities,
+                      const std::vector<isp::IspProfile>& profiles,
+                      const CampaignParams& params) {
+  Rng rng(mix64(params.seed ^ 0x7ace1234ULL));
+  const NameDecoder decoder(cities, profiles);
+  Campaign campaign;
+
+  // Endpoint weights: population^gravity over cities that host routers
+  // (sources need an access network; destinations need a POP to respond
+  // from).
+  std::vector<double> weights(cities.size(), 0.0);
+  for (CityId c = 0; c < cities.size(); ++c) {
+    if (topo.routers_in(c).empty()) continue;
+    weights[c] =
+        std::pow(static_cast<double>(cities.city(c).population), params.gravity_exponent);
+  }
+
+  // Aggregate probe multiplicity per flow.
+  std::map<FlowKey, std::uint64_t> flow_counts;
+  for (std::uint64_t i = 0; i < params.num_probes; ++i) {
+    const auto src = static_cast<CityId>(rng.weighted_pick(weights));
+    CityId dst = src;
+    for (int attempt = 0; attempt < 8 && dst == src; ++attempt) {
+      dst = static_cast<CityId>(rng.weighted_pick(weights));
+    }
+    if (dst == src) continue;
+    const auto& access_candidates = topo.routers_in(src);
+    const RouterIdx access =
+        access_candidates[rng.next_below(access_candidates.size())];
+    ++flow_counts[FlowKey{src, access, dst}];
+  }
+  campaign.total_probes = params.num_probes;
+
+  // Route each distinct flow once; render observed hops with artifacts.
+  for (const auto& [key, count] : flow_counts) {
+    const auto route = topo.route(key.access, key.dst, params.peering);
+    if (route.empty()) {
+      campaign.unroutable_probes += count;
+      continue;
+    }
+    TraceFlow flow;
+    flow.src = key.src;
+    flow.dst = key.dst;
+    flow.count = count;
+    flow.true_corridors = topo.route_corridors(route);
+
+    // Observation artifacts are drawn once per flow (a given router's DNS
+    // name either resolves or it does not; a given LSP hides the same
+    // interior hops for every probe of the flow).
+    Rng obs_rng(mix64(params.seed ^ (static_cast<std::uint64_t>(key.access) << 32) ^
+                      (static_cast<std::uint64_t>(key.src) << 16) ^ key.dst));
+    for (std::size_t h = 0; h < route.size(); ++h) {
+      const Router& router = topo.routers()[route[h]];
+      const bool interior = h > 0 && h + 1 < route.size();
+      if (interior && obs_rng.chance(params.mpls_hide_prob)) continue;  // in a tunnel
+      ObservedHop hop;
+      hop.city = router.city;
+      // A router either has a descriptive PTR record or none at all; when
+      // it does, attribution goes through the real name parser.
+      if (obs_rng.chance(params.naming_hint_prob)) {
+        hop.dns_name = router_dns_name(
+            profiles[router.isp], cities.city(router.city),
+            mix64(params.seed ^ (static_cast<std::uint64_t>(route[h]) << 20) ^ h));
+        const auto decoded = decoder.decode(hop.dns_name);
+        hop.isp = decoded.isp.value_or(isp::kNoIsp);
+      }
+      flow.hops.push_back(hop);
+    }
+    if (flow.hops.size() < 2) {
+      campaign.unroutable_probes += count;
+      continue;
+    }
+    campaign.flows.push_back(std::move(flow));
+  }
+  return campaign;
+}
+
+}  // namespace intertubes::traceroute

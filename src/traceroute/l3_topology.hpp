@@ -1,0 +1,79 @@
+// Layer-3 topology over the ground-truth physical world.
+//
+// Routers are (ISP, city) pairs at ISP POPs; intra-ISP adjacencies are the
+// ISP's deployed long-haul links (which ride corridors); inter-ISP
+// adjacencies are peering/transit interconnects at cities where both
+// networks have a POP.  Traceroute campaigns route over this graph — over
+// *reality*, not over the constructed map — so that the overlay step can
+// genuinely discover tenants the mapping pipeline missed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isp/ground_truth.hpp"
+
+namespace intertubes::traceroute {
+
+using RouterIdx = std::uint32_t;
+inline constexpr RouterIdx kNoRouter = 0xffffffffu;
+
+struct Router {
+  isp::IspId isp = isp::kNoIsp;
+  transport::CityId city = transport::kNoCity;
+};
+
+struct L3Edge {
+  RouterIdx u = kNoRouter;
+  RouterIdx v = kNoRouter;
+  double length_km = 0.0;                          ///< fiber distance
+  bool peering = false;                            ///< inter-ISP interconnect
+  std::vector<transport::CorridorId> corridors;    ///< empty for peering edges
+};
+
+struct PeeringParams {
+  /// Tier-1s interconnect with each other at cities of at least this
+  /// population; everyone interconnects with tier-1s wherever co-located.
+  std::uint32_t tier1_peering_min_pop = 250000;
+  /// Routing cost of crossing an interconnect, in km-equivalents.  Keeps
+  /// paths valley-free-ish without a full BGP model.
+  double peering_penalty_km = 350.0;
+};
+
+class L3Topology {
+ public:
+  static L3Topology from_ground_truth(const isp::GroundTruth& truth,
+                                      const transport::CityDatabase& cities,
+                                      const PeeringParams& params = {});
+
+  const std::vector<Router>& routers() const noexcept { return routers_; }
+  const std::vector<L3Edge>& edges() const noexcept { return edges_; }
+  const std::vector<std::uint32_t>& edges_at(RouterIdx r) const;
+
+  std::optional<RouterIdx> router_at(isp::IspId isp, transport::CityId city) const;
+
+  /// All routers located in a city (candidate access points).
+  const std::vector<RouterIdx>& routers_in(transport::CityId city) const;
+
+  /// Shortest L3 route from router `src` to any router located at
+  /// `dst_city` (weight: fiber km + peering penalties).  Returns the
+  /// router sequence; empty if unreachable.
+  std::vector<RouterIdx> route(RouterIdx src, transport::CityId dst_city,
+                               const PeeringParams& params = {}) const;
+
+  /// The corridors underneath a router-sequence route (concatenated
+  /// corridor lists of its intra-ISP edges).
+  std::vector<transport::CorridorId> route_corridors(const std::vector<RouterIdx>& route) const;
+
+ private:
+  std::vector<Router> routers_;
+  std::vector<L3Edge> edges_;
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+  std::vector<std::vector<RouterIdx>> by_city_;
+  std::unordered_map<std::uint64_t, RouterIdx> by_isp_city_;
+  static const std::vector<RouterIdx> kNoRouters;
+  static const std::vector<std::uint32_t> kNoEdges;
+};
+
+}  // namespace intertubes::traceroute

@@ -1,0 +1,208 @@
+#include "traceroute/overlay.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace intertubes::traceroute {
+
+using core::ConduitId;
+using core::FiberMap;
+using isp::IspId;
+using transport::CityId;
+
+namespace {
+
+/// Shortest conduit path between two cities over the constructed map.
+std::vector<ConduitId> conduit_path(const FiberMap& map, CityId from, CityId to) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::unordered_map<CityId, double> dist;
+  std::unordered_map<CityId, ConduitId> via;
+  using Entry = std::pair<double, CityId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  dist[from] = 0.0;
+  queue.push({0.0, from});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    const auto du = dist.find(u);
+    if (du != dist.end() && d > du->second) continue;
+    if (u == to) break;
+    for (ConduitId cid : map.conduits_at(u)) {
+      const auto& c = map.conduit(cid);
+      const CityId v = (c.a == u) ? c.b : c.a;
+      const double nd = d + c.length_km;
+      const auto dv = dist.find(v);
+      if (dv == dist.end() || nd < dv->second) {
+        dist[v] = nd;
+        via[v] = cid;
+        queue.push({nd, v});
+      }
+    }
+  }
+  if (!dist.count(to) || !(dist[to] < kInf)) return {};
+  std::vector<ConduitId> path;
+  CityId cur = to;
+  while (cur != from) {
+    const ConduitId cid = via.at(cur);
+    path.push_back(cid);
+    const auto& c = map.conduit(cid);
+    cur = (c.a == cur) ? c.b : c.a;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+OverlayResult overlay_campaign(const FiberMap& map, const transport::CityDatabase& cities,
+                               const Campaign& campaign) {
+  OverlayResult result;
+  result.usage.assign(map.conduits().size(), {});
+  std::vector<std::set<IspId>> observed(map.conduits().size());
+
+  // Hop-pair → conduit path cache (the expensive part of the overlay).
+  std::unordered_map<std::uint64_t, std::vector<ConduitId>> path_cache;
+  auto segment_path = [&](CityId a, CityId b) -> const std::vector<ConduitId>& {
+    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+    auto it = path_cache.find(key);
+    if (it == path_cache.end()) {
+      it = path_cache.emplace(key, conduit_path(map, a, b)).first;
+    }
+    return it->second;
+  };
+
+  for (const auto& flow : campaign.flows) {
+    const bool west_to_east =
+        cities.city(flow.src).location.lon_deg < cities.city(flow.dst).location.lon_deg;
+    for (std::size_t h = 0; h + 1 < flow.hops.size(); ++h) {
+      const auto& from = flow.hops[h];
+      const auto& to = flow.hops[h + 1];
+      if (from.city == to.city) continue;  // interconnect inside one city
+      const auto& path = segment_path(from.city, to.city);
+      if (path.empty()) {
+        result.unmapped_segments += flow.count;
+        continue;
+      }
+      result.mapped_segments += flow.count;
+      for (ConduitId cid : path) {
+        auto& usage = result.usage[cid];
+        if (west_to_east) {
+          usage.probes_west_east += flow.count;
+        } else {
+          usage.probes_east_west += flow.count;
+        }
+        // Naming hints on either end of the layer-3 segment attribute the
+        // segment's conduits to that ISP.
+        if (from.isp != isp::kNoIsp) observed[cid].insert(from.isp);
+        if (to.isp != isp::kNoIsp) observed[cid].insert(to.isp);
+      }
+    }
+  }
+
+  for (ConduitId cid = 0; cid < result.usage.size(); ++cid) {
+    result.usage[cid].observed_isps.assign(observed[cid].begin(), observed[cid].end());
+  }
+  return result;
+}
+
+std::vector<RankedConduit> OverlayResult::top_conduits(Direction dir, std::size_t n) const {
+  std::vector<RankedConduit> ranked;
+  ranked.reserve(usage.size());
+  for (ConduitId cid = 0; cid < usage.size(); ++cid) {
+    const std::uint64_t probes =
+        dir == Direction::WestToEast ? usage[cid].probes_west_east : usage[cid].probes_east_west;
+    if (probes > 0) ranked.push_back({cid, probes});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const RankedConduit& x, const RankedConduit& y) {
+    if (x.probes != y.probes) return x.probes > y.probes;
+    return x.conduit < y.conduit;
+  });
+  if (ranked.size() > n) ranked.resize(n);
+  return ranked;
+}
+
+std::vector<std::pair<IspId, std::size_t>> OverlayResult::isps_by_conduits_used(
+    std::size_t num_isps) const {
+  std::vector<std::size_t> counts(num_isps, 0);
+  for (const auto& u : usage) {
+    for (IspId isp_id : u.observed_isps) {
+      if (isp_id < num_isps) ++counts[isp_id];
+    }
+  }
+  std::vector<std::pair<IspId, std::size_t>> out;
+  for (IspId i = 0; i < num_isps; ++i) {
+    if (counts[i] > 0) out.emplace_back(i, counts[i]);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
+    if (x.second != y.second) return x.second > y.second;
+    return x.first < y.first;
+  });
+  return out;
+}
+
+OverlayAccuracy evaluate_overlay_accuracy(const FiberMap& map, const Campaign& campaign) {
+  OverlayAccuracy accuracy;
+  std::unordered_map<std::uint64_t, std::vector<ConduitId>> path_cache;
+  auto segment_path = [&](CityId a, CityId b) -> const std::vector<ConduitId>& {
+    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+    auto it = path_cache.find(key);
+    if (it == path_cache.end()) it = path_cache.emplace(key, conduit_path(map, a, b)).first;
+    return it->second;
+  };
+
+  double precision_sum = 0.0;
+  double recall_sum = 0.0;
+  double exact_sum = 0.0;
+  std::uint64_t weight_total = 0;
+  for (const auto& flow : campaign.flows) {
+    if (flow.true_corridors.empty()) continue;
+    // Predicted corridor set: attribution of every observed hop segment.
+    std::set<transport::CorridorId> predicted;
+    for (std::size_t h = 0; h + 1 < flow.hops.size(); ++h) {
+      if (flow.hops[h].city == flow.hops[h + 1].city) continue;
+      for (ConduitId cid : segment_path(flow.hops[h].city, flow.hops[h + 1].city)) {
+        predicted.insert(map.conduit(cid).corridor);
+      }
+    }
+    const std::set<transport::CorridorId> truth(flow.true_corridors.begin(),
+                                                flow.true_corridors.end());
+    std::size_t correct = 0;
+    for (auto corridor : predicted) {
+      if (truth.count(corridor)) ++correct;
+    }
+    const double precision =
+        predicted.empty() ? 0.0
+                          : static_cast<double>(correct) / static_cast<double>(predicted.size());
+    const double recall = static_cast<double>(correct) / static_cast<double>(truth.size());
+    precision_sum += precision * static_cast<double>(flow.count);
+    recall_sum += recall * static_cast<double>(flow.count);
+    if (predicted == truth) exact_sum += static_cast<double>(flow.count);
+    weight_total += flow.count;
+  }
+  if (weight_total > 0) {
+    const double w = static_cast<double>(weight_total);
+    accuracy.corridor_precision = precision_sum / w;
+    accuracy.corridor_recall = recall_sum / w;
+    accuracy.flows_fully_correct = exact_sum / w;
+    accuracy.probes_evaluated = weight_total;
+  }
+  return accuracy;
+}
+
+SharingCdfData sharing_before_after(const FiberMap& map, const OverlayResult& overlay) {
+  SharingCdfData data;
+  for (const auto& conduit : map.conduits()) {
+    data.physical_only.push_back(static_cast<double>(conduit.tenants.size()));
+    std::set<IspId> merged(conduit.tenants.begin(), conduit.tenants.end());
+    merged.insert(overlay.usage[conduit.id].observed_isps.begin(),
+                  overlay.usage[conduit.id].observed_isps.end());
+    data.with_observed.push_back(static_cast<double>(merged.size()));
+  }
+  return data;
+}
+
+}  // namespace intertubes::traceroute

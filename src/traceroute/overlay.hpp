@@ -1,0 +1,79 @@
+// Overlay of traceroute observations onto the constructed physical map
+// (§4.3): map each consecutive hop pair onto the conduits between the two
+// geolocated cities, accumulate per-conduit probe frequencies by travel
+// direction, and infer *additional* conduit tenants from DNS naming hints
+// — tenants the mapping pipeline never saw in any document or map.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fiber_map.hpp"
+#include "traceroute/campaign.hpp"
+
+namespace intertubes::traceroute {
+
+enum class Direction : std::uint8_t { WestToEast, EastToWest };
+
+struct ConduitUsage {
+  std::uint64_t probes_west_east = 0;
+  std::uint64_t probes_east_west = 0;
+  /// ISPs observed crossing this conduit via naming hints (sorted,
+  /// unique).  May include ISPs that are not tenants in the map.
+  std::vector<isp::IspId> observed_isps;
+
+  std::uint64_t total() const noexcept { return probes_west_east + probes_east_west; }
+};
+
+struct RankedConduit {
+  core::ConduitId conduit = core::kNoConduit;
+  std::uint64_t probes = 0;
+};
+
+struct OverlayResult {
+  /// Indexed by ConduitId of the map the overlay ran against.
+  std::vector<ConduitUsage> usage;
+  std::uint64_t mapped_segments = 0;    ///< hop pairs resolved onto conduits
+  std::uint64_t unmapped_segments = 0;  ///< no conduit path between the hop cities
+
+  /// Top-n conduits by probe frequency in one direction (Tables 2 and 3).
+  std::vector<RankedConduit> top_conduits(Direction dir, std::size_t n) const;
+
+  /// Per-ISP count of conduits observed carrying its probe traffic,
+  /// descending (Table 4).
+  std::vector<std::pair<isp::IspId, std::size_t>> isps_by_conduits_used(
+      std::size_t num_isps) const;
+};
+
+/// Run the overlay.  The hop→conduit resolution walks the *constructed*
+/// map's conduit graph (shortest path between the two hop cities), exactly
+/// as the paper overlays layer-3 links onto its physical map; it never
+/// consults the flows' ground-truth corridors.
+OverlayResult overlay_campaign(const core::FiberMap& map,
+                               const transport::CityDatabase& cities, const Campaign& campaign);
+
+/// Per-conduit tenant counts before/after augmenting map tenancy with
+/// overlay-observed ISPs — the two CDFs of Figure 9.
+struct SharingCdfData {
+  std::vector<double> physical_only;      ///< per conduit: |map tenants|
+  std::vector<double> with_observed;      ///< per conduit: |tenants ∪ observed|
+};
+
+SharingCdfData sharing_before_after(const core::FiberMap& map, const OverlayResult& overlay);
+
+/// Overlay attribution accuracy against ground truth — the evaluation the
+/// paper could not run.  §4.3 argues MPLS tunnels' "impact on the results
+/// is limited"; here the hop→conduit attribution of every flow is graded
+/// against the flow's true corridors (probe-count weighted), so the claim
+/// becomes a measurement (and `bench_ablation_overlay` sweeps the MPLS
+/// rate to find where it breaks).
+struct OverlayAccuracy {
+  double corridor_precision = 0.0;  ///< attributed corridors that are truly traversed
+  double corridor_recall = 0.0;     ///< truly traversed corridors attributed
+  double flows_fully_correct = 0.0; ///< probe-weighted fraction of exact matches
+  std::uint64_t probes_evaluated = 0;
+};
+
+OverlayAccuracy evaluate_overlay_accuracy(const core::FiberMap& map, const Campaign& campaign);
+
+}  // namespace intertubes::traceroute

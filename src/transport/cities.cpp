@@ -1,0 +1,323 @@
+#include "transport/cities.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace intertubes::transport {
+
+std::string_view region_name(Region r) noexcept {
+  switch (r) {
+    case Region::West: return "West";
+    case Region::Mountain: return "Mountain";
+    case Region::Central: return "Central";
+    case Region::South: return "South";
+    case Region::East: return "East";
+  }
+  return "?";
+}
+
+namespace {
+
+Region region_for_state(std::string_view st) {
+  static const std::unordered_map<std::string_view, Region> kMap = {
+      {"CA", Region::West},     {"OR", Region::West},     {"WA", Region::West},
+      {"NV", Region::West},     {"MT", Region::Mountain}, {"ID", Region::Mountain},
+      {"WY", Region::Mountain}, {"UT", Region::Mountain}, {"CO", Region::Mountain},
+      {"AZ", Region::Mountain}, {"NM", Region::Mountain}, {"ND", Region::Central},
+      {"SD", Region::Central},  {"NE", Region::Central},  {"KS", Region::Central},
+      {"OK", Region::Central},  {"TX", Region::Central},  {"MN", Region::Central},
+      {"IA", Region::Central},  {"MO", Region::Central},  {"AR", Region::Central},
+      {"LA", Region::Central},  {"WI", Region::Central},  {"IL", Region::Central},
+      {"MI", Region::Central},  {"IN", Region::Central},  {"OH", Region::Central},
+      {"KY", Region::South},    {"TN", Region::South},    {"MS", Region::South},
+      {"AL", Region::South},    {"GA", Region::South},    {"FL", Region::South},
+      {"SC", Region::South},    {"NC", Region::South},    {"VA", Region::South},
+      {"WV", Region::South},    {"NY", Region::East},     {"NJ", Region::East},
+      {"PA", Region::East},     {"MD", Region::East},     {"DE", Region::East},
+      {"CT", Region::East},     {"RI", Region::East},     {"MA", Region::East},
+      {"VT", Region::East},     {"NH", Region::East},     {"ME", Region::East},
+      {"DC", Region::East},
+  };
+  const auto it = kMap.find(st);
+  IT_CHECK_MSG(it != kMap.end(), std::string("unknown state: ") + std::string(st));
+  return it->second;
+}
+
+struct RawCity {
+  const char* name;
+  const char* state;
+  double lat;
+  double lon;
+  std::uint32_t pop;  // in thousands
+};
+
+// Coordinates rounded to ~0.01°, populations city-proper (thousands),
+// mid-2010s vintage to match the paper's era.
+constexpr RawCity kUsCities[] = {
+    {"New York", "NY", 40.71, -74.01, 8400},
+    {"Los Angeles", "CA", 34.05, -118.24, 3900},
+    {"Chicago", "IL", 41.88, -87.63, 2700},
+    {"Houston", "TX", 29.76, -95.37, 2200},
+    {"Phoenix", "AZ", 33.45, -112.07, 1500},
+    {"Philadelphia", "PA", 39.95, -75.17, 1550},
+    {"San Antonio", "TX", 29.42, -98.49, 1400},
+    {"San Diego", "CA", 32.72, -117.16, 1350},
+    {"Dallas", "TX", 32.78, -96.80, 1250},
+    {"San Jose", "CA", 37.34, -121.89, 1000},
+    {"Austin", "TX", 30.27, -97.74, 885},
+    {"Jacksonville", "FL", 30.33, -81.66, 840},
+    {"Fort Worth", "TX", 32.75, -97.33, 790},
+    {"Columbus", "OH", 39.96, -83.00, 820},
+    {"Charlotte", "NC", 35.23, -80.84, 790},
+    {"San Francisco", "CA", 37.77, -122.42, 840},
+    {"Indianapolis", "IN", 39.77, -86.16, 850},
+    {"Seattle", "WA", 47.61, -122.33, 650},
+    {"Denver", "CO", 39.74, -104.99, 650},
+    {"Washington", "DC", 38.91, -77.04, 660},
+    {"Boston", "MA", 42.36, -71.06, 650},
+    {"El Paso", "TX", 31.76, -106.49, 680},
+    {"Nashville", "TN", 36.16, -86.78, 640},
+    {"Detroit", "MI", 42.33, -83.05, 690},
+    {"Oklahoma City", "OK", 35.47, -97.52, 610},
+    {"Portland", "OR", 45.52, -122.68, 610},
+    {"Las Vegas", "NV", 36.17, -115.14, 600},
+    {"Memphis", "TN", 35.15, -90.05, 655},
+    {"Louisville", "KY", 38.25, -85.76, 610},
+    {"Baltimore", "MD", 39.29, -76.61, 620},
+    {"Milwaukee", "WI", 43.04, -87.91, 600},
+    {"Albuquerque", "NM", 35.08, -106.65, 555},
+    {"Tucson", "AZ", 32.22, -110.97, 525},
+    {"Fresno", "CA", 36.74, -119.79, 510},
+    {"Sacramento", "CA", 38.58, -121.49, 480},
+    {"Kansas City", "MO", 39.10, -94.58, 465},
+    {"Atlanta", "GA", 33.75, -84.39, 450},
+    {"Omaha", "NE", 41.26, -95.94, 435},
+    {"Colorado Springs", "CO", 38.83, -104.82, 440},
+    {"Raleigh", "NC", 35.78, -78.64, 430},
+    {"Miami", "FL", 25.76, -80.19, 420},
+    {"Minneapolis", "MN", 44.98, -93.27, 400},
+    {"Tulsa", "OK", 36.15, -95.99, 400},
+    {"Cleveland", "OH", 41.50, -81.69, 390},
+    {"Wichita", "KS", 37.69, -97.34, 385},
+    {"New Orleans", "LA", 29.95, -90.07, 380},
+    {"Tampa", "FL", 27.95, -82.46, 350},
+    {"St. Louis", "MO", 38.63, -90.20, 320},
+    {"Pittsburgh", "PA", 40.44, -79.99, 305},
+    {"Cincinnati", "OH", 39.10, -84.51, 297},
+    {"Salt Lake City", "UT", 40.76, -111.89, 190},
+    {"Orlando", "FL", 28.54, -81.38, 255},
+    {"Buffalo", "NY", 42.89, -78.88, 260},
+    {"Richmond", "VA", 37.54, -77.44, 215},
+    {"Boise", "ID", 43.62, -116.21, 215},
+    {"Spokane", "WA", 47.66, -117.43, 210},
+    {"Des Moines", "IA", 41.59, -93.62, 207},
+    {"Birmingham", "AL", 33.52, -86.80, 212},
+    {"Baton Rouge", "LA", 30.45, -91.15, 229},
+    {"Norfolk", "VA", 36.85, -76.29, 245},
+    {"Reno", "NV", 39.53, -119.81, 230},
+    {"Lincoln", "NE", 40.81, -96.68, 268},
+    {"Anaheim", "CA", 33.84, -117.91, 345},
+    {"Bakersfield", "CA", 35.37, -119.02, 365},
+    {"Topeka", "KS", 39.05, -95.68, 127},
+    {"Knoxville", "TN", 35.96, -83.92, 183},
+    {"Chattanooga", "TN", 35.05, -85.31, 173},
+    {"Little Rock", "AR", 34.75, -92.29, 197},
+    {"Shreveport", "LA", 32.53, -93.75, 200},
+    {"Amarillo", "TX", 35.22, -101.83, 196},
+    {"Lubbock", "TX", 33.58, -101.86, 240},
+    {"Corpus Christi", "TX", 27.80, -97.40, 316},
+    {"Laredo", "TX", 27.51, -99.51, 248},
+    {"Mobile", "AL", 30.69, -88.04, 195},
+    {"Jackson", "MS", 32.30, -90.18, 173},
+    {"Savannah", "GA", 32.08, -81.09, 142},
+    {"Columbia", "SC", 34.00, -81.03, 132},
+    {"Greensboro", "NC", 36.07, -79.79, 280},
+    {"Lexington", "KY", 38.04, -84.50, 308},
+    {"Toledo", "OH", 41.65, -83.54, 281},
+    {"Madison", "WI", 43.07, -89.40, 243},
+    {"Grand Rapids", "MI", 42.96, -85.66, 192},
+    {"Akron", "OH", 41.08, -81.52, 198},
+    {"Rochester", "NY", 43.16, -77.61, 210},
+    {"Syracuse", "NY", 43.05, -76.15, 144},
+    {"Albany", "NY", 42.65, -73.75, 98},
+    {"Hartford", "CT", 41.76, -72.68, 125},
+    {"Providence", "RI", 41.82, -71.41, 179},
+    {"Portland", "ME", 43.66, -70.26, 66},
+    {"Burlington", "VT", 44.48, -73.21, 42},
+    {"Fargo", "ND", 46.88, -96.79, 113},
+    {"Bismarck", "ND", 46.81, -100.78, 67},
+    {"Sioux Falls", "SD", 43.54, -96.73, 164},
+    {"Rapid City", "SD", 44.08, -103.23, 71},
+    {"Duluth", "MN", 46.79, -92.10, 86},
+    {"Green Bay", "WI", 44.51, -88.01, 104},
+    {"Eau Claire", "WI", 44.81, -91.50, 66},
+    {"Springfield", "MO", 37.21, -93.29, 164},
+    {"Fort Smith", "AR", 35.39, -94.40, 88},
+    {"Midland", "TX", 32.00, -102.08, 123},
+    {"Bryan", "TX", 30.67, -96.37, 78},
+    {"Wichita Falls", "TX", 33.91, -98.49, 104},
+    {"McAllen", "TX", 26.20, -98.23, 136},
+    {"Santa Fe", "NM", 35.69, -105.94, 69},
+    {"Flagstaff", "AZ", 35.20, -111.65, 68},
+    {"Yuma", "AZ", 32.69, -114.62, 93},
+    {"Sedona", "AZ", 34.87, -111.76, 10},
+    {"Camp Verde", "AZ", 34.56, -111.85, 11},
+    {"Pueblo", "CO", 38.25, -104.61, 108},
+    {"Grand Junction", "CO", 39.06, -108.55, 60},
+    {"Cheyenne", "WY", 41.14, -104.82, 62},
+    {"Casper", "WY", 42.85, -106.33, 58},
+    {"Billings", "MT", 45.78, -108.50, 109},
+    {"Bozeman", "MT", 45.68, -111.04, 42},
+    {"Missoula", "MT", 46.87, -113.99, 70},
+    {"Helena", "MT", 46.59, -112.04, 30},
+    {"Great Falls", "MT", 47.50, -111.29, 59},
+    {"Idaho Falls", "ID", 43.49, -112.04, 59},
+    {"Pocatello", "ID", 42.87, -112.45, 54},
+    {"Twin Falls", "ID", 42.56, -114.46, 46},
+    {"Ogden", "UT", 41.22, -111.97, 84},
+    {"Provo", "UT", 40.23, -111.66, 115},
+    {"St. George", "UT", 37.10, -113.57, 77},
+    {"Elko", "NV", 40.83, -115.76, 20},
+    {"Wells", "NV", 41.11, -114.96, 1},
+    {"Winnemucca", "NV", 40.97, -117.74, 8},
+    {"Redding", "CA", 40.59, -122.39, 91},
+    {"Chico", "CA", 39.73, -121.84, 88},
+    {"Medford", "OR", 42.33, -122.88, 77},
+    {"Eugene", "OR", 44.05, -123.09, 160},
+    {"Bend", "OR", 44.06, -121.32, 81},
+    {"Hillsboro", "OR", 45.52, -122.99, 97},
+    {"Yakima", "WA", 46.60, -120.51, 93},
+    {"Santa Barbara", "CA", 34.42, -119.70, 90},
+    {"San Luis Obispo", "CA", 35.28, -120.66, 46},
+    {"Lompoc", "CA", 34.64, -120.46, 43},
+    {"Palo Alto", "CA", 37.44, -122.14, 66},
+    {"Santa Clara", "CA", 37.35, -121.95, 120},
+    {"Stockton", "CA", 37.96, -121.29, 301},
+    {"Gainesville", "FL", 29.65, -82.32, 128},
+    {"Ocala", "FL", 29.19, -82.14, 58},
+    {"Tallahassee", "FL", 30.44, -84.28, 188},
+    {"Pensacola", "FL", 30.42, -87.22, 52},
+    {"West Palm Beach", "FL", 26.71, -80.05, 101},
+    {"Boca Raton", "FL", 26.37, -80.10, 91},
+    {"Fort Myers", "FL", 26.64, -81.87, 70},
+    {"Charleston", "SC", 32.78, -79.93, 128},
+    {"Charleston", "WV", 38.35, -81.63, 50},
+    {"Roanoke", "VA", 37.27, -79.94, 99},
+    {"Lynchburg", "VA", 37.41, -79.14, 78},
+    {"Charlottesville", "VA", 38.03, -78.48, 45},
+    {"Trenton", "NJ", 40.22, -74.76, 84},
+    {"Edison", "NJ", 40.52, -74.41, 101},
+    {"Newark", "NJ", 40.74, -74.17, 280},
+    {"Allentown", "PA", 40.61, -75.47, 119},
+    {"Harrisburg", "PA", 40.27, -76.88, 49},
+    {"Scranton", "PA", 41.41, -75.66, 76},
+    {"Towson", "MD", 39.40, -76.61, 57},
+    {"White Plains", "NY", 41.03, -73.76, 58},
+    {"Stamford", "CT", 41.05, -73.54, 126},
+    {"Kalamazoo", "MI", 42.29, -85.59, 75},
+    {"Battle Creek", "MI", 42.32, -85.18, 52},
+    {"Lansing", "MI", 42.73, -84.56, 115},
+    {"South Bend", "IN", 41.68, -86.25, 101},
+    {"Fort Wayne", "IN", 41.08, -85.14, 254},
+    {"Livonia", "MI", 42.37, -83.35, 95},
+    {"Southfield", "MI", 42.47, -83.22, 73},
+    {"Dayton", "OH", 39.76, -84.19, 141},
+    {"Erie", "PA", 42.13, -80.09, 101},
+    {"Laurel", "MS", 31.69, -89.13, 19},
+    {"Hattiesburg", "MS", 31.33, -89.29, 46},
+    {"Montgomery", "AL", 32.38, -86.31, 205},
+    {"Macon", "GA", 32.84, -83.63, 153},
+    {"Waco", "TX", 31.55, -97.15, 130},
+    {"Tyler", "TX", 32.35, -95.30, 100},
+    {"Texarkana", "TX", 33.44, -94.08, 37},
+    {"Monroe", "LA", 32.51, -92.12, 49},
+    {"Lafayette", "LA", 30.22, -92.02, 124},
+    {"Beaumont", "TX", 30.08, -94.10, 118},
+};
+
+}  // namespace
+
+const CityDatabase& CityDatabase::us_default() {
+  static const CityDatabase db = [] {
+    std::vector<City> cities;
+    cities.reserve(std::size(kUsCities));
+    for (const auto& raw : kUsCities) {
+      City c;
+      c.name = raw.name;
+      c.state = raw.state;
+      c.location = {raw.lat, raw.lon};
+      c.population = raw.pop * 1000;
+      c.region = region_for_state(raw.state);
+      cities.push_back(std::move(c));
+    }
+    return CityDatabase(std::move(cities));
+  }();
+  return db;
+}
+
+CityDatabase::CityDatabase(std::vector<City> cities) : cities_(std::move(cities)) {
+  IT_CHECK(!cities_.empty());
+  for (const auto& c : cities_) total_population_ += c.population;
+}
+
+const City& CityDatabase::city(CityId id) const {
+  IT_CHECK(id < cities_.size());
+  return cities_[id];
+}
+
+std::optional<CityId> CityDatabase::find(std::string_view name) const {
+  const std::string wanted = to_lower(trim(name));
+  // Exact "name, st" match first.
+  for (CityId id = 0; id < cities_.size(); ++id) {
+    if (to_lower(cities_[id].display_name()) == wanted) return id;
+  }
+  for (CityId id = 0; id < cities_.size(); ++id) {
+    if (to_lower(cities_[id].name) == wanted) return id;
+  }
+  return std::nullopt;
+}
+
+CityId CityDatabase::nearest(const geo::GeoPoint& p) const {
+  CityId best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (CityId id = 0; id < cities_.size(); ++id) {
+    const double d = geo::distance_km(p, cities_[id].location);
+    if (d < best_d) {
+      best_d = d;
+      best = id;
+    }
+  }
+  return best;
+}
+
+std::vector<CityId> CityDatabase::within_radius(const geo::GeoPoint& p, double radius_km) const {
+  std::vector<std::pair<double, CityId>> hits;
+  for (CityId id = 0; id < cities_.size(); ++id) {
+    const double d = geo::distance_km(p, cities_[id].location);
+    if (d <= radius_km) hits.emplace_back(d, id);
+  }
+  std::sort(hits.begin(), hits.end());
+  std::vector<CityId> out;
+  out.reserve(hits.size());
+  for (const auto& [d, id] : hits) out.push_back(id);
+  return out;
+}
+
+std::vector<CityId> CityDatabase::major_cities(std::uint32_t min_population) const {
+  std::vector<CityId> out;
+  for (CityId id = 0; id < cities_.size(); ++id) {
+    if (cities_[id].population >= min_population) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end(), [this](CityId a, CityId b) {
+    if (cities_[a].population != cities_[b].population)
+      return cities_[a].population > cities_[b].population;
+    return a < b;
+  });
+  return out;
+}
+
+}  // namespace intertubes::transport

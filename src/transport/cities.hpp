@@ -1,0 +1,69 @@
+// The city database: population centres of the continental US that anchor
+// the long-haul infrastructure.  Coordinates and populations are embedded
+// (real, public data, rounded) so the library has no runtime data
+// dependencies.  The set includes every city named in the paper's tables.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/geo_point.hpp"
+
+namespace intertubes::transport {
+
+using CityId = std::uint32_t;
+inline constexpr CityId kNoCity = 0xffffffffu;
+
+/// Broad census-style region, used by ISP deployment profiles to bias
+/// footprints geographically.
+enum class Region : std::uint8_t { West, Mountain, Central, South, East };
+
+std::string_view region_name(Region r) noexcept;
+
+struct City {
+  std::string name;
+  std::string state;  ///< Two-letter code.
+  geo::GeoPoint location;
+  std::uint32_t population = 0;  ///< City-proper population, approximate.
+  Region region = Region::Central;
+
+  /// "Dallas, TX"
+  std::string display_name() const { return name + ", " + state; }
+};
+
+/// Immutable database of cities with id-based and name-based lookup.
+class CityDatabase {
+ public:
+  /// The built-in continental-US database (~140 cities).
+  static const CityDatabase& us_default();
+
+  explicit CityDatabase(std::vector<City> cities);
+
+  std::size_t size() const noexcept { return cities_.size(); }
+  const City& city(CityId id) const;
+  const std::vector<City>& all() const noexcept { return cities_; }
+
+  /// Find by exact "Name, ST" or bare name (first match); nullopt if absent.
+  std::optional<CityId> find(std::string_view name) const;
+
+  /// The city nearest to a point (ties broken by id).
+  CityId nearest(const geo::GeoPoint& p) const;
+
+  /// Cities within radius_km of p, sorted by distance.
+  std::vector<CityId> within_radius(const geo::GeoPoint& p, double radius_km) const;
+
+  /// Ids of cities with population >= threshold, descending by population.
+  std::vector<CityId> major_cities(std::uint32_t min_population) const;
+
+  /// Total population (for gravity-model normalisation).
+  std::uint64_t total_population() const noexcept { return total_population_; }
+
+ private:
+  std::vector<City> cities_;
+  std::uint64_t total_population_ = 0;
+};
+
+}  // namespace intertubes::transport

@@ -1,0 +1,242 @@
+#include "transport/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/check.hpp"
+
+namespace intertubes::transport {
+
+std::string_view mode_name(TransportMode m) noexcept {
+  switch (m) {
+    case TransportMode::Road: return "road";
+    case TransportMode::Rail: return "rail";
+    case TransportMode::Pipeline: return "pipeline";
+  }
+  return "?";
+}
+
+TransportNetwork::TransportNetwork(TransportMode mode, std::vector<TransportEdge> edges,
+                                   std::size_t num_cities)
+    : mode_(mode), edges_(std::move(edges)), num_cities_(num_cities) {
+  adjacency_.resize(num_cities_);
+  for (auto& e : edges_) {
+    IT_CHECK(e.a < num_cities_ && e.b < num_cities_ && e.a != e.b);
+    adjacency_[e.a].push_back(e.id);
+    adjacency_[e.b].push_back(e.id);
+    total_length_km_ += e.length_km;
+  }
+}
+
+const std::vector<EdgeId>& TransportNetwork::edges_at(CityId c) const {
+  IT_CHECK(c < adjacency_.size());
+  return adjacency_[c];
+}
+
+bool TransportNetwork::connects(CityId a, CityId b) const {
+  if (a >= adjacency_.size()) return false;
+  for (EdgeId eid : adjacency_[a]) {
+    const auto& e = edges_[eid];
+    if ((e.a == a && e.b == b) || (e.a == b && e.b == a)) return true;
+  }
+  return false;
+}
+
+std::vector<std::pair<CityId, CityId>> gabriel_graph(const CityDatabase& cities) {
+  const auto n = static_cast<CityId>(cities.size());
+  std::vector<std::pair<CityId, CityId>> edges;
+  for (CityId a = 0; a < n; ++a) {
+    for (CityId b = a + 1; b < n; ++b) {
+      const auto& pa = cities.city(a).location;
+      const auto& pb = cities.city(b).location;
+      const geo::GeoPoint mid = geo::midpoint(pa, pb);
+      const double radius = geo::distance_km(pa, pb) / 2.0;
+      bool blocked = false;
+      for (CityId c = 0; c < n && !blocked; ++c) {
+        if (c == a || c == b) continue;
+        // Strictly inside the diameter disc (small epsilon avoids ties for
+        // collinear metro clusters).
+        if (geo::distance_km(mid, cities.city(c).location) < radius - 1e-9) blocked = true;
+      }
+      if (!blocked) edges.emplace_back(a, b);
+    }
+  }
+  return edges;
+}
+
+geo::Polyline curved_path(const CityDatabase& cities, CityId a, CityId b, TransportMode mode,
+                          const NetworkGenParams& params) {
+  IT_CHECK(a != b);
+  const auto& pa = cities.city(a).location;
+  const auto& pb = cities.city(b).location;
+  const double straight_km = geo::distance_km(pa, pb);
+
+  double curvature = params.road_curvature;
+  if (mode == TransportMode::Rail) curvature = params.rail_curvature;
+  if (mode == TransportMode::Pipeline) curvature = params.pipeline_curvature;
+
+  // Deterministic per (seed, unordered city pair, mode): geometry is a
+  // property of the corridor, not of which endpoint we started from.
+  const CityId lo = std::min(a, b);
+  const CityId hi = std::max(a, b);
+  Rng rng(mix64(params.seed ^ (static_cast<std::uint64_t>(lo) << 40) ^
+                (static_cast<std::uint64_t>(hi) << 16) ^ static_cast<std::uint64_t>(mode)));
+
+  auto interior = static_cast<std::size_t>(params.vertices_per_100km * straight_km / 100.0);
+  interior = std::clamp<std::size_t>(interior, 1, 24);
+
+  // Smooth lateral bump: amplitude × sin(π t) envelope plus a second
+  // harmonic, offsetting each interior vertex perpendicular to the
+  // great-circle bearing.
+  const double amp1 = rng.uniform(0.3, 1.0) * curvature * straight_km;
+  const double amp2 = rng.uniform(-0.4, 0.4) * curvature * straight_km;
+  const double side = rng.chance(0.5) ? 1.0 : -1.0;
+
+  std::vector<geo::GeoPoint> pts;
+  pts.reserve(interior + 2);
+  pts.push_back(pa);
+  for (std::size_t i = 1; i <= interior; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(interior + 1);
+    const geo::GeoPoint on_gc = geo::interpolate(pa, pb, t);
+    const double bearing = geo::initial_bearing_deg(on_gc, pb);
+    const double offset =
+        side * (amp1 * std::sin(geo::kPi * t) + amp2 * std::sin(2.0 * geo::kPi * t)) +
+        rng.normal(0.0, 0.02 * straight_km / static_cast<double>(interior + 1));
+    pts.push_back(geo::destination(on_gc, bearing + 90.0, offset));
+  }
+  pts.push_back(pb);
+  return geo::Polyline(std::move(pts));
+}
+
+namespace {
+
+std::vector<std::pair<CityId, CityId>> road_edge_set(const CityDatabase& cities,
+                                                     const NetworkGenParams& params) {
+  auto edges = gabriel_graph(cities);
+  // Roads: augment with each city's k nearest neighbours that are not
+  // already connected (interstates cross Gabriel-blocked regions).
+  const auto n = static_cast<CityId>(cities.size());
+  auto has_edge = [&edges](CityId a, CityId b) {
+    const auto key = std::make_pair(std::min(a, b), std::max(a, b));
+    return std::find(edges.begin(), edges.end(), key) != edges.end();
+  };
+  for (CityId a = 0; a < n; ++a) {
+    std::vector<std::pair<double, CityId>> dists;
+    for (CityId b = 0; b < n; ++b) {
+      if (b == a) continue;
+      dists.emplace_back(geo::distance_km(cities.city(a).location, cities.city(b).location), b);
+    }
+    std::sort(dists.begin(), dists.end());
+    std::size_t added = 0;
+    for (const auto& [d, b] : dists) {
+      if (added >= params.road_extra_neighbors) break;
+      if (!has_edge(a, b)) {
+        edges.emplace_back(std::min(a, b), std::max(a, b));
+        ++added;
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+std::vector<std::pair<CityId, CityId>> pruned_edge_set(const CityDatabase& cities,
+                                                       double keep_fraction, Rng& rng) {
+  auto gabriel = gabriel_graph(cities);
+  // Score each edge by endpoint population product (trunk lines between big
+  // cities survive) with random jitter; keep the top fraction, then patch
+  // connectivity with a spanning pass so no city is isolated.
+  struct Scored {
+    double score;
+    std::pair<CityId, CityId> edge;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(gabriel.size());
+  for (const auto& [a, b] : gabriel) {
+    const double pop = std::log1p(static_cast<double>(cities.city(a).population)) *
+                       std::log1p(static_cast<double>(cities.city(b).population));
+    scored.push_back({pop * rng.uniform(0.5, 1.5), {a, b}});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& x, const Scored& y) { return x.score > y.score; });
+  const auto keep = static_cast<std::size_t>(keep_fraction * static_cast<double>(scored.size()));
+  std::vector<std::pair<CityId, CityId>> edges;
+  edges.reserve(keep);
+  for (std::size_t i = 0; i < keep && i < scored.size(); ++i) edges.push_back(scored[i].edge);
+
+  // Connectivity patch: union-find over kept edges; reattach isolated
+  // components via their best dropped Gabriel edge.
+  const auto n = cities.size();
+  std::vector<CityId> parent(n);
+  for (CityId i = 0; i < n; ++i) parent[i] = i;
+  std::function<CityId(CityId)> find = [&](CityId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](CityId x, CityId y) { parent[find(x)] = find(y); };
+  for (const auto& [a, b] : edges) unite(a, b);
+  for (std::size_t i = keep; i < scored.size(); ++i) {
+    const auto [a, b] = scored[i].edge;
+    if (find(a) != find(b)) {
+      edges.push_back(scored[i].edge);
+      unite(a, b);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+TransportNetwork build_network(const CityDatabase& cities, TransportMode mode,
+                               std::vector<std::pair<CityId, CityId>> pairs,
+                               const NetworkGenParams& params) {
+  std::vector<TransportEdge> edges;
+  edges.reserve(pairs.size());
+  for (const auto& [a, b] : pairs) {
+    TransportEdge e;
+    e.id = static_cast<EdgeId>(edges.size());
+    e.a = a;
+    e.b = b;
+    e.mode = mode;
+    e.path = curved_path(cities, a, b, mode, params);
+    e.length_km = e.path.length_km();
+    edges.push_back(std::move(e));
+  }
+  return TransportNetwork(mode, std::move(edges), cities.size());
+}
+
+}  // namespace
+
+TransportNetwork generate_network(const CityDatabase& cities, TransportMode mode,
+                                  const NetworkGenParams& params) {
+  switch (mode) {
+    case TransportMode::Road:
+      return build_network(cities, mode, road_edge_set(cities, params), params);
+    case TransportMode::Rail: {
+      Rng rng(mix64(params.seed ^ 0x5a11ULL));
+      return build_network(cities, mode, pruned_edge_set(cities, params.rail_keep_fraction, rng),
+                           params);
+    }
+    case TransportMode::Pipeline: {
+      Rng rng(mix64(params.seed ^ 0x919eULL));
+      return build_network(cities, mode,
+                           pruned_edge_set(cities, params.pipeline_keep_fraction, rng), params);
+    }
+  }
+  IT_CHECK_MSG(false, "unreachable");
+  throw std::logic_error("unreachable");
+}
+
+TransportBundle generate_bundle(const CityDatabase& cities, const NetworkGenParams& params) {
+  return TransportBundle{
+      generate_network(cities, TransportMode::Road, params),
+      generate_network(cities, TransportMode::Rail, params),
+      generate_network(cities, TransportMode::Pipeline, params),
+  };
+}
+
+}  // namespace intertubes::transport

@@ -1,0 +1,109 @@
+// Synthetic transportation networks over the city database.
+//
+// The paper's National Atlas roadway/railway layers are not available
+// offline, so we synthesize networks with the same roles: a dense
+// interstate-style roadway graph, a sparser railway graph biased toward
+// trunk corridors, and a small set of pipeline corridors (the
+// "other rights-of-way" of §3).  Topology is a Gabriel graph over city
+// locations — the classic proximity graph that reproduces the look of
+// national highway systems — pruned/augmented per mode; edge geometry is a
+// curved polyline (roads and rails do not follow great circles exactly).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "geo/polyline.hpp"
+#include "transport/cities.hpp"
+#include "util/rng.hpp"
+
+namespace intertubes::transport {
+
+enum class TransportMode : std::uint8_t { Road, Rail, Pipeline };
+
+std::string_view mode_name(TransportMode m) noexcept;
+
+using EdgeId = std::uint32_t;
+
+struct TransportEdge {
+  EdgeId id = 0;
+  CityId a = kNoCity;
+  CityId b = kNoCity;
+  TransportMode mode = TransportMode::Road;
+  geo::Polyline path;       ///< Curved geometry from city a to city b.
+  double length_km = 0.0;   ///< path.length_km(), cached.
+};
+
+/// One mode's network: edges over the shared city set.
+class TransportNetwork {
+ public:
+  TransportNetwork(TransportMode mode, std::vector<TransportEdge> edges, std::size_t num_cities);
+
+  TransportMode mode() const noexcept { return mode_; }
+  const std::vector<TransportEdge>& edges() const noexcept { return edges_; }
+  std::size_t num_cities() const noexcept { return num_cities_; }
+
+  /// Edge ids incident to city `c`.
+  const std::vector<EdgeId>& edges_at(CityId c) const;
+
+  /// True if an edge joins a and b (either direction).
+  bool connects(CityId a, CityId b) const;
+
+  double total_length_km() const noexcept { return total_length_km_; }
+
+ private:
+  TransportMode mode_;
+  std::vector<TransportEdge> edges_;
+  std::size_t num_cities_;
+  std::vector<std::vector<EdgeId>> adjacency_;
+  double total_length_km_ = 0.0;
+};
+
+/// Generation parameters; defaults give road/rail/pipeline networks with
+/// realistic relative density (road ≈ 1.5× rail edge count; pipelines
+/// sparse and corridor-like).
+struct NetworkGenParams {
+  std::uint64_t seed = 0x1257;
+  /// Extra nearest-neighbour edges added per city on top of the Gabriel
+  /// graph (roads only; makes the road net denser than rail).
+  std::size_t road_extra_neighbors = 2;
+  /// Fraction of Gabriel edges kept for rail (biased to high-population
+  /// endpoints — trunk lines survive, spurs are dropped).
+  double rail_keep_fraction = 0.62;
+  /// Fraction kept for pipelines (lowest density).
+  double pipeline_keep_fraction = 0.18;
+  /// Peak perpendicular deviation of edge geometry as a fraction of edge
+  /// length, per mode.  Roads wiggle less than rails in this model simply
+  /// to make the two buffers distinguishable.
+  double road_curvature = 0.095;
+  double rail_curvature = 0.15;
+  double pipeline_curvature = 0.12;
+  /// Number of interior vertices per 100 km of edge length.
+  double vertices_per_100km = 4.0;
+};
+
+/// Gabriel graph over the city set: edge (a,b) iff no third city lies in
+/// the disc with diameter ab.  Returned as (a, b) id pairs with a < b.
+std::vector<std::pair<CityId, CityId>> gabriel_graph(const CityDatabase& cities);
+
+/// Generate a curved polyline between two cities.  Deterministic in
+/// (seed, a, b, mode): the same corridor always gets the same geometry,
+/// which is what makes conduit identity well-defined across the library.
+geo::Polyline curved_path(const CityDatabase& cities, CityId a, CityId b, TransportMode mode,
+                          const NetworkGenParams& params);
+
+/// Generate one network of the given mode.
+TransportNetwork generate_network(const CityDatabase& cities, TransportMode mode,
+                                  const NetworkGenParams& params);
+
+/// Generate the full road + rail + pipeline bundle with one call.
+struct TransportBundle {
+  TransportNetwork road;
+  TransportNetwork rail;
+  TransportNetwork pipeline;
+};
+
+TransportBundle generate_bundle(const CityDatabase& cities, const NetworkGenParams& params);
+
+}  // namespace intertubes::transport

@@ -1,0 +1,159 @@
+#include "transport/row.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace intertubes::transport {
+
+RightOfWayRegistry::RightOfWayRegistry(const TransportBundle& bundle) {
+  num_cities_ = bundle.road.num_cities();
+  IT_CHECK(bundle.rail.num_cities() == num_cities_);
+  IT_CHECK(bundle.pipeline.num_cities() == num_cities_);
+  adjacency_.resize(num_cities_);
+  add_network(bundle.road);
+  add_network(bundle.rail);
+  add_network(bundle.pipeline);
+}
+
+void RightOfWayRegistry::add_network(const TransportNetwork& net) {
+  for (const auto& e : net.edges()) {
+    Corridor c;
+    c.id = static_cast<CorridorId>(corridors_.size());
+    c.a = e.a;
+    c.b = e.b;
+    c.mode = e.mode;
+    c.path = e.path;
+    c.length_km = e.length_km;
+    adjacency_[c.a].push_back(c.id);
+    adjacency_[c.b].push_back(c.id);
+    corridors_.push_back(std::move(c));
+  }
+}
+
+const Corridor& RightOfWayRegistry::corridor(CorridorId id) const {
+  IT_CHECK(id < corridors_.size());
+  return corridors_[id];
+}
+
+const std::vector<CorridorId>& RightOfWayRegistry::corridors_at(CityId c) const {
+  IT_CHECK(c < adjacency_.size());
+  return adjacency_[c];
+}
+
+std::optional<CorridorId> RightOfWayRegistry::direct(CityId a, CityId b,
+                                                     std::optional<TransportMode> mode) const {
+  IT_CHECK(a < num_cities_ && b < num_cities_);
+  std::optional<CorridorId> best;
+  for (CorridorId cid : adjacency_[a]) {
+    const auto& c = corridors_[cid];
+    const bool joins = (c.a == a && c.b == b) || (c.a == b && c.b == a);
+    if (!joins) continue;
+    if (mode && c.mode != *mode) continue;
+    if (!best || c.length_km < corridors_[*best].length_km) best = cid;
+  }
+  return best;
+}
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct QueueEntry {
+  double dist;
+  CityId city;
+  bool operator>(const QueueEntry& o) const noexcept { return dist > o.dist; }
+};
+}  // namespace
+
+RowPath RightOfWayRegistry::shortest_path(CityId from, CityId to, const WeightFn& weight) const {
+  IT_CHECK(from < num_cities_ && to < num_cities_);
+  std::vector<double> dist(num_cities_, kInf);
+  std::vector<CorridorId> via(num_cities_, kNoCorridor);
+  std::vector<CityId> prev(num_cities_, kNoCity);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
+  dist[from] = 0.0;
+  queue.push({0.0, from});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    if (u == to) break;
+    for (CorridorId cid : adjacency_[u]) {
+      const auto& c = corridors_[cid];
+      const CityId v = (c.a == u) ? c.b : c.a;
+      const double w = weight ? weight(c) : c.length_km;
+      if (!(w < kInf)) continue;
+      const double nd = d + w;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        via[v] = cid;
+        prev[v] = u;
+        queue.push({nd, v});
+      }
+    }
+  }
+
+  RowPath path;
+  if (!(dist[to] < kInf)) return path;
+  // Walk back from `to`.
+  std::vector<CorridorId> rev_corridors;
+  std::vector<CityId> rev_cities;
+  CityId cur = to;
+  rev_cities.push_back(cur);
+  while (cur != from) {
+    rev_corridors.push_back(via[cur]);
+    cur = prev[cur];
+    rev_cities.push_back(cur);
+  }
+  path.corridors.assign(rev_corridors.rbegin(), rev_corridors.rend());
+  path.cities.assign(rev_cities.rbegin(), rev_cities.rend());
+  for (CorridorId cid : path.corridors) path.length_km += corridors_[cid].length_km;
+  return path;
+}
+
+std::vector<double> RightOfWayRegistry::distances_from(CityId from, const WeightFn& weight) const {
+  IT_CHECK(from < num_cities_);
+  std::vector<double> dist(num_cities_, kInf);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
+  dist[from] = 0.0;
+  queue.push({0.0, from});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    for (CorridorId cid : adjacency_[u]) {
+      const auto& c = corridors_[cid];
+      const CityId v = (c.a == u) ? c.b : c.a;
+      const double w = weight ? weight(c) : c.length_km;
+      if (!(w < kInf)) continue;
+      const double nd = d + w;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        queue.push({nd, v});
+      }
+    }
+  }
+  return dist;
+}
+
+geo::Polyline RightOfWayRegistry::path_geometry(const RowPath& path) const {
+  IT_CHECK(!path.empty());
+  IT_CHECK(path.cities.size() == path.corridors.size() + 1);
+  std::vector<geo::GeoPoint> pts;
+  for (std::size_t i = 0; i < path.corridors.size(); ++i) {
+    const auto& c = corridors_[path.corridors[i]];
+    // Orient the corridor geometry to run from path.cities[i] to [i+1].
+    const bool forward = (c.a == path.cities[i]);
+    const auto& src = c.path.points();
+    if (forward) {
+      for (std::size_t k = (i == 0 ? 0 : 1); k < src.size(); ++k) pts.push_back(src[k]);
+    } else {
+      for (std::size_t k = (i == 0 ? src.size() : src.size() - 1); k-- > 0;)
+        pts.push_back(src[k]);
+    }
+  }
+  return geo::Polyline(std::move(pts));
+}
+
+}  // namespace intertubes::transport

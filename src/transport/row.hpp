@@ -1,0 +1,82 @@
+// The right-of-way (ROW) registry: the union of all transportation
+// corridors, which is where conduits can physically be trenched.
+//
+// Each transport edge becomes a *corridor* with a stable CorridorId.
+// Conduits are laid along sequences of corridors; the registry provides
+// the shortest-path machinery (by length or by custom weight) that the
+// deployment generator, the mapping pipeline, and the optimizers share.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "transport/network.hpp"
+
+namespace intertubes::transport {
+
+using CorridorId = std::uint32_t;
+inline constexpr CorridorId kNoCorridor = 0xffffffffu;
+
+struct Corridor {
+  CorridorId id = 0;
+  CityId a = kNoCity;
+  CityId b = kNoCity;
+  TransportMode mode = TransportMode::Road;
+  geo::Polyline path;
+  double length_km = 0.0;
+};
+
+/// A path through the ROW graph: corridors in order from `from` to `to`.
+struct RowPath {
+  std::vector<CorridorId> corridors;
+  std::vector<CityId> cities;  ///< Visited cities, size = corridors.size()+1.
+  double length_km = 0.0;
+
+  bool empty() const noexcept { return corridors.empty(); }
+};
+
+class RightOfWayRegistry {
+ public:
+  /// Build from the three-mode bundle.  Corridors joining the same city
+  /// pair in different modes are kept distinct (a road and a rail between
+  /// the same cities are different trenching opportunities).
+  explicit RightOfWayRegistry(const TransportBundle& bundle);
+
+  std::size_t num_cities() const noexcept { return num_cities_; }
+  const std::vector<Corridor>& corridors() const noexcept { return corridors_; }
+  const Corridor& corridor(CorridorId id) const;
+
+  /// Corridor ids incident to a city.
+  const std::vector<CorridorId>& corridors_at(CityId c) const;
+
+  /// The cheapest corridor directly joining a and b, if any (optionally a
+  /// specific mode).
+  std::optional<CorridorId> direct(CityId a, CityId b,
+                                   std::optional<TransportMode> mode = std::nullopt) const;
+
+  /// Weight function: given a corridor, return its cost, or +inf to forbid.
+  using WeightFn = std::function<double(const Corridor&)>;
+
+  /// Dijkstra from `from` to `to` under `weight` (default: length in km).
+  /// Returns an empty path if unreachable.
+  RowPath shortest_path(CityId from, CityId to, const WeightFn& weight = {}) const;
+
+  /// All-destination Dijkstra from `from`; dist[i] = +inf if unreachable.
+  std::vector<double> distances_from(CityId from, const WeightFn& weight = {}) const;
+
+  /// Concatenated geometry of a path (corridor polylines oriented and
+  /// joined end to end).
+  geo::Polyline path_geometry(const RowPath& path) const;
+
+ private:
+  void add_network(const TransportNetwork& net);
+
+  std::size_t num_cities_ = 0;
+  std::vector<Corridor> corridors_;
+  std::vector<std::vector<CorridorId>> adjacency_;
+};
+
+}  // namespace intertubes::transport

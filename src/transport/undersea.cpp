@@ -1,0 +1,71 @@
+#include "transport/undersea.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace intertubes::transport {
+
+namespace {
+
+/// An offshore arc: interpolate the great circle between landings and push
+/// every interior vertex seaward (perpendicular offset toward the given
+/// bearing side).
+geo::Polyline offshore_arc(const geo::GeoPoint& a, const geo::GeoPoint& b, double offshore_km) {
+  const int interior = 6;
+  std::vector<geo::GeoPoint> pts;
+  pts.push_back(a);
+  for (int i = 1; i <= interior; ++i) {
+    const double t = static_cast<double>(i) / (interior + 1);
+    const geo::GeoPoint on_gc = geo::interpolate(a, b, t);
+    const double bearing = geo::initial_bearing_deg(on_gc, b);
+    // Bulge is largest mid-route.
+    const double bulge = offshore_km * std::sin(geo::kPi * t);
+    pts.push_back(geo::destination(on_gc, bearing + 90.0, bulge));
+  }
+  pts.push_back(b);
+  return geo::Polyline(std::move(pts));
+}
+
+}  // namespace
+
+std::vector<UnderseaCable> default_us_festoons(const CityDatabase& cities) {
+  struct Spec {
+    const char* name;
+    const char* from;
+    const char* to;
+    double offshore_km;  ///< positive bulges right of the travel direction
+  };
+  // Offshore sides: Pacific runs north→south with the sea to the right
+  // (+90°); Atlantic runs north→south with the sea to the left, so the
+  // offset is negative; the Gulf runs east→west with the sea to the left.
+  static constexpr Spec kSpecs[] = {
+      {"Pacific Festoon North", "Seattle, WA", "San Francisco, CA", 120.0},
+      {"Pacific Festoon Central", "San Francisco, CA", "Los Angeles, CA", 90.0},
+      {"Pacific Festoon South", "Los Angeles, CA", "San Diego, CA", 60.0},
+      {"Atlantic Festoon North", "Boston, MA", "New York, NY", -80.0},
+      {"Atlantic Festoon Mid", "New York, NY", "Norfolk, VA", -110.0},
+      {"Atlantic Festoon South", "Norfolk, VA", "Charleston, SC", -120.0},
+      {"Atlantic Festoon Florida", "Charleston, SC", "Miami, FL", -130.0},
+      {"Gulf Festoon East", "Miami, FL", "New Orleans, LA", -160.0},
+      {"Gulf Festoon West", "New Orleans, LA", "Houston, TX", -120.0},
+  };
+
+  std::vector<UnderseaCable> cables;
+  for (const auto& spec : kSpecs) {
+    const auto a = cities.find(spec.from);
+    const auto b = cities.find(spec.to);
+    IT_CHECK_MSG(a.has_value() && b.has_value(), "festoon landing city missing");
+    UnderseaCable cable;
+    cable.name = spec.name;
+    cable.landing_a = *a;
+    cable.landing_b = *b;
+    cable.route = offshore_arc(cities.city(*a).location, cities.city(*b).location,
+                               spec.offshore_km);
+    cable.length_km = cable.route.length_km();
+    cables.push_back(std::move(cable));
+  }
+  return cables;
+}
+
+}  // namespace intertubes::transport

@@ -1,0 +1,32 @@
+// Undersea cable festoons along the US coasts.
+//
+// Footnote 8 of the paper: "When accounting for alternate routes via
+// undersea cables, network partitioning for the US Internet is a very
+// unlikely scenario."  §8 lists undersea cable maps as the natural map
+// enrichment.  This module provides a realistic set of coastal festoon
+// segments (landing-station cities are real; routes are offshore arcs)
+// that resilience analyses can count as alternate paths no terrestrial
+// backhoe or regional disaster reaches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/polyline.hpp"
+#include "transport/cities.hpp"
+
+namespace intertubes::transport {
+
+struct UnderseaCable {
+  std::string name;
+  CityId landing_a = kNoCity;
+  CityId landing_b = kNoCity;
+  geo::Polyline route;     ///< offshore arc between the landings
+  double length_km = 0.0;
+};
+
+/// The default coastal festoon systems: Pacific (Seattle…San Diego),
+/// Atlantic (Boston…Miami) and Gulf (Miami…Houston) segments.
+std::vector<UnderseaCable> default_us_festoons(const CityDatabase& cities);
+
+}  // namespace intertubes::transport

@@ -1,0 +1,30 @@
+// Lightweight precondition / invariant checking.
+//
+// The library validates its inputs with IT_CHECK, which throws
+// std::logic_error on violation.  Checks are always on (they guard public
+// API boundaries, not hot inner loops), so behaviour does not differ
+// between build types.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace intertubes {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  throw std::logic_error(std::string("check failed: ") + expr + " at " + file + ":" +
+                         std::to_string(line) + (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace intertubes
+
+#define IT_CHECK(expr)                                                 \
+  do {                                                                 \
+    if (!(expr)) ::intertubes::check_failed(#expr, __FILE__, __LINE__, {}); \
+  } while (false)
+
+#define IT_CHECK_MSG(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) ::intertubes::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

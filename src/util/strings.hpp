@@ -1,0 +1,35 @@
+// String helpers used by the public-records search engine and by table
+// rendering.  All functions are pure and allocation-straightforward.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace intertubes {
+
+/// ASCII lower-casing (the corpus is ASCII by construction).
+std::string to_lower(std::string_view s);
+
+/// Split on any character in `delims`, dropping empty pieces.
+std::vector<std::string> split(std::string_view s, std::string_view delims = " \t\r\n");
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Trim ASCII whitespace from both ends.
+std::string trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+bool contains(std::string_view haystack, std::string_view needle) noexcept;
+
+/// Replace every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string s, std::string_view from, std::string_view to);
+
+/// Tokenize into lower-case alphanumeric words (separators: everything else).
+/// This is the canonical tokenization shared by the corpus indexer and the
+/// query parser so the two always agree.
+std::vector<std::string> tokenize_words(std::string_view text);
+
+}  // namespace intertubes

@@ -1,0 +1,108 @@
+#include "util/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace intertubes {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  IT_CHECK(!headers_.empty());
+}
+
+void TextTable::start_row() { rows_.emplace_back(); }
+
+void TextTable::add_cell(std::string value) {
+  IT_CHECK_MSG(!rows_.empty(), "call start_row() before add_cell()");
+  IT_CHECK_MSG(rows_.back().size() < headers_.size(), "row has more cells than headers");
+  rows_.back().push_back(std::move(value));
+}
+
+void TextTable::add_cell(const char* value) { add_cell(std::string(value)); }
+
+void TextTable::add_cell(double value, int precision) {
+  add_cell(format_double(value, precision));
+}
+
+void TextTable::add_cell(std::size_t value) { add_cell(std::to_string(value)); }
+void TextTable::add_cell(long long value) { add_cell(std::to_string(value)); }
+void TextTable::add_cell(int value) { add_cell(std::to_string(value)); }
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  IT_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render(const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  if (!title.empty()) out << title << "\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << std::left << std::setw(static_cast<int>(widths[c])) << cell;
+      if (c + 1 < headers_.size()) out << "  ";
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  out << std::string(rule, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+std::string TextTable::to_csv() const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << csv_escape(headers_[c]);
+    if (c + 1 < headers_.size()) out << ",";
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c < row.size()) out << csv_escape(row[c]);
+      if (c + 1 < headers_.size()) out << ",";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << content;
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace intertubes

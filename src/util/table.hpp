@@ -1,0 +1,48 @@
+// Text-table and CSV rendering used by the experiment harnesses to print
+// the rows/series that correspond to the paper's tables and figures.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace intertubes {
+
+/// A simple column-aligned text table.  Cells are strings; numeric
+/// convenience overloads format with fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Begin a new row.  Subsequent add_cell calls fill it left to right.
+  void start_row();
+  void add_cell(std::string value);
+  void add_cell(const char* value);
+  void add_cell(double value, int precision = 2);
+  void add_cell(std::size_t value);
+  void add_cell(long long value);
+  void add_cell(int value);
+
+  /// Convenience: add a full row at once.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with column alignment, a header rule, and optional title.
+  std::string render(const std::string& title = {}) const;
+
+  /// Render as CSV (RFC-4180-ish quoting).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision.
+std::string format_double(double value, int precision);
+
+/// Write a string to a file, throwing std::runtime_error on failure.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace intertubes

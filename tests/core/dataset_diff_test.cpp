@@ -1,0 +1,117 @@
+#include "core/dataset_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/strings.hpp"
+
+namespace intertubes::core {
+namespace {
+
+transport::Corridor make_corridor(transport::CorridorId id, transport::CityId a,
+                                  transport::CityId b) {
+  transport::Corridor c;
+  c.id = id;
+  c.a = a;
+  c.b = b;
+  c.path = geo::Polyline::straight({40.0, -100.0 + 0.01 * id}, {40.0, -99.0 + 0.01 * id});
+  c.length_km = 100.0;
+  return c;
+}
+
+TEST(DatasetDiff, IdenticalMapsEmptyDiff) {
+  const auto& map = testing::shared_scenario().map();
+  const auto diff = diff_maps(map, map);
+  EXPECT_TRUE(diff.empty());
+  EXPECT_EQ(diff.links_before, diff.links_after);
+}
+
+TEST(DatasetDiff, DetectsAddedConduitAndTenant) {
+  FiberMap before(3);
+  const auto c0 = before.ensure_conduit(make_corridor(0, 0, 1), Provenance::GeocodedMap);
+  before.add_link(0, 0, 1, {c0}, true);
+
+  FiberMap after(3);
+  const auto a0 = after.ensure_conduit(make_corridor(0, 0, 1), Provenance::GeocodedMap);
+  const auto a1 = after.ensure_conduit(make_corridor(1, 1, 2), Provenance::GeocodedMap);
+  after.add_link(0, 0, 1, {a0}, true);
+  after.add_link(1, 0, 1, {a0}, true);  // new tenant on existing conduit
+  after.add_link(2, 1, 2, {a1}, true);  // new conduit
+
+  const auto diff = diff_maps(before, after);
+  ASSERT_EQ(diff.added_conduits.size(), 1u);
+  EXPECT_EQ(diff.added_conduits[0].a, 1u);
+  EXPECT_EQ(diff.added_conduits[0].b, 2u);
+  EXPECT_TRUE(diff.removed_conduits.empty());
+  ASSERT_EQ(diff.tenancy_changes.size(), 1u);
+  EXPECT_EQ(diff.tenancy_changes[0].added_tenants, (std::vector<isp::IspId>{1}));
+  EXPECT_TRUE(diff.tenancy_changes[0].removed_tenants.empty());
+  EXPECT_EQ(diff.links_before, 1u);
+  EXPECT_EQ(diff.links_after, 3u);
+}
+
+TEST(DatasetDiff, DetectsRemovals) {
+  FiberMap before(2);
+  const auto b0 = before.ensure_conduit(make_corridor(0, 0, 1), Provenance::GeocodedMap);
+  const auto b1 = before.ensure_conduit(make_corridor(1, 1, 2), Provenance::GeocodedMap);
+  before.add_link(0, 0, 1, {b0}, true);
+  before.add_link(1, 1, 2, {b1}, true);
+
+  FiberMap after(2);
+  const auto a0 = after.ensure_conduit(make_corridor(0, 0, 1), Provenance::GeocodedMap);
+  after.add_link(0, 0, 1, {a0}, true);
+
+  const auto diff = diff_maps(before, after);
+  ASSERT_EQ(diff.removed_conduits.size(), 1u);
+  EXPECT_EQ(diff.removed_conduits[0].a, 1u);
+  EXPECT_EQ(diff.removed_conduits[0].b, 2u);
+  EXPECT_TRUE(diff.added_conduits.empty());
+}
+
+TEST(DatasetDiff, ParallelConduitsMergedByEndpoints) {
+  // Two conduits between the same pair diff as one logical record.
+  FiberMap before(2);
+  const auto b0 = before.ensure_conduit(make_corridor(0, 0, 1), Provenance::GeocodedMap);
+  before.add_link(0, 0, 1, {b0}, true);
+  FiberMap after(2);
+  const auto a0 = after.ensure_conduit(make_corridor(0, 0, 1), Provenance::GeocodedMap);
+  const auto a1 = after.ensure_conduit(make_corridor(7, 0, 1), Provenance::GeocodedMap);
+  after.add_link(0, 0, 1, {a0}, true);
+  after.add_link(1, 0, 1, {a1}, true);
+  const auto diff = diff_maps(before, after);
+  EXPECT_TRUE(diff.added_conduits.empty());
+  ASSERT_EQ(diff.tenancy_changes.size(), 1u);
+  EXPECT_EQ(diff.tenancy_changes[0].added_tenants, (std::vector<isp::IspId>{1}));
+}
+
+TEST(DatasetDiff, RenderMentionsEverything) {
+  const auto& cities = core::Scenario::cities();
+  const auto& profiles = testing::shared_scenario().truth().profiles();
+  FiberMap before(profiles.size());
+  const auto b0 = before.ensure_conduit(make_corridor(0, 0, 1), Provenance::GeocodedMap);
+  before.add_link(0, 0, 1, {b0}, true);
+  FiberMap after(profiles.size());
+  const auto a1 = after.ensure_conduit(make_corridor(1, 1, 2), Provenance::GeocodedMap);
+  after.add_link(1, 1, 2, {a1}, true);
+  const auto text = render_diff(diff_maps(before, after), cities, profiles);
+  EXPECT_TRUE(contains(text, "+ conduit"));
+  EXPECT_TRUE(contains(text, "- conduit"));
+  EXPECT_TRUE(contains(text, cities.city(0).display_name()));
+  EXPECT_TRUE(contains(text, "links: 1 -> 1"));
+}
+
+TEST(DatasetDiff, PipelineVsGroundTruthDiffIsTheFidelityGap) {
+  // Diffing the constructed map against the oracle map quantifies exactly
+  // what the pipeline missed/invented.
+  const auto& scenario = testing::shared_scenario();
+  const auto oracle = map_from_ground_truth(scenario.truth(), scenario.row());
+  const auto diff = diff_maps(scenario.map(), oracle);
+  // Pipeline misses some conduits (oracle adds them) and invents some
+  // (oracle removes them) — both nonzero but small relative to the map.
+  EXPECT_GT(diff.added_conduits.size() + diff.removed_conduits.size(), 0u);
+  EXPECT_LT(diff.added_conduits.size(), scenario.map().conduits().size() / 2);
+  EXPECT_LT(diff.removed_conduits.size(), scenario.map().conduits().size() / 2);
+}
+
+}  // namespace
+}  // namespace intertubes::core

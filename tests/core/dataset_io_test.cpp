@@ -1,0 +1,157 @@
+#include "core/dataset_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "risk/risk_matrix.hpp"
+#include "test_support.hpp"
+#include "util/strings.hpp"
+
+namespace intertubes::core {
+namespace {
+
+const Scenario& scenario() { return testing::shared_scenario(); }
+const std::vector<isp::IspProfile>& profiles() { return scenario().truth().profiles(); }
+
+std::string serialized() {
+  static const std::string text =
+      serialize_dataset(scenario().map(), Scenario::cities(), scenario().row(), profiles());
+  return text;
+}
+
+TEST(DatasetIo, SerializationContainsAllSections) {
+  const auto& text = serialized();
+  EXPECT_TRUE(contains(text, "#nodes"));
+  EXPECT_TRUE(contains(text, "#conduits"));
+  EXPECT_TRUE(contains(text, "#links"));
+  // One record per entity.
+  std::size_t conduit_lines = 0;
+  std::size_t link_lines = 0;
+  std::size_t node_lines = 0;
+  for (const auto& line : split(text, "\n")) {
+    if (starts_with(line, "conduit\t")) ++conduit_lines;
+    if (starts_with(line, "link\t")) ++link_lines;
+    if (starts_with(line, "node\t")) ++node_lines;
+  }
+  EXPECT_EQ(conduit_lines, scenario().map().conduits().size());
+  EXPECT_EQ(link_lines, scenario().map().links().size());
+  EXPECT_EQ(node_lines, scenario().map().nodes().size());
+}
+
+TEST(DatasetIo, RoundTripPreservesStructure) {
+  const auto reloaded =
+      parse_dataset(serialized(), Scenario::cities(), scenario().row(), profiles());
+  const auto& original = scenario().map();
+  ASSERT_EQ(reloaded.conduits().size(), original.conduits().size());
+  ASSERT_EQ(reloaded.links().size(), original.links().size());
+  for (std::size_t i = 0; i < original.conduits().size(); ++i) {
+    const auto& a = original.conduit(static_cast<ConduitId>(i));
+    const auto& b = reloaded.conduit(static_cast<ConduitId>(i));
+    EXPECT_EQ(a.a, b.a);
+    EXPECT_EQ(a.b, b.b);
+    EXPECT_EQ(a.tenants, b.tenants);
+    EXPECT_EQ(a.validated, b.validated);
+    EXPECT_NEAR(a.length_km, b.length_km, a.length_km * 0.01 + 0.1);
+  }
+  for (std::size_t i = 0; i < original.links().size(); ++i) {
+    const auto& a = original.link(static_cast<LinkId>(i));
+    const auto& b = reloaded.link(static_cast<LinkId>(i));
+    EXPECT_EQ(a.isp, b.isp);
+    EXPECT_EQ(a.a, b.a);
+    EXPECT_EQ(a.b, b.b);
+    EXPECT_EQ(a.geocoded, b.geocoded);
+    EXPECT_EQ(a.conduits.size(), b.conduits.size());
+  }
+}
+
+TEST(DatasetIo, RoundTripPreservesRiskAnalysis) {
+  // The dataset must carry enough to reproduce the paper's analyses:
+  // identical sharing distribution after a round trip.
+  const auto reloaded =
+      parse_dataset(serialized(), Scenario::cities(), scenario().row(), profiles());
+  const auto before = risk::RiskMatrix::from_map(scenario().map());
+  const auto after = risk::RiskMatrix::from_map(reloaded);
+  EXPECT_EQ(before.conduits_shared_by_at_least(), after.conduits_shared_by_at_least());
+}
+
+TEST(DatasetIo, RoundTripAtAlternateSeed) {
+  // The format is world-independent: round-trip a different world.
+  const auto& alt = testing::alternate_scenario();
+  const auto text = serialize_dataset(alt.map(), Scenario::cities(), alt.row(),
+                                      alt.truth().profiles());
+  const auto reloaded = parse_dataset(text, Scenario::cities(), alt.row(),
+                                      alt.truth().profiles());
+  ASSERT_EQ(reloaded.conduits().size(), alt.map().conduits().size());
+  ASSERT_EQ(reloaded.links().size(), alt.map().links().size());
+  for (std::size_t i = 0; i < reloaded.conduits().size(); i += 17) {
+    EXPECT_EQ(reloaded.conduit(static_cast<ConduitId>(i)).tenants,
+              alt.map().conduit(static_cast<ConduitId>(i)).tenants);
+  }
+}
+
+TEST(DatasetIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/intertubes_dataset.tsv";
+  save_dataset(path, scenario().map(), Scenario::cities(), scenario().row(), profiles());
+  const auto reloaded = load_dataset(path, Scenario::cities(), scenario().row(), profiles());
+  EXPECT_EQ(reloaded.conduits().size(), scenario().map().conduits().size());
+}
+
+TEST(DatasetIo, LoadMissingFileThrows) {
+  EXPECT_THROW(
+      load_dataset("/nonexistent/dataset.tsv", Scenario::cities(), scenario().row(), profiles()),
+      std::runtime_error);
+}
+
+TEST(DatasetIo, RejectsUnknownCity) {
+  const std::string bad =
+      "conduit\t0\tAtlantis, XX\tNew York, NY\troad\t100.0\t1\tSprint\n";
+  EXPECT_THROW(parse_dataset(bad, Scenario::cities(), scenario().row(), profiles()),
+               std::logic_error);
+}
+
+TEST(DatasetIo, RejectsUnknownIsp) {
+  const std::string bad =
+      "conduit\t0\tDenver, CO\tCheyenne, WY\troad\t100.0\t1\tNoSuchISP\n";
+  EXPECT_THROW(parse_dataset(bad, Scenario::cities(), scenario().row(), profiles()),
+               std::logic_error);
+}
+
+TEST(DatasetIo, RejectsMalformedRecords) {
+  EXPECT_THROW(parse_dataset("conduit\tonly\tthree\n", Scenario::cities(), scenario().row(),
+                             profiles()),
+               std::logic_error);
+  EXPECT_THROW(parse_dataset("mystery\trecord\n", Scenario::cities(), scenario().row(),
+                             profiles()),
+               std::logic_error);
+  EXPECT_THROW(
+      parse_dataset("link\tSprint\tDenver, CO\tCheyenne, WY\t1\t999\n", Scenario::cities(),
+                    scenario().row(), profiles()),
+      std::logic_error);
+}
+
+TEST(DatasetIo, CommentsAndBlankLinesIgnored) {
+  const auto map = parse_dataset("# a comment\n\n# another\n", Scenario::cities(),
+                                 scenario().row(), profiles());
+  EXPECT_TRUE(map.conduits().empty());
+  EXPECT_TRUE(map.links().empty());
+}
+
+TEST(DatasetIo, ParsesMinimalHandWrittenDataset) {
+  const std::string text =
+      "conduit\t0\tDenver, CO\tCheyenne, WY\troad\t160.0\t1\tSprint,Level 3\n"
+      "conduit\t1\tCheyenne, WY\tCasper, WY\trail\t240.0\t0\tSprint\n"
+      "link\tSprint\tDenver, CO\tCasper, WY\t0\t0,1\n";
+  const auto map = parse_dataset(text, Scenario::cities(), scenario().row(), profiles());
+  ASSERT_EQ(map.conduits().size(), 2u);
+  ASSERT_EQ(map.links().size(), 1u);
+  const auto sprint = isp::find_profile(profiles(), "Sprint");
+  const auto level3 = isp::find_profile(profiles(), "Level 3");
+  EXPECT_EQ(map.conduit(0).tenants, (std::vector<isp::IspId>{std::min(sprint, level3),
+                                                             std::max(sprint, level3)}));
+  EXPECT_TRUE(map.conduit(0).validated);
+  EXPECT_FALSE(map.conduit(1).validated);
+  EXPECT_EQ(map.link(0).isp, sprint);
+  EXPECT_EQ(map.link(0).conduits.size(), 2u);
+}
+
+}  // namespace
+}  // namespace intertubes::core

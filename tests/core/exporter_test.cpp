@@ -1,0 +1,104 @@
+#include "core/exporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/strings.hpp"
+
+namespace intertubes::core {
+namespace {
+
+const Scenario& scenario() { return testing::shared_scenario(); }
+
+TEST(Exporter, FiberMapGeojsonContainsAllFeatures) {
+  const auto json = export_fiber_map_geojson(scenario().map(), Scenario::cities(),
+                                             scenario().row());
+  // One LineString per conduit, one Point per node.
+  std::size_t linestrings = 0;
+  std::size_t points = 0;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"LineString\"", pos)) != std::string::npos) {
+    ++linestrings;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = json.find("\"Point\"", pos)) != std::string::npos) {
+    ++points;
+    ++pos;
+  }
+  EXPECT_EQ(linestrings, scenario().map().conduits().size());
+  EXPECT_EQ(points, scenario().map().nodes().size());
+  EXPECT_TRUE(contains(json, "\"tenants\""));
+  EXPECT_TRUE(contains(json, "\"delay_ms\""));
+  EXPECT_TRUE(contains(json, "\"row_mode\""));
+}
+
+TEST(Exporter, ProbesAnnotationOptIn) {
+  const auto plain = export_fiber_map_geojson(scenario().map(), Scenario::cities(),
+                                              scenario().row());
+  EXPECT_FALSE(contains(plain, "\"probes\""));
+  MapAnnotations annotations;
+  annotations.probes_per_conduit.assign(scenario().map().conduits().size(), 42);
+  const auto annotated = export_fiber_map_geojson(scenario().map(), Scenario::cities(),
+                                                  scenario().row(), annotations);
+  EXPECT_TRUE(contains(annotated, "\"probes\":42"));
+}
+
+TEST(Exporter, TransportGeojsonMatchesEdgeCount) {
+  const auto json = export_transport_geojson(scenario().bundle().rail, Scenario::cities());
+  std::size_t linestrings = 0;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"LineString\"", pos)) != std::string::npos) {
+    ++linestrings;
+    ++pos;
+  }
+  EXPECT_EQ(linestrings, scenario().bundle().rail.edges().size());
+  EXPECT_TRUE(contains(json, "\"kind\":\"rail\""));
+}
+
+TEST(Exporter, RegionSummaryCoversAllNodes) {
+  const auto summary = summarize_regions(scenario().map(), Scenario::cities(), scenario().row());
+  ASSERT_EQ(summary.size(), 5u);
+  std::size_t nodes = 0;
+  double km = 0.0;
+  for (const auto& region : summary) {
+    nodes += region.nodes;
+    km += region.conduit_km;
+    if (region.conduits > 0) {
+      EXPECT_GT(region.mean_tenants, 0.0);
+    }
+  }
+  EXPECT_EQ(nodes, scenario().map().nodes().size());
+  // Half-weighted endpoints sum back to total conduit km.
+  double total_km = 0.0;
+  for (const auto& conduit : scenario().map().conduits()) total_km += conduit.length_km;
+  EXPECT_NEAR(km, total_km, 1.0);
+}
+
+TEST(Exporter, DenseEastVsSparseMountains) {
+  // §2.5's feature (i)/(iii): the East out-densifies the Mountain region
+  // per unit — compare conduit endpoints per node.
+  const auto summary = summarize_regions(scenario().map(), Scenario::cities(), scenario().row());
+  const auto& mountain = summary[static_cast<std::size_t>(transport::Region::Mountain)];
+  const auto& east = summary[static_cast<std::size_t>(transport::Region::East)];
+  ASSERT_GT(mountain.nodes, 0u);
+  ASSERT_GT(east.nodes, 0u);
+  const double east_density = static_cast<double>(east.conduits) / static_cast<double>(east.nodes);
+  const double mountain_density =
+      static_cast<double>(mountain.conduits) / static_cast<double>(mountain.nodes);
+  EXPECT_GT(east_density, mountain_density * 0.9);
+}
+
+TEST(Exporter, HubRankingDescendingAndPlausible) {
+  const auto hubs = hub_ranking(scenario().map(), 10);
+  ASSERT_EQ(hubs.size(), 10u);
+  for (std::size_t i = 0; i + 1 < hubs.size(); ++i) {
+    EXPECT_GE(hubs[i].second, hubs[i + 1].second);
+  }
+  // Hubs should be substantial cities, not hamlets: every top-10 hub has
+  // at least 4 incident conduits.
+  EXPECT_GE(hubs.back().second, 4u);
+}
+
+}  // namespace
+}  // namespace intertubes::core

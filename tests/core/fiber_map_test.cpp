@@ -1,0 +1,188 @@
+#include "core/fiber_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_support.hpp"
+
+namespace intertubes::core {
+namespace {
+
+using transport::Corridor;
+using transport::CorridorId;
+
+// A miniature hand-built corridor set for exact assertions.
+Corridor make_corridor(CorridorId id, transport::CityId a, transport::CityId b, double km) {
+  Corridor c;
+  c.id = id;
+  c.a = a;
+  c.b = b;
+  c.mode = transport::TransportMode::Road;
+  c.path = geo::Polyline::straight({40.0, -100.0 + 0.01 * id}, {40.0, -99.0 + 0.01 * id});
+  c.length_km = km;
+  return c;
+}
+
+TEST(FiberMap, EnsureConduitIdempotent) {
+  FiberMap map(3);
+  const auto c0 = make_corridor(11, 0, 1, 100.0);
+  const ConduitId first = map.ensure_conduit(c0, Provenance::GeocodedMap);
+  const ConduitId second = map.ensure_conduit(c0, Provenance::RowAlignment);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(map.conduits().size(), 1u);
+  // Provenance of the first creation wins.
+  EXPECT_EQ(map.conduit(first).provenance, Provenance::GeocodedMap);
+}
+
+TEST(FiberMap, ConduitForCorridorLookup) {
+  FiberMap map(3);
+  const ConduitId cid = map.ensure_conduit(make_corridor(5, 0, 1, 50.0), Provenance::GeocodedMap);
+  EXPECT_EQ(map.conduit_for_corridor(5), cid);
+  EXPECT_FALSE(map.conduit_for_corridor(6).has_value());
+}
+
+TEST(FiberMap, AddTenantSortedUnique) {
+  FiberMap map(5);
+  const ConduitId cid = map.ensure_conduit(make_corridor(0, 0, 1, 50.0), Provenance::GeocodedMap);
+  map.add_tenant(cid, 3);
+  map.add_tenant(cid, 1);
+  map.add_tenant(cid, 3);
+  map.add_tenant(cid, 0);
+  EXPECT_EQ(map.conduit(cid).tenants, (std::vector<isp::IspId>{0, 1, 3}));
+}
+
+TEST(FiberMap, AddTenantValidatesInput) {
+  FiberMap map(2);
+  const ConduitId cid = map.ensure_conduit(make_corridor(0, 0, 1, 50.0), Provenance::GeocodedMap);
+  EXPECT_THROW(map.add_tenant(cid, 2), std::logic_error);          // isp out of range
+  EXPECT_THROW(map.add_tenant(cid + 1, 0), std::logic_error);      // conduit out of range
+}
+
+TEST(FiberMap, AddLinkAccumulatesLengthAndTenancy) {
+  FiberMap map(2);
+  const ConduitId c1 = map.ensure_conduit(make_corridor(0, 0, 1, 100.0), Provenance::GeocodedMap);
+  const ConduitId c2 = map.ensure_conduit(make_corridor(1, 1, 2, 150.0), Provenance::GeocodedMap);
+  const LinkId link = map.add_link(0, 0, 2, {c1, c2}, true);
+  EXPECT_DOUBLE_EQ(map.link(link).length_km, 250.0);
+  EXPECT_TRUE(map.link(link).geocoded);
+  EXPECT_EQ(map.conduit(c1).tenants, (std::vector<isp::IspId>{0}));
+  EXPECT_EQ(map.conduit(c2).tenants, (std::vector<isp::IspId>{0}));
+}
+
+TEST(FiberMap, AddLinkRejectsEmptyConduits) {
+  FiberMap map(1);
+  EXPECT_THROW(map.add_link(0, 0, 1, {}, false), std::logic_error);
+}
+
+TEST(FiberMap, ReplaceLinkConduitsKeepsOldTenancy) {
+  FiberMap map(2);
+  const ConduitId c1 = map.ensure_conduit(make_corridor(0, 0, 1, 100.0), Provenance::GeocodedMap);
+  const ConduitId c2 = map.ensure_conduit(make_corridor(1, 0, 1, 120.0), Provenance::RowAlignment);
+  const LinkId link = map.add_link(1, 0, 1, {c1}, false);
+  map.replace_link_conduits(link, {c2});
+  EXPECT_EQ(map.link(link).conduits, (std::vector<ConduitId>{c2}));
+  EXPECT_DOUBLE_EQ(map.link(link).length_km, 120.0);
+  // Old conduit keeps the (possibly stale) tenancy; new one gains it.
+  EXPECT_EQ(map.conduit(c1).tenants, (std::vector<isp::IspId>{1}));
+  EXPECT_EQ(map.conduit(c2).tenants, (std::vector<isp::IspId>{1}));
+}
+
+TEST(FiberMap, MarkValidated) {
+  FiberMap map(1);
+  const ConduitId cid = map.ensure_conduit(make_corridor(0, 0, 1, 50.0), Provenance::GeocodedMap);
+  EXPECT_FALSE(map.conduit(cid).validated);
+  map.mark_validated(cid);
+  EXPECT_TRUE(map.conduit(cid).validated);
+}
+
+TEST(FiberMap, NodesAreConduitEndpoints) {
+  FiberMap map(1);
+  map.ensure_conduit(make_corridor(0, 3, 7, 50.0), Provenance::GeocodedMap);
+  map.ensure_conduit(make_corridor(1, 7, 9, 60.0), Provenance::GeocodedMap);
+  EXPECT_EQ(map.nodes(), (std::vector<transport::CityId>{3, 7, 9}));
+}
+
+TEST(FiberMap, ConduitsAtAdjacency) {
+  FiberMap map(1);
+  const ConduitId c1 = map.ensure_conduit(make_corridor(0, 3, 7, 50.0), Provenance::GeocodedMap);
+  const ConduitId c2 = map.ensure_conduit(make_corridor(1, 7, 9, 60.0), Provenance::GeocodedMap);
+  const auto& at7 = map.conduits_at(7);
+  EXPECT_EQ(at7.size(), 2u);
+  EXPECT_TRUE(std::find(at7.begin(), at7.end(), c1) != at7.end());
+  EXPECT_TRUE(std::find(at7.begin(), at7.end(), c2) != at7.end());
+  EXPECT_TRUE(map.conduits_at(1000).empty());
+}
+
+TEST(FiberMap, ConduitsAtStaysCoherentAfterLazyBuild) {
+  FiberMap map(1);
+  map.ensure_conduit(make_corridor(0, 1, 2, 50.0), Provenance::GeocodedMap);
+  EXPECT_EQ(map.conduits_at(1).size(), 1u);  // triggers lazy adjacency
+  // A conduit added *after* the adjacency was built must still appear.
+  const ConduitId late = map.ensure_conduit(make_corridor(1, 2, 3, 60.0), Provenance::GeocodedMap);
+  const auto& at2 = map.conduits_at(2);
+  EXPECT_TRUE(std::find(at2.begin(), at2.end(), late) != at2.end());
+  EXPECT_EQ(map.conduits_at(3).size(), 1u);
+}
+
+TEST(FiberMap, PerIspViews) {
+  FiberMap map(3);
+  const ConduitId c1 = map.ensure_conduit(make_corridor(0, 0, 1, 50.0), Provenance::GeocodedMap);
+  const ConduitId c2 = map.ensure_conduit(make_corridor(1, 1, 2, 60.0), Provenance::GeocodedMap);
+  map.add_link(0, 0, 1, {c1}, true);
+  map.add_link(0, 1, 2, {c2}, true);
+  map.add_link(2, 0, 2, {c1, c2}, false);
+  EXPECT_EQ(map.links_of(0).size(), 2u);
+  EXPECT_EQ(map.links_of(1).size(), 0u);
+  EXPECT_EQ(map.links_of(2).size(), 1u);
+  EXPECT_EQ(map.nodes_of(0), (std::vector<transport::CityId>{0, 1, 2}));
+  EXPECT_EQ(map.conduits_of(2), (std::vector<ConduitId>{c1, c2}));
+  EXPECT_TRUE(map.conduits_of(1).empty());
+}
+
+TEST(FiberMap, ComputeStatsSmall) {
+  FiberMap map(2);
+  const ConduitId c1 = map.ensure_conduit(make_corridor(0, 0, 1, 50.0), Provenance::GeocodedMap);
+  const ConduitId c2 = map.ensure_conduit(make_corridor(1, 1, 2, 70.0), Provenance::GeocodedMap);
+  map.add_link(0, 0, 2, {c1, c2}, true);
+  map.add_link(1, 0, 1, {c1}, false);
+  map.mark_validated(c1);
+  const auto stats = compute_stats(map);
+  EXPECT_EQ(stats.nodes, 3u);
+  EXPECT_EQ(stats.links, 2u);
+  EXPECT_EQ(stats.conduits, 2u);
+  EXPECT_EQ(stats.validated_conduits, 1u);
+  EXPECT_DOUBLE_EQ(stats.total_conduit_km, 120.0);
+  EXPECT_EQ(stats.nodes_per_isp[0], 2u);
+  EXPECT_EQ(stats.links_per_isp[0], 1u);
+  EXPECT_EQ(stats.nodes_per_isp[1], 2u);
+}
+
+TEST(FiberMap, ScenarioMapInvariants) {
+  // Every link's conduit chain is connected and tenancy includes the link
+  // owner — on the real constructed map.
+  const auto& map = testing::shared_scenario().map();
+  for (const auto& link : map.links()) {
+    ASSERT_FALSE(link.conduits.empty());
+    transport::CityId cur = link.a;
+    for (ConduitId cid : link.conduits) {
+      const auto& c = map.conduit(cid);
+      ASSERT_TRUE(c.a == cur || c.b == cur);
+      cur = (c.a == cur) ? c.b : c.a;
+      EXPECT_TRUE(std::binary_search(c.tenants.begin(), c.tenants.end(), link.isp));
+    }
+    EXPECT_EQ(cur, link.b);
+  }
+}
+
+TEST(FiberMap, ScenarioConduitsHaveTenants) {
+  const auto& map = testing::shared_scenario().map();
+  for (const auto& conduit : map.conduits()) {
+    EXPECT_FALSE(conduit.tenants.empty());
+    EXPECT_GT(conduit.length_km, 0.0);
+    EXPECT_NE(conduit.a, conduit.b);
+  }
+}
+
+}  // namespace
+}  // namespace intertubes::core

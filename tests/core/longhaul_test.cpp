@@ -1,0 +1,142 @@
+#include "core/longhaul.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace intertubes::core {
+namespace {
+
+using transport::CityId;
+
+const Scenario& scenario() { return testing::shared_scenario(); }
+
+transport::Corridor corridor_between(CityId a, CityId b, double km, transport::CorridorId id) {
+  transport::Corridor c;
+  c.id = id;
+  c.a = a;
+  c.b = b;
+  c.path = geo::Polyline::straight(Scenario::cities().city(a).location,
+                                   Scenario::cities().city(b).location);
+  c.length_km = km;
+  return c;
+}
+
+TEST(LongHaul, SpanRuleAlone) {
+  // Two small cities, long conduit, one tenant: qualifies by span only.
+  const auto wells = Scenario::cities().find("Wells, NV");
+  const auto elko = Scenario::cities().find("Elko, NV");
+  ASSERT_TRUE(wells && elko);
+  FiberMap map(2);
+  const ConduitId cid =
+      map.ensure_conduit(corridor_between(*wells, *elko, 80.0, 0), Provenance::GeocodedMap);
+  map.add_link(0, *wells, *elko, {cid}, true);
+  const auto reason = classify_conduit(map.conduit(cid), Scenario::cities());
+  EXPECT_TRUE(has_reason(reason, LongHaulReason::Span));
+  EXPECT_FALSE(has_reason(reason, LongHaulReason::Population));
+  EXPECT_FALSE(has_reason(reason, LongHaulReason::Shared));
+}
+
+TEST(LongHaul, PopulationRuleAlone) {
+  // Two big cities, short conduit, single tenant.
+  const auto nyc = Scenario::cities().find("New York, NY");
+  const auto newark = Scenario::cities().find("Newark, NJ");
+  ASSERT_TRUE(nyc && newark);
+  FiberMap map(2);
+  const ConduitId cid =
+      map.ensure_conduit(corridor_between(*nyc, *newark, 15.0, 0), Provenance::GeocodedMap);
+  map.add_link(0, *nyc, *newark, {cid}, true);
+  const auto reason = classify_conduit(map.conduit(cid), Scenario::cities());
+  EXPECT_FALSE(has_reason(reason, LongHaulReason::Span));
+  EXPECT_TRUE(has_reason(reason, LongHaulReason::Population));
+}
+
+TEST(LongHaul, SharingRuleAlone) {
+  // Two tiny cities, short conduit, two tenants.
+  const auto sedona = Scenario::cities().find("Sedona, AZ");
+  const auto verde = Scenario::cities().find("Camp Verde, AZ");
+  ASSERT_TRUE(sedona && verde);
+  FiberMap map(2);
+  const ConduitId cid =
+      map.ensure_conduit(corridor_between(*sedona, *verde, 20.0, 0), Provenance::GeocodedMap);
+  map.add_link(0, *sedona, *verde, {cid}, true);
+  map.add_link(1, *sedona, *verde, {cid}, true);
+  const auto reason = classify_conduit(map.conduit(cid), Scenario::cities());
+  EXPECT_FALSE(has_reason(reason, LongHaulReason::Span));
+  EXPECT_FALSE(has_reason(reason, LongHaulReason::Population));
+  EXPECT_TRUE(has_reason(reason, LongHaulReason::Shared));
+}
+
+TEST(LongHaul, MetroLinkFailsAllRules) {
+  const auto sedona = Scenario::cities().find("Sedona, AZ");
+  const auto verde = Scenario::cities().find("Camp Verde, AZ");
+  ASSERT_TRUE(sedona && verde);
+  FiberMap map(2);
+  const ConduitId cid =
+      map.ensure_conduit(corridor_between(*sedona, *verde, 20.0, 0), Provenance::GeocodedMap);
+  map.add_link(0, *sedona, *verde, {cid}, true);
+  EXPECT_EQ(classify_conduit(map.conduit(cid), Scenario::cities()), LongHaulReason::None);
+  EXPECT_EQ(classify_link(map, map.link(0), Scenario::cities()), LongHaulReason::None);
+}
+
+TEST(LongHaul, ThirtyMilesBoundary) {
+  const auto sedona = Scenario::cities().find("Sedona, AZ");
+  const auto verde = Scenario::cities().find("Camp Verde, AZ");
+  ASSERT_TRUE(sedona && verde);
+  FiberMap map(1);
+  const ConduitId at = map.ensure_conduit(corridor_between(*sedona, *verde, 48.28, 0),
+                                          Provenance::GeocodedMap);
+  map.add_link(0, *sedona, *verde, {at}, true);
+  EXPECT_TRUE(has_reason(classify_conduit(map.conduit(at), Scenario::cities()),
+                         LongHaulReason::Span));
+}
+
+TEST(LongHaul, ScenarioMapIsAlmostEntirelyLongHaul) {
+  // The constructed map was built from long-haul deployments, so the
+  // census should classify nearly everything as long-haul — dominated by
+  // the span and sharing rules.
+  const auto census = long_haul_census(scenario().map(), Scenario::cities());
+  const auto total = census.long_haul_conduits + census.metro_conduits;
+  EXPECT_EQ(total, scenario().map().conduits().size());
+  EXPECT_GT(static_cast<double>(census.long_haul_conduits) / static_cast<double>(total), 0.95);
+  EXPECT_GT(census.by_span, census.by_population);
+  EXPECT_EQ(census.long_haul_links + census.metro_links, scenario().map().links().size());
+}
+
+TEST(LongHaul, FilterKeepsQualifyingLinks) {
+  const auto filtered = filter_long_haul(scenario().map(), Scenario::cities());
+  const auto census = long_haul_census(scenario().map(), Scenario::cities());
+  EXPECT_EQ(filtered.links().size(), census.long_haul_links);
+  EXPECT_LE(filtered.conduits().size(), scenario().map().conduits().size());
+  // Tenancy in the filtered map comes from surviving links only.
+  for (const auto& conduit : filtered.conduits()) {
+    EXPECT_FALSE(conduit.tenants.empty());
+  }
+}
+
+TEST(LongHaul, FilterPreservesLinkChains) {
+  const auto filtered = filter_long_haul(scenario().map(), Scenario::cities());
+  for (const auto& link : filtered.links()) {
+    CityId cur = link.a;
+    for (ConduitId cid : link.conduits) {
+      const auto& conduit = filtered.conduit(cid);
+      ASSERT_TRUE(conduit.a == cur || conduit.b == cur);
+      cur = (conduit.a == cur) ? conduit.b : conduit.a;
+    }
+    EXPECT_EQ(cur, link.b);
+  }
+}
+
+TEST(LongHaul, StricterCriteriaShrinkTheMap) {
+  LongHaulCriteria strict;
+  strict.min_span_km = 300.0;
+  strict.min_population = 1000000;
+  strict.min_tenants = 10;
+  const auto loose_census = long_haul_census(scenario().map(), Scenario::cities());
+  const auto strict_census = long_haul_census(scenario().map(), Scenario::cities(), strict);
+  EXPECT_LT(strict_census.long_haul_conduits, loose_census.long_haul_conduits);
+  EXPECT_LT(strict_census.long_haul_links, loose_census.long_haul_links);
+}
+
+}  // namespace
+}  // namespace intertubes::core

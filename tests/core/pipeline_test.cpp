@@ -1,0 +1,202 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/fidelity.hpp"
+#include "core/scenario.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace intertubes::core {
+namespace {
+
+using transport::CorridorId;
+
+const Scenario& scenario() { return testing::shared_scenario(); }
+
+MapBuilder make_builder() {
+  return MapBuilder(Scenario::cities(), scenario().row(), scenario().truth().profiles(),
+                    scenario().corpus());
+}
+
+TEST(SnapGeometry, ExactGeometryRecoversExactCorridors) {
+  // Noise-free geometry of a known ROW path must snap to exactly that
+  // corridor sequence.
+  const auto& row = scenario().row();
+  const auto a = Scenario::cities().find("Denver, CO");
+  const auto b = Scenario::cities().find("Kansas City, MO");
+  ASSERT_TRUE(a && b);
+  const auto path = row.shortest_path(*a, *b);
+  ASSERT_FALSE(path.empty());
+  const auto geometry = row.path_geometry(path);
+
+  const auto builder = make_builder();
+  const auto snapped = builder.snap_geometry(*a, *b, geometry);
+  EXPECT_EQ(snapped, path.corridors);
+}
+
+TEST(SnapGeometry, SurvivesModerateJitter) {
+  const auto& row = scenario().row();
+  const auto a = Scenario::cities().find("Atlanta, GA");
+  const auto b = Scenario::cities().find("Nashville, TN");
+  ASSERT_TRUE(a && b);
+  const auto path = row.shortest_path(*a, *b);
+  ASSERT_FALSE(path.empty());
+  auto pts = row.path_geometry(path).points();
+  Rng rng(99);
+  for (std::size_t i = 1; i + 1 < pts.size(); ++i) {
+    pts[i] = geo::destination(pts[i], rng.uniform(0.0, 360.0), std::abs(rng.normal(0.0, 2.0)));
+  }
+  const auto builder = make_builder();
+  const auto snapped = builder.snap_geometry(*a, *b, geo::Polyline(std::move(pts)));
+  EXPECT_EQ(snapped, path.corridors);
+}
+
+TEST(SnapGeometry, GarbageGeometryReturnsEmpty) {
+  // Geometry nowhere near any ROW cannot snap.
+  const auto builder = make_builder();
+  const auto a = Scenario::cities().find("Seattle, WA");
+  const auto b = Scenario::cities().find("Miami, FL");
+  ASSERT_TRUE(a && b);
+  // A two-point "geometry" cutting straight across the country covers no
+  // corridor to 80 %.
+  const geo::Polyline bogus = geo::Polyline::straight(
+      Scenario::cities().city(*a).location, Scenario::cities().city(*b).location);
+  const auto snapped = builder.snap_geometry(*a, *b, bogus);
+  EXPECT_TRUE(snapped.empty());
+}
+
+TEST(Pipeline, Step1OnlyGeocodedIsps) {
+  auto builder = make_builder();
+  FiberMap map(scenario().truth().num_isps());
+  StepReport report;
+  builder.step1_initial_map(map, scenario().published(), report);
+  EXPECT_GT(report.links_added, 0u);
+  EXPECT_GT(report.conduits_added, 0u);
+  for (const auto& link : map.links()) {
+    EXPECT_TRUE(scenario().truth().profiles()[link.isp].publishes_geocoded_map);
+    EXPECT_TRUE(link.geocoded);
+  }
+}
+
+TEST(Pipeline, Step2OnlyAddsTenantsAndValidation) {
+  auto builder = make_builder();
+  FiberMap map(scenario().truth().num_isps());
+  StepReport r1;
+  builder.step1_initial_map(map, scenario().published(), r1);
+  const auto links_before = map.links().size();
+  const auto conduits_before = map.conduits().size();
+  std::size_t tenancy_before = 0;
+  for (const auto& c : map.conduits()) tenancy_before += c.tenants.size();
+
+  StepReport r2;
+  builder.step2_check_map(map, r2);
+  EXPECT_EQ(map.links().size(), links_before);
+  EXPECT_EQ(map.conduits().size(), conduits_before);
+  std::size_t tenancy_after = 0;
+  for (const auto& c : map.conduits()) tenancy_after += c.tenants.size();
+  EXPECT_EQ(tenancy_after, tenancy_before + r2.tenants_inferred);
+  EXPECT_GT(r2.tenants_inferred, 0u);
+  EXPECT_GT(r2.conduits_validated, 0u);
+}
+
+TEST(Pipeline, Step3AddsPopOnlyIsps) {
+  auto builder = make_builder();
+  FiberMap map(scenario().truth().num_isps());
+  StepReport r1, r2, r3;
+  builder.step1_initial_map(map, scenario().published(), r1);
+  builder.step2_check_map(map, r2);
+  builder.step3_augment(map, scenario().published(), r3);
+  EXPECT_GT(r3.links_added, 0u);
+  bool saw_pop_only = false;
+  for (const auto& link : map.links()) {
+    if (!link.geocoded) {
+      saw_pop_only = true;
+      EXPECT_FALSE(scenario().truth().profiles()[link.isp].publishes_geocoded_map);
+    }
+  }
+  EXPECT_TRUE(saw_pop_only);
+}
+
+TEST(Pipeline, FullBuildReportsAllSteps) {
+  const auto& result = scenario().pipeline();
+  EXPECT_GT(result.step1.links_added, 100u);
+  EXPECT_GT(result.step2.tenants_inferred, 100u);
+  EXPECT_GT(result.step3.links_added, 100u);
+  // Step 3 mostly reuses step-1 conduits (the economics assumption).
+  EXPECT_LT(result.step3.conduits_added, result.step1.conduits_added / 5);
+}
+
+TEST(Pipeline, MapNodesLinksConduitsScale) {
+  // §2.5-style headline: the constructed map's shape.  Our world has 179
+  // cities (paper: 273), so totals land proportionally lower.
+  const auto stats = compute_stats(scenario().map());
+  EXPECT_GT(stats.nodes, 120u);
+  EXPECT_LT(stats.nodes, 180u);
+  EXPECT_GT(stats.links, 700u);
+  EXPECT_GT(stats.conduits, 250u);
+  EXPECT_LT(stats.conduits, 600u);
+  EXPECT_GT(stats.validated_conduits, stats.conduits / 2);
+}
+
+TEST(Pipeline, FidelityThresholds) {
+  const auto fidelity = score_fidelity(scenario().map(), scenario().truth());
+  EXPECT_GT(fidelity.conduit_precision, 0.7);
+  EXPECT_GT(fidelity.conduit_recall, 0.75);
+  EXPECT_GT(fidelity.tenancy_precision, 0.65);
+  EXPECT_GT(fidelity.tenancy_recall, 0.7);
+  EXPECT_LT(fidelity.tenant_count_mae, 4.0);
+}
+
+TEST(Pipeline, DeterministicEndToEnd) {
+  // Two scenarios at the same seed produce identical maps.
+  const Scenario again{ScenarioParams::with_seed(0x1257)};
+  const auto& m1 = scenario().map();
+  const auto& m2 = again.map();
+  ASSERT_EQ(m1.conduits().size(), m2.conduits().size());
+  ASSERT_EQ(m1.links().size(), m2.links().size());
+  for (std::size_t i = 0; i < m1.conduits().size(); ++i) {
+    EXPECT_EQ(m1.conduits()[i].corridor, m2.conduits()[i].corridor);
+    EXPECT_EQ(m1.conduits()[i].tenants, m2.conduits()[i].tenants);
+    EXPECT_EQ(m1.conduits()[i].validated, m2.conduits()[i].validated);
+  }
+}
+
+TEST(Pipeline, DifferentSeedDifferentWorld) {
+  const auto& m1 = scenario().map();
+  const auto& m2 = testing::alternate_scenario().map();
+  EXPECT_NE(m1.conduits().size(), m2.conduits().size());
+}
+
+TEST(Fidelity, PerfectMapScoresPerfectly) {
+  // A map constructed directly from ground truth must score P = R = 1.
+  const auto& truth = scenario().truth();
+  const auto& row = scenario().row();
+  FiberMap map(truth.num_isps());
+  for (const auto& link : truth.links()) {
+    std::vector<ConduitId> conduits;
+    for (CorridorId cid : link.corridors) {
+      conduits.push_back(map.ensure_conduit(row.corridor(cid), Provenance::GeocodedMap));
+    }
+    map.add_link(link.isp, link.a, link.b, conduits, true);
+  }
+  const auto fidelity = score_fidelity(map, truth);
+  EXPECT_DOUBLE_EQ(fidelity.conduit_precision, 1.0);
+  EXPECT_DOUBLE_EQ(fidelity.conduit_recall, 1.0);
+  EXPECT_DOUBLE_EQ(fidelity.tenancy_precision, 1.0);
+  EXPECT_DOUBLE_EQ(fidelity.tenancy_recall, 1.0);
+  EXPECT_DOUBLE_EQ(fidelity.tenant_count_mae, 0.0);
+}
+
+TEST(Fidelity, EmptyMapScoresZeroRecall) {
+  FiberMap map(scenario().truth().num_isps());
+  const auto fidelity = score_fidelity(map, scenario().truth());
+  EXPECT_DOUBLE_EQ(fidelity.conduit_recall, 0.0);
+  EXPECT_DOUBLE_EQ(fidelity.tenancy_recall, 0.0);
+  EXPECT_DOUBLE_EQ(fidelity.conduit_precision, 0.0);  // vacuous: no claims
+}
+
+}  // namespace
+}  // namespace intertubes::core

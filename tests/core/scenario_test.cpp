@@ -1,0 +1,42 @@
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace intertubes::core {
+namespace {
+
+TEST(ScenarioParams, WithSeedPropagatesEverywhere) {
+  const auto params = ScenarioParams::with_seed(0xABCD);
+  EXPECT_EQ(params.seed, 0xABCDu);
+  EXPECT_EQ(params.network.seed, 0xABCDu);
+  EXPECT_EQ(params.ground_truth.seed, 0xABCDu);
+  EXPECT_EQ(params.publish.seed, 0xABCDu);
+  EXPECT_EQ(params.corpus.seed, 0xABCDu);
+}
+
+TEST(Scenario, AccessorsAgree) {
+  const auto& scenario = testing::shared_scenario();
+  EXPECT_EQ(&scenario.map(), &scenario.pipeline().map);
+  EXPECT_EQ(scenario.published().size(), scenario.truth().num_isps());
+  EXPECT_EQ(scenario.row().num_cities(), Scenario::cities().size());
+  EXPECT_EQ(scenario.row().corridors().size(),
+            scenario.bundle().road.edges().size() + scenario.bundle().rail.edges().size() +
+                scenario.bundle().pipeline.edges().size());
+}
+
+TEST(Scenario, CitiesIsTheDefaultDatabase) {
+  EXPECT_EQ(&Scenario::cities(), &transport::CityDatabase::us_default());
+}
+
+TEST(Scenario, TruthTenancyCoversMapTenancy) {
+  // Every ground-truth lit corridor count is bounded by profiles size.
+  const auto& scenario = testing::shared_scenario();
+  for (auto cid : scenario.truth().lit_corridors()) {
+    EXPECT_LE(scenario.truth().tenant_count(cid), scenario.truth().num_isps());
+  }
+}
+
+}  // namespace
+}  // namespace intertubes::core

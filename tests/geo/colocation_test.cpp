@@ -1,0 +1,95 @@
+#include "geo/colocation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intertubes::geo {
+namespace {
+
+ReferenceNetwork make_reference(const std::string& name,
+                                const std::vector<Polyline>& routes) {
+  ReferenceNetwork net(name);
+  for (const auto& r : routes) net.add_route(r);
+  return net;
+}
+
+TEST(ReferenceNetwork, CoversNearbyPoint) {
+  const auto net = make_reference("road", {Polyline({{40.0, -100.0}, {40.0, -98.0}})});
+  EXPECT_TRUE(net.covers({40.01, -99.0}, 3.0));
+  EXPECT_FALSE(net.covers({41.0, -99.0}, 3.0));
+  EXPECT_EQ(net.name(), "road");
+  EXPECT_EQ(net.segment_count(), 1u);
+}
+
+TEST(ColocationFractions, FullyColocated) {
+  const Polyline route({{40.0, -100.0}, {40.0, -98.0}});
+  const auto road = make_reference("road", {route});
+  const auto result = colocation_fractions(route, {&road}, 2.0, 5.0);
+  EXPECT_NEAR(result.fraction[0], 1.0, 1e-9);
+  EXPECT_NEAR(result.fraction_any, 1.0, 1e-9);
+}
+
+TEST(ColocationFractions, DisjointIsZero) {
+  const Polyline route({{30.0, -90.0}, {30.0, -89.0}});
+  const auto road = make_reference("road", {Polyline({{45.0, -120.0}, {45.0, -119.0}})});
+  const auto result = colocation_fractions(route, {&road}, 2.0, 5.0);
+  EXPECT_DOUBLE_EQ(result.fraction[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.fraction_any, 0.0);
+}
+
+TEST(ColocationFractions, UnionOfTwoReferences) {
+  // Route's west half follows the "road", east half the "rail".
+  const Polyline route({{40.0, -100.0}, {40.0, -96.0}});
+  const auto road = make_reference("road", {Polyline({{40.0, -100.0}, {40.0, -98.0}})});
+  const auto rail = make_reference("rail", {Polyline({{40.0, -98.0}, {40.0, -96.0}})});
+  const auto result = colocation_fractions(route, {&road, &rail}, 2.0, 5.0);
+  EXPECT_GT(result.fraction[0], 0.4);
+  EXPECT_LT(result.fraction[0], 0.62);
+  EXPECT_GT(result.fraction[1], 0.4);
+  EXPECT_LT(result.fraction[1], 0.62);
+  EXPECT_NEAR(result.fraction_any, 1.0, 0.02);
+  // Union dominates each component.
+  EXPECT_GE(result.fraction_any, result.fraction[0]);
+  EXPECT_GE(result.fraction_any, result.fraction[1]);
+}
+
+TEST(ColocationFractions, RequiresReferences) {
+  const Polyline route({{40.0, -100.0}, {40.0, -99.0}});
+  EXPECT_THROW(colocation_fractions(route, {}, 2.0), std::logic_error);
+  const auto road = make_reference("road", {route});
+  EXPECT_THROW(colocation_fractions(route, {&road}, 0.0), std::logic_error);
+}
+
+TEST(ColocationHistogram, SeriesNamesAndNormalization) {
+  const auto road = make_reference("road", {Polyline({{40.0, -100.0}, {40.0, -98.0}})});
+  const auto rail = make_reference("rail", {Polyline({{41.0, -100.0}, {41.0, -98.0}})});
+  std::vector<Polyline> routes{
+      Polyline({{40.0, -100.0}, {40.0, -98.0}}),   // on the road
+      Polyline({{41.0, -100.0}, {41.0, -98.0}}),   // on the rail
+      Polyline({{45.0, -100.0}, {45.0, -98.0}}),   // on neither
+  };
+  const auto hist = colocation_histogram(routes, {&road, &rail}, 2.0, 5.0, 10);
+  ASSERT_EQ(hist.series_names.size(), 3u);
+  EXPECT_EQ(hist.series_names[0], "road");
+  EXPECT_EQ(hist.series_names[1], "rail");
+  EXPECT_EQ(hist.series_names[2], "any");
+  for (const auto& series : hist.rel_freq) {
+    double sum = 0.0;
+    for (double f : series) sum += f;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  // One route fully on road, two not: road histogram should have mass at
+  // both extremes.
+  EXPECT_NEAR(hist.rel_freq[0].front(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(hist.rel_freq[0].back(), 1.0 / 3.0, 1e-9);
+  // Mean co-location with "any" exceeds (or ties) each single reference.
+  EXPECT_GE(hist.mean_fraction[2] + 1e-12, hist.mean_fraction[0]);
+  EXPECT_GE(hist.mean_fraction[2] + 1e-12, hist.mean_fraction[1]);
+}
+
+TEST(ColocationHistogram, RejectsEmptyRouteSet) {
+  const auto road = make_reference("road", {Polyline({{40.0, -100.0}, {40.0, -98.0}})});
+  EXPECT_THROW(colocation_histogram({}, {&road}, 2.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace intertubes::geo

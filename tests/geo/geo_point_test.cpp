@@ -1,0 +1,167 @@
+#include "geo/geo_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace intertubes::geo {
+namespace {
+
+// Reference city coordinates for known-distance checks.
+const GeoPoint kNewYork{40.71, -74.01};
+const GeoPoint kLosAngeles{34.05, -118.24};
+const GeoPoint kChicago{41.88, -87.63};
+const GeoPoint kDenver{39.74, -104.99};
+
+TEST(DistanceKm, ZeroForIdenticalPoints) {
+  EXPECT_DOUBLE_EQ(distance_km(kChicago, kChicago), 0.0);
+}
+
+TEST(DistanceKm, KnownCityPairs) {
+  // Great-circle NYC–LA ≈ 3940 km; NYC–Chicago ≈ 1145 km.
+  EXPECT_NEAR(distance_km(kNewYork, kLosAngeles), 3940.0, 40.0);
+  EXPECT_NEAR(distance_km(kNewYork, kChicago), 1145.0, 20.0);
+}
+
+TEST(DistanceKm, Symmetry) {
+  EXPECT_DOUBLE_EQ(distance_km(kNewYork, kDenver), distance_km(kDenver, kNewYork));
+}
+
+TEST(DistanceKm, TriangleInequality) {
+  const double direct = distance_km(kNewYork, kLosAngeles);
+  const double via = distance_km(kNewYork, kDenver) + distance_km(kDenver, kLosAngeles);
+  EXPECT_LE(direct, via + 1e-9);
+}
+
+TEST(InitialBearing, CardinalDirections) {
+  const GeoPoint origin{40.0, -100.0};
+  EXPECT_NEAR(initial_bearing_deg(origin, {41.0, -100.0}), 0.0, 0.5);    // north
+  EXPECT_NEAR(initial_bearing_deg(origin, {39.0, -100.0}), 180.0, 0.5);  // south
+  EXPECT_NEAR(initial_bearing_deg(origin, {40.0, -99.0}), 90.0, 1.0);    // east
+  EXPECT_NEAR(initial_bearing_deg(origin, {40.0, -101.0}), 270.0, 1.0);  // west
+}
+
+TEST(Destination, RoundTripDistance) {
+  const GeoPoint start{39.0, -95.0};
+  const GeoPoint end = destination(start, 73.0, 500.0);
+  EXPECT_NEAR(distance_km(start, end), 500.0, 0.5);
+}
+
+TEST(Destination, ZeroDistanceIsIdentity) {
+  const GeoPoint p{33.0, -112.0};
+  const GeoPoint q = destination(p, 123.0, 0.0);
+  EXPECT_NEAR(q.lat_deg, p.lat_deg, 1e-9);
+  EXPECT_NEAR(q.lon_deg, p.lon_deg, 1e-9);
+}
+
+TEST(Destination, LongitudeNormalized) {
+  const GeoPoint near_dateline{40.0, 179.5};
+  const GeoPoint q = destination(near_dateline, 90.0, 200.0);
+  EXPECT_LE(q.lon_deg, 180.0);
+  EXPECT_GE(q.lon_deg, -180.0);
+}
+
+TEST(Interpolate, EndpointsExact) {
+  const GeoPoint a = kNewYork;
+  const GeoPoint b = kDenver;
+  EXPECT_EQ(interpolate(a, b, 0.0), a);
+  EXPECT_EQ(interpolate(a, b, 1.0), b);
+  EXPECT_EQ(interpolate(a, b, -0.5), a);
+  EXPECT_EQ(interpolate(a, b, 1.5), b);
+}
+
+TEST(Interpolate, MidpointEquidistant) {
+  const GeoPoint mid = interpolate(kNewYork, kLosAngeles, 0.5);
+  EXPECT_NEAR(distance_km(kNewYork, mid), distance_km(mid, kLosAngeles), 0.5);
+}
+
+TEST(Interpolate, ProportionalArc) {
+  const double total = distance_km(kNewYork, kLosAngeles);
+  const GeoPoint quarter = interpolate(kNewYork, kLosAngeles, 0.25);
+  EXPECT_NEAR(distance_km(kNewYork, quarter), total / 4.0, 1.0);
+}
+
+TEST(Interpolate, DegenerateSegment) {
+  const GeoPoint p{40.0, -100.0};
+  const GeoPoint q = interpolate(p, p, 0.5);
+  EXPECT_NEAR(q.lat_deg, p.lat_deg, 1e-9);
+  EXPECT_NEAR(q.lon_deg, p.lon_deg, 1e-9);
+}
+
+TEST(Midpoint, MatchesHalfInterpolation) {
+  const GeoPoint m1 = midpoint(kChicago, kDenver);
+  const GeoPoint m2 = interpolate(kChicago, kDenver, 0.5);
+  EXPECT_NEAR(m1.lat_deg, m2.lat_deg, 1e-12);
+  EXPECT_NEAR(m1.lon_deg, m2.lon_deg, 1e-12);
+}
+
+TEST(PointToSegment, PointOnSegmentIsZero) {
+  const GeoPoint a{40.0, -100.0};
+  const GeoPoint b{40.0, -98.0};
+  const GeoPoint on = interpolate(a, b, 0.5);
+  EXPECT_NEAR(point_to_segment_km(on, a, b), 0.0, 0.5);
+}
+
+TEST(PointToSegment, PerpendicularOffset) {
+  const GeoPoint a{40.0, -100.0};
+  const GeoPoint b{40.0, -98.0};
+  // A point ~55 km north of the segment's midpoint (0.5° latitude).
+  const GeoPoint p{40.5, -99.0};
+  EXPECT_NEAR(point_to_segment_km(p, a, b), 55.6, 2.0);
+}
+
+TEST(PointToSegment, BeyondEndpointClamps) {
+  const GeoPoint a{40.0, -100.0};
+  const GeoPoint b{40.0, -99.0};
+  const GeoPoint p{40.0, -103.0};  // west of a
+  EXPECT_NEAR(point_to_segment_km(p, a, b), distance_km(p, a), 3.0);
+}
+
+TEST(PointToSegment, DegenerateSegmentIsPointDistance) {
+  const GeoPoint a{40.0, -100.0};
+  const GeoPoint p{41.0, -100.0};
+  EXPECT_NEAR(point_to_segment_km(p, a, a), distance_km(p, a), 1.0);
+}
+
+TEST(ToString, Format) {
+  EXPECT_EQ(to_string(GeoPoint{41.884, -87.632}), "(41.8840, -87.6320)");
+}
+
+TEST(DegRadConversions, RoundTrip) {
+  EXPECT_NEAR(rad_to_deg(deg_to_rad(123.456)), 123.456, 1e-12);
+  EXPECT_DOUBLE_EQ(deg_to_rad(180.0), kPi);
+}
+
+/// Property sweep: destination/distance round trips across random points.
+class GeoRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeoRoundTrip, DestinationDistanceConsistency) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const GeoPoint start{rng.uniform(25.0, 49.0), rng.uniform(-124.0, -67.0)};
+    const double bearing = rng.uniform(0.0, 360.0);
+    const double dist = rng.uniform(1.0, 2000.0);
+    const GeoPoint end = destination(start, bearing, dist);
+    EXPECT_NEAR(distance_km(start, end), dist, dist * 0.001 + 0.01);
+  }
+}
+
+TEST_P(GeoRoundTrip, InterpolationStaysBetween) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const GeoPoint a{rng.uniform(25.0, 49.0), rng.uniform(-124.0, -67.0)};
+    const GeoPoint b{rng.uniform(25.0, 49.0), rng.uniform(-124.0, -67.0)};
+    const double total = distance_km(a, b);
+    const double t = rng.next_double();
+    const GeoPoint m = interpolate(a, b, t);
+    EXPECT_LE(distance_km(a, m), total + 0.01);
+    EXPECT_LE(distance_km(m, b), total + 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeoRoundTrip, ::testing::Values(3ULL, 17ULL, 0x1257ULL));
+
+}  // namespace
+}  // namespace intertubes::geo

@@ -1,0 +1,81 @@
+#include "geo/geojson.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/strings.hpp"
+
+namespace intertubes::geo {
+namespace {
+
+TEST(JsonEscape, SpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(GeoJsonWriter, EmptyCollection) {
+  GeoJsonWriter writer;
+  EXPECT_EQ(writer.to_string(), "{\"type\":\"FeatureCollection\",\"features\":[]}");
+  EXPECT_EQ(writer.feature_count(), 0u);
+}
+
+TEST(GeoJsonWriter, PointFeature) {
+  GeoJsonWriter writer;
+  writer.add_point({41.88, -87.63}, {GeoProperty::str("name", "Chicago, IL"),
+                                     GeoProperty::num("population", 2700000)});
+  const auto json = writer.to_string();
+  EXPECT_TRUE(contains(json, "\"type\":\"Point\""));
+  // GeoJSON is lon,lat order.
+  EXPECT_TRUE(contains(json, "[-87.630000,41.880000]"));
+  EXPECT_TRUE(contains(json, "\"name\":\"Chicago, IL\""));
+  EXPECT_TRUE(contains(json, "\"population\":2.7e+06"));
+}
+
+TEST(GeoJsonWriter, LineStringFeature) {
+  GeoJsonWriter writer;
+  writer.add_linestring(Polyline({{40.0, -100.0}, {41.0, -99.0}}),
+                        {GeoProperty::num("tenants", 7)});
+  const auto json = writer.to_string();
+  EXPECT_TRUE(contains(json, "\"type\":\"LineString\""));
+  EXPECT_TRUE(contains(json, "[-100.000000,40.000000],[-99.000000,41.000000]"));
+  EXPECT_TRUE(contains(json, "\"tenants\":7"));
+}
+
+TEST(GeoJsonWriter, MultipleFeaturesCommaSeparated) {
+  GeoJsonWriter writer;
+  writer.add_point({40.0, -100.0});
+  writer.add_point({41.0, -101.0});
+  const auto json = writer.to_string();
+  EXPECT_EQ(writer.feature_count(), 2u);
+  EXPECT_TRUE(contains(json, "}},{\"type\":\"Feature\""));
+}
+
+TEST(GeoJsonWriter, PropertiesEscaped) {
+  GeoJsonWriter writer;
+  writer.add_point({40.0, -100.0}, {GeoProperty::str("note", "say \"tube\"")});
+  EXPECT_TRUE(contains(writer.to_string(), "\\\"tube\\\""));
+}
+
+TEST(GeoJsonWriter, BalancedBracesAndBrackets) {
+  GeoJsonWriter writer;
+  writer.add_linestring(Polyline({{40.0, -100.0}, {41.0, -99.0}, {42.0, -98.0}}),
+                        {GeoProperty::str("a", "b"), GeoProperty::num("c", 1.0)});
+  writer.add_point({40.0, -100.0});
+  const auto json = writer.to_string();
+  std::ptrdiff_t braces = 0;
+  std::ptrdiff_t brackets = 0;
+  for (char ch : json) {
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+}  // namespace
+}  // namespace intertubes::geo

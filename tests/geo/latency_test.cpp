@@ -1,0 +1,44 @@
+#include "geo/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geo/geo_point.hpp"
+
+namespace intertubes::geo {
+namespace {
+
+TEST(FiberLatency, SpeedConstant) {
+  // Light in fiber ≈ 204 km/ms.
+  EXPECT_NEAR(kFiberKmPerMs, 204.2, 0.5);
+}
+
+TEST(FiberLatency, KnownDistances) {
+  // The paper's correspondences: ~20 km ≈ 100 µs, ~100 km ≈ 500 µs,
+  // ~400 km ≈ 2 ms.
+  EXPECT_NEAR(fiber_delay_ms(20.0), 0.1, 0.005);
+  EXPECT_NEAR(fiber_delay_ms(100.0), 0.5, 0.02);
+  EXPECT_NEAR(fiber_delay_ms(400.0), 2.0, 0.05);
+}
+
+TEST(FiberLatency, RoundTrip) {
+  for (double km : {1.0, 50.0, 1234.5}) {
+    EXPECT_NEAR(fiber_km_for_ms(fiber_delay_ms(km)), km, 1e-9);
+  }
+}
+
+TEST(FiberLatency, ZeroAndLinearity) {
+  EXPECT_DOUBLE_EQ(fiber_delay_ms(0.0), 0.0);
+  EXPECT_NEAR(fiber_delay_ms(200.0), 2.0 * fiber_delay_ms(100.0), 1e-12);
+}
+
+TEST(LosDelay, MatchesFiberDelayOfGreatCircle) {
+  const GeoPoint a{40.71, -74.01};  // NYC
+  const GeoPoint b{41.88, -87.63};  // Chicago
+  const double km = distance_km(a, b);
+  EXPECT_DOUBLE_EQ(los_delay_ms(km), fiber_delay_ms(km));
+  // NYC–Chicago one-way LOS ≈ 5.6 ms.
+  EXPECT_NEAR(los_delay_ms(km), 5.6, 0.2);
+}
+
+}  // namespace
+}  // namespace intertubes::geo

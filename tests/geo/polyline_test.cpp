@@ -1,0 +1,212 @@
+#include "geo/polyline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace intertubes::geo {
+namespace {
+
+Polyline sample_line() {
+  return Polyline({{40.0, -100.0}, {40.0, -99.0}, {40.5, -98.0}, {41.0, -97.0}});
+}
+
+TEST(Polyline, RequiresTwoPoints) {
+  EXPECT_THROW(Polyline(std::vector<GeoPoint>{}), std::logic_error);
+  EXPECT_THROW(Polyline(std::vector<GeoPoint>{{40.0, -100.0}}), std::logic_error);
+  EXPECT_NO_THROW(Polyline::straight({40.0, -100.0}, {41.0, -100.0}));
+}
+
+TEST(Polyline, LengthMatchesSegmentSum) {
+  const auto line = sample_line();
+  double expected = 0.0;
+  const auto& pts = line.points();
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    expected += distance_km(pts[i], pts[i + 1]);
+  }
+  EXPECT_NEAR(line.length_km(), expected, 1e-9);
+}
+
+TEST(Polyline, StraightLineLength) {
+  const GeoPoint a{40.0, -100.0};
+  const GeoPoint b{41.0, -100.0};
+  EXPECT_NEAR(Polyline::straight(a, b).length_km(), distance_km(a, b), 1e-9);
+}
+
+TEST(Polyline, PointAtKmEndpoints) {
+  const auto line = sample_line();
+  EXPECT_EQ(line.point_at_km(0.0), line.front());
+  EXPECT_EQ(line.point_at_km(line.length_km() + 10.0), line.back());
+  EXPECT_EQ(line.point_at_km(-5.0), line.front());
+}
+
+TEST(Polyline, PointAtKmMonotoneAlongLine) {
+  const auto line = sample_line();
+  double prev = 0.0;
+  for (double d = 0.0; d <= line.length_km(); d += line.length_km() / 20.0) {
+    const GeoPoint p = line.point_at_km(d);
+    const double from_start = distance_km(line.front(), p);
+    EXPECT_GE(from_start, prev - 1.0);  // generous: line curves
+    prev = from_start;
+  }
+}
+
+TEST(Polyline, PointAtFraction) {
+  const auto line = sample_line();
+  EXPECT_EQ(line.point_at_fraction(0.0), line.front());
+  EXPECT_EQ(line.point_at_fraction(1.0), line.back());
+  const GeoPoint mid = line.point_at_fraction(0.5);
+  // distance_to_km uses a local projection; allow its small error.
+  EXPECT_NEAR(line.distance_to_km(mid), 0.0, 0.6);
+}
+
+TEST(Polyline, SampleEveryKmIncludesEndpoints) {
+  const auto line = sample_line();
+  const auto samples = line.sample_every_km(10.0);
+  ASSERT_GE(samples.size(), 2u);
+  EXPECT_EQ(samples.front(), line.front());
+  EXPECT_EQ(samples.back(), line.back());
+  // Expected count: floor(length/10) + 1 interior starts + final endpoint.
+  const auto expected = static_cast<std::size_t>(line.length_km() / 10.0) + 2;
+  EXPECT_EQ(samples.size(), expected);
+}
+
+TEST(Polyline, SampleSpacingRespected) {
+  const auto line = sample_line();
+  const auto samples = line.sample_every_km(25.0);
+  for (std::size_t i = 0; i + 2 < samples.size(); ++i) {
+    // Consecutive interior samples are ≈ 25 km apart along the line; the
+    // chord is at most that.
+    EXPECT_LE(distance_km(samples[i], samples[i + 1]), 25.0 + 0.5);
+  }
+}
+
+TEST(Polyline, SampleRejectsNonPositiveSpacing) {
+  EXPECT_THROW(sample_line().sample_every_km(0.0), std::logic_error);
+}
+
+TEST(Polyline, DistanceToOnAndOff) {
+  const auto line = sample_line();
+  EXPECT_NEAR(line.distance_to_km(line.points()[1]), 0.0, 1e-6);
+  const GeoPoint far{45.0, -98.5};
+  EXPECT_GT(line.distance_to_km(far), 400.0);
+}
+
+TEST(Polyline, ReversedPreservesLength) {
+  const auto line = sample_line();
+  const auto rev = line.reversed();
+  EXPECT_NEAR(rev.length_km(), line.length_km(), 1e-9);
+  EXPECT_EQ(rev.front(), line.back());
+  EXPECT_EQ(rev.back(), line.front());
+}
+
+TEST(Polyline, JoinedWithSharedEndpoint) {
+  const Polyline first({{40.0, -100.0}, {40.0, -99.0}});
+  const Polyline second({{40.0, -99.0}, {40.0, -98.0}});
+  const auto joined = first.joined_with(second);
+  EXPECT_EQ(joined.size(), 3u);
+  EXPECT_NEAR(joined.length_km(), first.length_km() + second.length_km(), 1e-9);
+}
+
+TEST(Polyline, JoinedRejectsGap) {
+  const Polyline first({{40.0, -100.0}, {40.0, -99.0}});
+  const Polyline gapped({{42.0, -99.0}, {42.0, -98.0}});
+  EXPECT_THROW(first.joined_with(gapped), std::logic_error);
+}
+
+TEST(Polyline, BoundsContainAllPoints) {
+  const auto line = sample_line();
+  const auto box = line.bounds();
+  for (const auto& p : line.points()) {
+    EXPECT_TRUE(box.contains(p));
+  }
+  EXPECT_FALSE(box.contains({50.0, -100.0}));
+}
+
+TEST(BoundingBox, ExpansionGrows) {
+  const auto line = sample_line();
+  const auto box = line.bounds();
+  const auto grown = box.expanded_km(100.0);
+  EXPECT_LT(grown.min_lat, box.min_lat);
+  EXPECT_GT(grown.max_lat, box.max_lat);
+  EXPECT_LT(grown.min_lon, box.min_lon);
+  EXPECT_GT(grown.max_lon, box.max_lon);
+}
+
+TEST(BoundingBox, IntersectsSemantics) {
+  const BoundingBox a{0.0, 10.0, 0.0, 10.0};
+  const BoundingBox b{5.0, 15.0, 5.0, 15.0};
+  const BoundingBox c{11.0, 12.0, 0.0, 10.0};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(a.intersects(a));
+}
+
+TEST(FractionWithinBuffer, IdenticalLinesFullyCovered) {
+  const auto line = sample_line();
+  EXPECT_NEAR(fraction_within_buffer(line, line, 1.0, 5.0), 1.0, 1e-9);
+}
+
+TEST(FractionWithinBuffer, DisjointLinesZero) {
+  const Polyline a({{40.0, -100.0}, {40.0, -99.0}});
+  const Polyline b({{30.0, -80.0}, {30.0, -79.0}});
+  EXPECT_DOUBLE_EQ(fraction_within_buffer(a, b, 5.0, 5.0), 0.0);
+}
+
+TEST(FractionWithinBuffer, PartialOverlap) {
+  // b covers only the western half of a.
+  const Polyline a({{40.0, -100.0}, {40.0, -98.0}});
+  const Polyline b({{40.0, -100.0}, {40.0, -99.0}});
+  const double frac = fraction_within_buffer(a, b, 2.0, 2.0);
+  EXPECT_GT(frac, 0.35);
+  EXPECT_LT(frac, 0.65);
+}
+
+TEST(RouteSimilarity, SymmetricAndBounded) {
+  const Polyline a({{40.0, -100.0}, {40.0, -98.0}});
+  const Polyline b({{40.02, -100.0}, {40.02, -98.0}});  // ~2 km north
+  const double s1 = route_similarity(a, b, 5.0, 5.0);
+  const double s2 = route_similarity(b, a, 5.0, 5.0);
+  EXPECT_NEAR(s1, s2, 1e-9);
+  EXPECT_GT(s1, 0.9);
+  EXPECT_LE(s1, 1.0);
+}
+
+TEST(RouteSimilarity, FarApartShortCircuitsToZero) {
+  const Polyline a({{40.0, -100.0}, {40.0, -99.0}});
+  const Polyline b({{25.0, -80.0}, {25.0, -79.0}});
+  EXPECT_DOUBLE_EQ(route_similarity(a, b, 5.0, 5.0), 0.0);
+}
+
+/// Property: walking a random polyline by point_at_km covers its length.
+class PolylineWalk : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolylineWalk, CumulativeWalkConsistent) {
+  Rng rng(GetParam());
+  std::vector<GeoPoint> pts;
+  GeoPoint cur{rng.uniform(30.0, 45.0), rng.uniform(-120.0, -75.0)};
+  pts.push_back(cur);
+  for (int i = 0; i < 8; ++i) {
+    cur = destination(cur, rng.uniform(0.0, 360.0), rng.uniform(20.0, 150.0));
+    pts.push_back(cur);
+  }
+  const Polyline line(std::move(pts));
+  // Sum of chord distances between successive point_at_km samples ≈ length.
+  double walked = 0.0;
+  const double step = line.length_km() / 2000.0;
+  GeoPoint prev = line.front();
+  for (double d = step; d <= line.length_km() + 1e-9; d += step) {
+    const GeoPoint p = line.point_at_km(std::min(d, line.length_km()));
+    walked += distance_km(prev, p);
+    prev = p;
+  }
+  // Chords cut corners at sharp vertices; dense sampling keeps the error
+  // small but nonzero.
+  EXPECT_NEAR(walked, line.length_km(), line.length_km() * 0.012);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolylineWalk, ::testing::Values(5ULL, 23ULL, 0xabcULL, 777ULL));
+
+}  // namespace
+}  // namespace intertubes::geo

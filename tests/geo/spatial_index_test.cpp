@@ -1,0 +1,101 @@
+#include "geo/spatial_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace intertubes::geo {
+namespace {
+
+TEST(SegmentIndex, EmptyIndexFindsNothing) {
+  SegmentIndex index;
+  const auto result = index.nearest({40.0, -100.0}, 100.0);
+  EXPECT_TRUE(std::isinf(result.distance_km));
+  EXPECT_FALSE(index.anything_within({40.0, -100.0}, 1000.0));
+  EXPECT_TRUE(index.owners_within({40.0, -100.0}, 1000.0).empty());
+}
+
+TEST(SegmentIndex, FindsRegisteredSegment) {
+  SegmentIndex index;
+  index.add_polyline(Polyline({{40.0, -100.0}, {40.0, -99.0}}), 7);
+  const auto result = index.nearest({40.05, -99.5}, 50.0);
+  EXPECT_LT(result.distance_km, 10.0);
+  EXPECT_EQ(result.owner_id, 7u);
+}
+
+TEST(SegmentIndex, RespectsMaxRadius) {
+  SegmentIndex index;
+  index.add_polyline(Polyline({{40.0, -100.0}, {40.0, -99.0}}), 1);
+  // Point ~111 km north; search radius 50 km must come back empty.
+  const auto result = index.nearest({41.0, -99.5}, 50.0);
+  EXPECT_TRUE(std::isinf(result.distance_km));
+  EXPECT_TRUE(index.anything_within({41.0, -99.5}, 150.0));
+}
+
+TEST(SegmentIndex, SegmentCountAccumulates) {
+  SegmentIndex index;
+  index.add_polyline(Polyline({{40.0, -100.0}, {40.0, -99.0}, {40.0, -98.0}}), 0);
+  index.add_polyline(Polyline({{41.0, -100.0}, {41.0, -99.0}}), 1);
+  EXPECT_EQ(index.segment_count(), 3u);
+}
+
+TEST(SegmentIndex, OwnersWithinDeduplicates) {
+  SegmentIndex index;
+  // Two polylines of the same owner, one of another, all near the query.
+  index.add_polyline(Polyline({{40.0, -100.0}, {40.0, -99.0}}), 5);
+  index.add_polyline(Polyline({{40.01, -100.0}, {40.01, -99.0}}), 5);
+  index.add_polyline(Polyline({{40.02, -100.0}, {40.02, -99.0}}), 9);
+  const auto owners = index.owners_within({40.01, -99.5}, 20.0);
+  EXPECT_EQ(owners, (std::vector<std::uint32_t>{5, 9}));
+}
+
+TEST(SegmentIndex, LongSegmentIndexedAcrossCells) {
+  SegmentIndex index(50.0);
+  // A 10° (~850 km) segment spans many 50 km cells; queries near its
+  // middle must still hit it.
+  index.add_polyline(Polyline({{40.0, -105.0}, {40.0, -95.0}}), 3);
+  const auto result = index.nearest({40.2, -100.0}, 60.0);
+  EXPECT_EQ(result.owner_id, 3u);
+  EXPECT_NEAR(result.distance_km, 22.2, 3.0);
+}
+
+TEST(SegmentIndex, RejectsBadCellSize) {
+  EXPECT_THROW(SegmentIndex(0.0), std::logic_error);
+  EXPECT_THROW(SegmentIndex(-1.0), std::logic_error);
+}
+
+/// Property: the index's nearest() agrees with brute force over the
+/// registered polylines.
+class IndexVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IndexVsBruteForce, NearestMatches) {
+  Rng rng(GetParam());
+  SegmentIndex index(40.0);
+  std::vector<Polyline> lines;
+  for (int i = 0; i < 12; ++i) {
+    const GeoPoint a{rng.uniform(32.0, 45.0), rng.uniform(-115.0, -80.0)};
+    const GeoPoint b = destination(a, rng.uniform(0.0, 360.0), rng.uniform(30.0, 300.0));
+    lines.push_back(Polyline::straight(a, b));
+    index.add_polyline(lines.back(), static_cast<std::uint32_t>(i));
+  }
+  for (int q = 0; q < 60; ++q) {
+    const GeoPoint p{rng.uniform(32.0, 45.0), rng.uniform(-115.0, -80.0)};
+    double brute = std::numeric_limits<double>::infinity();
+    for (const auto& line : lines) brute = std::min(brute, line.distance_to_km(p));
+    const auto result = index.nearest(p, 2000.0);
+    if (std::isinf(result.distance_km)) {
+      EXPECT_GT(brute, 2000.0);
+    } else {
+      EXPECT_NEAR(result.distance_km, brute, 0.5);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexVsBruteForce,
+                         ::testing::Values(11ULL, 29ULL, 0x5eedULL, 4242ULL));
+
+}  // namespace
+}  // namespace intertubes::geo

@@ -1,0 +1,175 @@
+// End-to-end integration: the full InterTubes reproduction pipeline, from
+// world generation to each of the paper's analyses, checked against the
+// qualitative shape of the paper's results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/fidelity.hpp"
+#include "core/scenario.hpp"
+#include "geo/colocation.hpp"
+#include "optimize/latency.hpp"
+#include "optimize/robustness.hpp"
+#include "risk/risk_matrix.hpp"
+#include "test_support.hpp"
+#include "traceroute/overlay.hpp"
+
+namespace intertubes {
+namespace {
+
+const core::Scenario& scenario() { return testing::shared_scenario(); }
+
+TEST(EndToEnd, WorldScaleComparableToPaper) {
+  // Paper: 273 nodes, 2411 links, 542 conduits over the whole US.  Our
+  // city set is 179, so we expect the same order of magnitude.
+  const auto stats = core::compute_stats(scenario().map());
+  EXPECT_GT(stats.nodes, 100u);
+  EXPECT_GT(stats.links, 500u);
+  EXPECT_GT(stats.conduits, 200u);
+  EXPECT_GT(stats.total_conduit_km, 50000.0);
+}
+
+TEST(EndToEnd, Table1ShapeGeocodedIsps) {
+  // Step-1 ISPs' per-ISP node/link counts: EarthLink and Level 3 are the
+  // two largest by links, as in Table 1.
+  const auto stats = core::compute_stats(scenario().map());
+  const auto& profiles = scenario().truth().profiles();
+  const auto links_of = [&](const char* name) {
+    return stats.links_per_isp[isp::find_profile(profiles, name)];
+  };
+  std::vector<std::size_t> geocoded_counts;
+  for (isp::IspId i = 0; i < profiles.size(); ++i) {
+    if (profiles[i].publishes_geocoded_map) geocoded_counts.push_back(stats.links_per_isp[i]);
+  }
+  std::sort(geocoded_counts.begin(), geocoded_counts.end(), std::greater<>());
+  EXPECT_GE(links_of("EarthLink"), geocoded_counts[2]);
+  EXPECT_GE(links_of("Level 3"), geocoded_counts[2]);
+  EXPECT_GT(links_of("EarthLink"), links_of("Integra"));
+  EXPECT_GT(links_of("Level 3"), links_of("Suddenlink"));
+}
+
+TEST(EndToEnd, Figure4RoadDominatesRail) {
+  // Fiber mostly follows roads; rail second; union highest (Fig. 4).
+  geo::ReferenceNetwork road("road");
+  for (const auto& e : scenario().bundle().road.edges()) road.add_route(e.path);
+  geo::ReferenceNetwork rail("rail");
+  for (const auto& e : scenario().bundle().rail.edges()) rail.add_route(e.path);
+
+  std::vector<geo::Polyline> routes;
+  for (const auto& conduit : scenario().map().conduits()) {
+    routes.push_back(scenario().row().corridor(conduit.corridor).path);
+  }
+  const auto hist = geo::colocation_histogram(routes, {&road, &rail}, 2.0, 10.0);
+  EXPECT_GT(hist.mean_fraction[0], hist.mean_fraction[1]);      // road > rail
+  EXPECT_GE(hist.mean_fraction[2], hist.mean_fraction[0]);      // any >= road
+  EXPECT_GT(hist.mean_fraction[2], 0.6);                        // mostly transport-co-located
+}
+
+TEST(EndToEnd, SomeConduitsFollowPipelinesOnly) {
+  // §3's Laurel-MS observation: a few conduits are off road and rail but
+  // on pipeline ROWs.
+  std::size_t pipeline_conduits = 0;
+  for (const auto& conduit : scenario().map().conduits()) {
+    if (scenario().row().corridor(conduit.corridor).mode == transport::TransportMode::Pipeline) {
+      ++pipeline_conduits;
+    }
+  }
+  EXPECT_GT(pipeline_conduits, 0u);
+  EXPECT_LT(pipeline_conduits * 4, scenario().map().conduits().size());
+}
+
+TEST(EndToEnd, Figure6SharingRegime) {
+  const auto matrix = risk::RiskMatrix::from_map(scenario().map());
+  const auto counts = matrix.conduits_shared_by_at_least();
+  const double total = static_cast<double>(matrix.num_conduits());
+  ASSERT_GE(counts.size(), 4u);
+  const double frac2 = counts[1] / total;
+  const double frac3 = counts[2] / total;
+  const double frac4 = counts[3] / total;
+  // Paper: 89.7 / 63.3 / 53.5 %.  Same regime, generous bands.
+  EXPECT_NEAR(frac2, 0.897, 0.15);
+  EXPECT_NEAR(frac3, 0.633, 0.20);
+  EXPECT_NEAR(frac4, 0.535, 0.22);
+}
+
+TEST(EndToEnd, FidelityIsMeasuredAndHigh) {
+  const auto fidelity = core::score_fidelity(scenario().map(), scenario().truth());
+  EXPECT_GT(fidelity.conduit_precision * fidelity.conduit_recall, 0.5);
+  EXPECT_GT(fidelity.tenancy_precision * fidelity.tenancy_recall, 0.45);
+}
+
+TEST(EndToEnd, RobustnessGainsConcentratedInFewTargets) {
+  // §5.1: optimizing the 12 most-shared conduits captures the bulk of the
+  // attainable shared-risk reduction; random conduits yield much less.
+  const auto& map = scenario().map();
+  const auto matrix = risk::RiskMatrix::from_map(map);
+  const auto top = matrix.most_shared_conduits(12);
+  double top_srr = 0.0;
+  std::size_t n_top = 0;
+  for (const auto& s : optimize::summarize_robustness(map, matrix, top)) {
+    if (s.targets_using) {
+      top_srr += s.srr_avg;
+      ++n_top;
+    }
+  }
+  // Median-sharing targets for contrast.
+  std::vector<core::ConduitId> mid;
+  const auto all = matrix.most_shared_conduits(matrix.num_conduits());
+  for (std::size_t i = all.size() / 2; i < all.size() / 2 + 12; ++i) mid.push_back(all[i]);
+  double mid_srr = 0.0;
+  std::size_t n_mid = 0;
+  for (const auto& s : optimize::summarize_robustness(map, matrix, mid)) {
+    if (s.targets_using) {
+      mid_srr += s.srr_avg;
+      ++n_mid;
+    }
+  }
+  ASSERT_GT(n_top, 0u);
+  if (n_mid > 0) {
+    EXPECT_GT(top_srr / static_cast<double>(n_top), mid_srr / static_cast<double>(n_mid));
+  }
+}
+
+TEST(EndToEnd, TracerouteOverlayFindsUnmappedTenants) {
+  // Fig. 9's point: traffic reveals more sharing than the static map.
+  const auto topo =
+      traceroute::L3Topology::from_ground_truth(scenario().truth(), core::Scenario::cities());
+  traceroute::CampaignParams params;
+  params.seed = 0x1257;
+  params.num_probes = 50000;
+  const auto campaign = traceroute::run_campaign(topo, core::Scenario::cities(), params);
+  const auto overlay =
+      traceroute::overlay_campaign(scenario().map(), core::Scenario::cities(), campaign);
+  std::size_t conduits_with_new_isps = 0;
+  for (const auto& conduit : scenario().map().conduits()) {
+    for (isp::IspId observed : overlay.usage[conduit.id].observed_isps) {
+      if (!std::binary_search(conduit.tenants.begin(), conduit.tenants.end(), observed)) {
+        ++conduits_with_new_isps;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(conduits_with_new_isps, scenario().map().conduits().size() / 10);
+}
+
+TEST(EndToEnd, LatencyHeadlineMatchesPaper) {
+  const auto study = optimize::latency_study(scenario().map(), core::Scenario::cities(),
+                                             scenario().row());
+  EXPECT_NEAR(study.fraction_best_is_row, 0.65, 0.2);
+}
+
+TEST(EndToEnd, AlternateSeedPreservesQualitativeShape) {
+  // The paper-shape findings are not artifacts of one seed.
+  const auto& alt = testing::alternate_scenario();
+  const auto matrix = risk::RiskMatrix::from_map(alt.map());
+  const auto counts = matrix.conduits_shared_by_at_least();
+  const double total = static_cast<double>(matrix.num_conduits());
+  ASSERT_GE(counts.size(), 2u);
+  EXPECT_GT(counts[1] / total, 0.7);  // sharing dominates at any seed
+
+  const auto fidelity = core::score_fidelity(alt.map(), alt.truth());
+  EXPECT_GT(fidelity.conduit_recall, 0.7);
+}
+
+}  // namespace
+}  // namespace intertubes

@@ -1,0 +1,88 @@
+// Failure injection: the mapping pipeline must degrade gracefully — not
+// crash, not hallucinate — when its inputs turn hostile: heavy publishing
+// omission, noisy geocoding, records full of spurious mentions, or no
+// records at all.
+#include <gtest/gtest.h>
+
+#include "core/fidelity.hpp"
+#include "core/scenario.hpp"
+#include "risk/risk_matrix.hpp"
+#include "test_support.hpp"
+
+namespace intertubes {
+namespace {
+
+core::ScenarioParams base_params() { return core::ScenarioParams::with_seed(0x5EED); }
+
+TEST(NoiseInjection, HeavyLinkOmission) {
+  auto params = base_params();
+  params.publish.omit_link_prob = 0.35;
+  const core::Scenario scenario{params};
+  const auto fidelity = core::score_fidelity(scenario.map(), scenario.truth());
+  // A third of links unpublished: recall drops but precision should hold
+  // (we only map what we saw evidence for).
+  EXPECT_GT(fidelity.conduit_precision, 0.6);
+  EXPECT_GT(fidelity.conduit_recall, 0.5);
+  EXPECT_LT(fidelity.conduit_recall, 0.99);
+}
+
+TEST(NoiseInjection, SevereGeocodingNoise) {
+  auto params = base_params();
+  params.publish.coord_noise_km = 8.0;
+  const core::Scenario scenario{params};
+  // Snapping gets harder — fallbacks kick in — but the pipeline completes
+  // and the map stays substantial.
+  const auto stats = core::compute_stats(scenario.map());
+  EXPECT_GT(stats.conduits, 150u);
+  const auto fidelity = core::score_fidelity(scenario.map(), scenario.truth());
+  EXPECT_GT(fidelity.conduit_recall, 0.5);
+}
+
+TEST(NoiseInjection, SpuriousMentionFlood) {
+  auto params = base_params();
+  params.corpus.false_mention_prob = 0.5;  // every other document lies
+  const core::Scenario scenario{params};
+  const auto fidelity = core::score_fidelity(scenario.map(), scenario.truth());
+  // Tenancy precision suffers but must not collapse: the acceptance rule
+  // (two documents or one strong) still filters most noise.
+  EXPECT_GT(fidelity.tenancy_precision, 0.45);
+  EXPECT_GT(fidelity.conduit_recall, 0.6);
+}
+
+TEST(NoiseInjection, NoRecordsAtAll) {
+  auto params = base_params();
+  params.corpus.docs_per_tenancy = 0.0;
+  params.corpus.phantom_docs_per_100 = 0.0;
+  const core::Scenario scenario{params};
+  EXPECT_TRUE(scenario.corpus().documents.empty());
+  // Steps 2/4 become no-ops; step-1 geometry still yields a map.
+  EXPECT_EQ(scenario.pipeline().step2.tenants_inferred, 0u);
+  const auto stats = core::compute_stats(scenario.map());
+  EXPECT_GT(stats.conduits, 150u);
+  EXPECT_EQ(stats.validated_conduits, 0u);
+}
+
+TEST(NoiseInjection, PhantomOnlyCorpusAddsNothing) {
+  auto params = base_params();
+  params.corpus.docs_per_tenancy = 0.0;
+  params.corpus.phantom_docs_per_100 = 60.0;  // plenty of feasibility studies
+  const core::Scenario scenario{params};
+  EXPECT_FALSE(scenario.corpus().documents.empty());
+  // Negative-language documents are rejected as evidence.
+  EXPECT_EQ(scenario.pipeline().step2.tenants_inferred, 0u);
+}
+
+TEST(NoiseInjection, SharingRegimeSurvivesModerateNoise) {
+  auto params = base_params();
+  params.publish.omit_link_prob = 0.15;
+  params.publish.coord_noise_km = 4.0;
+  params.corpus.false_mention_prob = 0.15;
+  const core::Scenario scenario{params};
+  const auto matrix = risk::RiskMatrix::from_map(scenario.map());
+  const auto counts = matrix.conduits_shared_by_at_least();
+  ASSERT_GE(counts.size(), 2u);
+  EXPECT_GT(static_cast<double>(counts[1]) / static_cast<double>(matrix.num_conduits()), 0.6);
+}
+
+}  // namespace
+}  // namespace intertubes

@@ -1,0 +1,192 @@
+#include "isp/ground_truth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "test_support.hpp"
+
+namespace intertubes::isp {
+namespace {
+
+using transport::CityId;
+using transport::CorridorId;
+
+const core::Scenario& scenario() { return testing::shared_scenario(); }
+const GroundTruth& truth() { return scenario().truth(); }
+
+TEST(GroundTruth, AllProfilesDeployed) {
+  EXPECT_EQ(truth().num_isps(), default_profiles().size());
+  for (IspId isp = 0; isp < truth().num_isps(); ++isp) {
+    EXPECT_GE(truth().pops_of(isp).size(), 2u) << truth().profiles()[isp].name;
+    EXPECT_FALSE(truth().link_indices_of(isp).empty()) << truth().profiles()[isp].name;
+  }
+}
+
+TEST(GroundTruth, PopCountsNearTargets) {
+  for (IspId isp = 0; isp < truth().num_isps(); ++isp) {
+    const auto& prof = truth().profiles()[isp];
+    EXPECT_NEAR(static_cast<double>(truth().pops_of(isp).size()),
+                static_cast<double>(prof.target_pops), 4.0)
+        << prof.name;
+  }
+}
+
+TEST(GroundTruth, LinksFormValidCorridorChains) {
+  const auto& row = scenario().row();
+  for (const auto& link : truth().links()) {
+    ASSERT_FALSE(link.corridors.empty());
+    CityId cur = link.a;
+    double length = 0.0;
+    for (CorridorId cid : link.corridors) {
+      const auto& c = row.corridor(cid);
+      ASSERT_TRUE(c.a == cur || c.b == cur)
+          << "corridor chain breaks for " << truth().profiles()[link.isp].name;
+      cur = (c.a == cur) ? c.b : c.a;
+      length += c.length_km;
+    }
+    EXPECT_EQ(cur, link.b);
+    EXPECT_NEAR(length, link.length_km, 1e-6);
+  }
+}
+
+TEST(GroundTruth, LinkEndpointsArePops) {
+  for (const auto& link : truth().links()) {
+    const auto& pops = truth().pops_of(link.isp);
+    EXPECT_TRUE(std::find(pops.begin(), pops.end(), link.a) != pops.end());
+    EXPECT_TRUE(std::find(pops.begin(), pops.end(), link.b) != pops.end());
+  }
+}
+
+TEST(GroundTruth, TenancyMatchesLinks) {
+  // tenants_by_corridor must be exactly the set of ISPs whose links cross
+  // each corridor.
+  std::vector<std::set<IspId>> expected(scenario().row().corridors().size());
+  for (const auto& link : truth().links()) {
+    for (CorridorId cid : link.corridors) expected[cid].insert(link.isp);
+  }
+  for (CorridorId cid = 0; cid < expected.size(); ++cid) {
+    const auto& actual = truth().tenants_by_corridor()[cid];
+    EXPECT_EQ(std::set<IspId>(actual.begin(), actual.end()), expected[cid]);
+    EXPECT_TRUE(std::is_sorted(actual.begin(), actual.end()));
+  }
+}
+
+TEST(GroundTruth, TenantLookupConsistent) {
+  for (CorridorId cid : truth().lit_corridors()) {
+    const auto& tenants = truth().tenants_by_corridor()[cid];
+    EXPECT_EQ(truth().tenant_count(cid), tenants.size());
+    for (IspId t : tenants) EXPECT_TRUE(truth().is_tenant(cid, t));
+    EXPECT_FALSE(truth().is_tenant(cid, static_cast<IspId>(999)));
+  }
+}
+
+TEST(GroundTruth, SubstantialConduitSharing) {
+  // The paper's central observation: most conduits are shared.  Our world
+  // must reproduce it: >= 70 % of lit conduits have >= 2 tenants.
+  const auto lit = truth().lit_corridors();
+  ASSERT_GT(lit.size(), 100u);
+  std::size_t shared = 0;
+  for (CorridorId cid : lit) {
+    if (truth().tenant_count(cid) >= 2) ++shared;
+  }
+  EXPECT_GT(static_cast<double>(shared) / static_cast<double>(lit.size()), 0.7);
+}
+
+TEST(GroundTruth, SomeConduitsVeryHeavilyShared) {
+  std::size_t heavy = 0;
+  for (CorridorId cid : truth().lit_corridors()) {
+    if (truth().tenant_count(cid) > 15) ++heavy;
+  }
+  // The "12 conduits shared by >17 of 20 ISPs" phenomenon, loosely.
+  EXPECT_GE(heavy, 5u);
+  EXPECT_LE(heavy, 60u);
+}
+
+TEST(GroundTruth, FacilitiesOwnersShareLess) {
+  // Average tenancy over conduits used: Level 3 must sit below the non-US
+  // lessees (Deutsche Telekom / NTT / Tata) — §4.2's ranking implication.
+  auto avg_sharing = [&](const char* name) {
+    const IspId isp = find_profile(truth().profiles(), name);
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (CorridorId cid : truth().lit_corridors()) {
+      if (truth().is_tenant(cid, isp)) {
+        sum += static_cast<double>(truth().tenant_count(cid));
+        ++n;
+      }
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+  };
+  const double level3 = avg_sharing("Level 3");
+  EXPECT_LT(level3, avg_sharing("Deutsche Telekom"));
+  EXPECT_LT(level3, avg_sharing("NTT"));
+  EXPECT_LT(level3, avg_sharing("Tata"));
+}
+
+TEST(GroundTruth, RegionalIspStaysRegional) {
+  const IspId integra = find_profile(truth().profiles(), "Integra");
+  ASSERT_NE(integra, kNoIsp);
+  const auto& cities = core::Scenario::cities();
+  std::size_t west_mountain = 0;
+  const auto& pops = truth().pops_of(integra);
+  for (CityId c : pops) {
+    const auto region = cities.city(c).region;
+    if (region == transport::Region::West || region == transport::Region::Mountain) {
+      ++west_mountain;
+    }
+  }
+  EXPECT_GT(static_cast<double>(west_mountain) / static_cast<double>(pops.size()), 0.6);
+}
+
+TEST(GroundTruth, DeterministicInSeed) {
+  GroundTruthParams params;
+  params.seed = 0x42;
+  const auto t1 =
+      generate_ground_truth(core::Scenario::cities(), scenario().row(), default_profiles(), params);
+  const auto t2 =
+      generate_ground_truth(core::Scenario::cities(), scenario().row(), default_profiles(), params);
+  ASSERT_EQ(t1.links().size(), t2.links().size());
+  for (std::size_t i = 0; i < t1.links().size(); ++i) {
+    EXPECT_EQ(t1.links()[i].isp, t2.links()[i].isp);
+    EXPECT_EQ(t1.links()[i].a, t2.links()[i].a);
+    EXPECT_EQ(t1.links()[i].b, t2.links()[i].b);
+    EXPECT_EQ(t1.links()[i].corridors, t2.links()[i].corridors);
+  }
+}
+
+TEST(GroundTruth, SeedChangesDeployment) {
+  GroundTruthParams params;
+  params.seed = 0x43;
+  const auto other =
+      generate_ground_truth(core::Scenario::cities(), scenario().row(), default_profiles(), params);
+  // Some structural difference must appear.
+  bool differs = other.links().size() != truth().links().size();
+  if (!differs) {
+    for (std::size_t i = 0; i < other.links().size(); ++i) {
+      if (other.links()[i].a != truth().links()[i].a ||
+          other.links()[i].corridors != truth().links()[i].corridors) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GroundTruth, LinkCountsScaleWithProfile) {
+  // EarthLink (86 target POPs) must have far more links than Deutsche
+  // Telekom (16) — Table 1's spread.
+  const auto earthlink = truth().link_indices_of(find_profile(truth().profiles(), "EarthLink"));
+  const auto dt = truth().link_indices_of(find_profile(truth().profiles(), "Deutsche Telekom"));
+  EXPECT_GT(earthlink.size(), 3 * dt.size());
+}
+
+TEST(GroundTruth, RejectsBadAccess) {
+  EXPECT_THROW(truth().pops_of(static_cast<IspId>(truth().num_isps())), std::logic_error);
+  EXPECT_THROW(truth().tenant_count(static_cast<CorridorId>(1u << 30)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace intertubes::isp

@@ -1,0 +1,104 @@
+#include "isp/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace intertubes::isp {
+namespace {
+
+TEST(Profiles, TwentyProviders) { EXPECT_EQ(default_profiles().size(), 20u); }
+
+TEST(Profiles, NineGeocodedStepOneIsps) {
+  // Table 1 of the paper: exactly these nine publish geocoded maps.
+  const std::set<std::string> expected{"AT&T",   "Comcast",    "Cogent",  "EarthLink", "Integra",
+                                       "Level 3", "Suddenlink", "Verizon", "Zayo"};
+  std::set<std::string> actual;
+  for (const auto& p : default_profiles()) {
+    if (p.publishes_geocoded_map) actual.insert(p.name);
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Profiles, StepThreeIspsPresent) {
+  for (const char* name : {"CenturyLink", "Cox", "Deutsche Telekom", "HE", "Inteliquent", "NTT",
+                           "Sprint", "Tata", "TeliaSonera", "TWC", "XO"}) {
+    const IspId id = find_profile(default_profiles(), name);
+    ASSERT_NE(id, kNoIsp) << name;
+    EXPECT_FALSE(default_profiles()[id].publishes_geocoded_map) << name;
+  }
+}
+
+TEST(Profiles, NonUsCarriersMarked) {
+  for (const char* name : {"Deutsche Telekom", "NTT", "Tata", "TeliaSonera"}) {
+    const IspId id = find_profile(default_profiles(), name);
+    ASSERT_NE(id, kNoIsp);
+    EXPECT_FALSE(default_profiles()[id].us_based) << name;
+  }
+  EXPECT_TRUE(default_profiles()[find_profile(default_profiles(), "AT&T")].us_based);
+}
+
+TEST(Profiles, NonUsCarriersLeaseHeavily) {
+  // Dig-once / leased expansion ⇒ lowest reuse_discount (strongest pull
+  // into existing conduits), per §4.2's implication.
+  for (const char* name : {"Deutsche Telekom", "NTT", "Tata"}) {
+    const auto& p = default_profiles()[find_profile(default_profiles(), name)];
+    EXPECT_LT(p.reuse_discount, 0.3) << name;
+  }
+  for (const char* name : {"AT&T", "Level 3", "CenturyLink"}) {
+    const auto& p = default_profiles()[find_profile(default_profiles(), name)];
+    EXPECT_GT(p.reuse_discount, 0.6) << name;
+  }
+}
+
+TEST(Profiles, Level3HasLargestFootprintAmongTier1) {
+  const auto& profiles = default_profiles();
+  const auto& level3 = profiles[find_profile(profiles, "Level 3")];
+  EXPECT_GE(level3.target_pops, 75u);
+  EXPECT_GT(level3.redundancy, 0.45);
+}
+
+TEST(Profiles, RegionalCarriersConcentrated) {
+  const auto& profiles = default_profiles();
+  const auto& integra = profiles[find_profile(profiles, "Integra")];
+  EXPECT_EQ(integra.kind, IspKind::Regional);
+  // Northwest bias: West weight dominates South/East.
+  EXPECT_GT(integra.region_weight[0], 3.0 * integra.region_weight[3]);
+  const auto& suddenlink = profiles[find_profile(profiles, "Suddenlink")];
+  EXPECT_GT(suddenlink.region_weight[2], suddenlink.region_weight[0]);
+}
+
+TEST(Profiles, ValidParameterRanges) {
+  for (const auto& p : default_profiles()) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_GE(p.target_pops, 10u);
+    EXPECT_LE(p.target_pops, 120u);
+    EXPECT_GT(p.reuse_discount, 0.0);
+    EXPECT_LE(p.reuse_discount, 1.0);
+    EXPECT_GE(p.redundancy, 0.0);
+    EXPECT_LE(p.redundancy, 1.0);
+    for (double w : p.region_weight) EXPECT_GE(w, 0.0);
+  }
+}
+
+TEST(Profiles, UniqueNames) {
+  std::set<std::string> names;
+  for (const auto& p : default_profiles()) {
+    EXPECT_TRUE(names.insert(p.name).second) << "duplicate " << p.name;
+  }
+}
+
+TEST(FindProfile, HitAndMiss) {
+  EXPECT_NE(find_profile(default_profiles(), "Sprint"), kNoIsp);
+  EXPECT_EQ(find_profile(default_profiles(), "NoSuchISP"), kNoIsp);
+  EXPECT_EQ(find_profile(default_profiles(), "sprint"), kNoIsp);  // exact match only
+}
+
+TEST(KindName, AllNamed) {
+  EXPECT_EQ(kind_name(IspKind::Tier1), "tier1");
+  EXPECT_EQ(kind_name(IspKind::Cable), "cable");
+  EXPECT_EQ(kind_name(IspKind::Regional), "regional");
+}
+
+}  // namespace
+}  // namespace intertubes::isp

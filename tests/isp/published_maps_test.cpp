@@ -1,0 +1,136 @@
+#include "isp/published_maps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "test_support.hpp"
+
+namespace intertubes::isp {
+namespace {
+
+const core::Scenario& scenario() { return testing::shared_scenario(); }
+
+TEST(PublishedMaps, OnePerProfile) {
+  const auto& maps = scenario().published();
+  ASSERT_EQ(maps.size(), scenario().truth().num_isps());
+  for (IspId isp = 0; isp < maps.size(); ++isp) {
+    EXPECT_EQ(maps[isp].isp, isp);
+    EXPECT_EQ(maps[isp].isp_name, scenario().truth().profiles()[isp].name);
+  }
+}
+
+TEST(PublishedMaps, GeocodedFlagMatchesProfile) {
+  for (const auto& map : scenario().published()) {
+    EXPECT_EQ(map.geocoded, scenario().truth().profiles()[map.isp].publishes_geocoded_map);
+  }
+}
+
+TEST(PublishedMaps, GeocodedMapsCarryGeometry) {
+  for (const auto& map : scenario().published()) {
+    for (const auto& link : map.links) {
+      if (map.geocoded) {
+        ASSERT_TRUE(link.geometry.has_value());
+        EXPECT_GE(link.geometry->size(), 2u);
+      } else {
+        EXPECT_FALSE(link.geometry.has_value());
+      }
+    }
+  }
+}
+
+TEST(PublishedMaps, GeometryEndpointsExactCities) {
+  const auto& cities = core::Scenario::cities();
+  for (const auto& map : scenario().published()) {
+    if (!map.geocoded) continue;
+    for (const auto& link : map.links) {
+      EXPECT_EQ(link.geometry->front(), cities.city(link.a).location);
+      EXPECT_EQ(link.geometry->back(), cities.city(link.b).location);
+    }
+  }
+}
+
+TEST(PublishedMaps, GeometryTracksTrueRouteClosely) {
+  // Jitter is small: published geometry must stay within a few km of the
+  // true corridor geometry.
+  const auto& row = scenario().row();
+  const auto& truth = scenario().truth();
+  const auto& map = scenario().published()[find_profile(truth.profiles(), "Level 3")];
+  ASSERT_TRUE(map.geocoded);
+  std::size_t checked = 0;
+  for (std::size_t li = 0; li < map.links.size(); li += 7) {
+    const auto& link = map.links[li];
+    // Locate the matching true link.
+    for (std::size_t idx : truth.link_indices_of(map.isp)) {
+      const auto& true_link = truth.links()[idx];
+      if (true_link.a != link.a || true_link.b != link.b) continue;
+      for (const auto& p : link.geometry->sample_every_km(50.0)) {
+        double nearest = 1e18;
+        for (transport::CorridorId cid : true_link.corridors) {
+          nearest = std::min(nearest, row.corridor(cid).path.distance_to_km(p));
+        }
+        EXPECT_LT(nearest, 12.0);
+      }
+      ++checked;
+      break;
+    }
+  }
+  EXPECT_GT(checked, 3u);
+}
+
+TEST(PublishedMaps, NodesAreLinkEndpoints) {
+  for (const auto& map : scenario().published()) {
+    std::set<transport::CityId> endpoints;
+    for (const auto& link : map.links) {
+      endpoints.insert(link.a);
+      endpoints.insert(link.b);
+    }
+    EXPECT_EQ(std::set<transport::CityId>(map.nodes.begin(), map.nodes.end()), endpoints);
+  }
+}
+
+TEST(PublishedMaps, OmissionRateModest) {
+  // Published maps lag deployment but only slightly: across all ISPs, at
+  // least 90 % of true links appear.
+  std::size_t total_true = scenario().truth().links().size();
+  std::size_t total_published = 0;
+  for (const auto& map : scenario().published()) total_published += map.links.size();
+  EXPECT_GT(total_published, total_true * 9 / 10);
+  EXPECT_LE(total_published, total_true);
+}
+
+TEST(PublishedMaps, DeterministicRendering) {
+  PublishParams params;
+  params.seed = 0x77;
+  const auto m1 = render_published_map(scenario().truth(), scenario().row(), 0, params);
+  const auto m2 = render_published_map(scenario().truth(), scenario().row(), 0, params);
+  ASSERT_EQ(m1.links.size(), m2.links.size());
+  for (std::size_t i = 0; i < m1.links.size(); ++i) {
+    EXPECT_EQ(m1.links[i].a, m2.links[i].a);
+    if (m1.links[i].geometry) {
+      EXPECT_EQ(m1.links[i].geometry->points(), m2.links[i].geometry->points());
+    }
+  }
+}
+
+TEST(PublishedMaps, ZeroNoiseIsExactGeometry) {
+  PublishParams params;
+  params.seed = 0x77;
+  params.coord_noise_km = 0.0;
+  params.omit_link_prob = 0.0;
+  const auto& truth = scenario().truth();
+  const IspId level3 = find_profile(truth.profiles(), "Level 3");
+  const auto map = render_published_map(truth, scenario().row(), level3, params);
+  EXPECT_EQ(map.links.size(), truth.link_indices_of(level3).size());
+}
+
+TEST(PublishedMaps, RejectsBadIsp) {
+  EXPECT_THROW(
+      render_published_map(scenario().truth(), scenario().row(),
+                           static_cast<IspId>(scenario().truth().num_isps()), PublishParams{}),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace intertubes::isp

@@ -1,0 +1,108 @@
+#include "optical/economics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace intertubes::optical {
+namespace {
+
+TEST(RouteCost, OrderingNewTrenchMostExpensive) {
+  for (double km : {30.0, 150.0, 800.0}) {
+    const double trench = route_cost(km, BuildMethod::NewTrench);
+    const double pull = route_cost(km, BuildMethod::ExistingConduit);
+    const double iru = route_cost(km, BuildMethod::DarkFiberIru);
+    EXPECT_GT(trench, pull) << km;
+    EXPECT_GT(pull, iru) << km;
+  }
+}
+
+TEST(RouteCost, ScalesWithLength) {
+  EXPECT_GT(route_cost(200.0, BuildMethod::NewTrench),
+            2.0 * route_cost(90.0, BuildMethod::NewTrench) * 0.9);
+  EXPECT_DOUBLE_EQ(route_cost(0.0, BuildMethod::NewTrench), 0.0);
+}
+
+TEST(RouteCost, TrenchDominatedByCivilWorks) {
+  // For long-haul spans, trenching is ~90 % of the build (the economics
+  // that make conduit reuse irresistible).
+  const CostModel model;
+  const double km = 500.0;
+  const double total = route_cost(km, BuildMethod::NewTrench, model);
+  const double trench_share = km * model.trench_per_km / total;
+  EXPECT_GT(trench_share, 0.75);
+}
+
+TEST(RouteCost, RejectsNegative) {
+  EXPECT_THROW(route_cost(-5.0, BuildMethod::NewTrench), std::logic_error);
+}
+
+TEST(EconomicsAudit, SharingSavesSubstantially) {
+  // §1's claim, measured: the world's actual build cost is far below the
+  // every-ISP-trenches-alone counterfactual.
+  const auto audit = audit_map_economics(testing::shared_scenario().map());
+  EXPECT_GT(audit.total_standalone, audit.total_actual);
+  EXPECT_GT(audit.total_savings_fraction, 0.5);
+  EXPECT_LT(audit.total_savings_fraction, 0.98);
+}
+
+TEST(EconomicsAudit, PerIspRowsConsistent) {
+  const auto audit = audit_map_economics(testing::shared_scenario().map());
+  ASSERT_EQ(audit.per_isp.size(), testing::shared_scenario().map().num_isps());
+  double actual = 0.0;
+  double standalone = 0.0;
+  for (const auto& row : audit.per_isp) {
+    EXPECT_GE(row.actual_cost, 0.0);
+    EXPECT_GE(row.standalone_cost, row.actual_cost);
+    EXPECT_GE(row.savings_fraction, 0.0);
+    EXPECT_LE(row.savings_fraction, 1.0);
+    actual += row.actual_cost;
+    standalone += row.standalone_cost;
+  }
+  EXPECT_NEAR(actual, audit.total_actual, 1.0);
+  EXPECT_NEAR(standalone, audit.total_standalone, 1.0);
+}
+
+TEST(EconomicsAudit, LesseesSaveMoreThanBuilders) {
+  // Non-US lessees ride other carriers' trenches nearly everywhere, so
+  // their savings fraction exceeds the big facilities builders'.
+  const auto& profiles = testing::shared_scenario().truth().profiles();
+  const auto audit = audit_map_economics(testing::shared_scenario().map());
+  auto savings = [&](const char* name) {
+    return audit.per_isp[isp::find_profile(profiles, name)].savings_fraction;
+  };
+  const double lessees = (savings("Deutsche Telekom") + savings("NTT") + savings("Tata")) / 3.0;
+  const double builders = (savings("AT&T") + savings("Level 3") + savings("CenturyLink")) / 3.0;
+  EXPECT_GT(lessees, builders);
+}
+
+TEST(EconomicsAudit, EmptyMapZeroCost) {
+  core::FiberMap empty(3);
+  const auto audit = audit_map_economics(empty);
+  EXPECT_DOUBLE_EQ(audit.total_actual, 0.0);
+  EXPECT_DOUBLE_EQ(audit.total_savings_fraction, 0.0);
+}
+
+TEST(EconomicsAudit, MoreSharingMoreSavings) {
+  // A 3-tenant conduit saves more per provider than a 1-tenant conduit of
+  // the same length: direct consequence of first-builder-pays.
+  core::FiberMap map(3);
+  transport::Corridor corridor;
+  corridor.id = 0;
+  corridor.a = 0;
+  corridor.b = 1;
+  corridor.path = geo::Polyline::straight({40.0, -100.0}, {40.0, -98.0});
+  corridor.length_km = 150.0;
+  const auto cid = map.ensure_conduit(corridor, core::Provenance::GeocodedMap);
+  map.add_link(0, 0, 1, {cid}, true);
+  map.add_link(1, 0, 1, {cid}, true);
+  map.add_link(2, 0, 1, {cid}, true);
+  const auto audit = audit_map_economics(map);
+  // Builder (first tenant) saves nothing; the other two save a lot.
+  EXPECT_DOUBLE_EQ(audit.per_isp[0].savings_fraction, 0.0);
+  EXPECT_GT(audit.per_isp[1].savings_fraction, 0.8);
+  EXPECT_GT(audit.per_isp[2].savings_fraction, 0.8);
+}
+
+}  // namespace
+}  // namespace intertubes::optical

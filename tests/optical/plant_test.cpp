@@ -1,0 +1,101 @@
+#include "optical/plant.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geo/latency.hpp"
+#include "test_support.hpp"
+
+namespace intertubes::optical {
+namespace {
+
+TEST(PlanSpan, ShortSpanNeedsNoAmplifier) {
+  EXPECT_EQ(plan_span(50.0).amplifiers, 0u);
+  EXPECT_EQ(plan_span(90.0).amplifiers, 0u);
+  EXPECT_EQ(plan_span(0.0).amplifiers, 0u);
+}
+
+TEST(PlanSpan, AmplifierEverySpacing) {
+  EXPECT_EQ(plan_span(91.0).amplifiers, 1u);   // ceil(91/90)-1
+  EXPECT_EQ(plan_span(180.0).amplifiers, 1u);
+  EXPECT_EQ(plan_span(200.0).amplifiers, 2u);
+  EXPECT_EQ(plan_span(900.0).amplifiers, 9u);
+}
+
+TEST(PlanSpan, CustomSpacing) {
+  PlantParams params;
+  params.amplifier_spacing_km = 50.0;
+  EXPECT_EQ(plan_span(200.0, params).amplifiers, 3u);
+}
+
+TEST(PlanSpan, RejectsNegativeLength) {
+  EXPECT_THROW(plan_span(-1.0), std::logic_error);
+}
+
+TEST(PlanRoute, AccumulatesAcrossConduits) {
+  const auto plan = plan_route({200.0, 200.0, 200.0});
+  EXPECT_DOUBLE_EQ(plan.length_km, 600.0);
+  EXPECT_EQ(plan.amplifiers, 6u);  // 2 per 200 km conduit
+  EXPECT_EQ(plan.regenerations, 0u);  // under 1500 km reach
+}
+
+TEST(PlanRoute, RegenerationWhenReachExceeded) {
+  const auto plan = plan_route({800.0, 800.0});  // 1600 km > 1500
+  EXPECT_EQ(plan.regenerations, 1u);
+  const auto cross_country = plan_route({1200.0, 1200.0, 1200.0, 1200.0});  // 4800 km
+  EXPECT_EQ(cross_country.regenerations, 3u);
+}
+
+TEST(PlanRoute, DelayIncludesEquipment) {
+  const auto plan = plan_route({1600.0});
+  EXPECT_EQ(plan.regenerations, 1u);
+  const double propagation = geo::fiber_delay_ms(1600.0);
+  EXPECT_GT(plan.total_delay_ms, propagation);
+  EXPECT_NEAR(plan.total_delay_ms - propagation, plan.equipment_delay_ms, 1e-12);
+  // 17 amplifiers × 0.1 µs + 1 regen × 50 µs ≈ 0.0517 ms.
+  EXPECT_NEAR(plan.equipment_delay_ms, 0.0517, 0.001);
+}
+
+TEST(PlanRoute, EmptyRouteIsZero) {
+  const auto plan = plan_route({});
+  EXPECT_DOUBLE_EQ(plan.length_km, 0.0);
+  EXPECT_EQ(plan.amplifiers, 0u);
+  EXPECT_DOUBLE_EQ(plan.total_delay_ms, 0.0);
+}
+
+TEST(PlanLink, MatchesManualSum) {
+  const auto& map = testing::shared_scenario().map();
+  const auto& link = map.links().front();
+  const auto plan = plan_link(map, link);
+  EXPECT_NEAR(plan.length_km, link.length_km, 1e-6);
+  std::size_t amps = 0;
+  for (core::ConduitId cid : link.conduits) {
+    amps += plan_span(map.conduit(cid).length_km).amplifiers;
+  }
+  EXPECT_EQ(plan.amplifiers, amps);
+}
+
+TEST(PlantInventory, ScenarioScale) {
+  const auto& map = testing::shared_scenario().map();
+  const auto inventory = plant_inventory(map);
+  // ~73k conduit-km at 90 km spacing ⇒ several hundred hut sites.
+  EXPECT_GT(inventory.conduit_amplifier_sites, 200u);
+  EXPECT_LT(inventory.conduit_amplifier_sites, 2000u);
+  // Some long links need regeneration; most do not.
+  EXPECT_GT(inventory.link_regenerations, 0u);
+  EXPECT_LT(inventory.link_regenerations, map.links().size());
+  EXPECT_GT(inventory.mean_link_delay_ms, 0.5);
+  EXPECT_LT(inventory.mean_link_delay_ms, 20.0);
+}
+
+TEST(PlantInventory, LongRoutesMinimizeRepeaters) {
+  // §1's "minimal use of repeaters": equipment delay is a tiny fraction of
+  // propagation delay for every link.
+  const auto& map = testing::shared_scenario().map();
+  for (std::size_t i = 0; i < map.links().size(); i += 41) {
+    const auto plan = plan_link(map, map.link(static_cast<core::LinkId>(i)));
+    EXPECT_LT(plan.equipment_delay_ms, 0.1 * plan.total_delay_ms);
+  }
+}
+
+}  // namespace
+}  // namespace intertubes::optical

@@ -1,0 +1,130 @@
+#include "optimize/expansion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_support.hpp"
+
+namespace intertubes::optimize {
+namespace {
+
+using isp::IspId;
+
+const core::Scenario& scenario() { return testing::shared_scenario(); }
+
+ExpansionResult expand(const char* name, std::size_t k) {
+  const IspId isp = isp::find_profile(scenario().truth().profiles(), name);
+  return optimize_expansion(scenario().map(), scenario().row(), isp, k);
+}
+
+TEST(Expansion, BaselinePositive) {
+  const auto result = expand("Sprint", 1);
+  EXPECT_GT(result.baseline_avg_shared_risk, 1.0);
+  ASSERT_EQ(result.steps.size(), 1u);
+}
+
+TEST(Expansion, ImprovementMonotoneNondecreasing) {
+  const auto result = expand("Sprint", 6);
+  ASSERT_EQ(result.steps.size(), 6u);
+  double prev = 0.0;
+  for (const auto& step : result.steps) {
+    EXPECT_GE(step.improvement_ratio + 1e-12, prev);
+    prev = step.improvement_ratio;
+  }
+}
+
+TEST(Expansion, AvgRiskNeverIncreases) {
+  const auto result = expand("Verizon", 5);
+  double prev = result.baseline_avg_shared_risk;
+  for (const auto& step : result.steps) {
+    EXPECT_LE(step.avg_shared_risk, prev + 1e-9);
+    prev = step.avg_shared_risk;
+  }
+}
+
+TEST(Expansion, AddedCorridorsAreUnlitAndDistinct) {
+  const auto result = expand("XO", 5);
+  std::set<transport::CorridorId> seen;
+  for (const auto& step : result.steps) {
+    if (step.added == transport::kNoCorridor) continue;
+    EXPECT_TRUE(seen.insert(step.added).second);
+    EXPECT_FALSE(scenario().map().conduit_for_corridor(step.added).has_value());
+  }
+}
+
+TEST(Expansion, ImprovementRatioConsistentWithAvg) {
+  const auto result = expand("NTT", 4);
+  for (const auto& step : result.steps) {
+    EXPECT_NEAR(step.improvement_ratio,
+                1.0 - step.avg_shared_risk / result.baseline_avg_shared_risk, 1e-9);
+  }
+}
+
+TEST(Expansion, EveryProfileKindImproves) {
+  // Fig. 11: with a few added conduits every ISP sees *some* reduction in
+  // average shared risk (the magnitude differs wildly; the sign does not).
+  // Note: the gain need not be concave — two added corridors can form a
+  // joint bypass, so later steps may outgain earlier ones.
+  for (const char* name : {"Tata", "TeliaSonera", "AT&T", "Integra", "Cox", "HE"}) {
+    const auto result = expand(name, 5);
+    ASSERT_EQ(result.steps.size(), 5u) << name;
+    EXPECT_GT(result.steps.back().improvement_ratio, 0.0) << name;
+  }
+}
+
+TEST(Expansion, SmallFootprintIspImprovesMore) {
+  // Fig. 11: lessees with thin footprints (Telia/Tata) gain more than the
+  // already-rich (Level 3).
+  const auto telia = expand("TeliaSonera", 6);
+  const auto level3 = expand("Level 3", 6);
+  ASSERT_FALSE(telia.steps.empty());
+  ASSERT_FALSE(level3.steps.empty());
+  EXPECT_GE(telia.steps.back().improvement_ratio,
+            level3.steps.back().improvement_ratio - 1e-9);
+}
+
+TEST(Expansion, UnknownFootprintYieldsEmptyResult) {
+  // An ISP with no links in the map (none exist in practice, so fabricate
+  // by passing a map with fewer ISPs than profiles would imply) — use the
+  // real map but an ISP id with zero links cannot exist; instead verify
+  // the zero-k edge.
+  const auto result = expand("Sprint", 0);
+  EXPECT_TRUE(result.steps.empty());
+  EXPECT_GT(result.baseline_avg_shared_risk, 0.0);
+}
+
+TEST(Expansion, DeterministicAcrossCalls) {
+  const auto r1 = expand("Cox", 3);
+  const auto r2 = expand("Cox", 3);
+  ASSERT_EQ(r1.steps.size(), r2.steps.size());
+  for (std::size_t i = 0; i < r1.steps.size(); ++i) {
+    EXPECT_EQ(r1.steps[i].added, r2.steps[i].added);
+    EXPECT_DOUBLE_EQ(r1.steps[i].avg_shared_risk, r2.steps[i].avg_shared_risk);
+  }
+}
+
+TEST(Expansion, CostWeightInfluencesSelection) {
+  const IspId isp = isp::find_profile(scenario().truth().profiles(), "Sprint");
+  ExpansionParams cheap;
+  cheap.cost_weight = 0.0;
+  ExpansionParams costly;
+  costly.cost_weight = 10.0;
+  const auto r_cheap = optimize_expansion(scenario().map(), scenario().row(), isp, 3, cheap);
+  const auto r_costly = optimize_expansion(scenario().map(), scenario().row(), isp, 3, costly);
+  // With a crushing cost weight the added trench mileage must not exceed
+  // the cost-free pick's mileage.
+  auto added_km = [&](const ExpansionResult& r) {
+    double km = 0.0;
+    for (const auto& step : r.steps) {
+      if (step.added != transport::kNoCorridor) {
+        km += scenario().row().corridor(step.added).length_km;
+      }
+    }
+    return km;
+  };
+  EXPECT_LE(added_km(r_costly), added_km(r_cheap) + 1e-9);
+}
+
+}  // namespace
+}  // namespace intertubes::optimize

@@ -1,0 +1,189 @@
+#include "records/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "test_support.hpp"
+#include "util/strings.hpp"
+
+namespace intertubes::records {
+namespace {
+
+const core::Scenario& scenario() { return testing::shared_scenario(); }
+const Corpus& corpus() { return scenario().corpus(); }
+
+TEST(Corpus, NonEmptyAndConsistent) {
+  ASSERT_GT(corpus().documents.size(), 200u);
+  ASSERT_EQ(corpus().documents.size(), corpus().truth_corridor.size());
+  for (std::size_t i = 0; i < corpus().documents.size(); ++i) {
+    EXPECT_EQ(corpus().documents[i].id, i);
+    EXPECT_FALSE(corpus().documents[i].title.empty());
+    EXPECT_FALSE(corpus().documents[i].text.empty());
+  }
+}
+
+TEST(Corpus, DocumentsMentionBothEndpointCities) {
+  const auto& cities = core::Scenario::cities();
+  const auto& row = scenario().row();
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < corpus().documents.size(); i += 11) {
+    const auto cid = corpus().truth_corridor[i];
+    if (cid == transport::kNoCorridor) continue;
+    const auto& corridor = row.corridor(cid);
+    const std::string text = to_lower(corpus().documents[i].title + " " + corpus().documents[i].text);
+    EXPECT_TRUE(contains(text, to_lower(cities.city(corridor.a).name))) << text;
+    EXPECT_TRUE(contains(text, to_lower(cities.city(corridor.b).name))) << text;
+    ++checked;
+  }
+  EXPECT_GT(checked, 20u);
+}
+
+TEST(Corpus, DocumentsMentionAtLeastOneTrueTenant) {
+  const auto& truth = scenario().truth();
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < corpus().documents.size(); i += 7) {
+    const auto cid = corpus().truth_corridor[i];
+    if (cid == transport::kNoCorridor) continue;
+    const std::string text = to_lower(corpus().documents[i].text);
+    bool any = false;
+    for (isp::IspId t : truth.tenants_by_corridor()[cid]) {
+      if (contains(text, to_lower(truth.profiles()[t].name))) {
+        any = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(any) << corpus().documents[i].text;
+    ++checked;
+  }
+  EXPECT_GT(checked, 30u);
+}
+
+TEST(Corpus, PhantomDocumentsMarked) {
+  std::size_t phantoms = 0;
+  for (std::size_t i = 0; i < corpus().documents.size(); ++i) {
+    if (corpus().truth_corridor[i] == transport::kNoCorridor) {
+      ++phantoms;
+      const std::string text = to_lower(corpus().documents[i].title + " " +
+                                        corpus().documents[i].text);
+      EXPECT_TRUE(contains(text, "feasibility study"));
+      EXPECT_TRUE(contains(text, "no construction has commenced"));
+    }
+  }
+  EXPECT_GT(phantoms, 0u);
+  // Phantoms are a small minority.
+  EXPECT_LT(phantoms * 5, corpus().documents.size());
+}
+
+TEST(Corpus, LitConduitsGetMoreDocsWhenMoreShared) {
+  // Aggregate: document count correlates positively with tenancy.
+  const auto& truth = scenario().truth();
+  std::vector<std::size_t> docs_per_corridor(scenario().row().corridors().size(), 0);
+  for (std::size_t i = 0; i < corpus().documents.size(); ++i) {
+    if (corpus().truth_corridor[i] != transport::kNoCorridor) {
+      ++docs_per_corridor[corpus().truth_corridor[i]];
+    }
+  }
+  double sharing_sum_low = 0.0, docs_low = 0.0, sharing_n_low = 0.0;
+  double docs_high = 0.0, sharing_n_high = 0.0;
+  for (auto cid : truth.lit_corridors()) {
+    if (truth.tenant_count(cid) <= 3) {
+      docs_low += static_cast<double>(docs_per_corridor[cid]);
+      sharing_n_low += 1.0;
+    } else if (truth.tenant_count(cid) >= 10) {
+      docs_high += static_cast<double>(docs_per_corridor[cid]);
+      sharing_n_high += 1.0;
+    }
+  }
+  (void)sharing_sum_low;
+  ASSERT_GT(sharing_n_low, 0.0);
+  ASSERT_GT(sharing_n_high, 0.0);
+  EXPECT_GT(docs_high / sharing_n_high, docs_low / sharing_n_low);
+}
+
+TEST(Corpus, DeterministicGeneration) {
+  CorpusParams params;
+  params.seed = 0x31415;
+  const auto c1 = generate_corpus(core::Scenario::cities(), scenario().row(), scenario().truth(),
+                                  params);
+  const auto c2 = generate_corpus(core::Scenario::cities(), scenario().row(), scenario().truth(),
+                                  params);
+  ASSERT_EQ(c1.documents.size(), c2.documents.size());
+  for (std::size_t i = 0; i < c1.documents.size(); i += 13) {
+    EXPECT_EQ(c1.documents[i].text, c2.documents[i].text);
+    EXPECT_EQ(c1.truth_corridor[i], c2.truth_corridor[i]);
+  }
+}
+
+TEST(Corpus, DensityKnobScalesVolume) {
+  CorpusParams sparse;
+  sparse.seed = 0x1;
+  sparse.docs_per_tenancy = 0.2;
+  sparse.phantom_docs_per_100 = 0.0;
+  CorpusParams dense = sparse;
+  dense.docs_per_tenancy = 2.0;
+  const auto c_sparse = generate_corpus(core::Scenario::cities(), scenario().row(),
+                                        scenario().truth(), sparse);
+  const auto c_dense = generate_corpus(core::Scenario::cities(), scenario().row(),
+                                       scenario().truth(), dense);
+  EXPECT_GT(c_dense.documents.size(), 5 * c_sparse.documents.size());
+}
+
+TEST(Corpus, ZeroDensityMeansOnlyPhantoms) {
+  CorpusParams params;
+  params.seed = 0x2;
+  params.docs_per_tenancy = 0.0;
+  const auto c = generate_corpus(core::Scenario::cities(), scenario().row(), scenario().truth(),
+                                 params);
+  for (std::size_t i = 0; i < c.documents.size(); ++i) {
+    EXPECT_EQ(c.truth_corridor[i], transport::kNoCorridor);
+  }
+}
+
+TEST(Corpus, StateCoverageVarianceOffByDefault) {
+  CorpusParams params;
+  EXPECT_DOUBLE_EQ(params.state_coverage_variance, 0.0);
+}
+
+TEST(Corpus, StateCoverageVarianceChangesGeographyOfRecords) {
+  CorpusParams uniform;
+  uniform.seed = 0x99;
+  uniform.phantom_docs_per_100 = 0.0;
+  CorpusParams varied = uniform;
+  varied.state_coverage_variance = 1.0;
+  const auto c_uniform = generate_corpus(core::Scenario::cities(), scenario().row(),
+                                         scenario().truth(), uniform);
+  const auto c_varied = generate_corpus(core::Scenario::cities(), scenario().row(),
+                                        scenario().truth(), varied);
+  // Per-state document shares must diverge between the two corpora.
+  auto state_share = [](const Corpus& corpus, const transport::RightOfWayRegistry& row) {
+    std::map<std::string, double> share;
+    double total = 0.0;
+    for (std::size_t i = 0; i < corpus.documents.size(); ++i) {
+      const auto cid = corpus.truth_corridor[i];
+      if (cid == transport::kNoCorridor) continue;
+      share[core::Scenario::cities().city(row.corridor(cid).a).state] += 1.0;
+      total += 1.0;
+    }
+    for (auto& [state, count] : share) count /= total;
+    return share;
+  };
+  const auto s_uniform = state_share(c_uniform, scenario().row());
+  const auto s_varied = state_share(c_varied, scenario().row());
+  double divergence = 0.0;
+  for (const auto& [state, frac] : s_uniform) {
+    const auto it = s_varied.find(state);
+    divergence += std::abs(frac - (it == s_varied.end() ? 0.0 : it->second));
+  }
+  EXPECT_GT(divergence, 0.05);
+}
+
+TEST(DocTypeName, AllNamed) {
+  EXPECT_EQ(doc_type_name(DocType::IruAgreement), "IRU agreement");
+  EXPECT_EQ(doc_type_name(DocType::Settlement), "settlement");
+  EXPECT_EQ(doc_type_name(DocType::EnvironmentalImpact), "environmental impact statement");
+}
+
+}  // namespace
+}  // namespace intertubes::records

@@ -1,0 +1,205 @@
+#include "records/inference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "records/corpus.hpp"
+#include "test_support.hpp"
+
+namespace intertubes::records {
+namespace {
+
+using transport::CityId;
+
+const core::Scenario& scenario() { return testing::shared_scenario(); }
+
+const EntityExtractor& extractor() {
+  static const EntityExtractor e(core::Scenario::cities(), isp::default_profiles());
+  return e;
+}
+
+Document make_doc(std::string text) {
+  Document d;
+  d.id = 0;
+  d.title = "test document";
+  d.text = std::move(text);
+  return d;
+}
+
+TEST(EntityExtractor, FindsCitiesWithStateSuffix) {
+  const auto entities = extractor().extract(
+      make_doc("The conduit runs from Salt Lake City UT to Denver CO along the highway."));
+  const auto& cities = core::Scenario::cities();
+  ASSERT_EQ(entities.cities.size(), 2u);
+  EXPECT_EQ(cities.city(entities.cities[0]).name == "Denver" ||
+                cities.city(entities.cities[1]).name == "Denver",
+            true);
+  EXPECT_TRUE(cities.city(entities.cities[0]).name == "Salt Lake City" ||
+              cities.city(entities.cities[1]).name == "Salt Lake City");
+}
+
+TEST(EntityExtractor, BareCityNameNotMatched) {
+  // Without the state code the gazetteer stays silent (duplicate names
+  // like Portland OR/ME make bare names ambiguous).
+  const auto entities = extractor().extract(make_doc("fiber from Portland to Boston"));
+  EXPECT_TRUE(entities.cities.empty());
+}
+
+TEST(EntityExtractor, DisambiguatesDuplicateCityNames) {
+  const auto& cities = core::Scenario::cities();
+  const auto e1 = extractor().extract(make_doc("facilities in Portland OR near the river"));
+  ASSERT_EQ(e1.cities.size(), 1u);
+  EXPECT_EQ(cities.city(e1.cities[0]).state, "OR");
+  const auto e2 = extractor().extract(make_doc("facilities in Portland ME near the coast"));
+  ASSERT_EQ(e2.cities.size(), 1u);
+  EXPECT_EQ(cities.city(e2.cities[0]).state, "ME");
+}
+
+TEST(EntityExtractor, FindsIsps) {
+  const auto entities = extractor().extract(
+      make_doc("Parties to the agreement are AT&T, Level 3 and Deutsche Telekom."));
+  ASSERT_EQ(entities.isps.size(), 3u);
+  const auto& profiles = isp::default_profiles();
+  std::vector<std::string> names;
+  for (auto id : entities.isps) names.push_back(profiles[id].name);
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"AT&T", "Deutsche Telekom", "Level 3"}));
+}
+
+TEST(EntityExtractor, LongestMatchWins) {
+  // "Salt Lake City UT" must not also produce a match for any shorter
+  // embedded name.
+  const auto entities = extractor().extract(make_doc("route to Salt Lake City UT opened"));
+  EXPECT_EQ(entities.cities.size(), 1u);
+}
+
+TEST(EntityExtractor, NegativeLanguageDetected) {
+  EXPECT_TRUE(extractor().extract(make_doc("Feasibility study for a proposed build.")).negative);
+  EXPECT_TRUE(
+      extractor().extract(make_doc("No construction has commenced as of this date.")).negative);
+  EXPECT_FALSE(extractor().extract(make_doc("Construction finished last year.")).negative);
+}
+
+TEST(EntityExtractor, StrongDocClassesDetected) {
+  EXPECT_TRUE(extractor()
+                  .extract(make_doc("This indefeasible right of use agreement conveys strands."))
+                  .strong);
+  EXPECT_TRUE(extractor().extract(make_doc("Filing before the commission concerning fiber.")).strong);
+  EXPECT_TRUE(extractor().extract(make_doc("Notice of class action settlement involving land.")).strong);
+  EXPECT_FALSE(extractor().extract(make_doc("The company announced a new route.")).strong);
+}
+
+TEST(EntityExtractor, RowModeDetected) {
+  EXPECT_EQ(extractor().extract(make_doc("along the railroad right-of-way")).row_mode,
+            transport::TransportMode::Rail);
+  EXPECT_EQ(extractor().extract(make_doc("the interstate highway corridor")).row_mode,
+            transport::TransportMode::Road);
+  EXPECT_EQ(extractor().extract(make_doc("the natural gas pipeline easement")).row_mode,
+            transport::TransportMode::Pipeline);
+  EXPECT_FALSE(extractor().extract(make_doc("a conduit somewhere")).row_mode.has_value());
+}
+
+TEST(EntityExtractor, EntitiesSortedUnique) {
+  const auto entities = extractor().extract(
+      make_doc("Sprint and Sprint and AT&T met in Denver CO and Denver CO."));
+  EXPECT_EQ(entities.isps.size(), 2u);
+  EXPECT_EQ(entities.cities.size(), 1u);
+  EXPECT_TRUE(std::is_sorted(entities.isps.begin(), entities.isps.end()));
+}
+
+// ---- SharingInference against the generated corpus ----
+
+class InferenceFixture : public ::testing::Test {
+ protected:
+  InferenceFixture()
+      : index_(scenario().corpus().documents),
+        inference_(core::Scenario::cities(), scenario().corpus().documents, index_, extractor(),
+                   isp::default_profiles()) {}
+
+  SearchIndex index_;
+  SharingInference inference_;
+};
+
+TEST_F(InferenceFixture, RecoversTenantsOfHeavilyDocumentedConduit) {
+  // Pick the lit corridor with the most documents about it.
+  const auto& corpus = scenario().corpus();
+  std::vector<std::size_t> docs_per_corridor(scenario().row().corridors().size(), 0);
+  for (auto cid : corpus.truth_corridor) {
+    if (cid != transport::kNoCorridor) ++docs_per_corridor[cid];
+  }
+  const auto best = std::max_element(docs_per_corridor.begin(), docs_per_corridor.end());
+  const auto corridor_id = static_cast<transport::CorridorId>(best - docs_per_corridor.begin());
+  ASSERT_GT(*best, 3u);
+  const auto& corridor = scenario().row().corridor(corridor_id);
+
+  const auto evidence =
+      inference_.infer(corridor.a, corridor.b, isp::kNoIsp, corridor.mode, InferenceParams{});
+  const auto accepted = inference_.accepted_tenants(evidence, InferenceParams{});
+  ASSERT_FALSE(accepted.empty());
+  // Precision: every accepted tenant is a true tenant.
+  const auto& truth = scenario().truth().tenants_by_corridor()[corridor_id];
+  std::size_t correct = 0;
+  for (auto isp_id : accepted) {
+    if (std::binary_search(truth.begin(), truth.end(), isp_id)) ++correct;
+  }
+  EXPECT_GE(static_cast<double>(correct) / static_cast<double>(accepted.size()), 0.8);
+}
+
+TEST_F(InferenceFixture, EvidenceSortedByScore) {
+  const auto& corridor = scenario().row().corridor(scenario().truth().lit_corridors().front());
+  const auto evidence = inference_.infer(corridor.a, corridor.b);
+  for (std::size_t i = 0; i + 1 < evidence.tenants.size(); ++i) {
+    EXPECT_GE(evidence.tenants[i].score, evidence.tenants[i + 1].score);
+  }
+}
+
+TEST_F(InferenceFixture, UndocumentedCityPairYieldsNothing) {
+  // Two tiny cities with no corridor between them (Wells NV – Laurel MS).
+  const auto wells = core::Scenario::cities().find("Wells, NV");
+  const auto laurel = core::Scenario::cities().find("Laurel, MS");
+  ASSERT_TRUE(wells && laurel);
+  const auto evidence = inference_.infer(*wells, *laurel);
+  EXPECT_EQ(evidence.documents_considered, 0u);
+  EXPECT_TRUE(inference_.accepted_tenants(evidence).empty());
+}
+
+TEST_F(InferenceFixture, AcceptanceRuleThresholds) {
+  ConduitEvidence evidence;
+  TenantEvidence weak;
+  weak.isp = 0;
+  weak.doc_count = 1;
+  weak.strong_doc_count = 0;
+  TenantEvidence strong_single;
+  strong_single.isp = 1;
+  strong_single.doc_count = 1;
+  strong_single.strong_doc_count = 1;
+  TenantEvidence multi;
+  multi.isp = 2;
+  multi.doc_count = 2;
+  evidence.tenants = {weak, strong_single, multi};
+  const auto accepted = inference_.accepted_tenants(evidence, InferenceParams{});
+  EXPECT_EQ(accepted, (std::vector<isp::IspId>{1, 2}));
+}
+
+TEST_F(InferenceFixture, ModeFilterSeparatesParallelConduits) {
+  // Find a city pair with both a road and a rail corridor where tenant
+  // sets differ; inference with the road mode must not import rail-only
+  // tenants through rail-specific documents.  (Statistical: we check the
+  // filter drops at least some documents.)
+  const auto& row = scenario().row();
+  for (const auto& corridor : row.corridors()) {
+    if (corridor.mode != transport::TransportMode::Road) continue;
+    const auto rail = row.direct(corridor.a, corridor.b, transport::TransportMode::Rail);
+    if (!rail) continue;
+    const auto unfiltered = inference_.infer(corridor.a, corridor.b);
+    const auto filtered =
+        inference_.infer(corridor.a, corridor.b, isp::kNoIsp, corridor.mode);
+    EXPECT_LE(filtered.documents_considered, unfiltered.documents_considered);
+    return;  // one pair suffices
+  }
+  GTEST_SKIP() << "no parallel road+rail corridor in this world";
+}
+
+}  // namespace
+}  // namespace intertubes::records

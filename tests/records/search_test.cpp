@@ -1,0 +1,130 @@
+#include "records/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace intertubes::records {
+namespace {
+
+std::vector<Document> tiny_corpus() {
+  std::vector<Document> docs;
+  auto add = [&docs](std::string title, std::string text) {
+    Document d;
+    d.id = static_cast<DocId>(docs.size());
+    d.type = DocType::PressRelease;
+    d.title = std::move(title);
+    d.text = std::move(text);
+    docs.push_back(std::move(d));
+  };
+  add("IRU agreement Denver to Salt Lake City",
+      "Indefeasible right of use agreement between Sprint and Level 3 covering fiber along the "
+      "railroad right-of-way from Denver CO to Salt Lake City UT.");
+  add("Press release",
+      "The company announced a new route from Dallas TX to Houston TX along the interstate "
+      "highway right-of-way.");
+  add("Unrelated filing", "A zoning variance for a parking structure in downtown Omaha NE.");
+  add("Fiber lease Chicago",
+      "Lease agreement for dark fiber from Chicago IL to Milwaukee WI within existing conduit. "
+      "Parties: Comcast, AT&T.");
+  return docs;
+}
+
+TEST(SearchIndex, BasicCountsAndVocabulary) {
+  const auto docs = tiny_corpus();
+  const SearchIndex index(docs);
+  EXPECT_EQ(index.num_documents(), docs.size());
+  EXPECT_GT(index.vocabulary_size(), 20u);
+}
+
+TEST(SearchIndex, FindsRelevantDocument) {
+  const SearchIndex index(tiny_corpus());
+  const auto hits = index.query("denver salt lake city fiber iru sprint", 0.5, 10);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits.front().doc, 0u);
+}
+
+TEST(SearchIndex, IrrelevantQueryReturnsNothing) {
+  const SearchIndex index(tiny_corpus());
+  const auto hits = index.query("undersea cable landing station hawaii", 0.5, 10);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(SearchIndex, MinMatchGates) {
+  const SearchIndex index(tiny_corpus());
+  // "chicago" matches doc 3 but is only 1 of 4 distinct query terms.
+  const auto strict = index.query("chicago undersea landing hawaii", 0.6, 10);
+  EXPECT_TRUE(strict.empty());
+  const auto loose = index.query("chicago undersea landing hawaii", 0.25, 10);
+  ASSERT_FALSE(loose.empty());
+  EXPECT_EQ(loose.front().doc, 3u);
+  EXPECT_NEAR(loose.front().match_fraction, 0.25, 1e-9);
+}
+
+TEST(SearchIndex, LimitRespected) {
+  const SearchIndex index(tiny_corpus());
+  const auto hits = index.query("fiber right of way", 0.1, 2);
+  EXPECT_LE(hits.size(), 2u);
+}
+
+TEST(SearchIndex, ScoresDescending) {
+  const SearchIndex index(tiny_corpus());
+  const auto hits = index.query("fiber conduit right of way agreement", 0.1, 10);
+  for (std::size_t i = 0; i + 1 < hits.size(); ++i) {
+    EXPECT_GE(hits[i].score, hits[i + 1].score);
+  }
+}
+
+TEST(SearchIndex, EmptyQueryReturnsNothing) {
+  const SearchIndex index(tiny_corpus());
+  EXPECT_TRUE(index.query("", 0.5, 10).empty());
+  EXPECT_TRUE(index.query("...!!!", 0.5, 10).empty());
+}
+
+TEST(SearchIndex, DocFrequency) {
+  const SearchIndex index(tiny_corpus());
+  EXPECT_EQ(index.doc_frequency("fiber"), 2u);  // docs 0 and 3
+  EXPECT_EQ(index.doc_frequency("FIBER"), 2u);  // case-folded
+  EXPECT_EQ(index.doc_frequency("denver"), 1u);
+  EXPECT_EQ(index.doc_frequency("nonexistentterm"), 0u);
+}
+
+TEST(SearchIndex, TitleTermsSearchable) {
+  const SearchIndex index(tiny_corpus());
+  const auto hits = index.query("zoning variance omaha", 0.6, 10);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits.front().doc, 2u);
+}
+
+TEST(SearchIndex, RareTermsOutweighCommonOnes) {
+  // A doc matching the rare term should outrank docs matching only the
+  // ubiquitous one.
+  std::vector<Document> docs;
+  for (int i = 0; i < 20; ++i) {
+    Document d;
+    d.id = static_cast<DocId>(docs.size());
+    d.title = "filler";
+    d.text = "fiber fiber fiber conduit";
+    docs.push_back(std::move(d));
+  }
+  Document rare;
+  rare.id = static_cast<DocId>(docs.size());
+  rare.title = "special";
+  rare.text = "fiber xylophone conduit";
+  docs.push_back(std::move(rare));
+  const SearchIndex index(docs);
+  const auto hits = index.query("fiber xylophone", 0.4, 5);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits.front().doc, 20u);
+}
+
+TEST(SearchIndex, ScalesToScenarioCorpus) {
+  const auto& corpus = intertubes::testing::shared_scenario().corpus();
+  const SearchIndex index(corpus.documents);
+  EXPECT_EQ(index.num_documents(), corpus.documents.size());
+  const auto hits = index.query("fiber optic conduit right of way", 0.3, 50);
+  EXPECT_FALSE(hits.empty());
+}
+
+}  // namespace
+}  // namespace intertubes::records

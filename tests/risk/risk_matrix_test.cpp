@@ -1,0 +1,209 @@
+#include "risk/risk_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_support.hpp"
+
+namespace intertubes::risk {
+namespace {
+
+using core::ConduitId;
+using core::FiberMap;
+using core::Provenance;
+using isp::IspId;
+
+transport::Corridor make_corridor(transport::CorridorId id, transport::CityId a,
+                                  transport::CityId b, double km) {
+  transport::Corridor c;
+  c.id = id;
+  c.a = a;
+  c.b = b;
+  c.path = geo::Polyline::straight({40.0, -100.0 + 0.01 * id}, {40.0, -99.0 + 0.01 * id});
+  c.length_km = km;
+  return c;
+}
+
+/// The paper's worked example (§4.1): Level 3 uses c1, c2, c3; Sprint
+/// shares c1 and c2 but not c3.
+FiberMap paper_example() {
+  FiberMap map(2);  // 0 = Level 3, 1 = Sprint
+  const ConduitId c1 = map.ensure_conduit(make_corridor(0, 0, 1, 100.0), Provenance::GeocodedMap);
+  const ConduitId c2 = map.ensure_conduit(make_corridor(1, 1, 2, 100.0), Provenance::GeocodedMap);
+  const ConduitId c3 = map.ensure_conduit(make_corridor(2, 2, 3, 100.0), Provenance::GeocodedMap);
+  map.add_link(0, 0, 3, {c1, c2, c3}, true);  // Level 3 across all three
+  map.add_link(1, 0, 2, {c1, c2}, true);      // Sprint on the first two
+  return map;
+}
+
+TEST(RiskMatrix, PaperWorkedExample) {
+  const auto matrix = RiskMatrix::from_map(paper_example());
+  EXPECT_EQ(matrix.num_isps(), 2u);
+  EXPECT_EQ(matrix.num_conduits(), 3u);
+  // The matrix from the paper:  L3: 2 2 1 / Sprint: 2 2 0.
+  EXPECT_EQ(matrix.entry(0, 0), 2u);
+  EXPECT_EQ(matrix.entry(0, 1), 2u);
+  EXPECT_EQ(matrix.entry(0, 2), 1u);
+  EXPECT_EQ(matrix.entry(1, 0), 2u);
+  EXPECT_EQ(matrix.entry(1, 1), 2u);
+  EXPECT_EQ(matrix.entry(1, 2), 0u);
+}
+
+TEST(RiskMatrix, SharingCountsAndUses) {
+  const auto matrix = RiskMatrix::from_map(paper_example());
+  EXPECT_EQ(matrix.sharing_count(0), 2u);
+  EXPECT_EQ(matrix.sharing_count(2), 1u);
+  EXPECT_TRUE(matrix.uses(0, 2));
+  EXPECT_FALSE(matrix.uses(1, 2));
+  EXPECT_THROW(matrix.sharing_count(3), std::logic_error);
+  EXPECT_THROW(matrix.uses(2, 0), std::logic_error);
+}
+
+TEST(RiskMatrix, ConduitsSharedByAtLeast) {
+  const auto matrix = RiskMatrix::from_map(paper_example());
+  const auto counts = matrix.conduits_shared_by_at_least();
+  ASSERT_EQ(counts.size(), 2u);  // max sharing = 2
+  EXPECT_EQ(counts[0], 3u);      // >= 1
+  EXPECT_EQ(counts[1], 2u);      // >= 2
+}
+
+TEST(RiskMatrix, ConduitsSharedByMoreThan) {
+  const auto matrix = RiskMatrix::from_map(paper_example());
+  EXPECT_EQ(matrix.conduits_shared_by_more_than(1).size(), 2u);
+  EXPECT_EQ(matrix.conduits_shared_by_more_than(2).size(), 0u);
+}
+
+TEST(RiskMatrix, MostSharedConduits) {
+  const auto matrix = RiskMatrix::from_map(paper_example());
+  const auto top = matrix.most_shared_conduits(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(matrix.sharing_count(top[0]), 2u);
+  EXPECT_EQ(matrix.sharing_count(top[1]), 2u);
+  // Requesting more than exist truncates gracefully.
+  EXPECT_EQ(matrix.most_shared_conduits(99).size(), 3u);
+}
+
+TEST(RiskMatrix, IspRiskRanking) {
+  const auto matrix = RiskMatrix::from_map(paper_example());
+  const auto ranking = matrix.isp_risk_ranking();
+  ASSERT_EQ(ranking.size(), 2u);
+  // Level 3 averages (2+2+1)/3 = 5/3; Sprint averages 2.
+  EXPECT_EQ(ranking[0].isp, 0u);
+  EXPECT_NEAR(ranking[0].mean_sharing, 5.0 / 3.0, 1e-12);
+  EXPECT_EQ(ranking[0].conduits_used, 3u);
+  EXPECT_EQ(ranking[1].isp, 1u);
+  EXPECT_NEAR(ranking[1].mean_sharing, 2.0, 1e-12);
+  // Quartiles of {2,2,1}: p25 = 1.5, p75 = 2.
+  EXPECT_NEAR(ranking[0].p25, 1.5, 1e-12);
+  EXPECT_NEAR(ranking[0].p75, 2.0, 1e-12);
+}
+
+TEST(RiskMatrix, SharedConduitCounts) {
+  const auto matrix = RiskMatrix::from_map(paper_example());
+  const auto counts = matrix.shared_conduit_counts();
+  EXPECT_EQ(counts[0], 2u);  // Level 3: c1, c2 shared
+  EXPECT_EQ(counts[1], 2u);  // Sprint: c1, c2 shared
+}
+
+TEST(RiskMatrix, HammingMatrixSmall) {
+  const auto matrix = RiskMatrix::from_map(paper_example());
+  const auto h = matrix.hamming_matrix();
+  // Rows differ only at c3.
+  EXPECT_EQ(h[0][1], 1u);
+  EXPECT_EQ(h[1][0], 1u);
+  EXPECT_EQ(h[0][0], 0u);
+  EXPECT_EQ(h[1][1], 0u);
+}
+
+// ---- properties on the full scenario map ----
+
+const RiskMatrix& scenario_matrix() {
+  static const RiskMatrix m = RiskMatrix::from_map(testing::shared_scenario().map());
+  return m;
+}
+
+TEST(RiskMatrixScenario, AtLeastSeriesMonotoneNonIncreasing) {
+  const auto counts = scenario_matrix().conduits_shared_by_at_least();
+  ASSERT_FALSE(counts.empty());
+  EXPECT_EQ(counts[0], scenario_matrix().num_conduits());
+  for (std::size_t k = 1; k < counts.size(); ++k) {
+    EXPECT_LE(counts[k], counts[k - 1]);
+  }
+}
+
+TEST(RiskMatrixScenario, PaperSharingPercentages) {
+  // §4.2: 89.67 %, 63.28 %, 53.50 % of conduits shared by >= 2/3/4 ISPs.
+  // Our world must land in the same regime (generous bands).
+  const auto counts = scenario_matrix().conduits_shared_by_at_least();
+  const double total = static_cast<double>(scenario_matrix().num_conduits());
+  ASSERT_GE(counts.size(), 4u);
+  EXPECT_GT(counts[1] / total, 0.70);
+  EXPECT_GT(counts[2] / total, 0.50);
+  EXPECT_GT(counts[3] / total, 0.40);
+  EXPECT_LT(counts[3] / total, 0.90);
+}
+
+TEST(RiskMatrixScenario, HandfulOfChokePoints) {
+  // The "12 of 542 conduits shared by more than 17 ISPs" phenomenon.
+  const auto heavy = scenario_matrix().conduits_shared_by_more_than(16);
+  EXPECT_GE(heavy.size(), 3u);
+  EXPECT_LE(heavy.size(), 50u);
+}
+
+TEST(RiskMatrixScenario, RankingMatchesPaperExtremes) {
+  const auto& profiles = testing::shared_scenario().truth().profiles();
+  const auto ranking = scenario_matrix().isp_risk_ranking();
+  // Collect rank position by name.
+  auto rank_of = [&](const char* name) {
+    const IspId id = isp::find_profile(profiles, name);
+    for (std::size_t i = 0; i < ranking.size(); ++i) {
+      if (ranking[i].isp == id) return i;
+    }
+    return ranking.size();
+  };
+  // Paper: Suddenlink / EarthLink / Level 3 least exposed; Deutsche
+  // Telekom / NTT / XO / Tata heavily exposed.
+  EXPECT_LT(rank_of("Level 3"), 6u);
+  EXPECT_LT(rank_of("EarthLink"), 6u);
+  EXPECT_LT(rank_of("Suddenlink"), 6u);
+  EXPECT_GT(rank_of("Deutsche Telekom"), 11u);
+  EXPECT_GT(rank_of("NTT"), 11u);
+  EXPECT_GT(rank_of("Tata"), 11u);
+}
+
+TEST(RiskMatrixScenario, HammingSymmetricZeroDiagonal) {
+  const auto h = scenario_matrix().hamming_matrix();
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_EQ(h[i][i], 0u);
+    for (std::size_t j = 0; j < h.size(); ++j) {
+      EXPECT_EQ(h[i][j], h[j][i]);
+    }
+  }
+}
+
+TEST(RiskMatrixScenario, NonUsLesseesHaveSimilarProfiles) {
+  // §4.2: TeliaSonera / Deutsche Telekom / NTT ride the same heavily
+  // shared conduits, so their pairwise Hamming distances are small
+  // relative to the global average.
+  const auto& profiles = testing::shared_scenario().truth().profiles();
+  const auto h = scenario_matrix().hamming_matrix();
+  double total = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    for (std::size_t j = i + 1; j < h.size(); ++j) {
+      total += static_cast<double>(h[i][j]);
+      ++n;
+    }
+  }
+  const double global_avg = total / static_cast<double>(n);
+  const IspId dt = isp::find_profile(profiles, "Deutsche Telekom");
+  const IspId ntt = isp::find_profile(profiles, "NTT");
+  const IspId telia = isp::find_profile(profiles, "TeliaSonera");
+  EXPECT_LT(static_cast<double>(h[dt][ntt]), global_avg);
+  EXPECT_LT(static_cast<double>(h[dt][telia]), global_avg);
+  EXPECT_LT(static_cast<double>(h[ntt][telia]), global_avg);
+}
+
+}  // namespace
+}  // namespace intertubes::risk

@@ -1,0 +1,131 @@
+#include "risk/traffic_weighted.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "test_support.hpp"
+#include "traceroute/overlay.hpp"
+
+namespace intertubes::risk {
+namespace {
+
+const core::Scenario& scenario() { return testing::shared_scenario(); }
+
+const RiskMatrix& matrix() {
+  static const RiskMatrix m = RiskMatrix::from_map(scenario().map());
+  return m;
+}
+
+std::vector<std::uint64_t> uniform_probes(std::uint64_t value) {
+  return std::vector<std::uint64_t>(matrix().num_conduits(), value);
+}
+
+/// Real probe counts from a small campaign.
+const std::vector<std::uint64_t>& campaign_probes() {
+  static const std::vector<std::uint64_t> probes = [] {
+    const auto topo = traceroute::L3Topology::from_ground_truth(scenario().truth(),
+                                                                core::Scenario::cities());
+    traceroute::CampaignParams params;
+    params.seed = 0x1257;
+    params.num_probes = 40000;
+    const auto campaign = run_campaign(topo, core::Scenario::cities(), params);
+    const auto overlay =
+        traceroute::overlay_campaign(scenario().map(), core::Scenario::cities(), campaign);
+    std::vector<std::uint64_t> out;
+    for (const auto& usage : overlay.usage) out.push_back(usage.total());
+    return out;
+  }();
+  return probes;
+}
+
+TEST(TrafficWeighted, UniformTrafficMatchesTenancyOrder) {
+  // With equal probes everywhere the combined ranking degenerates to the
+  // tenancy ranking.
+  const auto ranking = traffic_weighted_ranking(matrix(), uniform_probes(1000));
+  for (std::size_t i = 0; i + 1 < ranking.size(); ++i) {
+    EXPECT_GE(ranking[i].tenants, ranking[i + 1].tenants);
+  }
+}
+
+TEST(TrafficWeighted, ZeroTrafficZeroScore) {
+  const auto ranking = traffic_weighted_ranking(matrix(), uniform_probes(0));
+  for (const auto& entry : ranking) {
+    EXPECT_DOUBLE_EQ(entry.score, 0.0);
+  }
+}
+
+TEST(TrafficWeighted, ScoreFormula) {
+  const auto ranking = traffic_weighted_ranking(matrix(), campaign_probes());
+  for (const auto& entry : ranking) {
+    EXPECT_NEAR(entry.score,
+                static_cast<double>(entry.tenants) *
+                    std::log2(1.0 + static_cast<double>(entry.probes)),
+                1e-9);
+  }
+}
+
+TEST(TrafficWeighted, RankingDescendingByScore) {
+  const auto ranking = traffic_weighted_ranking(matrix(), campaign_probes());
+  ASSERT_EQ(ranking.size(), matrix().num_conduits());
+  for (std::size_t i = 0; i + 1 < ranking.size(); ++i) {
+    EXPECT_GE(ranking[i].score, ranking[i + 1].score);
+  }
+}
+
+TEST(TrafficWeighted, TrafficReshufflesButCorrelates) {
+  // §4.3's message: traffic *magnifies* risk — the weighted ranking
+  // correlates with tenancy but is not identical.
+  const double rho = ranking_rank_correlation(matrix(), campaign_probes());
+  EXPECT_GT(rho, 0.3);
+  EXPECT_LT(rho, 0.999);
+}
+
+TEST(TrafficWeighted, UniformTrafficPerfectCorrelation) {
+  EXPECT_NEAR(ranking_rank_correlation(matrix(), uniform_probes(500)), 1.0, 1e-9);
+}
+
+TEST(TrafficWeighted, IspRankingAscendingAndComplete) {
+  const auto ranking = isp_traffic_weighted_ranking(matrix(), campaign_probes());
+  ASSERT_EQ(ranking.size(), matrix().num_isps());
+  for (std::size_t i = 0; i + 1 < ranking.size(); ++i) {
+    EXPECT_LE(ranking[i].mean_score, ranking[i + 1].mean_score);
+  }
+  for (const auto& row : ranking) {
+    EXPECT_GT(row.conduits_used, 0u);
+  }
+}
+
+TEST(TrafficWeighted, RejectsSizeMismatch) {
+  std::vector<std::uint64_t> wrong(matrix().num_conduits() + 1, 0);
+  EXPECT_THROW(traffic_weighted_ranking(matrix(), wrong), std::logic_error);
+  EXPECT_THROW(isp_traffic_weighted_ranking(matrix(), wrong), std::logic_error);
+  EXPECT_THROW(ranking_rank_correlation(matrix(), wrong), std::logic_error);
+}
+
+TEST(TrafficWeighted, BusyConduitOutranksEqualTenancyQuietOne) {
+  // Construct probes: two conduits with equal tenancy, one busy one idle.
+  auto probes = uniform_probes(0);
+  // Find two conduits with the same tenant count.
+  core::ConduitId first = core::kNoConduit;
+  core::ConduitId second = core::kNoConduit;
+  for (core::ConduitId c = 0; c + 1 < matrix().num_conduits() && second == core::kNoConduit;
+       ++c) {
+    for (core::ConduitId d = c + 1; d < matrix().num_conduits(); ++d) {
+      if (matrix().sharing_count(c) == matrix().sharing_count(d) &&
+          matrix().sharing_count(c) > 0) {
+        first = c;
+        second = d;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(second, core::kNoConduit);
+  probes[first] = 1000000;
+  const auto ranking = traffic_weighted_ranking(matrix(), probes);
+  EXPECT_EQ(ranking.front().conduit, first);
+}
+
+}  // namespace
+}  // namespace intertubes::risk

@@ -1,0 +1,23 @@
+// Shared fixtures for the test suite.
+//
+// The full Scenario (world generation + mapping pipeline) costs a few
+// seconds; tests that need it share one lazily built instance at the
+// canonical seed.  Tests that mutate nothing may use it freely.
+#pragma once
+
+#include "core/scenario.hpp"
+
+namespace intertubes::testing {
+
+inline const core::Scenario& shared_scenario() {
+  static const core::Scenario scenario{core::ScenarioParams::with_seed(0x1257)};
+  return scenario;
+}
+
+/// A second world at a different seed, for determinism/variance tests.
+inline const core::Scenario& alternate_scenario() {
+  static const core::Scenario scenario{core::ScenarioParams::with_seed(0xBEEF)};
+  return scenario;
+}
+
+}  // namespace intertubes::testing

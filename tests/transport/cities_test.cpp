@@ -1,0 +1,148 @@
+#include "transport/cities.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace intertubes::transport {
+namespace {
+
+const CityDatabase& db() { return CityDatabase::us_default(); }
+
+TEST(CityDatabase, HasSubstantialCoverage) {
+  EXPECT_GE(db().size(), 120u);
+  EXPECT_GT(db().total_population(), 40'000'000ULL);
+}
+
+TEST(CityDatabase, FindByNameAndState) {
+  const auto nyc = db().find("New York, NY");
+  ASSERT_TRUE(nyc.has_value());
+  EXPECT_EQ(db().city(*nyc).state, "NY");
+
+  const auto bare = db().find("chicago");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(db().city(*bare).name, "Chicago");
+}
+
+TEST(CityDatabase, FindDisambiguatesByState) {
+  const auto or_portland = db().find("Portland, OR");
+  const auto me_portland = db().find("Portland, ME");
+  ASSERT_TRUE(or_portland.has_value());
+  ASSERT_TRUE(me_portland.has_value());
+  EXPECT_NE(*or_portland, *me_portland);
+  EXPECT_LT(db().city(*or_portland).location.lon_deg, -120.0);
+  EXPECT_GT(db().city(*me_portland).location.lon_deg, -75.0);
+}
+
+TEST(CityDatabase, FindMissReturnsNullopt) {
+  EXPECT_FALSE(db().find("Atlantis, XX").has_value());
+  EXPECT_FALSE(db().find("").has_value());
+}
+
+TEST(CityDatabase, ContainsPaperTableCities) {
+  // Every endpoint city of the paper's Tables 2/3 must be present.
+  for (const char* name :
+       {"Trenton, NJ", "Edison, NJ", "Kalamazoo, MI", "Battle Creek, MI", "Dallas, TX",
+        "Fort Worth, TX", "Baltimore, MD", "Towson, MD", "Baton Rouge, LA", "New Orleans, LA",
+        "Livonia, MI", "Southfield, MI", "Topeka, KS", "Lincoln, NE", "Spokane, WA", "Boise, ID",
+        "Atlanta, GA", "Bryan, TX", "Shreveport, LA", "Wichita Falls, TX", "San Luis Obispo, CA",
+        "Lompoc, CA", "San Francisco, CA", "Las Vegas, NV", "Wichita, KS", "Salt Lake City, UT",
+        "Lansing, MI", "South Bend, IN", "Philadelphia, PA", "Allentown, PA",
+        "West Palm Beach, FL", "Boca Raton, FL", "Lynchburg, VA", "Charlottesville, VA",
+        "Sedona, AZ", "Camp Verde, AZ", "Bozeman, MT", "Billings, MT", "Casper, WY",
+        "Cheyenne, WY", "White Plains, NY", "Stamford, CT", "Amarillo, TX", "Eugene, OR",
+        "Chico, CA", "Phoenix, AZ", "Provo, UT", "Los Angeles, CA", "Oklahoma City, OK",
+        "Seattle, WA", "Portland, OR", "Eau Claire, WI", "Madison, WI", "Bakersfield, CA",
+        "Hillsboro, OR", "Santa Barbara, CA"}) {
+    EXPECT_TRUE(db().find(name).has_value()) << name;
+  }
+}
+
+TEST(CityDatabase, CoordinatesInContinentalUs) {
+  for (const auto& c : db().all()) {
+    EXPECT_GT(c.location.lat_deg, 24.0) << c.display_name();
+    EXPECT_LT(c.location.lat_deg, 50.0) << c.display_name();
+    EXPECT_GT(c.location.lon_deg, -125.0) << c.display_name();
+    EXPECT_LT(c.location.lon_deg, -66.0) << c.display_name();
+  }
+}
+
+TEST(CityDatabase, NearestFindsSelf) {
+  for (CityId id = 0; id < db().size(); id += 13) {
+    EXPECT_EQ(db().nearest(db().city(id).location), id);
+  }
+}
+
+TEST(CityDatabase, NearestOffsetPoint) {
+  const auto denver = db().find("Denver, CO");
+  ASSERT_TRUE(denver.has_value());
+  // 30 km east of Denver is still closest to Denver.
+  const auto p = geo::destination(db().city(*denver).location, 90.0, 30.0);
+  EXPECT_EQ(db().nearest(p), *denver);
+}
+
+TEST(CityDatabase, WithinRadiusSortedByDistance) {
+  const auto nyc = db().find("New York, NY");
+  ASSERT_TRUE(nyc.has_value());
+  const auto hits = db().within_radius(db().city(*nyc).location, 120.0);
+  ASSERT_GE(hits.size(), 3u);  // NYC metro: Newark, Edison, Trenton, ...
+  EXPECT_EQ(hits.front(), *nyc);
+  double prev = -1.0;
+  for (CityId id : hits) {
+    const double d = geo::distance_km(db().city(*nyc).location, db().city(id).location);
+    EXPECT_GE(d, prev);
+    EXPECT_LE(d, 120.0);
+    prev = d;
+  }
+}
+
+TEST(CityDatabase, MajorCitiesDescendingPopulation) {
+  const auto majors = db().major_cities(500000);
+  ASSERT_GE(majors.size(), 10u);
+  for (std::size_t i = 0; i + 1 < majors.size(); ++i) {
+    EXPECT_GE(db().city(majors[i]).population, db().city(majors[i + 1]).population);
+  }
+  EXPECT_EQ(db().city(majors.front()).name, "New York");
+  for (CityId id : majors) EXPECT_GE(db().city(id).population, 500000u);
+}
+
+TEST(CityDatabase, RegionsAssigned) {
+  std::set<Region> seen;
+  for (const auto& c : db().all()) seen.insert(c.region);
+  EXPECT_EQ(seen.size(), 5u);
+
+  EXPECT_EQ(db().city(*db().find("Seattle, WA")).region, Region::West);
+  EXPECT_EQ(db().city(*db().find("Denver, CO")).region, Region::Mountain);
+  EXPECT_EQ(db().city(*db().find("Chicago, IL")).region, Region::Central);
+  EXPECT_EQ(db().city(*db().find("Atlanta, GA")).region, Region::South);
+  EXPECT_EQ(db().city(*db().find("Boston, MA")).region, Region::East);
+}
+
+TEST(CityDatabase, RegionNames) {
+  EXPECT_EQ(region_name(Region::West), "West");
+  EXPECT_EQ(region_name(Region::East), "East");
+}
+
+TEST(CityDatabase, DisplayName) {
+  const auto slc = db().find("Salt Lake City, UT");
+  ASSERT_TRUE(slc.has_value());
+  EXPECT_EQ(db().city(*slc).display_name(), "Salt Lake City, UT");
+}
+
+TEST(CityDatabase, CityIdBoundsChecked) {
+  EXPECT_THROW(db().city(static_cast<CityId>(db().size())), std::logic_error);
+}
+
+TEST(CityDatabase, CustomDatabaseRejectsEmpty) {
+  EXPECT_THROW(CityDatabase(std::vector<City>{}), std::logic_error);
+}
+
+TEST(CityDatabase, NoDuplicateNameStatePairs) {
+  std::set<std::string> seen;
+  for (const auto& c : db().all()) {
+    EXPECT_TRUE(seen.insert(c.display_name()).second) << "duplicate " << c.display_name();
+  }
+}
+
+}  // namespace
+}  // namespace intertubes::transport

@@ -1,0 +1,201 @@
+#include "transport/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+namespace intertubes::transport {
+namespace {
+
+const CityDatabase& db() { return CityDatabase::us_default(); }
+
+NetworkGenParams params() {
+  NetworkGenParams p;
+  p.seed = 0x1257;
+  return p;
+}
+
+// Generated once; networks are immutable.
+const TransportBundle& bundle() {
+  static const TransportBundle b = generate_bundle(db(), params());
+  return b;
+}
+
+TEST(GabrielGraph, NoBlockedEdges) {
+  const auto edges = gabriel_graph(db());
+  ASSERT_FALSE(edges.empty());
+  // Spot-check the Gabriel property on a sample of edges.
+  std::size_t checked = 0;
+  for (std::size_t e = 0; e < edges.size(); e += 17) {
+    const auto [a, b] = edges[e];
+    const auto mid = geo::midpoint(db().city(a).location, db().city(b).location);
+    const double radius = geo::distance_km(db().city(a).location, db().city(b).location) / 2.0;
+    for (CityId c = 0; c < db().size(); ++c) {
+      if (c == a || c == b) continue;
+      EXPECT_GE(geo::distance_km(mid, db().city(c).location), radius - 1e-6);
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST(GabrielGraph, EdgesNormalized) {
+  for (const auto& [a, b] : gabriel_graph(db())) {
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, db().size());
+  }
+}
+
+TEST(CurvedPath, EndpointsExact) {
+  const auto line = curved_path(db(), 0, 1, TransportMode::Road, params());
+  EXPECT_EQ(line.front(), db().city(0).location);
+  EXPECT_EQ(line.back(), db().city(1).location);
+}
+
+TEST(CurvedPath, DeterministicPerCorridor) {
+  const auto l1 = curved_path(db(), 3, 9, TransportMode::Rail, params());
+  const auto l2 = curved_path(db(), 3, 9, TransportMode::Rail, params());
+  EXPECT_EQ(l1.points(), l2.points());
+}
+
+TEST(CurvedPath, OrientationIndependentGeometry) {
+  const auto fwd = curved_path(db(), 3, 9, TransportMode::Road, params());
+  const auto rev = curved_path(db(), 9, 3, TransportMode::Road, params());
+  // Same corridor: same geometry (reversed).
+  ASSERT_EQ(fwd.size(), rev.size());
+  EXPECT_EQ(fwd.front(), rev.back());
+  EXPECT_NEAR(fwd.length_km(), rev.length_km(), 1e-9);
+}
+
+TEST(CurvedPath, ModestDetourFactor) {
+  // Curvature adds a few percent, never doubling the distance.
+  for (CityId b : {1u, 5u, 20u, 50u}) {
+    const auto line = curved_path(db(), 0, b, TransportMode::Rail, params());
+    const double straight = geo::distance_km(db().city(0).location, db().city(b).location);
+    EXPECT_GE(line.length_km(), straight - 1e-9);
+    EXPECT_LE(line.length_km(), straight * 1.35);
+  }
+}
+
+TEST(CurvedPath, DifferentModesDifferentGeometry) {
+  const auto road = curved_path(db(), 2, 7, TransportMode::Road, params());
+  const auto rail = curved_path(db(), 2, 7, TransportMode::Rail, params());
+  EXPECT_NE(road.points(), rail.points());
+}
+
+TEST(CurvedPath, RejectsSelfLoop) {
+  EXPECT_THROW(curved_path(db(), 4, 4, TransportMode::Road, params()), std::logic_error);
+}
+
+TEST(GenerateNetwork, RoadDensestPipelineSparsest) {
+  EXPECT_GT(bundle().road.edges().size(), bundle().rail.edges().size());
+  EXPECT_GT(bundle().rail.edges().size(), bundle().pipeline.edges().size());
+}
+
+TEST(GenerateNetwork, ModesTagged) {
+  EXPECT_EQ(bundle().road.mode(), TransportMode::Road);
+  EXPECT_EQ(bundle().rail.mode(), TransportMode::Rail);
+  EXPECT_EQ(bundle().pipeline.mode(), TransportMode::Pipeline);
+  for (const auto& e : bundle().rail.edges()) EXPECT_EQ(e.mode, TransportMode::Rail);
+}
+
+TEST(GenerateNetwork, EdgeInvariants) {
+  for (const auto& net : {&bundle().road, &bundle().rail, &bundle().pipeline}) {
+    for (const auto& e : net->edges()) {
+      EXPECT_NE(e.a, e.b);
+      EXPECT_LT(e.a, db().size());
+      EXPECT_LT(e.b, db().size());
+      EXPECT_GT(e.length_km, 0.0);
+      EXPECT_NEAR(e.length_km, e.path.length_km(), 1e-9);
+      EXPECT_EQ(e.path.front(), db().city(e.a).location);
+      EXPECT_EQ(e.path.back(), db().city(e.b).location);
+    }
+  }
+}
+
+TEST(GenerateNetwork, EdgeIdsAreIndices) {
+  for (std::size_t i = 0; i < bundle().road.edges().size(); ++i) {
+    EXPECT_EQ(bundle().road.edges()[i].id, i);
+  }
+}
+
+TEST(GenerateNetwork, AdjacencyConsistent) {
+  const auto& net = bundle().road;
+  for (CityId c = 0; c < db().size(); ++c) {
+    for (EdgeId eid : net.edges_at(c)) {
+      const auto& e = net.edges()[eid];
+      EXPECT_TRUE(e.a == c || e.b == c);
+    }
+  }
+}
+
+TEST(GenerateNetwork, ConnectsLookup) {
+  const auto& net = bundle().road;
+  ASSERT_FALSE(net.edges().empty());
+  const auto& e = net.edges().front();
+  EXPECT_TRUE(net.connects(e.a, e.b));
+  EXPECT_TRUE(net.connects(e.b, e.a));
+}
+
+TEST(GenerateNetwork, RoadAndRailConnected) {
+  // Both major networks must span all cities (conduits can reach anywhere).
+  for (const auto* net : {&bundle().road, &bundle().rail}) {
+    std::vector<char> visited(db().size(), 0);
+    std::vector<CityId> stack{0};
+    visited[0] = 1;
+    std::size_t count = 1;
+    while (!stack.empty()) {
+      const CityId u = stack.back();
+      stack.pop_back();
+      for (EdgeId eid : net->edges_at(u)) {
+        const auto& e = net->edges()[eid];
+        const CityId v = (e.a == u) ? e.b : e.a;
+        if (!visited[v]) {
+          visited[v] = 1;
+          ++count;
+          stack.push_back(v);
+        }
+      }
+    }
+    EXPECT_EQ(count, db().size()) << mode_name(net->mode());
+  }
+}
+
+TEST(GenerateNetwork, DeterministicAcrossCalls) {
+  const auto again = generate_network(db(), TransportMode::Rail, params());
+  ASSERT_EQ(again.edges().size(), bundle().rail.edges().size());
+  for (std::size_t i = 0; i < again.edges().size(); ++i) {
+    EXPECT_EQ(again.edges()[i].a, bundle().rail.edges()[i].a);
+    EXPECT_EQ(again.edges()[i].b, bundle().rail.edges()[i].b);
+    EXPECT_EQ(again.edges()[i].path.points(), bundle().rail.edges()[i].path.points());
+  }
+}
+
+TEST(GenerateNetwork, SeedChangesRailSelection) {
+  auto p2 = params();
+  p2.seed = 0x9999;
+  const auto other = generate_network(db(), TransportMode::Rail, p2);
+  std::set<std::pair<CityId, CityId>> base_edges;
+  for (const auto& e : bundle().rail.edges()) base_edges.insert({e.a, e.b});
+  std::size_t differing = 0;
+  for (const auto& e : other.edges()) {
+    if (!base_edges.count({e.a, e.b})) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(GenerateNetwork, TotalLengthAccumulates) {
+  double sum = 0.0;
+  for (const auto& e : bundle().road.edges()) sum += e.length_km;
+  EXPECT_NEAR(bundle().road.total_length_km(), sum, 1e-6);
+}
+
+TEST(ModeName, AllNamed) {
+  EXPECT_EQ(mode_name(TransportMode::Road), "road");
+  EXPECT_EQ(mode_name(TransportMode::Rail), "rail");
+  EXPECT_EQ(mode_name(TransportMode::Pipeline), "pipeline");
+}
+
+}  // namespace
+}  // namespace intertubes::transport

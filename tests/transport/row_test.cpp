@@ -1,0 +1,180 @@
+#include "transport/row.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace intertubes::transport {
+namespace {
+
+const CityDatabase& db() { return CityDatabase::us_default(); }
+
+const RightOfWayRegistry& registry() {
+  static const TransportBundle bundle = generate_bundle(db(), NetworkGenParams{});
+  static const RightOfWayRegistry row(bundle);
+  return row;
+}
+
+TEST(RightOfWay, CorridorCountIsUnionOfModes) {
+  static const TransportBundle bundle = generate_bundle(db(), NetworkGenParams{});
+  const RightOfWayRegistry row(bundle);
+  EXPECT_EQ(row.corridors().size(), bundle.road.edges().size() + bundle.rail.edges().size() +
+                                        bundle.pipeline.edges().size());
+  EXPECT_EQ(row.num_cities(), db().size());
+}
+
+TEST(RightOfWay, CorridorIdsAreIndices) {
+  for (std::size_t i = 0; i < registry().corridors().size(); ++i) {
+    EXPECT_EQ(registry().corridors()[i].id, i);
+  }
+}
+
+TEST(RightOfWay, AdjacencyConsistent) {
+  for (CityId c = 0; c < db().size(); ++c) {
+    for (CorridorId cid : registry().corridors_at(c)) {
+      const auto& corridor = registry().corridor(cid);
+      EXPECT_TRUE(corridor.a == c || corridor.b == c);
+    }
+  }
+}
+
+TEST(RightOfWay, DirectLookup) {
+  const auto& corridor = registry().corridors().front();
+  const auto direct = registry().direct(corridor.a, corridor.b);
+  ASSERT_TRUE(direct.has_value());
+  const auto& found = registry().corridor(*direct);
+  EXPECT_TRUE((found.a == corridor.a && found.b == corridor.b) ||
+              (found.a == corridor.b && found.b == corridor.a));
+  // Mode-filtered lookup returns that mode.
+  const auto road_only = registry().direct(corridor.a, corridor.b, corridor.mode);
+  ASSERT_TRUE(road_only.has_value());
+  EXPECT_EQ(registry().corridor(*road_only).mode, corridor.mode);
+}
+
+TEST(RightOfWay, DirectMissReturnsNullopt) {
+  // NYC and LA are far beyond any single corridor.
+  const auto nyc = db().find("New York, NY");
+  const auto la = db().find("Los Angeles, CA");
+  ASSERT_TRUE(nyc && la);
+  EXPECT_FALSE(registry().direct(*nyc, *la).has_value());
+}
+
+TEST(RightOfWay, ShortestPathCrossCountry) {
+  const auto nyc = db().find("New York, NY");
+  const auto la = db().find("Los Angeles, CA");
+  ASSERT_TRUE(nyc && la);
+  const auto path = registry().shortest_path(*nyc, *la);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.cities.front(), *nyc);
+  EXPECT_EQ(path.cities.back(), *la);
+  EXPECT_EQ(path.cities.size(), path.corridors.size() + 1);
+  // Coast to coast is ≈ 3940 km LOS; the ROW path must be at least that and
+  // within a reasonable detour factor.
+  const double los = geo::distance_km(db().city(*nyc).location, db().city(*la).location);
+  EXPECT_GE(path.length_km, los);
+  EXPECT_LE(path.length_km, los * 1.5);
+}
+
+TEST(RightOfWay, ShortestPathCorridorChainIsConnected) {
+  const auto a = db().find("Seattle, WA");
+  const auto b = db().find("Miami, FL");
+  ASSERT_TRUE(a && b);
+  const auto path = registry().shortest_path(*a, *b);
+  ASSERT_FALSE(path.empty());
+  for (std::size_t i = 0; i < path.corridors.size(); ++i) {
+    const auto& c = registry().corridor(path.corridors[i]);
+    const CityId from = path.cities[i];
+    const CityId to = path.cities[i + 1];
+    EXPECT_TRUE((c.a == from && c.b == to) || (c.a == to && c.b == from));
+  }
+}
+
+TEST(RightOfWay, ShortestPathToSelfIsEmptyButPresent) {
+  const auto path = registry().shortest_path(3, 3);
+  EXPECT_TRUE(path.corridors.empty());
+  // A self-path reports the single city and zero length.
+  EXPECT_EQ(path.length_km, 0.0);
+}
+
+TEST(RightOfWay, WeightFunctionCanForbid) {
+  const auto& corridor = registry().corridors().front();
+  // Forbid every corridor: no path can exist.
+  const auto blocked = registry().shortest_path(
+      corridor.a, corridor.b,
+      [](const Corridor&) { return std::numeric_limits<double>::infinity(); });
+  EXPECT_TRUE(blocked.empty());
+}
+
+TEST(RightOfWay, WeightFunctionSteersModeChoice) {
+  // Making roads free and everything else forbidden yields road-only paths.
+  const auto a = db().find("Denver, CO");
+  const auto b = db().find("Chicago, IL");
+  ASSERT_TRUE(a && b);
+  const auto path = registry().shortest_path(*a, *b, [](const Corridor& c) {
+    return c.mode == TransportMode::Road ? c.length_km
+                                         : std::numeric_limits<double>::infinity();
+  });
+  ASSERT_FALSE(path.empty());
+  for (CorridorId cid : path.corridors) {
+    EXPECT_EQ(registry().corridor(cid).mode, TransportMode::Road);
+  }
+}
+
+TEST(RightOfWay, DefaultWeightIsShortestLength) {
+  const auto a = db().find("Dallas, TX");
+  const auto b = db().find("Atlanta, GA");
+  ASSERT_TRUE(a && b);
+  const auto best = registry().shortest_path(*a, *b);
+  // Doubling cost of one corridor on the path must not produce a shorter
+  // alternative (sanity of optimality).
+  ASSERT_FALSE(best.empty());
+  const CorridorId bumped = best.corridors.front();
+  const auto alt = registry().shortest_path(*a, *b, [&](const Corridor& c) {
+    return c.length_km * (c.id == bumped ? 2.0 : 1.0);
+  });
+  ASSERT_FALSE(alt.empty());
+  EXPECT_GE(alt.length_km + 1e-9, best.length_km);
+}
+
+TEST(RightOfWay, DistancesFromMatchesShortestPath) {
+  const auto a = db().find("Phoenix, AZ");
+  const auto b = db().find("Boston, MA");
+  ASSERT_TRUE(a && b);
+  const auto dists = registry().distances_from(*a);
+  const auto path = registry().shortest_path(*a, *b);
+  ASSERT_FALSE(path.empty());
+  EXPECT_NEAR(dists[*b], path.length_km, 1e-6);
+  EXPECT_DOUBLE_EQ(dists[*a], 0.0);
+}
+
+TEST(RightOfWay, AllCitiesReachable) {
+  const auto dists = registry().distances_from(0);
+  for (CityId c = 0; c < db().size(); ++c) {
+    EXPECT_TRUE(std::isfinite(dists[c])) << db().city(c).display_name();
+  }
+}
+
+TEST(RightOfWay, PathGeometryContinuous) {
+  const auto a = db().find("Salt Lake City, UT");
+  const auto b = db().find("Kansas City, MO");
+  ASSERT_TRUE(a && b);
+  const auto path = registry().shortest_path(*a, *b);
+  ASSERT_FALSE(path.empty());
+  const auto geometry = registry().path_geometry(path);
+  EXPECT_EQ(geometry.front(), db().city(*a).location);
+  EXPECT_EQ(geometry.back(), db().city(*b).location);
+  EXPECT_NEAR(geometry.length_km(), path.length_km, 1.0);
+  // No jumps between consecutive vertices.
+  const auto& pts = geometry.points();
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    EXPECT_LT(geo::distance_km(pts[i], pts[i + 1]), 300.0);
+  }
+}
+
+TEST(RightOfWay, PathGeometryRejectsEmptyPath) {
+  RowPath empty;
+  EXPECT_THROW(registry().path_geometry(empty), std::logic_error);
+}
+
+}  // namespace
+}  // namespace intertubes::transport

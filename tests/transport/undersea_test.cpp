@@ -1,0 +1,101 @@
+#include "transport/undersea.hpp"
+
+#include <gtest/gtest.h>
+
+#include "risk/cuts.hpp"
+#include "test_support.hpp"
+
+namespace intertubes::transport {
+namespace {
+
+const CityDatabase& db() { return CityDatabase::us_default(); }
+
+const std::vector<UnderseaCable>& festoons() {
+  static const std::vector<UnderseaCable> cables = default_us_festoons(db());
+  return cables;
+}
+
+TEST(Undersea, CoversBothCoastsAndGulf) {
+  ASSERT_GE(festoons().size(), 8u);
+  bool pacific = false;
+  bool atlantic = false;
+  bool gulf = false;
+  for (const auto& cable : festoons()) {
+    if (cable.name.find("Pacific") != std::string::npos) pacific = true;
+    if (cable.name.find("Atlantic") != std::string::npos) atlantic = true;
+    if (cable.name.find("Gulf") != std::string::npos) gulf = true;
+  }
+  EXPECT_TRUE(pacific);
+  EXPECT_TRUE(atlantic);
+  EXPECT_TRUE(gulf);
+}
+
+TEST(Undersea, RoutesLandAtTheirCities) {
+  for (const auto& cable : festoons()) {
+    EXPECT_EQ(cable.route.front(), db().city(cable.landing_a).location) << cable.name;
+    EXPECT_EQ(cable.route.back(), db().city(cable.landing_b).location) << cable.name;
+    EXPECT_GT(cable.length_km, geo::distance_km(db().city(cable.landing_a).location,
+                                                db().city(cable.landing_b).location))
+        << cable.name << " must bulge offshore";
+  }
+}
+
+TEST(Undersea, OffshoreMidpointIsAwayFromBothLandings) {
+  for (const auto& cable : festoons()) {
+    const auto mid = cable.route.point_at_fraction(0.5);
+    EXPECT_GT(geo::distance_km(mid, db().city(cable.landing_a).location), 30.0) << cable.name;
+    EXPECT_GT(geo::distance_km(mid, db().city(cable.landing_b).location), 30.0) << cable.name;
+  }
+}
+
+TEST(Undersea, FestoonsFormCoastalChains) {
+  // Pacific: Seattle reachable from San Diego via cable landings alone.
+  std::map<CityId, std::vector<CityId>> adjacency;
+  for (const auto& cable : festoons()) {
+    adjacency[cable.landing_a].push_back(cable.landing_b);
+    adjacency[cable.landing_b].push_back(cable.landing_a);
+  }
+  const auto seattle = db().find("Seattle, WA");
+  const auto san_diego = db().find("San Diego, CA");
+  ASSERT_TRUE(seattle && san_diego);
+  std::set<CityId> visited{*seattle};
+  std::vector<CityId> stack{*seattle};
+  while (!stack.empty()) {
+    const CityId u = stack.back();
+    stack.pop_back();
+    for (CityId v : adjacency[u]) {
+      if (visited.insert(v).second) stack.push_back(v);
+    }
+  }
+  EXPECT_TRUE(visited.count(*san_diego));
+}
+
+TEST(Undersea, MinCutNeverDecreasesAndUsuallyGrows) {
+  const auto& map = testing::shared_scenario().map();
+  const auto sf = db().find("San Francisco, CA");
+  const auto nyc = db().find("New York, NY");
+  const auto seattle = db().find("Seattle, WA");
+  const auto miami = db().find("Miami, FL");
+  ASSERT_TRUE(sf && nyc && seattle && miami);
+
+  const auto base_sf_nyc = risk::min_conduit_cut(map, *sf, *nyc);
+  const auto with_sf_nyc = risk::min_conduit_cut_with_undersea(map, festoons(), *sf, *nyc);
+  EXPECT_GE(with_sf_nyc, base_sf_nyc);
+
+  // Footnote 8's claim: coastal pairs gain disjoint paths via the sea.
+  const auto base_coastal = risk::min_conduit_cut(map, *seattle, *miami);
+  const auto with_coastal =
+      risk::min_conduit_cut_with_undersea(map, festoons(), *seattle, *miami);
+  EXPECT_GT(with_coastal, base_coastal);
+}
+
+TEST(Undersea, EmptyCableSetMatchesPlainCut) {
+  const auto& map = testing::shared_scenario().map();
+  const auto sf = db().find("San Francisco, CA");
+  const auto nyc = db().find("New York, NY");
+  EXPECT_EQ(risk::min_conduit_cut_with_undersea(map, {}, *sf, *nyc),
+            risk::min_conduit_cut(map, *sf, *nyc));
+}
+
+}  // namespace
+}  // namespace intertubes::transport

@@ -1,0 +1,204 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace intertubes {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.standard_error(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.sum(), 5.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.standard_error(), std::sqrt(32.0 / 7.0) / std::sqrt(8.0), 1e-12);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-10.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 200.0);
+}
+
+TEST(Percentile, Endpoints) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Percentile, Interpolation) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 10.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 90.0), 42.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 3.0}, 50.0), 3.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadP) {
+  EXPECT_THROW(percentile({}, 50.0), std::logic_error);
+  EXPECT_THROW(percentile({1.0}, -1.0), std::logic_error);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::logic_error);
+}
+
+TEST(Percentile, QuartileWrappers) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quartile25(v), 2.0);
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+  EXPECT_DOUBLE_EQ(quartile75(v), 4.0);
+}
+
+TEST(EmpiricalCdf, BasicShape) {
+  const auto cdf = empirical_cdf({3.0, 1.0, 2.0, 2.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].f, 0.25);
+  EXPECT_DOUBLE_EQ(cdf[1].x, 2.0);
+  EXPECT_DOUBLE_EQ(cdf[1].f, 0.75);
+  EXPECT_DOUBLE_EQ(cdf[2].x, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2].f, 1.0);
+}
+
+TEST(EmpiricalCdf, EmptyInput) { EXPECT_TRUE(empirical_cdf({}).empty()); }
+
+TEST(EmpiricalCdf, EvaluationSemantics) {
+  const auto cdf = empirical_cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf_at(cdf, 100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileInverse) {
+  const auto cdf = empirical_cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf_quantile(cdf, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(cdf_quantile(cdf, 0.26), 2.0);
+  EXPECT_DOUBLE_EQ(cdf_quantile(cdf, 1.0), 4.0);
+  EXPECT_THROW(cdf_quantile(cdf, 0.0), std::logic_error);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamped to bin 0
+  h.add(15.0);   // clamped to bin 9
+  h.add(5.0);    // bin 5
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(5), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 5.0);
+}
+
+TEST(Histogram, RelativeFrequenciesSumToOne) {
+  Histogram h(0.0, 1.0, 4);
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) h.add(rng.next_double());
+  double sum = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) sum += h.relative(b);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, WeightedMass) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5, 3.0);
+  h.add(1.5, 1.0);
+  EXPECT_DOUBLE_EQ(h.relative(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.relative(1), 0.25);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, EmptyRelativeIsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.relative(0), 0.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::logic_error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::logic_error);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(a, b), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero) {
+  const std::vector<double> a{1.0, 1.0, 1.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Pearson, RejectsMismatchedOrTiny) {
+  EXPECT_THROW(pearson({1.0}, {1.0, 2.0}), std::logic_error);
+  EXPECT_THROW(pearson({1.0}, {1.0}), std::logic_error);
+}
+
+/// Property: percentile(v, p) is monotone in p.
+class PercentileMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PercentileMonotone, MonotoneInP) {
+  Rng rng(GetParam());
+  std::vector<double> v;
+  for (int i = 0; i < 50; ++i) v.push_back(rng.uniform(-100.0, 100.0));
+  double prev = percentile(v, 0.0);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double cur = percentile(v, p);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone, ::testing::Values(1ULL, 7ULL, 99ULL, 12345ULL));
+
+}  // namespace
+}  // namespace intertubes

@@ -1,0 +1,101 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intertubes {
+namespace {
+
+TEST(ToLower, Basic) {
+  EXPECT_EQ(to_lower("Hello World"), "hello world");
+  EXPECT_EQ(to_lower("AT&T"), "at&t");
+  EXPECT_EQ(to_lower(""), "");
+  EXPECT_EQ(to_lower("123-abc"), "123-abc");
+}
+
+TEST(Split, DefaultWhitespace) {
+  const auto parts = split("  one two\tthree\n");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "one");
+  EXPECT_EQ(parts[1], "two");
+  EXPECT_EQ(parts[2], "three");
+}
+
+TEST(Split, CustomDelims) {
+  const auto parts = split("a,b,,c", ",");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, EmptyInput) { EXPECT_TRUE(split("").empty()); }
+
+TEST(Split, NoDelimiter) {
+  const auto parts = split("solo", ",");
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "solo");
+}
+
+TEST(Join, RoundTrip) {
+  const std::vector<std::string> parts{"a", "b", "c"};
+  EXPECT_EQ(join(parts, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(Trim, AllCases) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t\na b\r"), "a b");
+}
+
+TEST(StartsEndsWith, Basic) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("foobar", "bar"));
+  EXPECT_TRUE(starts_with("foo", ""));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("foobar", "foo"));
+  EXPECT_TRUE(ends_with("foo", ""));
+}
+
+TEST(Contains, Basic) {
+  EXPECT_TRUE(contains("the fiber conduit", "fiber"));
+  EXPECT_FALSE(contains("the fiber conduit", "copper"));
+  EXPECT_TRUE(contains("x", ""));
+}
+
+TEST(ReplaceAll, Basic) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("none", "x", "y"), "none");
+  EXPECT_EQ(replace_all("grow", "o", "oo"), "groow");
+}
+
+TEST(ReplaceAll, EmptyFromIsNoop) { EXPECT_EQ(replace_all("abc", "", "x"), "abc"); }
+
+TEST(TokenizeWords, LowercasesAndSplitsOnNonAlnum) {
+  const auto tokens = tokenize_words("Salt Lake City, UT — to Denver (CO)!");
+  const std::vector<std::string> expected{"salt", "lake", "city", "ut", "to", "denver", "co"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(TokenizeWords, KeepsDigits) {
+  const auto tokens = tokenize_words("Level 3 owns 19,000 miles");
+  const std::vector<std::string> expected{"level", "3", "owns", "19", "000", "miles"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(TokenizeWords, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(tokenize_words("").empty());
+  EXPECT_TRUE(tokenize_words("... --- !!!").empty());
+}
+
+TEST(TokenizeWords, AgreesWithQueryConvention) {
+  // The corpus indexer and query parser must tokenize identically; "AT&T"
+  // must always become {"at", "t"} on both sides.
+  EXPECT_EQ(tokenize_words("AT&T"), tokenize_words("at t"));
+}
+
+}  // namespace
+}  // namespace intertubes

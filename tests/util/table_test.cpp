@@ -1,0 +1,103 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace intertubes {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.start_row();
+  t.add_cell("alpha");
+  t.add_cell(42);
+  const auto out = t.render();
+  EXPECT_TRUE(contains(out, "name"));
+  EXPECT_TRUE(contains(out, "value"));
+  EXPECT_TRUE(contains(out, "alpha"));
+  EXPECT_TRUE(contains(out, "42"));
+  EXPECT_TRUE(contains(out, "---"));
+}
+
+TEST(TextTable, TitleIsFirstLine) {
+  TextTable t({"a"});
+  const auto out = t.render("My Title");
+  EXPECT_TRUE(starts_with(out, "My Title\n"));
+}
+
+TEST(TextTable, ColumnAlignment) {
+  TextTable t({"x", "y"});
+  t.start_row();
+  t.add_cell("longvalue");
+  t.add_cell("1");
+  t.start_row();
+  t.add_cell("s");
+  t.add_cell("2");
+  const auto lines = split(t.render(), "\n");
+  // "y" column starts at the same offset in both data rows.
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[2].find('1'), lines[3].find('2'));
+}
+
+TEST(TextTable, DoubleFormatting) {
+  TextTable t({"v"});
+  t.start_row();
+  t.add_cell(3.14159, 2);
+  EXPECT_TRUE(contains(t.render(), "3.14"));
+}
+
+TEST(TextTable, AddRowAtOnce) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(TextTable, MisuseThrows) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.add_cell("no row started"), std::logic_error);
+  t.start_row();
+  t.add_cell("ok");
+  EXPECT_THROW(t.add_cell("too many"), std::logic_error);
+  EXPECT_THROW(TextTable({}), std::logic_error);
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable t({"name", "note"});
+  t.start_row();
+  t.add_cell("Dallas, TX");
+  t.add_cell("says \"hi\"");
+  const auto csv = t.to_csv();
+  EXPECT_TRUE(contains(csv, "\"Dallas, TX\""));
+  EXPECT_TRUE(contains(csv, "\"says \"\"hi\"\"\""));
+}
+
+TEST(TextTable, CsvPlainValuesUnquoted) {
+  TextTable t({"a", "b"});
+  t.start_row();
+  t.add_cell("x");
+  t.add_cell("y");
+  EXPECT_EQ(t.to_csv(), "a,b\nx,y\n");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-1.25, 2), "-1.25");
+}
+
+TEST(WriteFile, RoundTripAndFailure) {
+  const std::string path = ::testing::TempDir() + "/it_table_test.txt";
+  write_file(path, "hello");
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "hello");
+  EXPECT_THROW(write_file("/nonexistent-dir-xyz/file.txt", "x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace intertubes
