@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cuts.dir/bench_ablation_cuts.cpp.o"
+  "CMakeFiles/bench_ablation_cuts.dir/bench_ablation_cuts.cpp.o.d"
+  "bench_ablation_cuts"
+  "bench_ablation_cuts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

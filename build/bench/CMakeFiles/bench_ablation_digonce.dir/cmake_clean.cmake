@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_digonce.dir/bench_ablation_digonce.cpp.o"
+  "CMakeFiles/bench_ablation_digonce.dir/bench_ablation_digonce.cpp.o.d"
+  "bench_ablation_digonce"
+  "bench_ablation_digonce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_digonce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_economics.cpp" "bench/CMakeFiles/bench_ablation_economics.dir/bench_ablation_economics.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_economics.dir/bench_ablation_economics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optical/CMakeFiles/it_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimize/CMakeFiles/it_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/traceroute/CMakeFiles/it_traceroute.dir/DependInfo.cmake"
+  "/root/repo/build/src/risk/CMakeFiles/it_risk.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/it_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/records/CMakeFiles/it_records.dir/DependInfo.cmake"
+  "/root/repo/build/src/isp/CMakeFiles/it_isp.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/it_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/it_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/it_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

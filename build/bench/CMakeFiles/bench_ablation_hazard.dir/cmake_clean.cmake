@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hazard.dir/bench_ablation_hazard.cpp.o"
+  "CMakeFiles/bench_ablation_hazard.dir/bench_ablation_hazard.cpp.o.d"
+  "bench_ablation_hazard"
+  "bench_ablation_hazard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hazard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_traffic_risk.dir/bench_ablation_traffic_risk.cpp.o"
+  "CMakeFiles/bench_ablation_traffic_risk.dir/bench_ablation_traffic_risk.cpp.o.d"
+  "bench_ablation_traffic_risk"
+  "bench_ablation_traffic_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_traffic_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

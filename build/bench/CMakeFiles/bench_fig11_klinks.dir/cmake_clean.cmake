@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_klinks.dir/bench_fig11_klinks.cpp.o"
+  "CMakeFiles/bench_fig11_klinks.dir/bench_fig11_klinks.cpp.o.d"
+  "bench_fig11_klinks"
+  "bench_fig11_klinks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_klinks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

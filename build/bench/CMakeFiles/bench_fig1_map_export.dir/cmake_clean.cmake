@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_map_export.dir/bench_fig1_map_export.cpp.o"
+  "CMakeFiles/bench_fig1_map_export.dir/bench_fig1_map_export.cpp.o.d"
+  "bench_fig1_map_export"
+  "bench_fig1_map_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_map_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_map.dir/bench_table1_map.cpp.o"
+  "CMakeFiles/bench_table1_map.dir/bench_table1_map.cpp.o.d"
+  "bench_table1_map"
+  "bench_table1_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table23_topconduits.dir/bench_table23_topconduits.cpp.o"
+  "CMakeFiles/bench_table23_topconduits.dir/bench_table23_topconduits.cpp.o.d"
+  "bench_table23_topconduits"
+  "bench_table23_topconduits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table23_topconduits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_isp_traffic.dir/bench_table4_isp_traffic.cpp.o"
+  "CMakeFiles/bench_table4_isp_traffic.dir/bench_table4_isp_traffic.cpp.o.d"
+  "bench_table4_isp_traffic"
+  "bench_table4_isp_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_isp_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_peering.dir/bench_table5_peering.cpp.o"
+  "CMakeFiles/bench_table5_peering.dir/bench_table5_peering.cpp.o.d"
+  "bench_table5_peering"
+  "bench_table5_peering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_peering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

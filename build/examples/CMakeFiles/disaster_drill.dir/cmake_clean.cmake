@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disaster_drill.dir/disaster_drill.cpp.o"
+  "CMakeFiles/disaster_drill.dir/disaster_drill.cpp.o.d"
+  "disaster_drill"
+  "disaster_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disaster_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intertubes_cli.dir/intertubes_cli.cpp.o"
+  "CMakeFiles/intertubes_cli.dir/intertubes_cli.cpp.o.d"
+  "intertubes_cli"
+  "intertubes_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intertubes_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

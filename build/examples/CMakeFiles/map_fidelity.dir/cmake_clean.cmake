@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_fidelity.dir/map_fidelity.cpp.o"
+  "CMakeFiles/map_fidelity.dir/map_fidelity.cpp.o.d"
+  "map_fidelity"
+  "map_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

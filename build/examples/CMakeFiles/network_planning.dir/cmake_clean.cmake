@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_planning.dir/network_planning.cpp.o"
+  "CMakeFiles/network_planning.dir/network_planning.cpp.o.d"
+  "network_planning"
+  "network_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

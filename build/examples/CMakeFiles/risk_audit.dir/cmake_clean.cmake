@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risk_audit.dir/risk_audit.cpp.o"
+  "CMakeFiles/risk_audit.dir/risk_audit.cpp.o.d"
+  "risk_audit"
+  "risk_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risk_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dataset_diff.cpp" "src/core/CMakeFiles/it_core.dir/dataset_diff.cpp.o" "gcc" "src/core/CMakeFiles/it_core.dir/dataset_diff.cpp.o.d"
+  "/root/repo/src/core/dataset_io.cpp" "src/core/CMakeFiles/it_core.dir/dataset_io.cpp.o" "gcc" "src/core/CMakeFiles/it_core.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/core/exporter.cpp" "src/core/CMakeFiles/it_core.dir/exporter.cpp.o" "gcc" "src/core/CMakeFiles/it_core.dir/exporter.cpp.o.d"
+  "/root/repo/src/core/fiber_map.cpp" "src/core/CMakeFiles/it_core.dir/fiber_map.cpp.o" "gcc" "src/core/CMakeFiles/it_core.dir/fiber_map.cpp.o.d"
+  "/root/repo/src/core/fidelity.cpp" "src/core/CMakeFiles/it_core.dir/fidelity.cpp.o" "gcc" "src/core/CMakeFiles/it_core.dir/fidelity.cpp.o.d"
+  "/root/repo/src/core/longhaul.cpp" "src/core/CMakeFiles/it_core.dir/longhaul.cpp.o" "gcc" "src/core/CMakeFiles/it_core.dir/longhaul.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/it_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/it_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/it_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/it_core.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/records/CMakeFiles/it_records.dir/DependInfo.cmake"
+  "/root/repo/build/src/isp/CMakeFiles/it_isp.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/it_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/it_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/it_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/it_core.dir/dataset_diff.cpp.o"
+  "CMakeFiles/it_core.dir/dataset_diff.cpp.o.d"
+  "CMakeFiles/it_core.dir/dataset_io.cpp.o"
+  "CMakeFiles/it_core.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/it_core.dir/exporter.cpp.o"
+  "CMakeFiles/it_core.dir/exporter.cpp.o.d"
+  "CMakeFiles/it_core.dir/fiber_map.cpp.o"
+  "CMakeFiles/it_core.dir/fiber_map.cpp.o.d"
+  "CMakeFiles/it_core.dir/fidelity.cpp.o"
+  "CMakeFiles/it_core.dir/fidelity.cpp.o.d"
+  "CMakeFiles/it_core.dir/longhaul.cpp.o"
+  "CMakeFiles/it_core.dir/longhaul.cpp.o.d"
+  "CMakeFiles/it_core.dir/pipeline.cpp.o"
+  "CMakeFiles/it_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/it_core.dir/scenario.cpp.o"
+  "CMakeFiles/it_core.dir/scenario.cpp.o.d"
+  "libit_core.a"
+  "libit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/it_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/colocation.cpp" "src/geo/CMakeFiles/it_geo.dir/colocation.cpp.o" "gcc" "src/geo/CMakeFiles/it_geo.dir/colocation.cpp.o.d"
+  "/root/repo/src/geo/geo_point.cpp" "src/geo/CMakeFiles/it_geo.dir/geo_point.cpp.o" "gcc" "src/geo/CMakeFiles/it_geo.dir/geo_point.cpp.o.d"
+  "/root/repo/src/geo/geojson.cpp" "src/geo/CMakeFiles/it_geo.dir/geojson.cpp.o" "gcc" "src/geo/CMakeFiles/it_geo.dir/geojson.cpp.o.d"
+  "/root/repo/src/geo/latency.cpp" "src/geo/CMakeFiles/it_geo.dir/latency.cpp.o" "gcc" "src/geo/CMakeFiles/it_geo.dir/latency.cpp.o.d"
+  "/root/repo/src/geo/polyline.cpp" "src/geo/CMakeFiles/it_geo.dir/polyline.cpp.o" "gcc" "src/geo/CMakeFiles/it_geo.dir/polyline.cpp.o.d"
+  "/root/repo/src/geo/spatial_index.cpp" "src/geo/CMakeFiles/it_geo.dir/spatial_index.cpp.o" "gcc" "src/geo/CMakeFiles/it_geo.dir/spatial_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/it_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/it_geo.dir/colocation.cpp.o"
+  "CMakeFiles/it_geo.dir/colocation.cpp.o.d"
+  "CMakeFiles/it_geo.dir/geo_point.cpp.o"
+  "CMakeFiles/it_geo.dir/geo_point.cpp.o.d"
+  "CMakeFiles/it_geo.dir/geojson.cpp.o"
+  "CMakeFiles/it_geo.dir/geojson.cpp.o.d"
+  "CMakeFiles/it_geo.dir/latency.cpp.o"
+  "CMakeFiles/it_geo.dir/latency.cpp.o.d"
+  "CMakeFiles/it_geo.dir/polyline.cpp.o"
+  "CMakeFiles/it_geo.dir/polyline.cpp.o.d"
+  "CMakeFiles/it_geo.dir/spatial_index.cpp.o"
+  "CMakeFiles/it_geo.dir/spatial_index.cpp.o.d"
+  "libit_geo.a"
+  "libit_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/it_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/geo/CMakeFiles/it_geo.dir/latency.cpp.o: \
+ /root/repo/src/geo/latency.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/geo/latency.hpp

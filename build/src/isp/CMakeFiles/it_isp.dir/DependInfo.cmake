@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isp/ground_truth.cpp" "src/isp/CMakeFiles/it_isp.dir/ground_truth.cpp.o" "gcc" "src/isp/CMakeFiles/it_isp.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/isp/profiles.cpp" "src/isp/CMakeFiles/it_isp.dir/profiles.cpp.o" "gcc" "src/isp/CMakeFiles/it_isp.dir/profiles.cpp.o.d"
+  "/root/repo/src/isp/published_maps.cpp" "src/isp/CMakeFiles/it_isp.dir/published_maps.cpp.o" "gcc" "src/isp/CMakeFiles/it_isp.dir/published_maps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/it_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/it_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/it_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

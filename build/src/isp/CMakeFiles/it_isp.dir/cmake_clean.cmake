@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/it_isp.dir/ground_truth.cpp.o"
+  "CMakeFiles/it_isp.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/it_isp.dir/profiles.cpp.o"
+  "CMakeFiles/it_isp.dir/profiles.cpp.o.d"
+  "CMakeFiles/it_isp.dir/published_maps.cpp.o"
+  "CMakeFiles/it_isp.dir/published_maps.cpp.o.d"
+  "libit_isp.a"
+  "libit_isp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/it_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

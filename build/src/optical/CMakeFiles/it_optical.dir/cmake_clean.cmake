@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/it_optical.dir/economics.cpp.o"
+  "CMakeFiles/it_optical.dir/economics.cpp.o.d"
+  "CMakeFiles/it_optical.dir/plant.cpp.o"
+  "CMakeFiles/it_optical.dir/plant.cpp.o.d"
+  "libit_optical.a"
+  "libit_optical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/it_optical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libit_optical.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/it_optimize.dir/expansion.cpp.o"
+  "CMakeFiles/it_optimize.dir/expansion.cpp.o.d"
+  "CMakeFiles/it_optimize.dir/latency.cpp.o"
+  "CMakeFiles/it_optimize.dir/latency.cpp.o.d"
+  "CMakeFiles/it_optimize.dir/robustness.cpp.o"
+  "CMakeFiles/it_optimize.dir/robustness.cpp.o.d"
+  "libit_optimize.a"
+  "libit_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/it_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/records/corpus.cpp" "src/records/CMakeFiles/it_records.dir/corpus.cpp.o" "gcc" "src/records/CMakeFiles/it_records.dir/corpus.cpp.o.d"
+  "/root/repo/src/records/document.cpp" "src/records/CMakeFiles/it_records.dir/document.cpp.o" "gcc" "src/records/CMakeFiles/it_records.dir/document.cpp.o.d"
+  "/root/repo/src/records/inference.cpp" "src/records/CMakeFiles/it_records.dir/inference.cpp.o" "gcc" "src/records/CMakeFiles/it_records.dir/inference.cpp.o.d"
+  "/root/repo/src/records/search.cpp" "src/records/CMakeFiles/it_records.dir/search.cpp.o" "gcc" "src/records/CMakeFiles/it_records.dir/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isp/CMakeFiles/it_isp.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/it_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/it_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/it_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/it_records.dir/corpus.cpp.o"
+  "CMakeFiles/it_records.dir/corpus.cpp.o.d"
+  "CMakeFiles/it_records.dir/document.cpp.o"
+  "CMakeFiles/it_records.dir/document.cpp.o.d"
+  "CMakeFiles/it_records.dir/inference.cpp.o"
+  "CMakeFiles/it_records.dir/inference.cpp.o.d"
+  "CMakeFiles/it_records.dir/search.cpp.o"
+  "CMakeFiles/it_records.dir/search.cpp.o.d"
+  "libit_records.a"
+  "libit_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/it_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/it_risk.dir/cuts.cpp.o"
+  "CMakeFiles/it_risk.dir/cuts.cpp.o.d"
+  "CMakeFiles/it_risk.dir/geo_hazard.cpp.o"
+  "CMakeFiles/it_risk.dir/geo_hazard.cpp.o.d"
+  "CMakeFiles/it_risk.dir/risk_matrix.cpp.o"
+  "CMakeFiles/it_risk.dir/risk_matrix.cpp.o.d"
+  "CMakeFiles/it_risk.dir/traffic_weighted.cpp.o"
+  "CMakeFiles/it_risk.dir/traffic_weighted.cpp.o.d"
+  "libit_risk.a"
+  "libit_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/it_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/it_traceroute.dir/campaign.cpp.o"
+  "CMakeFiles/it_traceroute.dir/campaign.cpp.o.d"
+  "CMakeFiles/it_traceroute.dir/l3_topology.cpp.o"
+  "CMakeFiles/it_traceroute.dir/l3_topology.cpp.o.d"
+  "CMakeFiles/it_traceroute.dir/naming.cpp.o"
+  "CMakeFiles/it_traceroute.dir/naming.cpp.o.d"
+  "CMakeFiles/it_traceroute.dir/overlay.cpp.o"
+  "CMakeFiles/it_traceroute.dir/overlay.cpp.o.d"
+  "libit_traceroute.a"
+  "libit_traceroute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/it_traceroute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/cities.cpp" "src/transport/CMakeFiles/it_transport.dir/cities.cpp.o" "gcc" "src/transport/CMakeFiles/it_transport.dir/cities.cpp.o.d"
+  "/root/repo/src/transport/network.cpp" "src/transport/CMakeFiles/it_transport.dir/network.cpp.o" "gcc" "src/transport/CMakeFiles/it_transport.dir/network.cpp.o.d"
+  "/root/repo/src/transport/row.cpp" "src/transport/CMakeFiles/it_transport.dir/row.cpp.o" "gcc" "src/transport/CMakeFiles/it_transport.dir/row.cpp.o.d"
+  "/root/repo/src/transport/undersea.cpp" "src/transport/CMakeFiles/it_transport.dir/undersea.cpp.o" "gcc" "src/transport/CMakeFiles/it_transport.dir/undersea.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/it_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/it_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/it_transport.dir/cities.cpp.o"
+  "CMakeFiles/it_transport.dir/cities.cpp.o.d"
+  "CMakeFiles/it_transport.dir/network.cpp.o"
+  "CMakeFiles/it_transport.dir/network.cpp.o.d"
+  "CMakeFiles/it_transport.dir/row.cpp.o"
+  "CMakeFiles/it_transport.dir/row.cpp.o.d"
+  "CMakeFiles/it_transport.dir/undersea.cpp.o"
+  "CMakeFiles/it_transport.dir/undersea.cpp.o.d"
+  "libit_transport.a"
+  "libit_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/it_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

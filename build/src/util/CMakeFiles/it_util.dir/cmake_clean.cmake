@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/it_util.dir/rng.cpp.o"
+  "CMakeFiles/it_util.dir/rng.cpp.o.d"
+  "CMakeFiles/it_util.dir/stats.cpp.o"
+  "CMakeFiles/it_util.dir/stats.cpp.o.d"
+  "CMakeFiles/it_util.dir/strings.cpp.o"
+  "CMakeFiles/it_util.dir/strings.cpp.o.d"
+  "CMakeFiles/it_util.dir/table.cpp.o"
+  "CMakeFiles/it_util.dir/table.cpp.o.d"
+  "libit_util.a"
+  "libit_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/it_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

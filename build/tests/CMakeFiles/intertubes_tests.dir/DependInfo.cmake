@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/dataset_diff_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/core/dataset_diff_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/core/dataset_diff_test.cpp.o.d"
+  "/root/repo/tests/core/dataset_io_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/core/dataset_io_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/core/dataset_io_test.cpp.o.d"
+  "/root/repo/tests/core/exporter_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/core/exporter_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/core/exporter_test.cpp.o.d"
+  "/root/repo/tests/core/fiber_map_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/core/fiber_map_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/core/fiber_map_test.cpp.o.d"
+  "/root/repo/tests/core/longhaul_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/core/longhaul_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/core/longhaul_test.cpp.o.d"
+  "/root/repo/tests/core/pipeline_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/core/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/core/pipeline_test.cpp.o.d"
+  "/root/repo/tests/core/scenario_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/core/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/core/scenario_test.cpp.o.d"
+  "/root/repo/tests/geo/colocation_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/geo/colocation_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/geo/colocation_test.cpp.o.d"
+  "/root/repo/tests/geo/geo_point_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/geo/geo_point_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/geo/geo_point_test.cpp.o.d"
+  "/root/repo/tests/geo/geojson_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/geo/geojson_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/geo/geojson_test.cpp.o.d"
+  "/root/repo/tests/geo/latency_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/geo/latency_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/geo/latency_test.cpp.o.d"
+  "/root/repo/tests/geo/polyline_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/geo/polyline_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/geo/polyline_test.cpp.o.d"
+  "/root/repo/tests/geo/spatial_index_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/geo/spatial_index_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/geo/spatial_index_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/noise_injection_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/integration/noise_injection_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/integration/noise_injection_test.cpp.o.d"
+  "/root/repo/tests/integration/property_sweeps_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/integration/property_sweeps_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/integration/property_sweeps_test.cpp.o.d"
+  "/root/repo/tests/integration/seed_sweep_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/integration/seed_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/integration/seed_sweep_test.cpp.o.d"
+  "/root/repo/tests/isp/ground_truth_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/isp/ground_truth_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/isp/ground_truth_test.cpp.o.d"
+  "/root/repo/tests/isp/profiles_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/isp/profiles_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/isp/profiles_test.cpp.o.d"
+  "/root/repo/tests/isp/published_maps_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/isp/published_maps_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/isp/published_maps_test.cpp.o.d"
+  "/root/repo/tests/optical/economics_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/optical/economics_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/optical/economics_test.cpp.o.d"
+  "/root/repo/tests/optical/plant_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/optical/plant_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/optical/plant_test.cpp.o.d"
+  "/root/repo/tests/optimize/expansion_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/optimize/expansion_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/optimize/expansion_test.cpp.o.d"
+  "/root/repo/tests/optimize/latency_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/optimize/latency_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/optimize/latency_test.cpp.o.d"
+  "/root/repo/tests/optimize/robustness_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/optimize/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/optimize/robustness_test.cpp.o.d"
+  "/root/repo/tests/records/corpus_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/records/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/records/corpus_test.cpp.o.d"
+  "/root/repo/tests/records/inference_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/records/inference_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/records/inference_test.cpp.o.d"
+  "/root/repo/tests/records/search_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/records/search_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/records/search_test.cpp.o.d"
+  "/root/repo/tests/risk/cuts_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/risk/cuts_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/risk/cuts_test.cpp.o.d"
+  "/root/repo/tests/risk/geo_hazard_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/risk/geo_hazard_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/risk/geo_hazard_test.cpp.o.d"
+  "/root/repo/tests/risk/risk_matrix_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/risk/risk_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/risk/risk_matrix_test.cpp.o.d"
+  "/root/repo/tests/risk/traffic_weighted_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/risk/traffic_weighted_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/risk/traffic_weighted_test.cpp.o.d"
+  "/root/repo/tests/test_main.cpp" "tests/CMakeFiles/intertubes_tests.dir/test_main.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/test_main.cpp.o.d"
+  "/root/repo/tests/traceroute/campaign_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/traceroute/campaign_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/traceroute/campaign_test.cpp.o.d"
+  "/root/repo/tests/traceroute/l3_topology_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/traceroute/l3_topology_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/traceroute/l3_topology_test.cpp.o.d"
+  "/root/repo/tests/traceroute/naming_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/traceroute/naming_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/traceroute/naming_test.cpp.o.d"
+  "/root/repo/tests/traceroute/overlay_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/traceroute/overlay_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/traceroute/overlay_test.cpp.o.d"
+  "/root/repo/tests/transport/cities_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/transport/cities_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/transport/cities_test.cpp.o.d"
+  "/root/repo/tests/transport/network_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/transport/network_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/transport/network_test.cpp.o.d"
+  "/root/repo/tests/transport/row_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/transport/row_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/transport/row_test.cpp.o.d"
+  "/root/repo/tests/transport/undersea_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/transport/undersea_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/transport/undersea_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/strings_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/util/strings_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/util/strings_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/intertubes_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/intertubes_tests.dir/util/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optical/CMakeFiles/it_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimize/CMakeFiles/it_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/traceroute/CMakeFiles/it_traceroute.dir/DependInfo.cmake"
+  "/root/repo/build/src/risk/CMakeFiles/it_risk.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/it_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/records/CMakeFiles/it_records.dir/DependInfo.cmake"
+  "/root/repo/build/src/isp/CMakeFiles/it_isp.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/it_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/it_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/it_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

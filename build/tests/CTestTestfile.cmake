@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(intertubes_tests "/root/repo/build/tests/intertubes_tests")
+set_tests_properties(intertubes_tests PROPERTIES  TIMEOUT "1200" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;56;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_help "/root/repo/build/examples/intertubes_cli")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;60;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_stats "/root/repo/build/examples/intertubes_cli" "stats")
+set_tests_properties(cli_stats PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;61;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_risk "/root/repo/build/examples/intertubes_cli" "risk")
+set_tests_properties(cli_risk PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;62;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_plan "/root/repo/build/examples/intertubes_cli" "plan" "--isp" "Sprint" "--k" "3")
+set_tests_properties(cli_plan PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;63;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_build "/root/repo/build/examples/intertubes_cli" "build" "--out" "cli_test_dataset.tsv")
+set_tests_properties(cli_build PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;64;add_test;/root/repo/tests/CMakeLists.txt;0;")
