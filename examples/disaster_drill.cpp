@@ -1,17 +1,21 @@
-// Disaster drill: what a regional catastrophe does to the long-haul map.
+// Disaster drill: what regional catastrophes do to the long-haul map.
 //
-// Picks (or grid-searches) a disaster region, severs every conduit in it,
-// and reports the §4-style shared-risk damage — providers hit, links cut,
-// connectivity loss — plus whether the undersea festoons of footnote 8
-// keep the coasts reachable.
+// Two parts.  First, one concrete disaster — an epicenter (given, or
+// grid-searched for the worst case), every conduit inside it severed, and
+// the §4-style shared-risk damage reported.  Second, a Monte-Carlo
+// failure *campaign* (sim/): many trials of sequential population-
+// weighted disaster discs, fanned out over a thread pool and aggregated
+// into mean/p5/p50/p95 degradation curves plus a per-ISP impact table.
+// The campaign report is bit-identical for any thread count.
 //
-// Usage: disaster_drill [city-name] [radius-km] [seed]
+// Usage: disaster_drill [city-name] [radius-km] [seed] [trials] [threads]
 #include <cstdlib>
 #include <iostream>
 
 #include "core/scenario.hpp"
 #include "risk/cuts.hpp"
 #include "risk/geo_hazard.hpp"
+#include "sim/campaign.hpp"
 #include "transport/undersea.hpp"
 #include "util/table.hpp"
 
@@ -21,6 +25,8 @@ int main(int argc, char** argv) {
   const std::string epicenter = argc > 1 ? argv[1] : "";
   const double radius_km = argc > 2 ? std::strtod(argv[2], nullptr) : 100.0;
   const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 0) : 0x1257;
+  const std::size_t trials = argc > 4 ? std::strtoull(argv[4], nullptr, 0) : 200;
+  const std::size_t threads = argc > 5 ? std::strtoull(argv[5], nullptr, 0) : 0;
 
   core::Scenario scenario{core::ScenarioParams::with_seed(seed)};
   const auto& cities = core::Scenario::cities();
@@ -48,18 +54,6 @@ int main(int argc, char** argv) {
             << " ISPs\n"
             << "  node-pair connectivity: " << format_double(impact.connectivity, 3) << "\n";
 
-  // Which providers suffer most.
-  const auto cut = risk::conduits_in_region(map, scenario.row(), region);
-  std::vector<std::size_t> hits(map.num_isps(), 0);
-  for (core::ConduitId cid : cut) {
-    for (isp::IspId t : map.conduit(cid).tenants) ++hits[t];
-  }
-  std::cout << "\nconduits lost per provider:\n";
-  const auto& profiles = scenario.truth().profiles();
-  for (isp::IspId i = 0; i < profiles.size(); ++i) {
-    if (hits[i] > 0) std::cout << "  " << profiles[i].name << ": " << hits[i] << "\n";
-  }
-
   // Footnote 8 check: do the coasts stay mutually reachable?
   const auto festoons = transport::default_us_festoons(cities);
   const auto sf = cities.find("San Francisco, CA");
@@ -69,5 +63,16 @@ int main(int argc, char** argv) {
               << risk::min_conduit_cut(map, *sf, *nyc) << ", with undersea festoons "
               << risk::min_conduit_cut_with_undersea(map, festoons, *sf, *nyc) << "\n";
   }
+
+  // The Monte-Carlo campaign: sequences of correlated disasters, not one.
+  sim::Executor executor(threads);
+  const sim::CampaignEngine engine(map, &cities, &scenario.row());
+  sim::CampaignConfig config;
+  config.stressor = sim::Stressor::correlated_hazards(5, radius_km);
+  config.trials = trials;
+  config.seed = seed;
+  const auto report = engine.run(config, executor);
+  std::cout << "\n" << sim::render_report(report, &scenario.truth().profiles()) << "\n";
+  std::cout << "(" << executor.num_threads() << " threads; identical output at any count)\n";
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <queue>
 #include <set>
 
+#include "sim/executor.hpp"
 #include "util/check.hpp"
 
 namespace intertubes::risk {
@@ -117,37 +118,56 @@ std::vector<ConduitId> bridge_conduits(const FiberMap& map) {
 std::vector<FailurePoint> failure_curve(const FiberMap& map, FailureStrategy strategy,
                                         std::size_t max_failures, std::size_t trials,
                                         std::uint64_t seed) {
-  IT_CHECK(!map.conduits().empty());
-  const Graph graph(map);
   const std::size_t num_conduits = map.conduits().size();
+  if (num_conduits == 0) {
+    // Degenerate map: one baseline point (no nodes, nothing to cut)
+    // instead of looping over an empty conduit pool.
+    FailurePoint base;
+    base.connected_pair_fraction = 1.0;
+    base.components = 0.0;
+    return {base};
+  }
+  const Graph graph(map);
   max_failures = std::min(max_failures, num_conduits);
   if (strategy == FailureStrategy::MostSharedFirst) trials = 1;
   IT_CHECK(trials >= 1);
 
+  // Trials are independent (per-trial RNG substream, unchanged from the
+  // historical serial derivation), so they fan out over the executor; the
+  // reduction below runs in trial order, keeping the result bit-identical
+  // to the serial loop for any thread count.
+  const auto trial_curves = sim::default_executor().parallel_map<std::vector<FailurePoint>>(
+      trials, [&](std::size_t trial) {
+        std::vector<ConduitId> order(num_conduits);
+        for (ConduitId c = 0; c < num_conduits; ++c) order[c] = c;
+        if (strategy == FailureStrategy::Random) {
+          Rng rng(mix64(seed ^ (0x9e37ULL * (trial + 1))));
+          rng.shuffle(order);
+        } else {
+          std::stable_sort(order.begin(), order.end(), [&map](ConduitId x, ConduitId y) {
+            return map.conduit(x).tenants.size() > map.conduit(y).tenants.size();
+          });
+        }
+
+        std::vector<FailurePoint> partial(max_failures + 1);
+        std::vector<char> dead(num_conduits, 0);
+        for (std::size_t f = 0; f <= max_failures; ++f) {
+          if (f > 0) dead[order[f - 1]] = 1;
+          double fraction = 0.0;
+          std::size_t components = 0;
+          connectivity(graph, dead, fraction, components);
+          partial[f].connected_pair_fraction = fraction;
+          partial[f].components = static_cast<double>(components);
+        }
+        return partial;
+      });
+
   std::vector<FailurePoint> curve(max_failures + 1);
   for (std::size_t f = 0; f <= max_failures; ++f) curve[f].failed = f;
-
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    // Failure order for this trial.
-    std::vector<ConduitId> order(num_conduits);
-    for (ConduitId c = 0; c < num_conduits; ++c) order[c] = c;
-    if (strategy == FailureStrategy::Random) {
-      Rng rng(mix64(seed ^ (0x9e37ULL * (trial + 1))));
-      rng.shuffle(order);
-    } else {
-      std::stable_sort(order.begin(), order.end(), [&map](ConduitId x, ConduitId y) {
-        return map.conduit(x).tenants.size() > map.conduit(y).tenants.size();
-      });
-    }
-
-    std::vector<char> dead(num_conduits, 0);
+  for (const auto& partial : trial_curves) {
     for (std::size_t f = 0; f <= max_failures; ++f) {
-      if (f > 0) dead[order[f - 1]] = 1;
-      double fraction = 0.0;
-      std::size_t components = 0;
-      connectivity(graph, dead, fraction, components);
-      curve[f].connected_pair_fraction += fraction;
-      curve[f].components += static_cast<double>(components);
+      curve[f].connected_pair_fraction += partial[f].connected_pair_fraction;
+      curve[f].components += partial[f].components;
     }
   }
   for (auto& point : curve) {
@@ -161,14 +181,11 @@ std::vector<ServiceImpactPoint> service_impact_curve(const FiberMap& map,
                                                      FailureStrategy strategy,
                                                      std::size_t max_failures, std::size_t trials,
                                                      std::uint64_t seed) {
-  IT_CHECK(!map.conduits().empty());
   const std::size_t num_conduits = map.conduits().size();
+  if (num_conduits == 0) return {ServiceImpactPoint{}};  // baseline only
   max_failures = std::min(max_failures, num_conduits);
   if (strategy == FailureStrategy::MostSharedFirst) trials = 1;
   IT_CHECK(trials >= 1);
-
-  std::vector<ServiceImpactPoint> curve(max_failures + 1);
-  for (std::size_t f = 0; f <= max_failures; ++f) curve[f].failed = f;
 
   // links_using[cid] — link ids traversing each conduit.
   std::vector<std::vector<core::LinkId>> links_using(num_conduits);
@@ -176,38 +193,52 @@ std::vector<ServiceImpactPoint> service_impact_curve(const FiberMap& map,
     for (ConduitId cid : link.conduits) links_using[cid].push_back(link.id);
   }
 
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    std::vector<ConduitId> order(num_conduits);
-    for (ConduitId c = 0; c < num_conduits; ++c) order[c] = c;
-    if (strategy == FailureStrategy::Random) {
-      Rng rng(mix64(seed ^ (0x11c7ULL * (trial + 1))));
-      rng.shuffle(order);
-    } else {
-      std::stable_sort(order.begin(), order.end(), [&map](ConduitId x, ConduitId y) {
-        return map.conduit(x).tenants.size() > map.conduit(y).tenants.size();
-      });
-    }
-
-    std::vector<char> link_hit(map.links().size(), 0);
-    std::vector<char> isp_hit(map.num_isps(), 0);
-    std::size_t links_hit = 0;
-    std::size_t isps_hit = 0;
-    for (std::size_t f = 0; f <= max_failures; ++f) {
-      if (f > 0) {
-        for (core::LinkId lid : links_using[order[f - 1]]) {
-          if (!link_hit[lid]) {
-            link_hit[lid] = 1;
-            ++links_hit;
-            const auto isp = map.link(lid).isp;
-            if (!isp_hit[isp]) {
-              isp_hit[isp] = 1;
-              ++isps_hit;
+  // Same fan-out/ordered-reduction scheme as failure_curve.
+  const auto trial_curves =
+      sim::default_executor().parallel_map<std::vector<ServiceImpactPoint>>(
+          trials, [&](std::size_t trial) {
+            std::vector<ConduitId> order(num_conduits);
+            for (ConduitId c = 0; c < num_conduits; ++c) order[c] = c;
+            if (strategy == FailureStrategy::Random) {
+              Rng rng(mix64(seed ^ (0x11c7ULL * (trial + 1))));
+              rng.shuffle(order);
+            } else {
+              std::stable_sort(order.begin(), order.end(), [&map](ConduitId x, ConduitId y) {
+                return map.conduit(x).tenants.size() > map.conduit(y).tenants.size();
+              });
             }
-          }
-        }
-      }
-      curve[f].links_hit += static_cast<double>(links_hit);
-      curve[f].isps_hit += static_cast<double>(isps_hit);
+
+            std::vector<ServiceImpactPoint> partial(max_failures + 1);
+            std::vector<char> link_hit(map.links().size(), 0);
+            std::vector<char> isp_hit(map.num_isps(), 0);
+            std::size_t links_hit = 0;
+            std::size_t isps_hit = 0;
+            for (std::size_t f = 0; f <= max_failures; ++f) {
+              if (f > 0) {
+                for (core::LinkId lid : links_using[order[f - 1]]) {
+                  if (!link_hit[lid]) {
+                    link_hit[lid] = 1;
+                    ++links_hit;
+                    const auto isp = map.link(lid).isp;
+                    if (!isp_hit[isp]) {
+                      isp_hit[isp] = 1;
+                      ++isps_hit;
+                    }
+                  }
+                }
+              }
+              partial[f].links_hit = static_cast<double>(links_hit);
+              partial[f].isps_hit = static_cast<double>(isps_hit);
+            }
+            return partial;
+          });
+
+  std::vector<ServiceImpactPoint> curve(max_failures + 1);
+  for (std::size_t f = 0; f <= max_failures; ++f) curve[f].failed = f;
+  for (const auto& partial : trial_curves) {
+    for (std::size_t f = 0; f <= max_failures; ++f) {
+      curve[f].links_hit += partial[f].links_hit;
+      curve[f].isps_hit += partial[f].isps_hit;
     }
   }
   for (auto& point : curve) {

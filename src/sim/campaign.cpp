@@ -1,0 +1,223 @@
+#include "sim/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "risk/geo_hazard.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace intertubes::sim {
+
+using core::ConduitId;
+using core::LinkId;
+using transport::CityId;
+
+std::string stressor_name(const Stressor& stressor) {
+  switch (stressor.kind) {
+    case StressorKind::RandomCuts:
+      return "random cuts";
+    case StressorKind::TargetedCuts:
+      return "targeted cuts (most shared first)";
+    case StressorKind::CorrelatedHazards:
+      return "correlated hazards (r=" + format_double(stressor.hazard_radius_km, 0) + " km)";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Per-kind salt so the three stressors draw decorrelated substreams from
+/// the same campaign seed.
+std::uint64_t stressor_salt(StressorKind kind) {
+  switch (kind) {
+    case StressorKind::RandomCuts:
+      return 0x5eed0c75ULL;
+    case StressorKind::TargetedCuts:
+      return 0x7a26e7edULL;
+    case StressorKind::CorrelatedHazards:
+      return 0xd15a57e2ULL;
+  }
+  return 0;
+}
+
+}  // namespace
+
+CampaignEngine::CampaignEngine(const core::FiberMap& map, const transport::CityDatabase* cities,
+                               const transport::RightOfWayRegistry* row,
+                               std::vector<std::uint64_t> probes_per_conduit)
+    : map_(map), cities_(cities), row_(row) {
+  const std::size_t num_conduits = map.conduits().size();
+  IT_CHECK_MSG(probes_per_conduit.empty() || probes_per_conduit.size() == num_conduits,
+               "probe vector must match the conduit count");
+
+  // Compact city-index adjacency snapshot.
+  std::map<CityId, std::uint32_t> index_of;
+  for (CityId node : map.nodes()) index_of.emplace(node, static_cast<std::uint32_t>(index_of.size()));
+  adjacency_.resize(index_of.size());
+  for (const auto& conduit : map.conduits()) {
+    const std::uint32_t u = index_of.at(conduit.a);
+    const std::uint32_t v = index_of.at(conduit.b);
+    adjacency_[u].emplace_back(v, conduit.id);
+    adjacency_[v].emplace_back(u, conduit.id);
+  }
+
+  links_using_.resize(num_conduits);
+  link_isp_.reserve(map.links().size());
+  for (const auto& link : map.links()) {
+    link_isp_.push_back(link.isp);
+    for (ConduitId cid : link.conduits) links_using_[cid].push_back(link.id);
+  }
+
+  targeted_order_.resize(num_conduits);
+  std::iota(targeted_order_.begin(), targeted_order_.end(), ConduitId{0});
+  std::stable_sort(targeted_order_.begin(), targeted_order_.end(),
+                   [&map](ConduitId x, ConduitId y) {
+                     return map.conduit(x).tenants.size() > map.conduit(y).tenants.size();
+                   });
+
+  conduit_weight_.resize(num_conduits, 0.0);
+  for (ConduitId c = 0; c < num_conduits; ++c) {
+    const auto tenants = static_cast<double>(map.conduit(c).tenants.size());
+    conduit_weight_[c] =
+        probes_per_conduit.empty()
+            ? tenants
+            : tenants * std::log2(1.0 + static_cast<double>(probes_per_conduit[c]));
+    total_weight_ += conduit_weight_[c];
+  }
+
+  if (cities_) {
+    city_weights_.reserve(cities_->size());
+    for (const auto& city : cities_->all()) {
+      city_weights_.push_back(static_cast<double>(city.population));
+    }
+  }
+}
+
+void CampaignEngine::connectivity(const std::vector<char>& dead, double& pair_fraction,
+                                  std::size_t& components) const {
+  const std::size_t n = adjacency_.size();
+  std::vector<char> visited(n, 0);
+  components = 0;
+  double connected_pairs = 0.0;
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t start = 0; start < n; ++start) {
+    if (visited[start]) continue;
+    ++components;
+    std::size_t size = 0;
+    stack.assign(1, start);
+    visited[start] = 1;
+    while (!stack.empty()) {
+      const std::uint32_t u = stack.back();
+      stack.pop_back();
+      ++size;
+      for (const auto& [v, cid] : adjacency_[u]) {
+        if (dead[cid] || visited[v]) continue;
+        visited[v] = 1;
+        stack.push_back(v);
+      }
+    }
+    connected_pairs += static_cast<double>(size) * static_cast<double>(size - 1) / 2.0;
+  }
+  const double total_pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  pair_fraction = total_pairs > 0.0 ? connected_pairs / total_pairs : 1.0;
+}
+
+TrialResult CampaignEngine::run_trial(const Stressor& stressor, std::uint64_t seed,
+                                      std::size_t trial) const {
+  const std::size_t num_conduits = map_.conduits().size();
+  Rng rng = substream_rng(seed ^ stressor_salt(stressor.kind), trial);
+
+  std::vector<ConduitId> order;
+  if (stressor.kind == StressorKind::RandomCuts) {
+    order.resize(num_conduits);
+    std::iota(order.begin(), order.end(), ConduitId{0});
+    rng.shuffle(order);
+  } else if (stressor.kind == StressorKind::TargetedCuts) {
+    order = targeted_order_;
+  } else {
+    IT_CHECK_MSG(cities_ && row_,
+                 "CorrelatedHazards needs a CityDatabase and RightOfWayRegistry");
+  }
+
+  TrialResult result;
+  result.isp_links_lost.assign(map_.num_isps(), 0);
+  result.points.reserve(stressor.steps + 1);
+
+  std::vector<char> dead(num_conduits, 0);
+  std::vector<char> link_hit(link_isp_.size(), 0);
+  std::vector<char> isp_hit(map_.num_isps(), 0);
+  std::size_t conduits_down = 0;
+  std::size_t links_hit = 0;
+  std::size_t isps_hit = 0;
+  double weight_lost = 0.0;
+
+  auto kill = [&](ConduitId cid) {
+    if (dead[cid]) return;
+    dead[cid] = 1;
+    ++conduits_down;
+    weight_lost += conduit_weight_[cid];
+    for (LinkId lid : links_using_[cid]) {
+      if (link_hit[lid]) continue;
+      link_hit[lid] = 1;
+      ++links_hit;
+      ++result.isp_links_lost[link_isp_[lid]];
+      if (!isp_hit[link_isp_[lid]]) {
+        isp_hit[link_isp_[lid]] = 1;
+        ++isps_hit;
+      }
+    }
+  };
+
+  for (std::size_t step = 0; step <= stressor.steps; ++step) {
+    if (step > 0) {
+      if (stressor.kind == StressorKind::CorrelatedHazards) {
+        const auto anchor =
+            cities_->city(static_cast<CityId>(rng.weighted_pick(city_weights_)));
+        risk::HazardRegion region;
+        region.center = geo::destination(anchor.location, rng.uniform(0.0, 360.0),
+                                         std::abs(rng.normal(0.0, stressor.hazard_radius_km)));
+        region.radius_km = stressor.hazard_radius_km;
+        for (ConduitId cid : risk::conduits_in_region(map_, *row_, region)) kill(cid);
+      } else if (step - 1 < order.size()) {
+        kill(order[step - 1]);
+      }
+    }
+    TrialPoint point;
+    point.conduits_down = conduits_down;
+    connectivity(dead, point.connected_pair_fraction, point.components);
+    point.links_hit = links_hit;
+    point.isps_hit = isps_hit;
+    point.weight_lost = total_weight_ > 0.0 ? weight_lost / total_weight_ : 0.0;
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+CampaignReport CampaignEngine::run(const CampaignConfig& config, Executor& executor) const {
+  IT_CHECK(config.trials >= 1);
+  Stressor stressor = config.stressor;
+  if (stressor.kind != StressorKind::CorrelatedHazards) {
+    stressor.steps = std::min(stressor.steps, map_.conduits().size());
+  }
+
+  const auto trials = executor.parallel_map<TrialResult>(
+      config.trials,
+      [&](std::size_t trial) { return run_trial(stressor, config.seed, trial); });
+
+  CampaignReport report = aggregate_trials(trials, map_.num_isps());
+  report.stressor = stressor_name(stressor);
+  report.seed = config.seed;
+  report.trials = config.trials;
+  report.steps = stressor.steps;
+  return report;
+}
+
+CampaignReport CampaignEngine::run(const CampaignConfig& config) const {
+  return run(config, default_executor());
+}
+
+}  // namespace intertubes::sim

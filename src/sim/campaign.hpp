@@ -1,0 +1,102 @@
+// Monte-Carlo failure-campaign driver.
+//
+// §4 frames "how many fiber cuts partition the US long-haul
+// infrastructure" as the key security question; §7 grounds the correlated
+// (regional-disaster) variant.  A *campaign* composes a stressor — random
+// backhoe cuts, a most-shared-first adversary, or geographically
+// correlated disaster discs — with many independent trials, evaluates the
+// per-step outcomes of each trial (connectivity, component count, per-ISP
+// link damage, risk-weighted conduit loss), and aggregates them into
+// percentile curves on a sim::Executor.  Trial t draws from RNG substream
+// (seed, t), so a campaign's report is bit-identical for any thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/fiber_map.hpp"
+#include "sim/executor.hpp"
+#include "sim/report.hpp"
+#include "transport/cities.hpp"
+#include "transport/row.hpp"
+
+namespace intertubes::sim {
+
+enum class StressorKind : std::uint8_t {
+  RandomCuts,         ///< one uniformly random conduit fails per step (backhoes)
+  TargetedCuts,       ///< adversary cuts the most heavily shared conduit per step
+  CorrelatedHazards,  ///< one population-weighted disaster disc strikes per step
+};
+
+struct Stressor {
+  StressorKind kind = StressorKind::RandomCuts;
+  /// Failure events per trial; the curve has steps+1 points (baseline
+  /// included).  Cut stressors are clamped to the conduit count.
+  std::size_t steps = 20;
+  /// Disaster disc radius (CorrelatedHazards only).
+  double hazard_radius_km = 100.0;
+
+  static Stressor random_cuts(std::size_t steps) { return {StressorKind::RandomCuts, steps, 0.0}; }
+  static Stressor targeted_cuts(std::size_t steps) {
+    return {StressorKind::TargetedCuts, steps, 0.0};
+  }
+  static Stressor correlated_hazards(std::size_t steps, double radius_km) {
+    return {StressorKind::CorrelatedHazards, steps, radius_km};
+  }
+};
+
+/// Human-readable stressor description ("random cuts", "correlated
+/// hazards (r=120 km)", ...) used in report headers.
+std::string stressor_name(const Stressor& stressor);
+
+struct CampaignConfig {
+  Stressor stressor;
+  std::size_t trials = 64;
+  std::uint64_t seed = 0x1257;
+};
+
+/// Immutable per-map context shared by every trial thread: a compact
+/// adjacency snapshot (FiberMap's lazily grown adjacency is never touched
+/// from trial threads), conduit→links and link→ISP tables, the targeted
+/// failure order, per-conduit risk weights, and city population weights.
+class CampaignEngine {
+ public:
+  /// `cities`/`row` are required only for the CorrelatedHazards stressor.
+  /// `probes_per_conduit` (when non-empty, sized like map.conduits())
+  /// upgrades the risk weight from raw tenancy to the §4.3 combined
+  /// metric tenants × log2(1 + probes).
+  explicit CampaignEngine(const core::FiberMap& map,
+                          const transport::CityDatabase* cities = nullptr,
+                          const transport::RightOfWayRegistry* row = nullptr,
+                          std::vector<std::uint64_t> probes_per_conduit = {});
+
+  const core::FiberMap& map() const noexcept { return map_; }
+
+  /// One trial, a pure function of (stressor, seed, trial).
+  TrialResult run_trial(const Stressor& stressor, std::uint64_t seed, std::size_t trial) const;
+
+  /// Run the full campaign on `executor` and aggregate in trial order.
+  CampaignReport run(const CampaignConfig& config, Executor& executor) const;
+
+  /// Convenience: run on the process-wide default executor.
+  CampaignReport run(const CampaignConfig& config) const;
+
+ private:
+  void connectivity(const std::vector<char>& dead, double& pair_fraction,
+                    std::size_t& components) const;
+
+  const core::FiberMap& map_;
+  const transport::CityDatabase* cities_ = nullptr;
+  const transport::RightOfWayRegistry* row_ = nullptr;
+
+  std::vector<std::vector<std::pair<std::uint32_t, core::ConduitId>>> adjacency_;
+  std::vector<std::vector<core::LinkId>> links_using_;  // [conduit] → link ids
+  std::vector<isp::IspId> link_isp_;                    // [link] → ISP
+  std::vector<core::ConduitId> targeted_order_;         // most shared first
+  std::vector<double> conduit_weight_;                  // [conduit] risk weight
+  double total_weight_ = 0.0;
+  std::vector<double> city_weights_;  // [city] population (hazard anchors)
+};
+
+}  // namespace intertubes::sim

@@ -1,0 +1,153 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace intertubes::sim {
+
+namespace {
+
+/// Aggregate one metric: extract(trial, step) sampled across trials in
+/// trial order, reduced to a CurvePoint per step.
+template <typename Extract>
+MetricCurve aggregate_metric(const std::vector<TrialResult>& trials, std::size_t steps,
+                             std::string name, const Extract& extract) {
+  MetricCurve curve;
+  curve.name = std::move(name);
+  curve.points.resize(steps);
+  std::vector<double> values(trials.size());
+  for (std::size_t step = 0; step < steps; ++step) {
+    double sum = 0.0;
+    for (std::size_t t = 0; t < trials.size(); ++t) {  // ordered accumulation
+      values[t] = extract(trials[t].points[step]);
+      sum += values[t];
+    }
+    auto& point = curve.points[step];
+    point.mean = sum / static_cast<double>(trials.size());
+    point.p5 = percentile(values, 5.0);
+    point.p50 = percentile(values, 50.0);
+    point.p95 = percentile(values, 95.0);
+  }
+  return curve;
+}
+
+}  // namespace
+
+CampaignReport aggregate_trials(const std::vector<TrialResult>& trials, std::size_t num_isps) {
+  IT_CHECK(!trials.empty());
+  const std::size_t steps = trials.front().points.size();
+  for (const auto& trial : trials) {
+    IT_CHECK_MSG(trial.points.size() == steps, "trials disagree on step count");
+    IT_CHECK_MSG(trial.isp_links_lost.size() == num_isps, "trials disagree on ISP count");
+  }
+
+  CampaignReport report;
+  report.conduits_down = aggregate_metric(trials, steps, "conduits down", [](const TrialPoint& p) {
+    return static_cast<double>(p.conduits_down);
+  });
+  report.connectivity = aggregate_metric(trials, steps, "connectivity", [](const TrialPoint& p) {
+    return p.connected_pair_fraction;
+  });
+  report.components = aggregate_metric(trials, steps, "components", [](const TrialPoint& p) {
+    return static_cast<double>(p.components);
+  });
+  report.links_hit = aggregate_metric(trials, steps, "links hit", [](const TrialPoint& p) {
+    return static_cast<double>(p.links_hit);
+  });
+  report.isps_hit = aggregate_metric(trials, steps, "ISPs hit", [](const TrialPoint& p) {
+    return static_cast<double>(p.isps_hit);
+  });
+  report.weight_lost = aggregate_metric(trials, steps, "risk weight lost", [](const TrialPoint& p) {
+    return p.weight_lost;
+  });
+
+  std::vector<double> losses(trials.size());
+  for (isp::IspId i = 0; i < num_isps; ++i) {
+    double sum = 0.0;
+    double worst = 0.0;
+    for (std::size_t t = 0; t < trials.size(); ++t) {
+      losses[t] = static_cast<double>(trials[t].isp_links_lost[i]);
+      sum += losses[t];
+      worst = std::max(worst, losses[t]);
+    }
+    if (worst <= 0.0) continue;
+    IspImpact impact;
+    impact.isp = i;
+    impact.mean_links_lost = sum / static_cast<double>(trials.size());
+    impact.p95_links_lost = percentile(losses, 95.0);
+    impact.max_links_lost = worst;
+    report.isp_impact.push_back(impact);
+  }
+  std::stable_sort(report.isp_impact.begin(), report.isp_impact.end(),
+                   [](const IspImpact& a, const IspImpact& b) {
+                     return a.mean_links_lost > b.mean_links_lost;
+                   });
+  return report;
+}
+
+std::string render_report(const CampaignReport& report,
+                          const std::vector<isp::IspProfile>* profiles) {
+  std::string out = "campaign: " + report.stressor + " — " + std::to_string(report.trials) +
+                    " trials × " + std::to_string(report.steps) + " failure steps\n\n";
+
+  TextTable curve_table({"step", "conduits", "conn mean", "conn p5", "conn p50", "conn p95",
+                         "comps", "links hit", "links p95", "ISPs hit", "weight lost"});
+  for (std::size_t step = 0; step < report.connectivity.points.size(); ++step) {
+    curve_table.start_row();
+    curve_table.add_cell(step);
+    curve_table.add_cell(report.conduits_down.points[step].mean, 1);
+    curve_table.add_cell(report.connectivity.points[step].mean, 4);
+    curve_table.add_cell(report.connectivity.points[step].p5, 4);
+    curve_table.add_cell(report.connectivity.points[step].p50, 4);
+    curve_table.add_cell(report.connectivity.points[step].p95, 4);
+    curve_table.add_cell(report.components.points[step].mean, 2);
+    curve_table.add_cell(report.links_hit.points[step].mean, 1);
+    curve_table.add_cell(report.links_hit.points[step].p95, 1);
+    curve_table.add_cell(report.isps_hit.points[step].mean, 2);
+    curve_table.add_cell(report.weight_lost.points[step].mean, 4);
+  }
+  out += curve_table.render("degradation curve (across trials)");
+
+  if (!report.isp_impact.empty()) {
+    TextTable isp_table({"ISP", "mean links lost", "p95", "max"});
+    for (const auto& impact : report.isp_impact) {
+      isp_table.start_row();
+      if (profiles && impact.isp < profiles->size()) {
+        isp_table.add_cell((*profiles)[impact.isp].name);
+      } else {
+        isp_table.add_cell("isp " + std::to_string(impact.isp));
+      }
+      isp_table.add_cell(impact.mean_links_lost, 2);
+      isp_table.add_cell(impact.p95_links_lost, 1);
+      isp_table.add_cell(impact.max_links_lost, 1);
+    }
+    out += "\n" + isp_table.render("per-ISP impact at the final step");
+  }
+  return out;
+}
+
+std::string report_curves_csv(const CampaignReport& report) {
+  TextTable table({"step", "conduits_down_mean", "connectivity_mean", "connectivity_p5",
+                   "connectivity_p50", "connectivity_p95", "components_mean", "links_hit_mean",
+                   "links_hit_p95", "isps_hit_mean", "weight_lost_mean"});
+  for (std::size_t step = 0; step < report.connectivity.points.size(); ++step) {
+    table.start_row();
+    table.add_cell(step);
+    table.add_cell(report.conduits_down.points[step].mean, 6);
+    table.add_cell(report.connectivity.points[step].mean, 6);
+    table.add_cell(report.connectivity.points[step].p5, 6);
+    table.add_cell(report.connectivity.points[step].p50, 6);
+    table.add_cell(report.connectivity.points[step].p95, 6);
+    table.add_cell(report.components.points[step].mean, 6);
+    table.add_cell(report.links_hit.points[step].mean, 6);
+    table.add_cell(report.links_hit.points[step].p95, 6);
+    table.add_cell(report.isps_hit.points[step].mean, 6);
+    table.add_cell(report.weight_lost.points[step].mean, 6);
+  }
+  return table.to_csv();
+}
+
+}  // namespace intertubes::sim

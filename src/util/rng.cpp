@@ -168,4 +168,10 @@ Rng Rng::fork() noexcept {
   return Rng(next_u64() ^ 0xa5a5a5a55a5a5a5aULL);
 }
 
+Rng substream_rng(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Two mixing rounds decorrelate nearby (seed, stream) pairs before the
+  // xoshiro seeding expands the state.
+  return Rng(mix64(mix64(seed) + 0x9e3779b97f4a7c15ULL * (stream + 1)));
+}
+
 }  // namespace intertubes

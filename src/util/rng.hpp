@@ -22,6 +22,13 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept;
 /// Stateless mix of a 64-bit value (one SplitMix64 round).
 std::uint64_t mix64(std::uint64_t x) noexcept;
 
+class Rng;
+
+/// Independent substream `stream` of a seeded family: the generator for
+/// (seed, stream) depends on nothing else, so Monte-Carlo trial i can be
+/// computed by any thread in any order and still draw the same values.
+Rng substream_rng(std::uint64_t seed, std::uint64_t stream) noexcept;
+
 /// xoshiro256** PRNG with explicit seeding and value semantics.
 class Rng {
  public:

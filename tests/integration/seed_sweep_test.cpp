@@ -3,21 +3,39 @@
 // full world + pipeline (cached per seed within the test binary).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <map>
 
 #include "core/fidelity.hpp"
 #include "core/scenario.hpp"
 #include "optimize/latency.hpp"
 #include "risk/risk_matrix.hpp"
+#include "sim/executor.hpp"
 
 namespace intertubes {
 namespace {
 
+constexpr std::array<std::uint64_t, 3> kSweepSeeds = {0x1111ULL, 0x2222ULL, 0x3333ULL};
+
 const core::Scenario& scenario_at(std::uint64_t seed) {
-  static std::map<std::uint64_t, std::unique_ptr<core::Scenario>> cache;
-  auto& entry = cache[seed];
-  if (!entry) entry = std::make_unique<core::Scenario>(core::ScenarioParams::with_seed(seed));
-  return *entry;
+  // All swept worlds build concurrently on a sim::Executor the first time
+  // any of them is requested — the sweep's serial cost is the slowest
+  // single world, not the sum.
+  static const std::map<std::uint64_t, std::unique_ptr<core::Scenario>> cache = [] {
+    sim::Executor executor(kSweepSeeds.size());
+    auto worlds = executor.parallel_map<std::unique_ptr<core::Scenario>>(
+        kSweepSeeds.size(),
+        [](std::size_t i) {
+          return std::make_unique<core::Scenario>(core::ScenarioParams::with_seed(kSweepSeeds[i]));
+        },
+        1);
+    std::map<std::uint64_t, std::unique_ptr<core::Scenario>> by_seed;
+    for (std::size_t i = 0; i < kSweepSeeds.size(); ++i) {
+      by_seed.emplace(kSweepSeeds[i], std::move(worlds[i]));
+    }
+    return by_seed;
+  }();
+  return *cache.at(seed);
 }
 
 class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
@@ -80,7 +98,7 @@ TEST_P(SeedSweep, LatencyOrderingInvariants) {
   EXPECT_GT(study.fraction_best_is_row, 0.35);
 }
 
-INSTANTIATE_TEST_SUITE_P(Worlds, SeedSweep, ::testing::Values(0x1111ULL, 0x2222ULL, 0x3333ULL));
+INSTANTIATE_TEST_SUITE_P(Worlds, SeedSweep, ::testing::ValuesIn(kSweepSeeds));
 
 }  // namespace
 }  // namespace intertubes

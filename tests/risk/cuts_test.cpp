@@ -86,6 +86,19 @@ TEST(FailureCurve, AllConduitsCutMeansIsolation) {
   EXPECT_DOUBLE_EQ(curve.back().components, 5.0);
 }
 
+TEST(FailureCurve, EmptyMapYieldsSingleBaselinePoint) {
+  const FiberMap map(3);  // ISPs but no conduits laid yet
+  const auto curve = failure_curve(map, FailureStrategy::Random, 10, 4, 1);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_EQ(curve[0].failed, 0u);
+  EXPECT_DOUBLE_EQ(curve[0].connected_pair_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(curve[0].components, 0.0);
+
+  const auto impact = service_impact_curve(map, FailureStrategy::MostSharedFirst, 10, 1, 1);
+  ASSERT_EQ(impact.size(), 1u);
+  EXPECT_DOUBLE_EQ(impact[0].links_hit, 0.0);
+}
+
 TEST(FailureCurve, MaxFailuresClamped) {
   const auto map = barbell();
   const auto curve = failure_curve(map, FailureStrategy::Random, 500, 2, 1);

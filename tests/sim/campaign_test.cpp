@@ -1,0 +1,175 @@
+#include "sim/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "risk/cuts.hpp"
+#include "sim/report.hpp"
+#include "test_support.hpp"
+
+namespace intertubes::sim {
+namespace {
+
+using core::ConduitId;
+using core::FiberMap;
+using core::Provenance;
+
+transport::Corridor make_corridor(transport::CorridorId id, transport::CityId a,
+                                  transport::CityId b) {
+  transport::Corridor c;
+  c.id = id;
+  c.a = a;
+  c.b = b;
+  c.path = geo::Polyline::straight({40.0, -100.0 + 0.01 * id}, {40.0, -99.0 + 0.01 * id});
+  c.length_km = 100.0;
+  return c;
+}
+
+/// Path 0-1-2 plus a cycle 2-3-4-2 (same shape as the cuts tests).
+FiberMap barbell() {
+  FiberMap map(2);
+  const ConduitId c01 = map.ensure_conduit(make_corridor(0, 0, 1), Provenance::GeocodedMap);
+  const ConduitId c12 = map.ensure_conduit(make_corridor(1, 1, 2), Provenance::GeocodedMap);
+  const ConduitId c23 = map.ensure_conduit(make_corridor(2, 2, 3), Provenance::GeocodedMap);
+  const ConduitId c34 = map.ensure_conduit(make_corridor(3, 3, 4), Provenance::GeocodedMap);
+  const ConduitId c42 = map.ensure_conduit(make_corridor(4, 4, 2), Provenance::GeocodedMap);
+  map.add_link(0, 0, 2, {c01, c12}, true);
+  map.add_link(1, 2, 4, {c23, c34}, true);
+  map.add_link(1, 4, 2, {c42}, true);
+  return map;
+}
+
+TEST(SimCampaign, BaselineStepIsIntact) {
+  const auto map = barbell();
+  const CampaignEngine engine(map);
+  CampaignConfig config;
+  config.stressor = Stressor::random_cuts(3);
+  config.trials = 4;
+  Executor executor(1);
+  const auto report = engine.run(config, executor);
+  ASSERT_EQ(report.connectivity.points.size(), 4u);
+  EXPECT_DOUBLE_EQ(report.connectivity.points[0].mean, 1.0);
+  EXPECT_DOUBLE_EQ(report.conduits_down.points[0].mean, 0.0);
+  EXPECT_DOUBLE_EQ(report.links_hit.points[0].mean, 0.0);
+  EXPECT_DOUBLE_EQ(report.components.points[0].mean, 1.0);
+}
+
+TEST(SimCampaign, AllConduitsCutMeansIsolation) {
+  const auto map = barbell();
+  const CampaignEngine engine(map);
+  CampaignConfig config;
+  config.stressor = Stressor::random_cuts(500);  // clamped to the conduit count
+  config.trials = 3;
+  Executor executor(2);
+  const auto report = engine.run(config, executor);
+  EXPECT_EQ(report.steps, map.conduits().size());
+  EXPECT_DOUBLE_EQ(report.connectivity.points.back().mean, 0.0);
+  EXPECT_DOUBLE_EQ(report.components.points.back().mean, 5.0);
+  EXPECT_DOUBLE_EQ(report.weight_lost.points.back().mean, 1.0);
+  // Both ISPs eventually lose every link.
+  ASSERT_EQ(report.isp_impact.size(), 2u);
+}
+
+TEST(SimCampaign, ReportIsByteIdenticalAcrossThreadCounts) {
+  const auto& scenario = testing::shared_scenario();
+  const CampaignEngine engine(scenario.map());
+  for (const auto stressor :
+       {Stressor::random_cuts(12), Stressor::targeted_cuts(12)}) {
+    CampaignConfig config;
+    config.stressor = stressor;
+    config.trials = 10;
+    config.seed = 0xfee1dead;
+    Executor serial(1);
+    Executor two(2);
+    Executor eight(8);
+    const auto r1 = engine.run(config, serial);
+    const auto r2 = engine.run(config, two);
+    const auto r8 = engine.run(config, eight);
+    EXPECT_EQ(r1, r2);
+    EXPECT_EQ(r1, r8);
+    // Rendered artifacts match byte for byte as well.
+    const auto& profiles = scenario.truth().profiles();
+    EXPECT_EQ(render_report(r1, &profiles), render_report(r8, &profiles));
+    EXPECT_EQ(report_curves_csv(r1), report_curves_csv(r8));
+  }
+}
+
+TEST(SimCampaign, HazardCampaignDeterministicAcrossThreadCounts) {
+  const auto& scenario = testing::shared_scenario();
+  const CampaignEngine engine(scenario.map(), &core::Scenario::cities(), &scenario.row());
+  CampaignConfig config;
+  config.stressor = Stressor::correlated_hazards(3, 150.0);
+  config.trials = 6;
+  config.seed = 0x1257;
+  Executor serial(1);
+  Executor eight(8);
+  const auto r1 = engine.run(config, serial);
+  const auto r8 = engine.run(config, eight);
+  EXPECT_EQ(r1, r8);
+  // Disasters only degrade the map.
+  for (std::size_t step = 1; step < r1.connectivity.points.size(); ++step) {
+    EXPECT_LE(r1.connectivity.points[step].mean, r1.connectivity.points[step - 1].mean + 1e-12);
+    EXPECT_GE(r1.links_hit.points[step].mean, r1.links_hit.points[step - 1].mean - 1e-12);
+  }
+}
+
+TEST(SimCampaign, HazardWithoutGeographyThrows) {
+  const auto map = barbell();
+  const CampaignEngine engine(map);
+  CampaignConfig config;
+  config.stressor = Stressor::correlated_hazards(2, 100.0);
+  config.trials = 2;
+  Executor executor(2);
+  EXPECT_THROW(engine.run(config, executor), std::logic_error);
+}
+
+TEST(SimCampaign, TargetedBeatsRandomEarly) {
+  const auto& scenario = testing::shared_scenario();
+  const CampaignEngine engine(scenario.map());
+  Executor executor(2);
+  CampaignConfig random;
+  random.stressor = Stressor::random_cuts(8);
+  random.trials = 8;
+  CampaignConfig targeted;
+  targeted.stressor = Stressor::targeted_cuts(8);
+  targeted.trials = 1;  // deterministic stressor
+  const auto r = engine.run(random, executor);
+  const auto t = engine.run(targeted, executor);
+  EXPECT_GT(t.links_hit.points[5].mean, 1.5 * r.links_hit.points[5].mean);
+  EXPECT_GT(t.weight_lost.points[5].mean, r.weight_lost.points[5].mean);
+}
+
+TEST(SimCampaign, TrafficWeightsReorderWeightLost) {
+  const auto map = barbell();
+  // All probe volume on conduit 0: cutting it must dominate weight_lost.
+  std::vector<std::uint64_t> probes(map.conduits().size(), 0);
+  probes[0] = 1 << 20;
+  const CampaignEngine engine(map, nullptr, nullptr, probes);
+  CampaignConfig config;
+  config.stressor = Stressor::targeted_cuts(map.conduits().size());
+  config.trials = 1;
+  Executor executor(1);
+  const auto report = engine.run(config, executor);
+  EXPECT_DOUBLE_EQ(report.weight_lost.points.back().mean, 1.0);
+}
+
+TEST(SimCampaign, MatchesLegacyFailureCurveShape) {
+  // The campaign's connectivity curve and risk::failure_curve answer the
+  // same question; on the deterministic targeted stressor they agree.
+  const auto& map = testing::shared_scenario().map();
+  const CampaignEngine engine(map);
+  CampaignConfig config;
+  config.stressor = Stressor::targeted_cuts(10);
+  config.trials = 1;
+  Executor executor(2);
+  const auto report = engine.run(config, executor);
+  const auto curve =
+      risk::failure_curve(map, risk::FailureStrategy::MostSharedFirst, 10, 1, 0x1257);
+  ASSERT_EQ(report.connectivity.points.size(), curve.size());
+  for (std::size_t f = 0; f < curve.size(); ++f) {
+    EXPECT_DOUBLE_EQ(report.connectivity.points[f].mean, curve[f].connected_pair_fraction);
+    EXPECT_DOUBLE_EQ(report.components.points[f].mean, curve[f].components);
+  }
+}
+
+}  // namespace
+}  // namespace intertubes::sim
