@@ -7,8 +7,10 @@
 //   cuts    resilience: bridges, coast-to-coast min cuts, disaster drill
 //   plan    §5 mitigation toolkit for one ISP (re-routes, expansion, latency)
 //   export  GeoJSON map + transport layers
+//   check   parse a dataset file and report structured diagnostics
 //
-// Common flags: --seed <n> (default 0x1257). Run with no arguments for help.
+// Common flags: --seed <n> (default 0x1257), --strict / --lenient parse
+// policy for file-reading commands. Run with no arguments for help.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -39,8 +41,12 @@ struct Args {
   std::string prefix = "intertubes";
   std::string before_path;
   std::string after_path;
+  std::string in_path;
   std::size_t k = 5;
   double radius_km = 100.0;
+  /// Parse policy for commands that read files (check, diff).  Lenient by
+  /// default: quarantine bad records, report them, keep going.
+  ParsePolicy policy = ParsePolicy::Lenient;
 };
 
 void usage() {
@@ -55,22 +61,39 @@ void usage() {
       "  plan     mitigation toolkit for one ISP (--isp, --k)\n"
       "  export   write GeoJSON layers (--prefix)\n"
       "  diff     compare two dataset files (--before, --after)\n"
+      "  check    parse a dataset file, report diagnostics (--in)\n"
       "\n"
       "flags:\n"
       "  --seed <n>     world seed (default 0x1257)\n"
       "  --isp <name>   ISP for `plan` (default Sprint)\n"
       "  --out <file>   dataset path for `build`\n"
       "  --prefix <p>   output prefix for `export`\n"
+      "  --in <file>    dataset path for `check`\n"
       "  --k <n>        expansion steps for `plan` (default 5)\n"
-      "  --radius <km>  disaster radius for `cuts` (default 100)\n";
+      "  --radius <km>  disaster radius for `cuts` (default 100)\n"
+      "  --strict       fail fast on the first malformed record\n"
+      "  --lenient      quarantine malformed records and keep going (default)\n";
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
   if (argc < 2) return false;
   args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
-    const std::string value = argv[i + 1];
+    // Boolean flags take no value.
+    if (flag == "--strict") {
+      args.policy = ParsePolicy::Strict;
+      continue;
+    }
+    if (flag == "--lenient") {
+      args.policy = ParsePolicy::Lenient;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::cerr << "flag " << flag << " needs a value\n";
+      return false;
+    }
+    const std::string value = argv[++i];
     if (flag == "--seed") {
       args.seed = std::strtoull(value.c_str(), nullptr, 0);
     } else if (flag == "--isp") {
@@ -83,6 +106,8 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.before_path = value;
     } else if (flag == "--after") {
       args.after_path = value;
+    } else if (flag == "--in") {
+      args.in_path = value;
     } else if (flag == "--k") {
       args.k = std::strtoul(value.c_str(), nullptr, 0);
     } else if (flag == "--radius") {
@@ -223,17 +248,41 @@ int cmd_diff(const core::Scenario& scenario, const Args& args) {
     return 1;
   }
   const auto& profiles = scenario.truth().profiles();
+  DiagnosticSink sink(args.policy);
   const auto before = core::load_dataset(args.before_path, core::Scenario::cities(),
-                                         scenario.row(), profiles);
+                                         scenario.row(), profiles, sink);
   const auto after = core::load_dataset(args.after_path, core::Scenario::cities(),
-                                        scenario.row(), profiles);
+                                        scenario.row(), profiles, sink);
   const auto diff = core::diff_maps(before, after);
   if (diff.empty()) {
     std::cout << "datasets are structurally identical\n";
   } else {
     std::cout << core::render_diff(diff, core::Scenario::cities(), profiles);
   }
+  if (sink.total() > 0) std::cout << "\n" << sink.render();
   return 0;
+}
+
+int cmd_check(const core::Scenario& scenario, const Args& args) {
+  if (args.in_path.empty()) {
+    std::cerr << "check requires --in <file>\n";
+    return 1;
+  }
+  const auto& profiles = scenario.truth().profiles();
+  DiagnosticSink sink(args.policy);
+  // Under --strict the first defect throws ParseError, which main() turns
+  // into `error: <source>:<line>: <message>`.
+  const auto map = core::load_dataset(args.in_path, core::Scenario::cities(), scenario.row(),
+                                      profiles, sink);
+  const auto stats = core::compute_stats(map);
+  std::cout << "parsed " << args.in_path << ": " << stats.nodes << " nodes, " << stats.links
+            << " links, " << stats.conduits << " conduits\n";
+  if (sink.total() > 0) {
+    std::cout << "\n" << sink.render();
+  } else {
+    std::cout << "no defects found\n";
+  }
+  return sink.error_count() > 0 ? 1 : 0;
 }
 
 }  // namespace
@@ -253,6 +302,7 @@ int main(int argc, char** argv) {
     if (args.command == "plan") return cmd_plan(scenario, args);
     if (args.command == "export") return cmd_export(scenario, args);
     if (args.command == "diff") return cmd_diff(scenario, args);
+    if (args.command == "check") return cmd_check(scenario, args);
     std::cerr << "unknown command: " << args.command << "\n";
     usage();
     return 1;

@@ -1,9 +1,7 @@
 #include "core/dataset_io.hpp"
 
-#include <fstream>
 #include <sstream>
 
-#include "util/check.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -28,25 +26,126 @@ std::string conduit_ids_field(const Link& link) {
   return join(ids, ",");
 }
 
-CityId resolve_city(const CityDatabase& cities, const std::string& name) {
-  const auto id = cities.find(name);
-  IT_CHECK_MSG(id.has_value(), "unknown city in dataset: " + name);
-  return *id;
-}
+/// Per-record parsing context: one Error diagnostic per quarantined
+/// record, carrying the record's 1-based input line number.
+struct RecordParser {
+  const CityDatabase& cities;
+  const transport::RightOfWayRegistry& row;
+  const std::vector<isp::IspProfile>& profiles;
+  DiagnosticSink& sink;
+  const std::string& source;
+  std::size_t line_no = 0;
 
-isp::IspId resolve_isp(const std::vector<isp::IspProfile>& profiles, const std::string& name) {
-  const auto id = isp::find_profile(profiles, name);
-  IT_CHECK_MSG(id != isp::kNoIsp, "unknown ISP in dataset: " + name);
-  return id;
-}
+  // Dataset conduit id → map conduit id.
+  std::unordered_map<ConduitId, ConduitId> remap;
+  // Tenancy as serialized, to restore tenants with no surviving link
+  // (records-only tenants).
+  std::vector<std::pair<ConduitId, isp::IspId>> tenancy;
 
-transport::TransportMode parse_mode(const std::string& name) {
-  if (name == "road") return transport::TransportMode::Road;
-  if (name == "rail") return transport::TransportMode::Rail;
-  if (name == "pipeline") return transport::TransportMode::Pipeline;
-  IT_CHECK_MSG(false, "unknown ROW mode in dataset: " + name);
-  return transport::TransportMode::Road;
-}
+  bool fail(const std::string& message) {
+    sink.report(Severity::Error, source, line_no, message);
+    return false;
+  }
+
+  std::optional<CityId> resolve_city(const std::string& name) {
+    return cities.find(name);
+  }
+
+  std::optional<bool> parse_flag(const std::string& field) {
+    if (field == "0") return false;
+    if (field == "1") return true;
+    return std::nullopt;
+  }
+
+  std::optional<transport::TransportMode> parse_mode(const std::string& name) {
+    if (name == "road") return transport::TransportMode::Road;
+    if (name == "rail") return transport::TransportMode::Rail;
+    if (name == "pipeline") return transport::TransportMode::Pipeline;
+    return std::nullopt;
+  }
+
+  bool parse_node(const std::vector<std::string>& fields) {
+    if (fields.size() != 6) return fail("malformed node line: expected 6 fields, got " +
+                                        std::to_string(fields.size()));
+    const std::string name = fields[1] + ", " + fields[2];
+    if (!resolve_city(name)) return fail("unknown city in dataset: " + name);
+    return true;
+  }
+
+  bool parse_conduit(const std::vector<std::string>& fields, FiberMap& map) {
+    if (fields.size() != 8) return fail("malformed conduit line: expected 8 fields, got " +
+                                        std::to_string(fields.size()));
+    const auto dataset_id = parse_uint(fields[1]);
+    if (!dataset_id) return fail("malformed conduit id: " + fields[1]);
+    if (remap.count(static_cast<ConduitId>(*dataset_id))) {
+      return fail("duplicate conduit id in dataset: " + fields[1]);
+    }
+    const auto a = resolve_city(fields[2]);
+    if (!a) return fail("unknown city in dataset: " + fields[2]);
+    const auto b = resolve_city(fields[3]);
+    if (!b) return fail("unknown city in dataset: " + fields[3]);
+    if (*a == *b) return fail("conduit endpoints are the same city: " + fields[2]);
+    const auto mode = parse_mode(fields[4]);
+    if (!mode) return fail("unknown ROW mode in dataset: " + fields[4]);
+    const auto length_km = parse_double(fields[5]);
+    if (!length_km || *length_km <= 0.0) return fail("malformed conduit length: " + fields[5]);
+    const auto validated = parse_flag(fields[6]);
+    if (!validated) return fail("malformed validated flag: " + fields[6]);
+    // Resolve tenants before mutating the map so a bad tenant name
+    // quarantines the whole record, not half of it.
+    std::vector<isp::IspId> tenants;
+    for (const auto& name : split(fields[7], ",")) {
+      const auto isp_id = isp::find_profile(profiles, name);
+      if (isp_id == isp::kNoIsp) return fail("unknown ISP in dataset: " + name);
+      tenants.push_back(isp_id);
+    }
+
+    transport::Corridor corridor;
+    const auto direct = row.direct(*a, *b, *mode);
+    if (direct) {
+      corridor = row.corridor(*direct);
+    } else {
+      corridor.id = 0x40000000u + static_cast<ConduitId>(*dataset_id);  // synthetic corridor id
+      corridor.a = *a;
+      corridor.b = *b;
+      corridor.mode = *mode;
+      corridor.path =
+          geo::Polyline::straight(cities.city(*a).location, cities.city(*b).location);
+      corridor.length_km = *length_km;
+    }
+    const ConduitId cid = map.ensure_conduit(corridor, Provenance::GeocodedMap);
+    if (*validated) map.mark_validated(cid);
+    remap[static_cast<ConduitId>(*dataset_id)] = cid;
+    for (isp::IspId t : tenants) tenancy.emplace_back(cid, t);
+    return true;
+  }
+
+  bool parse_link(const std::vector<std::string>& fields, FiberMap& map) {
+    if (fields.size() != 6) return fail("malformed link line: expected 6 fields, got " +
+                                        std::to_string(fields.size()));
+    const auto isp_id = isp::find_profile(profiles, fields[1]);
+    if (isp_id == isp::kNoIsp) return fail("unknown ISP in dataset: " + fields[1]);
+    const auto a = resolve_city(fields[2]);
+    if (!a) return fail("unknown city in dataset: " + fields[2]);
+    const auto b = resolve_city(fields[3]);
+    if (!b) return fail("unknown city in dataset: " + fields[3]);
+    const auto geocoded = parse_flag(fields[4]);
+    if (!geocoded) return fail("malformed geocoded flag: " + fields[4]);
+    std::vector<ConduitId> conduits;
+    for (const auto& id_text : split(fields[5], ",")) {
+      const auto dataset_id = parse_uint(id_text);
+      if (!dataset_id) return fail("malformed conduit reference: " + id_text);
+      const auto it = remap.find(static_cast<ConduitId>(*dataset_id));
+      // Also reached when the referenced conduit was itself quarantined:
+      // the corruption cascades, and the link is quarantined with it.
+      if (it == remap.end()) return fail("link references unknown conduit " + id_text);
+      conduits.push_back(it->second);
+    }
+    if (conduits.empty()) return fail("link has no conduits");
+    map.add_link(isp_id, *a, *b, conduits, *geocoded);
+    return true;
+  }
+};
 
 }  // namespace
 
@@ -83,70 +182,40 @@ std::string serialize_dataset(const FiberMap& map, const CityDatabase& cities,
 
 FiberMap parse_dataset(const std::string& text, const CityDatabase& cities,
                        const transport::RightOfWayRegistry& row,
-                       const std::vector<isp::IspProfile>& profiles) {
+                       const std::vector<isp::IspProfile>& profiles, DiagnosticSink& sink,
+                       const std::string& source) {
   FiberMap map(profiles.size());
-  // Dataset conduit id → map conduit id.
-  std::unordered_map<ConduitId, ConduitId> remap;
-  // Tenancy as serialized, to restore tenants with no surviving link
-  // (records-only tenants).
-  std::vector<std::pair<ConduitId, isp::IspId>> tenancy;
+  RecordParser parser{cities, row, profiles, sink, source, 0, {}, {}};
 
   std::istringstream in(text);
   std::string line;
+  std::size_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // tolerate CRLF
     if (line.empty() || line[0] == '#') continue;
-    const auto fields = split(line, "\t");
-    IT_CHECK_MSG(!fields.empty(), "malformed dataset line");
+    parser.line_no = line_no;
+    const auto fields = split_fields(line, '\t');
     if (fields[0] == "node") {
-      IT_CHECK_MSG(fields.size() == 6, "malformed node line: " + line);
-      resolve_city(cities, fields[1] + ", " + fields[2]);  // existence check
+      parser.parse_node(fields);
     } else if (fields[0] == "conduit") {
-      IT_CHECK_MSG(fields.size() == 8, "malformed conduit line: " + line);
-      const auto dataset_id = static_cast<ConduitId>(std::stoul(fields[1]));
-      const CityId a = resolve_city(cities, fields[2]);
-      const CityId b = resolve_city(cities, fields[3]);
-      const auto mode = parse_mode(fields[4]);
-      const double length_km = std::stod(fields[5]);
-      transport::Corridor corridor;
-      const auto direct = row.direct(a, b, mode);
-      if (direct) {
-        corridor = row.corridor(*direct);
-      } else {
-        corridor.id = 0x40000000u + dataset_id;  // synthetic corridor id
-        corridor.a = a;
-        corridor.b = b;
-        corridor.mode = mode;
-        corridor.path =
-            geo::Polyline::straight(cities.city(a).location, cities.city(b).location);
-        corridor.length_km = length_km;
-      }
-      const ConduitId cid = map.ensure_conduit(corridor, Provenance::GeocodedMap);
-      if (fields[6] == "1") map.mark_validated(cid);
-      IT_CHECK_MSG(!remap.count(dataset_id), "duplicate conduit id in dataset");
-      remap[dataset_id] = cid;
-      for (const auto& name : split(fields[7], ",")) {
-        tenancy.emplace_back(cid, resolve_isp(profiles, name));
-      }
+      parser.parse_conduit(fields, map);
     } else if (fields[0] == "link") {
-      IT_CHECK_MSG(fields.size() == 6, "malformed link line: " + line);
-      const isp::IspId isp_id = resolve_isp(profiles, fields[1]);
-      const CityId a = resolve_city(cities, fields[2]);
-      const CityId b = resolve_city(cities, fields[3]);
-      std::vector<ConduitId> conduits;
-      for (const auto& id_text : split(fields[5], ",")) {
-        const auto dataset_id = static_cast<ConduitId>(std::stoul(id_text));
-        const auto it = remap.find(dataset_id);
-        IT_CHECK_MSG(it != remap.end(), "link references unknown conduit " + id_text);
-        conduits.push_back(it->second);
-      }
-      map.add_link(isp_id, a, b, conduits, fields[4] == "1");
+      parser.parse_link(fields, map);
     } else {
-      IT_CHECK_MSG(false, "unknown dataset record type: " + fields[0]);
+      parser.fail("unknown dataset record type: " + fields[0]);
     }
   }
 
-  for (const auto& [cid, isp_id] : tenancy) map.add_tenant(cid, isp_id);
+  for (const auto& [cid, isp_id] : parser.tenancy) map.add_tenant(cid, isp_id);
   return map;
+}
+
+FiberMap parse_dataset(const std::string& text, const CityDatabase& cities,
+                       const transport::RightOfWayRegistry& row,
+                       const std::vector<isp::IspProfile>& profiles) {
+  DiagnosticSink strict(ParsePolicy::Strict);
+  return parse_dataset(text, cities, row, profiles, strict);
 }
 
 void save_dataset(const std::string& path, const FiberMap& map, const CityDatabase& cities,
@@ -157,11 +226,15 @@ void save_dataset(const std::string& path, const FiberMap& map, const CityDataba
 
 FiberMap load_dataset(const std::string& path, const CityDatabase& cities,
                       const transport::RightOfWayRegistry& row,
+                      const std::vector<isp::IspProfile>& profiles, DiagnosticSink& sink) {
+  return parse_dataset(read_file(path), cities, row, profiles, sink, path);
+}
+
+FiberMap load_dataset(const std::string& path, const CityDatabase& cities,
+                      const transport::RightOfWayRegistry& row,
                       const std::vector<isp::IspProfile>& profiles) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open dataset: " + path);
-  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-  return parse_dataset(text, cities, row, profiles);
+  DiagnosticSink strict(ParsePolicy::Strict);
+  return load_dataset(path, cities, row, profiles, strict);
 }
 
 }  // namespace intertubes::core

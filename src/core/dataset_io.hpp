@@ -11,6 +11,7 @@
 
 #include "core/fiber_map.hpp"
 #include "transport/row.hpp"
+#include "util/diag.hpp"
 
 namespace intertubes::core {
 
@@ -23,20 +24,36 @@ std::string serialize_dataset(const FiberMap& map, const transport::CityDatabase
                               const transport::RightOfWayRegistry& row,
                               const std::vector<isp::IspProfile>& profiles);
 
-/// Parse a dataset back into a FiberMap.  City and ISP names are resolved
-/// against the given database/profiles; unknown names throw.  The ROW
+/// Parse a dataset back into a FiberMap, reporting every malformed record
+/// into `sink` with its 1-based input line number.  Under the lenient
+/// policy a malformed record is quarantined (skipped) and parsing
+/// continues; records referencing a quarantined record (a link naming a
+/// quarantined conduit) are quarantined in turn.  Under the strict policy
+/// the first defect throws ParseError naming "source:line".  City and ISP
+/// names are resolved against the given database/profiles.  The ROW
 /// registry supplies conduit geometry (by the stored corridor city pair
 /// and mode); a conduit with no matching corridor gets straight-line
 /// geometry.
 FiberMap parse_dataset(const std::string& text, const transport::CityDatabase& cities,
                        const transport::RightOfWayRegistry& row,
+                       const std::vector<isp::IspProfile>& profiles, DiagnosticSink& sink,
+                       const std::string& source = "<dataset>");
+
+/// Strict-policy convenience: throws ParseError on the first defect.
+FiberMap parse_dataset(const std::string& text, const transport::CityDatabase& cities,
+                       const transport::RightOfWayRegistry& row,
                        const std::vector<isp::IspProfile>& profiles);
 
-/// Convenience wrappers over files.
+/// Convenience wrappers over files.  Open failures throw
+/// std::runtime_error with the OS errno context.
 void save_dataset(const std::string& path, const FiberMap& map,
                   const transport::CityDatabase& cities,
                   const transport::RightOfWayRegistry& row,
                   const std::vector<isp::IspProfile>& profiles);
+
+FiberMap load_dataset(const std::string& path, const transport::CityDatabase& cities,
+                      const transport::RightOfWayRegistry& row,
+                      const std::vector<isp::IspProfile>& profiles, DiagnosticSink& sink);
 
 FiberMap load_dataset(const std::string& path, const transport::CityDatabase& cities,
                       const transport::RightOfWayRegistry& row,

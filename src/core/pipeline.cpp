@@ -1,8 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
-
-#include "util/check.hpp"
+#include <optional>
 
 namespace intertubes::core {
 
@@ -43,30 +42,101 @@ std::vector<CorridorId> MapBuilder::snap_geometry(CityId a, CityId b,
   return path.corridors;
 }
 
+namespace {
+
+/// Validate one published map before anything is ingested, so a bad
+/// record never leaves partial state in the fiber map.  Returns nullopt —
+/// after reporting and counting the drop — when the whole map must go;
+/// otherwise a keep-flag per link, with quarantined links reported under
+/// their 1-based record index (the "line number" of an in-memory map).
+std::optional<std::vector<char>> validate_published(const PublishedMap& pub,
+                                                    const std::string& source,
+                                                    bool need_geometry, std::size_t num_cities,
+                                                    std::size_t num_isps, StepReport& report,
+                                                    DiagnosticSink& sink) {
+  if (pub.isp == isp::kNoIsp || pub.isp >= num_isps) {
+    sink.report(Severity::Error, source, 0,
+                "published map names no known ISP (id " + std::to_string(pub.isp) +
+                    "); ISP dropped");
+    ++report.isps_dropped;
+    return std::nullopt;
+  }
+  std::vector<char> keep(pub.links.size(), 1);
+  for (std::size_t i = 0; i < pub.links.size(); ++i) {
+    const auto& link = pub.links[i];
+    std::string why;
+    if (link.a >= num_cities || link.b >= num_cities) {
+      why = "endpoint city out of range";
+    } else if (link.a == link.b) {
+      why = "endpoints must differ";
+    } else if (need_geometry &&
+               (!link.geometry.has_value() || link.geometry->points().size() < 2)) {
+      why = "geocoded link missing geometry";
+    }
+    if (!why.empty()) {
+      sink.report(Severity::Error, source, i + 1, "link quarantined: " + why);
+      keep[i] = 0;
+      ++report.records_quarantined;
+    }
+  }
+  return keep;
+}
+
+std::string step_source(const char* step, const PublishedMap& pub) {
+  return std::string(step) + "/" +
+         (pub.isp_name.empty() ? "isp#" + std::to_string(pub.isp) : pub.isp_name);
+}
+
+}  // namespace
+
 void MapBuilder::step1_initial_map(FiberMap& map, const std::vector<PublishedMap>& published,
                                    StepReport& report) const {
+  DiagnosticSink strict(ParsePolicy::Strict);
+  step1_initial_map(map, published, report, strict);
+}
+
+void MapBuilder::step1_initial_map(FiberMap& map, const std::vector<PublishedMap>& published,
+                                   StepReport& report, DiagnosticSink& sink) const {
   for (const PublishedMap& pub : published) {
     if (!pub.geocoded) continue;
-    for (const auto& link : pub.links) {
-      IT_CHECK(link.geometry.has_value());
-      auto corridors = snap_geometry(link.a, link.b, *link.geometry);
-      if (corridors.empty()) {
-        // Published geometry too noisy/incomplete: fall back to the ROW
-        // shortest path, which is the best guess absent other evidence.
-        ++report.snap_fallbacks;
-        corridors = row_.shortest_path(link.a, link.b).corridors;
-        if (corridors.empty()) continue;
+    const std::string source = step_source("step1", pub);
+    const auto keep = validate_published(pub, source, /*need_geometry=*/true, cities_.size(),
+                                         profiles_.size(), report, sink);
+    if (!keep.has_value()) continue;
+    try {
+      for (std::size_t i = 0; i < pub.links.size(); ++i) {
+        if (!(*keep)[i]) continue;
+        const auto& link = pub.links[i];
+        auto corridors = snap_geometry(link.a, link.b, *link.geometry);
+        if (corridors.empty()) {
+          // Published geometry too noisy/incomplete: fall back to the ROW
+          // shortest path, which is the best guess absent other evidence.
+          ++report.snap_fallbacks;
+          corridors = row_.shortest_path(link.a, link.b).corridors;
+          if (corridors.empty()) continue;
+        }
+        std::vector<ConduitId> conduit_ids;
+        conduit_ids.reserve(corridors.size());
+        for (CorridorId cid : corridors) {
+          const bool fresh = !map.conduit_for_corridor(cid).has_value();
+          const ConduitId conduit =
+              map.ensure_conduit(row_.corridor(cid), Provenance::GeocodedMap);
+          if (fresh) ++report.conduits_added;
+          conduit_ids.push_back(conduit);
+        }
+        map.add_link(pub.isp, link.a, link.b, conduit_ids, /*geocoded=*/true);
+        ++report.links_added;
       }
-      std::vector<ConduitId> conduit_ids;
-      conduit_ids.reserve(corridors.size());
-      for (CorridorId cid : corridors) {
-        const bool fresh = !map.conduit_for_corridor(cid).has_value();
-        const ConduitId conduit = map.ensure_conduit(row_.corridor(cid), Provenance::GeocodedMap);
-        if (fresh) ++report.conduits_added;
-        conduit_ids.push_back(conduit);
-      }
-      map.add_link(pub.isp, link.a, link.b, conduit_ids, /*geocoded=*/true);
-      ++report.links_added;
+    } catch (const ParseError&) {
+      throw;  // strict-sink fail-fast from a nested boundary
+    } catch (const std::exception& e) {
+      // Unexpected failure mid-ingest (an IT_CHECK tripping on pathological
+      // geometry, say): isolate the fault to this ISP.  Links of this ISP
+      // ingested before the throw remain — the residue is harmless map
+      // content, not corruption — but the ISP is counted dropped.
+      sink.report(Severity::Error, source, 0,
+                  std::string("ISP dropped: ingest failed: ") + e.what());
+      ++report.isps_dropped;
     }
   }
 }
@@ -94,25 +164,48 @@ void MapBuilder::step2_check_map(FiberMap& map, StepReport& report) const {
 
 void MapBuilder::step3_augment(FiberMap& map, const std::vector<PublishedMap>& published,
                                StepReport& report) const {
+  DiagnosticSink strict(ParsePolicy::Strict);
+  step3_augment(map, published, report, strict);
+}
+
+void MapBuilder::step3_augment(FiberMap& map, const std::vector<PublishedMap>& published,
+                               StepReport& report, DiagnosticSink& sink) const {
   for (const PublishedMap& pub : published) {
     if (pub.geocoded) continue;
-    for (const auto& link : pub.links) {
-      // Tentative alignment: shortest ROW path, discounted through
-      // corridors already known to hold conduit.
-      const auto path = row_.shortest_path(link.a, link.b, [&](const Corridor& c) {
-        const bool known = map.conduit_for_corridor(c.id).has_value();
-        return c.length_km * (known ? params_.known_conduit_discount : 1.0);
-      });
-      if (path.empty()) continue;
-      std::vector<ConduitId> conduit_ids;
-      for (CorridorId cid : path.corridors) {
-        const bool fresh = !map.conduit_for_corridor(cid).has_value();
-        const ConduitId conduit = map.ensure_conduit(row_.corridor(cid), Provenance::RowAlignment);
-        if (fresh) ++report.conduits_added;
-        conduit_ids.push_back(conduit);
+    const std::string source = step_source("step3", pub);
+    const auto keep = validate_published(pub, source, /*need_geometry=*/false, cities_.size(),
+                                         profiles_.size(), report, sink);
+    if (!keep.has_value()) continue;
+    try {
+      for (std::size_t i = 0; i < pub.links.size(); ++i) {
+        if (!(*keep)[i]) continue;
+        const auto& link = pub.links[i];
+        // Tentative alignment: shortest ROW path, discounted through
+        // corridors already known to hold conduit.  This reads the map as
+        // earlier links commit, so ingest stays strictly sequential —
+        // validation above is what keeps quarantining from perturbing it.
+        const auto path = row_.shortest_path(link.a, link.b, [&](const Corridor& c) {
+          const bool known = map.conduit_for_corridor(c.id).has_value();
+          return c.length_km * (known ? params_.known_conduit_discount : 1.0);
+        });
+        if (path.empty()) continue;
+        std::vector<ConduitId> conduit_ids;
+        for (CorridorId cid : path.corridors) {
+          const bool fresh = !map.conduit_for_corridor(cid).has_value();
+          const ConduitId conduit =
+              map.ensure_conduit(row_.corridor(cid), Provenance::RowAlignment);
+          if (fresh) ++report.conduits_added;
+          conduit_ids.push_back(conduit);
+        }
+        map.add_link(pub.isp, link.a, link.b, conduit_ids, /*geocoded=*/false);
+        ++report.links_added;
       }
-      map.add_link(pub.isp, link.a, link.b, conduit_ids, /*geocoded=*/false);
-      ++report.links_added;
+    } catch (const ParseError&) {
+      throw;  // strict-sink fail-fast from a nested boundary
+    } catch (const std::exception& e) {
+      sink.report(Severity::Error, source, 0,
+                  std::string("ISP dropped: ingest failed: ") + e.what());
+      ++report.isps_dropped;
     }
   }
 }
@@ -204,10 +297,16 @@ void MapBuilder::step4_validate(FiberMap& map, StepReport& report) const {
 }
 
 PipelineResult MapBuilder::build(const std::vector<PublishedMap>& published) {
+  DiagnosticSink strict(ParsePolicy::Strict);
+  return build(published, strict);
+}
+
+PipelineResult MapBuilder::build(const std::vector<PublishedMap>& published,
+                                 DiagnosticSink& sink) {
   PipelineResult result{FiberMap(profiles_.size()), {}, {}, {}, {}};
-  step1_initial_map(result.map, published, result.step1);
+  step1_initial_map(result.map, published, result.step1, sink);
   step2_check_map(result.map, result.step2);
-  step3_augment(result.map, published, result.step3);
+  step3_augment(result.map, published, result.step3, sink);
   step4_validate(result.map, result.step4);
   return result;
 }

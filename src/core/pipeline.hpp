@@ -50,6 +50,8 @@ struct StepReport {
   std::size_t tenants_inferred = 0;   ///< tenant entries added by records
   std::size_t links_rerouted = 0;     ///< step 4 corrections
   std::size_t snap_fallbacks = 0;     ///< geometry too noisy, used ROW shortest path
+  std::size_t isps_dropped = 0;       ///< whole published maps dropped (fault isolation)
+  std::size_t records_quarantined = 0;  ///< individual published links quarantined
 };
 
 struct PipelineResult {
@@ -74,15 +76,30 @@ class MapBuilder {
 
   /// Run all four steps over the published maps (order does not matter;
   /// geocoded maps are consumed by step 1, POP-only maps by step 3).
+  ///
+  /// The sink overload is fault-isolating: each published map is validated
+  /// before any of it is ingested, malformed links are quarantined with a
+  /// diagnostic (`records_quarantined`), and an ISP whose map is invalid
+  /// wholesale — or whose ingest throws — is dropped (`isps_dropped`)
+  /// instead of aborting the build.  Under a strict sink the first defect
+  /// still fails fast, naming its location.  The sink-less overload runs
+  /// with a strict sink.
   PipelineResult build(const std::vector<isp::PublishedMap>& published);
+  PipelineResult build(const std::vector<isp::PublishedMap>& published,
+                       DiagnosticSink& sink);
 
   /// Individual steps, exposed for tests and ablations.  Steps must be
-  /// applied in order to a fresh FiberMap.
+  /// applied in order to a fresh FiberMap.  The ingest steps (1 and 3)
+  /// take the diagnostics sink; sink-less overloads run strict.
   void step1_initial_map(FiberMap& map, const std::vector<isp::PublishedMap>& published,
                          StepReport& report) const;
+  void step1_initial_map(FiberMap& map, const std::vector<isp::PublishedMap>& published,
+                         StepReport& report, DiagnosticSink& sink) const;
   void step2_check_map(FiberMap& map, StepReport& report) const;
   void step3_augment(FiberMap& map, const std::vector<isp::PublishedMap>& published,
                      StepReport& report) const;
+  void step3_augment(FiberMap& map, const std::vector<isp::PublishedMap>& published,
+                     StepReport& report, DiagnosticSink& sink) const;
   void step4_validate(FiberMap& map, StepReport& report) const;
 
   /// Snap one published geometry onto a corridor path from a to b.

@@ -1,6 +1,11 @@
 #include "geo/geojson.hpp"
 
+#include <cctype>
+#include <cstdio>
+#include <optional>
 #include <sstream>
+
+#include "util/strings.hpp"
 
 namespace intertubes::geo {
 
@@ -99,6 +104,335 @@ std::string GeoJsonWriter::to_string() const {
   }
   out << "]}";
   return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+
+namespace {
+
+/// A JSON value tree.  Objects keep insertion order; `line` is where the
+/// value started in the input, for diagnostics.
+struct JsonValue {
+  enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool bool_v = false;
+  double num_v = 0.0;
+  std::string str_v;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+  std::size_t line = 1;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Recursive-descent JSON parser with line tracking.  Syntax errors report
+/// one Error diagnostic and abandon the parse (a JSON document with broken
+/// framing has no trustworthy remainder to salvage).
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, DiagnosticSink& sink, const std::string& source)
+      : text_(text), sink_(sink), source_(source) {}
+
+  bool parse_document(JsonValue& out) {
+    if (!parse_value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing content after JSON document");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& message) {
+    sink_.report(Severity::Error, source_, line_, message);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') ++line_;
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected, const char* what) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != expected) {
+      return fail(std::string("expected ") + what);
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    out.line = line_;
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': out.type = JsonValue::Type::String; return parse_string(out.str_v);
+      case 't': return parse_literal("true", out, true);
+      case 'f': return parse_literal("false", out, false);
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          out.type = JsonValue::Type::Null;
+          return true;
+        }
+        return fail("malformed literal");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_literal(std::string_view lit, JsonValue& out, bool value) {
+    if (text_.compare(pos_, lit.size(), lit) != 0) return fail("malformed literal");
+    pos_ += lit.size();
+    out.type = JsonValue::Type::Bool;
+    out.bool_v = value;
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    const auto parsed = parse_double(std::string_view(text_).substr(start, pos_ - start));
+    if (!parsed) return fail("malformed number");
+    out.type = JsonValue::Type::Number;
+    out.num_v = *parsed;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\n') return fail("unterminated string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("malformed \\u escape");
+          }
+          // ASCII round-trips (the writer only escapes control chars);
+          // anything wider degrades to '?' rather than failing the parse.
+          out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default: return fail("unknown escape sequence");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_array(JsonValue& out) {
+    ++pos_;  // '['
+    out.type = JsonValue::Type::Array;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!parse_value(element)) return false;
+      out.arr.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    ++pos_;  // '{'
+    out.type = JsonValue::Type::Object;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':', "':' after object key")) return false;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.obj.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  DiagnosticSink& sink_;
+  const std::string& source_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+/// Interpret one [lon, lat] coordinate pair; nullopt (no diagnostic — the
+/// caller owns the per-feature report) on shape or range violations.
+std::optional<GeoPoint> coordinate(const JsonValue& v) {
+  if (v.type != JsonValue::Type::Array || v.arr.size() != 2 ||
+      v.arr[0].type != JsonValue::Type::Number || v.arr[1].type != JsonValue::Type::Number) {
+    return std::nullopt;
+  }
+  const double lon = v.arr[0].num_v;
+  const double lat = v.arr[1].num_v;
+  if (lon < -180.0 || lon > 180.0 || lat < -90.0 || lat > 90.0) return std::nullopt;
+  return GeoPoint{lat, lon};
+}
+
+/// Interpret one feature object; false quarantines it (the caller reports).
+bool interpret_feature(const JsonValue& v, GeoFeature& out, std::string& why,
+                       DiagnosticSink& sink, const std::string& source) {
+  if (v.type != JsonValue::Type::Object) {
+    why = "feature is not an object";
+    return false;
+  }
+  const JsonValue* type = v.find("type");
+  if (!type || type->type != JsonValue::Type::String || type->str_v != "Feature") {
+    why = "feature has no \"type\": \"Feature\"";
+    return false;
+  }
+  const JsonValue* geometry = v.find("geometry");
+  if (!geometry || geometry->type != JsonValue::Type::Object) {
+    why = "feature has no geometry object";
+    return false;
+  }
+  const JsonValue* gtype = geometry->find("type");
+  const JsonValue* coords = geometry->find("coordinates");
+  if (!gtype || gtype->type != JsonValue::Type::String || !coords) {
+    why = "geometry lacks type or coordinates";
+    return false;
+  }
+  if (gtype->str_v == "Point") {
+    out.kind = GeoFeature::Kind::Point;
+    const auto p = coordinate(*coords);
+    if (!p) {
+      why = "malformed or out-of-range Point coordinates";
+      return false;
+    }
+    out.points.push_back(*p);
+  } else if (gtype->str_v == "LineString") {
+    out.kind = GeoFeature::Kind::LineString;
+    if (coords->type != JsonValue::Type::Array || coords->arr.size() < 2) {
+      why = "LineString needs >= 2 coordinate pairs";
+      return false;
+    }
+    for (const JsonValue& pair : coords->arr) {
+      const auto p = coordinate(pair);
+      if (!p) {
+        why = "malformed or out-of-range LineString coordinate";
+        return false;
+      }
+      out.points.push_back(*p);
+    }
+  } else {
+    why = "unsupported geometry type: " + gtype->str_v;
+    return false;
+  }
+  if (const JsonValue* properties = v.find("properties")) {
+    if (properties->type == JsonValue::Type::Object) {
+      for (const auto& [key, value] : properties->obj) {
+        if (value.type == JsonValue::Type::String) {
+          out.properties.push_back(GeoProperty::str(key, value.str_v));
+        } else if (value.type == JsonValue::Type::Number) {
+          out.properties.push_back(GeoProperty::num(key, value.num_v));
+        } else {
+          sink.report(Severity::Warning, source, value.line,
+                      "dropping property \"" + key + "\": unsupported value type");
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<GeoFeature> parse_geojson(const std::string& text, DiagnosticSink& sink,
+                                      const std::string& source) {
+  std::vector<GeoFeature> features;
+  JsonValue root;
+  if (!JsonParser(text, sink, source).parse_document(root)) return features;
+  if (root.type != JsonValue::Type::Object) {
+    sink.report(Severity::Error, source, root.line, "root is not a FeatureCollection object");
+    return features;
+  }
+  const JsonValue* type = root.find("type");
+  if (!type || type->type != JsonValue::Type::String || type->str_v != "FeatureCollection") {
+    sink.report(Severity::Error, source, root.line,
+                "root \"type\" is not \"FeatureCollection\"");
+    return features;
+  }
+  const JsonValue* list = root.find("features");
+  if (!list || list->type != JsonValue::Type::Array) {
+    sink.report(Severity::Error, source, root.line, "missing \"features\" array");
+    return features;
+  }
+  for (const JsonValue& entry : list->arr) {
+    GeoFeature feature;
+    std::string why;
+    if (interpret_feature(entry, feature, why, sink, source)) {
+      features.push_back(std::move(feature));
+    } else {
+      sink.report(Severity::Error, source, entry.line, "feature quarantined: " + why);
+    }
+  }
+  return features;
 }
 
 }  // namespace intertubes::geo

@@ -1,13 +1,16 @@
-// Minimal GeoJSON (RFC 7946) writer — enough to export maps of the
-// constructed infrastructure (Figure 1's conduit map, the transport
+// Minimal GeoJSON (RFC 7946) writer and reader — enough to export maps of
+// the constructed infrastructure (Figure 1's conduit map, the transport
 // layers of Figures 2–3, and the annotated traffic/delay maps the paper
-// lists as future work) for inspection in any GIS viewer.
+// lists as future work) for inspection in any GIS viewer, and to ingest
+// such files back (externally geocoded route geometry is exactly the kind
+// of noisy input §2's pipeline must survive).
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "geo/polyline.hpp"
+#include "util/diag.hpp"
 
 namespace intertubes::geo {
 
@@ -39,5 +42,26 @@ class GeoJsonWriter {
 
 /// JSON string escaping (quotes, backslashes, control characters).
 std::string json_escape(const std::string& s);
+
+/// One parsed GeoJSON feature.  Only the geometry types the writer emits
+/// (Point, LineString) are supported; properties keep string and number
+/// values.
+struct GeoFeature {
+  enum class Kind : std::uint8_t { Point, LineString };
+  Kind kind = Kind::Point;
+  /// Exactly one point for Point features, >= 2 for LineString.
+  std::vector<GeoPoint> points;
+  std::vector<GeoProperty> properties;
+};
+
+/// Parse a GeoJSON FeatureCollection, reporting defects into `sink` with
+/// the 1-based line number in the input text.  Document-level defects
+/// (malformed JSON, wrong root type) abandon the parse and return what
+/// was gathered so far; feature-level defects (unsupported geometry, bad
+/// or out-of-range coordinates, too few LineString points) quarantine
+/// that feature and keep the rest.  Property values that are neither
+/// string nor number are dropped with a Warning.
+std::vector<GeoFeature> parse_geojson(const std::string& text, DiagnosticSink& sink,
+                                      const std::string& source = "<geojson>");
 
 }  // namespace intertubes::geo

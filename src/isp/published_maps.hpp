@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "isp/ground_truth.hpp"
+#include "util/diag.hpp"
 
 namespace intertubes::isp {
 
@@ -49,5 +50,34 @@ PublishedMap render_published_map(const GroundTruth& truth,
 std::vector<PublishedMap> render_all_published_maps(const GroundTruth& truth,
                                                     const transport::RightOfWayRegistry& row,
                                                     const PublishParams& params = {});
+
+/// Serialize published maps as a TSV archive — the on-disk form of the
+/// artifacts the pipeline ingests.  One block per ISP:
+///   map  <tab> isp-name <tab> geocoded-flag
+///   link <tab> from <tab> to [<tab> lon,lat lon,lat ...]   (geometry on
+///                                                            geocoded maps)
+std::string serialize_published_maps(const std::vector<PublishedMap>& maps,
+                                     const transport::CityDatabase& cities);
+
+/// Parse a published-map archive, reporting defects into `sink` with input
+/// line numbers.  A malformed `map` header (unknown ISP, bad flag)
+/// quarantines the whole block — its links are skipped without further
+/// diagnostics; a malformed `link` line (unknown city, bad geometry)
+/// quarantines just that link.  Node lists are rebuilt from the surviving
+/// links' endpoints.
+std::vector<PublishedMap> parse_published_maps(const std::string& text,
+                                               const transport::CityDatabase& cities,
+                                               const std::vector<IspProfile>& profiles,
+                                               DiagnosticSink& sink,
+                                               const std::string& source = "<published-maps>");
+
+/// File wrappers.  Open failures throw std::runtime_error with the OS
+/// errno context.
+void save_published_maps(const std::string& path, const std::vector<PublishedMap>& maps,
+                         const transport::CityDatabase& cities);
+std::vector<PublishedMap> load_published_maps(const std::string& path,
+                                              const transport::CityDatabase& cities,
+                                              const std::vector<IspProfile>& profiles,
+                                              DiagnosticSink& sink);
 
 }  // namespace intertubes::isp

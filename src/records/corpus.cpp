@@ -5,6 +5,7 @@
 
 #include "util/check.hpp"
 #include "util/strings.hpp"
+#include "util/table.hpp"
 
 namespace intertubes::records {
 
@@ -204,6 +205,120 @@ Corpus generate_corpus(const CityDatabase& cities, const transport::RightOfWayRe
   }
 
   return corpus;
+}
+
+namespace {
+
+std::string escape_field(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> unescape_field(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (++i >= s.size()) return std::nullopt;
+    switch (s[i]) {
+      case '\\': out.push_back('\\'); break;
+      case 't': out.push_back('\t'); break;
+      case 'n': out.push_back('\n'); break;
+      default: return std::nullopt;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string serialize_corpus(const Corpus& corpus) {
+  std::string out = "# InterTubes public-records corpus\n";
+  out += "#docs\tid\ttype\tcorridor\ttitle\ttext\n";
+  for (std::size_t i = 0; i < corpus.documents.size(); ++i) {
+    const Document& doc = corpus.documents[i];
+    const CorridorId corridor =
+        i < corpus.truth_corridor.size() ? corpus.truth_corridor[i] : transport::kNoCorridor;
+    out += "doc\t" + std::to_string(doc.id) + "\t" + std::string(doc_type_name(doc.type)) + "\t" +
+           (corridor == transport::kNoCorridor ? std::string("-") : std::to_string(corridor)) +
+           "\t" + escape_field(doc.title) + "\t" + escape_field(doc.text) + "\n";
+  }
+  return out;
+}
+
+Corpus parse_corpus(const std::string& text, DiagnosticSink& sink, const std::string& source) {
+  Corpus corpus;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    std::string line = text.substr(start, end == std::string::npos ? std::string::npos
+                                                                   : end - start);
+    start = end == std::string::npos ? text.size() + 1 : end + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const auto fail = [&](const std::string& message) {
+      sink.report(Severity::Error, source, line_no, message);
+    };
+    const auto fields = split_fields(line, '\t');
+    if (fields[0] != "doc") {
+      fail("unknown corpus record type: " + fields[0]);
+      continue;
+    }
+    if (fields.size() != 6) {
+      fail("malformed doc line: expected 6 fields, got " + std::to_string(fields.size()));
+      continue;
+    }
+    const auto type = doc_type_from_name(fields[2]);
+    if (!type) {
+      fail("unknown document type: " + fields[2]);
+      continue;
+    }
+    CorridorId corridor = transport::kNoCorridor;
+    if (fields[3] != "-") {
+      const auto parsed = parse_uint(fields[3]);
+      if (!parsed) {
+        fail("malformed truth corridor id: " + fields[3]);
+        continue;
+      }
+      corridor = static_cast<CorridorId>(*parsed);
+    }
+    const auto title = unescape_field(fields[4]);
+    const auto body = unescape_field(fields[5]);
+    if (!title || !body || title->empty() || body->empty()) {
+      fail("malformed or empty document title/text");
+      continue;
+    }
+    Document doc;
+    doc.id = static_cast<DocId>(corpus.documents.size());  // dense re-id after quarantining
+    doc.type = *type;
+    doc.title = *title;
+    doc.text = *body;
+    corpus.documents.push_back(std::move(doc));
+    corpus.truth_corridor.push_back(corridor);
+  }
+  return corpus;
+}
+
+void save_corpus(const std::string& path, const Corpus& corpus) {
+  write_file(path, serialize_corpus(corpus));
+}
+
+Corpus load_corpus(const std::string& path, DiagnosticSink& sink) {
+  return parse_corpus(read_file(path), sink, path);
 }
 
 }  // namespace intertubes::records

@@ -15,6 +15,7 @@
 #include "records/document.hpp"
 #include "transport/cities.hpp"
 #include "transport/row.hpp"
+#include "util/diag.hpp"
 
 namespace intertubes::records {
 
@@ -57,5 +58,24 @@ struct Corpus {
 Corpus generate_corpus(const transport::CityDatabase& cities,
                        const transport::RightOfWayRegistry& row, const isp::GroundTruth& truth,
                        const CorpusParams& params = {});
+
+/// Serialize the corpus as a TSV document archive:
+///   doc <tab> id <tab> type-name <tab> truth-corridor-or-"-" <tab> title
+///       <tab> text
+/// Title and text have backslash, tab and newline escaped, so one document
+/// is always one line.
+std::string serialize_corpus(const Corpus& corpus);
+
+/// Parse a corpus archive, reporting malformed documents into `sink` with
+/// their input line number; under the lenient policy they are quarantined
+/// and the rest survive.  Document ids are reassigned to be dense (the
+/// Corpus invariant id == index must hold after quarantining).
+Corpus parse_corpus(const std::string& text, DiagnosticSink& sink,
+                    const std::string& source = "<corpus>");
+
+/// File wrappers.  Open failures throw std::runtime_error with the OS
+/// errno context.
+void save_corpus(const std::string& path, const Corpus& corpus);
+Corpus load_corpus(const std::string& path, DiagnosticSink& sink);
 
 }  // namespace intertubes::records

@@ -16,4 +16,12 @@ std::string_view doc_type_name(DocType t) noexcept {
   return "?";
 }
 
+std::optional<DocType> doc_type_from_name(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kNumDocTypes; ++i) {
+    const auto t = static_cast<DocType>(i);
+    if (doc_type_name(t) == name) return t;
+  }
+  return std::nullopt;
+}
+
 }  // namespace intertubes::records

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -32,6 +33,10 @@ enum class DocType : std::uint8_t {
 inline constexpr std::size_t kNumDocTypes = 8;
 
 std::string_view doc_type_name(DocType t) noexcept;
+
+/// Inverse of doc_type_name; nullopt for unknown names (the corpus parser
+/// quarantines such documents rather than guessing).
+std::optional<DocType> doc_type_from_name(std::string_view name) noexcept;
 
 struct Document {
   DocId id = 0;

@@ -6,6 +6,8 @@
 #include <unordered_map>
 
 #include "util/check.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
 
 namespace intertubes::traceroute {
 
@@ -107,6 +109,157 @@ Campaign run_campaign(const L3Topology& topo, const transport::CityDatabase& cit
     campaign.flows.push_back(std::move(flow));
   }
   return campaign;
+}
+
+std::string serialize_campaign(const Campaign& campaign, const transport::CityDatabase& cities) {
+  std::string out;
+  out += "# InterTubes traceroute-campaign archive\n";
+  out += "# campaign\ttotal-probes\tunroutable-probes\n";
+  out += "# flow\tsrc\tdst\tcount\thops\tcorridors\n";
+  out += "campaign\t" + std::to_string(campaign.total_probes) + "\t" +
+         std::to_string(campaign.unroutable_probes) + "\n";
+  for (const TraceFlow& flow : campaign.flows) {
+    out += "flow\t" + cities.city(flow.src).display_name() + "\t" +
+           cities.city(flow.dst).display_name() + "\t" + std::to_string(flow.count) + "\t";
+    for (std::size_t h = 0; h < flow.hops.size(); ++h) {
+      const ObservedHop& hop = flow.hops[h];
+      if (h > 0) out.push_back(';');
+      out += cities.city(hop.city).display_name() + "|" + hop.dns_name + "|" +
+             (hop.isp == isp::kNoIsp ? std::string("-") : std::to_string(hop.isp));
+    }
+    out.push_back('\t');
+    if (flow.true_corridors.empty()) {
+      out.push_back('-');
+    } else {
+      for (std::size_t i = 0; i < flow.true_corridors.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += std::to_string(flow.true_corridors[i]);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Campaign parse_campaign(const std::string& text, const transport::CityDatabase& cities,
+                        DiagnosticSink& sink, const std::string& source) {
+  Campaign campaign;
+  bool have_header = false;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto nl = text.find('\n', pos);
+    std::string_view line(text.data() + pos,
+                          (nl == std::string::npos ? text.size() : nl) - pos);
+    pos = (nl == std::string::npos) ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+
+    const std::vector<std::string> fields = split_fields(line, '\t');
+    const auto fail = [&](const std::string& msg) {
+      sink.report(Severity::Error, source, line_no, msg);
+    };
+
+    if (fields[0] == "campaign") {
+      const auto total = fields.size() == 3 ? parse_uint(fields[1]) : std::nullopt;
+      const auto unroutable = fields.size() == 3 ? parse_uint(fields[2]) : std::nullopt;
+      if (!total || !unroutable) {
+        fail("campaign header: expected `campaign\\t<total>\\t<unroutable>`");
+        continue;
+      }
+      campaign.total_probes = *total;
+      campaign.unroutable_probes = *unroutable;
+      have_header = true;
+    } else if (fields[0] == "flow") {
+      if (fields.size() != 6) {
+        fail("flow: expected 6 fields, got " + std::to_string(fields.size()));
+        continue;
+      }
+      TraceFlow flow;
+      const auto src = cities.find(fields[1]);
+      const auto dst = cities.find(fields[2]);
+      if (!src || !dst) {
+        fail("flow: unknown city \"" + (src ? fields[2] : fields[1]) + "\"");
+        continue;
+      }
+      flow.src = *src;
+      flow.dst = *dst;
+      const auto count = parse_uint(fields[3]);
+      if (!count || *count == 0) {
+        fail("flow: probe count must be a positive integer, got \"" + fields[3] + "\"");
+        continue;
+      }
+      flow.count = *count;
+      bool hops_ok = true;
+      for (const std::string& triple : split_fields(fields[4], ';')) {
+        const std::vector<std::string> parts = split_fields(triple, '|');
+        if (parts.size() != 3) {
+          fail("flow: hop must be `city|dns-name|isp`, got \"" + triple + "\"");
+          hops_ok = false;
+          break;
+        }
+        ObservedHop hop;
+        const auto city = cities.find(parts[0]);
+        if (!city) {
+          fail("flow: unknown hop city \"" + parts[0] + "\"");
+          hops_ok = false;
+          break;
+        }
+        hop.city = *city;
+        hop.dns_name = parts[1];
+        if (parts[2] != "-") {
+          const auto isp_id = parse_uint(parts[2]);
+          if (!isp_id || *isp_id >= isp::kNoIsp) {
+            fail("flow: malformed hop ISP id \"" + parts[2] + "\"");
+            hops_ok = false;
+            break;
+          }
+          hop.isp = static_cast<isp::IspId>(*isp_id);
+        }
+        flow.hops.push_back(std::move(hop));
+      }
+      if (!hops_ok) continue;
+      if (flow.hops.size() < 2) {
+        fail("flow: need at least 2 observed hops, got " + std::to_string(flow.hops.size()));
+        continue;
+      }
+      if (fields[5] != "-") {
+        bool corridors_ok = true;
+        for (const std::string& cid : split_fields(fields[5], ',')) {
+          const auto parsed = parse_uint(cid);
+          if (!parsed) {
+            fail("flow: malformed corridor id \"" + cid + "\"");
+            corridors_ok = false;
+            break;
+          }
+          flow.true_corridors.push_back(static_cast<transport::CorridorId>(*parsed));
+        }
+        if (!corridors_ok) continue;
+      }
+      campaign.flows.push_back(std::move(flow));
+    } else {
+      fail("unknown record type \"" + fields[0] + "\"");
+    }
+  }
+  if (!have_header) {
+    sink.report(Severity::Error, source, line_no,
+                "missing campaign header; totals fall back to surviving flow counts");
+    campaign.total_probes = 0;
+    for (const TraceFlow& flow : campaign.flows) campaign.total_probes += flow.count;
+    campaign.unroutable_probes = 0;
+  }
+  return campaign;
+}
+
+void save_campaign(const std::string& path, const Campaign& campaign,
+                   const transport::CityDatabase& cities) {
+  write_file(path, serialize_campaign(campaign, cities));
+}
+
+Campaign load_campaign(const std::string& path, const transport::CityDatabase& cities,
+                       DiagnosticSink& sink) {
+  return parse_campaign(read_file(path), cities, sink, path);
 }
 
 }  // namespace intertubes::traceroute

@@ -12,6 +12,7 @@
 
 #include "traceroute/l3_topology.hpp"
 #include "traceroute/naming.hpp"
+#include "util/diag.hpp"
 #include "util/rng.hpp"
 
 namespace intertubes::traceroute {
@@ -65,5 +66,27 @@ Campaign run_campaign(const L3Topology& topo, const transport::CityDatabase& cit
 Campaign run_campaign(const L3Topology& topo, const transport::CityDatabase& cities,
                       const std::vector<isp::IspProfile>& profiles,
                       const CampaignParams& params);
+
+/// Serialize a campaign as TSV:
+///   campaign <tab> total-probes <tab> unroutable-probes
+///   flow <tab> src <tab> dst <tab> count <tab> hops <tab> corridors
+/// where hops is `;`-separated `city|dns-name|isp-id-or-"-"` triples and
+/// corridors is a comma-separated corridor-id list (or "-" when empty).
+std::string serialize_campaign(const Campaign& campaign, const transport::CityDatabase& cities);
+
+/// Parse a campaign archive, reporting malformed flows into `sink` with
+/// their input line number; under the lenient policy the bad flow is
+/// quarantined and the rest survive.  A missing or malformed `campaign`
+/// header is an Error; totals then fall back to the sum of the surviving
+/// flow counts.
+Campaign parse_campaign(const std::string& text, const transport::CityDatabase& cities,
+                        DiagnosticSink& sink, const std::string& source = "<campaign>");
+
+/// File wrappers.  Open failures throw std::runtime_error with the OS
+/// errno context.
+void save_campaign(const std::string& path, const Campaign& campaign,
+                   const transport::CityDatabase& cities);
+Campaign load_campaign(const std::string& path, const transport::CityDatabase& cities,
+                       DiagnosticSink& sink);
 
 }  // namespace intertubes::traceroute

@@ -4,6 +4,13 @@
 // std::logic_error on violation.  Checks are always on (they guard public
 // API boundaries, not hot inner loops), so behaviour does not differ
 // between build types.
+//
+// IT_CHECK is for *programmer bugs* — violated invariants and misuse of
+// the API.  Malformed external *data* is not a logic error: parse
+// boundaries report it through util/diag.hpp's DiagnosticSink, which
+// throws intertubes::ParseError (a std::runtime_error) under the strict
+// policy, so callers can tell bad input from broken code by exception
+// type.
 #pragma once
 
 #include <stdexcept>

@@ -1,0 +1,128 @@
+#include "util/diag.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace intertubes {
+
+std::string_view severity_name(Severity s) noexcept {
+  switch (s) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::location() const {
+  if (line == 0) return source;
+  return source + ":" + std::to_string(line);
+}
+
+std::string Diagnostic::to_string() const {
+  return std::string(severity_name(severity)) + ": " + location() + ": " + message;
+}
+
+void DiagnosticSink::report(Diagnostic d) {
+  std::unique_lock lock(mutex_);
+  diagnostics_.push_back(d);
+  if (d.severity == Severity::Warning) ++warnings_;
+  if (d.severity != Severity::Error) return;
+  ++errors_;
+  if (policy_ == ParsePolicy::Strict) {
+    lock.unlock();
+    // "location: message" — no severity prefix; what() is typically shown
+    // behind an "error:" already.
+    throw ParseError(d.location() + ": " + d.message);
+  }
+  if (errors_ > error_budget_) {
+    const std::size_t count = errors_;
+    lock.unlock();
+    throw ParseError("error budget exceeded (" + std::to_string(count) + " > " +
+                     std::to_string(error_budget_) + " errors); last: " + d.location() + ": " +
+                     d.message);
+  }
+}
+
+void DiagnosticSink::report(Severity severity, std::string source, std::size_t line,
+                            std::string message) {
+  report(Diagnostic{severity, std::move(source), line, std::move(message)});
+}
+
+std::size_t DiagnosticSink::error_count() const {
+  std::lock_guard lock(mutex_);
+  return errors_;
+}
+
+std::size_t DiagnosticSink::warning_count() const {
+  std::lock_guard lock(mutex_);
+  return warnings_;
+}
+
+std::size_t DiagnosticSink::total() const {
+  std::lock_guard lock(mutex_);
+  return diagnostics_.size();
+}
+
+std::vector<Diagnostic> DiagnosticSink::diagnostics() const {
+  std::lock_guard lock(mutex_);
+  return diagnostics_;
+}
+
+TextTable DiagnosticSink::summary_table() const {
+  struct PerSource {
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    std::string first_error;
+  };
+  // std::map: deterministic source order in the rendered table.
+  std::map<std::string, PerSource> by_source;
+  for (const Diagnostic& d : diagnostics()) {
+    auto& s = by_source[d.source];
+    if (d.severity == Severity::Error) {
+      if (s.errors == 0) s.first_error = d.location();
+      ++s.errors;
+    } else if (d.severity == Severity::Warning) {
+      ++s.warnings;
+    }
+  }
+  TextTable table({"source", "errors", "warnings", "first error"});
+  for (const auto& [source, s] : by_source) {
+    table.start_row();
+    table.add_cell(source);
+    table.add_cell(s.errors);
+    table.add_cell(s.warnings);
+    table.add_cell(s.first_error.empty() ? "-" : s.first_error);
+  }
+  return table;
+}
+
+TextTable DiagnosticSink::detail_table(std::size_t max_rows) const {
+  auto all = diagnostics();
+  // Most severe first; within a severity, input order (stable sort).
+  std::stable_sort(all.begin(), all.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    return static_cast<int>(a.severity) > static_cast<int>(b.severity);
+  });
+  TextTable table({"severity", "location", "message"});
+  for (std::size_t i = 0; i < all.size() && i < max_rows; ++i) {
+    table.start_row();
+    table.add_cell(std::string(severity_name(all[i].severity)));
+    table.add_cell(all[i].location());
+    table.add_cell(all[i].message);
+  }
+  return table;
+}
+
+std::string DiagnosticSink::render(std::size_t max_detail_rows) const {
+  const std::size_t n = total();
+  if (n == 0) return {};
+  std::string out = summary_table().render("ingest diagnostics");
+  out += "\n";
+  out += detail_table(max_detail_rows).render();
+  if (n > max_detail_rows) {
+    out += "(" + std::to_string(n - max_detail_rows) + " further diagnostics omitted)\n";
+  }
+  return out;
+}
+
+}  // namespace intertubes

@@ -1,0 +1,112 @@
+// Structured diagnostics for ingest boundaries.
+//
+// The paper's inputs are messy by nature — noisy geocoded maps,
+// heterogeneous public records, millions of traceroutes — so every parse
+// boundary in the library reports malformed records into a DiagnosticSink
+// instead of aborting the run.  Two policies:
+//
+//   * Lenient (default): malformed records are quarantined — recorded with
+//     severity, source and input line number — and parsing continues with
+//     the well-formed remainder.  A configurable error budget bounds how
+//     much damage is tolerated before the input is declared hopeless.
+//   * Strict: the first error-severity diagnostic throws ParseError with
+//     full location context ("source:line: message").
+//
+// ParseError derives from std::runtime_error: bad *input* is an expected
+// runtime condition, distinct from the std::logic_error that IT_CHECK
+// (util/check.hpp) reserves for programmer bugs.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace intertubes {
+
+/// Malformed input data.  Thrown by DiagnosticSink in strict mode (first
+/// error) and in lenient mode once the error budget is exhausted.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class Severity : std::uint8_t { Info, Warning, Error };
+
+std::string_view severity_name(Severity s) noexcept;
+
+/// One finding at an ingest boundary.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  /// Where the input came from: a path, or a logical name like
+  /// "published:Sprint" for in-memory artifacts.
+  std::string source;
+  /// 1-based line (or record) number within the input; 0 = whole input.
+  std::size_t line = 0;
+  std::string message;
+
+  /// "source:line" (or just "source" when line is 0).
+  std::string location() const;
+  /// "error: source:line: message"
+  std::string to_string() const;
+};
+
+enum class ParsePolicy : std::uint8_t {
+  Strict,   ///< fail fast on the first malformed record
+  Lenient,  ///< quarantine malformed records, keep the rest
+};
+
+/// Thread-safe collector of ingest diagnostics.  Parsers report every
+/// finding here; the policy decides whether an error stops the world or is
+/// quarantined.  Shared freely between the parse boundaries of one run so
+/// the final summary covers all inputs.
+class DiagnosticSink {
+ public:
+  static constexpr std::size_t kDefaultErrorBudget = 1000;
+
+  explicit DiagnosticSink(ParsePolicy policy = ParsePolicy::Lenient,
+                          std::size_t error_budget = kDefaultErrorBudget)
+      : policy_(policy), error_budget_(error_budget) {}
+
+  ParsePolicy policy() const noexcept { return policy_; }
+  std::size_t error_budget() const noexcept { return error_budget_; }
+  bool strict() const noexcept { return policy_ == ParsePolicy::Strict; }
+
+  /// Record a diagnostic.  Error severity throws ParseError immediately in
+  /// strict mode; in lenient mode the error is recorded, and exceeding the
+  /// error budget throws regardless of policy.  The diagnostic is recorded
+  /// *before* any throw, so the sink always holds the full history.
+  void report(Diagnostic d);
+  void report(Severity severity, std::string source, std::size_t line, std::string message);
+
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  std::size_t total() const;
+  /// True when no error-severity diagnostics were recorded.
+  bool ok() const { return error_count() == 0; }
+
+  /// Snapshot of all recorded diagnostics (copied under the lock).
+  std::vector<Diagnostic> diagnostics() const;
+
+  /// Per-source rollup: errors / warnings / first error location.
+  TextTable summary_table() const;
+  /// The individual diagnostics, most severe first, capped at max_rows.
+  TextTable detail_table(std::size_t max_rows = 25) const;
+  /// Render summary + detail tables; empty string when nothing was
+  /// reported.
+  std::string render(std::size_t max_detail_rows = 25) const;
+
+ private:
+  ParsePolicy policy_;
+  std::size_t error_budget_;
+  mutable std::mutex mutex_;
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t errors_ = 0;
+  std::size_t warnings_ = 0;
+};
+
+}  // namespace intertubes

@@ -1,6 +1,8 @@
 #include "util/strings.hpp"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
 
 namespace intertubes {
 
@@ -22,6 +24,37 @@ std::vector<std::string> split(std::string_view s, std::string_view delims) {
     start = end + 1;
   }
   return out;
+}
+
+std::vector<std::string> split_fields(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t end = s.find(delim, start);
+    if (end == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+std::optional<std::uint64_t> parse_uint(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;
+  return value;
 }
 
 std::string join(const std::vector<std::string>& parts, std::string_view sep) {

@@ -2,6 +2,8 @@
 // rendering.  All functions are pure and allocation-straightforward.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -13,6 +15,19 @@ std::string to_lower(std::string_view s);
 
 /// Split on any character in `delims`, dropping empty pieces.
 std::vector<std::string> split(std::string_view s, std::string_view delims = " \t\r\n");
+
+/// Split on a single delimiter, keeping empty pieces — TSV field
+/// splitting, where an empty field is positional information.
+std::vector<std::string> split_fields(std::string_view s, char delim = '\t');
+
+/// Whole-string unsigned integer parse; nullopt on any malformation
+/// (sign, trailing junk, overflow).  The safe front door for untrusted
+/// numeric fields — unlike std::stoul, it never throws.
+std::optional<std::uint64_t> parse_uint(std::string_view s);
+
+/// Whole-string double parse; nullopt on malformation or non-finite
+/// input.
+std::optional<double> parse_double(std::string_view s);
 
 /// Join with a separator.
 std::string join(const std::vector<std::string>& parts, std::string_view sep);

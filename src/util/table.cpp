@@ -1,5 +1,7 @@
 #include "util/table.hpp"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -98,11 +100,29 @@ std::string format_double(double value, int precision) {
   return out.str();
 }
 
+namespace {
+
+std::string errno_suffix() {
+  return errno != 0 ? std::string(": ") + std::strerror(errno) : std::string();
+}
+
+}  // namespace
+
 void write_file(const std::string& path, const std::string& content) {
+  errno = 0;
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path + errno_suffix());
   out << content;
-  if (!out) throw std::runtime_error("write failed: " + path);
+  if (!out) throw std::runtime_error("write failed: " + path + errno_suffix());
+}
+
+std::string read_file(const std::string& path) {
+  errno = 0;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open: " + path + errno_suffix());
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) throw std::runtime_error("read failed: " + path + errno_suffix());
+  return text;
 }
 
 }  // namespace intertubes

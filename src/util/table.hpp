@@ -42,7 +42,13 @@ class TextTable {
 /// Format a double with fixed precision.
 std::string format_double(double value, int precision);
 
-/// Write a string to a file, throwing std::runtime_error on failure.
+/// Write a string to a file, throwing std::runtime_error (with the OS
+/// errno context) on failure.
 void write_file(const std::string& path, const std::string& content);
+
+/// Read a whole file, throwing std::runtime_error (with the OS errno
+/// context) on failure.  Every file-ingest boundary goes through this so
+/// "cannot open" errors always say *why*.
+std::string read_file(const std::string& path);
 
 }  // namespace intertubes

@@ -102,30 +102,64 @@ TEST(DatasetIo, LoadMissingFileThrows) {
 }
 
 TEST(DatasetIo, RejectsUnknownCity) {
+  // Bad *input* is a ParseError (runtime_error), never the logic_error
+  // IT_CHECK reserves for programmer bugs.
   const std::string bad =
       "conduit\t0\tAtlantis, XX\tNew York, NY\troad\t100.0\t1\tSprint\n";
-  EXPECT_THROW(parse_dataset(bad, Scenario::cities(), scenario().row(), profiles()),
-               std::logic_error);
+  EXPECT_THROW(parse_dataset(bad, Scenario::cities(), scenario().row(), profiles()), ParseError);
 }
 
 TEST(DatasetIo, RejectsUnknownIsp) {
   const std::string bad =
       "conduit\t0\tDenver, CO\tCheyenne, WY\troad\t100.0\t1\tNoSuchISP\n";
-  EXPECT_THROW(parse_dataset(bad, Scenario::cities(), scenario().row(), profiles()),
-               std::logic_error);
+  EXPECT_THROW(parse_dataset(bad, Scenario::cities(), scenario().row(), profiles()), ParseError);
 }
 
 TEST(DatasetIo, RejectsMalformedRecords) {
   EXPECT_THROW(parse_dataset("conduit\tonly\tthree\n", Scenario::cities(), scenario().row(),
                              profiles()),
-               std::logic_error);
+               ParseError);
   EXPECT_THROW(parse_dataset("mystery\trecord\n", Scenario::cities(), scenario().row(),
                              profiles()),
-               std::logic_error);
+               ParseError);
   EXPECT_THROW(
       parse_dataset("link\tSprint\tDenver, CO\tCheyenne, WY\t1\t999\n", Scenario::cities(),
                     scenario().row(), profiles()),
-      std::logic_error);
+      ParseError);
+}
+
+TEST(DatasetIo, StrictErrorNamesLocation) {
+  const std::string bad =
+      "# header comment\n"
+      "conduit\t0\tAtlantis, XX\tNew York, NY\troad\t100.0\t1\tSprint\n";
+  try {
+    DiagnosticSink strict(ParsePolicy::Strict);
+    parse_dataset(bad, Scenario::cities(), scenario().row(), profiles(), strict, "bad.tsv");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_TRUE(contains(e.what(), "bad.tsv:2")) << e.what();
+    EXPECT_TRUE(contains(e.what(), "Atlantis")) << e.what();
+  }
+}
+
+TEST(DatasetIo, LenientQuarantinesAndKeepsRest) {
+  const std::string text =
+      "conduit\t0\tDenver, CO\tCheyenne, WY\troad\t160.0\t1\tSprint\n"
+      "conduit\t1\tAtlantis, XX\tCasper, WY\trail\t240.0\t0\tSprint\n"
+      "link\tSprint\tDenver, CO\tCheyenne, WY\t0\t0\n"
+      "link\tSprint\tDenver, CO\tCasper, WY\t0\t0,1\n";  // references quarantined conduit 1
+  DiagnosticSink sink(ParsePolicy::Lenient);
+  const auto map = parse_dataset(text, Scenario::cities(), scenario().row(), profiles(), sink,
+                                 "mixed.tsv");
+  // The bad conduit and the link that cascades off it are quarantined; the
+  // self-contained records survive.
+  EXPECT_EQ(map.conduits().size(), 1u);
+  EXPECT_EQ(map.links().size(), 1u);
+  EXPECT_EQ(sink.error_count(), 2u);
+  const auto diags = sink.diagnostics();
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].line, 2u);
+  EXPECT_EQ(diags[1].line, 4u);
 }
 
 TEST(DatasetIo, CommentsAndBlankLinesIgnored) {

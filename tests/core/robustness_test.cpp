@@ -1,0 +1,470 @@
+// Fuzz-style corruption tests for every lenient parse boundary, plus
+// per-ISP fault isolation in the mapping pipeline.  Run standalone with
+// `ctest -L robustness`.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/dataset_io.hpp"
+#include "core/pipeline.hpp"
+#include "geo/geojson.hpp"
+#include "isp/published_maps.hpp"
+#include "records/corpus.hpp"
+#include "risk/risk_matrix.hpp"
+#include "test_support.hpp"
+#include "traceroute/campaign.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace intertubes::core {
+namespace {
+
+const Scenario& scenario() { return testing::shared_scenario(); }
+const std::vector<isp::IspProfile>& profiles() { return scenario().truth().profiles(); }
+
+std::string dataset_text() {
+  static const std::string text =
+      serialize_dataset(scenario().map(), Scenario::cities(), scenario().row(), profiles());
+  return text;
+}
+
+/// Lines of `text`, without trailing newline handling subtleties.
+std::vector<std::string> lines_of(const std::string& text) { return split_fields(text, '\n'); }
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Injected-defect tests: the acceptance scenario.  >= 3 malformed records,
+// lenient completes and reports exactly the injected defects with their
+// input line numbers; the map is the clean map minus the quarantined
+// records; strict fails fast naming the first defect's location.
+// ---------------------------------------------------------------------------
+
+struct CorruptedDataset {
+  std::string text;
+  std::vector<std::size_t> bad_lines;  // 1-based, ascending
+  std::size_t links_corrupted = 0;
+};
+
+CorruptedDataset corrupt_three_links() {
+  auto lines = lines_of(dataset_text());
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  CorruptedDataset out;
+  for (std::size_t i = 0; i < lines.size() && out.bad_lines.size() < 3; ++i) {
+    if (!starts_with(lines[i], "link\t")) continue;
+    auto fields = split_fields(lines[i], '\t');
+    switch (out.bad_lines.size()) {
+      case 0: fields[1] = "NoSuchISP"; break;         // unknown ISP
+      case 1: fields[2] = "Atlantis, XX"; break;      // unknown city
+      case 2: fields.resize(3); break;                // dropped fields
+    }
+    lines[i] = join(fields, "\t");
+    out.bad_lines.push_back(i + 1);
+    ++out.links_corrupted;
+  }
+  out.text = join_lines(lines);
+  return out;
+}
+
+TEST(Robustness, LenientBuildsCleanMapMinusInjectedDefects) {
+  const CorruptedDataset corrupted = corrupt_three_links();
+  ASSERT_EQ(corrupted.bad_lines.size(), 3u);
+
+  DiagnosticSink sink(ParsePolicy::Lenient);
+  const auto map = parse_dataset(corrupted.text, Scenario::cities(), scenario().row(),
+                                 profiles(), sink, "corrupted.tsv");
+
+  // Exactly the injected defects, each with its input line number.
+  ASSERT_EQ(sink.error_count(), 3u);
+  const auto diags = sink.diagnostics();
+  ASSERT_EQ(diags.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(diags[i].line, corrupted.bad_lines[i]);
+    EXPECT_EQ(diags[i].source, "corrupted.tsv");
+  }
+  // The rendered table names the locations.
+  const std::string rendered = sink.render();
+  for (std::size_t bad : corrupted.bad_lines) {
+    EXPECT_TRUE(contains(rendered, "corrupted.tsv:" + std::to_string(bad))) << rendered;
+  }
+
+  // Same map as clean minus the quarantined records: conduits untouched,
+  // exactly the corrupted links missing.
+  const auto& clean = scenario().map();
+  EXPECT_EQ(map.conduits().size(), clean.conduits().size());
+  EXPECT_EQ(map.links().size(), clean.links().size() - corrupted.links_corrupted);
+}
+
+TEST(Robustness, StrictFailsFastNamingFirstDefect) {
+  const CorruptedDataset corrupted = corrupt_three_links();
+  DiagnosticSink sink(ParsePolicy::Strict);
+  try {
+    parse_dataset(corrupted.text, Scenario::cities(), scenario().row(), profiles(), sink,
+                  "corrupted.tsv");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_TRUE(
+        contains(e.what(), "corrupted.tsv:" + std::to_string(corrupted.bad_lines.front())))
+        << e.what();
+  }
+  // Fail-fast: only the first defect was recorded.
+  EXPECT_EQ(sink.error_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz: random byte flips, deletions and truncations must never escape the
+// lenient boundary as an exception.
+// ---------------------------------------------------------------------------
+
+TEST(Robustness, FuzzedDatasetNeverThrowsUnderLenient) {
+  // A prefix keeps each trial fast while still crossing the nodes and
+  // conduits sections.
+  std::string base = dataset_text();
+  if (base.size() > 20000) {
+    const auto cut = base.rfind('\n', 20000);
+    base.resize(cut == std::string::npos ? 20000 : cut + 1);
+  }
+  Rng rng(0x0b5e55ULL);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string text = base;
+    const int mutations = 1 + static_cast<int>(rng.next_below(3));
+    for (int m = 0; m < mutations; ++m) {
+      if (text.empty()) break;
+      switch (rng.next_below(4)) {
+        case 0:  // flip a byte
+          text[rng.next_below(text.size())] = static_cast<char>(rng.next_below(256));
+          break;
+        case 1:  // delete a byte
+          text.erase(rng.next_below(text.size()), 1);
+          break;
+        case 2:  // truncate
+          text.resize(rng.next_below(text.size()));
+          break;
+        case 3:  // tab -> space (field structure damage)
+          if (const auto pos = text.find('\t', rng.next_below(text.size()));
+              pos != std::string::npos) {
+            text[pos] = ' ';
+          }
+          break;
+      }
+    }
+    DiagnosticSink sink(ParsePolicy::Lenient, /*error_budget=*/1u << 20);
+    try {
+      const auto map =
+          parse_dataset(text, Scenario::cities(), scenario().row(), profiles(), sink, "fuzz");
+      // Whatever survived must be structurally sound.
+      for (const auto& link : map.links()) EXPECT_FALSE(link.conduits.empty());
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "trial " << trial << " threw under lenient policy: " << e.what();
+    }
+  }
+}
+
+TEST(Robustness, FuzzedCorpusNeverThrowsUnderLenient) {
+  const std::string base = records::serialize_corpus(scenario().corpus());
+  std::string prefix = base.substr(0, std::min<std::size_t>(base.size(), 20000));
+  Rng rng(0xc0a5e7ULL);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string text = prefix;
+    for (int m = 0; m < 2; ++m) {
+      if (text.empty()) break;
+      text[rng.next_below(text.size())] = static_cast<char>(rng.next_below(256));
+    }
+    DiagnosticSink sink(ParsePolicy::Lenient, /*error_budget=*/1u << 20);
+    try {
+      const auto corpus = records::parse_corpus(text, sink, "fuzz");
+      for (std::size_t i = 0; i < corpus.documents.size(); ++i) {
+        ASSERT_EQ(corpus.documents[i].id, i);  // dense re-id invariant
+      }
+      ASSERT_EQ(corpus.documents.size(), corpus.truth_corridor.size());
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "trial " << trial << " threw under lenient policy: " << e.what();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-boundary corruption: published maps, corpus, campaign, GeoJSON.
+// ---------------------------------------------------------------------------
+
+TEST(Robustness, PublishedMapsRoundTripAndQuarantine) {
+  const auto& clean = scenario().published();
+  const std::string text = isp::serialize_published_maps(clean, Scenario::cities());
+
+  DiagnosticSink clean_sink(ParsePolicy::Lenient);
+  const auto reloaded =
+      isp::parse_published_maps(text, Scenario::cities(), profiles(), clean_sink, "maps.tsv");
+  EXPECT_TRUE(clean_sink.ok());
+  ASSERT_EQ(reloaded.size(), clean.size());
+  std::size_t total_links = 0;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(reloaded[i].isp, clean[i].isp);
+    EXPECT_EQ(reloaded[i].geocoded, clean[i].geocoded);
+    EXPECT_EQ(reloaded[i].links.size(), clean[i].links.size());
+    EXPECT_EQ(reloaded[i].nodes, clean[i].nodes);
+    total_links += clean[i].links.size();
+  }
+
+  // Corrupt the first link record: its map loses exactly one link.
+  auto lines = lines_of(text);
+  std::size_t bad_line = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (starts_with(lines[i], "link\t")) {
+      auto fields = split_fields(lines[i], '\t');
+      fields[1] = "Atlantis, XX";
+      lines[i] = join(fields, "\t");
+      bad_line = i + 1;
+      break;
+    }
+  }
+  ASSERT_GT(bad_line, 0u);
+  DiagnosticSink sink(ParsePolicy::Lenient);
+  const auto damaged = isp::parse_published_maps(join_lines(lines), Scenario::cities(),
+                                                 profiles(), sink, "maps.tsv");
+  EXPECT_EQ(sink.error_count(), 1u);
+  EXPECT_EQ(sink.diagnostics().front().line, bad_line);
+  std::size_t damaged_links = 0;
+  for (const auto& map : damaged) damaged_links += map.links.size();
+  EXPECT_EQ(damaged_links, total_links - 1);
+}
+
+TEST(Robustness, PublishedMapsBadHeaderQuarantinesBlock) {
+  const std::string text =
+      "map\tNoSuchISP\t0\n"
+      "link\tDenver, CO\tCheyenne, WY\n"
+      "map\tSprint\t0\n"
+      "link\tDenver, CO\tCheyenne, WY\n";
+  DiagnosticSink sink(ParsePolicy::Lenient);
+  const auto maps =
+      isp::parse_published_maps(text, Scenario::cities(), profiles(), sink, "maps.tsv");
+  // One block-level error; the bad block's links carry no extra noise.
+  EXPECT_EQ(sink.error_count(), 1u);
+  ASSERT_EQ(maps.size(), 1u);
+  EXPECT_EQ(maps[0].isp_name, "Sprint");
+  ASSERT_EQ(maps[0].links.size(), 1u);
+  ASSERT_EQ(maps[0].nodes.size(), 2u);
+}
+
+TEST(Robustness, CorpusQuarantineKeepsIdsDense) {
+  const auto& corpus = scenario().corpus();
+  const std::string text = records::serialize_corpus(corpus);
+
+  DiagnosticSink clean_sink(ParsePolicy::Lenient);
+  const auto reloaded = records::parse_corpus(text, clean_sink, "corpus.tsv");
+  EXPECT_TRUE(clean_sink.ok());
+  ASSERT_EQ(reloaded.documents.size(), corpus.documents.size());
+  for (std::size_t i = 0; i < reloaded.documents.size(); i += 13) {
+    EXPECT_EQ(reloaded.documents[i].title, corpus.documents[i].title);
+    EXPECT_EQ(reloaded.documents[i].type, corpus.documents[i].type);
+    EXPECT_EQ(reloaded.truth_corridor[i], corpus.truth_corridor[i]);
+  }
+
+  // Mangle the type field of the first document record.
+  auto lines = lines_of(text);
+  std::size_t bad_line = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (starts_with(lines[i], "doc\t")) {
+      auto fields = split_fields(lines[i], '\t');
+      fields[2] = "flying saucer report";
+      lines[i] = join(fields, "\t");
+      bad_line = i + 1;
+      break;
+    }
+  }
+  ASSERT_GT(bad_line, 0u);
+  DiagnosticSink sink(ParsePolicy::Lenient);
+  const auto damaged = records::parse_corpus(join_lines(lines), sink, "corpus.tsv");
+  EXPECT_EQ(sink.error_count(), 1u);
+  EXPECT_EQ(sink.diagnostics().front().line, bad_line);
+  ASSERT_EQ(damaged.documents.size(), corpus.documents.size() - 1);
+  for (std::size_t i = 0; i < damaged.documents.size(); ++i) {
+    ASSERT_EQ(damaged.documents[i].id, i);
+  }
+}
+
+TEST(Robustness, CampaignRoundTripAndQuarantine) {
+  const auto& cities = Scenario::cities();
+  const auto denver = cities.find("Denver, CO");
+  const auto ny = cities.find("New York, NY");
+  const auto chi = cities.find("Chicago, IL");
+  ASSERT_TRUE(denver && ny && chi);
+
+  traceroute::Campaign campaign;
+  campaign.total_probes = 120;
+  campaign.unroutable_probes = 20;
+  traceroute::TraceFlow flow;
+  flow.src = *denver;
+  flow.dst = *ny;
+  flow.count = 100;
+  flow.hops.push_back({*denver, "sl-bb1.denver.sprintlink.net", 0});
+  flow.hops.push_back({*chi, "", isp::kNoIsp});
+  flow.hops.push_back({*ny, "sl-bb9.nyc.sprintlink.net", 0});
+  flow.true_corridors = {3, 17};
+  campaign.flows.push_back(flow);
+
+  const std::string text = traceroute::serialize_campaign(campaign, cities);
+  DiagnosticSink sink(ParsePolicy::Lenient);
+  const auto reloaded = traceroute::parse_campaign(text, cities, sink, "campaign.tsv");
+  EXPECT_TRUE(sink.ok());
+  EXPECT_EQ(reloaded.total_probes, 120u);
+  EXPECT_EQ(reloaded.unroutable_probes, 20u);
+  ASSERT_EQ(reloaded.flows.size(), 1u);
+  const auto& rf = reloaded.flows[0];
+  EXPECT_EQ(rf.src, *denver);
+  EXPECT_EQ(rf.dst, *ny);
+  EXPECT_EQ(rf.count, 100u);
+  ASSERT_EQ(rf.hops.size(), 3u);
+  EXPECT_EQ(rf.hops[0].dns_name, "sl-bb1.denver.sprintlink.net");
+  EXPECT_EQ(rf.hops[1].dns_name, "");
+  EXPECT_EQ(rf.hops[1].isp, isp::kNoIsp);
+  EXPECT_EQ(rf.true_corridors, (std::vector<transport::CorridorId>{3, 17}));
+
+  // A flow with a bogus hop city is quarantined; the rest survive.
+  const std::string damaged = text +
+                              "flow\tDenver, CO\tNew York, NY\t5\tNowhere, ZZ||-\t-\n";
+  DiagnosticSink sink2(ParsePolicy::Lenient);
+  const auto partial = traceroute::parse_campaign(damaged, cities, sink2, "campaign.tsv");
+  EXPECT_EQ(sink2.error_count(), 1u);
+  EXPECT_EQ(partial.flows.size(), 1u);
+}
+
+TEST(Robustness, GeoJsonQuarantinesBadFeatures) {
+  // One valid Point, one feature with out-of-range coordinates, one valid
+  // LineString: the middle feature is quarantined, the rest survive.
+  const std::string text = R"({"type": "FeatureCollection", "features": [
+    {"type": "Feature", "geometry": {"type": "Point", "coordinates": [-104.99, 39.74]},
+     "properties": {"name": "Denver"}},
+    {"type": "Feature", "geometry": {"type": "Point", "coordinates": [-104.99, 339.74]},
+     "properties": {}},
+    {"type": "Feature", "geometry": {"type": "LineString",
+     "coordinates": [[-104.99, 39.74], [-87.63, 41.88]]}, "properties": {}}
+  ]})";
+  DiagnosticSink sink(ParsePolicy::Lenient);
+  const auto features = geo::parse_geojson(text, sink, "map.geojson");
+  EXPECT_EQ(sink.error_count(), 1u);
+  ASSERT_EQ(features.size(), 2u);
+  EXPECT_EQ(features[0].kind, geo::GeoFeature::Kind::Point);
+  EXPECT_NEAR(features[0].points[0].lat_deg, 39.74, 1e-9);
+  EXPECT_NEAR(features[0].points[0].lon_deg, -104.99, 1e-9);
+  EXPECT_EQ(features[1].kind, geo::GeoFeature::Kind::LineString);
+  ASSERT_EQ(features[1].points.size(), 2u);
+}
+
+TEST(Robustness, GeoJsonMalformedDocumentReportsNotThrows) {
+  DiagnosticSink sink(ParsePolicy::Lenient);
+  const auto features = geo::parse_geojson("{\"type\": \"FeatureCollection\", ", sink, "x");
+  EXPECT_TRUE(features.empty());
+  EXPECT_GE(sink.error_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-ISP fault isolation in the pipeline.
+// ---------------------------------------------------------------------------
+
+/// Published maps with three link-level defects and one hopeless ISP
+/// injected; the clean remainder is exactly scenario().published().
+std::vector<isp::PublishedMap> corrupted_published() {
+  auto published = scenario().published();
+  // Link-level defects: quarantined individually.
+  std::size_t geocoded = published.size(), pop_only = published.size();
+  for (std::size_t i = 0; i < published.size(); ++i) {
+    if (published[i].geocoded && geocoded == published.size()) geocoded = i;
+    if (!published[i].geocoded && pop_only == published.size()) pop_only = i;
+  }
+  // Self-loop link on the first geocoded map.
+  isp::PublishedLink self_loop;
+  self_loop.a = self_loop.b = published[geocoded].links.front().a;
+  self_loop.geometry = published[geocoded].links.front().geometry;
+  published[geocoded].links.push_back(self_loop);
+  // Geocoded link missing its geometry.
+  isp::PublishedLink no_geometry;
+  no_geometry.a = published[geocoded].links.front().a;
+  no_geometry.b = published[geocoded].links.front().b;
+  published[geocoded].links.push_back(no_geometry);
+  // Out-of-range endpoint on the first POP-only map.
+  isp::PublishedLink bad_city;
+  bad_city.a = static_cast<transport::CityId>(Scenario::cities().size() + 7);
+  bad_city.b = published[pop_only].links.front().b;
+  published[pop_only].links.push_back(bad_city);
+  // A wholesale-unparseable map: names no known ISP.
+  isp::PublishedMap bogus;
+  bogus.isp = isp::kNoIsp;
+  bogus.isp_name = "Mystery Fiber Co";
+  bogus.geocoded = true;
+  bogus.links.push_back(self_loop);
+  published.push_back(bogus);
+  return published;
+}
+
+TEST(FaultIsolation, LenientBuildDropsBadIspKeepsRest) {
+  const auto published = corrupted_published();
+  MapBuilder builder(Scenario::cities(), scenario().row(), profiles(), scenario().corpus());
+  DiagnosticSink sink(ParsePolicy::Lenient);
+  const auto result = builder.build(published, sink);
+
+  // The valid ISPs' links survive: the built map is the clean pipeline
+  // output exactly, because the quarantined records are exactly the
+  // injections.
+  const auto& clean = scenario().pipeline();
+  EXPECT_EQ(result.map.links().size(), clean.map.links().size());
+  EXPECT_EQ(result.map.conduits().size(), clean.map.conduits().size());
+  EXPECT_EQ(result.step1.links_added, clean.step1.links_added);
+  EXPECT_EQ(result.step3.links_added, clean.step3.links_added);
+  const auto before = risk::RiskMatrix::from_map(clean.map);
+  const auto after = risk::RiskMatrix::from_map(result.map);
+  EXPECT_EQ(before.conduits_shared_by_at_least(), after.conduits_shared_by_at_least());
+
+  // The drop and the quarantines are accounted for in the step reports.
+  EXPECT_EQ(result.step1.isps_dropped, 1u);
+  EXPECT_EQ(result.step1.records_quarantined, 2u);
+  EXPECT_EQ(result.step3.isps_dropped, 0u);
+  EXPECT_EQ(result.step3.records_quarantined, 1u);
+  EXPECT_EQ(sink.error_count(), 4u);
+
+  // Each quarantined link is reported under its record index; the dropped
+  // ISP under its name.
+  const std::string rendered = sink.render();
+  EXPECT_TRUE(contains(rendered, "Mystery Fiber Co")) << rendered;
+}
+
+TEST(FaultIsolation, StrictBuildFailsFastNamingIsp) {
+  const auto published = corrupted_published();
+  MapBuilder builder(Scenario::cities(), scenario().row(), profiles(), scenario().corpus());
+  DiagnosticSink sink(ParsePolicy::Strict);
+  try {
+    builder.build(published, sink);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_TRUE(contains(e.what(), "step1/")) << e.what();
+  }
+  EXPECT_EQ(sink.error_count(), 1u);
+}
+
+TEST(FaultIsolation, SinkOverloadMatchesLegacyOnCleanInput) {
+  // The fault-isolating path must be bit-compatible with the legacy build
+  // on clean input: validation happens before ingest, so the ingest
+  // sequence — and with it every downstream number — is unchanged.
+  const auto& clean = scenario().pipeline();
+  MapBuilder builder(Scenario::cities(), scenario().row(), profiles(), scenario().corpus());
+  DiagnosticSink sink(ParsePolicy::Lenient);
+  FiberMap map(profiles().size());
+  StepReport report;
+  builder.step1_initial_map(map, scenario().published(), report, sink);
+  EXPECT_TRUE(sink.ok());
+  EXPECT_EQ(report.links_added, clean.step1.links_added);
+  EXPECT_EQ(report.conduits_added, clean.step1.conduits_added);
+  EXPECT_EQ(report.snap_fallbacks, clean.step1.snap_fallbacks);
+  EXPECT_EQ(report.isps_dropped, 0u);
+  EXPECT_EQ(report.records_quarantined, 0u);
+}
+
+}  // namespace
+}  // namespace intertubes::core

@@ -77,5 +77,46 @@ TEST(GeoJsonWriter, BalancedBracesAndBrackets) {
   EXPECT_EQ(brackets, 0);
 }
 
+TEST(GeoJsonReader, RoundTripsWriterOutput) {
+  GeoJsonWriter writer;
+  writer.add_point({41.88, -87.63}, {GeoProperty::str("name", "Chicago, IL"),
+                                     GeoProperty::num("population", 2700000)});
+  writer.add_linestring(Polyline({{40.0, -100.0}, {41.0, -99.0}, {42.0, -98.0}}),
+                        {GeoProperty::str("mode", "rail")});
+  DiagnosticSink sink(ParsePolicy::Strict);
+  const auto features = parse_geojson(writer.to_string(), sink, "roundtrip");
+  EXPECT_TRUE(sink.ok());
+  ASSERT_EQ(features.size(), 2u);
+  EXPECT_EQ(features[0].kind, GeoFeature::Kind::Point);
+  ASSERT_EQ(features[0].points.size(), 1u);
+  EXPECT_NEAR(features[0].points[0].lat_deg, 41.88, 1e-6);
+  EXPECT_NEAR(features[0].points[0].lon_deg, -87.63, 1e-6);
+  ASSERT_EQ(features[0].properties.size(), 2u);
+  EXPECT_EQ(features[0].properties[0].key, "name");
+  EXPECT_EQ(features[0].properties[0].string_value, "Chicago, IL");
+  EXPECT_TRUE(features[0].properties[1].is_number);
+  EXPECT_NEAR(features[0].properties[1].number_value, 2700000.0, 1e-3);
+  EXPECT_EQ(features[1].kind, GeoFeature::Kind::LineString);
+  ASSERT_EQ(features[1].points.size(), 3u);
+  EXPECT_NEAR(features[1].points[2].lon_deg, -98.0, 1e-6);
+}
+
+TEST(GeoJsonReader, ReportsLineNumbersOfDefects) {
+  const std::string text =
+      "{\"type\": \"FeatureCollection\",\n"
+      " \"features\": [\n"
+      "  {\"type\": \"Feature\",\n"
+      "   \"geometry\": {\"type\": \"Polygon\", \"coordinates\": []},\n"
+      "   \"properties\": {}}\n"
+      "]}";
+  DiagnosticSink sink(ParsePolicy::Lenient);
+  const auto features = parse_geojson(text, sink, "bad.geojson");
+  EXPECT_TRUE(features.empty());
+  ASSERT_EQ(sink.error_count(), 1u);
+  const auto d = sink.diagnostics().front();
+  EXPECT_EQ(d.line, 3u);  // the feature object starts on line 3
+  EXPECT_TRUE(contains(d.message, "Polygon")) << d.message;
+}
+
 }  // namespace
 }  // namespace intertubes::geo

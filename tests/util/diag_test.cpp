@@ -1,0 +1,117 @@
+#include "util/diag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace intertubes {
+namespace {
+
+TEST(DiagSink, DiagnosticFormatting) {
+  const Diagnostic d{Severity::Error, "maps.tsv", 42, "unknown city"};
+  EXPECT_EQ(d.location(), "maps.tsv:42");
+  EXPECT_EQ(d.to_string(), "error: maps.tsv:42: unknown city");
+  const Diagnostic whole{Severity::Warning, "maps.tsv", 0, "empty input"};
+  EXPECT_EQ(whole.location(), "maps.tsv");
+}
+
+TEST(DiagSink, LenientRecordsAndContinues) {
+  DiagnosticSink sink(ParsePolicy::Lenient);
+  sink.report(Severity::Error, "a.tsv", 3, "bad record");
+  sink.report(Severity::Warning, "a.tsv", 4, "odd but usable");
+  sink.report(Severity::Error, "b.tsv", 1, "bad header");
+  EXPECT_EQ(sink.error_count(), 2u);
+  EXPECT_EQ(sink.warning_count(), 1u);
+  EXPECT_EQ(sink.total(), 3u);
+  EXPECT_FALSE(sink.ok());
+}
+
+TEST(DiagSink, StrictThrowsOnFirstErrorWithLocation) {
+  DiagnosticSink sink(ParsePolicy::Strict);
+  sink.report(Severity::Warning, "a.tsv", 1, "warnings never throw");
+  try {
+    sink.report(Severity::Error, "a.tsv", 7, "truncated record");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_TRUE(contains(e.what(), "a.tsv:7")) << e.what();
+    EXPECT_TRUE(contains(e.what(), "truncated record")) << e.what();
+  }
+  // Recorded before the throw: the sink keeps the full history.
+  EXPECT_EQ(sink.error_count(), 1u);
+  EXPECT_EQ(sink.total(), 2u);
+}
+
+TEST(DiagSink, ParseErrorIsRuntimeErrorNotLogicError) {
+  // Callers must be able to distinguish bad input (recoverable) from
+  // programmer bugs (IT_CHECK's std::logic_error).
+  DiagnosticSink sink(ParsePolicy::Strict);
+  EXPECT_THROW(sink.report(Severity::Error, "x", 1, "boom"), std::runtime_error);
+  DiagnosticSink sink2(ParsePolicy::Strict);
+  try {
+    sink2.report(Severity::Error, "x", 1, "boom");
+  } catch (const std::logic_error&) {
+    FAIL() << "ParseError must not be a logic_error";
+  } catch (const std::exception&) {
+  }
+}
+
+TEST(DiagSink, ErrorBudgetBoundsLenientDamage) {
+  DiagnosticSink sink(ParsePolicy::Lenient, /*error_budget=*/3);
+  sink.report(Severity::Error, "f", 1, "e1");
+  sink.report(Severity::Error, "f", 2, "e2");
+  sink.report(Severity::Error, "f", 3, "e3");
+  EXPECT_THROW(sink.report(Severity::Error, "f", 4, "e4"), ParseError);
+  // The over-budget error is still recorded.
+  EXPECT_EQ(sink.error_count(), 4u);
+}
+
+TEST(DiagSink, SnapshotPreservesOrder) {
+  DiagnosticSink sink(ParsePolicy::Lenient);
+  sink.report(Severity::Warning, "s", 1, "first");
+  sink.report(Severity::Error, "s", 2, "second");
+  const auto diags = sink.diagnostics();
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].message, "first");
+  EXPECT_EQ(diags[1].message, "second");
+}
+
+TEST(DiagSink, RenderSummarizesPerSource) {
+  DiagnosticSink sink(ParsePolicy::Lenient);
+  EXPECT_TRUE(sink.render().empty());
+  sink.report(Severity::Error, "maps.tsv", 5, "unknown city \"Atlantis, XX\"");
+  sink.report(Severity::Error, "maps.tsv", 9, "bad flag");
+  sink.report(Severity::Warning, "corpus.tsv", 2, "odd title");
+  const std::string out = sink.render();
+  EXPECT_TRUE(contains(out, "maps.tsv")) << out;
+  EXPECT_TRUE(contains(out, "corpus.tsv")) << out;
+  EXPECT_TRUE(contains(out, "maps.tsv:5")) << out;
+  EXPECT_TRUE(contains(out, "Atlantis")) << out;
+}
+
+TEST(DiagSink, ThreadSafeUnderConcurrentReports) {
+  // Parse boundaries may run on worker threads (the sim executor); the
+  // sink must count exactly under contention.
+  DiagnosticSink sink(ParsePolicy::Lenient, /*error_budget=*/100000);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sink, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        sink.report(t % 2 == 0 ? Severity::Warning : Severity::Error,
+                    "thread" + std::to_string(t), static_cast<std::size_t>(i + 1), "m");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(sink.total(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(sink.error_count(), static_cast<std::size_t>(kThreads / 2 * kPerThread));
+  EXPECT_EQ(sink.warning_count(), static_cast<std::size_t>(kThreads / 2 * kPerThread));
+}
+
+}  // namespace
+}  // namespace intertubes
