@@ -1,0 +1,165 @@
+// Serving layer — closed-loop load generation against serve::Engine.
+//
+// Prints the serving artifact: requests/sec for a mixed query workload at
+// 1/2/4/8 client threads, each measured cold (cache cleared, every request
+// recomputes) and warm (repeated-request workload hitting the memoized
+// results).  The warm/cold ratio on the repeated workload is the headline
+// number — the cache must buy >= 5x.  Then google-benchmark timings of the
+// end-to-end serve path (per-request latency, cold vs warm) for JSON
+// extraction via --bench_json=<path>.
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "bench_support.hpp"
+#include "serve/engine.hpp"
+#include "serve/snapshot.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace intertubes;
+
+const std::shared_ptr<serve::Snapshot>& snapshot() {
+  static const std::shared_ptr<serve::Snapshot> snap = [] {
+    const std::shared_ptr<const core::Scenario> world{std::shared_ptr<const core::Scenario>{},
+                                                      &bench::scenario()};
+    return serve::Snapshot::build(world, {0, "bench"});
+  }();
+  return snap;
+}
+
+serve::SnapshotStore& store() {
+  static serve::SnapshotStore* s = [] {
+    auto* out = new serve::SnapshotStore();
+    out->publish(snapshot());
+    return out;
+  }();
+  return *s;
+}
+
+/// The mixed workload: every request type the engine serves.  Small enough
+/// that a warm cache answers every request from memory.
+std::vector<serve::Request> script() {
+  const auto targets = snapshot()->matrix().most_shared_conduits(2);
+  return {
+      serve::SharedRiskQuery{"Sprint"},
+      serve::SharedRiskQuery{"AT&T"},
+      serve::TopConduitsQuery{10},
+      serve::CityPathQuery{"San Francisco, CA", "New York, NY"},
+      serve::CityPathQuery{"Seattle, WA", "Miami, FL"},
+      serve::WhatIfCutQuery{{targets[0]}},
+      serve::WhatIfCutQuery{{targets[0], targets[1]}},
+      serve::HammingNeighborsQuery{"Sprint", 5},
+  };
+}
+
+/// Closed loop: `threads` clients issue `total` requests as fast as the
+/// engine answers them.  Returns requests/sec.
+double drive(serve::Engine& engine, std::size_t threads, std::size_t total) {
+  const auto requests = script();
+  std::atomic<std::size_t> next{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < total; i = next.fetch_add(1)) {
+        const auto response = engine.serve(requests[i % requests.size()]);
+        if (response.status != serve::Status::Ok) std::abort();  // bench invariant
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  return static_cast<double>(total) / elapsed.count();
+}
+
+void print_artifact() {
+  bench::artifact_banner("Serving engine",
+                         "closed-loop mixed-query throughput, cold vs warm cache");
+  sim::Executor executor(0);  // hardware default workers
+  serve::Engine engine(store(), executor);
+
+  TextTable table({"clients", "cold req/s", "warm req/s", "warm/cold"});
+  double repeated_ratio = 0.0;
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    engine.clear_cache();
+    // Cold phase: clear before every batch so each scripted request
+    // recomputes (batch == one pass over the script per clearing).
+    const auto requests = script();
+    const auto cold_start = std::chrono::steady_clock::now();
+    std::size_t cold_total = 0;
+    for (int batch = 0; batch < 6; ++batch) {
+      engine.clear_cache();
+      for (const auto& request : requests) {
+        if (engine.serve(request).status != serve::Status::Ok) std::abort();
+        ++cold_total;
+      }
+    }
+    const std::chrono::duration<double> cold_elapsed =
+        std::chrono::steady_clock::now() - cold_start;
+    const double cold = static_cast<double>(cold_total) / cold_elapsed.count();
+
+    // Warm phase: same repeated workload, cache retained.
+    engine.clear_cache();
+    drive(engine, threads, requests.size());  // prime
+    const double warm = drive(engine, threads, 4000);
+    table.start_row();
+    table.add_cell(threads);
+    table.add_cell(cold, 0);
+    table.add_cell(warm, 0);
+    table.add_cell(warm / cold, 1);
+    repeated_ratio = std::max(repeated_ratio, warm / cold);
+  }
+  std::cout << table.render("serve throughput (mixed workload)") << "\n"
+            << "best warm/cold speedup on the repeated-request workload: "
+            << format_double(repeated_ratio, 1) << "x (acceptance floor: 5x)\n"
+            << engine.render_metrics() << "(hardware concurrency here: "
+            << std::thread::hardware_concurrency() << ")\n";
+}
+
+void BM_ServeColdMixed(benchmark::State& state) {
+  sim::Executor executor(0);
+  serve::Engine engine(store(), executor);
+  const auto requests = script();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (i % requests.size() == 0) engine.clear_cache();
+    auto response = engine.serve(requests[i++ % requests.size()]);
+    benchmark::DoNotOptimize(response.status);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeColdMixed)->Unit(benchmark::kMicrosecond);
+
+void BM_ServeWarmMixed(benchmark::State& state) {
+  sim::Executor executor(0);
+  serve::Engine engine(store(), executor);
+  const auto requests = script();
+  for (const auto& request : requests) engine.serve(request);  // prime
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto response = engine.serve(requests[i++ % requests.size()]);
+    benchmark::DoNotOptimize(response.cache_hit);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeWarmMixed)->Unit(benchmark::kMicrosecond);
+
+void BM_SnapshotWhatIfCut(benchmark::State& state) {
+  const auto targets = snapshot()->matrix().most_shared_conduits(1);
+  for (auto _ : state) {
+    auto cut = serve::Snapshot::with_conduits_cut(*snapshot(), {targets[0]});
+    benchmark::DoNotOptimize(cut->links_severed());
+  }
+}
+BENCHMARK(BM_SnapshotWhatIfCut)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_artifact();
+  return intertubes::bench::run_benchmarks(argc, argv);
+}

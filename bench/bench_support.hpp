@@ -9,6 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/scenario.hpp"
 #include "risk/risk_matrix.hpp"
@@ -61,9 +63,30 @@ inline void artifact_banner(const std::string& id, const std::string& caption) {
 }
 
 /// Run the registered google-benchmark timings (call at the end of main).
+///
+/// Accepts `--bench_json=<path>` on any harness as shorthand for
+/// google-benchmark's `--benchmark_out=<path> --benchmark_out_format=json`,
+/// so CI and EXPERIMENTS.md extraction get machine-readable dumps with one
+/// uniform flag.  All native --benchmark_* flags still pass through.
 inline int run_benchmarks(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  static const std::string kJsonFlag = "--bench_json=";
+  std::vector<std::string> storage;
+  std::vector<char*> rewritten;
+  storage.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(kJsonFlag, 0) == 0) {
+      storage.push_back("--benchmark_out=" + arg.substr(kJsonFlag.size()));
+      storage.push_back("--benchmark_out_format=json");
+    } else {
+      storage.push_back(arg);
+    }
+  }
+  rewritten.reserve(storage.size());
+  for (auto& s : storage) rewritten.push_back(s.data());
+  int rewritten_argc = static_cast<int>(rewritten.size());
+  benchmark::Initialize(&rewritten_argc, rewritten.data());
+  if (benchmark::ReportUnrecognizedArguments(rewritten_argc, rewritten.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -8,13 +8,23 @@
 //   plan    §5 mitigation toolkit for one ISP (re-routes, expansion, latency)
 //   export  GeoJSON map + transport layers
 //   check   parse a dataset file and report structured diagnostics
+//   serve   run the concurrent query engine over a scripted workload
 //
 // Common flags: --seed <n> (default 0x1257), --strict / --lenient parse
 // policy for file-reading commands. Run with no arguments for help.
+//
+// Exit codes: 0 success, 1 runtime failure (bad data, unknown ISP, parse
+// errors), 2 usage error (unknown command/flag, missing value).  `help`,
+// `--help`, `-h`, or no arguments print usage and exit 0.
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "serve/engine.hpp"
+#include "serve/snapshot.hpp"
 
 #include "core/dataset_diff.hpp"
 #include "core/dataset_io.hpp"
@@ -44,13 +54,15 @@ struct Args {
   std::string in_path;
   std::size_t k = 5;
   double radius_km = 100.0;
+  std::size_t requests = 200;  ///< `serve` workload length
+  std::size_t threads = 4;     ///< `serve` closed-loop client threads
   /// Parse policy for commands that read files (check, diff).  Lenient by
   /// default: quarantine bad records, report them, keep going.
   ParsePolicy policy = ParsePolicy::Lenient;
 };
 
-void usage() {
-  std::cout <<
+void usage(std::ostream& os) {
+  os <<
       "usage: intertubes_cli <command> [flags]\n"
       "\n"
       "commands:\n"
@@ -62,6 +74,9 @@ void usage() {
       "  export   write GeoJSON layers (--prefix)\n"
       "  diff     compare two dataset files (--before, --after)\n"
       "  check    parse a dataset file, report diagnostics (--in)\n"
+      "  serve    concurrent query engine over a scripted workload\n"
+      "           (--requests, --threads; swaps in a what-if snapshot mid-run)\n"
+      "  help     print this message\n"
       "\n"
       "flags:\n"
       "  --seed <n>     world seed (default 0x1257)\n"
@@ -71,13 +86,22 @@ void usage() {
       "  --in <file>    dataset path for `check`\n"
       "  --k <n>        expansion steps for `plan` (default 5)\n"
       "  --radius <km>  disaster radius for `cuts` (default 100)\n"
+      "  --requests <n> workload length for `serve` (default 200)\n"
+      "  --threads <n>  client threads for `serve` (default 4)\n"
       "  --strict       fail fast on the first malformed record\n"
       "  --lenient      quarantine malformed records and keep going (default)\n";
 }
 
+/// Uniform usage-error path: message to stderr, usage to stderr, exit 2.
+constexpr int kUsageError = 2;
+
 bool parse_args(int argc, char** argv, Args& args) {
   if (argc < 2) return false;
   args.command = argv[1];
+  if (args.command == "--help" || args.command == "-h") {
+    args.command = "help";
+    return true;
+  }
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     // Boolean flags take no value.
@@ -88,6 +112,10 @@ bool parse_args(int argc, char** argv, Args& args) {
     if (flag == "--lenient") {
       args.policy = ParsePolicy::Lenient;
       continue;
+    }
+    if (flag == "--help" || flag == "-h") {
+      args.command = "help";
+      return true;
     }
     if (i + 1 >= argc) {
       std::cerr << "flag " << flag << " needs a value\n";
@@ -112,6 +140,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.k = std::strtoul(value.c_str(), nullptr, 0);
     } else if (flag == "--radius") {
       args.radius_km = std::strtod(value.c_str(), nullptr);
+    } else if (flag == "--requests") {
+      args.requests = std::strtoul(value.c_str(), nullptr, 0);
+    } else if (flag == "--threads") {
+      args.threads = std::strtoul(value.c_str(), nullptr, 0);
     } else {
       std::cerr << "unknown flag: " << flag << "\n";
       return false;
@@ -245,7 +277,8 @@ int cmd_export(const core::Scenario& scenario, const Args& args) {
 int cmd_diff(const core::Scenario& scenario, const Args& args) {
   if (args.before_path.empty() || args.after_path.empty()) {
     std::cerr << "diff requires --before <file> and --after <file>\n";
-    return 1;
+    usage(std::cerr);
+    return kUsageError;
   }
   const auto& profiles = scenario.truth().profiles();
   DiagnosticSink sink(args.policy);
@@ -266,7 +299,8 @@ int cmd_diff(const core::Scenario& scenario, const Args& args) {
 int cmd_check(const core::Scenario& scenario, const Args& args) {
   if (args.in_path.empty()) {
     std::cerr << "check requires --in <file>\n";
-    return 1;
+    usage(std::cerr);
+    return kUsageError;
   }
   const auto& profiles = scenario.truth().profiles();
   DiagnosticSink sink(args.policy);
@@ -285,13 +319,74 @@ int cmd_check(const core::Scenario& scenario, const Args& args) {
   return sink.error_count() > 0 ? 1 : 0;
 }
 
+/// Run the serve/ query engine over a scripted mixed workload issued by
+/// closed-loop client threads, hot-swapping a what-if snapshot mid-run,
+/// then print the latency/cache report.
+int cmd_serve(const core::Scenario& scenario, const Args& args) {
+  if (args.requests == 0 || args.threads == 0) {
+    std::cerr << "serve requires --requests >= 1 and --threads >= 1\n";
+    usage(std::cerr);
+    return kUsageError;
+  }
+  serve::SnapshotStore store;
+  // Non-owning alias: the Scenario on main's stack outlives the engine.
+  const std::shared_ptr<const core::Scenario> world{std::shared_ptr<const core::Scenario>{},
+                                                    &scenario};
+  const auto base = serve::Snapshot::build(world, {0, "cli base"});
+  store.publish(base);
+  serve::Engine engine(store, sim::default_executor());
+
+  const auto targets = base->matrix().most_shared_conduits(2);
+  const std::vector<serve::Request> script = {
+      serve::SharedRiskQuery{args.isp},
+      serve::TopConduitsQuery{args.k},
+      serve::CityPathQuery{"San Francisco, CA", "New York, NY"},
+      serve::CityPathQuery{"Seattle, WA", "Miami, FL"},
+      serve::WhatIfCutQuery{{targets[0]}},
+      serve::HammingNeighborsQuery{args.isp, 3},
+  };
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < args.threads; ++t) {
+    clients.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < args.requests; i = next.fetch_add(1)) {
+        const auto response = engine.serve(script[i % script.size()]);
+        if (response.status != serve::Status::Ok &&
+            response.status != serve::Status::Overloaded) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Mid-run swap: publish a what-if world while clients are in flight, so
+  // the report shows traffic served across at least two epochs.
+  store.publish(serve::Snapshot::with_conduits_cut(*base, {targets[1]}));
+  for (auto& client : clients) client.join();
+
+  std::cout << "served " << engine.metrics().total_served() << " requests on " << args.threads
+            << " client threads (shed " << engine.metrics().total_shed() << ", failed "
+            << failures.load() << ")\n"
+            << "snapshot epoch now " << store.epoch() << " [" << store.current()->label()
+            << "], stale cache entries purged: " << engine.purge_stale_cache() << "\n\n"
+            << engine.render_metrics();
+  return failures.load() == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, args)) {
-    usage();
-    return argc < 2 ? 0 : 1;
+    // No arguments at all is a help request; a malformed invocation is a
+    // usage error.  Both print usage, only the latter is nonzero.
+    usage(argc < 2 ? std::cout : std::cerr);
+    return argc < 2 ? 0 : kUsageError;
+  }
+  if (args.command == "help") {
+    usage(std::cout);
+    return 0;
   }
   try {
     const core::Scenario scenario{core::ScenarioParams::with_seed(args.seed)};
@@ -303,9 +398,10 @@ int main(int argc, char** argv) {
     if (args.command == "export") return cmd_export(scenario, args);
     if (args.command == "diff") return cmd_diff(scenario, args);
     if (args.command == "check") return cmd_check(scenario, args);
+    if (args.command == "serve") return cmd_serve(scenario, args);
     std::cerr << "unknown command: " << args.command << "\n";
-    usage();
-    return 1;
+    usage(std::cerr);
+    return kUsageError;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

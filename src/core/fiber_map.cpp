@@ -100,19 +100,22 @@ const Link& FiberMap::link(LinkId id) const {
 }
 
 const std::vector<ConduitId>& FiberMap::conduits_at(CityId c) const {
-  if (adjacency_.empty()) {
-    std::size_t max_city = 0;
-    for (const auto& conduit : conduits_) {
-      max_city = std::max<std::size_t>({max_city, conduit.a, conduit.b});
-    }
-    adjacency_.resize(max_city + 1);
-    for (const auto& conduit : conduits_) {
-      adjacency_[conduit.a].push_back(conduit.id);
-      adjacency_[conduit.b].push_back(conduit.id);
-    }
-  }
+  if (adjacency_.empty()) prepare_for_concurrent_reads();
   if (c >= adjacency_.size()) return kEmpty;
   return adjacency_[c];
+}
+
+void FiberMap::prepare_for_concurrent_reads() const {
+  if (!adjacency_.empty()) return;
+  std::size_t max_city = 0;
+  for (const auto& conduit : conduits_) {
+    max_city = std::max<std::size_t>({max_city, conduit.a, conduit.b});
+  }
+  adjacency_.resize(max_city + 1);
+  for (const auto& conduit : conduits_) {
+    adjacency_[conduit.a].push_back(conduit.id);
+    adjacency_[conduit.b].push_back(conduit.id);
+  }
 }
 
 std::vector<CityId> FiberMap::nodes() const {

@@ -84,7 +84,18 @@ class FiberMap {
   const Link& link(LinkId id) const;
 
   /// Conduits incident to a city (for graph traversals).
+  ///
+  /// NOT safe for concurrent first use: the adjacency is built lazily on
+  /// the first call (and invalidated by ensure_conduit).  Call
+  /// prepare_for_concurrent_reads() once after construction to make all
+  /// subsequent const queries safe from many threads (the serve/ read
+  /// path relies on this).
   const std::vector<ConduitId>& conduits_at(transport::CityId c) const;
+
+  /// Eagerly build the lazy adjacency so later const queries perform no
+  /// writes.  Must be called before the map is shared across threads;
+  /// mutating the map afterwards (ensure_conduit) requires another call.
+  void prepare_for_concurrent_reads() const;
 
   /// Cities that appear as a conduit endpoint.
   std::vector<transport::CityId> nodes() const;

@@ -25,6 +25,12 @@ struct IndexedSegment {
 /// construction in km (converted to degrees at the latitude of the
 /// continental US).  Queries examine the 3×3 (or larger) neighbourhood of
 /// cells needed to cover the search radius.
+///
+/// Thread safety: construction and add_polyline() are single-writer only.
+/// Once building is finished, all const queries (nearest, owners_within,
+/// anything_within, segment_count) are safe to call concurrently from any
+/// number of threads — the index holds no lazily initialised or mutable
+/// state.  The serve/ snapshot read path relies on this contract.
 class SegmentIndex {
  public:
   explicit SegmentIndex(double cell_km = 50.0);

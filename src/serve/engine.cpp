@@ -1,0 +1,420 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "geo/latency.hpp"
+#include "isp/profiles.hpp"
+
+namespace intertubes::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Union-find over dense node indices for the what-if connectivity delta.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[a] = b;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+struct Connectivity {
+  double connected_fraction = 0.0;
+  std::size_t components = 0;
+};
+
+/// Connectivity of the conduit graph restricted to conduits where
+/// `alive(id)` holds, over the *uncut* map's node set (so severed nodes
+/// count as disconnected, not vanished).
+template <typename AlivePred>
+Connectivity connectivity(const core::FiberMap& map, const AlivePred& alive) {
+  const auto nodes = map.nodes();
+  Connectivity out;
+  if (nodes.size() < 2) {
+    out.connected_fraction = 1.0;
+    out.components = nodes.size();
+    return out;
+  }
+  std::unordered_map<transport::CityId, std::size_t> dense;
+  dense.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) dense[nodes[i]] = i;
+  DisjointSets sets(nodes.size());
+  for (const auto& conduit : map.conduits()) {
+    if (alive(conduit.id)) sets.unite(dense[conduit.a], dense[conduit.b]);
+  }
+  std::unordered_map<std::size_t, std::size_t> component_sizes;
+  for (std::size_t i = 0; i < nodes.size(); ++i) ++component_sizes[sets.find(i)];
+  double connected_pairs = 0.0;
+  for (const auto& [root, size] : component_sizes) {
+    (void)root;
+    connected_pairs += 0.5 * static_cast<double>(size) * static_cast<double>(size - 1);
+  }
+  const double n = static_cast<double>(nodes.size());
+  out.connected_fraction = connected_pairs / (0.5 * n * (n - 1.0));
+  out.components = component_sizes.size();
+  return out;
+}
+
+void fail(Response& response, Status status, std::string message) {
+  response.status = status;
+  response.error = std::move(message);
+}
+
+void execute_shared_risk(const Snapshot& snap, const SharedRiskQuery& query,
+                         Response& response) {
+  const auto& profiles = snap.scenario().truth().profiles();
+  const isp::IspId id = isp::find_profile(profiles, query.isp);
+  if (id == isp::kNoIsp) {
+    fail(response, Status::NotFound, "unknown ISP: " + query.isp);
+    return;
+  }
+  SharedRiskResult result;
+  result.isp = profiles[id].name;
+  for (const auto& row : snap.risk_ranking()) {
+    if (row.isp != id) continue;
+    result.conduits_used = row.conduits_used;
+    result.mean_sharing = row.mean_sharing;
+    result.standard_error = row.standard_error;
+    result.p25 = row.p25;
+    result.p75 = row.p75;
+    break;
+  }
+  response.body = std::move(result);
+}
+
+void execute_top_conduits(const Snapshot& snap, const TopConduitsQuery& query,
+                          Response& response) {
+  if (query.k == 0) {
+    fail(response, Status::BadRequest, "top-conduits k must be positive");
+    return;
+  }
+  const auto& cities = core::Scenario::cities();
+  TopConduitsResult result;
+  for (core::ConduitId id : snap.matrix().most_shared_conduits(query.k)) {
+    const auto& conduit = snap.map().conduit(id);
+    TopConduitRow row;
+    row.conduit = id;
+    row.a = cities.city(conduit.a).display_name();
+    row.b = cities.city(conduit.b).display_name();
+    row.tenants = conduit.tenants.size();
+    row.validated = conduit.validated;
+    result.rows.push_back(std::move(row));
+  }
+  response.body = std::move(result);
+}
+
+void execute_what_if_cut(const Snapshot& snap, const WhatIfCutQuery& query,
+                         Response& response) {
+  if (query.cuts.empty()) {
+    fail(response, Status::BadRequest, "what-if-cut needs at least one conduit");
+    return;
+  }
+  const auto& map = snap.map();
+  std::vector<core::ConduitId> cuts = query.cuts;
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  if (cuts.back() >= map.conduits().size()) {
+    fail(response, Status::BadRequest,
+         "conduit id " + std::to_string(cuts.back()) + " out of range");
+    return;
+  }
+  const auto is_cut = [&cuts](core::ConduitId c) {
+    return std::binary_search(cuts.begin(), cuts.end(), c);
+  };
+  WhatIfCutResult result;
+  result.conduits_cut = cuts.size();
+  std::vector<char> isp_hit(map.num_isps(), 0);
+  for (const auto& link : map.links()) {
+    const bool severed =
+        std::any_of(link.conduits.begin(), link.conduits.end(), is_cut);
+    if (!severed) continue;
+    ++result.links_severed;
+    isp_hit[link.isp] = 1;
+  }
+  result.isps_hit =
+      static_cast<std::size_t>(std::count(isp_hit.begin(), isp_hit.end(), 1));
+  const auto before = connectivity(map, [](core::ConduitId) { return true; });
+  const auto after = connectivity(map, [&is_cut](core::ConduitId c) { return !is_cut(c); });
+  result.connected_fraction_before = before.connected_fraction;
+  result.connected_fraction_after = after.connected_fraction;
+  result.components_after = after.components;
+  response.body = std::move(result);
+}
+
+void execute_city_path(const Snapshot& snap, const CityPathQuery& query, Response& response) {
+  const auto& cities = core::Scenario::cities();
+  const auto from = cities.find(query.from);
+  const auto to = cities.find(query.to);
+  if (!from || !to) {
+    fail(response, Status::NotFound,
+         "unknown city: " + (from ? query.to : query.from));
+    return;
+  }
+  CityPathResult result;
+  if (*from == *to) {
+    result.reachable = true;
+    response.body = std::move(result);
+    return;
+  }
+  // Dijkstra over the conduit graph, weight = conduit length.
+  const auto& map = snap.map();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(cities.size(), kInf);
+  std::vector<core::ConduitId> via(cities.size(), core::kNoConduit);
+  using HeapEntry = std::pair<double, transport::CityId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  dist[*from] = 0.0;
+  heap.push({0.0, *from});
+  while (!heap.empty()) {
+    const auto [d, city] = heap.top();
+    heap.pop();
+    if (d > dist[city]) continue;
+    if (city == *to) break;
+    for (core::ConduitId cid : map.conduits_at(city)) {
+      const auto& conduit = map.conduit(cid);
+      const transport::CityId next = conduit.a == city ? conduit.b : conduit.a;
+      const double nd = d + conduit.length_km;
+      if (nd < dist[next]) {
+        dist[next] = nd;
+        via[next] = cid;
+        heap.push({nd, next});
+      }
+    }
+  }
+  if (dist[*to] == kInf) {
+    response.body = std::move(result);  // reachable = false is the answer
+    return;
+  }
+  std::vector<PathHop> reversed;
+  for (transport::CityId city = *to; city != *from;) {
+    const auto& conduit = map.conduit(via[city]);
+    const transport::CityId prev = conduit.a == city ? conduit.b : conduit.a;
+    PathHop hop;
+    hop.a = cities.city(prev).display_name();
+    hop.b = cities.city(city).display_name();
+    hop.km = conduit.length_km;
+    reversed.push_back(std::move(hop));
+    city = prev;
+  }
+  result.reachable = true;
+  result.hops.assign(reversed.rbegin(), reversed.rend());
+  result.km = dist[*to];
+  result.delay_ms = geo::fiber_delay_ms(result.km);
+  response.body = std::move(result);
+}
+
+void execute_hamming_neighbors(const Snapshot& snap, const HammingNeighborsQuery& query,
+                               Response& response) {
+  if (query.k == 0) {
+    fail(response, Status::BadRequest, "hamming-neighbors k must be positive");
+    return;
+  }
+  const auto& profiles = snap.scenario().truth().profiles();
+  const isp::IspId id = isp::find_profile(profiles, query.isp);
+  if (id == isp::kNoIsp) {
+    fail(response, Status::NotFound, "unknown ISP: " + query.isp);
+    return;
+  }
+  const auto& matrix = snap.matrix();
+  HammingNeighborsResult result;
+  result.isp = profiles[id].name;
+  std::vector<std::pair<std::size_t, isp::IspId>> distances;
+  for (isp::IspId other = 0; other < matrix.num_isps(); ++other) {
+    if (other == id) continue;
+    std::size_t distance = 0;
+    for (core::ConduitId c = 0; c < matrix.num_conduits(); ++c) {
+      if (matrix.uses(id, c) != matrix.uses(other, c)) ++distance;
+    }
+    distances.emplace_back(distance, other);
+  }
+  const std::size_t k = std::min(query.k, distances.size());
+  std::partial_sort(distances.begin(), distances.begin() + static_cast<std::ptrdiff_t>(k),
+                    distances.end());
+  for (std::size_t i = 0; i < k; ++i) {
+    result.neighbors.push_back({profiles[distances[i].second].name, distances[i].first});
+  }
+  response.body = std::move(result);
+}
+
+void execute_sleep(const SleepQuery& query, Response& response) {
+  if (query.ms < 0.0) {
+    fail(response, Status::BadRequest, "sleep duration must be non-negative");
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(query.ms));
+  response.body = SleepResult{};
+}
+
+}  // namespace
+
+RequestType request_type(const Request& request) noexcept {
+  return static_cast<RequestType>(request.index());
+}
+
+std::string canonical_key(const Request& request) {
+  std::ostringstream key;
+  std::visit(
+      [&key](const auto& query) {
+        using T = std::decay_t<decltype(query)>;
+        if constexpr (std::is_same_v<T, SharedRiskQuery>) {
+          key << "risk:" << query.isp;
+        } else if constexpr (std::is_same_v<T, TopConduitsQuery>) {
+          key << "top:" << query.k;
+        } else if constexpr (std::is_same_v<T, WhatIfCutQuery>) {
+          auto cuts = query.cuts;
+          std::sort(cuts.begin(), cuts.end());
+          cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+          key << "cut:";
+          for (std::size_t i = 0; i < cuts.size(); ++i) key << (i ? "," : "") << cuts[i];
+        } else if constexpr (std::is_same_v<T, CityPathQuery>) {
+          key << "path:" << query.from << "|" << query.to;
+        } else if constexpr (std::is_same_v<T, HammingNeighborsQuery>) {
+          key << "hamming:" << query.isp << ":" << query.k;
+        } else if constexpr (std::is_same_v<T, SleepQuery>) {
+          key << "sleep:" << query.ms;
+        }
+      },
+      request);
+  return key.str();
+}
+
+const char* status_name(Status status) noexcept {
+  switch (status) {
+    case Status::Ok: return "ok";
+    case Status::Overloaded: return "overloaded";
+    case Status::NotFound: return "not-found";
+    case Status::BadRequest: return "bad-request";
+    case Status::NoSnapshot: return "no-snapshot";
+    case Status::Error: return "error";
+  }
+  return "unknown";
+}
+
+Engine::Engine(SnapshotStore& store, sim::Executor& executor, EngineOptions options)
+    : store_(store),
+      executor_(executor),
+      options_(options),
+      cache_(options.cache_capacity, options.cache_shards) {
+  IT_CHECK(options.max_pending > 0);
+}
+
+Engine::~Engine() {
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  idle_cv_.wait(lock, [this] { return pending_.load(std::memory_order_acquire) == 0; });
+}
+
+void Engine::execute(const Snapshot& snapshot, const Request& request,
+                     Response& response) const {
+  std::visit(
+      [&](const auto& query) {
+        using T = std::decay_t<decltype(query)>;
+        if constexpr (std::is_same_v<T, SharedRiskQuery>) {
+          execute_shared_risk(snapshot, query, response);
+        } else if constexpr (std::is_same_v<T, TopConduitsQuery>) {
+          execute_top_conduits(snapshot, query, response);
+        } else if constexpr (std::is_same_v<T, WhatIfCutQuery>) {
+          execute_what_if_cut(snapshot, query, response);
+        } else if constexpr (std::is_same_v<T, CityPathQuery>) {
+          execute_city_path(snapshot, query, response);
+        } else if constexpr (std::is_same_v<T, HammingNeighborsQuery>) {
+          execute_hamming_neighbors(snapshot, query, response);
+        } else if constexpr (std::is_same_v<T, SleepQuery>) {
+          execute_sleep(query, response);
+        }
+      },
+      request);
+}
+
+Response Engine::run(Request request, Clock::time_point admitted) {
+  const RequestType type = request_type(request);
+  Response response;
+  try {
+    // One wait-free load; holding the shared_ptr pins every artifact for
+    // the rest of the request even if a new snapshot is published now.
+    const auto snapshot = store_.current();
+    if (!snapshot) {
+      fail(response, Status::NoSnapshot, "no snapshot published yet");
+    } else {
+      response.epoch = snapshot->epoch();
+      if (type == RequestType::Sleep) {
+        execute(*snapshot, request, response);
+      } else {
+        const CacheKey key{snapshot->epoch(), canonical_key(request)};
+        if (const auto cached = cache_.get(key)) {
+          response = **cached;
+          response.cache_hit = true;
+        } else {
+          execute(*snapshot, request, response);
+          if (response.status == Status::Ok) {
+            cache_.put(key, std::make_shared<const Response>(response));
+          }
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    fail(response, Status::Error, e.what());
+  }
+  response.latency_us =
+      std::chrono::duration<double, std::micro>(Clock::now() - admitted).count();
+  metrics_.record(type, response.latency_us, response.cache_hit,
+                  response.status != Status::Ok);
+  return response;
+}
+
+void Engine::finish() {
+  std::lock_guard<std::mutex> lock(idle_mu_);
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) idle_cv_.notify_all();
+}
+
+std::future<Response> Engine::submit(Request request) {
+  const auto admitted = Clock::now();
+  const RequestType type = request_type(request);
+  // Admission control: claim a pending slot or shed.  CAS loop so a burst
+  // can never overshoot max_pending.
+  std::size_t current = pending_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (current >= options_.max_pending) {
+      metrics_.record_shed(type);
+      std::promise<Response> rejected;
+      Response response;
+      response.status = Status::Overloaded;
+      response.error = "engine at max_pending (" + std::to_string(options_.max_pending) + ")";
+      rejected.set_value(std::move(response));
+      return rejected.get_future();
+    }
+    if (pending_.compare_exchange_weak(current, current + 1, std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+  auto promise = std::make_shared<std::promise<Response>>();
+  auto future = promise->get_future();
+  executor_.post([this, promise, request = std::move(request), admitted]() mutable {
+    promise->set_value(run(std::move(request), admitted));
+    finish();
+  });
+  return future;
+}
+
+}  // namespace intertubes::serve

@@ -1,0 +1,217 @@
+// The concurrent query engine: a typed request/response API over the
+// current Snapshot, dispatched onto the sim/ executor thread pool.
+//
+// Request lifecycle:
+//   submit() — admission control: if (queued + executing) requests have
+//     reached EngineOptions::max_pending, the request is *shed* with an
+//     immediate Overloaded response instead of queueing unboundedly;
+//     otherwise it is posted to the executor and a future returned.
+//   worker — loads the current snapshot (one wait-free atomic read, held
+//     for the whole request so a concurrent publish cannot pull artifacts
+//     out from under it), consults the memoization cache keyed by
+//     (snapshot epoch, canonical request), computes on miss, records
+//     latency (queue wait included) into the metrics registry.
+//
+// Every response carries the epoch it was computed against, so callers
+// can detect cross-epoch reads in a stream of requests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/snapshot.hpp"
+#include "sim/executor.hpp"
+
+namespace intertubes::serve {
+
+// --- Requests ---------------------------------------------------------
+
+/// Per-ISP shared-risk row (the Fig. 6 ranking entry for one ISP).
+struct SharedRiskQuery {
+  std::string isp;
+};
+
+/// The k most-shared conduits with tenancy and endpoints (Tables 2/3 shape).
+struct TopConduitsQuery {
+  std::size_t k = 10;
+};
+
+/// What-if: sever these conduits of the current map and report the blast
+/// radius (service impact + connectivity delta).
+struct WhatIfCutQuery {
+  std::vector<core::ConduitId> cuts;
+};
+
+/// Shortest conduit path between two cities with fiber propagation delay.
+struct CityPathQuery {
+  std::string from;
+  std::string to;
+};
+
+/// The k ISPs with the most similar risk profile (smallest Hamming
+/// distance between risk-matrix usage rows, Fig. 8).
+struct HammingNeighborsQuery {
+  std::string isp;
+  std::size_t k = 5;
+};
+
+/// Occupy a serve slot for `ms` milliseconds.  A load-testing aid (and the
+/// lever the admission-control tests use); never cached.
+struct SleepQuery {
+  double ms = 1.0;
+};
+
+/// Alternative order must match serve::RequestType.
+using Request = std::variant<SharedRiskQuery, TopConduitsQuery, WhatIfCutQuery, CityPathQuery,
+                             HammingNeighborsQuery, SleepQuery>;
+
+RequestType request_type(const Request& request) noexcept;
+
+/// Canonical cache-key form: identical semantics ⇒ identical string
+/// (what-if cut lists are sorted and deduplicated, etc.).
+std::string canonical_key(const Request& request);
+
+// --- Responses --------------------------------------------------------
+
+struct SharedRiskResult {
+  std::string isp;
+  std::size_t conduits_used = 0;
+  double mean_sharing = 0.0;
+  double standard_error = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+};
+
+struct TopConduitRow {
+  core::ConduitId conduit = core::kNoConduit;
+  std::string a;
+  std::string b;
+  std::size_t tenants = 0;
+  bool validated = false;
+};
+
+struct TopConduitsResult {
+  std::vector<TopConduitRow> rows;
+};
+
+struct WhatIfCutResult {
+  std::size_t conduits_cut = 0;
+  std::size_t links_severed = 0;  ///< links traversing >= 1 cut conduit
+  std::size_t isps_hit = 0;       ///< distinct ISPs with >= 1 severed link
+  double connected_fraction_before = 0.0;  ///< node pairs connected, uncut map
+  double connected_fraction_after = 0.0;
+  std::size_t components_after = 0;
+};
+
+struct PathHop {
+  std::string a;
+  std::string b;
+  double km = 0.0;
+};
+
+struct CityPathResult {
+  bool reachable = false;
+  std::vector<PathHop> hops;
+  double km = 0.0;
+  double delay_ms = 0.0;  ///< one-way fiber propagation
+};
+
+struct HammingNeighbor {
+  std::string isp;
+  std::size_t distance = 0;
+};
+
+struct HammingNeighborsResult {
+  std::string isp;
+  std::vector<HammingNeighbor> neighbors;
+};
+
+struct SleepResult {};
+
+using ResponseBody = std::variant<SharedRiskResult, TopConduitsResult, WhatIfCutResult,
+                                  CityPathResult, HammingNeighborsResult, SleepResult>;
+
+enum class Status : std::uint8_t {
+  Ok,
+  Overloaded,  ///< shed at admission; request was never executed
+  NotFound,    ///< unknown ISP / city name
+  BadRequest,  ///< malformed parameters (conduit id out of range, k = 0)
+  NoSnapshot,  ///< nothing published yet
+  Error,       ///< unexpected exception during execution
+};
+
+const char* status_name(Status status) noexcept;
+
+struct Response {
+  Status status = Status::Ok;
+  std::string error;          ///< populated for non-Ok statuses
+  std::uint64_t epoch = 0;    ///< snapshot the response was computed against
+  bool cache_hit = false;
+  double latency_us = 0.0;    ///< submit → completion, queue wait included
+  ResponseBody body;
+};
+
+// --- Engine -----------------------------------------------------------
+
+struct EngineOptions {
+  /// Admission bound: requests queued or executing before shedding.
+  std::size_t max_pending = 256;
+  std::size_t cache_capacity = 4096;
+  std::size_t cache_shards = 8;
+};
+
+class Engine {
+ public:
+  /// The store and executor must outlive the engine.  A serial executor
+  /// (no workers) degrades gracefully: requests execute inline in
+  /// submit() and the future is ready on return.
+  Engine(SnapshotStore& store, sim::Executor& executor, EngineOptions options = {});
+  ~Engine();  ///< blocks until every in-flight request completed
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  std::future<Response> submit(Request request);
+
+  /// Synchronous convenience: submit and wait.
+  Response serve(Request request) { return submit(std::move(request)).get(); }
+
+  /// Requests admitted but not yet completed.
+  std::size_t pending() const noexcept { return pending_.load(std::memory_order_relaxed); }
+
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
+  CacheStats cache_stats() const { return cache_.stats(); }
+  std::size_t cache_size() const { return cache_.size(); }
+  void clear_cache() { cache_.clear(); }
+  /// Drop cache entries from epochs other than the current one.
+  std::size_t purge_stale_cache() { return cache_.purge_stale(store_.epoch()); }
+
+  /// Operator report: latency table + cache summary.
+  std::string render_metrics() const { return metrics_.render(cache_.stats()); }
+
+ private:
+  void execute(const Snapshot& snapshot, const Request& request, Response& response) const;
+  Response run(Request request, std::chrono::steady_clock::time_point admitted);
+  void finish();
+
+  SnapshotStore& store_;
+  sim::Executor& executor_;
+  EngineOptions options_;
+  ShardedLruCache<std::shared_ptr<const Response>> cache_;
+  MetricsRegistry metrics_;
+  std::atomic<std::size_t> pending_{0};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+};
+
+}  // namespace intertubes::serve

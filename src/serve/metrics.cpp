@@ -1,0 +1,101 @@
+#include "serve/metrics.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace intertubes::serve {
+
+const char* request_type_name(RequestType type) noexcept {
+  switch (type) {
+    case RequestType::SharedRisk: return "shared-risk";
+    case RequestType::TopConduits: return "top-conduits";
+    case RequestType::WhatIfCut: return "what-if-cut";
+    case RequestType::CityPath: return "city-path";
+    case RequestType::HammingNeighbors: return "hamming-neighbors";
+    case RequestType::Sleep: return "sleep";
+  }
+  return "unknown";
+}
+
+void MetricsRegistry::record(RequestType type, double latency_us, bool cache_hit, bool error) {
+  PerType& t = types_[static_cast<std::size_t>(type)];
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.hist.add(latency_us);
+  ++t.count;
+  if (cache_hit) ++t.cache_hits;
+  if (error) ++t.errors;
+}
+
+void MetricsRegistry::record_shed(RequestType type) {
+  PerType& t = types_[static_cast<std::size_t>(type)];
+  std::lock_guard<std::mutex> lock(t.mu);
+  ++t.shed;
+}
+
+RequestTypeMetrics MetricsRegistry::snapshot_of(RequestType type) const {
+  const PerType& t = types_[static_cast<std::size_t>(type)];
+  std::lock_guard<std::mutex> lock(t.mu);
+  RequestTypeMetrics out;
+  out.count = t.count;
+  out.cache_hits = t.cache_hits;
+  out.shed = t.shed;
+  out.errors = t.errors;
+  if (t.count > 0) {
+    out.p50_us = t.hist.percentile(50.0);
+    out.p95_us = t.hist.percentile(95.0);
+    out.p99_us = t.hist.percentile(99.0);
+    out.max_us = t.hist.max();
+    out.mean_us = t.hist.mean();
+  }
+  return out;
+}
+
+std::uint64_t MetricsRegistry::total_served() const {
+  std::uint64_t total = 0;
+  for (const PerType& t : types_) {
+    std::lock_guard<std::mutex> lock(t.mu);
+    total += t.count;
+  }
+  return total;
+}
+
+std::uint64_t MetricsRegistry::total_shed() const {
+  std::uint64_t total = 0;
+  for (const PerType& t : types_) {
+    std::lock_guard<std::mutex> lock(t.mu);
+    total += t.shed;
+  }
+  return total;
+}
+
+std::string MetricsRegistry::render(const CacheStats& cache) const {
+  TextTable table({"request", "served", "shed", "errors", "cache hit %", "p50 µs", "p95 µs",
+                   "p99 µs", "max µs"});
+  for (std::size_t i = 0; i < kNumRequestTypes; ++i) {
+    const auto type = static_cast<RequestType>(i);
+    const auto m = snapshot_of(type);
+    if (m.count == 0 && m.shed == 0) continue;
+    table.start_row();
+    table.add_cell(request_type_name(type));
+    table.add_cell(m.count);
+    table.add_cell(m.shed);
+    table.add_cell(m.errors);
+    table.add_cell(m.count ? 100.0 * static_cast<double>(m.cache_hits) /
+                                 static_cast<double>(m.count)
+                           : 0.0,
+                   1);
+    table.add_cell(m.p50_us, 1);
+    table.add_cell(m.p95_us, 1);
+    table.add_cell(m.p99_us, 1);
+    table.add_cell(m.max_us, 1);
+  }
+  std::ostringstream out;
+  out << table.render("serve latency by request type");
+  out << "cache: " << cache.hits << " hits, " << cache.misses << " misses ("
+      << format_double(100.0 * cache.hit_ratio(), 1) << "% hit ratio), " << cache.evictions
+      << " evictions, " << cache.invalidations << " invalidated\n";
+  return out.str();
+}
+
+}  // namespace intertubes::serve

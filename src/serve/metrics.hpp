@@ -1,0 +1,71 @@
+// Request-level observability for the query service: per-request-type
+// latency histograms (util/stats LatencyHistogram, microsecond domain),
+// shed/error counters, and a table renderer for operator-facing reports.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "serve/cache.hpp"
+#include "util/stats.hpp"
+
+namespace intertubes::serve {
+
+/// One value per Request variant alternative (and the order must match the
+/// variant in serve/engine.hpp — see request_type() there).
+enum class RequestType : std::uint8_t {
+  SharedRisk = 0,
+  TopConduits,
+  WhatIfCut,
+  CityPath,
+  HammingNeighbors,
+  Sleep,
+};
+inline constexpr std::size_t kNumRequestTypes = 6;
+
+const char* request_type_name(RequestType type) noexcept;
+
+/// Point-in-time numbers for one request type.
+struct RequestTypeMetrics {
+  std::uint64_t count = 0;       ///< requests served (Ok or error, not shed)
+  std::uint64_t cache_hits = 0;  ///< served straight from the cache
+  std::uint64_t shed = 0;        ///< rejected Overloaded at admission
+  std::uint64_t errors = 0;      ///< served with a non-Ok, non-Overloaded status
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+  double mean_us = 0.0;
+};
+
+/// Thread-safe registry.  record() takes one short per-type lock; readers
+/// (snapshot_of, render) take the same locks briefly — metrics reads are
+/// rare next to request traffic.
+class MetricsRegistry {
+ public:
+  void record(RequestType type, double latency_us, bool cache_hit, bool error);
+  void record_shed(RequestType type);
+
+  RequestTypeMetrics snapshot_of(RequestType type) const;
+  std::uint64_t total_served() const;
+  std::uint64_t total_shed() const;
+
+  /// Operator report: one row per request type with traffic so far, plus a
+  /// cache summary line from `cache`.
+  std::string render(const CacheStats& cache) const;
+
+ private:
+  struct PerType {
+    mutable std::mutex mu;
+    LatencyHistogram hist;  // default geometry: 1 µs .. 10 s
+    std::uint64_t count = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t errors = 0;
+  };
+  std::array<PerType, kNumRequestTypes> types_;
+};
+
+}  // namespace intertubes::serve

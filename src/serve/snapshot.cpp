@@ -1,0 +1,104 @@
+#include "serve/snapshot.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "traceroute/campaign.hpp"
+#include "util/check.hpp"
+
+namespace intertubes::serve {
+
+void Snapshot::derive() {
+  matrix_ = risk::RiskMatrix::from_map(map_);
+  sharing_table_ = matrix_.conduits_shared_by_at_least();
+  risk_ranking_ = matrix_.isp_risk_ranking();
+  // After this, every const query on the map is write-free and may run
+  // from any number of threads concurrently.
+  map_.prepare_for_concurrent_reads();
+}
+
+std::shared_ptr<Snapshot> Snapshot::build(std::shared_ptr<const core::Scenario> scenario,
+                                          SnapshotOptions options) {
+  IT_CHECK(scenario != nullptr);
+  auto snap = std::shared_ptr<Snapshot>(new Snapshot());
+  snap->scenario_ = scenario;
+  snap->map_ = scenario->map();
+  snap->l3_ = std::make_shared<traceroute::L3Topology>(traceroute::L3Topology::from_ground_truth(
+      scenario->truth(), core::Scenario::cities()));
+  if (options.overlay_probes > 0) {
+    traceroute::CampaignParams params;
+    params.num_probes = options.overlay_probes;
+    const auto campaign =
+        traceroute::run_campaign(*snap->l3_, core::Scenario::cities(), params);
+    snap->overlay_ = std::make_shared<traceroute::OverlayResult>(
+        traceroute::overlay_campaign(snap->map_, core::Scenario::cities(), campaign));
+  }
+  snap->label_ = options.label.empty() ? "base world" : options.label;
+  snap->derive();
+  return snap;
+}
+
+std::shared_ptr<Snapshot> Snapshot::with_conduits_cut(const Snapshot& base,
+                                                      std::vector<core::ConduitId> cuts) {
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  const auto& old_map = base.map();
+  for (core::ConduitId c : cuts) IT_CHECK(c < old_map.conduits().size());
+
+  const auto is_cut = [&cuts](core::ConduitId c) {
+    return std::binary_search(cuts.begin(), cuts.end(), c);
+  };
+
+  auto snap = std::shared_ptr<Snapshot>(new Snapshot());
+  snap->scenario_ = base.scenario_;
+  snap->l3_ = base.l3_;  // ground-truth topology is unaffected by map cuts
+
+  const auto& row = snap->scenario_->row();
+  core::FiberMap map(old_map.num_isps());
+  // Surviving conduits keep tenancy (including overlay-inferred tenants
+  // with no surviving link) and validation state.  Ids are re-assigned;
+  // corridor identity is what carries over.
+  for (const auto& conduit : old_map.conduits()) {
+    if (is_cut(conduit.id)) continue;
+    const core::ConduitId nid =
+        map.ensure_conduit(row.corridor(conduit.corridor), conduit.provenance);
+    for (isp::IspId tenant : conduit.tenants) map.add_tenant(nid, tenant);
+    if (conduit.validated) map.mark_validated(nid);
+  }
+  for (const auto& link : old_map.links()) {
+    std::vector<core::ConduitId> remapped;
+    remapped.reserve(link.conduits.size());
+    bool severed = false;
+    for (core::ConduitId cid : link.conduits) {
+      if (is_cut(cid)) {
+        severed = true;
+        break;
+      }
+      remapped.push_back(*map.conduit_for_corridor(old_map.conduit(cid).corridor));
+    }
+    if (severed) {
+      ++snap->links_severed_;
+      continue;
+    }
+    map.add_link(link.isp, link.a, link.b, remapped, link.geocoded);
+  }
+  snap->map_ = std::move(map);
+
+  std::ostringstream label;
+  label << base.label_ << " - cut {";
+  for (std::size_t i = 0; i < cuts.size(); ++i) label << (i ? "," : "") << cuts[i];
+  label << "}";
+  snap->label_ = label.str();
+  snap->derive();
+  return snap;
+}
+
+std::uint64_t SnapshotStore::publish(std::shared_ptr<Snapshot> snapshot) {
+  IT_CHECK(snapshot != nullptr);
+  const std::uint64_t epoch = next_epoch_.fetch_add(1, std::memory_order_relaxed);
+  snapshot->epoch_ = epoch;
+  current_.store(std::move(snapshot), std::memory_order_release);
+  return epoch;
+}
+
+}  // namespace intertubes::serve

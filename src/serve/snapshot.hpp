@@ -1,0 +1,119 @@
+// Immutable, versioned bundles of the expensive world artifacts, behind an
+// RCU-style atomic pointer swap.
+//
+// A Snapshot packages everything a query needs — the constructed FiberMap,
+// the ISP × conduit RiskMatrix, the L3 topology, the traceroute overlay,
+// and the precomputed conduit-sharing tables — as one immutable unit.  The
+// SnapshotStore publishes snapshots with a monotonically increasing epoch;
+// readers grab the current snapshot with a single lock-free
+// std::atomic<std::shared_ptr> load and keep it alive for the duration of
+// their query, so a rebuilt world (new seed, strict/lenient reingest, or a
+// what-if conduit cut) hot-swaps under live readers with zero locking on
+// the read path.  Old snapshots die when their last reader drops them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "risk/risk_matrix.hpp"
+#include "traceroute/overlay.hpp"
+
+namespace intertubes::serve {
+
+struct SnapshotOptions {
+  /// Probes for the traceroute campaign feeding the overlay; 0 skips the
+  /// overlay entirely (it is the most expensive derived artifact).
+  std::uint64_t overlay_probes = 0;
+  /// Human-readable provenance shown in diagnostics ("seed=0x1257",
+  /// "what-if cut {3,17}", ...).  build() defaults it from the seed.
+  std::string label;
+};
+
+class Snapshot {
+ public:
+  /// Derive every artifact from an already-built world.  The scenario is
+  /// held by shared_ptr so what-if variants can share it.  Also eagerly
+  /// builds the map's lazy adjacency, making all const queries on the
+  /// snapshot safe from any number of threads.
+  static std::shared_ptr<Snapshot> build(std::shared_ptr<const core::Scenario> scenario,
+                                         SnapshotOptions options = {});
+
+  /// A what-if world: `cuts` (conduit ids of *base's* map) severed.  The
+  /// surviving conduits keep their tenancy and validation state; links
+  /// that traversed a cut conduit are severed (dropped).  Derived
+  /// artifacts are recomputed against the cut map.  The base scenario and
+  /// L3 topology are shared; the overlay is dropped (its probe evidence
+  /// refers to the uncut world).
+  static std::shared_ptr<Snapshot> with_conduits_cut(const Snapshot& base,
+                                                     std::vector<core::ConduitId> cuts);
+
+  /// Epoch this snapshot was published at; 0 until SnapshotStore::publish.
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  const std::string& label() const noexcept { return label_; }
+
+  const core::Scenario& scenario() const noexcept { return *scenario_; }
+  const core::FiberMap& map() const noexcept { return map_; }
+  const risk::RiskMatrix& matrix() const noexcept { return matrix_; }
+  const traceroute::L3Topology& l3() const noexcept { return *l3_; }
+  /// Null when overlay_probes was 0 or for what-if snapshots.
+  const traceroute::OverlayResult* overlay() const noexcept { return overlay_.get(); }
+
+  /// Precomputed sharing tables: conduits_shared_by_at_least (Fig. 6
+  /// series) and the per-ISP risk ranking, both derived from matrix().
+  const std::vector<std::size_t>& sharing_table() const noexcept { return sharing_table_; }
+  const std::vector<risk::RiskMatrix::IspRisk>& risk_ranking() const noexcept {
+    return risk_ranking_;
+  }
+
+  /// Links of the base map severed by the cut (0 for non-what-if
+  /// snapshots).
+  std::size_t links_severed() const noexcept { return links_severed_; }
+
+ private:
+  friend class SnapshotStore;
+  Snapshot() = default;
+  void derive();  ///< compute matrix_ + tables from map_ and warm caches
+
+  std::uint64_t epoch_ = 0;
+  std::string label_;
+  std::shared_ptr<const core::Scenario> scenario_;
+  core::FiberMap map_{0};
+  risk::RiskMatrix matrix_;
+  std::shared_ptr<const traceroute::L3Topology> l3_;
+  std::shared_ptr<const traceroute::OverlayResult> overlay_;
+  std::vector<std::size_t> sharing_table_;
+  std::vector<risk::RiskMatrix::IspRisk> risk_ranking_;
+  std::size_t links_severed_ = 0;
+};
+
+/// Publication point: one atomic shared_ptr, so current() is wait-free and
+/// publish() is a single pointer swap.  Epochs are assigned at publish
+/// time and strictly increase.
+class SnapshotStore {
+ public:
+  /// The snapshot visible to new requests; nullptr before first publish.
+  std::shared_ptr<const Snapshot> current() const noexcept {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Stamp the snapshot with the next epoch and swap it in.  Returns the
+  /// assigned epoch.  In-flight readers keep the previous snapshot alive
+  /// until they finish.
+  std::uint64_t publish(std::shared_ptr<Snapshot> snapshot);
+
+  /// Epoch of the currently published snapshot (0 when empty).
+  std::uint64_t epoch() const noexcept {
+    const auto snap = current();
+    return snap ? snap->epoch() : 0;
+  }
+
+ private:
+  std::atomic<std::shared_ptr<const Snapshot>> current_;
+  std::atomic<std::uint64_t> next_epoch_{1};
+};
+
+}  // namespace intertubes::serve

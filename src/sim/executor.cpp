@@ -41,6 +41,24 @@ Executor::~Executor() {
   for (auto& worker : workers_) worker.join();
 }
 
+void Executor::post(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Serial baseline: no worker will ever drain a queue, so run inline.
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+std::size_t Executor::queued_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
 std::size_t Executor::resolve_chunk(std::size_t items, std::size_t chunk) noexcept {
   if (chunk > 0) return chunk;
   // Default: ~64 chunks regardless of thread count (a function of the
@@ -104,12 +122,24 @@ void Executor::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
     std::shared_ptr<Job> job;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
-      seen = generation_;
-      job = job_;
+      cv_.wait(lock, [&] { return stop_ || generation_ != seen || !tasks_.empty(); });
+      if (!tasks_.empty()) {
+        // Tasks drain even during shutdown so post()ed work never vanishes.
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      } else if (stop_) {
+        return;
+      } else {
+        seen = generation_;
+        job = job_;
+      }
+    }
+    if (task) {
+      task();  // exceptions must be handled by the task itself (see post())
+      continue;
     }
     // A laggard may pick up an already-drained job; run_job exits at once.
     run_job(*job);

@@ -20,6 +20,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -48,6 +49,21 @@ class Executor {
   /// count — that would break cross-thread-count determinism of
   /// parallel_reduce).
   static std::size_t resolve_chunk(std::size_t items, std::size_t chunk) noexcept;
+
+  /// Submit one asynchronous task to the pool and return immediately.
+  /// Tasks are independent of the chunked parallel regions: workers
+  /// interleave them with published jobs, and queued tasks are drained
+  /// before the destructor joins.  On a serial executor (no workers) the
+  /// task runs inline in the calling thread — post() then blocks until it
+  /// completes, preserving the "Executor(1) is the serial baseline"
+  /// contract.  Tasks must not let exceptions escape (a throwing task
+  /// terminates the worker thread's process) — catch and report through
+  /// the task's own channel, as serve/engine does via response futures.
+  void post(std::function<void()> task);
+
+  /// Tasks posted but not yet picked up by a worker (serial executors
+  /// always report 0).  Advisory — the count can change concurrently.
+  std::size_t queued_tasks() const;
 
   /// Invoke body(chunk_begin, chunk_end) over [begin, end) partitioned
   /// into chunks.  Blocks until every chunk completed.  The first
@@ -104,10 +120,11 @@ class Executor {
   static void run_job(Job& job);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::shared_ptr<Job> job_;       // latest published job (kept alive for laggards)
   std::uint64_t generation_ = 0;   // bumped per published job
+  std::deque<std::function<void()>> tasks_;  // post()ed, drained before shutdown
   bool stop_ = false;
 };
 

@@ -117,6 +117,81 @@ double Histogram::relative(std::size_t i) const noexcept {
   return counts_[i] / total_;
 }
 
+LatencyHistogram::LatencyHistogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), log_lo_(std::log(lo)) {
+  IT_CHECK(lo > 0.0);
+  IT_CHECK(hi > lo);
+  IT_CHECK(buckets > 0);
+  log_step_ = (std::log(hi) - log_lo_) / static_cast<double>(buckets);
+  counts_.assign(buckets, 0);
+}
+
+void LatencyHistogram::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  std::ptrdiff_t idx = 0;
+  if (x > lo_) {
+    idx = static_cast<std::ptrdiff_t>(std::floor((std::log(x) - log_lo_) / log_step_));
+    if (idx < 0) idx = 0;
+    if (idx >= static_cast<std::ptrdiff_t>(counts_.size()))
+      idx = static_cast<std::ptrdiff_t>(counts_.size()) - 1;
+  }
+  ++counts_[static_cast<std::size_t>(idx)];
+}
+
+double LatencyHistogram::bucket_lo(std::size_t i) const noexcept {
+  return std::exp(log_lo_ + log_step_ * static_cast<double>(i));
+}
+
+double LatencyHistogram::bucket_hi(std::size_t i) const noexcept {
+  return std::exp(log_lo_ + log_step_ * static_cast<double>(i + 1));
+}
+
+double LatencyHistogram::percentile(double p) const {
+  IT_CHECK(p >= 0.0 && p <= 100.0);
+  if (count_ == 0) return 0.0;
+  // Rank of the target observation, 1-based; the bucket that contains it
+  // bounds the estimate, geometric interpolation refines within.
+  const double rank = std::max(1.0, (p / 100.0) * static_cast<double>(count_));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      const double frac = (rank - before) / static_cast<double>(counts_[i]);
+      const double log_est = std::log(bucket_lo(i)) + log_step_ * frac;
+      return std::clamp(std::exp(log_est), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  IT_CHECK(same_geometry(other));
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+bool LatencyHistogram::same_geometry(const LatencyHistogram& other) const noexcept {
+  return lo_ == other.lo_ && hi_ == other.hi_ && counts_.size() == other.counts_.size();
+}
+
 double pearson(const std::vector<double>& a, const std::vector<double>& b) {
   IT_CHECK(a.size() == b.size());
   IT_CHECK(a.size() >= 2);

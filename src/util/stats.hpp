@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -80,5 +81,57 @@ class Histogram {
 
 /// Pearson correlation of two equal-length samples.
 double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Fixed-bucket streaming histogram with log-spaced buckets, built for
+/// latency distributions: O(1) add, O(buckets) percentile estimate, exact
+/// min/max/sum/count on the side, and merge of identically configured
+/// instances (so per-thread histograms can be combined).  Values below
+/// `lo` land in the first bucket and values at or above `hi` in the last,
+/// so mass is never silently dropped (same policy as Histogram).
+class LatencyHistogram {
+ public:
+  /// Bucket i covers [lo * g^i, lo * g^(i+1)) with g chosen so `buckets`
+  /// spans [lo, hi).  Requires 0 < lo < hi and buckets > 0.
+  LatencyHistogram(double lo, double hi, std::size_t buckets);
+
+  /// Default geometry for microsecond-scale latencies: 1 µs .. 10 s at
+  /// 12 buckets per decade.
+  LatencyHistogram() : LatencyHistogram(1.0, 1e7, 84) {}
+
+  void add(double x) noexcept;
+
+  std::size_t buckets() const noexcept { return counts_.size(); }
+  double bucket_lo(std::size_t i) const noexcept;
+  double bucket_hi(std::size_t i) const noexcept;
+  std::uint64_t bucket_count(std::size_t i) const noexcept { return counts_[i]; }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+
+  /// Percentile estimate, p in [0, 100]: locate the bucket holding the
+  /// target rank and interpolate geometrically within it, clamped to the
+  /// exact observed [min, max].  Returns 0 on an empty histogram.
+  double percentile(double p) const;
+
+  /// Accumulate another histogram with identical (lo, hi, buckets).
+  void merge(const LatencyHistogram& other);
+
+  /// True when (lo, hi, buckets) match, i.e. merge is legal.
+  bool same_geometry(const LatencyHistogram& other) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double log_lo_;
+  double log_step_;  ///< log-width of one bucket
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
 
 }  // namespace intertubes

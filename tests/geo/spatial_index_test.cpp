@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <limits>
+#include <thread>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -65,6 +67,41 @@ TEST(SegmentIndex, LongSegmentIndexedAcrossCells) {
 TEST(SegmentIndex, RejectsBadCellSize) {
   EXPECT_THROW(SegmentIndex(0.0), std::logic_error);
   EXPECT_THROW(SegmentIndex(-1.0), std::logic_error);
+}
+
+// The documented const-query thread-safety contract: after building, any
+// number of threads may query concurrently.  Each thread checks its
+// answers against a single-threaded baseline computed up front; run under
+// TSAN this certifies the absence of hidden mutable state.
+TEST(SegmentIndex, ConcurrentConstQueriesAreSafeAndConsistent) {
+  Rng rng(0x9e3779b9ULL);
+  SegmentIndex index(40.0);
+  for (int i = 0; i < 24; ++i) {
+    const GeoPoint a{rng.uniform(32.0, 45.0), rng.uniform(-115.0, -80.0)};
+    const GeoPoint b = destination(a, rng.uniform(0.0, 360.0), rng.uniform(30.0, 300.0));
+    index.add_polyline(Polyline::straight(a, b), static_cast<std::uint32_t>(i));
+  }
+  std::vector<GeoPoint> queries;
+  std::vector<SegmentIndex::NearestResult> baseline;
+  for (int q = 0; q < 50; ++q) {
+    queries.push_back({rng.uniform(32.0, 45.0), rng.uniform(-115.0, -80.0)});
+    baseline.push_back(index.nearest(queries.back(), 1500.0));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int rep = 0; rep < 20; ++rep) {
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+          const auto result = index.nearest(queries[q], 1500.0);
+          EXPECT_EQ(result.owner_id, baseline[q].owner_id);
+          EXPECT_EQ(result.distance_km, baseline[q].distance_km);
+          EXPECT_EQ(index.anything_within(queries[q], 1500.0),
+                    !std::isinf(baseline[q].distance_km));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
 }
 
 /// Property: the index's nearest() agrees with brute force over the

@@ -1,0 +1,112 @@
+#include "serve/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace intertubes::serve {
+namespace {
+
+CacheKey key(std::uint64_t epoch, std::string request) { return {epoch, std::move(request)}; }
+
+TEST(ServeCache, MissThenHit) {
+  ShardedLruCache<int> cache(8, 1);
+  EXPECT_FALSE(cache.get(key(1, "a")).has_value());
+  cache.put(key(1, "a"), 42);
+  const auto hit = cache.get(key(1, "a"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 42);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_DOUBLE_EQ(stats.hit_ratio(), 0.5);
+}
+
+TEST(ServeCache, PutRefreshesExistingKey) {
+  ShardedLruCache<int> cache(8, 1);
+  cache.put(key(1, "a"), 1);
+  cache.put(key(1, "a"), 2);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.get(key(1, "a")), 2);
+}
+
+TEST(ServeCache, EvictsLeastRecentlyUsed) {
+  ShardedLruCache<int> cache(3, 1);  // single shard so LRU order is global
+  cache.put(key(1, "a"), 1);
+  cache.put(key(1, "b"), 2);
+  cache.put(key(1, "c"), 3);
+  // Touch "a" so "b" becomes the LRU entry.
+  EXPECT_TRUE(cache.get(key(1, "a")).has_value());
+  cache.put(key(1, "d"), 4);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_TRUE(cache.get(key(1, "a")).has_value());
+  EXPECT_FALSE(cache.get(key(1, "b")).has_value());  // evicted
+  EXPECT_TRUE(cache.get(key(1, "c")).has_value());
+  EXPECT_TRUE(cache.get(key(1, "d")).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ServeCache, EpochsAreDistinctKeys) {
+  ShardedLruCache<int> cache(8, 2);
+  cache.put(key(1, "q"), 10);
+  cache.put(key(2, "q"), 20);
+  EXPECT_EQ(*cache.get(key(1, "q")), 10);
+  EXPECT_EQ(*cache.get(key(2, "q")), 20);
+}
+
+TEST(ServeCache, PurgeStaleDropsOldEpochsOnly) {
+  ShardedLruCache<int> cache(64, 4);
+  for (int i = 0; i < 10; ++i) cache.put(key(1, "q" + std::to_string(i)), i);
+  for (int i = 0; i < 5; ++i) cache.put(key(2, "q" + std::to_string(i)), i);
+  EXPECT_EQ(cache.size(), 15u);
+  EXPECT_EQ(cache.purge_stale(2), 10u);
+  EXPECT_EQ(cache.size(), 5u);
+  EXPECT_EQ(cache.stats().invalidations, 10u);
+  EXPECT_FALSE(cache.get(key(1, "q0")).has_value());
+  EXPECT_TRUE(cache.get(key(2, "q0")).has_value());
+}
+
+TEST(ServeCache, ClearDropsEverything) {
+  ShardedLruCache<int> cache(64, 4);
+  for (int i = 0; i < 10; ++i) cache.put(key(7, "q" + std::to_string(i)), i);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 0u);  // clear() is not invalidation
+}
+
+TEST(ServeCache, CapacitySplitsAcrossShards) {
+  ShardedLruCache<int> cache(16, 4);
+  EXPECT_EQ(cache.num_shards(), 4u);
+  EXPECT_EQ(cache.shard_capacity(), 4u);
+  EXPECT_THROW(ShardedLruCache<int>(0, 4), std::logic_error);
+  EXPECT_THROW(ShardedLruCache<int>(16, 0), std::logic_error);
+}
+
+// Hammer one cache from many threads; run under TSAN this certifies the
+// sharded locking.  Values are keyed by content so hits can be verified.
+TEST(ServeCache, ConcurrentGetPutIsSafe) {
+  ShardedLruCache<int> cache(256, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const int v = (t * 2000 + i) % 100;
+        const auto k = key(static_cast<std::uint64_t>(v % 3), "q" + std::to_string(v));
+        if (const auto hit = cache.get(k)) {
+          EXPECT_EQ(*hit, v);
+        } else {
+          cache.put(k, v);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 6u * 2000u);
+}
+
+}  // namespace
+}  // namespace intertubes::serve

@@ -1,0 +1,350 @@
+#include "serve/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "geo/latency.hpp"
+#include "test_support.hpp"
+
+namespace intertubes::serve {
+namespace {
+
+std::shared_ptr<const core::Scenario> scenario_ptr() {
+  return {std::shared_ptr<const core::Scenario>{}, &testing::shared_scenario()};
+}
+
+/// Store with the canonical world published once, shared by the fast tests.
+SnapshotStore& shared_store() {
+  static SnapshotStore* store = [] {
+    auto* s = new SnapshotStore();
+    s->publish(Snapshot::build(scenario_ptr()));
+    return s;
+  }();
+  return *store;
+}
+
+template <typename T>
+const T& body_of(const Response& response) {
+  EXPECT_EQ(response.status, Status::Ok) << response.error;
+  return std::get<T>(response.body);
+}
+
+TEST(ServeEngine, SharedRiskMatchesDirectComputation) {
+  Engine engine(shared_store(), sim::default_executor());
+  const auto& profiles = testing::shared_scenario().truth().profiles();
+  const auto matrix = risk::RiskMatrix::from_map(testing::shared_scenario().map());
+  const auto ranking = matrix.isp_risk_ranking();
+  for (const auto& expected : ranking) {
+    const auto response = engine.serve(SharedRiskQuery{profiles[expected.isp].name});
+    const auto& result = body_of<SharedRiskResult>(response);
+    EXPECT_EQ(result.isp, profiles[expected.isp].name);
+    EXPECT_EQ(result.conduits_used, expected.conduits_used);
+    EXPECT_DOUBLE_EQ(result.mean_sharing, expected.mean_sharing);
+    EXPECT_DOUBLE_EQ(result.p25, expected.p25);
+    EXPECT_DOUBLE_EQ(result.p75, expected.p75);
+  }
+}
+
+TEST(ServeEngine, UnknownNamesAreNotFound) {
+  Engine engine(shared_store(), sim::default_executor());
+  EXPECT_EQ(engine.serve(SharedRiskQuery{"NoSuchISP"}).status, Status::NotFound);
+  EXPECT_EQ(engine.serve(HammingNeighborsQuery{"NoSuchISP", 3}).status, Status::NotFound);
+  EXPECT_EQ(engine.serve(CityPathQuery{"Atlantis, XX", "New York, NY"}).status,
+            Status::NotFound);
+}
+
+TEST(ServeEngine, BadParametersAreBadRequests) {
+  Engine engine(shared_store(), sim::default_executor());
+  EXPECT_EQ(engine.serve(TopConduitsQuery{0}).status, Status::BadRequest);
+  EXPECT_EQ(engine.serve(HammingNeighborsQuery{"Sprint", 0}).status, Status::BadRequest);
+  EXPECT_EQ(engine.serve(WhatIfCutQuery{{}}).status, Status::BadRequest);
+  const auto huge =
+      static_cast<core::ConduitId>(testing::shared_scenario().map().conduits().size());
+  EXPECT_EQ(engine.serve(WhatIfCutQuery{{huge}}).status, Status::BadRequest);
+  EXPECT_EQ(engine.serve(SleepQuery{-1.0}).status, Status::BadRequest);
+}
+
+TEST(ServeEngine, TopConduitsMatchesMatrix) {
+  Engine engine(shared_store(), sim::default_executor());
+  const auto response = engine.serve(TopConduitsQuery{5});
+  const auto& result = body_of<TopConduitsResult>(response);
+  const auto snap = shared_store().current();
+  const auto expected = snap->matrix().most_shared_conduits(5);
+  ASSERT_EQ(result.rows.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const auto& conduit = snap->map().conduit(expected[i]);
+    EXPECT_EQ(result.rows[i].conduit, expected[i]);
+    EXPECT_EQ(result.rows[i].tenants, conduit.tenants.size());
+    EXPECT_EQ(result.rows[i].a, core::Scenario::cities().city(conduit.a).display_name());
+  }
+  // Descending tenancy.
+  for (std::size_t i = 1; i < result.rows.size(); ++i) {
+    EXPECT_GE(result.rows[i - 1].tenants, result.rows[i].tenants);
+  }
+}
+
+TEST(ServeEngine, CityPathIsContiguousWithConsistentDelay) {
+  Engine engine(shared_store(), sim::default_executor());
+  const auto response = engine.serve(CityPathQuery{"San Francisco, CA", "New York, NY"});
+  const auto& result = body_of<CityPathResult>(response);
+  ASSERT_TRUE(result.reachable);
+  ASSERT_FALSE(result.hops.empty());
+  EXPECT_EQ(result.hops.front().a, "San Francisco, CA");
+  EXPECT_EQ(result.hops.back().b, "New York, NY");
+  double km = 0.0;
+  for (std::size_t i = 0; i < result.hops.size(); ++i) {
+    km += result.hops[i].km;
+    if (i > 0) {
+      EXPECT_EQ(result.hops[i - 1].b, result.hops[i].a);
+    }
+  }
+  EXPECT_NEAR(km, result.km, 1e-6);
+  EXPECT_NEAR(result.delay_ms, geo::fiber_delay_ms(result.km), 1e-9);
+  EXPECT_GT(result.km, 3000.0);  // the continent is wide
+}
+
+TEST(ServeEngine, CityPathSameCityIsTrivial) {
+  Engine engine(shared_store(), sim::default_executor());
+  const auto response = engine.serve(CityPathQuery{"Denver, CO", "Denver, CO"});
+  const auto& result = body_of<CityPathResult>(response);
+  EXPECT_TRUE(result.reachable);
+  EXPECT_TRUE(result.hops.empty());
+  EXPECT_EQ(result.km, 0.0);
+}
+
+TEST(ServeEngine, WhatIfCutReportsBlastRadius) {
+  Engine engine(shared_store(), sim::default_executor());
+  const auto snap = shared_store().current();
+  const auto target = snap->matrix().most_shared_conduits(1).front();
+  const auto response = engine.serve(WhatIfCutQuery{{target}});
+  const auto& result = body_of<WhatIfCutResult>(response);
+  EXPECT_EQ(result.conduits_cut, 1u);
+  std::size_t expect_severed = 0;
+  std::vector<char> hit(snap->map().num_isps(), 0);
+  for (const auto& link : snap->map().links()) {
+    for (core::ConduitId cid : link.conduits) {
+      if (cid == target) {
+        ++expect_severed;
+        hit[link.isp] = 1;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(result.links_severed, expect_severed);
+  EXPECT_EQ(result.isps_hit,
+            static_cast<std::size_t>(std::count(hit.begin(), hit.end(), 1)));
+  EXPECT_GT(result.links_severed, 0u);
+  EXPECT_LE(result.connected_fraction_after, result.connected_fraction_before);
+  EXPECT_GT(result.connected_fraction_before, 0.99);  // built map is connected
+  EXPECT_GE(result.components_after, 1u);
+}
+
+TEST(ServeEngine, HammingNeighborsAreTheKClosest) {
+  Engine engine(shared_store(), sim::default_executor());
+  const auto& profiles = testing::shared_scenario().truth().profiles();
+  const auto response = engine.serve(HammingNeighborsQuery{"Sprint", 4});
+  const auto& result = body_of<HammingNeighborsResult>(response);
+  ASSERT_EQ(result.neighbors.size(), 4u);
+  for (std::size_t i = 1; i < result.neighbors.size(); ++i) {
+    EXPECT_GE(result.neighbors[i].distance, result.neighbors[i - 1].distance);
+  }
+  // Verify against a direct scan of the matrix.
+  const auto snap = shared_store().current();
+  const auto& matrix = snap->matrix();
+  const isp::IspId sprint = isp::find_profile(profiles, "Sprint");
+  std::vector<std::pair<std::size_t, isp::IspId>> distances;
+  for (isp::IspId other = 0; other < matrix.num_isps(); ++other) {
+    if (other == sprint) continue;
+    std::size_t d = 0;
+    for (core::ConduitId c = 0; c < matrix.num_conduits(); ++c) {
+      if (matrix.uses(sprint, c) != matrix.uses(other, c)) ++d;
+    }
+    distances.emplace_back(d, other);
+  }
+  std::sort(distances.begin(), distances.end());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(result.neighbors[i].isp, profiles[distances[i].second].name);
+    EXPECT_EQ(result.neighbors[i].distance, distances[i].first);
+  }
+}
+
+TEST(ServeEngine, CacheHitReturnsIdenticalResultToRecompute) {
+  Engine warm(shared_store(), sim::default_executor());
+  const Request request = CityPathQuery{"Seattle, WA", "Miami, FL"};
+  const auto miss = warm.serve(request);
+  EXPECT_FALSE(miss.cache_hit);
+  const auto hit = warm.serve(request);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.epoch, miss.epoch);
+
+  // A second engine with a cold cache recomputes from scratch; the
+  // memoized response must match it field for field.
+  Engine cold(shared_store(), sim::default_executor());
+  const auto recomputed = cold.serve(request);
+  EXPECT_FALSE(recomputed.cache_hit);
+  const auto& a = body_of<CityPathResult>(hit);
+  const auto& b = body_of<CityPathResult>(recomputed);
+  ASSERT_EQ(a.hops.size(), b.hops.size());
+  for (std::size_t i = 0; i < a.hops.size(); ++i) {
+    EXPECT_EQ(a.hops[i].a, b.hops[i].a);
+    EXPECT_EQ(a.hops[i].b, b.hops[i].b);
+    EXPECT_DOUBLE_EQ(a.hops[i].km, b.hops[i].km);
+  }
+  EXPECT_DOUBLE_EQ(a.km, b.km);
+  EXPECT_DOUBLE_EQ(a.delay_ms, b.delay_ms);
+
+  const auto stats = warm.cache_stats();
+  EXPECT_GE(stats.hits, 1u);
+  EXPECT_GE(stats.misses, 1u);
+}
+
+TEST(ServeEngine, CanonicalKeysCollapseEquivalentRequests) {
+  EXPECT_EQ(canonical_key(WhatIfCutQuery{{7, 3, 7, 3}}), canonical_key(WhatIfCutQuery{{3, 7}}));
+  EXPECT_NE(canonical_key(WhatIfCutQuery{{3}}), canonical_key(WhatIfCutQuery{{7}}));
+  EXPECT_NE(canonical_key(SharedRiskQuery{"Sprint"}), canonical_key(SharedRiskQuery{"AT&T"}));
+  EXPECT_NE(canonical_key(TopConduitsQuery{3}), canonical_key(TopConduitsQuery{4}));
+}
+
+TEST(ServeEngine, EpochBumpInvalidatesCachedResults) {
+  SnapshotStore store;
+  const auto base = Snapshot::build(scenario_ptr());
+  store.publish(base);
+  Engine engine(store, sim::default_executor());
+
+  const Request request = TopConduitsQuery{3};
+  const auto first = engine.serve(request);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(engine.serve(request).cache_hit);
+
+  // Publish a cut world: the same request must recompute at the new epoch.
+  const auto target = base->matrix().most_shared_conduits(1).front();
+  store.publish(Snapshot::with_conduits_cut(*base, {target}));
+  const auto after = engine.serve(request);
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_GT(after.epoch, first.epoch);
+  // The old epoch's entries are purgeable now.
+  EXPECT_GE(engine.purge_stale_cache(), 1u);
+}
+
+TEST(ServeEngine, NoSnapshotIsReportedNotCrashed) {
+  SnapshotStore empty;
+  Engine engine(empty, sim::default_executor());
+  const auto response = engine.serve(SharedRiskQuery{"Sprint"});
+  EXPECT_EQ(response.status, Status::NoSnapshot);
+  EXPECT_EQ(response.epoch, 0u);
+}
+
+TEST(ServeEngine, SerialExecutorRunsInline) {
+  sim::Executor serial(1);
+  Engine engine(shared_store(), serial);
+  auto future = engine.submit(TopConduitsQuery{2});
+  // With no workers the request executed in submit(); the future is ready.
+  EXPECT_EQ(future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(future.get().status, Status::Ok);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(ServeEngine, AdmissionControlShedsInsteadOfQueueingUnboundedly) {
+  sim::Executor executor(2);  // one worker services the queue
+  EngineOptions options;
+  options.max_pending = 2;
+  Engine engine(shared_store(), executor, options);
+
+  // Fill the admission window with slow requests.
+  auto slow1 = engine.submit(SleepQuery{250.0});
+  auto slow2 = engine.submit(SleepQuery{250.0});
+  // Both pending slots are taken; further traffic is shed immediately.
+  auto shed = engine.submit(TopConduitsQuery{3});
+  EXPECT_EQ(shed.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  const auto rejected = shed.get();
+  EXPECT_EQ(rejected.status, Status::Overloaded);
+  EXPECT_NE(rejected.error.find("max_pending"), std::string::npos);
+
+  EXPECT_EQ(slow1.get().status, Status::Ok);
+  EXPECT_EQ(slow2.get().status, Status::Ok);
+  // The window is free again: the same request now succeeds.
+  EXPECT_EQ(engine.serve(TopConduitsQuery{3}).status, Status::Ok);
+  const auto metrics = engine.metrics().snapshot_of(RequestType::TopConduits);
+  EXPECT_EQ(metrics.shed, 1u);
+  EXPECT_EQ(engine.metrics().total_shed(), 1u);
+}
+
+TEST(ServeEngine, MetricsRecordPerTypeTraffic) {
+  SnapshotStore store;
+  store.publish(Snapshot::build(scenario_ptr()));
+  Engine engine(store, sim::default_executor());
+  engine.serve(SharedRiskQuery{"Sprint"});
+  engine.serve(SharedRiskQuery{"Sprint"});
+  engine.serve(CityPathQuery{"Denver, CO", "Chicago, IL"});
+  engine.serve(SharedRiskQuery{"NoSuchISP"});
+
+  const auto risk = engine.metrics().snapshot_of(RequestType::SharedRisk);
+  EXPECT_EQ(risk.count, 3u);
+  EXPECT_EQ(risk.cache_hits, 1u);
+  EXPECT_EQ(risk.errors, 1u);  // the NotFound
+  EXPECT_GT(risk.p50_us, 0.0);
+  EXPECT_GE(risk.p99_us, risk.p50_us);
+  EXPECT_GE(risk.max_us, risk.p99_us);
+
+  const auto rendered = engine.render_metrics();
+  EXPECT_NE(rendered.find("shared-risk"), std::string::npos);
+  EXPECT_NE(rendered.find("city-path"), std::string::npos);
+  EXPECT_NE(rendered.find("hit ratio"), std::string::npos);
+  EXPECT_EQ(engine.metrics().total_served(), 4u);
+}
+
+// The end-to-end stress: concurrent closed-loop clients issuing a mixed
+// workload while snapshots hot-swap underneath.  Under TSAN this is the
+// acceptance gate for the lock-free read path.
+TEST(ServeEngine, MixedLoadSurvivesSnapshotSwaps) {
+  SnapshotStore store;
+  const auto base = Snapshot::build(scenario_ptr());
+  const std::uint64_t base_epoch = store.publish(base);
+  Engine engine(store, sim::default_executor());
+
+  const auto targets = base->matrix().most_shared_conduits(4);
+  std::atomic<bool> publishing{true};
+  std::thread publisher([&] {
+    for (int round = 0; round < 8; ++round) {
+      store.publish(
+          Snapshot::with_conduits_cut(*base, {targets[static_cast<std::size_t>(round % 4)]}));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    publishing.store(false);
+  });
+
+  const std::vector<Request> script = {
+      SharedRiskQuery{"Sprint"},
+      TopConduitsQuery{8},
+      CityPathQuery{"San Francisco, CA", "New York, NY"},
+      WhatIfCutQuery{{targets[0]}},
+      HammingNeighborsQuery{"Sprint", 3},
+  };
+  std::atomic<std::uint64_t> served{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < 40; ++i) {
+        const auto& request = script[static_cast<std::size_t>(t + i) % script.size()];
+        const auto response = engine.serve(request);
+        // Overloaded is legal under load; everything else must be Ok.
+        if (response.status == Status::Overloaded) continue;
+        ASSERT_EQ(response.status, Status::Ok) << response.error;
+        ASSERT_GE(response.epoch, base_epoch);
+        served.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  publisher.join();
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_GT(served.load(), 0u);
+}
+
+}  // namespace
+}  // namespace intertubes::serve

@@ -200,5 +200,122 @@ TEST_P(PercentileMonotone, MonotoneInP) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone, ::testing::Values(1ULL, 7ULL, 99ULL, 12345ULL));
 
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50.0), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(LatencyHistogram, BucketEdgesAreLogSpaced) {
+  LatencyHistogram h(1.0, 1000.0, 3);  // decades: [1,10) [10,100) [100,1000)
+  EXPECT_NEAR(h.bucket_lo(0), 1.0, 1e-9);
+  EXPECT_NEAR(h.bucket_hi(0), 10.0, 1e-9);
+  EXPECT_NEAR(h.bucket_lo(1), 10.0, 1e-9);
+  EXPECT_NEAR(h.bucket_hi(2), 1000.0, 1e-9);
+}
+
+TEST(LatencyHistogram, ClampsOutOfRangeIntoEdgeBuckets) {
+  LatencyHistogram h(1.0, 1000.0, 3);
+  h.add(0.001);    // below lo → first bucket
+  h.add(5000.0);   // at/above hi → last bucket
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.count(), 2u);
+  // Exact extremes survive clamping.
+  EXPECT_EQ(h.min(), 0.001);
+  EXPECT_EQ(h.max(), 5000.0);
+}
+
+TEST(LatencyHistogram, ExactSideStatistics) {
+  LatencyHistogram h;
+  for (double x : {3.0, 9.0, 27.0, 81.0}) h.add(x);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 120.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 30.0);
+  EXPECT_EQ(h.min(), 3.0);
+  EXPECT_EQ(h.max(), 81.0);
+}
+
+TEST(LatencyHistogram, PercentileEstimateWithinBucketResolution) {
+  // Uniform sample on [10, 1000): the estimated percentile must land
+  // within one bucket width of the exact order statistic.
+  LatencyHistogram h(1.0, 1e6, 120);
+  std::vector<double> exact;
+  Rng rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform(10.0, 1000.0);
+    h.add(x);
+    exact.push_back(x);
+  }
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    const double truth = percentile(exact, p);
+    const double est = h.percentile(p);
+    // One log-spaced bucket spans a factor of 10^(6/120) ≈ 1.122.
+    EXPECT_GT(est, truth / 1.13) << "p" << p;
+    EXPECT_LT(est, truth * 1.13) << "p" << p;
+  }
+}
+
+TEST(LatencyHistogram, PercentileMonotoneAndClampedToObservedRange) {
+  LatencyHistogram h;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) h.add(rng.uniform(2.0, 50000.0));
+  double prev = h.percentile(0.0);
+  EXPECT_GE(prev, h.min());
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double cur = h.percentile(p);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+  EXPECT_LE(prev, h.max());
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), h.max());
+}
+
+TEST(LatencyHistogram, MergeMatchesSingleHistogram) {
+  LatencyHistogram a(1.0, 1e6, 60);
+  LatencyHistogram b(1.0, 1e6, 60);
+  LatencyHistogram all(1.0, 1e6, 60);
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(1.0, 100000.0);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  for (std::size_t i = 0; i < a.buckets(); ++i) {
+    EXPECT_EQ(a.bucket_count(i), all.bucket_count(i));
+  }
+  for (double p : {25.0, 50.0, 95.0}) EXPECT_DOUBLE_EQ(a.percentile(p), all.percentile(p));
+}
+
+TEST(LatencyHistogram, MergeEmptyIsNoop) {
+  LatencyHistogram a;
+  a.add(10.0);
+  LatencyHistogram b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 10.0);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.max(), 10.0);
+}
+
+TEST(LatencyHistogram, RejectsBadConstructionAndMismatchedMerge) {
+  EXPECT_THROW(LatencyHistogram(0.0, 10.0, 4), std::logic_error);
+  EXPECT_THROW(LatencyHistogram(10.0, 10.0, 4), std::logic_error);
+  EXPECT_THROW(LatencyHistogram(1.0, 10.0, 0), std::logic_error);
+  LatencyHistogram a(1.0, 1000.0, 3);
+  LatencyHistogram b(1.0, 1000.0, 4);
+  EXPECT_FALSE(a.same_geometry(b));
+  EXPECT_THROW(a.merge(b), std::logic_error);
+}
+
 }  // namespace
 }  // namespace intertubes
