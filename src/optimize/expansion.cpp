@@ -1,10 +1,12 @@
 #include "optimize/expansion.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <memory>
 #include <set>
 #include <unordered_map>
+#include <utility>
 
+#include "route/path_engine.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
 
@@ -18,82 +20,64 @@ using transport::CorridorId;
 
 namespace {
 
-/// Unified routing graph: existing conduits plus hypothetical new ones.
-struct GraphEdge {
-  CityId a = transport::kNoCity;
-  CityId b = transport::kNoCity;
-  double length_km = 0.0;
-  double sharing = 0.0;  ///< tenancy used as routing risk
-};
+/// The routing substrate for one expansion sweep: a PathEngine over the
+/// existing conduits plus any committed new edges.  Tentative candidates
+/// are never added here — they ride as overlay edges on individual
+/// queries, so trying a candidate costs one Dijkstra, not a graph copy.
+struct ExpansionGraph {
+  route::NodeId num_nodes = 0;
+  std::vector<route::EdgeSpec> edges;  ///< weight = sharing + 1e-4·length
+  std::vector<double> sharing;         ///< risk term per edge, index = edge id
+  std::unique_ptr<route::PathEngine> engine;
+  std::uint64_t epoch = 0;
 
-struct RoutingGraph {
-  std::vector<GraphEdge> edges;
-  std::unordered_map<CityId, std::vector<std::uint32_t>> adjacency;
-
-  void add_edge(CityId a, CityId b, double length_km, double sharing) {
-    const auto id = static_cast<std::uint32_t>(edges.size());
-    edges.push_back({a, b, length_km, sharing});
-    adjacency[a].push_back(id);
-    adjacency[b].push_back(id);
+  void add_edge(CityId a, CityId b, double length_km, double shr) {
+    edges.push_back({a, b, shr + 1e-4 * length_km});
+    sharing.push_back(shr);
   }
 
-  /// Min-shared-risk route; returns edge ids, empty if unreachable.
-  std::vector<std::uint32_t> route(CityId from, CityId to) const {
-    std::unordered_map<CityId, double> dist;
-    std::unordered_map<CityId, std::uint32_t> via;
-    using Entry = std::pair<double, CityId>;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
-    dist[from] = 0.0;
-    queue.push({0.0, from});
-    bool reached = false;
-    while (!queue.empty()) {
-      const auto [d, u] = queue.top();
-      queue.pop();
-      if (d > dist[u]) continue;
-      if (u == to) {
-        reached = true;
-        break;
-      }
-      const auto it = adjacency.find(u);
-      if (it == adjacency.end()) continue;
-      for (std::uint32_t eid : it->second) {
-        const auto& e = edges[eid];
-        const CityId v = (e.a == u) ? e.b : e.a;
-        const double nd = d + e.sharing + 1e-4 * e.length_km;
-        const auto dv = dist.find(v);
-        if (dv == dist.end() || nd < dv->second) {
-          dist[v] = nd;
-          via[v] = eid;
-          queue.push({nd, v});
-        }
-      }
-    }
-    if (!reached) return {};
-    std::vector<std::uint32_t> path;
-    CityId cur = to;
-    while (cur != from) {
-      const std::uint32_t eid = via.at(cur);
-      path.push_back(eid);
-      const auto& e = edges[eid];
-      cur = (e.a == cur) ? e.b : e.a;
-    }
-    std::reverse(path.begin(), path.end());
-    return path;
+  /// Recompile after committing edges; bumps the epoch so any memoized
+  /// results keyed on the previous build go stale.
+  void rebuild() {
+    engine = std::make_unique<route::PathEngine>(num_nodes, edges, ++epoch);
   }
 };
 
-/// ISP's average shared risk after min-risk re-routing of all its links.
-double evaluate_avg_risk(const RoutingGraph& graph,
-                         const std::vector<std::pair<CityId, CityId>>& endpoints) {
-  std::set<std::uint32_t> used;
+/// Sharing (risk) of one new-conduit overlay edge: a private conduit has
+/// exactly its owner as tenant.
+constexpr double kNewConduitSharing = 1.0;
+
+struct RiskEval {
+  double avg = 0.0;
+  std::size_t unreachable = 0;            ///< demands with no route
+  std::set<route::EdgeId> used;           ///< edge ids on any demand's route
+};
+
+/// ISP's average shared risk after min-risk re-routing of all its links,
+/// optionally with one tentative overlay edge.  Demands with no route are
+/// counted, not silently dropped.
+RiskEval evaluate_avg_risk(const ExpansionGraph& graph,
+                           const std::vector<route::EdgeSpec>* overlay,
+                           const std::vector<std::pair<CityId, CityId>>& endpoints,
+                           route::PathEngine::Workspace& ws) {
+  route::Query query;
+  query.overlay = overlay;
+  RiskEval eval;
   for (const auto& [a, b] : endpoints) {
-    const auto path = graph.route(a, b);
-    used.insert(path.begin(), path.end());
+    const auto path = graph.engine->shortest_path(a, b, query, ws);
+    if (!path.reachable) {
+      ++eval.unreachable;
+      continue;
+    }
+    eval.used.insert(path.edges.begin(), path.edges.end());
   }
-  if (used.empty()) return 0.0;
+  if (eval.used.empty()) return eval;
   RunningStats stats;
-  for (std::uint32_t eid : used) stats.add(graph.edges[eid].sharing);
-  return stats.mean();
+  for (route::EdgeId eid : eval.used) {
+    stats.add(eid < graph.sharing.size() ? graph.sharing[eid] : kNewConduitSharing);
+  }
+  eval.avg = stats.mean();
+  return eval;
 }
 
 }  // namespace
@@ -103,13 +87,6 @@ ExpansionResult optimize_expansion(const FiberMap& map, const transport::RightOf
   ExpansionResult result;
   result.isp = isp;
 
-  // Base graph from the constructed map.
-  RoutingGraph graph;
-  for (const auto& conduit : map.conduits()) {
-    graph.add_edge(conduit.a, conduit.b, conduit.length_km,
-                   static_cast<double>(conduit.tenants.size()));
-  }
-
   // The ISP's link demands.
   std::vector<std::pair<CityId, CityId>> endpoints;
   for (const auto& link : map.links()) {
@@ -117,7 +94,28 @@ ExpansionResult optimize_expansion(const FiberMap& map, const transport::RightOf
   }
   if (endpoints.empty()) return result;
 
-  result.baseline_avg_shared_risk = evaluate_avg_risk(graph, endpoints);
+  // Base graph from the constructed map.  Size the node space to cover
+  // link endpoints too: a demand whose endpoint touches no conduit is a
+  // legal (unroutable) query, not an out-of-range one.
+  ExpansionGraph graph;
+  for (const auto& conduit : map.conduits()) {
+    graph.num_nodes = std::max(graph.num_nodes, std::max(conduit.a, conduit.b) + 1);
+  }
+  for (const auto& [a, b] : endpoints) {
+    graph.num_nodes = std::max(graph.num_nodes, std::max(a, b) + 1);
+  }
+  for (const auto& conduit : map.conduits()) {
+    graph.add_edge(conduit.a, conduit.b, conduit.length_km,
+                   static_cast<double>(conduit.tenants.size()));
+  }
+  graph.rebuild();
+
+  route::PathEngine::Workspace ws;
+  {
+    const RiskEval baseline = evaluate_avg_risk(graph, nullptr, endpoints, ws);
+    result.baseline_avg_shared_risk = baseline.avg;
+    result.unreachable_demands = baseline.unreachable;
+  }
 
   // Footprint cities: endpoints of the ISP's conduits, expanded by
   // candidate_hops over the conduit graph.
@@ -149,6 +147,7 @@ ExpansionResult optimize_expansion(const FiberMap& map, const transport::RightOf
 
   std::vector<char> taken(candidates.size(), 0);
   double previous_avg = result.baseline_avg_shared_risk;
+  std::size_t previous_unreachable = result.unreachable_demands;
   for (std::size_t k = 0; k < max_k; ++k) {
     // Per-city shared-risk pressure: sum of (sharing − 1) over the edges
     // the ISP's *current* min-risk routing actually uses at that city —
@@ -156,14 +155,10 @@ ExpansionResult optimize_expansion(const FiberMap& map, const transport::RightOf
     // the greedy chases the remaining pain, not the original map's.
     std::unordered_map<CityId, double> pressure;
     {
-      std::set<std::uint32_t> used;
-      for (const auto& [a, b] : endpoints) {
-        const auto path = graph.route(a, b);
-        used.insert(path.begin(), path.end());
-      }
-      for (std::uint32_t eid : used) {
+      const RiskEval current = evaluate_avg_risk(graph, nullptr, endpoints, ws);
+      for (route::EdgeId eid : current.used) {
         const auto& e = graph.edges[eid];
-        const double excess = std::max(0.0, e.sharing - 1.0);
+        const double excess = std::max(0.0, graph.sharing[eid] - 1.0);
         pressure[e.a] += excess;
         pressure[e.b] += excess;
       }
@@ -186,16 +181,26 @@ ExpansionResult optimize_expansion(const FiberMap& map, const transport::RightOf
               [](const Scored& x, const Scored& y) { return x.score > y.score; });
     const std::size_t shortlist = std::min<std::size_t>(scored.size(), 8);
 
-    // Exact evaluation of the shortlist: tentatively add, re-route, score.
+    // Exact evaluation of the shortlist: one overlay-edge Dijkstra per
+    // candidate, no graph copies.  A candidate that leaves more demands
+    // unreachable than the current graph is skipped outright (adding an
+    // edge can never disconnect, so this guards the evaluation itself);
+    // one that *re-connects* demands wins over any pure risk improvement.
     double best_avg = previous_avg;
+    std::size_t best_unreachable = previous_unreachable;
     std::size_t best_index = candidates.size();
     for (std::size_t s = 0; s < shortlist; ++s) {
       const auto* corridor = candidates[scored[s].index];
-      RoutingGraph trial = graph;
-      trial.add_edge(corridor->a, corridor->b, corridor->length_km, 1.0);
-      const double avg = evaluate_avg_risk(trial, endpoints);
-      if (avg < best_avg - 1e-9) {
-        best_avg = avg;
+      const std::vector<route::EdgeSpec> overlay{
+          {corridor->a, corridor->b, kNewConduitSharing + 1e-4 * corridor->length_km}};
+      const RiskEval trial = evaluate_avg_risk(graph, &overlay, endpoints, ws);
+      if (trial.unreachable > previous_unreachable) continue;
+      const bool reconnects = trial.unreachable < best_unreachable;
+      const bool lowers_risk =
+          trial.unreachable == best_unreachable && trial.avg < best_avg - 1e-9;
+      if (reconnects || lowers_risk) {
+        best_avg = trial.avg;
+        best_unreachable = trial.unreachable;
         best_index = scored[s].index;
       }
     }
@@ -203,15 +208,19 @@ ExpansionResult optimize_expansion(const FiberMap& map, const transport::RightOf
     if (best_index < candidates.size()) {
       const auto* corridor = candidates[best_index];
       taken[best_index] = 1;
-      graph.add_edge(corridor->a, corridor->b, corridor->length_km, 1.0);
+      graph.add_edge(corridor->a, corridor->b, corridor->length_km, kNewConduitSharing);
+      graph.rebuild();
       step.added = corridor->id;
       step.avg_shared_risk = best_avg;
+      step.unreachable_demands = best_unreachable;
       previous_avg = best_avg;
+      previous_unreachable = best_unreachable;
     } else {
       // No candidate helps: the curve flattens (Suddenlink's case in the
       // paper).
       step.added = transport::kNoCorridor;
       step.avg_shared_risk = previous_avg;
+      step.unreachable_demands = previous_unreachable;
     }
     step.improvement_ratio =
         result.baseline_avg_shared_risk <= 0.0

@@ -31,11 +31,17 @@ struct ExpansionStep {
   transport::CorridorId added = transport::kNoCorridor;
   double avg_shared_risk = 0.0;  ///< ISP's mean tenancy after this step
   double improvement_ratio = 0.0;  ///< 1 − after/before(baseline)
+  std::size_t unreachable_demands = 0;  ///< link demands still unroutable after this step
 };
 
 struct ExpansionResult {
   isp::IspId isp = isp::kNoIsp;
   double baseline_avg_shared_risk = 0.0;
+  /// Link demands with no route at all over the existing conduit graph.
+  /// These are excluded from the shared-risk averages (they route
+  /// nothing), so they must be reported — a sweep that drops them
+  /// silently would let a disconnected network look risk-free.
+  std::size_t unreachable_demands = 0;
   std::vector<ExpansionStep> steps;  ///< one per k = 1..max_k
 };
 

@@ -39,17 +39,22 @@ LatencyStudy latency_study(const FiberMap& map, const transport::CityDatabase& c
     pair.avg_ms = geo::fiber_delay_ms(avg.mean());
 
     const auto row_path = row.shortest_path(pair.a, pair.b);
-    pair.row_ms = row_path.empty() ? pair.best_ms : geo::fiber_delay_ms(row_path.length_km);
+    pair.row_reachable = !row_path.empty();
+    pair.row_ms = pair.row_reachable ? geo::fiber_delay_ms(row_path.length_km) : pair.best_ms;
 
     pair.los_ms = geo::los_delay_ms(
         geo::distance_km(cities.city(pair.a).location, cities.city(pair.b).location));
 
-    if (pair.best_ms <= pair.row_ms + tolerance_ms) ++best_is_row;
+    if (!pair.row_reachable) {
+      ++study.row_unreachable;
+    } else if (pair.best_ms <= pair.row_ms + tolerance_ms) {
+      ++best_is_row;
+    }
     study.pairs.push_back(pair);
   }
+  const std::size_t comparable = study.pairs.size() - study.row_unreachable;
   study.fraction_best_is_row =
-      study.pairs.empty() ? 0.0
-                          : static_cast<double>(best_is_row) / static_cast<double>(study.pairs.size());
+      comparable == 0 ? 0.0 : static_cast<double>(best_is_row) / static_cast<double>(comparable);
   return study;
 }
 

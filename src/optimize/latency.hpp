@@ -20,16 +20,26 @@ struct PairDelay {
   transport::CityId b = transport::kNoCity;
   double best_ms = 0.0;  ///< best existing physical path
   double avg_ms = 0.0;   ///< mean over existing physical paths
-  double row_ms = 0.0;   ///< best right-of-way path
+  double row_ms = 0.0;   ///< best right-of-way path (= best_ms when !row_reachable)
   double los_ms = 0.0;   ///< line-of-sight lower bound
   std::size_t path_count = 0;  ///< existing physical paths between the pair
+  /// False when the ROW graph offers no path between the pair at all; the
+  /// row_ms fallback to best_ms then only keeps the record plausible for
+  /// CDF plotting — such pairs say nothing about best-vs-ROW and are
+  /// excluded from fraction_best_is_row.
+  bool row_reachable = true;
 };
 
 struct LatencyStudy {
   std::vector<PairDelay> pairs;
-  /// Fraction of pairs whose best existing path already is the best ROW
-  /// path (within tolerance_ms) — the paper reports ≈65 %.
+  /// Fraction of ROW-reachable pairs whose best existing path already is
+  /// the best ROW path (within tolerance_ms) — the paper reports ≈65 %.
+  /// Pairs with no ROW path are excluded from both numerator and
+  /// denominator (counting them as "best is ROW", as an earlier revision
+  /// did, inflates the fraction with pairs where no comparison exists).
   double fraction_best_is_row = 0.0;
+  /// City pairs the ROW graph cannot connect at all.
+  std::size_t row_unreachable = 0;
 };
 
 /// Existing physical paths between a city pair are the mapped links whose

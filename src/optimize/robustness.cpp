@@ -1,9 +1,8 @@
 #include "optimize/robustness.hpp"
 
 #include <algorithm>
-#include <queue>
-#include <unordered_map>
 
+#include "sim/executor.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
 
@@ -12,125 +11,123 @@ namespace intertubes::optimize {
 using core::ConduitId;
 using core::FiberMap;
 using isp::IspId;
-using transport::CityId;
 
 namespace {
 
-/// Min-shared-risk Dijkstra between two cities over the conduit graph,
-/// excluding one conduit.  Weight: tenant count, with a tiny length term
-/// so equally-risky paths prefer shorter fiber.
-std::vector<ConduitId> min_risk_path(const FiberMap& map, const risk::RiskMatrix& matrix,
-                                     CityId from, CityId to, ConduitId excluded) {
-  std::unordered_map<CityId, double> dist;
-  std::unordered_map<CityId, ConduitId> via;
-  using Entry = std::pair<double, CityId>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
-  dist[from] = 0.0;
-  queue.push({0.0, from});
-  bool reached = false;
-  while (!queue.empty()) {
-    const auto [d, u] = queue.top();
-    queue.pop();
-    if (d > dist[u]) continue;
-    if (u == to) {
-      reached = true;
-      break;
-    }
-    for (ConduitId cid : map.conduits_at(u)) {
-      if (cid == excluded) continue;
-      const auto& c = map.conduit(cid);
-      const CityId v = (c.a == u) ? c.b : c.a;
-      const double w =
-          static_cast<double>(matrix.sharing_count(cid)) + 1e-4 * c.length_km;
-      const double nd = d + w;
-      const auto dv = dist.find(v);
-      if (dv == dist.end() || nd < dv->second) {
-        dist[v] = nd;
-        via[v] = cid;
-        queue.push({nd, v});
-      }
-    }
+/// Compile the conduit graph: node = city, edge id = conduit id, weight =
+/// tenant count with a tiny length term so equally-risky paths prefer
+/// shorter fiber (same metric the old per-call Dijkstra used).
+route::PathEngine build_conduit_engine(const FiberMap& map, const risk::RiskMatrix& matrix) {
+  route::NodeId num_nodes = 0;
+  std::vector<route::EdgeSpec> edges;
+  edges.reserve(map.conduits().size());
+  for (const auto& c : map.conduits()) {
+    num_nodes = std::max(num_nodes, std::max(c.a, c.b) + 1);
+    edges.push_back({c.a, c.b,
+                     static_cast<double>(matrix.sharing_count(c.id)) + 1e-4 * c.length_km});
   }
-  if (!reached) return {};
-  std::vector<ConduitId> path;
-  CityId cur = to;
-  while (cur != from) {
-    const ConduitId cid = via.at(cur);
-    path.push_back(cid);
-    const auto& c = map.conduit(cid);
-    cur = (c.a == cur) ? c.b : c.a;
-  }
-  std::reverse(path.begin(), path.end());
-  return path;
+  return route::PathEngine(num_nodes, std::move(edges));
 }
 
 }  // namespace
 
-RerouteSuggestion suggest_reroute(const FiberMap& map, const risk::RiskMatrix& matrix,
-                                  ConduitId target, IspId isp) {
-  const auto& conduit = map.conduit(target);
+RobustnessPlanner::RobustnessPlanner(const FiberMap& map, const risk::RiskMatrix& matrix)
+    : map_(map), matrix_(matrix), engine_(build_conduit_engine(map, matrix)) {}
+
+std::shared_ptr<const route::Path> RobustnessPlanner::route_around(ConduitId target) const {
+  const auto& conduit = map_.conduit(target);
+  const std::vector<route::EdgeId> mask{target};
+  return router_.route(engine_, conduit.a, conduit.b, mask);
+}
+
+RerouteSuggestion RobustnessPlanner::build_suggestion(ConduitId target, IspId isp) const {
   RerouteSuggestion suggestion;
   suggestion.target = target;
   suggestion.isp = isp;
-  suggestion.optimized_path = min_risk_path(map, matrix, conduit.a, conduit.b, target);
-  if (suggestion.optimized_path.empty()) return suggestion;
+  const auto path = route_around(target);
+  if (!path->reachable) return suggestion;
+  suggestion.optimized_path.assign(path->edges.begin(), path->edges.end());
   suggestion.path_inflation = static_cast<int>(suggestion.optimized_path.size()) - 1;
   std::size_t worst = 0;
   for (ConduitId cid : suggestion.optimized_path) {
-    worst = std::max(worst, matrix.sharing_count(cid));
+    worst = std::max(worst, matrix_.sharing_count(cid));
   }
   suggestion.shared_risk_reduction =
-      static_cast<int>(matrix.sharing_count(target)) - static_cast<int>(worst);
+      static_cast<int>(matrix_.sharing_count(target)) - static_cast<int>(worst);
   return suggestion;
 }
 
-std::vector<IspRobustnessSummary> summarize_robustness(const FiberMap& map,
-                                                       const risk::RiskMatrix& matrix,
-                                                       const std::vector<ConduitId>& targets) {
+RerouteSuggestion RobustnessPlanner::suggest_reroute(ConduitId target, IspId isp) const {
+  return build_suggestion(target, isp);
+}
+
+namespace {
+
+IspRobustnessSummary summarize_one(const RobustnessPlanner& planner,
+                                   const risk::RiskMatrix& matrix, IspId isp,
+                                   const std::vector<ConduitId>& targets) {
+  RunningStats pi;
+  RunningStats srr;
+  std::size_t used = 0;
+  for (ConduitId target : targets) {
+    if (!matrix.uses(isp, target)) continue;
+    ++used;
+    const auto suggestion = planner.suggest_reroute(target, isp);
+    if (suggestion.optimized_path.empty()) continue;
+    pi.add(static_cast<double>(suggestion.path_inflation));
+    srr.add(static_cast<double>(suggestion.shared_risk_reduction));
+  }
+  IspRobustnessSummary summary;
+  summary.isp = isp;
+  summary.targets_using = used;
+  if (pi.count() > 0) {
+    summary.pi_min = pi.min();
+    summary.pi_max = pi.max();
+    summary.pi_avg = pi.mean();
+    summary.srr_min = srr.min();
+    summary.srr_max = srr.max();
+    summary.srr_avg = srr.mean();
+  }
+  return summary;
+}
+
+}  // namespace
+
+std::vector<IspRobustnessSummary> RobustnessPlanner::summarize_robustness(
+    const std::vector<ConduitId>& targets) const {
   std::vector<IspRobustnessSummary> out;
-  for (IspId isp = 0; isp < map.num_isps(); ++isp) {
-    RunningStats pi;
-    RunningStats srr;
-    std::size_t used = 0;
-    for (ConduitId target : targets) {
-      if (!matrix.uses(isp, target)) continue;
-      ++used;
-      const auto suggestion = suggest_reroute(map, matrix, target, isp);
-      if (suggestion.optimized_path.empty()) continue;
-      pi.add(static_cast<double>(suggestion.path_inflation));
-      srr.add(static_cast<double>(suggestion.shared_risk_reduction));
-    }
-    IspRobustnessSummary summary;
-    summary.isp = isp;
-    summary.targets_using = used;
-    if (pi.count() > 0) {
-      summary.pi_min = pi.min();
-      summary.pi_max = pi.max();
-      summary.pi_avg = pi.mean();
-      summary.srr_min = srr.min();
-      summary.srr_max = srr.max();
-      summary.srr_avg = srr.mean();
-    }
-    out.push_back(summary);
+  out.reserve(map_.num_isps());
+  for (IspId isp = 0; isp < map_.num_isps(); ++isp) {
+    out.push_back(summarize_one(*this, matrix_, isp, targets));
   }
   return out;
 }
 
-std::vector<PeeringSuggestion> suggest_peering(const FiberMap& map,
-                                               const risk::RiskMatrix& matrix,
-                                               const std::vector<ConduitId>& targets,
-                                               std::size_t count) {
+std::vector<IspRobustnessSummary> RobustnessPlanner::summarize_robustness(
+    const std::vector<ConduitId>& targets, sim::Executor& executor) const {
+  // Slot i holds ISP i's summary: each summary is a pure function of the
+  // (memoized) per-target suggestions, which are themselves deterministic,
+  // so this is bit-identical to the serial overload for any thread count.
+  return executor.parallel_map<IspRobustnessSummary>(
+      map_.num_isps(),
+      [&](std::size_t isp) {
+        return summarize_one(*this, matrix_, static_cast<IspId>(isp), targets);
+      });
+}
+
+std::vector<PeeringSuggestion> RobustnessPlanner::suggest_peering(
+    const std::vector<ConduitId>& targets, std::size_t count) const {
   std::vector<PeeringSuggestion> out;
-  for (IspId isp = 0; isp < map.num_isps(); ++isp) {
+  for (IspId isp = 0; isp < map_.num_isps(); ++isp) {
     // Score candidate peers by how much low-risk capacity they would lend
     // across all optimized paths for this ISP's shared targets.
-    std::vector<double> score(map.num_isps(), 0.0);
+    std::vector<double> score(map_.num_isps(), 0.0);
     for (ConduitId target : targets) {
-      if (!matrix.uses(isp, target)) continue;
-      const auto suggestion = suggest_reroute(map, matrix, target, isp);
+      if (!matrix_.uses(isp, target)) continue;
+      const auto suggestion = suggest_reroute(target, isp);
       for (ConduitId cid : suggestion.optimized_path) {
-        if (matrix.uses(isp, cid)) continue;  // already on net
-        const auto& tenants = map.conduit(cid).tenants;
+        if (matrix_.uses(isp, cid)) continue;  // already on net
+        const auto& tenants = map_.conduit(cid).tenants;
         if (tenants.empty()) continue;
         // Credit each tenant, weighting sparsely-shared conduits higher
         // (a peer that owns a quiet path is a better peer).
@@ -143,7 +140,7 @@ std::vector<PeeringSuggestion> suggest_peering(const FiberMap& map,
     PeeringSuggestion suggestion;
     suggestion.isp = isp;
     std::vector<IspId> order;
-    for (IspId t = 0; t < map.num_isps(); ++t) {
+    for (IspId t = 0; t < map_.num_isps(); ++t) {
       if (score[t] > 0.0) order.push_back(t);
     }
     std::sort(order.begin(), order.end(), [&score](IspId x, IspId y) {
@@ -157,8 +154,36 @@ std::vector<PeeringSuggestion> suggest_peering(const FiberMap& map,
   return out;
 }
 
-NetworkWideGain network_wide_gain(const FiberMap& map, const risk::RiskMatrix& matrix,
-                                  std::size_t top_count) {
+namespace {
+
+/// Per-conduit observation for the network-wide sweep; folded in conduit
+/// order so parallel and serial accumulation are bit-identical.
+struct GainObservation {
+  bool evaluated = false;
+  bool unreachable = false;
+  bool already_optimal = false;
+  double srr = 0.0;
+};
+
+GainObservation observe_conduit(const RobustnessPlanner& planner, const core::Conduit& conduit) {
+  GainObservation obs;
+  if (conduit.tenants.empty()) return obs;
+  obs.evaluated = true;
+  const auto suggestion = planner.suggest_reroute(conduit.id, conduit.tenants.front());
+  if (suggestion.optimized_path.empty()) {
+    // No alternate route exists (a bridge conduit): "cannot reroute" is
+    // not "optimal".  It still contributes 0 to the SRR averages, matching
+    // the attainable gain.
+    obs.unreachable = true;
+    return obs;
+  }
+  obs.srr = std::max(0, suggestion.shared_risk_reduction);
+  obs.already_optimal = obs.srr <= 0.0;
+  return obs;
+}
+
+NetworkWideGain fold_gain(const FiberMap& map, const risk::RiskMatrix& matrix,
+                          std::size_t top_count, const std::vector<GainObservation>& obs) {
   NetworkWideGain gain;
   const auto top = matrix.most_shared_conduits(top_count);
   std::vector<char> is_top(map.conduits().size(), 0);
@@ -166,24 +191,62 @@ NetworkWideGain network_wide_gain(const FiberMap& map, const risk::RiskMatrix& m
 
   RunningStats top_stats;
   RunningStats rest_stats;
-  for (const auto& conduit : map.conduits()) {
-    if (conduit.tenants.empty()) continue;
+  for (ConduitId cid = 0; cid < obs.size(); ++cid) {
+    if (!obs[cid].evaluated) continue;
     ++gain.conduits_evaluated;
-    const auto suggestion = suggest_reroute(map, matrix, conduit.id, conduit.tenants.front());
-    const double srr =
-        suggestion.optimized_path.empty()
-            ? 0.0
-            : std::max(0, suggestion.shared_risk_reduction);
-    if (srr <= 0.0) ++gain.already_optimal;
-    if (is_top[conduit.id]) {
-      top_stats.add(srr);
+    if (obs[cid].unreachable) ++gain.unreachable;
+    if (obs[cid].already_optimal) ++gain.already_optimal;
+    if (is_top[cid]) {
+      top_stats.add(obs[cid].srr);
     } else {
-      rest_stats.add(srr);
+      rest_stats.add(obs[cid].srr);
     }
   }
   gain.avg_srr_top = top_stats.mean();
   gain.avg_srr_rest = rest_stats.mean();
   return gain;
+}
+
+}  // namespace
+
+NetworkWideGain RobustnessPlanner::network_wide_gain(std::size_t top_count) const {
+  std::vector<GainObservation> obs;
+  obs.reserve(map_.conduits().size());
+  for (const auto& conduit : map_.conduits()) {
+    obs.push_back(observe_conduit(*this, conduit));
+  }
+  return fold_gain(map_, matrix_, top_count, obs);
+}
+
+NetworkWideGain RobustnessPlanner::network_wide_gain(std::size_t top_count,
+                                                     sim::Executor& executor) const {
+  const auto obs = executor.parallel_map<GainObservation>(
+      map_.conduits().size(),
+      [&](std::size_t cid) { return observe_conduit(*this, map_.conduits()[cid]); });
+  return fold_gain(map_, matrix_, top_count, obs);
+}
+
+RerouteSuggestion suggest_reroute(const FiberMap& map, const risk::RiskMatrix& matrix,
+                                  ConduitId target, IspId isp) {
+  return RobustnessPlanner(map, matrix).suggest_reroute(target, isp);
+}
+
+std::vector<IspRobustnessSummary> summarize_robustness(const FiberMap& map,
+                                                       const risk::RiskMatrix& matrix,
+                                                       const std::vector<ConduitId>& targets) {
+  return RobustnessPlanner(map, matrix).summarize_robustness(targets);
+}
+
+std::vector<PeeringSuggestion> suggest_peering(const FiberMap& map,
+                                               const risk::RiskMatrix& matrix,
+                                               const std::vector<ConduitId>& targets,
+                                               std::size_t count) {
+  return RobustnessPlanner(map, matrix).suggest_peering(targets, count);
+}
+
+NetworkWideGain network_wide_gain(const FiberMap& map, const risk::RiskMatrix& matrix,
+                                  std::size_t top_count) {
+  return RobustnessPlanner(map, matrix).network_wide_gain(top_count);
 }
 
 }  // namespace intertubes::optimize

@@ -10,12 +10,27 @@
 // The conduits on the optimized path that the ISP does not already use
 // imply peering/acquisition opportunities — aggregated, they give the
 // paper's Table 5 "best peer" suggestions.
+//
+// All path queries run on a shared route::PathEngine (the conduit graph
+// compiled once; weight = tenant count + 1e-4·length so equally-risky
+// paths prefer shorter fiber) with reroute memoization: the optimized
+// path around a conduit does not depend on which ISP asks, so one cached
+// Dijkstra serves every tenant of a target and every analysis that
+// touches it.  Construct a RobustnessPlanner once and reuse it across
+// summarize/peering/network-wide calls to share the cache; the free
+// functions below are single-shot wrappers that build a private planner.
 #pragma once
 
 #include <vector>
 
 #include "core/fiber_map.hpp"
 #include "risk/risk_matrix.hpp"
+#include "route/cache.hpp"
+#include "route/path_engine.hpp"
+
+namespace intertubes::sim {
+class Executor;
+}  // namespace intertubes::sim
 
 namespace intertubes::optimize {
 
@@ -27,13 +42,6 @@ struct RerouteSuggestion {
   int shared_risk_reduction = 0; ///< tenants(target) − max tenants(optimized)
 };
 
-/// Equation 1 for one (conduit, ISP): minimize the summed shared-risk of
-/// the path between the conduit's endpoints, excluding the target conduit
-/// itself.  Path weight per conduit is its tenant count (ties broken by
-/// length).
-RerouteSuggestion suggest_reroute(const core::FiberMap& map, const risk::RiskMatrix& matrix,
-                                  core::ConduitId target, isp::IspId isp);
-
 /// Aggregates of PI / SRR per ISP over a set of target conduits (Fig 10).
 struct IspRobustnessSummary {
   isp::IspId isp = isp::kNoIsp;
@@ -42,21 +50,12 @@ struct IspRobustnessSummary {
   double srr_min = 0.0, srr_max = 0.0, srr_avg = 0.0;
 };
 
-std::vector<IspRobustnessSummary> summarize_robustness(
-    const core::FiberMap& map, const risk::RiskMatrix& matrix,
-    const std::vector<core::ConduitId>& targets);
-
 /// Table 5: for each ISP, the top-`count` other ISPs whose conduits its
 /// optimized paths lean on (candidate peers/suppliers).
 struct PeeringSuggestion {
   isp::IspId isp = isp::kNoIsp;
   std::vector<isp::IspId> suggested;  ///< descending by usefulness
 };
-
-std::vector<PeeringSuggestion> suggest_peering(const core::FiberMap& map,
-                                               const risk::RiskMatrix& matrix,
-                                               const std::vector<core::ConduitId>& targets,
-                                               std::size_t count = 3);
 
 /// §5.1's network-wide check: "we also considered... all 542 conduits...
 /// many of the existing paths used by ISPs were already the best paths,
@@ -66,11 +65,69 @@ std::vector<PeeringSuggestion> suggest_peering(const core::FiberMap& map,
 /// with the rest.
 struct NetworkWideGain {
   std::size_t conduits_evaluated = 0;
-  /// Conduits where no alternative path lowers the worst tenancy.
+  /// Conduits whose existing placement is genuinely optimal: an alternate
+  /// path exists but lowers nothing (SRR ≤ 0).
   std::size_t already_optimal = 0;
+  /// Conduits with no alternate path at all (bridges).  These used to be
+  /// folded into already_optimal, conflating "cannot reroute" with
+  /// "optimal"; they still contribute an SRR of 0 to the averages below.
+  std::size_t unreachable = 0;
   double avg_srr_top = 0.0;   ///< mean positive SRR over the top targets
   double avg_srr_rest = 0.0;  ///< mean positive SRR over everything else
 };
+
+/// Shared state for a batch of robustness analyses: the compiled conduit
+/// graph plus the memoized reroute cache.  Thread-safe after construction
+/// — the parallel overloads fan work out over a sim::Executor and reduce
+/// in index order, so their output is bit-identical to the serial
+/// overloads for any thread count.
+class RobustnessPlanner {
+ public:
+  RobustnessPlanner(const core::FiberMap& map, const risk::RiskMatrix& matrix);
+
+  /// Equation 1 for one (conduit, ISP): minimize the summed shared-risk
+  /// of the path between the conduit's endpoints, excluding the target
+  /// conduit itself.  Memoized per target (the path is ISP-independent).
+  RerouteSuggestion suggest_reroute(core::ConduitId target, isp::IspId isp) const;
+
+  std::vector<IspRobustnessSummary> summarize_robustness(
+      const std::vector<core::ConduitId>& targets) const;
+  std::vector<IspRobustnessSummary> summarize_robustness(
+      const std::vector<core::ConduitId>& targets, sim::Executor& executor) const;
+
+  std::vector<PeeringSuggestion> suggest_peering(const std::vector<core::ConduitId>& targets,
+                                                 std::size_t count = 3) const;
+
+  NetworkWideGain network_wide_gain(std::size_t top_count = 12) const;
+  NetworkWideGain network_wide_gain(std::size_t top_count, sim::Executor& executor) const;
+
+  const route::PathEngine& engine() const noexcept { return engine_; }
+  route::PathCacheStats cache_stats() const { return router_.stats(); }
+
+ private:
+  /// The memoized min-risk path between target's endpoints avoiding it.
+  std::shared_ptr<const route::Path> route_around(core::ConduitId target) const;
+  RerouteSuggestion build_suggestion(core::ConduitId target, isp::IspId isp) const;
+
+  const core::FiberMap& map_;
+  const risk::RiskMatrix& matrix_;
+  route::PathEngine engine_;
+  mutable route::MemoizedRouter router_;
+};
+
+/// Single-shot wrappers (each builds a private RobustnessPlanner; batch
+/// callers should construct one planner and reuse it).
+RerouteSuggestion suggest_reroute(const core::FiberMap& map, const risk::RiskMatrix& matrix,
+                                  core::ConduitId target, isp::IspId isp);
+
+std::vector<IspRobustnessSummary> summarize_robustness(
+    const core::FiberMap& map, const risk::RiskMatrix& matrix,
+    const std::vector<core::ConduitId>& targets);
+
+std::vector<PeeringSuggestion> suggest_peering(const core::FiberMap& map,
+                                               const risk::RiskMatrix& matrix,
+                                               const std::vector<core::ConduitId>& targets,
+                                               std::size_t count = 3);
 
 NetworkWideGain network_wide_gain(const core::FiberMap& map, const risk::RiskMatrix& matrix,
                                   std::size_t top_count = 12);

@@ -1,0 +1,216 @@
+// Sharded LRU memoization for reroute queries, following the serve/cache
+// pattern: keys carry the graph epoch, so a rebuilt graph (new epoch)
+// invalidates every cached path implicitly — no coordination with readers,
+// stale entries just stop being requested — and purge_stale() reclaims
+// their memory when convenient.  Unlike serve's string-keyed response
+// cache, the key here is a packed (epoch, source, target, mask hash)
+// tuple: reroute queries are issued millions of times per sweep, so key
+// construction must not allocate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "route/path_engine.hpp"
+#include "util/check.hpp"
+
+namespace intertubes::route {
+
+struct PathKey {
+  std::uint64_t epoch = 0;
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::uint64_t mask_hash = 0;
+
+  bool operator==(const PathKey& other) const noexcept {
+    return epoch == other.epoch && from == other.from && to == other.to &&
+           mask_hash == other.mask_hash;
+  }
+};
+
+inline std::uint64_t mix64(std::uint64_t h) noexcept {
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+/// Order-sensitive fold of a sorted mask; callers sort first so that
+/// {3,7} and {7,3} collide on purpose.
+inline std::uint64_t mask_hash(const std::vector<EdgeId>& sorted_mask) noexcept {
+  std::uint64_t h = 0x2545f4914f6cdd1dull;
+  for (EdgeId id : sorted_mask) h = mix64(h ^ id);
+  return h;
+}
+
+struct PathKeyHash {
+  std::size_t operator()(const PathKey& key) const noexcept {
+    const std::uint64_t a = mix64(key.epoch ^ (static_cast<std::uint64_t>(key.from) << 32 |
+                                               static_cast<std::uint64_t>(key.to)));
+    return static_cast<std::size_t>(mix64(a ^ key.mask_hash));
+  }
+};
+
+struct PathCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;      ///< capacity evictions (LRU tail drops)
+  std::uint64_t invalidations = 0;  ///< stale-epoch entries purged
+
+  double hit_ratio() const noexcept {
+    const double total = static_cast<double>(hits + misses);
+    return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+/// Sharded LRU over PathKey → immutable Path.  Same locking discipline as
+/// serve::ShardedLruCache: independently locked shards, atomics for stats.
+class PathCache {
+ public:
+  explicit PathCache(std::size_t capacity = 4096, std::size_t num_shards = 8)
+      : per_shard_capacity_(checked_per_shard(capacity, num_shards)), shards_(num_shards) {}
+
+  using Value = std::shared_ptr<const Path>;
+
+  std::optional<Value> get(const PathKey& key) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->second;
+  }
+
+  void put(const PathKey& key, Value value) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(value);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    shard.lru.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.lru.begin());
+    if (shard.lru.size() > per_shard_capacity_) {
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Drop every entry whose epoch differs from `current_epoch`.
+  std::size_t purge_stale(std::uint64_t current_epoch) {
+    std::size_t dropped = 0;
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+        if (it->first.epoch != current_epoch) {
+          shard.index.erase(it->first);
+          it = shard.lru.erase(it);
+          ++dropped;
+        } else {
+          ++it;
+        }
+      }
+    }
+    invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+    return dropped;
+  }
+
+  void clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.lru.clear();
+      shard.index.clear();
+    }
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.lru.size();
+    }
+    return total;
+  }
+
+  PathCacheStats stats() const {
+    PathCacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.invalidations = invalidations_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<std::pair<PathKey, Value>> lru;  // front = most recent
+    std::unordered_map<PathKey, std::list<std::pair<PathKey, Value>>::iterator, PathKeyHash>
+        index;
+  };
+
+  static std::size_t checked_per_shard(std::size_t capacity, std::size_t num_shards) {
+    IT_CHECK(capacity > 0);
+    IT_CHECK(num_shards > 0);
+    return (capacity + num_shards - 1) / num_shards;
+  }
+
+  Shard& shard_for(const PathKey& key) {
+    return shards_[PathKeyHash{}(key) % shards_.size()];
+  }
+
+  std::size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+};
+
+/// Memoizing front end: routes through a PathEngine, caching results under
+/// (engine epoch, from, to, mask hash).  The engine is passed per call so
+/// one cache can serve a sequence of rebuilt graphs (greedy expansion
+/// commits); entries from superseded epochs die by key mismatch.
+/// Thread-safe: the cache shards lock independently and the engine's
+/// pooled workspaces make concurrent misses safe.
+class MemoizedRouter {
+ public:
+  explicit MemoizedRouter(std::size_t capacity = 4096, std::size_t num_shards = 8)
+      : cache_(capacity, num_shards) {}
+
+  /// `mask` must be sorted ascending (so semantically equal masks share a
+  /// cache slot).  Returns a shared immutable Path — hit or miss.
+  std::shared_ptr<const Path> route(const PathEngine& engine, NodeId from, NodeId to,
+                                    const std::vector<EdgeId>& mask = {}) {
+    const PathKey key{engine.epoch(), from, to, mask_hash(mask)};
+    if (auto cached = cache_.get(key)) return *cached;
+    Query query;
+    if (!mask.empty()) query.masked = &mask;
+    auto path = std::make_shared<const Path>(engine.shortest_path(from, to, query));
+    cache_.put(key, path);
+    return path;
+  }
+
+  PathCacheStats stats() const { return cache_.stats(); }
+  std::size_t size() const { return cache_.size(); }
+  void clear() { cache_.clear(); }
+  std::size_t purge_stale(std::uint64_t epoch) { return cache_.purge_stale(epoch); }
+
+ private:
+  PathCache cache_;
+};
+
+}  // namespace intertubes::route

@@ -1,0 +1,244 @@
+#include "route/path_engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace intertubes::route {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::uint32_t kSettled = 0xffffffffu;  // heap_pos_ sentinel
+}  // namespace
+
+void PathEngine::Workspace::prepare(std::size_t num_nodes, std::size_t num_edges) {
+  if (dist_.size() < num_nodes) {
+    dist_.resize(num_nodes, kInf);
+    via_edge_.resize(num_nodes, kNoEdge);
+    via_node_.resize(num_nodes, kNoNode);
+    node_gen_.resize(num_nodes, 0);
+    heap_pos_.resize(num_nodes, 0);
+  }
+  if (mask_gen_.size() < num_edges) mask_gen_.resize(num_edges, 0);
+  heap_.clear();
+  ++generation_;
+}
+
+PathEngine::PathEngine(NodeId num_nodes, std::vector<EdgeSpec> edges, std::uint64_t epoch)
+    : num_nodes_(num_nodes), edges_(std::move(edges)), epoch_(epoch) {
+  for (const EdgeSpec& e : edges_) {
+    IT_CHECK(e.a < num_nodes_ && e.b < num_nodes_);
+  }
+  // Counting sort of the 2|E| incidences into CSR rows.
+  offsets_.assign(num_nodes_ + 1, 0);
+  for (const EdgeSpec& e : edges_) {
+    ++offsets_[e.a + 1];
+    ++offsets_[e.b + 1];
+  }
+  for (std::size_t u = 0; u < num_nodes_; ++u) offsets_[u + 1] += offsets_[u];
+  targets_.resize(2 * edges_.size());
+  edge_ids_.resize(2 * edges_.size());
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    const EdgeSpec& e = edges_[id];
+    targets_[cursor[e.a]] = e.b;
+    edge_ids_[cursor[e.a]++] = id;
+    targets_[cursor[e.b]] = e.a;
+    edge_ids_[cursor[e.b]++] = id;
+  }
+}
+
+const EdgeSpec& PathEngine::edge(EdgeId id) const {
+  IT_CHECK(id < edges_.size());
+  return edges_[id];
+}
+
+namespace {
+
+/// Indexed binary min-heap over node ids; order = (dist, node id), so
+/// equal-distance pops are deterministic.
+struct Heap {
+  std::vector<NodeId>& items;
+  const std::vector<double>& dist;
+  std::vector<std::uint32_t>& pos;
+
+  bool less(NodeId x, NodeId y) const {
+    if (dist[x] != dist[y]) return dist[x] < dist[y];
+    return x < y;
+  }
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!less(items[i], items[parent])) break;
+      std::swap(items[i], items[parent]);
+      pos[items[i]] = static_cast<std::uint32_t>(i);
+      pos[items[parent]] = static_cast<std::uint32_t>(parent);
+      i = parent;
+    }
+  }
+  void sift_down(std::size_t i) {
+    for (;;) {
+      std::size_t best = i;
+      const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+      if (l < items.size() && less(items[l], items[best])) best = l;
+      if (r < items.size() && less(items[r], items[best])) best = r;
+      if (best == i) break;
+      std::swap(items[i], items[best]);
+      pos[items[i]] = static_cast<std::uint32_t>(i);
+      pos[items[best]] = static_cast<std::uint32_t>(best);
+      i = best;
+    }
+  }
+  void push(NodeId n) {
+    items.push_back(n);
+    pos[n] = static_cast<std::uint32_t>(items.size() - 1);
+    sift_up(items.size() - 1);
+  }
+  NodeId pop_min() {
+    const NodeId top = items.front();
+    pos[top] = kSettled;
+    items.front() = items.back();
+    items.pop_back();
+    if (!items.empty()) {
+      pos[items.front()] = 0;
+      sift_down(0);
+    }
+    return top;
+  }
+};
+
+}  // namespace
+
+void PathEngine::run_dijkstra(NodeId from, NodeId to, const Query& query, Workspace& ws) const {
+  IT_CHECK(from < num_nodes_ && (to < num_nodes_ || to == kNoNode));
+  ws.prepare(num_nodes_, edges_.size());
+  const std::uint64_t gen = ws.generation_;
+  if (query.masked != nullptr) {
+    for (EdgeId id : *query.masked) {
+      if (id < edges_.size()) ws.mask_gen_[id] = gen;
+    }
+  }
+  const std::vector<EdgeSpec>* overlay = query.overlay;
+  const auto* override_fn = query.weight_override;
+
+  Heap heap{ws.heap_, ws.dist_, ws.heap_pos_};
+  ws.node_gen_[from] = gen;
+  ws.dist_[from] = 0.0;
+  ws.via_edge_[from] = kNoEdge;
+  ws.via_node_[from] = kNoNode;
+  heap.push(from);
+
+  const auto relax = [&](NodeId u, NodeId v, EdgeId eid, double w) {
+    if (!(w < kInf)) return;
+    const double nd = ws.dist_[u] + w;
+    if (ws.node_gen_[v] != gen) {
+      ws.node_gen_[v] = gen;
+      ws.dist_[v] = nd;
+      ws.via_edge_[v] = eid;
+      ws.via_node_[v] = u;
+      heap.push(v);
+      return;
+    }
+    if (ws.heap_pos_[v] == kSettled) return;
+    if (nd < ws.dist_[v]) {
+      ws.dist_[v] = nd;
+      ws.via_edge_[v] = eid;
+      ws.via_node_[v] = u;
+      heap.sift_up(ws.heap_pos_[v]);
+    } else if (nd == ws.dist_[v] && eid < ws.via_edge_[v]) {
+      // Equal cost: the lowest edge id wins (the determinism contract).
+      ws.via_edge_[v] = eid;
+      ws.via_node_[v] = u;
+    }
+  };
+
+  while (!ws.heap_.empty()) {
+    const NodeId u = heap.pop_min();
+    if (u == to) break;
+    const std::uint32_t begin = offsets_[u];
+    const std::uint32_t end = offsets_[u + 1];
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const EdgeId eid = edge_ids_[i];
+      if (ws.mask_gen_[eid] == gen) continue;
+      const double w = override_fn != nullptr ? (*override_fn)(eid) : edges_[eid].weight;
+      relax(u, targets_[i], eid, w);
+    }
+    if (overlay != nullptr) {
+      for (std::size_t i = 0; i < overlay->size(); ++i) {
+        const EdgeSpec& e = (*overlay)[i];
+        const EdgeId eid = static_cast<EdgeId>(edges_.size() + i);
+        if (e.a == u) {
+          relax(u, e.b, eid, e.weight);
+        } else if (e.b == u) {
+          relax(u, e.a, eid, e.weight);
+        }
+      }
+    }
+  }
+}
+
+Path PathEngine::reconstruct(NodeId from, NodeId to, const Workspace& ws) const {
+  Path path;
+  if (ws.node_gen_[to] != ws.generation_) return path;  // never reached
+  path.reachable = true;
+  path.cost = ws.dist_[to];
+  NodeId cur = to;
+  path.nodes.push_back(cur);
+  while (cur != from) {
+    path.edges.push_back(ws.via_edge_[cur]);
+    cur = ws.via_node_[cur];
+    path.nodes.push_back(cur);
+  }
+  std::reverse(path.edges.begin(), path.edges.end());
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  return path;
+}
+
+Path PathEngine::shortest_path(NodeId from, NodeId to, const Query& query, Workspace& ws) const {
+  IT_CHECK(to < num_nodes_);
+  run_dijkstra(from, to, query, ws);
+  return reconstruct(from, to, ws);
+}
+
+std::vector<double> PathEngine::distances_from(NodeId from, const Query& query,
+                                               Workspace& ws) const {
+  run_dijkstra(from, kNoNode, query, ws);
+  std::vector<double> out(num_nodes_, kInf);
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    if (ws.node_gen_[n] == ws.generation_) out[n] = ws.dist_[n];
+  }
+  return out;
+}
+
+/// RAII lease on the engine's workspace pool: pop under the lock, push
+/// back on destruction, so the convenience overloads stay allocation-free
+/// after warm-up without per-engine thread affinity.
+struct PathEngine::WorkspaceLease {
+  const PathEngine& engine;
+  std::unique_ptr<Workspace> ws;
+
+  explicit WorkspaceLease(const PathEngine& e) : engine(e) {
+    std::lock_guard<std::mutex> lock(engine.pool_mu_);
+    if (!engine.pool_.empty()) {
+      ws = std::move(engine.pool_.back());
+      engine.pool_.pop_back();
+    }
+    if (ws == nullptr) ws = std::make_unique<Workspace>();
+  }
+  ~WorkspaceLease() {
+    std::lock_guard<std::mutex> lock(engine.pool_mu_);
+    engine.pool_.push_back(std::move(ws));
+  }
+};
+
+Path PathEngine::shortest_path(NodeId from, NodeId to, const Query& query) const {
+  WorkspaceLease lease(*this);
+  return shortest_path(from, to, query, *lease.ws);
+}
+
+std::vector<double> PathEngine::distances_from(NodeId from, const Query& query) const {
+  WorkspaceLease lease(*this);
+  return distances_from(from, query, *lease.ws);
+}
+
+}  // namespace intertubes::route

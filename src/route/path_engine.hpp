@@ -1,0 +1,135 @@
+// The shared routing core: one compiled graph, many cheap what-if queries.
+//
+// Every mitigation analysis in the repo (robustness suggestions, k-new-
+// conduit expansion, ROW shortest paths, serve city-pair paths) reduces to
+// a min-weight path over a mostly static graph with small per-query
+// perturbations — an excluded conduit, a tentative new edge, a custom
+// weight.  PathEngine compiles the graph once into CSR adjacency (flat
+// uint32 arrays, cache-friendly, no per-node hashing) and answers Dijkstra
+// queries against generation-stamped scratch arrays: resetting a Workspace
+// between queries is O(1) (bump a counter), and after the first query on a
+// Workspace no allocation happens at all.
+//
+// Query-time perturbations never copy the graph:
+//   * edge masks — a sorted list of excluded edge ids, stamped into the
+//     workspace in O(|mask|);
+//   * overlay edges — extra EdgeSpecs scanned alongside the CSR rows,
+//     with ids starting at num_edges() (how the expansion optimizer
+//     evaluates a tentative conduit without cloning anything);
+//   * weight overrides — a per-edge cost functor (+inf forbids), the
+//     escape hatch for the ROW registry's custom WeightFn callers.
+//
+// Determinism contract: results are a pure function of (graph, query).
+// Ties are broken canonically — the heap pops equal-distance nodes in
+// node-id order, and among equal-cost predecessors the lowest edge id
+// wins — so parallel fan-outs that issue one query per work item are
+// bit-identical to their serial runs for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace intertubes::route {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0xffffffffu;
+inline constexpr EdgeId kNoEdge = 0xffffffffu;
+
+/// An undirected edge with its precompiled base weight.
+struct EdgeSpec {
+  NodeId a = kNoNode;
+  NodeId b = kNoNode;
+  double weight = 0.0;
+};
+
+/// A shortest path.  `edges` may contain overlay ids (>= num_edges());
+/// `nodes` has edges.size()+1 entries when reachable (just {from} when
+/// from == to).  An unreachable query leaves cost at +inf.
+struct Path {
+  std::vector<EdgeId> edges;
+  std::vector<NodeId> nodes;
+  double cost = std::numeric_limits<double>::infinity();
+  bool reachable = false;
+};
+
+/// Per-query perturbations.  All pointers are borrowed for the duration of
+/// the call and may be null.
+struct Query {
+  /// Excluded edge ids, sorted ascending (base edges only).
+  const std::vector<EdgeId>* masked = nullptr;
+  /// Extra edges; overlay edge i gets id num_edges() + i.
+  const std::vector<EdgeSpec>* overlay = nullptr;
+  /// Replaces the base weight of every base edge; return +inf to forbid.
+  /// Overlay edges keep their own weight.
+  const std::function<double(EdgeId)>* weight_override = nullptr;
+};
+
+class PathEngine {
+ public:
+  /// Reusable Dijkstra scratch: distance/parent/heap arrays with a
+  /// generation stamp per node, so reset between queries is O(1).  One
+  /// Workspace per thread; the engine never writes through `this`.
+  class Workspace {
+   public:
+    Workspace() = default;
+
+   private:
+    friend class PathEngine;
+    void prepare(std::size_t num_nodes, std::size_t num_edges);
+
+    std::vector<double> dist_;
+    std::vector<EdgeId> via_edge_;
+    std::vector<NodeId> via_node_;
+    std::vector<std::uint64_t> node_gen_;   // per node: last query that touched it
+    std::vector<std::uint32_t> heap_pos_;   // valid only when node_gen_ is current
+    std::vector<NodeId> heap_;              // indexed binary min-heap of node ids
+    std::vector<std::uint64_t> mask_gen_;   // per base edge: last query that masked it
+    std::uint64_t generation_ = 0;
+  };
+
+  /// Compile the CSR adjacency.  Edge ids are indices into `edges`.
+  /// `epoch` identifies this build of the graph for memoization keys; a
+  /// rebuilt graph must carry a different epoch.
+  PathEngine(NodeId num_nodes, std::vector<EdgeSpec> edges, std::uint64_t epoch = 0);
+
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+  const EdgeSpec& edge(EdgeId id) const;
+
+  /// Dijkstra from `from` to `to` under `query`, using caller-owned
+  /// scratch (the zero-allocation hot path; reuse `ws` across queries).
+  Path shortest_path(NodeId from, NodeId to, const Query& query, Workspace& ws) const;
+
+  /// Convenience overload borrowing a Workspace from the engine's
+  /// internal pool — thread-safe, allocation-free after warm-up.
+  Path shortest_path(NodeId from, NodeId to, const Query& query = {}) const;
+
+  /// Single-source distances to every node (+inf when unreachable).
+  std::vector<double> distances_from(NodeId from, const Query& query = {}) const;
+  std::vector<double> distances_from(NodeId from, const Query& query, Workspace& ws) const;
+
+ private:
+  struct WorkspaceLease;
+
+  void run_dijkstra(NodeId from, NodeId to, const Query& query, Workspace& ws) const;
+  Path reconstruct(NodeId from, NodeId to, const Workspace& ws) const;
+
+  std::size_t num_nodes_ = 0;
+  std::vector<EdgeSpec> edges_;
+  // CSR: incidences of node u live at [offsets_[u], offsets_[u+1]).
+  std::vector<std::uint32_t> offsets_;
+  std::vector<NodeId> targets_;
+  std::vector<EdgeId> edge_ids_;
+  std::uint64_t epoch_ = 0;
+
+  mutable std::mutex pool_mu_;
+  mutable std::vector<std::unique_ptr<Workspace>> pool_;
+};
+
+}  // namespace intertubes::route

@@ -178,49 +178,23 @@ void execute_city_path(const Snapshot& snap, const CityPathQuery& query, Respons
     response.body = std::move(result);
     return;
   }
-  // Dijkstra over the conduit graph, weight = conduit length.
+  // Min-length route over the snapshot's compiled conduit graph.
   const auto& map = snap.map();
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> dist(cities.size(), kInf);
-  std::vector<core::ConduitId> via(cities.size(), core::kNoConduit);
-  using HeapEntry = std::pair<double, transport::CityId>;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
-  dist[*from] = 0.0;
-  heap.push({0.0, *from});
-  while (!heap.empty()) {
-    const auto [d, city] = heap.top();
-    heap.pop();
-    if (d > dist[city]) continue;
-    if (city == *to) break;
-    for (core::ConduitId cid : map.conduits_at(city)) {
-      const auto& conduit = map.conduit(cid);
-      const transport::CityId next = conduit.a == city ? conduit.b : conduit.a;
-      const double nd = d + conduit.length_km;
-      if (nd < dist[next]) {
-        dist[next] = nd;
-        via[next] = cid;
-        heap.push({nd, next});
-      }
-    }
-  }
-  if (dist[*to] == kInf) {
+  const auto path = snap.path_engine().shortest_path(*from, *to);
+  if (!path.reachable) {
     response.body = std::move(result);  // reachable = false is the answer
     return;
   }
-  std::vector<PathHop> reversed;
-  for (transport::CityId city = *to; city != *from;) {
-    const auto& conduit = map.conduit(via[city]);
-    const transport::CityId prev = conduit.a == city ? conduit.b : conduit.a;
-    PathHop hop;
-    hop.a = cities.city(prev).display_name();
-    hop.b = cities.city(city).display_name();
-    hop.km = conduit.length_km;
-    reversed.push_back(std::move(hop));
-    city = prev;
-  }
   result.reachable = true;
-  result.hops.assign(reversed.rbegin(), reversed.rend());
-  result.km = dist[*to];
+  result.hops.reserve(path.edges.size());
+  for (std::size_t i = 0; i < path.edges.size(); ++i) {
+    PathHop hop;
+    hop.a = cities.city(path.nodes[i]).display_name();
+    hop.b = cities.city(path.nodes[i + 1]).display_name();
+    hop.km = map.conduit(path.edges[i]).length_km;
+    result.hops.push_back(std::move(hop));
+  }
+  result.km = path.cost;
   result.delay_ms = geo::fiber_delay_ms(result.km);
   response.body = std::move(result);
 }

@@ -12,6 +12,16 @@ void Snapshot::derive() {
   matrix_ = risk::RiskMatrix::from_map(map_);
   sharing_table_ = matrix_.conduits_shared_by_at_least();
   risk_ranking_ = matrix_.isp_risk_ranking();
+  // Compile the conduit graph for city-pair path queries.  The snapshot's
+  // publish epoch isn't assigned yet, but the serve response cache keys on
+  // that epoch itself, so the engine epoch can stay 0.
+  std::vector<route::EdgeSpec> edges;
+  edges.reserve(map_.conduits().size());
+  for (const auto& conduit : map_.conduits()) {
+    edges.push_back({conduit.a, conduit.b, conduit.length_km});
+  }
+  path_engine_ = std::make_shared<const route::PathEngine>(
+      static_cast<route::NodeId>(core::Scenario::cities().size()), std::move(edges));
   // After this, every const query on the map is write-free and may run
   // from any number of threads concurrently.
   map_.prepare_for_concurrent_reads();

@@ -20,6 +20,7 @@
 
 #include "core/scenario.hpp"
 #include "risk/risk_matrix.hpp"
+#include "route/path_engine.hpp"
 #include "traceroute/overlay.hpp"
 
 namespace intertubes::serve {
@@ -73,6 +74,11 @@ class Snapshot {
   /// snapshots).
   std::size_t links_severed() const noexcept { return links_severed_; }
 
+  /// The compiled length-weighted conduit graph (conduit id = edge id,
+  /// node = city) for city-pair path queries.  Immutable like everything
+  /// else here, so any number of request threads may query it.
+  const route::PathEngine& path_engine() const noexcept { return *path_engine_; }
+
  private:
   friend class SnapshotStore;
   Snapshot() = default;
@@ -87,6 +93,7 @@ class Snapshot {
   std::shared_ptr<const traceroute::OverlayResult> overlay_;
   std::vector<std::size_t> sharing_table_;
   std::vector<risk::RiskMatrix::IspRisk> risk_ranking_;
+  std::shared_ptr<const route::PathEngine> path_engine_;
   std::size_t links_severed_ = 0;
 };
 

@@ -1,7 +1,6 @@
 #include "transport/row.hpp"
 
-#include <algorithm>
-#include <queue>
+#include <functional>
 
 #include "util/check.hpp"
 
@@ -15,6 +14,14 @@ RightOfWayRegistry::RightOfWayRegistry(const TransportBundle& bundle) {
   add_network(bundle.road);
   add_network(bundle.rail);
   add_network(bundle.pipeline);
+  // Compile the corridor graph once; corridors are fixed from here on.
+  std::vector<route::EdgeSpec> edges;
+  edges.reserve(corridors_.size());
+  for (const auto& c : corridors_) {
+    edges.push_back({c.a, c.b, c.length_km});
+  }
+  engine_ = std::make_unique<route::PathEngine>(static_cast<route::NodeId>(num_cities_),
+                                                std::move(edges));
 }
 
 void RightOfWayRegistry::add_network(const TransportNetwork& net) {
@@ -56,85 +63,36 @@ std::optional<CorridorId> RightOfWayRegistry::direct(CityId a, CityId b,
   return best;
 }
 
-namespace {
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-struct QueueEntry {
-  double dist;
-  CityId city;
-  bool operator>(const QueueEntry& o) const noexcept { return dist > o.dist; }
-};
-}  // namespace
+RowPath RightOfWayRegistry::to_row_path(const route::Path& path) const {
+  RowPath row_path;
+  if (!path.reachable) return row_path;
+  row_path.corridors.assign(path.edges.begin(), path.edges.end());
+  row_path.cities.assign(path.nodes.begin(), path.nodes.end());
+  // Length is always physical trench length, even under a custom weight.
+  for (CorridorId cid : row_path.corridors) row_path.length_km += corridors_[cid].length_km;
+  return row_path;
+}
 
 RowPath RightOfWayRegistry::shortest_path(CityId from, CityId to, const WeightFn& weight) const {
   IT_CHECK(from < num_cities_ && to < num_cities_);
-  std::vector<double> dist(num_cities_, kInf);
-  std::vector<CorridorId> via(num_cities_, kNoCorridor);
-  std::vector<CityId> prev(num_cities_, kNoCity);
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
-  dist[from] = 0.0;
-  queue.push({0.0, from});
-  while (!queue.empty()) {
-    const auto [d, u] = queue.top();
-    queue.pop();
-    if (d > dist[u]) continue;
-    if (u == to) break;
-    for (CorridorId cid : adjacency_[u]) {
-      const auto& c = corridors_[cid];
-      const CityId v = (c.a == u) ? c.b : c.a;
-      const double w = weight ? weight(c) : c.length_km;
-      if (!(w < kInf)) continue;
-      const double nd = d + w;
-      if (nd < dist[v]) {
-        dist[v] = nd;
-        via[v] = cid;
-        prev[v] = u;
-        queue.push({nd, v});
-      }
-    }
-  }
-
-  RowPath path;
-  if (!(dist[to] < kInf)) return path;
-  // Walk back from `to`.
-  std::vector<CorridorId> rev_corridors;
-  std::vector<CityId> rev_cities;
-  CityId cur = to;
-  rev_cities.push_back(cur);
-  while (cur != from) {
-    rev_corridors.push_back(via[cur]);
-    cur = prev[cur];
-    rev_cities.push_back(cur);
-  }
-  path.corridors.assign(rev_corridors.rbegin(), rev_corridors.rend());
-  path.cities.assign(rev_cities.rbegin(), rev_cities.rend());
-  for (CorridorId cid : path.corridors) path.length_km += corridors_[cid].length_km;
-  return path;
+  if (!weight) return to_row_path(engine_->shortest_path(from, to));
+  const std::function<double(route::EdgeId)> override_fn = [this, &weight](route::EdgeId eid) {
+    return weight(corridors_[eid]);
+  };
+  route::Query query;
+  query.weight_override = &override_fn;
+  return to_row_path(engine_->shortest_path(from, to, query));
 }
 
 std::vector<double> RightOfWayRegistry::distances_from(CityId from, const WeightFn& weight) const {
   IT_CHECK(from < num_cities_);
-  std::vector<double> dist(num_cities_, kInf);
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
-  dist[from] = 0.0;
-  queue.push({0.0, from});
-  while (!queue.empty()) {
-    const auto [d, u] = queue.top();
-    queue.pop();
-    if (d > dist[u]) continue;
-    for (CorridorId cid : adjacency_[u]) {
-      const auto& c = corridors_[cid];
-      const CityId v = (c.a == u) ? c.b : c.a;
-      const double w = weight ? weight(c) : c.length_km;
-      if (!(w < kInf)) continue;
-      const double nd = d + w;
-      if (nd < dist[v]) {
-        dist[v] = nd;
-        queue.push({nd, v});
-      }
-    }
-  }
-  return dist;
+  if (!weight) return engine_->distances_from(from);
+  const std::function<double(route::EdgeId)> override_fn = [this, &weight](route::EdgeId eid) {
+    return weight(corridors_[eid]);
+  };
+  route::Query query;
+  query.weight_override = &override_fn;
+  return engine_->distances_from(from, query);
 }
 
 geo::Polyline RightOfWayRegistry::path_geometry(const RowPath& path) const {

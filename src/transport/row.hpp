@@ -10,9 +10,11 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "route/path_engine.hpp"
 #include "transport/network.hpp"
 
 namespace intertubes::transport {
@@ -71,12 +73,19 @@ class RightOfWayRegistry {
   /// joined end to end).
   geo::Polyline path_geometry(const RowPath& path) const;
 
+  /// The compiled length-weighted corridor graph (corridor id = edge id)
+  /// all path queries run on.  Custom WeightFn queries ride the engine's
+  /// weight-override hook; the graph itself is fixed after construction.
+  const route::PathEngine& path_engine() const noexcept { return *engine_; }
+
  private:
   void add_network(const TransportNetwork& net);
+  RowPath to_row_path(const route::Path& path) const;
 
   std::size_t num_cities_ = 0;
   std::vector<Corridor> corridors_;
   std::vector<std::vector<CorridorId>> adjacency_;
+  std::unique_ptr<route::PathEngine> engine_;
 };
 
 }  // namespace intertubes::transport
