@@ -5,51 +5,19 @@
 // Paper: 542 conduits; 89.67 / 63.28 / 53.50 % shared by >= 2 / 3 / 4
 // ISPs; 12 conduits shared by more than 17 of 20; ranking from Suddenlink
 // / EarthLink / Level 3 (least) to Deutsche Telekom / NTT / XO (most).
+#include "artifact/renderers.hpp"
 #include "bench_support.hpp"
-#include "util/table.hpp"
 
 namespace {
 
 using namespace intertubes;
 
+// The formatting (sharing distribution + risk ranking) lives in
+// artifact::render_fig6 — the same bytes the golden regression test pins
+// against tests/golden/fig6.golden.
 void print_artifact() {
-  const auto& matrix = bench::risk_matrix();
-  const auto& profiles = bench::scenario().truth().profiles();
-
-  bench::artifact_banner("Figure 6 (top)", "number of conduits shared by at least k ISPs");
-  const auto counts = matrix.conduits_shared_by_at_least();
-  TextTable dist({"k", "conduits shared by >= k", "% of all"});
-  const double total = static_cast<double>(matrix.num_conduits());
-  for (std::size_t k = 1; k <= counts.size(); ++k) {
-    dist.start_row();
-    dist.add_cell(k);
-    dist.add_cell(counts[k - 1]);
-    dist.add_cell(100.0 * static_cast<double>(counts[k - 1]) / total, 1);
-  }
-  std::cout << dist.render();
-  std::cout << "\npaper: 89.7 / 63.3 / 53.5 % shared by >= 2 / 3 / 4 ISPs; here "
-            << format_double(100.0 * static_cast<double>(counts[1]) / total, 1) << " / "
-            << format_double(100.0 * static_cast<double>(counts[2]) / total, 1) << " / "
-            << format_double(100.0 * static_cast<double>(counts[3]) / total, 1) << " %\n";
-  std::cout << "conduits shared by more than 17 ISPs: "
-            << matrix.conduits_shared_by_more_than(17).size() << " of " << matrix.num_conduits()
-            << " (paper: 12 of 542)\n";
-
-  bench::artifact_banner("Figure 6 (ranking)",
-                         "per-ISP average shared risk, ascending (mean, SE, quartiles)");
-  TextTable ranking({"ISP", "conduits used", "avg sharing", "std err", "p25", "p75"});
-  for (const auto& row : matrix.isp_risk_ranking()) {
-    ranking.start_row();
-    ranking.add_cell(profiles[row.isp].name);
-    ranking.add_cell(row.conduits_used);
-    ranking.add_cell(row.mean_sharing, 2);
-    ranking.add_cell(row.standard_error, 2);
-    ranking.add_cell(row.p25, 1);
-    ranking.add_cell(row.p75, 1);
-  }
-  std::cout << ranking.render();
-  std::cout << "\npaper order: Suddenlink/EarthLink/Level 3 least shared; Deutsche "
-               "Telekom/NTT/XO most\n";
+  bench::artifact_banner("Figure 6", "rendered by artifact::render_fig6 (golden-pinned)");
+  std::cout << artifact::render_fig6(bench::scenario(), bench::risk_matrix());
 }
 
 void BM_RiskMatrixFromMap(benchmark::State& state) {

@@ -5,52 +5,18 @@
 // links, 542 conduits).  Here: the same tables for our generated world,
 // plus the fidelity score against ground truth (measurable only in
 // simulation).
+#include "artifact/renderers.hpp"
 #include "bench_support.hpp"
-#include "core/fidelity.hpp"
-#include "util/table.hpp"
 
 namespace {
 
 using namespace intertubes;
 
+// The formatting lives in artifact::render_table1 — the same bytes the
+// golden regression test pins against tests/golden/table1.golden.
 void print_artifact() {
-  const auto& scenario = bench::scenario();
-  const auto stats = core::compute_stats(scenario.map());
-  const auto& profiles = scenario.truth().profiles();
-
-  bench::artifact_banner("Table 1", "nodes and long-haul links per step-1 (geocoded-map) ISP");
-  TextTable table({"ISP", "nodes", "links"});
-  for (isp::IspId i = 0; i < profiles.size(); ++i) {
-    if (!profiles[i].publishes_geocoded_map) continue;
-    table.start_row();
-    table.add_cell(profiles[i].name);
-    table.add_cell(stats.nodes_per_isp[i]);
-    table.add_cell(stats.links_per_isp[i]);
-  }
-  std::cout << table.render();
-
-  std::cout << "\nPOP-only (step-3) ISPs added to the augmented map:\n";
-  TextTable table3({"ISP", "nodes", "links"});
-  for (isp::IspId i = 0; i < profiles.size(); ++i) {
-    if (profiles[i].publishes_geocoded_map) continue;
-    table3.start_row();
-    table3.add_cell(profiles[i].name);
-    table3.add_cell(stats.nodes_per_isp[i]);
-    table3.add_cell(stats.links_per_isp[i]);
-  }
-  std::cout << table3.render();
-
-  std::cout << "\nmap totals: " << stats.nodes << " nodes, " << stats.links << " links, "
-            << stats.conduits << " conduits (" << stats.validated_conduits << " validated, "
-            << format_double(stats.total_conduit_km, 0) << " conduit-km)\n"
-            << "paper totals at US scale: 273 nodes, 2411 links, 542 conduits\n";
-
-  const auto fidelity = core::score_fidelity(scenario.map(), scenario.truth());
-  std::cout << "fidelity vs ground truth: conduit P/R = "
-            << format_double(fidelity.conduit_precision, 3) << "/"
-            << format_double(fidelity.conduit_recall, 3)
-            << ", tenancy P/R = " << format_double(fidelity.tenancy_precision, 3) << "/"
-            << format_double(fidelity.tenancy_recall, 3) << "\n";
+  bench::artifact_banner("Table 1", "rendered by artifact::render_table1 (golden-pinned)");
+  std::cout << artifact::render_table1(bench::scenario());
 }
 
 void BM_FullPipelineBuild(benchmark::State& state) {

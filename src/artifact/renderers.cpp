@@ -1,0 +1,138 @@
+#include "artifact/renderers.hpp"
+
+#include <sstream>
+
+#include "core/fidelity.hpp"
+#include "optimize/robustness.hpp"
+#include "util/table.hpp"
+
+namespace intertubes::artifact {
+
+std::string render_table1(const core::Scenario& scenario) {
+  std::ostringstream out;
+  const auto stats = core::compute_stats(scenario.map());
+  const auto& profiles = scenario.truth().profiles();
+
+  out << "nodes and long-haul links per step-1 (geocoded-map) ISP\n";
+  TextTable table({"ISP", "nodes", "links"});
+  for (isp::IspId i = 0; i < profiles.size(); ++i) {
+    if (!profiles[i].publishes_geocoded_map) continue;
+    table.start_row();
+    table.add_cell(profiles[i].name);
+    table.add_cell(stats.nodes_per_isp[i]);
+    table.add_cell(stats.links_per_isp[i]);
+  }
+  out << table.render();
+
+  out << "\nPOP-only (step-3) ISPs added to the augmented map:\n";
+  TextTable table3({"ISP", "nodes", "links"});
+  for (isp::IspId i = 0; i < profiles.size(); ++i) {
+    if (profiles[i].publishes_geocoded_map) continue;
+    table3.start_row();
+    table3.add_cell(profiles[i].name);
+    table3.add_cell(stats.nodes_per_isp[i]);
+    table3.add_cell(stats.links_per_isp[i]);
+  }
+  out << table3.render();
+
+  out << "\nmap totals: " << stats.nodes << " nodes, " << stats.links << " links, "
+      << stats.conduits << " conduits (" << stats.validated_conduits << " validated, "
+      << format_double(stats.total_conduit_km, 0) << " conduit-km)\n"
+      << "paper totals at US scale: 273 nodes, 2411 links, 542 conduits\n";
+
+  const auto fidelity = core::score_fidelity(scenario.map(), scenario.truth());
+  out << "fidelity vs ground truth: conduit P/R = "
+      << format_double(fidelity.conduit_precision, 3) << "/"
+      << format_double(fidelity.conduit_recall, 3)
+      << ", tenancy P/R = " << format_double(fidelity.tenancy_precision, 3) << "/"
+      << format_double(fidelity.tenancy_recall, 3) << "\n";
+  return out.str();
+}
+
+std::string render_fig6(const core::Scenario& scenario, const risk::RiskMatrix& matrix) {
+  std::ostringstream out;
+  const auto& profiles = scenario.truth().profiles();
+
+  out << "number of conduits shared by at least k ISPs\n";
+  const auto counts = matrix.conduits_shared_by_at_least();
+  TextTable dist({"k", "conduits shared by >= k", "% of all"});
+  const double total = static_cast<double>(matrix.num_conduits());
+  for (std::size_t k = 1; k <= counts.size(); ++k) {
+    dist.start_row();
+    dist.add_cell(k);
+    dist.add_cell(counts[k - 1]);
+    dist.add_cell(100.0 * static_cast<double>(counts[k - 1]) / total, 1);
+  }
+  out << dist.render();
+  out << "\npaper: 89.7 / 63.3 / 53.5 % shared by >= 2 / 3 / 4 ISPs; here "
+      << format_double(100.0 * static_cast<double>(counts[1]) / total, 1) << " / "
+      << format_double(100.0 * static_cast<double>(counts[2]) / total, 1) << " / "
+      << format_double(100.0 * static_cast<double>(counts[3]) / total, 1) << " %\n";
+  out << "conduits shared by more than 17 ISPs: "
+      << matrix.conduits_shared_by_more_than(17).size() << " of " << matrix.num_conduits()
+      << " (paper: 12 of 542)\n";
+
+  out << "\nper-ISP average shared risk, ascending (mean, SE, quartiles)\n";
+  TextTable ranking({"ISP", "conduits used", "avg sharing", "std err", "p25", "p75"});
+  for (const auto& row : matrix.isp_risk_ranking()) {
+    ranking.start_row();
+    ranking.add_cell(profiles[row.isp].name);
+    ranking.add_cell(row.conduits_used);
+    ranking.add_cell(row.mean_sharing, 2);
+    ranking.add_cell(row.standard_error, 2);
+    ranking.add_cell(row.p25, 1);
+    ranking.add_cell(row.p75, 1);
+  }
+  out << ranking.render();
+  out << "\npaper order: Suddenlink/EarthLink/Level 3 least shared; Deutsche "
+         "Telekom/NTT/XO most\n";
+  return out.str();
+}
+
+std::string render_fig10(const core::Scenario& scenario, const risk::RiskMatrix& matrix) {
+  std::ostringstream out;
+  const auto& cities = core::Scenario::cities();
+  const auto& map = scenario.map();
+  const auto& profiles = scenario.truth().profiles();
+  const auto target_set = matrix.most_shared_conduits(12);
+
+  out << "path inflation and shared-risk reduction per ISP, twelve most "
+         "heavily shared conduits\n";
+  out << "the twelve targets:\n";
+  for (core::ConduitId cid : target_set) {
+    const auto& conduit = map.conduit(cid);
+    out << "  " << cities.city(conduit.a).display_name() << " -- "
+        << cities.city(conduit.b).display_name() << " (" << conduit.tenants.size()
+        << " tenants)\n";
+  }
+
+  optimize::RobustnessPlanner planner(map, matrix);
+  const auto summaries = planner.summarize_robustness(target_set);
+  TextTable table(
+      {"ISP", "targets used", "PI min", "PI avg", "PI max", "SRR min", "SRR avg", "SRR max"});
+  for (const auto& s : summaries) {
+    table.start_row();
+    table.add_cell(profiles[s.isp].name);
+    table.add_cell(s.targets_using);
+    table.add_cell(s.pi_min, 1);
+    table.add_cell(s.pi_avg, 2);
+    table.add_cell(s.pi_max, 1);
+    table.add_cell(s.srr_min, 1);
+    table.add_cell(s.srr_avg, 2);
+    table.add_cell(s.srr_max, 1);
+  }
+  out << "\n" << table.render();
+  out << "\npaper shape: average PI of ~1-2 hops buys SRR of order 10 for every ISP\n";
+
+  const auto gain = planner.network_wide_gain(12);
+  out << "\nnetwork-wide optimization (all " << gain.conduits_evaluated
+      << " conduits): avg attainable SRR " << format_double(gain.avg_srr_rest, 2)
+      << " outside the top-12 vs " << format_double(gain.avg_srr_top, 2) << " inside; "
+      << gain.already_optimal
+      << " conduits already have no better alternative (paper: \"many of the existing "
+         "paths used by ISPs were already the best paths\"); "
+      << gain.unreachable << " are bridges with no alternative path at all\n";
+  return out.str();
+}
+
+}  // namespace intertubes::artifact

@@ -1,0 +1,36 @@
+// Deterministic string renderers for the paper's headline artifacts.
+//
+// The per-figure benchmark harnesses used to own this formatting inline,
+// which meant the only way to notice an accounting change (e.g. PR 4's
+// already_optimal/unreachable split) was to eyeball EXPERIMENTS.md diffs.
+// Factoring the rendering into a library gives two call sites one source
+// of truth: the bench binaries print exactly these strings, and the golden
+// regression tests pin them byte-for-byte against checked-in fixtures so
+// any change to the numbers has to be made explicitly (regenerate the
+// fixture and commit the diff).
+//
+// Renderers are pure functions of their inputs — no wall times, no cache
+// statistics, no thread counts — so the bytes depend only on the scenario
+// seed and the analysis code.
+#pragma once
+
+#include <string>
+
+#include "core/scenario.hpp"
+#include "risk/risk_matrix.hpp"
+
+namespace intertubes::artifact {
+
+/// Table 1: per-ISP node/link counts (geocoded + POP-only sets), map
+/// totals, and the fidelity score against ground truth.
+std::string render_table1(const core::Scenario& scenario);
+
+/// Figure 6: the conduit-sharing distribution and the per-ISP average
+/// shared-risk ranking.
+std::string render_fig6(const core::Scenario& scenario, const risk::RiskMatrix& matrix);
+
+/// Figure 10: path inflation / shared-risk reduction per ISP over the
+/// twelve most-shared conduits, plus the §5.1 network-wide gain check.
+std::string render_fig10(const core::Scenario& scenario, const risk::RiskMatrix& matrix);
+
+}  // namespace intertubes::artifact

@@ -1,0 +1,450 @@
+#include "prop/generators.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "geo/polyline.hpp"
+#include "util/check.hpp"
+
+namespace intertubes::prop {
+
+namespace {
+
+/// Append "drop chunks / drop one" candidates for a vector-valued field.
+template <typename Whole, typename Elem, typename Setter>
+void shrink_vector_field(const Whole& whole, const std::vector<Elem>& field, std::size_t min_size,
+                         const Setter& set, std::vector<Whole>& out) {
+  if (field.size() <= min_size) return;
+  {
+    Whole half = whole;
+    std::vector<Elem> kept(field.begin(),
+                           field.begin() + static_cast<std::ptrdiff_t>(
+                                               std::max(min_size, field.size() / 2)));
+    set(half, std::move(kept));
+    out.push_back(std::move(half));
+  }
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    Whole one = whole;
+    std::vector<Elem> kept;
+    kept.reserve(field.size() - 1);
+    for (std::size_t j = 0; j < field.size(); ++j) {
+      if (j != i) kept.push_back(field[j]);
+    }
+    set(one, std::move(kept));
+    out.push_back(std::move(one));
+  }
+}
+
+}  // namespace
+
+// --- Shared hand-built fixtures ---------------------------------------
+
+transport::Corridor make_corridor(transport::CorridorId id, transport::CityId a,
+                                  transport::CityId b, double length_km) {
+  transport::Corridor c;
+  c.id = id;
+  c.a = a;
+  c.b = b;
+  c.path = geo::Polyline::straight({40.0, -100.0 + 0.01 * id}, {40.0, -99.0 + 0.01 * id});
+  c.length_km = length_km;
+  return c;
+}
+
+core::FiberMap barbell_map() {
+  using core::Provenance;
+  core::FiberMap map(2);
+  const auto c01 = map.ensure_conduit(make_corridor(0, 0, 1), Provenance::GeocodedMap);
+  const auto c12 = map.ensure_conduit(make_corridor(1, 1, 2), Provenance::GeocodedMap);
+  const auto c23 = map.ensure_conduit(make_corridor(2, 2, 3), Provenance::GeocodedMap);
+  const auto c34 = map.ensure_conduit(make_corridor(3, 3, 4), Provenance::GeocodedMap);
+  const auto c42 = map.ensure_conduit(make_corridor(4, 4, 2), Provenance::GeocodedMap);
+  map.add_link(0, 0, 2, {c01, c12}, true);
+  map.add_link(1, 2, 4, {c23, c34}, true);
+  map.add_link(1, 4, 2, {c42}, true);
+  return map;
+}
+
+// --- Routing-engine cases ---------------------------------------------
+
+Gen<GraphCase> graph_cases(const GraphGenParams& params) {
+  IT_CHECK(params.min_nodes >= 2 && params.min_nodes <= params.max_nodes);
+  const Gen<double> weight = dyadic_weights();
+  Gen<GraphCase> gen;
+  gen.create = [params, weight](Rng& rng) {
+    GraphCase c;
+    c.num_nodes = static_cast<route::NodeId>(rng.next_in(params.min_nodes, params.max_nodes));
+    // Random spanning tree: node i attaches to a uniformly random earlier
+    // node, so the base graph is connected by construction.
+    for (route::NodeId v = 1; v < c.num_nodes; ++v) {
+      const auto u = static_cast<route::NodeId>(rng.next_below(v));
+      c.edges.push_back({u, v, weight.create(rng)});
+    }
+    const auto extras =
+        static_cast<std::size_t>(params.extra_edge_factor * static_cast<double>(c.num_nodes));
+    for (std::size_t i = 0; i < extras; ++i) {
+      const auto u = static_cast<route::NodeId>(rng.next_below(c.num_nodes));
+      const auto v = static_cast<route::NodeId>(rng.next_below(c.num_nodes));
+      if (u == v) continue;  // self-loops are not legal conduits
+      c.edges.push_back({u, v, weight.create(rng)});
+    }
+    c.from = static_cast<route::NodeId>(rng.next_below(c.num_nodes));
+    c.to = static_cast<route::NodeId>(rng.next_below(c.num_nodes));
+    if (!c.edges.empty() && params.max_mask > 0) {
+      const std::size_t masked = rng.next_below(std::min(params.max_mask, c.edges.size()) + 1);
+      for (auto id : rng.sample_indices(c.edges.size(), masked)) {
+        c.mask.push_back(static_cast<route::EdgeId>(id));
+      }
+      std::sort(c.mask.begin(), c.mask.end());
+    }
+    const std::size_t overlays = rng.next_below(params.max_overlay + 1);
+    for (std::size_t i = 0; i < overlays; ++i) {
+      const auto u = static_cast<route::NodeId>(rng.next_below(c.num_nodes));
+      const auto v = static_cast<route::NodeId>(rng.next_below(c.num_nodes));
+      if (u == v) continue;
+      c.overlay.push_back({u, v, weight.create(rng)});
+    }
+    return c;
+  };
+  gen.shrink = [](const GraphCase& c) {
+    std::vector<GraphCase> candidates;
+    // Perturbations first (cheapest to reason about in a repro)...
+    if (!c.overlay.empty()) {
+      GraphCase none = c;
+      none.overlay.clear();
+      candidates.push_back(std::move(none));
+      GraphCase fewer = c;
+      fewer.overlay.pop_back();
+      candidates.push_back(std::move(fewer));
+    }
+    if (!c.mask.empty()) {
+      GraphCase none = c;
+      none.mask.clear();
+      candidates.push_back(std::move(none));
+      GraphCase fewer = c;
+      fewer.mask.pop_back();
+      candidates.push_back(std::move(fewer));
+    }
+    // ...then the graph itself.  Only the last edge is removable — edge
+    // ids are positional, so removing from the middle would re-key the
+    // mask and change the meaning of the case.
+    if (!c.edges.empty()) {
+      GraphCase smaller = c;
+      smaller.edges.pop_back();
+      while (!smaller.mask.empty() && smaller.mask.back() >= smaller.edges.size()) {
+        smaller.mask.pop_back();
+      }
+      candidates.push_back(std::move(smaller));
+    }
+    return candidates;
+  };
+  gen.describe = [](const GraphCase& c) { return describe(c); };
+  return gen;
+}
+
+std::string describe(const GraphCase& c) {
+  std::ostringstream out;
+  out << "GraphCase{nodes=" << c.num_nodes << ", query " << c.from << "->" << c.to
+      << ", edges=[";
+  for (std::size_t i = 0; i < c.edges.size(); ++i) {
+    const auto& e = c.edges[i];
+    out << (i ? " " : "") << "e" << i << ":" << e.a << "-" << e.b << "@" << e.weight;
+  }
+  out << "], mask=[";
+  for (std::size_t i = 0; i < c.mask.size(); ++i) out << (i ? "," : "") << c.mask[i];
+  out << "], overlay=[";
+  for (std::size_t i = 0; i < c.overlay.size(); ++i) {
+    const auto& e = c.overlay[i];
+    out << (i ? " " : "") << e.a << "-" << e.b << "@" << e.weight;
+  }
+  out << "]}";
+  return out.str();
+}
+
+// --- Fiber maps --------------------------------------------------------
+
+core::FiberMap build_fiber_map(const MapSpec& spec, const transport::RightOfWayRegistry* row) {
+  core::FiberMap map(spec.num_isps);
+  for (std::size_t i = 0; i < spec.conduits.size(); ++i) {
+    const ConduitSpec& c = spec.conduits[i];
+    const bool anchored = c.corridor != transport::kNoCorridor;
+    IT_CHECK(!anchored || row != nullptr);
+    const transport::Corridor corridor =
+        anchored ? row->corridor(c.corridor)
+                 : make_corridor(static_cast<transport::CorridorId>(i), c.a, c.b, c.length_km);
+    const auto id = map.ensure_conduit(corridor, core::Provenance::GeocodedMap);
+    IT_CHECK(id == static_cast<core::ConduitId>(i));
+    for (isp::IspId tenant : c.extra_tenants) map.add_tenant(id, tenant);
+    if (c.validated) map.mark_validated(id);
+  }
+  for (const LinkSpec& link : spec.links) {
+    map.add_link(link.isp, link.a, link.b, link.conduits, link.geocoded);
+  }
+  return map;
+}
+
+std::string describe(const MapSpec& spec) {
+  std::ostringstream out;
+  out << "MapSpec{isps=" << spec.num_isps << ", cities=" << spec.num_cities << ", conduits=[";
+  for (std::size_t i = 0; i < spec.conduits.size(); ++i) {
+    const auto& c = spec.conduits[i];
+    out << (i ? " " : "") << "c" << i << ":" << c.a << "-" << c.b;
+    if (c.corridor != transport::kNoCorridor) out << "(row#" << c.corridor << ")";
+    if (!c.extra_tenants.empty()) {
+      out << "+t{";
+      for (std::size_t j = 0; j < c.extra_tenants.size(); ++j) {
+        out << (j ? "," : "") << c.extra_tenants[j];
+      }
+      out << "}";
+    }
+    if (c.validated) out << "*";
+  }
+  out << "], links=[";
+  for (std::size_t i = 0; i < spec.links.size(); ++i) {
+    const auto& l = spec.links[i];
+    out << (i ? " " : "") << "isp" << l.isp << ":" << l.a << "->" << l.b << " via{";
+    for (std::size_t j = 0; j < l.conduits.size(); ++j) out << (j ? "," : "") << l.conduits[j];
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+namespace {
+
+/// Shared shrinker for both map generators: drop links, then drop
+/// trailing *unreferenced* conduits (conduit ids are positional), then
+/// drop extra tenants.
+std::vector<MapSpec> shrink_map_spec(const MapSpec& spec) {
+  std::vector<MapSpec> candidates;
+  shrink_vector_field(spec, spec.links, 0,
+                      [](MapSpec& s, std::vector<LinkSpec> v) { s.links = std::move(v); },
+                      candidates);
+  if (!spec.conduits.empty()) {
+    const auto last = static_cast<core::ConduitId>(spec.conduits.size() - 1);
+    const bool referenced = std::any_of(
+        spec.links.begin(), spec.links.end(), [last](const LinkSpec& l) {
+          return std::find(l.conduits.begin(), l.conduits.end(), last) != l.conduits.end();
+        });
+    if (!referenced) {
+      MapSpec smaller = spec;
+      smaller.conduits.pop_back();
+      candidates.push_back(std::move(smaller));
+    }
+  }
+  for (std::size_t i = 0; i < spec.conduits.size(); ++i) {
+    if (spec.conduits[i].extra_tenants.empty()) continue;
+    MapSpec fewer = spec;
+    fewer.conduits[i].extra_tenants.pop_back();
+    candidates.push_back(std::move(fewer));
+  }
+  return candidates;
+}
+
+}  // namespace
+
+Gen<MapSpec> fiber_maps(const MapGenParams& params) {
+  IT_CHECK(params.min_cities >= 2 && params.min_cities <= params.max_cities);
+  IT_CHECK(params.min_isps >= 1 && params.min_isps <= params.max_isps);
+  Gen<MapSpec> gen;
+  gen.create = [params](Rng& rng) {
+    MapSpec spec;
+    spec.num_cities = static_cast<std::size_t>(
+        rng.next_in(static_cast<std::int64_t>(params.min_cities),
+                    static_cast<std::int64_t>(params.max_cities)));
+    spec.num_isps = static_cast<std::size_t>(
+        rng.next_in(static_cast<std::int64_t>(params.min_isps),
+                    static_cast<std::int64_t>(params.max_isps)));
+    // Connected conduit skeleton: spanning tree + extras (parallel
+    // conduits allowed — distinct trenches between the same cities exist
+    // in the real registry too).
+    for (std::size_t v = 1; v < spec.num_cities; ++v) {
+      ConduitSpec c;
+      c.a = static_cast<transport::CityId>(rng.next_below(v));
+      c.b = static_cast<transport::CityId>(v);
+      c.length_km = 50.0 + static_cast<double>(rng.next_below(20)) * 25.0;
+      spec.conduits.push_back(std::move(c));
+    }
+    const auto extras = static_cast<std::size_t>(params.extra_conduit_factor *
+                                                 static_cast<double>(spec.num_cities));
+    for (std::size_t i = 0; i < extras; ++i) {
+      const auto a = static_cast<transport::CityId>(rng.next_below(spec.num_cities));
+      const auto b = static_cast<transport::CityId>(rng.next_below(spec.num_cities));
+      if (a == b) continue;
+      ConduitSpec c;
+      c.a = std::min(a, b);
+      c.b = std::max(a, b);
+      c.length_km = 50.0 + static_cast<double>(rng.next_below(20)) * 25.0;
+      spec.conduits.push_back(std::move(c));
+    }
+    // City -> incident conduit indices, for laying links as walks.
+    std::vector<std::vector<core::ConduitId>> at(spec.num_cities);
+    for (std::size_t i = 0; i < spec.conduits.size(); ++i) {
+      at[spec.conduits[i].a].push_back(static_cast<core::ConduitId>(i));
+      at[spec.conduits[i].b].push_back(static_cast<core::ConduitId>(i));
+    }
+    for (isp::IspId isp = 0; isp < spec.num_isps; ++isp) {
+      const std::size_t links = 1 + rng.next_below(params.max_links_per_isp);
+      for (std::size_t l = 0; l < links; ++l) {
+        LinkSpec link;
+        link.isp = isp;
+        link.geocoded = rng.chance(0.8);
+        auto city = static_cast<transport::CityId>(rng.next_below(spec.num_cities));
+        link.a = city;
+        const std::size_t walk = 1 + rng.next_below(params.max_walk_len);
+        for (std::size_t step = 0; step < walk; ++step) {
+          const auto& incident = at[city];
+          if (incident.empty()) break;
+          const core::ConduitId cid = incident[rng.next_below(incident.size())];
+          link.conduits.push_back(cid);
+          const auto& c = spec.conduits[cid];
+          city = (c.a == city) ? c.b : c.a;
+        }
+        link.b = city;
+        if (!link.conduits.empty()) spec.links.push_back(std::move(link));
+      }
+    }
+    for (auto& conduit : spec.conduits) {
+      if (rng.chance(params.extra_tenant_chance)) {
+        conduit.extra_tenants.push_back(
+            static_cast<isp::IspId>(rng.next_below(spec.num_isps)));
+      }
+      conduit.validated = rng.chance(0.5);
+    }
+    return spec;
+  };
+  gen.shrink = shrink_map_spec;
+  gen.describe = [](const MapSpec& spec) { return describe(spec); };
+  return gen;
+}
+
+Gen<MapSpec> scenario_map_specs(const transport::RightOfWayRegistry& row, std::size_t num_isps,
+                                const MapGenParams& params) {
+  IT_CHECK(num_isps >= 1);
+  IT_CHECK(row.num_cities() >= 2);
+  const transport::RightOfWayRegistry* registry = &row;
+  Gen<MapSpec> gen;
+  gen.create = [registry, num_isps, params](Rng& rng) {
+    MapSpec spec;
+    spec.num_cities = registry->num_cities();
+    spec.num_isps = num_isps;
+    std::unordered_map<transport::CorridorId, core::ConduitId> conduit_of;
+    const auto intern = [&](transport::CorridorId corridor) {
+      const auto [it, inserted] =
+          conduit_of.try_emplace(corridor, static_cast<core::ConduitId>(spec.conduits.size()));
+      if (inserted) {
+        const auto& c = registry->corridor(corridor);
+        ConduitSpec conduit;
+        conduit.a = c.a;
+        conduit.b = c.b;
+        conduit.length_km = c.length_km;
+        conduit.corridor = corridor;
+        spec.conduits.push_back(std::move(conduit));
+      }
+      return it->second;
+    };
+    for (isp::IspId isp = 0; isp < num_isps; ++isp) {
+      const std::size_t links = 1 + rng.next_below(params.max_links_per_isp);
+      for (std::size_t l = 0; l < links; ++l) {
+        LinkSpec link;
+        link.isp = isp;
+        link.geocoded = true;
+        auto city =
+            static_cast<transport::CityId>(rng.next_below(registry->num_cities()));
+        link.a = city;
+        const std::size_t walk = 1 + rng.next_below(params.max_walk_len);
+        for (std::size_t step = 0; step < walk; ++step) {
+          const auto& incident = registry->corridors_at(city);
+          if (incident.empty()) break;
+          const transport::CorridorId corridor = incident[rng.next_below(incident.size())];
+          link.conduits.push_back(intern(corridor));
+          const auto& c = registry->corridor(corridor);
+          city = (c.a == city) ? c.b : c.a;
+        }
+        link.b = city;
+        if (!link.conduits.empty()) spec.links.push_back(std::move(link));
+      }
+    }
+    return spec;
+  };
+  // Dropping links can orphan conduits, but orphaned real corridors still
+  // serialize fine (tenancy may become empty — still a legal dataset row),
+  // so the generic shrinker applies unchanged.
+  gen.shrink = shrink_map_spec;
+  gen.describe = [](const MapSpec& spec) { return describe(spec); };
+  return gen;
+}
+
+// --- Small helpers -----------------------------------------------------
+
+Gen<std::vector<core::ConduitId>> cut_sets(std::size_t num_conduits, std::size_t max_cuts) {
+  IT_CHECK(num_conduits > 0);
+  Gen<std::int64_t> ids = integers(0, static_cast<std::int64_t>(num_conduits - 1));
+  auto raw = vectors(ids, 0, std::min(max_cuts, num_conduits));
+  Gen<std::vector<core::ConduitId>> gen;
+  gen.create = [raw](Rng& rng) {
+    std::vector<core::ConduitId> out;
+    for (std::int64_t id : raw.create(rng)) out.push_back(static_cast<core::ConduitId>(id));
+    return out;
+  };
+  gen.shrink = [raw](const std::vector<core::ConduitId>& v) {
+    std::vector<std::int64_t> as_ints(v.begin(), v.end());
+    std::vector<std::vector<core::ConduitId>> candidates;
+    for (const auto& smaller : raw.shrink(as_ints)) {
+      candidates.emplace_back(smaller.begin(), smaller.end());
+    }
+    return candidates;
+  };
+  gen.describe = [](const std::vector<core::ConduitId>& v) {
+    std::string out = "cuts{";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) out += ",";
+      out += std::to_string(v[i]);
+    }
+    return out + "}";
+  };
+  return gen;
+}
+
+Gen<std::vector<std::uint64_t>> probe_corpora(std::size_t num_conduits,
+                                              std::uint64_t max_probes) {
+  Gen<std::vector<std::uint64_t>> gen;
+  gen.create = [num_conduits, max_probes](Rng& rng) {
+    std::vector<std::uint64_t> probes(num_conduits, 0);
+    for (auto& p : probes) {
+      // Heavy-tailed: most conduits see little traffic, a few see a lot.
+      const double draw = rng.pareto(1.2, 1.0);
+      p = std::min<std::uint64_t>(static_cast<std::uint64_t>(draw), max_probes);
+    }
+    return probes;
+  };
+  gen.shrink = [](const std::vector<std::uint64_t>& v) {
+    std::vector<std::vector<std::uint64_t>> candidates;
+    // Size is fixed (one slot per conduit); shrink values toward zero.
+    bool any = false;
+    std::vector<std::uint64_t> zeroed = v;
+    for (auto& p : zeroed) {
+      if (p != 0) any = true;
+      p = 0;
+    }
+    if (any) candidates.push_back(std::move(zeroed));
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i] == 0) continue;
+      std::vector<std::uint64_t> halved = v;
+      halved[i] /= 2;
+      candidates.push_back(std::move(halved));
+    }
+    return candidates;
+  };
+  gen.describe = [](const std::vector<std::uint64_t>& v) {
+    std::string out = "probes[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) out += ",";
+      out += std::to_string(v[i]);
+    }
+    return out + "]";
+  };
+  return gen;
+}
+
+}  // namespace intertubes::prop

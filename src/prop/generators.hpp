@@ -1,0 +1,151 @@
+// Domain generators: valid-by-construction random worlds at parameterized
+// scale, for the prop/ differential oracles and any test that needs "a
+// random but structurally legal" input.
+//
+// Everything here is a plain Gen<T> from prop/prop.hpp, so the runner's
+// seeded substreams, integrated shrinking, and --seed= repro line apply
+// uniformly.  Two families:
+//
+//   * synthetic — self-contained corridors fabricated from thin air
+//     (graph_cases for the routing engine, fiber_maps for risk/sim).
+//     These never touch a Scenario and run at any scale.
+//   * scenario-anchored — maps whose conduits are real corridors of a
+//     RightOfWayRegistry (scenario_map_specs), which is what the
+//     serialization boundary requires: serialize_dataset resolves conduit
+//     geometry through the registry, so a map must only reference
+//     corridors the registry actually has.
+//
+// This header is also the single source of truth for the hand-shaped
+// fixtures the unit suites share (make_corridor, barbell_map): the ad-hoc
+// per-file copies were replaced by these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fiber_map.hpp"
+#include "prop/prop.hpp"
+#include "route/path_engine.hpp"
+#include "transport/row.hpp"
+
+namespace intertubes::prop {
+
+// --- Shared hand-built fixtures ---------------------------------------
+
+/// A synthetic corridor joining cities a and b (straight-line geometry,
+/// deterministic jitter by id so distinct corridors differ).
+transport::Corridor make_corridor(transport::CorridorId id, transport::CityId a,
+                                  transport::CityId b, double length_km = 100.0);
+
+/// The canonical 5-city fixture shared by the cuts/campaign/route unit
+/// suites: path 0-1-2 plus cycle 2-3-4-2; conduits (0,1) and (1,2) are
+/// bridges, the cycle edges are not.
+core::FiberMap barbell_map();
+
+// --- Routing-engine cases ---------------------------------------------
+
+/// One complete PathEngine query scenario: a connected base graph with
+/// exact dyadic weights (so differential cost comparisons are bitwise), a
+/// query endpoint pair, plus the three perturbation kinds the engine
+/// supports — an edge mask, overlay edges, and (derivable by the caller)
+/// weight overrides.
+struct GraphCase {
+  route::NodeId num_nodes = 2;
+  std::vector<route::EdgeSpec> edges;
+  route::NodeId from = 0;
+  route::NodeId to = 1;
+  std::vector<route::EdgeId> mask;      ///< sorted ascending, base ids only
+  std::vector<route::EdgeSpec> overlay;
+};
+
+struct GraphGenParams {
+  route::NodeId min_nodes = 2;
+  route::NodeId max_nodes = 24;
+  /// Extra non-tree edges as a fraction of the node count.
+  double extra_edge_factor = 1.5;
+  std::size_t max_mask = 6;
+  std::size_t max_overlay = 4;
+};
+
+Gen<GraphCase> graph_cases(const GraphGenParams& params = {});
+
+std::string describe(const GraphCase& c);
+
+// --- Fiber maps --------------------------------------------------------
+
+/// Declarative map recipe.  Conduit i of the built FiberMap is exactly
+/// conduits[i] (ensure_conduit is called in index order), links are
+/// city-chain walks over conduit indices, so every spec builds without
+/// tripping a FiberMap invariant check.
+struct ConduitSpec {
+  transport::CityId a = 0;
+  transport::CityId b = 1;
+  double length_km = 100.0;
+  /// Real corridor id when the spec is scenario-anchored; kNoCorridor
+  /// fabricates a synthetic corridor from (index, a, b, length_km).
+  transport::CorridorId corridor = transport::kNoCorridor;
+  /// Tenants beyond the ones implied by links (overlay/records evidence).
+  std::vector<isp::IspId> extra_tenants;
+  bool validated = false;
+};
+
+struct LinkSpec {
+  isp::IspId isp = 0;
+  transport::CityId a = 0;
+  transport::CityId b = 0;
+  std::vector<core::ConduitId> conduits;  ///< indices into MapSpec::conduits
+  bool geocoded = true;
+};
+
+struct MapSpec {
+  std::size_t num_isps = 1;
+  std::size_t num_cities = 2;
+  std::vector<ConduitSpec> conduits;
+  std::vector<LinkSpec> links;
+};
+
+/// Materialize the spec.  `row` is required iff any conduit names a real
+/// corridor; synthetic conduits ignore it.
+core::FiberMap build_fiber_map(const MapSpec& spec,
+                               const transport::RightOfWayRegistry* row = nullptr);
+
+std::string describe(const MapSpec& spec);
+
+struct MapGenParams {
+  std::size_t min_cities = 4;
+  std::size_t max_cities = 20;
+  std::size_t min_isps = 1;
+  std::size_t max_isps = 6;
+  /// Extra non-tree conduits as a fraction of the city count.
+  double extra_conduit_factor = 0.8;
+  std::size_t max_links_per_isp = 5;
+  std::size_t max_walk_len = 4;
+  /// Probability that a conduit gains one extra (non-link) tenant.
+  double extra_tenant_chance = 0.15;
+};
+
+/// Synthetic connected fiber maps: spanning tree + extra conduits over a
+/// random city set, per-ISP links laid as random walks.
+Gen<MapSpec> fiber_maps(const MapGenParams& params = {});
+
+/// Scenario-anchored maps: links are random walks over the registry's
+/// corridor graph, conduits are the distinct corridors those walks touch.
+/// Every produced spec serializes cleanly through core::serialize_dataset
+/// against the same registry / city database / profiles.
+Gen<MapSpec> scenario_map_specs(const transport::RightOfWayRegistry& row, std::size_t num_isps,
+                                const MapGenParams& params = {});
+
+// --- Small helpers for campaign / serve oracles ------------------------
+
+/// Random conduit-cut sets for what-if queries (possibly with duplicates —
+/// callers under test are expected to canonicalize).
+Gen<std::vector<core::ConduitId>> cut_sets(std::size_t num_conduits, std::size_t max_cuts);
+
+/// Synthetic traceroute evidence: per-conduit probe counts (the §4.3
+/// tenancy × log2(1+probes) weighting input).  Heavy-tailed like a real
+/// corpus.  Size is exactly num_conduits.
+Gen<std::vector<std::uint64_t>> probe_corpora(std::size_t num_conduits,
+                                              std::uint64_t max_probes = 1u << 16);
+
+}  // namespace intertubes::prop

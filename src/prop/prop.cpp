@@ -1,0 +1,136 @@
+#include "prop/prop.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace intertubes::prop {
+
+namespace {
+
+std::optional<std::uint64_t> g_seed_override;
+std::optional<std::size_t> g_trials_override;
+std::optional<std::size_t> g_trial_override;
+std::mutex g_override_mu;
+
+std::optional<std::uint64_t> env_u64(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  return std::strtoull(raw, nullptr, 0);  // base 0: accepts 0x... and decimal
+}
+
+/// FNV-1a over the property name, so distinct properties draw distinct
+/// substreams at the same (seed, trial) without any registration step.
+std::uint64_t fnv1a(const std::string& s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Config Config::active() {
+  Config config;
+  if (const auto seed = env_u64("INTERTUBES_PROP_SEED")) config.seed = *seed;
+  if (const auto trials = env_u64("INTERTUBES_PROP_TRIALS")) {
+    config.trials = static_cast<std::size_t>(*trials);
+  }
+  std::lock_guard<std::mutex> lock(g_override_mu);
+  if (g_seed_override) config.seed = *g_seed_override;
+  if (g_trials_override) config.trials = *g_trials_override;
+  if (g_trial_override) config.forced_trial = *g_trial_override;
+  return config;
+}
+
+void set_global_overrides(std::optional<std::uint64_t> seed, std::optional<std::size_t> trials,
+                          std::optional<std::size_t> forced_trial) {
+  std::lock_guard<std::mutex> lock(g_override_mu);
+  g_seed_override = seed;
+  g_trials_override = trials;
+  g_trial_override = forced_trial;
+}
+
+std::string CheckResult::report() const {
+  if (passed) return {};
+  std::ostringstream out;
+  out << "property '" << name << "' failed at trial " << failing_trial << " (after "
+      << shrink_steps << " shrink steps)\n"
+      << "  " << repro << "\n"
+      << "  failure: " << failure << "\n"
+      << "  shrunk counterexample: " << counterexample;
+  return out.str();
+}
+
+namespace detail {
+
+std::uint64_t stream_for(const std::string& name, std::uint64_t seed, std::size_t trial) noexcept {
+  // Mixing the name keeps sibling properties decorrelated; mixing the seed
+  // keeps stream ids themselves seed-dependent (a property cannot pass at
+  // every seed by overfitting one stream family).
+  return mix64(fnv1a(name) ^ (seed * 0x9e3779b97f4a7c15ull)) + trial;
+}
+
+void finalize_failure(CheckResult& result) {
+  std::ostringstream repro;
+  repro << "repro: --seed=0x" << std::hex << result.seed << std::dec
+        << " --prop_trial=" << result.failing_trial;
+  result.repro = repro.str();
+
+  const char* dir = std::getenv("INTERTUBES_PROP_ARTIFACT_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  // One file per property, name sanitized to a portable token.
+  std::string token = result.name;
+  for (char& c : token) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
+    if (!keep) c = '_';
+  }
+  std::ofstream file(std::string(dir) + "/" + token + ".repro.txt");
+  if (file) file << result.report() << "\n";
+}
+
+}  // namespace detail
+
+Gen<std::int64_t> integers(std::int64_t lo, std::int64_t hi) {
+  IT_CHECK(lo <= hi);
+  Gen<std::int64_t> gen;
+  gen.create = [lo, hi](Rng& rng) { return rng.next_in(lo, hi); };
+  gen.shrink = [lo](const std::int64_t& v) {
+    std::vector<std::int64_t> candidates;
+    if (v == lo) return candidates;
+    candidates.push_back(lo);
+    const std::int64_t mid = lo + (v - lo) / 2;
+    if (mid != lo && mid != v) candidates.push_back(mid);
+    candidates.push_back(v - 1);
+    return candidates;
+  };
+  gen.describe = [](const std::int64_t& v) { return std::to_string(v); };
+  return gen;
+}
+
+Gen<double> dyadic_weights(double lo, double hi, double step) {
+  IT_CHECK(step > 0.0 && lo <= hi);
+  const std::int64_t buckets = static_cast<std::int64_t>((hi - lo) / step);
+  Gen<std::int64_t> ticks = integers(0, buckets);
+  Gen<double> gen;
+  gen.create = [ticks, lo, step](Rng& rng) {
+    return lo + step * static_cast<double>(ticks.create(rng));
+  };
+  gen.shrink = [ticks, lo, step](const double& v) {
+    const std::int64_t tick = static_cast<std::int64_t>((v - lo) / step);
+    std::vector<double> candidates;
+    for (const std::int64_t t : ticks.shrink(tick)) {
+      candidates.push_back(lo + step * static_cast<double>(t));
+    }
+    return candidates;
+  };
+  gen.describe = [](const double& v) { return std::to_string(v); };
+  return gen;
+}
+
+}  // namespace intertubes::prop

@@ -1,0 +1,216 @@
+// A small, dependency-free property-testing core.
+//
+// The design follows the repo's determinism doctrine rather than a general
+// QuickCheck clone: every trial draws from util::substream_rng(seed,
+// stream), so a failing trial is a pure function of (property name, seed,
+// trial index) and the printed one-line repro
+//
+//   repro: --seed=0x1257 --prop_trial=17
+//
+// (passed back to the test binary with a --gtest_filter= naming the
+// failed test) re-creates the exact counterexample on any machine and
+// thread count.
+// Shrinking is integrated with generation: a Gen<T> carries both the
+// create function and a shrink function proposing strictly smaller
+// candidates, and check() descends greedily (first failing candidate wins)
+// until no candidate fails or the step budget runs out.  The shrunk
+// minimal input is printed with the generator's own describe function, and
+// optionally written to $INTERTUBES_PROP_ARTIFACT_DIR for CI upload.
+//
+// check() deliberately returns a CheckResult instead of asserting: the
+// gtest glue lives in tests/prop/prop_gtest.hpp, and the mutation-smoke
+// harness consumes the same API to prove each oracle can actually fail.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace intertubes::prop {
+
+/// Runtime knobs.  Resolution order: explicit Config argument, process
+/// overrides installed by the test main's --seed=/--prop_trials= flags,
+/// then the INTERTUBES_PROP_SEED / INTERTUBES_PROP_TRIALS environment
+/// variables, then the built-in defaults.
+struct Config {
+  std::uint64_t seed = 0x1257;
+  std::size_t trials = 64;
+  std::size_t max_shrink_steps = 400;
+  /// When set, run only this trial index (the --prop_trial= repro knob).
+  std::optional<std::size_t> forced_trial;
+
+  /// The process-wide configuration described above.
+  static Config active();
+};
+
+/// Install overrides parsed from the command line (nullopt = keep the
+/// env/default value).  Called once from the test main.
+void set_global_overrides(std::optional<std::uint64_t> seed, std::optional<std::size_t> trials,
+                          std::optional<std::size_t> forced_trial);
+
+/// A generator: create a value from an Rng, propose smaller variants of a
+/// failing value, and render a value for the repro report.  Shrink
+/// candidates must be strictly "smaller" under some well-founded order or
+/// the greedy descent may cycle (the step budget still bounds it).
+template <typename T>
+struct Gen {
+  std::function<T(Rng&)> create;
+  std::function<std::vector<T>(const T&)> shrink;
+  std::function<std::string(const T&)> describe;
+};
+
+/// A property: nullopt = pass, otherwise a human-readable reason why this
+/// value violates the invariant.
+template <typename T>
+using Property = std::function<std::optional<std::string>(const T&)>;
+
+struct CheckResult {
+  bool passed = true;
+  std::string name;
+  std::uint64_t seed = 0;
+  std::size_t trials_run = 0;
+  /// Valid when !passed.
+  std::size_t failing_trial = 0;
+  std::size_t shrink_steps = 0;
+  std::string failure;         ///< property message on the shrunk value
+  std::string counterexample;  ///< describe() of the shrunk value
+  std::string repro;           ///< one-line "--seed=... --prop_trial=..." repro
+
+  /// Full failure report (repro line + shrunk counterexample); empty when
+  /// passed.
+  std::string report() const;
+};
+
+namespace detail {
+
+std::uint64_t stream_for(const std::string& name, std::uint64_t seed, std::size_t trial) noexcept;
+
+/// Compose the repro line and write the artifact file (when
+/// $INTERTUBES_PROP_ARTIFACT_DIR is set).  Shared by every instantiation
+/// of check() so the format lives in one place.
+void finalize_failure(CheckResult& result);
+
+}  // namespace detail
+
+/// Run `property` over `config.trials` generated values.  Stops at the
+/// first failure, shrinks it, and returns the filled-in CheckResult.
+template <typename T>
+CheckResult check(const std::string& name, const Gen<T>& gen, const Property<T>& property,
+                  const Config& config = Config::active()) {
+  CheckResult result;
+  result.name = name;
+  result.seed = config.seed;
+  const std::size_t begin = config.forced_trial.value_or(0);
+  const std::size_t end = config.forced_trial ? begin + 1 : config.trials;
+  for (std::size_t trial = begin; trial < end; ++trial) {
+    Rng rng = substream_rng(config.seed, detail::stream_for(name, config.seed, trial));
+    T value = gen.create(rng);
+    ++result.trials_run;
+    auto verdict = property(value);
+    if (!verdict) continue;
+
+    // Greedy integrated shrink: take the first failing candidate, repeat.
+    std::size_t steps = 0;
+    while (steps < config.max_shrink_steps) {
+      bool descended = false;
+      for (auto& candidate : gen.shrink(value)) {
+        ++steps;
+        if (auto v = property(candidate)) {
+          value = std::move(candidate);
+          verdict = std::move(v);
+          descended = true;
+          break;
+        }
+        if (steps >= config.max_shrink_steps) break;
+      }
+      if (!descended) break;
+    }
+
+    result.passed = false;
+    result.failing_trial = trial;
+    result.shrink_steps = steps;
+    result.failure = *verdict;
+    result.counterexample = gen.describe ? gen.describe(value) : "<no describe function>";
+    detail::finalize_failure(result);
+    return result;
+  }
+  return result;
+}
+
+// --- Generic combinators ----------------------------------------------
+
+/// Uniform integer in [lo, hi]; shrinks toward lo (halving the distance,
+/// then decrement).
+Gen<std::int64_t> integers(std::int64_t lo, std::int64_t hi);
+
+/// Dyadic rational in {lo, lo+step, ..., hi} with step a power of two
+/// (default 0.25): sums of generated weights are exact in double, so
+/// differential cost comparisons can demand bitwise equality.  Shrinks
+/// toward lo.
+Gen<double> dyadic_weights(double lo = 0.25, double hi = 64.0, double step = 0.25);
+
+/// Vector of `element` values with size in [min_size, max_size].  Shrinks
+/// by dropping chunks, dropping single elements (down to min_size), and
+/// shrinking individual elements.
+template <typename T>
+Gen<std::vector<T>> vectors(Gen<T> element, std::size_t min_size, std::size_t max_size);
+
+}  // namespace intertubes::prop
+
+// --- template implementations -----------------------------------------
+
+namespace intertubes::prop {
+
+template <typename T>
+Gen<std::vector<T>> vectors(Gen<T> element, std::size_t min_size, std::size_t max_size) {
+  Gen<std::vector<T>> gen;
+  gen.create = [element, min_size, max_size](Rng& rng) {
+    const std::size_t n =
+        static_cast<std::size_t>(rng.next_in(static_cast<std::int64_t>(min_size),
+                                             static_cast<std::int64_t>(max_size)));
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(element.create(rng));
+    return out;
+  };
+  gen.shrink = [element, min_size](const std::vector<T>& v) {
+    std::vector<std::vector<T>> candidates;
+    // Halve first (fast descent), then single removals, then per-element.
+    if (v.size() > min_size) {
+      const std::size_t keep = std::max(min_size, v.size() / 2);
+      if (keep < v.size()) candidates.emplace_back(v.begin(), v.begin() + keep);
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        std::vector<T> smaller;
+        smaller.reserve(v.size() - 1);
+        for (std::size_t j = 0; j < v.size(); ++j) {
+          if (j != i) smaller.push_back(v[j]);
+        }
+        candidates.push_back(std::move(smaller));
+      }
+    }
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      for (auto& smaller_elem : element.shrink(v[i])) {
+        std::vector<T> copy = v;
+        copy[i] = std::move(smaller_elem);
+        candidates.push_back(std::move(copy));
+      }
+    }
+    return candidates;
+  };
+  gen.describe = [element](const std::vector<T>& v) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i) out += ", ";
+      out += element.describe ? element.describe(v[i]) : "?";
+    }
+    out += "]";
+    return out;
+  };
+  return gen;
+}
+
+}  // namespace intertubes::prop

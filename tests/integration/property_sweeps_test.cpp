@@ -1,10 +1,16 @@
-// Cross-module property sweeps on the shared scenario: invariants that
-// tie the definitions together rather than exercising one module.
+// Cross-module property sweeps: invariants that tie the definitions
+// together rather than exercising one module.  Two flavors — fixed sweeps
+// over the shared scenario, and generator-driven sweeps over random maps
+// from prop/ (seeded, shrinking, `--seed=` repro on failure).
 #include <gtest/gtest.h>
+
+#include <sstream>
 
 #include "core/longhaul.hpp"
 #include "core/pipeline.hpp"
 #include "geo/colocation.hpp"
+#include "prop/prop.hpp"
+#include "prop/prop_gtest.hpp"
 #include "risk/cuts.hpp"
 #include "risk/risk_matrix.hpp"
 #include "test_support.hpp"
@@ -114,6 +120,64 @@ TEST(PipelineProperties, SnapParamsSweepKeepsStepOneSane) {
       EXPECT_TRUE(scenario().truth().profiles()[link.isp].publishes_geocoded_map);
     }
   }
+}
+
+// --- Generator-driven sweeps (prop/): random maps, not just the one
+// shared scenario.  Failures print a --seed= repro line and shrink to a
+// minimal MapSpec.
+
+TEST(GeneratedMapProperties, RiskMatrixDefinitionHoldsOnGeneratedMaps) {
+  const prop::Property<prop::MapSpec> property =
+      [](const prop::MapSpec& spec) -> std::optional<std::string> {
+    const auto map = prop::build_fiber_map(spec);
+    const auto matrix = risk::RiskMatrix::from_map(map);
+    for (const auto& conduit : map.conduits()) {
+      if (matrix.sharing_count(conduit.id) != conduit.tenants.size()) {
+        std::ostringstream why;
+        why << "sharing_count(" << conduit.id << ") = " << matrix.sharing_count(conduit.id)
+            << " but the conduit has " << conduit.tenants.size() << " tenants";
+        return why.str();
+      }
+    }
+    for (isp::IspId i = 0; i < matrix.num_isps(); ++i) {
+      for (core::ConduitId c = 0; c < matrix.num_conduits(); ++c) {
+        const auto expected = matrix.uses(i, c) ? matrix.sharing_count(c) : 0u;
+        if (matrix.entry(i, c) != expected) {
+          std::ostringstream why;
+          why << "entry(" << i << ", " << c << ") = " << matrix.entry(i, c) << ", expected "
+              << expected;
+          return why.str();
+        }
+      }
+    }
+    return std::nullopt;
+  };
+  EXPECT_PROP(prop::check<prop::MapSpec>("integration riskmatrix definition", prop::fiber_maps(),
+                                         property));
+}
+
+TEST(GeneratedMapProperties, FailureCurvesMonotoneOnGeneratedMaps) {
+  const prop::Property<prop::MapSpec> property =
+      [](const prop::MapSpec& spec) -> std::optional<std::string> {
+    const auto map = prop::build_fiber_map(spec);
+    const auto steps = std::min<std::size_t>(map.conduits().size(), 8);
+    for (const auto strategy :
+         {risk::FailureStrategy::Random, risk::FailureStrategy::MostSharedFirst}) {
+      const auto curve = risk::failure_curve(map, strategy, steps, 2, 0xF00D);
+      for (std::size_t f = 1; f < curve.size(); ++f) {
+        if (curve[f].connected_pair_fraction > curve[f - 1].connected_pair_fraction + 1e-12) {
+          std::ostringstream why;
+          why << "connectivity rose from step " << (f - 1) << " to " << f << " ("
+              << curve[f - 1].connected_pair_fraction << " -> " << curve[f].connected_pair_fraction
+              << ") under strategy " << static_cast<int>(strategy);
+          return why.str();
+        }
+      }
+    }
+    return std::nullopt;
+  };
+  EXPECT_PROP(prop::check<prop::MapSpec>("integration failure curve monotone", prop::fiber_maps(),
+                                         property));
 }
 
 TEST(LongHaulProperties, FilterNearlyIdempotent) {

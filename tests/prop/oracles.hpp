@@ -1,0 +1,535 @@
+// The differential-oracle catalog.
+//
+// Each oracle is a prop::Property comparing a subject (the optimized
+// engine under test) against an independent reference (a naive
+// re-implementation or a from-scratch recomputation).  Every oracle takes
+// a Fault parameter: Fault::None is the real test; the other values each
+// inject ONE deliberate defect into the subject or reference so the
+// mutation-smoke suite can prove the oracle is actually capable of
+// failing.  A comparison that cannot fail is not an oracle.
+//
+// Catalog:
+//   O1 path_reference_property   — PathEngine vs naive Bellman-Ford: min
+//      cost bitwise equal (dyadic weights make sums exact), and the
+//      returned path is structurally valid under mask/overlay semantics.
+//   O2 overlay_rebuild_property  — query-time overlay edges vs a rebuilt
+//      engine with the overlay appended: bit-identical paths (the
+//      value-based tie-break contract).
+//   O3 override_rebuild_property — weight_override vs a rebuilt engine
+//      carrying the overridden weights: bit-identical paths.
+//   O4 memoized_reroute_property — MemoizedRouter across an epoch bump vs
+//      cold engine queries: bit-identical, stale epochs never leak.
+//   O5 campaign_bit_identity_property — sim::CampaignEngine on Executor(1)
+//      vs Executor(4): byte-identical CampaignReport.
+//   O6 gain_bit_identity_property — network_wide_gain serial vs parallel.
+//   O7 whatif_cut_property       — serve::Snapshot::with_conduits_cut vs
+//      hand-computed survivor tenancy / severed-link accounting.
+//   O8 ingest_equivalence_property — strict vs lenient parse of a clean
+//      serialized dataset: same bytes out, zero diagnostics.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/dataset_io.hpp"
+#include "optimize/robustness.hpp"
+#include "prop/generators.hpp"
+#include "prop/prop.hpp"
+#include "risk/risk_matrix.hpp"
+#include "route/cache.hpp"
+#include "route/path_engine.hpp"
+#include "serve/snapshot.hpp"
+#include "sim/campaign.hpp"
+#include "sim/executor.hpp"
+#include "test_support.hpp"
+#include "util/diag.hpp"
+
+namespace intertubes::testing::oracles {
+
+/// One base snapshot of the shared scenario, built lazily and reused by
+/// the serve oracle and the mutation-smoke suite.  The scenario is wrapped
+/// in a non-owning aliasing shared_ptr — its lifetime is the process.
+inline const serve::Snapshot& shared_base_snapshot() {
+  static const std::shared_ptr<serve::Snapshot> snap = serve::Snapshot::build(
+      std::shared_ptr<const core::Scenario>(std::shared_ptr<const core::Scenario>{},
+                                            &shared_scenario()));
+  return *snap;
+}
+
+enum class Fault {
+  None,
+  SubjectCostOff,          ///< O1: nudge the engine's reported cost
+  ReferenceIgnoresMask,    ///< O1: reference routes through masked edges
+  RebuildDropsOverlay,     ///< O2: rebuilt engine omits the last overlay edge
+  OverrideLeaksBaseWeight, ///< O3: rebuilt engine keeps one base weight
+  SkipEpochBump,           ///< O4: rebuilt graph reuses the old epoch
+  TamperSerialReport,      ///< O5: perturb one point of the serial report
+  TamperParallelGain,      ///< O6: perturb the parallel gain result
+  MiscountSeveredLinks,    ///< O7: off-by-one severed-link expectation
+  CorruptDatasetLine,      ///< O8: append a malformed record to the input
+};
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+// --- O1: naive reference ----------------------------------------------
+
+/// One edge of the effective graph a query runs on: base edges minus the
+/// mask, plus overlay edges with ids starting at base size.
+struct EffectiveEdge {
+  route::NodeId a = 0;
+  route::NodeId b = 0;
+  double weight = 0.0;
+  route::EdgeId id = route::kNoEdge;
+};
+
+inline std::vector<EffectiveEdge> effective_edges(const prop::GraphCase& c, bool ignore_mask,
+                                                  bool drop_last_overlay) {
+  std::vector<EffectiveEdge> out;
+  for (std::size_t i = 0; i < c.edges.size(); ++i) {
+    const auto id = static_cast<route::EdgeId>(i);
+    if (!ignore_mask && std::binary_search(c.mask.begin(), c.mask.end(), id)) continue;
+    out.push_back({c.edges[i].a, c.edges[i].b, c.edges[i].weight, id});
+  }
+  const std::size_t overlays = c.overlay.size() - (drop_last_overlay && !c.overlay.empty());
+  for (std::size_t i = 0; i < overlays; ++i) {
+    out.push_back({c.overlay[i].a, c.overlay[i].b, c.overlay[i].weight,
+                   static_cast<route::EdgeId>(c.edges.size() + i)});
+  }
+  return out;
+}
+
+/// Naive Bellman-Ford over an explicit edge list: relax every edge until a
+/// full pass changes nothing.  Deliberately structured nothing like the
+/// engine's CSR Dijkstra — that independence is what makes it an oracle.
+inline std::vector<double> bellman_ford(route::NodeId num_nodes,
+                                        const std::vector<EffectiveEdge>& edges,
+                                        route::NodeId from) {
+  std::vector<double> dist(num_nodes, kInfinity);
+  dist[from] = 0.0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& e : edges) {
+      if (dist[e.a] + e.weight < dist[e.b]) {
+        dist[e.b] = dist[e.a] + e.weight;
+        changed = true;
+      }
+      if (dist[e.b] + e.weight < dist[e.a]) {
+        dist[e.a] = dist[e.b] + e.weight;
+        changed = true;
+      }
+    }
+  }
+  return dist;
+}
+
+/// Structural validity of an engine path under the case's query: endpoint
+/// chain, only effective edges, cost equal to the left-to-right weight
+/// sum (exact with dyadic weights).
+inline std::optional<std::string> validate_path(const prop::GraphCase& c,
+                                                const route::Path& path) {
+  const auto effective = effective_edges(c, /*ignore_mask=*/false, /*drop_last_overlay=*/false);
+  if (!path.reachable) {
+    if (!path.edges.empty() || !path.nodes.empty() || path.cost != kInfinity) {
+      return "unreachable path carries edges/nodes/finite cost";
+    }
+    return std::nullopt;
+  }
+  if (path.nodes.empty() || path.nodes.front() != c.from || path.nodes.back() != c.to) {
+    return "path endpoints do not match the query";
+  }
+  if (path.nodes.size() != path.edges.size() + 1) return "nodes/edges size mismatch";
+  double sum = 0.0;
+  for (std::size_t i = 0; i < path.edges.size(); ++i) {
+    const auto it = std::find_if(effective.begin(), effective.end(),
+                                 [&](const EffectiveEdge& e) { return e.id == path.edges[i]; });
+    if (it == effective.end()) {
+      return "path uses edge " + std::to_string(path.edges[i]) +
+             " that is masked or out of range";
+    }
+    const bool fwd = it->a == path.nodes[i] && it->b == path.nodes[i + 1];
+    const bool rev = it->b == path.nodes[i] && it->a == path.nodes[i + 1];
+    if (!fwd && !rev) return "edge " + std::to_string(path.edges[i]) + " breaks the node chain";
+    sum += it->weight;
+  }
+  if (sum != path.cost) {
+    return "cost " + std::to_string(path.cost) + " != edge-weight sum " + std::to_string(sum);
+  }
+  return std::nullopt;
+}
+
+inline prop::Property<prop::GraphCase> path_reference_property(Fault fault = Fault::None) {
+  return [fault](const prop::GraphCase& c) -> std::optional<std::string> {
+    const route::PathEngine engine(c.num_nodes, c.edges);
+    route::Query query;
+    if (!c.mask.empty()) query.masked = &c.mask;
+    if (!c.overlay.empty()) query.overlay = &c.overlay;
+    const auto path = engine.shortest_path(c.from, c.to, query);
+    if (auto invalid = validate_path(c, path)) return invalid;
+
+    const auto reference = bellman_ford(
+        c.num_nodes,
+        effective_edges(c, fault == Fault::ReferenceIgnoresMask, /*drop_last_overlay=*/false),
+        c.from);
+    double subject_cost = path.cost;
+    if (fault == Fault::SubjectCostOff && path.reachable) subject_cost += 0.25;
+    if (subject_cost != reference[c.to]) {
+      return "engine cost " + std::to_string(subject_cost) + " != reference min cost " +
+             std::to_string(reference[c.to]);
+    }
+    return std::nullopt;
+  };
+}
+
+// --- O2 / O3: perturbation-vs-rebuild bit identity ---------------------
+
+inline std::optional<std::string> compare_paths(const route::Path& subject,
+                                                const route::Path& reference,
+                                                const std::string& what) {
+  if (subject.reachable != reference.reachable) return what + ": reachability differs";
+  if (subject.cost != reference.cost) {
+    return what + ": cost " + std::to_string(subject.cost) + " != " +
+           std::to_string(reference.cost);
+  }
+  if (subject.edges != reference.edges) return what + ": edge sequences differ";
+  if (subject.nodes != reference.nodes) return what + ": node sequences differ";
+  return std::nullopt;
+}
+
+inline prop::Property<prop::GraphCase> overlay_rebuild_property(Fault fault = Fault::None) {
+  return [fault](const prop::GraphCase& c) -> std::optional<std::string> {
+    const route::PathEngine engine(c.num_nodes, c.edges);
+    route::Query query;
+    if (!c.mask.empty()) query.masked = &c.mask;
+    if (!c.overlay.empty()) query.overlay = &c.overlay;
+    const auto via_overlay = engine.shortest_path(c.from, c.to, query);
+
+    auto merged = c.edges;
+    const std::size_t overlays =
+        c.overlay.size() - (fault == Fault::RebuildDropsOverlay && !c.overlay.empty());
+    for (std::size_t i = 0; i < overlays; ++i) merged.push_back(c.overlay[i]);
+    const route::PathEngine rebuilt(c.num_nodes, std::move(merged));
+    route::Query base_query;
+    if (!c.mask.empty()) base_query.masked = &c.mask;
+    const auto via_rebuild = rebuilt.shortest_path(c.from, c.to, base_query);
+    return compare_paths(via_overlay, via_rebuild, "overlay vs rebuilt graph");
+  };
+}
+
+inline prop::Property<prop::GraphCase> override_rebuild_property(Fault fault = Fault::None) {
+  return [fault](const prop::GraphCase& c) -> std::optional<std::string> {
+    // Deterministic override derived from the case: edge e gets the base
+    // weight of its mirror edge (n-1-e); masked ids are forbidden via
+    // +inf, which must be equivalent to masking.
+    const std::size_t n = c.edges.size();
+    if (n == 0) return std::nullopt;
+    std::vector<double> new_weights(n);
+    for (std::size_t e = 0; e < n; ++e) new_weights[e] = c.edges[n - 1 - e].weight;
+    for (route::EdgeId id : c.mask) new_weights[id] = kInfinity;
+
+    const route::PathEngine engine(c.num_nodes, c.edges);
+    const std::function<double(route::EdgeId)> override_fn = [&](route::EdgeId id) {
+      return new_weights[id];
+    };
+    route::Query query;
+    query.weight_override = &override_fn;
+    const auto via_override = engine.shortest_path(c.from, c.to, query);
+
+    auto rebuilt_edges = c.edges;
+    for (std::size_t e = 0; e < n; ++e) rebuilt_edges[e].weight = new_weights[e];
+    if (fault == Fault::OverrideLeaksBaseWeight) rebuilt_edges[0].weight = c.edges[0].weight;
+    const route::PathEngine rebuilt(c.num_nodes, std::move(rebuilt_edges));
+    // +inf-weighted edges are unreachable by relaxation, so no mask needed.
+    const auto via_rebuild = rebuilt.shortest_path(c.from, c.to);
+    return compare_paths(via_override, via_rebuild, "override vs rebuilt weights");
+  };
+}
+
+// --- O4: memoization across epoch bumps --------------------------------
+
+inline prop::Property<prop::MapSpec> memoized_reroute_property(Fault fault = Fault::None) {
+  return [fault](const prop::MapSpec& spec) -> std::optional<std::string> {
+    const auto map = prop::build_fiber_map(spec);
+    if (map.conduits().size() == 0) return std::nullopt;
+    const auto edges_for = [&map](double scale) {
+      std::vector<route::EdgeSpec> edges;
+      for (const auto& conduit : map.conduits()) {
+        edges.push_back({conduit.a, conduit.b, conduit.length_km * scale});
+      }
+      return edges;
+    };
+    route::MemoizedRouter router;
+    const auto check_all = [&](const route::PathEngine& engine) -> std::optional<std::string> {
+      for (const auto& conduit : map.conduits()) {
+        std::vector<route::EdgeId> mask{conduit.id};
+        const auto warm_detour = router.route(engine, conduit.a, conduit.b, mask);
+        const auto cold_detour = engine.shortest_path(
+            conduit.a, conduit.b, [&] {
+              route::Query q;
+              q.masked = &mask;
+              return q;
+            }());
+        if (auto diff = compare_paths(*warm_detour, cold_detour,
+                                      "memoized detour around conduit " +
+                                          std::to_string(conduit.id) + " @epoch " +
+                                          std::to_string(engine.epoch()))) {
+          return diff;
+        }
+        const auto warm_direct = router.route(engine, conduit.a, conduit.b);
+        const auto cold_direct = engine.shortest_path(conduit.a, conduit.b);
+        if (auto diff = compare_paths(*warm_direct, cold_direct,
+                                      "memoized direct path of conduit " +
+                                          std::to_string(conduit.id) + " @epoch " +
+                                          std::to_string(engine.epoch()))) {
+          return diff;
+        }
+      }
+      return std::nullopt;
+    };
+
+    const route::PathEngine v1(static_cast<route::NodeId>(spec.num_cities), edges_for(1.0), 1);
+    if (auto diff = check_all(v1)) return diff;
+    if (auto diff = check_all(v1)) return diff;  // pure warm replay
+    // The rebuild: every weight doubles.  A correctly keyed cache can
+    // never serve a v1 path for a v2 query.
+    const std::uint64_t v2_epoch = fault == Fault::SkipEpochBump ? 1 : 2;
+    const route::PathEngine v2(static_cast<route::NodeId>(spec.num_cities), edges_for(2.0),
+                               v2_epoch);
+    if (auto diff = check_all(v2)) return diff;
+    return std::nullopt;
+  };
+}
+
+// --- O5 / O6: parallel vs serial bit identity --------------------------
+
+struct CampaignCase {
+  prop::MapSpec map;
+  bool targeted = false;  ///< TargetedCuts instead of RandomCuts
+  std::size_t steps = 4;
+  std::size_t trials = 8;
+  std::uint64_t seed = 1;
+  std::vector<std::uint64_t> probes;  ///< per-conduit, may be empty
+};
+
+inline prop::Property<CampaignCase> campaign_bit_identity_property(Fault fault = Fault::None) {
+  return [fault](const CampaignCase& c) -> std::optional<std::string> {
+    const auto map = prop::build_fiber_map(c.map);
+    if (map.conduits().size() == 0) return std::nullopt;
+    std::vector<std::uint64_t> probes = c.probes;
+    if (!probes.empty()) probes.resize(map.conduits().size(), 0);
+    const sim::CampaignEngine engine(map, nullptr, nullptr, std::move(probes));
+    sim::CampaignConfig config;
+    config.stressor =
+        c.targeted ? sim::Stressor::targeted_cuts(c.steps) : sim::Stressor::random_cuts(c.steps);
+    config.trials = c.trials;
+    config.seed = c.seed;
+    sim::Executor serial(1);
+    sim::Executor parallel(4);
+    auto serial_report = engine.run(config, serial);
+    const auto parallel_report = engine.run(config, parallel);
+    if (fault == Fault::TamperSerialReport && !serial_report.connectivity.points.empty()) {
+      serial_report.connectivity.points[0].mean += 0.5;
+    }
+    if (!(serial_report == parallel_report)) {
+      return "campaign report differs between Executor(1) and Executor(4)";
+    }
+    return std::nullopt;
+  };
+}
+
+inline prop::Property<prop::MapSpec> gain_bit_identity_property(Fault fault = Fault::None) {
+  return [fault](const prop::MapSpec& spec) -> std::optional<std::string> {
+    const auto map = prop::build_fiber_map(spec);
+    if (map.conduits().size() == 0) return std::nullopt;
+    const auto matrix = risk::RiskMatrix::from_map(map);
+    const optimize::RobustnessPlanner planner(map, matrix);
+    const auto serial = planner.network_wide_gain(3);
+    sim::Executor pool(4);
+    auto parallel = planner.network_wide_gain(3, pool);
+    if (fault == Fault::TamperParallelGain) parallel.avg_srr_rest += 0.125;
+    std::ostringstream diff;
+    if (serial.conduits_evaluated != parallel.conduits_evaluated ||
+        serial.already_optimal != parallel.already_optimal ||
+        serial.unreachable != parallel.unreachable ||
+        serial.avg_srr_top != parallel.avg_srr_top ||
+        serial.avg_srr_rest != parallel.avg_srr_rest) {
+      diff << "network_wide_gain serial/parallel mismatch: evaluated "
+           << serial.conduits_evaluated << "/" << parallel.conduits_evaluated
+           << ", optimal " << serial.already_optimal << "/" << parallel.already_optimal
+           << ", unreachable " << serial.unreachable << "/" << parallel.unreachable
+           << ", srr_top " << serial.avg_srr_top << "/" << parallel.avg_srr_top
+           << ", srr_rest " << serial.avg_srr_rest << "/" << parallel.avg_srr_rest;
+      return diff.str();
+    }
+    return std::nullopt;
+  };
+}
+
+// --- O7: what-if cut vs hand-computed expectation -----------------------
+
+inline prop::Property<std::vector<core::ConduitId>> whatif_cut_property(
+    const serve::Snapshot& base, Fault fault = Fault::None) {
+  const serve::Snapshot* base_ptr = &base;
+  return [base_ptr, fault](const std::vector<core::ConduitId>& raw_cuts)
+             -> std::optional<std::string> {
+    const auto& old_map = base_ptr->map();
+    std::vector<core::ConduitId> cuts;
+    for (core::ConduitId c : raw_cuts) {
+      if (c < old_map.conduits().size()) cuts.push_back(c);
+    }
+    const auto snap = serve::Snapshot::with_conduits_cut(*base_ptr, cuts);
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    const auto is_cut = [&cuts](core::ConduitId c) {
+      return std::binary_search(cuts.begin(), cuts.end(), c);
+    };
+
+    // Hand-computed expectations straight off the base map — no FiberMap
+    // construction, no corridor remapping, no RiskMatrix.
+    std::size_t expected_severed = 0;
+    for (const auto& link : old_map.links()) {
+      if (std::any_of(link.conduits.begin(), link.conduits.end(), is_cut)) ++expected_severed;
+    }
+    if (fault == Fault::MiscountSeveredLinks) ++expected_severed;
+    if (snap->links_severed() != expected_severed) {
+      return "links_severed " + std::to_string(snap->links_severed()) + " != expected " +
+             std::to_string(expected_severed);
+    }
+
+    std::vector<std::size_t> survivor_tenancy;
+    std::size_t max_tenancy = 0;
+    for (const auto& conduit : old_map.conduits()) {
+      if (is_cut(conduit.id)) continue;
+      survivor_tenancy.push_back(conduit.tenants.size());
+      max_tenancy = std::max(max_tenancy, conduit.tenants.size());
+    }
+    const auto& matrix = snap->matrix();
+    if (matrix.num_conduits() != survivor_tenancy.size()) {
+      return "cut matrix has " + std::to_string(matrix.num_conduits()) + " conduits, expected " +
+             std::to_string(survivor_tenancy.size());
+    }
+    // Survivors keep their tenancy and their relative order (ids compact).
+    for (std::size_t i = 0; i < survivor_tenancy.size(); ++i) {
+      if (matrix.sharing_count(static_cast<core::ConduitId>(i)) != survivor_tenancy[i]) {
+        return "survivor " + std::to_string(i) + " sharing " +
+               std::to_string(matrix.sharing_count(static_cast<core::ConduitId>(i))) +
+               " != expected " + std::to_string(survivor_tenancy[i]);
+      }
+    }
+    // The precomputed sharing table matches a hand count.
+    const auto& table = snap->sharing_table();
+    for (std::size_t k = 1; k <= max_tenancy; ++k) {
+      const auto expected = static_cast<std::size_t>(
+          std::count_if(survivor_tenancy.begin(), survivor_tenancy.end(),
+                        [k](std::size_t t) { return t >= k; }));
+      if (k - 1 >= table.size() || table[k - 1] != expected) {
+        return "sharing_table[k=" + std::to_string(k) + "] != hand count " +
+               std::to_string(expected);
+      }
+    }
+    return std::nullopt;
+  };
+}
+
+// --- O8: strict vs lenient ingest on clean inputs -----------------------
+
+inline prop::Property<prop::MapSpec> ingest_equivalence_property(
+    const core::Scenario& scenario, Fault fault = Fault::None) {
+  const core::Scenario* world = &scenario;
+  return [world, fault](const prop::MapSpec& spec) -> std::optional<std::string> {
+    const auto& cities = core::Scenario::cities();
+    const auto& row = world->row();
+    const auto& profiles = world->truth().profiles();
+    const auto map = prop::build_fiber_map(spec, &row);
+    std::string text = core::serialize_dataset(map, cities, row, profiles);
+    if (fault == Fault::CorruptDatasetLine) text += "garbage\trecord\n";
+
+    core::FiberMap strict_map(0);
+    try {
+      strict_map = core::parse_dataset(text, cities, row, profiles);
+    } catch (const ParseError& e) {
+      return std::string("strict parse threw on a clean dataset: ") + e.what();
+    }
+    DiagnosticSink sink(ParsePolicy::Lenient);
+    const auto lenient_map = core::parse_dataset(text, cities, row, profiles, sink);
+    if (sink.total() != 0) {
+      return "lenient parse of a clean dataset produced " + std::to_string(sink.total()) +
+             " diagnostics";
+    }
+    const auto strict_bytes = core::serialize_dataset(strict_map, cities, row, profiles);
+    const auto lenient_bytes = core::serialize_dataset(lenient_map, cities, row, profiles);
+    if (strict_bytes != lenient_bytes) {
+      return "strict and lenient parses of the same clean dataset serialize differently";
+    }
+    if (strict_map.conduits().size() != map.conduits().size() ||
+        strict_map.links().size() != map.links().size()) {
+      return "round-trip changed counts: " + std::to_string(strict_map.conduits().size()) + "/" +
+             std::to_string(map.conduits().size()) + " conduits, " +
+             std::to_string(strict_map.links().size()) + "/" +
+             std::to_string(map.links().size()) + " links";
+    }
+    return std::nullopt;
+  };
+}
+
+// --- CampaignCase generator (composes the map + knobs) ------------------
+
+inline std::string describe_campaign(const CampaignCase& c) {
+  std::ostringstream out;
+  out << "CampaignCase{" << (c.targeted ? "targeted" : "random") << ", steps=" << c.steps
+      << ", trials=" << c.trials << ", seed=" << c.seed << ", probes="
+      << (c.probes.empty() ? "none" : std::to_string(c.probes.size())) << ", "
+      << prop::describe(c.map) << "}";
+  return out.str();
+}
+
+inline prop::Gen<CampaignCase> campaign_cases(const prop::MapGenParams& params = {}) {
+  const auto maps = prop::fiber_maps(params);
+  prop::Gen<CampaignCase> gen;
+  gen.create = [maps](Rng& rng) {
+    CampaignCase c;
+    c.map = maps.create(rng);
+    c.targeted = rng.chance(0.5);
+    c.steps = 1 + rng.next_below(6);
+    c.trials = 1 + rng.next_below(8);
+    c.seed = rng.next_u64();
+    if (rng.chance(0.5)) {
+      auto probes = prop::probe_corpora(c.map.conduits.size()).create(rng);
+      c.probes = std::move(probes);
+    }
+    return c;
+  };
+  gen.shrink = [maps](const CampaignCase& c) {
+    std::vector<CampaignCase> candidates;
+    for (auto& smaller : maps.shrink(c.map)) {
+      CampaignCase copy = c;
+      copy.map = std::move(smaller);
+      copy.probes.clear();  // sized per conduit; simplest to drop on shrink
+      candidates.push_back(std::move(copy));
+    }
+    if (!c.probes.empty()) {
+      CampaignCase no_probes = c;
+      no_probes.probes.clear();
+      candidates.push_back(std::move(no_probes));
+    }
+    if (c.trials > 1) {
+      CampaignCase fewer = c;
+      fewer.trials = c.trials / 2;
+      candidates.push_back(std::move(fewer));
+    }
+    if (c.steps > 1) {
+      CampaignCase fewer = c;
+      fewer.steps = c.steps / 2;
+      candidates.push_back(std::move(fewer));
+    }
+    return candidates;
+  };
+  gen.describe = describe_campaign;
+  return gen;
+}
+
+}  // namespace intertubes::testing::oracles

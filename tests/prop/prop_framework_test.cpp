@@ -1,0 +1,147 @@
+// Self-tests for the prop/ core: the framework's own guarantees —
+// deterministic repro, greedy shrinking, the forced-trial knob, dyadic
+// weight exactness, and the CI artifact file — tested before any domain
+// oracle relies on them.
+#include "prop/prop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+
+#include "prop/prop_gtest.hpp"
+
+namespace intertubes::prop {
+namespace {
+
+/// A pinned configuration so these self-tests mean the same thing under
+/// any --seed= / INTERTUBES_PROP_TRIALS the outer run was invoked with.
+Config pinned() {
+  Config config;
+  config.seed = 0x5EED;
+  config.trials = 64;
+  return config;
+}
+
+TEST(PropFramework, PassingPropertyRunsEveryTrial) {
+  const auto result = check<std::int64_t>(
+      "framework_tautology", integers(0, 100),
+      [](const std::int64_t&) { return std::nullopt; }, pinned());
+  EXPECT_TRUE(result.passed);
+  EXPECT_EQ(result.trials_run, pinned().trials);
+  EXPECT_TRUE(result.report().empty());
+}
+
+TEST(PropFramework, IntegerShrinkFindsTheBoundary) {
+  // Fails for v >= 32; the greedy descent must land exactly on 32.
+  const auto result = check<std::int64_t>(
+      "framework_boundary", integers(0, 1000),
+      [](const std::int64_t& v) -> std::optional<std::string> {
+        if (v < 32) return std::nullopt;
+        return "too big";
+      },
+      pinned());
+  ASSERT_FALSE(result.passed);
+  EXPECT_EQ(result.counterexample, "32");
+  EXPECT_EQ(result.failure, "too big");
+  EXPECT_GT(result.shrink_steps, 0u);
+}
+
+TEST(PropFramework, VectorShrinkDropsIrrelevantElements) {
+  // Fails when any element >= 50; minimal counterexample is exactly [50].
+  const auto result = check<std::vector<std::int64_t>>(
+      "framework_vector_minimal", vectors(integers(0, 100), 0, 20),
+      [](const std::vector<std::int64_t>& v) -> std::optional<std::string> {
+        for (const auto e : v) {
+          if (e >= 50) return "element >= 50";
+        }
+        return std::nullopt;
+      },
+      pinned());
+  ASSERT_FALSE(result.passed);
+  EXPECT_EQ(result.counterexample, "[50]");
+}
+
+TEST(PropFramework, FailureIsDeterministicInTheSeed) {
+  const Property<std::int64_t> property = [](const std::int64_t& v) -> std::optional<std::string> {
+    if (v % 7 != 3) return std::nullopt;
+    return "v mod 7 == 3";
+  };
+  const auto first = check<std::int64_t>("framework_determinism", integers(0, 1 << 20), property,
+                                         pinned());
+  const auto second = check<std::int64_t>("framework_determinism", integers(0, 1 << 20), property,
+                                          pinned());
+  ASSERT_FALSE(first.passed);
+  EXPECT_EQ(first.failing_trial, second.failing_trial);
+  EXPECT_EQ(first.counterexample, second.counterexample);
+  EXPECT_EQ(first.repro, second.repro);
+}
+
+TEST(PropFramework, ForcedTrialReproducesThePrintedRepro) {
+  const Property<std::int64_t> property = [](const std::int64_t& v) -> std::optional<std::string> {
+    if (v % 11 != 5) return std::nullopt;
+    return "v mod 11 == 5";
+  };
+  const auto full =
+      check<std::int64_t>("framework_forced_trial", integers(0, 1 << 20), property, pinned());
+  ASSERT_FALSE(full.passed);
+
+  // The workflow the repro line drives: same seed, only the failing trial.
+  Config repro = pinned();
+  repro.forced_trial = full.failing_trial;
+  const auto forced =
+      check<std::int64_t>("framework_forced_trial", integers(0, 1 << 20), property, repro);
+  ASSERT_FALSE(forced.passed);
+  EXPECT_EQ(forced.trials_run, 1u);
+  EXPECT_EQ(forced.failing_trial, full.failing_trial);
+  EXPECT_EQ(forced.counterexample, full.counterexample);
+  EXPECT_EQ(forced.repro, full.repro);
+}
+
+TEST(PropFramework, DistinctPropertyNamesDrawDistinctStreams) {
+  // Same seed + trial, different name => (almost surely) different value.
+  Rng a = substream_rng(0x5EED, detail::stream_for("name_one", 0x5EED, 0));
+  Rng b = substream_rng(0x5EED, detail::stream_for("name_two", 0x5EED, 0));
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(PropFramework, DyadicWeightsAreExactQuarterMultiples) {
+  const auto gen = dyadic_weights();
+  Rng rng = substream_rng(0x5EED, 1);
+  for (int i = 0; i < 200; ++i) {
+    const double w = gen.create(rng);
+    EXPECT_GE(w, 0.25);
+    EXPECT_LE(w, 64.0);
+    const double quarters = w * 4.0;
+    EXPECT_EQ(quarters, std::floor(quarters)) << "weight " << w << " is not a dyadic multiple";
+  }
+}
+
+TEST(PropFramework, ReproLineFormat) {
+  const auto result = check<std::int64_t>(
+      "framework_repro_format", integers(0, 10),
+      [](const std::int64_t&) -> std::optional<std::string> { return "always"; }, pinned());
+  ASSERT_FALSE(result.passed);
+  EXPECT_EQ(result.repro, "repro: --seed=0x5eed --prop_trial=0");
+  const auto report = result.report();
+  EXPECT_NE(report.find("repro: --seed="), std::string::npos);
+  EXPECT_NE(report.find("shrunk counterexample"), std::string::npos);
+}
+
+TEST(PropFramework, ArtifactFileWrittenWhenDirSet) {
+  const std::string dir = ::testing::TempDir();
+  ASSERT_EQ(::setenv("INTERTUBES_PROP_ARTIFACT_DIR", dir.c_str(), 1), 0);
+  const auto result = check<std::int64_t>(
+      "framework artifact smoke", integers(0, 10),
+      [](const std::int64_t&) -> std::optional<std::string> { return "always"; }, pinned());
+  ::unsetenv("INTERTUBES_PROP_ARTIFACT_DIR");
+  ASSERT_FALSE(result.passed);
+  std::ifstream file(dir + "/framework_artifact_smoke.repro.txt");
+  ASSERT_TRUE(file.good()) << "expected repro artifact in " << dir;
+  std::string contents((std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find(result.repro), std::string::npos);
+}
+
+}  // namespace
+}  // namespace intertubes::prop

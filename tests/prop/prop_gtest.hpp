@@ -1,0 +1,17 @@
+// gtest glue for prop::check results.
+//
+// EXPECT_PROP(result) fails the surrounding test with the full repro
+// report (the one-line --seed= repro plus the shrunk counterexample) when
+// the property did not hold.  Kept out of src/prop so the framework stays
+// free of the gtest dependency for non-test consumers.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "prop/prop.hpp"
+
+#define EXPECT_PROP(result_expr)                                 \
+  do {                                                           \
+    const ::intertubes::prop::CheckResult& _pr = (result_expr);  \
+    EXPECT_TRUE(_pr.passed) << _pr.report();                     \
+  } while (0)

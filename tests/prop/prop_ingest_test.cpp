@@ -1,0 +1,30 @@
+// Strict-vs-lenient ingest equivalence on clean inputs: for any
+// scenario-anchored map the generators can produce, its serialized dataset
+// must (a) parse identically under both policies, (b) produce zero
+// diagnostics, and (c) re-serialize to the same bytes from either parse.
+// The round trip is compared serialization-to-serialization rather than
+// against the original map because parse legitimately re-binds parallel
+// same-city-pair corridors through row.direct()'s cheapest match.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "oracles.hpp"
+#include "prop/generators.hpp"
+#include "prop/prop.hpp"
+#include "prop/prop_gtest.hpp"
+#include "test_support.hpp"
+
+namespace intertubes::testing {
+namespace {
+
+TEST(PropIngest, StrictAndLenientAgreeOnCleanDatasets) {
+  const auto& scenario = shared_scenario();
+  const std::size_t num_isps = std::min<std::size_t>(4, scenario.truth().profiles().size());
+  EXPECT_PROP(prop::check<prop::MapSpec>(
+      "strict_vs_lenient_ingest", prop::scenario_map_specs(scenario.row(), num_isps),
+      oracles::ingest_equivalence_property(scenario)));
+}
+
+}  // namespace
+}  // namespace intertubes::testing

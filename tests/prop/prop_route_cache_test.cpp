@@ -1,0 +1,57 @@
+// Memoization differential: MemoizedRouter answers vs cold PathEngine
+// queries, across a graph rebuild (epoch bump, every weight doubled).  A
+// correctly keyed cache can never serve a v1 path for a v2 query; the
+// SkipEpochBump mutation in the smoke suite proves this oracle notices
+// when that invariant is broken.
+#include <gtest/gtest.h>
+
+#include "oracles.hpp"
+#include "prop/generators.hpp"
+#include "prop/prop.hpp"
+#include "prop/prop_gtest.hpp"
+
+namespace intertubes::testing {
+namespace {
+
+TEST(PropRouteCache, MemoizedMatchesColdAcrossEpochBumps) {
+  EXPECT_PROP(prop::check<prop::MapSpec>("memoized_vs_cold_reroutes", prop::fiber_maps(),
+                                         oracles::memoized_reroute_property()));
+}
+
+TEST(PropRouteCache, PurgeStaleKeepsWarmAnswersCorrect) {
+  // purge_stale mid-stream must not change any answer — only reclaim
+  // memory.  Route everything at epoch 1, purge against epoch 2, then
+  // verify epoch-2 queries still match cold computation.
+  const prop::Property<prop::MapSpec> property =
+      [](const prop::MapSpec& spec) -> std::optional<std::string> {
+    const auto map = prop::build_fiber_map(spec);
+    if (map.conduits().size() == 0) return std::nullopt;
+    std::vector<route::EdgeSpec> edges;
+    for (const auto& conduit : map.conduits()) {
+      edges.push_back({conduit.a, conduit.b, conduit.length_km});
+    }
+    const route::PathEngine v1(static_cast<route::NodeId>(spec.num_cities), edges, 1);
+    const route::PathEngine v2(static_cast<route::NodeId>(spec.num_cities), edges, 2);
+    route::MemoizedRouter router;
+    for (const auto& conduit : map.conduits()) {
+      router.route(v1, conduit.a, conduit.b);
+    }
+    const std::size_t warmed = router.size();
+    router.purge_stale(v2.epoch());  // every v1 entry is now stale
+    if (router.size() != 0) {
+      return "purge_stale(2) left " + std::to_string(router.size()) + " of " +
+             std::to_string(warmed) + " stale entries";
+    }
+    for (const auto& conduit : map.conduits()) {
+      const auto warm = router.route(v2, conduit.a, conduit.b);
+      const auto cold = v2.shortest_path(conduit.a, conduit.b);
+      if (auto diff = oracles::compare_paths(*warm, cold, "post-purge route")) return diff;
+    }
+    return std::nullopt;
+  };
+  EXPECT_PROP(prop::check<prop::MapSpec>("purge_stale_preserves_answers", prop::fiber_maps(),
+                                         property));
+}
+
+}  // namespace
+}  // namespace intertubes::testing

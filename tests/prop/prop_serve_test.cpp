@@ -1,0 +1,35 @@
+// What-if-cut differential: serve::Snapshot::with_conduits_cut artifacts
+// vs expectations hand-computed straight off the base map — no FiberMap
+// reconstruction, no RiskMatrix, no corridor remapping on the reference
+// side, so the two computations share nothing but the inputs.
+#include <gtest/gtest.h>
+
+#include "oracles.hpp"
+#include "prop/generators.hpp"
+#include "prop/prop.hpp"
+#include "prop/prop_gtest.hpp"
+#include "test_support.hpp"
+
+namespace intertubes::testing {
+namespace {
+
+TEST(PropServe, WhatIfCutsMatchHandComputedAccounting) {
+  const serve::Snapshot& base = oracles::shared_base_snapshot();
+  EXPECT_PROP(prop::check<std::vector<core::ConduitId>>(
+      "whatif_cut_vs_hand_count", prop::cut_sets(base.map().conduits().size(), 12),
+      oracles::whatif_cut_property(base)));
+}
+
+TEST(PropServe, WhatIfCutOfNothingIsAFaithfulRebuild) {
+  // The degenerate cut keeps every artifact: same conduit/link counts,
+  // same sharing table, zero severed links.
+  const serve::Snapshot& base = oracles::shared_base_snapshot();
+  const auto snap = serve::Snapshot::with_conduits_cut(base, {});
+  EXPECT_EQ(snap->links_severed(), 0u);
+  EXPECT_EQ(snap->map().conduits().size(), base.map().conduits().size());
+  EXPECT_EQ(snap->map().links().size(), base.map().links().size());
+  EXPECT_EQ(snap->sharing_table(), base.sharing_table());
+}
+
+}  // namespace
+}  // namespace intertubes::testing

@@ -1,0 +1,28 @@
+// Parallel-vs-serial bit identity on generated worlds: the sim::Executor
+// fan-out of campaigns and of the network-wide robustness scan must be
+// byte-identical to their serial runs for any thread count — not just on
+// the canonical scenario the unit tests pin, but across the whole space
+// of valid maps the generators can produce.
+#include <gtest/gtest.h>
+
+#include "oracles.hpp"
+#include "prop/generators.hpp"
+#include "prop/prop.hpp"
+#include "prop/prop_gtest.hpp"
+
+namespace intertubes::testing {
+namespace {
+
+TEST(PropSim, CampaignReportsBitIdenticalAcrossExecutors) {
+  EXPECT_PROP(prop::check<oracles::CampaignCase>("campaign_parallel_vs_serial",
+                                                 oracles::campaign_cases(),
+                                                 oracles::campaign_bit_identity_property()));
+}
+
+TEST(PropSim, NetworkWideGainBitIdenticalAcrossExecutors) {
+  EXPECT_PROP(prop::check<prop::MapSpec>("network_gain_parallel_vs_serial", prop::fiber_maps(),
+                                         oracles::gain_bit_identity_property()));
+}
+
+}  // namespace
+}  // namespace intertubes::testing

@@ -1,0 +1,118 @@
+// Stress coverage for route::PathCache: LRU eviction accounting under
+// capacity pressure, and purge_stale racing concurrent epoch bumps — the
+// serve/ rebuild pattern, where reader threads keep routing against a
+// sequence of rebuilt engines while a janitor reclaims stale entries.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "prop/generators.hpp"
+#include "route/cache.hpp"
+#include "route/path_engine.hpp"
+
+namespace intertubes::route {
+namespace {
+
+TEST(RouteCacheStress, EvictionKeepsSizeBoundedAndCounted) {
+  PathCache cache(/*capacity=*/16, /*num_shards=*/4);
+  const auto path = std::make_shared<const Path>();
+  const std::size_t inserted = 400;
+  for (std::size_t i = 0; i < inserted; ++i) {
+    cache.put({1, static_cast<NodeId>(i), static_cast<NodeId>(i + 1), 0}, path);
+  }
+  // Sharding rounds capacity up per shard; the bound is per-shard capacity
+  // times shard count, never the raw insert count.
+  EXPECT_LE(cache.size(), 16u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, inserted - cache.size());
+}
+
+TEST(RouteCacheStress, PurgeStaleDropsExactlyTheStaleEntries) {
+  MemoizedRouter router;
+  // Two engines over the same barbell conduit graph, different epochs.
+  std::vector<EdgeSpec> edges;
+  const auto map = prop::barbell_map();
+  for (const auto& conduit : map.conduits()) {
+    edges.push_back({conduit.a, conduit.b, conduit.length_km});
+  }
+  const PathEngine v1(5, edges, 1);
+  const PathEngine v2(5, edges, 2);
+  for (const auto& conduit : map.conduits()) router.route(v1, conduit.a, conduit.b);
+  const std::size_t v1_entries = router.size();
+  EXPECT_GT(v1_entries, 0u);
+  router.route(v2, 0, 2);
+  router.route(v2, 2, 4);
+  EXPECT_EQ(router.purge_stale(v2.epoch()), v1_entries);
+  EXPECT_EQ(router.size(), 2u);
+  EXPECT_EQ(router.purge_stale(v2.epoch()), 0u);  // idempotent once clean
+  EXPECT_EQ(router.stats().invalidations, v1_entries);
+}
+
+TEST(RouteCacheStress, PurgeStaleUnderConcurrentEpochBumps) {
+  // Epoch e gets weights scaled by (1 + e): a stale hit is not just a
+  // bookkeeping error, it returns a visibly wrong cost.  Worker threads
+  // route against a rolling window of rebuilt engines while a janitor
+  // purges against the latest epoch; every answer must match the cold
+  // engine of its own epoch.
+  constexpr std::size_t kEpochs = 8;
+  constexpr std::size_t kWorkers = 4;
+  const auto map = prop::barbell_map();
+  std::vector<std::unique_ptr<PathEngine>> engines;
+  for (std::size_t e = 0; e < kEpochs; ++e) {
+    std::vector<EdgeSpec> edges;
+    for (const auto& conduit : map.conduits()) {
+      edges.push_back({conduit.a, conduit.b, conduit.length_km * static_cast<double>(1 + e)});
+    }
+    engines.push_back(std::make_unique<PathEngine>(5, std::move(edges), e + 1));
+  }
+
+  MemoizedRouter router(/*capacity=*/64, /*num_shards=*/4);
+  std::atomic<std::uint64_t> latest_epoch{1};
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> mismatches{0};
+
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      for (std::size_t round = 0; round < 50; ++round) {
+        for (std::size_t e = 0; e < kEpochs; ++e) {
+          const PathEngine& engine = *engines[e];
+          latest_epoch.store(engine.epoch(), std::memory_order_relaxed);
+          for (const auto& conduit : map.conduits()) {
+            const NodeId from = (w % 2 == 0) ? conduit.a : conduit.b;
+            const NodeId to = (w % 2 == 0) ? conduit.b : conduit.a;
+            const auto warm = router.route(engine, from, to);
+            const auto cold = engine.shortest_path(from, to);
+            if (warm->cost != cold.cost || warm->edges != cold.edges) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      }
+    });
+  }
+  std::thread janitor([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      router.purge_stale(latest_epoch.load(std::memory_order_relaxed));
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : workers) t.join();
+  done.store(true, std::memory_order_relaxed);
+  janitor.join();
+
+  EXPECT_EQ(mismatches.load(), 0u) << "a stale or cross-epoch cache hit leaked a wrong path";
+  // A final purge against the last epoch leaves only that epoch's entries;
+  // purging again finds nothing.
+  router.purge_stale(kEpochs);
+  EXPECT_EQ(router.purge_stale(kEpochs), 0u);
+  EXPECT_LE(router.size(), 64u);
+  const auto stats = router.stats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace intertubes::route

@@ -257,16 +257,9 @@ TEST(RouteParallel, RowRegistryPathsUnchangedByEngineRewiring) {
 
 // ---- regression tests for the mitigation-layer fixes ----
 
-transport::Corridor make_corridor(transport::CorridorId id, transport::CityId a,
-                                  transport::CityId b, double km) {
-  transport::Corridor c;
-  c.id = id;
-  c.a = a;
-  c.b = b;
-  c.path = geo::Polyline::straight({40.0, -100.0 + 0.01 * id}, {40.0, -99.0 + 0.01 * id});
-  c.length_km = km;
-  return c;
-}
+// Corridor fixtures come from prop/generators — the shared builder used
+// across the unit suites.
+using prop::make_corridor;
 
 TEST(RouteRegression, NetworkWideGainSeparatesBridgesFromOptimal) {
   // One bridge conduit (no alternative at all) and one genuinely optimal

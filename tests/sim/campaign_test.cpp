@@ -9,34 +9,11 @@
 namespace intertubes::sim {
 namespace {
 
-using core::ConduitId;
-using core::FiberMap;
-using core::Provenance;
+// The canonical 5-city barbell fixture (path 0-1-2 plus cycle 2-3-4-2)
+// lives in prop/generators — the shared source for test-world builders.
+using prop::barbell_map;
 
-transport::Corridor make_corridor(transport::CorridorId id, transport::CityId a,
-                                  transport::CityId b) {
-  transport::Corridor c;
-  c.id = id;
-  c.a = a;
-  c.b = b;
-  c.path = geo::Polyline::straight({40.0, -100.0 + 0.01 * id}, {40.0, -99.0 + 0.01 * id});
-  c.length_km = 100.0;
-  return c;
-}
-
-/// Path 0-1-2 plus a cycle 2-3-4-2 (same shape as the cuts tests).
-FiberMap barbell() {
-  FiberMap map(2);
-  const ConduitId c01 = map.ensure_conduit(make_corridor(0, 0, 1), Provenance::GeocodedMap);
-  const ConduitId c12 = map.ensure_conduit(make_corridor(1, 1, 2), Provenance::GeocodedMap);
-  const ConduitId c23 = map.ensure_conduit(make_corridor(2, 2, 3), Provenance::GeocodedMap);
-  const ConduitId c34 = map.ensure_conduit(make_corridor(3, 3, 4), Provenance::GeocodedMap);
-  const ConduitId c42 = map.ensure_conduit(make_corridor(4, 4, 2), Provenance::GeocodedMap);
-  map.add_link(0, 0, 2, {c01, c12}, true);
-  map.add_link(1, 2, 4, {c23, c34}, true);
-  map.add_link(1, 4, 2, {c42}, true);
-  return map;
-}
+core::FiberMap barbell() { return barbell_map(); }
 
 TEST(SimCampaign, BaselineStepIsIntact) {
   const auto map = barbell();

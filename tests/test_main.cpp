@@ -1,6 +1,40 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include "prop/prop.hpp"
+
+namespace {
+
+/// Parse "--name=value" into value; nullptr when arg is a different flag.
+const char* flag_value(const char* arg, const char* name) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return nullptr;
+  return arg + len + 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   ::testing::InitGoogleTest(&argc, argv);
+  // Property-test repro flags (anything gtest didn't consume):
+  //   --seed=0x1257    root seed for every prop::check in this run
+  //   --prop_trials=N  trials per property
+  //   --prop_trial=N   run exactly one trial (the printed repro line)
+  std::optional<std::uint64_t> seed;
+  std::optional<std::size_t> trials;
+  std::optional<std::size_t> trial;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = flag_value(argv[i], "--seed")) {
+      seed = std::strtoull(v, nullptr, 0);
+    } else if (const char* v = flag_value(argv[i], "--prop_trials")) {
+      trials = static_cast<std::size_t>(std::strtoull(v, nullptr, 0));
+    } else if (const char* v = flag_value(argv[i], "--prop_trial")) {
+      trial = static_cast<std::size_t>(std::strtoull(v, nullptr, 0));
+    }
+  }
+  intertubes::prop::set_global_overrides(seed, trials, trial);
   return RUN_ALL_TESTS();
 }

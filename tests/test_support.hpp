@@ -3,9 +3,15 @@
 // The full Scenario (world generation + mapping pipeline) costs a few
 // seconds; tests that need it share one lazily built instance at the
 // canonical seed.  Tests that mutate nothing may use it freely.
+//
+// Hand-built and randomly generated maps come from src/prop/generators —
+// the single source of truth for test-world construction (make_corridor,
+// barbell_map, and the Gen<T> families).  Do not re-implement ad-hoc map
+// builders in individual test files.
 #pragma once
 
 #include "core/scenario.hpp"
+#include "prop/generators.hpp"
 
 namespace intertubes::testing {
 
