@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Diff fresh bench JSON dumps against committed baselines.
+
+Compares the perf-core metrics — serve queries/sec, campaign trials/sec,
+route reroute latency, dissect pairs/sec — benchmark by benchmark, and
+fails (exit 1) when any tracked metric regressed by more than the
+tolerance (default 15%).  Metrics where higher is better (rates) regress
+when fresh < baseline; latency metrics regress when fresh > baseline.
+
+Usage:
+  bench/check_regressions.py --fresh <dir> [--baseline bench/baselines]
+                             [--tolerance 0.15]
+
+Only benchmarks present in BOTH dumps are compared (a new benchmark is not
+a regression; a deleted one is reported as missing but non-fatal unless
+--strict-missing is set).
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+# (harness, benchmark-name regex, metric, higher_is_better).
+# The tracked perf core:
+#   * serve engine throughput (queries/sec via items_per_second),
+#   * sim campaign throughput (trials/sec via items_per_second),
+#   * route engine reroute latency (cold + memoized, cpu_time),
+#   * dissect all-pairs sweep throughput (pairs_per_second counter).
+TRACKED = [
+    ("bench_serve_engine", r".*", "items_per_second", True),
+    ("bench_sim_campaign", r".*", "items_per_second", True),
+    ("bench_route_engine", r".*Reroute.*", "cpu_time", False),
+    ("bench_dissect", r"BM_(AllPairsBatched|DissectionSweep).*", "pairs_per_second", True),
+]
+
+
+def load_benchmarks(path: pathlib.Path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True, type=pathlib.Path,
+                        help="directory of freshly generated BENCH_*.json")
+    parser.add_argument("--baseline", default="bench/baselines", type=pathlib.Path)
+    parser.add_argument("--tolerance", default=0.15, type=float)
+    parser.add_argument("--strict-missing", action="store_true",
+                        help="fail when a tracked dump or benchmark is missing")
+    args = parser.parse_args()
+
+    regressions = []
+    missing = []
+    compared = 0
+    for harness, name_re, metric, higher_is_better in TRACKED:
+        base_path = args.baseline / f"BENCH_{harness}.json"
+        fresh_path = args.fresh / f"BENCH_{harness}.json"
+        if not base_path.is_file() or not fresh_path.is_file():
+            missing.append(f"{harness}: dump missing "
+                           f"({base_path if not base_path.is_file() else fresh_path})")
+            continue
+        base = load_benchmarks(base_path)
+        fresh = load_benchmarks(fresh_path)
+        pattern = re.compile(name_re)
+        for name, base_bench in base.items():
+            if not pattern.fullmatch(name) or metric not in base_bench:
+                continue
+            if name not in fresh or metric not in fresh[name]:
+                missing.append(f"{harness}/{name}: absent from fresh dump")
+                continue
+            base_value = float(base_bench[metric])
+            fresh_value = float(fresh[name][metric])
+            if base_value <= 0.0:
+                continue
+            compared += 1
+            if higher_is_better:
+                change = fresh_value / base_value - 1.0  # negative = slower
+                regressed = change < -args.tolerance
+            else:
+                change = fresh_value / base_value - 1.0  # positive = slower
+                regressed = change > args.tolerance
+            marker = "REGRESSION" if regressed else "ok"
+            print(f"[{marker:>10}] {harness}/{name} {metric}: "
+                  f"{base_value:.4g} -> {fresh_value:.4g} ({change:+.1%})")
+            if regressed:
+                regressions.append(f"{harness}/{name} {metric} {change:+.1%}")
+
+    for note in missing:
+        print(f"[   missing] {note}", file=sys.stderr)
+    if compared == 0:
+        print("error: nothing compared — wrong --fresh/--baseline dir?", file=sys.stderr)
+        return 1
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond {args.tolerance:.0%}:",
+              file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    if missing and args.strict_missing:
+        return 1
+    print(f"\nall {compared} tracked metrics within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

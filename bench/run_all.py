@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Run every --bench_json-capable bench harness and collect BENCH_*.json.
+
+Each bench_* executable in the build tree is run once at a pinned scale
+(--benchmark_min_time, uniform across harnesses so committed baselines and
+fresh runs are comparable) with its machine-readable google-benchmark dump
+written to <out>/BENCH_<name>.json.  The artifact banners the harnesses
+print on stdout are captured into <out>/BENCH_<name>.log.
+
+Usage:
+  bench/run_all.py [--build-dir build] [--out bench/baselines]
+                   [--only REGEX] [--min-time 0.05]
+
+Exit status is nonzero if any harness fails to run.
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+
+def find_benches(build_dir: pathlib.Path):
+    bench_dir = build_dir / "bench"
+    if not bench_dir.is_dir():
+        sys.exit(f"error: {bench_dir} does not exist (build the repo first)")
+    out = []
+    for path in sorted(bench_dir.iterdir()):
+        if path.name.startswith("bench_") and path.is_file() and path.stat().st_mode & 0o111:
+            out.append(path)
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build", type=pathlib.Path)
+    parser.add_argument("--out", default="bench/baselines", type=pathlib.Path)
+    parser.add_argument("--only", default="", help="regex filter on harness name")
+    parser.add_argument("--min-time", default="0.05",
+                        help="google-benchmark min time per benchmark, seconds")
+    parser.add_argument("--timeout", default=1800, type=int,
+                        help="per-harness timeout, seconds")
+    args = parser.parse_args()
+
+    benches = find_benches(args.build_dir)
+    if args.only:
+        pattern = re.compile(args.only)
+        benches = [b for b in benches if pattern.search(b.name)]
+    if not benches:
+        sys.exit("error: no bench harnesses matched")
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    failures = []
+    for bench in benches:
+        json_path = args.out / f"BENCH_{bench.name}.json"
+        log_path = args.out / f"BENCH_{bench.name}.log"
+        cmd = [str(bench), f"--bench_json={json_path}",
+               f"--benchmark_min_time={args.min_time}"]
+        print(f"[run_all] {bench.name} -> {json_path}", flush=True)
+        try:
+            with open(log_path, "w") as log:
+                result = subprocess.run(cmd, stdout=log, stderr=subprocess.STDOUT,
+                                        timeout=args.timeout)
+            if result.returncode != 0:
+                failures.append((bench.name, f"exit {result.returncode}"))
+        except subprocess.TimeoutExpired:
+            failures.append((bench.name, f"timeout after {args.timeout}s"))
+
+    if failures:
+        for name, why in failures:
+            print(f"[run_all] FAILED {name}: {why}", file=sys.stderr)
+        return 1
+    print(f"[run_all] {len(benches)} harnesses OK, dumps in {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

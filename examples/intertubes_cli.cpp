@@ -26,8 +26,11 @@
 #include "serve/engine.hpp"
 #include "serve/snapshot.hpp"
 
+#include "artifact/renderers.hpp"
 #include "core/dataset_diff.hpp"
 #include "core/dataset_io.hpp"
+#include "dissect/dissector.hpp"
+#include "dissect/gap_optimizer.hpp"
 #include "core/exporter.hpp"
 #include "core/longhaul.hpp"
 #include "core/scenario.hpp"
@@ -56,6 +59,8 @@ struct Args {
   double radius_km = 100.0;
   std::size_t requests = 200;  ///< `serve` workload length
   std::size_t threads = 4;     ///< `serve` closed-loop client threads
+  std::size_t top = 10;        ///< `dissect` audit rows
+  double target = 2.0;         ///< `dissect` stretch target vs c-latency
   /// Parse policy for commands that read files (check, diff).  Lenient by
   /// default: quarantine bad records, report them, keep going.
   ParsePolicy policy = ParsePolicy::Lenient;
@@ -76,6 +81,8 @@ void usage(std::ostream& os) {
       "  check    parse a dataset file, report diagnostics (--in)\n"
       "  serve    concurrent query engine over a scripted workload\n"
       "           (--requests, --threads; swaps in a what-if snapshot mid-run)\n"
+      "  dissect  all-pairs speed-of-light audit + gap-closing conduit proposals\n"
+      "           (--top, --target, --k)\n"
       "  help     print this message\n"
       "\n"
       "flags:\n"
@@ -88,6 +95,8 @@ void usage(std::ostream& os) {
       "  --radius <km>  disaster radius for `cuts` (default 100)\n"
       "  --requests <n> workload length for `serve` (default 200)\n"
       "  --threads <n>  client threads for `serve` (default 4)\n"
+      "  --top <n>      audit rows for `dissect` (default 10)\n"
+      "  --target <f>   stretch target vs c-latency for `dissect` (default 2.0)\n"
       "  --strict       fail fast on the first malformed record\n"
       "  --lenient      quarantine malformed records and keep going (default)\n";
 }
@@ -144,6 +153,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.requests = std::strtoul(value.c_str(), nullptr, 0);
     } else if (flag == "--threads") {
       args.threads = std::strtoul(value.c_str(), nullptr, 0);
+    } else if (flag == "--top") {
+      args.top = std::strtoul(value.c_str(), nullptr, 0);
+    } else if (flag == "--target") {
+      args.target = std::strtod(value.c_str(), nullptr);
     } else {
       std::cerr << "unknown flag: " << flag << "\n";
       return false;
@@ -374,6 +387,45 @@ int cmd_serve(const core::Scenario& scenario, const Args& args) {
   return failures.load() == 0 ? 0 : 1;
 }
 
+/// All-pairs speed-of-light audit plus the gap-closing conduit proposals,
+/// both on the default executor (the batched sweep fans out per source).
+int cmd_dissect(const core::Scenario& scenario, const Args& args) {
+  if (args.top == 0 || args.target < 1.0) {
+    std::cerr << "dissect requires --top >= 1 and --target >= 1.0\n";
+    usage(std::cerr);
+    return kUsageError;
+  }
+  const auto& cities = core::Scenario::cities();
+  auto& executor = sim::default_executor();
+
+  const dissect::LatencyDissector dissector(scenario.map(), cities, scenario.row());
+  dissect::DissectOptions options;
+  options.target_factor = args.target;
+  const auto study = dissector.dissect(&executor, options);
+  std::cout << artifact::render_clatency_audit(study, cities, args.top);
+
+  dissect::GapClosingParams params;
+  params.target_factor = args.target;
+  params.max_k = args.k;
+  const auto closing = dissect::close_gaps(scenario.map(), cities, scenario.row(), params,
+                                           &executor);
+  std::cout << "\ngap closing (target " << format_double(args.target, 1)
+            << "x c-latency, up to k=" << args.k << " new conduits):\n"
+            << "  before: " << closing.gap_pairs_before << " gap pairs, total excess "
+            << format_double(closing.excess_ms_before, 1) << " ms\n";
+  for (std::size_t i = 0; i < closing.steps.size(); ++i) {
+    const auto& step = closing.steps[i];
+    const auto& corridor = scenario.row().corridor(step.corridor);
+    std::cout << "  k=" << (i + 1) << ": trench "
+              << cities.city(corridor.a).display_name() << " -- "
+              << cities.city(corridor.b).display_name() << " ("
+              << format_double(step.km_added, 0) << " km) -> " << step.gap_pairs
+              << " gap pairs, excess " << format_double(step.excess_ms, 1) << " ms\n";
+  }
+  if (closing.steps.empty()) std::cout << "  no corridor pays for its trench\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -399,6 +451,7 @@ int main(int argc, char** argv) {
     if (args.command == "diff") return cmd_diff(scenario, args);
     if (args.command == "check") return cmd_check(scenario, args);
     if (args.command == "serve") return cmd_serve(scenario, args);
+    if (args.command == "dissect") return cmd_dissect(scenario, args);
     std::cerr << "unknown command: " << args.command << "\n";
     usage(std::cerr);
     return kUsageError;

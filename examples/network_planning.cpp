@@ -74,7 +74,9 @@ int main(int argc, char** argv) {
   // Latency study headline.
   const auto study = optimize::latency_study(scenario.map(), cities, scenario.row());
   std::vector<double> gap_ms;
-  for (const auto& pair : study.pairs) gap_ms.push_back(pair.row_ms - pair.los_ms);
+  for (const auto& pair : study.pairs) {
+    if (pair.row_reachable) gap_ms.push_back(pair.row_ms - pair.los_ms);
+  }
   std::cout << "\nlatency study over " << study.pairs.size() << " city pairs:\n";
   std::cout << "  best existing path is already the best ROW path for "
             << format_double(100.0 * study.fraction_best_is_row, 1) << "% of pairs\n";

@@ -135,4 +135,46 @@ std::string render_fig10(const core::Scenario& scenario, const risk::RiskMatrix&
   return out.str();
 }
 
+std::string render_clatency_audit(const dissect::DissectionStudy& study,
+                                  const transport::CityDatabase& cities, std::size_t top_k) {
+  std::ostringstream out;
+  const std::size_t reachable = study.pairs.size() - study.fiber_unreachable;
+  out << "speed-of-light audit over " << study.nodes.size() << " cities, " << study.pairs.size()
+      << " pairs (" << study.fiber_unreachable << " fiber-unreachable, " << study.row_unreachable
+      << " ROW-unreachable)\n";
+  out << "stretch vs c-latency: median " << format_double(study.median_stretch, 3) << ", p95 "
+      << format_double(study.p95_stretch, 3) << "; " << study.within_target << "/" << reachable
+      << " reachable pairs within " << format_double(study.target_factor, 1) << "x c-latency\n";
+  out << "total achievable improvement (trenching along existing rights of way): "
+      << format_double(study.total_achievable_ms, 1) << " ms across all pairs\n";
+
+  // Rank by achievable improvement; ties (e.g. zero) break to the earlier
+  // pair in sweep order so the artifact is stable byte-for-byte.
+  std::vector<const dissect::PairDissection*> ranked;
+  ranked.reserve(study.pairs.size());
+  for (const auto& p : study.pairs) {
+    if (p.fiber_reachable && p.row_reachable) ranked.push_back(&p);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const dissect::PairDissection* a, const dissect::PairDissection* b) {
+                     return a->achievable_ms > b->achievable_ms;
+                   });
+  if (ranked.size() > top_k) ranked.resize(top_k);
+
+  out << "\ntop pairs by achievable improvement (one-way ms)\n";
+  TextTable table({"pair", "c-lat", "refraction", "ROW infl", "detour", "fiber", "stretch"});
+  for (const auto* p : ranked) {
+    table.start_row();
+    table.add_cell(cities.city(p->a).display_name() + " -- " + cities.city(p->b).display_name());
+    table.add_cell(p->clat_ms, 2);
+    table.add_cell(p->refraction_ms, 2);
+    table.add_cell(p->row_inflation_ms, 2);
+    table.add_cell(p->detour_ms, 2);
+    table.add_cell(p->fiber_ms, 2);
+    table.add_cell(p->stretch, 2);
+  }
+  out << table.render();
+  return out.str();
+}
+
 }  // namespace intertubes::artifact

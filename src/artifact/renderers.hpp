@@ -17,6 +17,7 @@
 #include <string>
 
 #include "core/scenario.hpp"
+#include "dissect/dissector.hpp"
 #include "risk/risk_matrix.hpp"
 
 namespace intertubes::artifact {
@@ -32,5 +33,12 @@ std::string render_fig6(const core::Scenario& scenario, const risk::RiskMatrix& 
 /// Figure 10: path inflation / shared-risk reduction per ISP over the
 /// twelve most-shared conduits, plus the §5.1 network-wide gain check.
 std::string render_fig10(const core::Scenario& scenario, const risk::RiskMatrix& matrix);
+
+/// Speed-of-light audit: headline stretch aggregates of the all-pairs
+/// dissection study plus the top-k pairs ranked by achievable improvement
+/// (delay recoverable by trenching along existing rights of way).  Pure
+/// function of the study, so the bytes depend only on the scenario seed.
+std::string render_clatency_audit(const dissect::DissectionStudy& study,
+                                  const transport::CityDatabase& cities, std::size_t top_k);
 
 }  // namespace intertubes::artifact

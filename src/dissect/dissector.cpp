@@ -1,0 +1,132 @@
+#include "dissect/dissector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geo/latency.hpp"
+#include "util/check.hpp"
+
+namespace intertubes::dissect {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::shared_ptr<const route::PathEngine> compile_fiber_engine(const core::FiberMap& map,
+                                                              const transport::CityDatabase& cities) {
+  std::vector<route::EdgeSpec> edges;
+  edges.reserve(map.conduits().size());
+  for (const auto& conduit : map.conduits()) {
+    edges.push_back({conduit.a, conduit.b, conduit.length_km});
+  }
+  return std::make_shared<const route::PathEngine>(static_cast<route::NodeId>(cities.size()),
+                                                   std::move(edges));
+}
+
+/// Percentile of an ascending-sorted vector (nearest-rank).
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank =
+      std::min(sorted.size() - 1,
+               static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1) + 0.5));
+  return sorted[rank];
+}
+
+}  // namespace
+
+LatencyDissector::LatencyDissector(const core::FiberMap& map,
+                                   const transport::CityDatabase& cities,
+                                   const transport::RightOfWayRegistry& row)
+    : fiber_(compile_fiber_engine(map, cities)),
+      nodes_(map.nodes()),
+      cities_(cities),
+      row_(row) {
+  std::sort(nodes_.begin(), nodes_.end());
+  nodes_.erase(std::unique(nodes_.begin(), nodes_.end()), nodes_.end());
+}
+
+LatencyDissector::LatencyDissector(std::shared_ptr<const route::PathEngine> fiber_engine,
+                                   std::vector<transport::CityId> nodes,
+                                   const transport::CityDatabase& cities,
+                                   const transport::RightOfWayRegistry& row)
+    : fiber_(std::move(fiber_engine)), nodes_(std::move(nodes)), cities_(cities), row_(row) {
+  IT_CHECK(fiber_ != nullptr);
+  std::sort(nodes_.begin(), nodes_.end());
+  nodes_.erase(std::unique(nodes_.begin(), nodes_.end()), nodes_.end());
+  for (transport::CityId c : nodes_) IT_CHECK(c < fiber_->num_nodes());
+}
+
+PairDissection LatencyDissector::decompose(transport::CityId a, transport::CityId b,
+                                           double fiber_km, double row_km) const {
+  PairDissection d;
+  d.a = a;
+  d.b = b;
+  const double gc_km = geo::distance_km(cities_.city(a).location, cities_.city(b).location);
+  d.clat_ms = geo::c_latency_ms(gc_km);
+  d.los_ms = geo::los_delay_ms(gc_km);
+  d.fiber_reachable = std::isfinite(fiber_km);
+  d.row_reachable = std::isfinite(row_km);
+  d.fiber_ms = d.fiber_reachable ? geo::fiber_delay_ms(fiber_km) : kInf;
+  d.row_ms = d.row_reachable ? geo::fiber_delay_ms(row_km) : kInf;
+  d.refraction_ms = d.los_ms - d.clat_ms;
+  d.row_inflation_ms = d.row_reachable ? d.row_ms - d.los_ms : 0.0;
+  if (d.fiber_reachable && d.row_reachable) {
+    d.detour_ms = d.fiber_ms - d.row_ms;
+    d.achievable_ms = std::max(0.0, d.detour_ms);
+  }
+  d.stretch = d.fiber_reachable && d.clat_ms > 0.0 ? d.fiber_ms / d.clat_ms : kInf;
+  return d;
+}
+
+DissectionStudy LatencyDissector::dissect(sim::Executor* executor,
+                                          const DissectOptions& options) const {
+  DissectionStudy study;
+  study.nodes = nodes_;
+  study.target_factor = options.target_factor;
+  const std::size_t n = nodes_.size();
+  if (n < 2) return study;
+
+  // The batched layer: one Dijkstra row per source over each graph instead
+  // of n(n-1)/2 point-to-point queries.  Both matrices are bit-identical
+  // for any thread count (see PathEngine's determinism contract), so the
+  // decomposition below — a pure per-cell function — is too.
+  std::vector<route::NodeId> sources(nodes_.begin(), nodes_.end());
+  const route::DistanceMatrix fiber_rows = fiber_->distance_rows(sources, {}, executor);
+  const route::DistanceMatrix row_rows = row_.path_engine().distance_rows(sources, {}, executor);
+
+  study.pairs.reserve(n * (n - 1) / 2);
+  std::vector<double> stretches;
+  stretches.reserve(study.pairs.capacity());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      PairDissection d =
+          decompose(nodes_[i], nodes_[j], fiber_rows.at(i, nodes_[j]), row_rows.at(i, nodes_[j]));
+      if (!d.fiber_reachable) {
+        ++study.fiber_unreachable;
+      } else {
+        stretches.push_back(d.stretch);
+        if (d.fiber_ms <= options.target_factor * d.clat_ms) ++study.within_target;
+        if (d.row_reachable) study.total_achievable_ms += d.achievable_ms;
+      }
+      if (!d.row_reachable) ++study.row_unreachable;
+      study.pairs.push_back(std::move(d));
+    }
+  }
+  std::sort(stretches.begin(), stretches.end());
+  study.median_stretch = percentile(stretches, 0.5);
+  study.p95_stretch = percentile(stretches, 0.95);
+  return study;
+}
+
+PairDissection LatencyDissector::dissect_pair(transport::CityId a, transport::CityId b) const {
+  IT_CHECK(a < fiber_->num_nodes() && b < fiber_->num_nodes());
+  // distances_from is the same row primitive the sweep batches, so the
+  // result is bitwise equal to the corresponding sweep entry.
+  const double fiber_km = fiber_->distances_from(static_cast<route::NodeId>(a))[b];
+  const double row_km =
+      row_.path_engine().distances_from(static_cast<route::NodeId>(a))[b];
+  return decompose(a, b, fiber_km, row_km);
+}
+
+}  // namespace intertubes::dissect

@@ -8,4 +8,8 @@ double fiber_km_for_ms(double ms) noexcept { return ms * kFiberKmPerMs; }
 
 double los_delay_ms(double great_circle_km) noexcept { return fiber_delay_ms(great_circle_km); }
 
+double c_latency_ms(double great_circle_km) noexcept {
+  return great_circle_km / kSpeedOfLightKmPerMs;
+}
+
 }  // namespace intertubes::geo

@@ -23,4 +23,9 @@ double fiber_km_for_ms(double ms) noexcept;
 /// (hypothetical straight conduit, the paper's lower bound).
 double los_delay_ms(double great_circle_km) noexcept;
 
+/// c-latency: great-circle km at the vacuum speed of light — the hard
+/// physical floor no fiber build-out can beat.  The gap between a path's
+/// delay and this bound is what dissect/ decomposes.
+double c_latency_ms(double great_circle_km) noexcept;
+
 }  // namespace intertubes::geo

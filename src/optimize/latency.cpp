@@ -1,6 +1,7 @@
 #include "optimize/latency.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 
 #include "geo/latency.hpp"
@@ -40,7 +41,8 @@ LatencyStudy latency_study(const FiberMap& map, const transport::CityDatabase& c
 
     const auto row_path = row.shortest_path(pair.a, pair.b);
     pair.row_reachable = !row_path.empty();
-    pair.row_ms = pair.row_reachable ? geo::fiber_delay_ms(row_path.length_km) : pair.best_ms;
+    pair.row_ms = pair.row_reachable ? geo::fiber_delay_ms(row_path.length_km)
+                                     : std::numeric_limits<double>::infinity();
 
     pair.los_ms = geo::los_delay_ms(
         geo::distance_km(cities.city(pair.a).location, cities.city(pair.b).location));

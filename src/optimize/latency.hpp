@@ -20,13 +20,15 @@ struct PairDelay {
   transport::CityId b = transport::kNoCity;
   double best_ms = 0.0;  ///< best existing physical path
   double avg_ms = 0.0;   ///< mean over existing physical paths
-  double row_ms = 0.0;   ///< best right-of-way path (= best_ms when !row_reachable)
+  double row_ms = 0.0;   ///< best right-of-way path (+inf when !row_reachable)
   double los_ms = 0.0;   ///< line-of-sight lower bound
   std::size_t path_count = 0;  ///< existing physical paths between the pair
-  /// False when the ROW graph offers no path between the pair at all; the
-  /// row_ms fallback to best_ms then only keeps the record plausible for
-  /// CDF plotting — such pairs say nothing about best-vs-ROW and are
-  /// excluded from fraction_best_is_row.
+  /// False when the ROW graph offers no path between the pair at all.
+  /// row_ms is then +inf — such pairs say nothing about best-vs-ROW, so
+  /// consumers must exclude them from ROW CDFs and gap statistics (the
+  /// old best_ms fallback silently contaminated Figure 12's ROW series
+  /// with copies of the best series) and they are excluded from
+  /// fraction_best_is_row.
   bool row_reachable = true;
 };
 

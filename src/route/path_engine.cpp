@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/executor.hpp"
 #include "util/check.hpp"
 
 namespace intertubes::route {
@@ -202,12 +203,17 @@ Path PathEngine::shortest_path(NodeId from, NodeId to, const Query& query, Works
 
 std::vector<double> PathEngine::distances_from(NodeId from, const Query& query,
                                                Workspace& ws) const {
-  run_dijkstra(from, kNoNode, query, ws);
-  std::vector<double> out(num_nodes_, kInf);
-  for (NodeId n = 0; n < num_nodes_; ++n) {
-    if (ws.node_gen_[n] == ws.generation_) out[n] = ws.dist_[n];
-  }
+  std::vector<double> out(num_nodes_);
+  distances_into(from, query, ws, out.data());
   return out;
+}
+
+void PathEngine::distances_into(NodeId from, const Query& query, Workspace& ws,
+                                double* out) const {
+  run_dijkstra(from, kNoNode, query, ws);
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    out[n] = ws.node_gen_[n] == ws.generation_ ? ws.dist_[n] : kInf;
+  }
 }
 
 /// RAII lease on the engine's workspace pool: pop under the lock, push
@@ -239,6 +245,29 @@ Path PathEngine::shortest_path(NodeId from, NodeId to, const Query& query) const
 std::vector<double> PathEngine::distances_from(NodeId from, const Query& query) const {
   WorkspaceLease lease(*this);
   return distances_from(from, query, *lease.ws);
+}
+
+DistanceMatrix PathEngine::distance_rows(const std::vector<NodeId>& sources, const Query& query,
+                                         sim::Executor* executor) const {
+  for (NodeId s : sources) IT_CHECK(s < num_nodes_);
+  DistanceMatrix matrix;
+  matrix.num_sources = sources.size();
+  matrix.stride = num_nodes_;
+  matrix.cells.resize(sources.size() * num_nodes_);
+  // One Workspace lease per chunk: the pool grows to the number of chunks
+  // in flight (= thread count) and every later sweep is allocation-free.
+  const auto fill = [&](std::size_t begin, std::size_t end) {
+    WorkspaceLease lease(*this);
+    for (std::size_t i = begin; i < end; ++i) {
+      distances_into(sources[i], query, *lease.ws, matrix.cells.data() + i * num_nodes_);
+    }
+  };
+  if (executor == nullptr || sources.size() < 2) {
+    fill(0, sources.size());
+  } else {
+    executor->for_each_chunk(0, sources.size(), /*chunk=*/0, fill);
+  }
+  return matrix;
 }
 
 }  // namespace intertubes::route

@@ -19,6 +19,12 @@
 //   * weight overrides — a per-edge cost functor (+inf forbids), the
 //     escape hatch for the ROW registry's custom WeightFn callers.
 //
+// Many-to-many workloads (the dissect/ all-pairs sweep, expansion and
+// robustness fan-outs) use distance_rows(): one full Dijkstra per source
+// written into a flat row-major DistanceMatrix, optionally parallelized
+// over sources on a sim::Executor — n sources cost n scratch passes
+// instead of n(n-1)/2 point-to-point queries.
+//
 // Determinism contract: results are a pure function of (graph, query).
 // Ties are broken canonically — the heap pops equal-distance nodes in
 // node-id order, and among equal-cost predecessors the lowest edge id
@@ -32,6 +38,10 @@
 #include <memory>
 #include <mutex>
 #include <vector>
+
+namespace intertubes::sim {
+class Executor;
+}
 
 namespace intertubes::route {
 
@@ -55,6 +65,24 @@ struct Path {
   std::vector<NodeId> nodes;
   double cost = std::numeric_limits<double>::infinity();
   bool reachable = false;
+};
+
+/// Dense distance rows for many sources against one shared query — the
+/// result of a batched many-to-many sweep.  Row i holds the full
+/// distance vector of sources[i] (kNoNode-free dense layout, +inf for
+/// unreachable nodes), laid out row-major at a fixed stride so consumers
+/// stream over flat doubles instead of per-source vectors.
+struct DistanceMatrix {
+  std::vector<double> cells;    ///< row-major, num_sources x stride
+  std::size_t num_sources = 0;
+  std::size_t stride = 0;       ///< = engine.num_nodes()
+
+  const double* row(std::size_t source_index) const noexcept {
+    return cells.data() + source_index * stride;
+  }
+  double at(std::size_t source_index, NodeId node) const noexcept {
+    return cells[source_index * stride + node];
+  }
 };
 
 /// Per-query perturbations.  All pointers are borrowed for the duration of
@@ -113,6 +141,21 @@ class PathEngine {
   /// Single-source distances to every node (+inf when unreachable).
   std::vector<double> distances_from(NodeId from, const Query& query = {}) const;
   std::vector<double> distances_from(NodeId from, const Query& query, Workspace& ws) const;
+
+  /// Fill out[0 .. num_nodes()) with distances from `from` — the
+  /// allocation-free row primitive distance_rows() is built on (one
+  /// generation-stamped scratch pass, no output vector per source).
+  void distances_into(NodeId from, const Query& query, Workspace& ws, double* out) const;
+
+  /// Batched many-to-many sweep: one full Dijkstra per source, written
+  /// into a flat row-major matrix.  When `executor` is non-null the
+  /// sources fan out over its chunked parallel region with one leased
+  /// Workspace per chunk; each row is a pure function of (graph, query,
+  /// source), so the matrix is bit-identical for any thread count.  This
+  /// is the all-pairs primitive: n sources cost n Dijkstras instead of
+  /// the n(n-1)/2 point-to-point queries a per-pair sweep pays.
+  DistanceMatrix distance_rows(const std::vector<NodeId>& sources, const Query& query = {},
+                               sim::Executor* executor = nullptr) const;
 
  private:
   struct WorkspaceLease;

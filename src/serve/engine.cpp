@@ -232,6 +232,76 @@ void execute_hamming_neighbors(const Snapshot& snap, const HammingNeighborsQuery
   response.body = std::move(result);
 }
 
+dissect::LatencyDissector make_dissector(const Snapshot& snap) {
+  // Alias the snapshot's compiled conduit graph instead of building a
+  // duplicate; the snapshot shared_ptr held by the request pins it.
+  return dissect::LatencyDissector(snap.shared_path_engine(), snap.map().nodes(),
+                                   core::Scenario::cities(), snap.scenario().row());
+}
+
+void execute_latency_dissection(const Snapshot& snap, const LatencyDissectionQuery& query,
+                                Response& response) {
+  const auto& cities = core::Scenario::cities();
+  const auto from = cities.find(query.from);
+  const auto to = cities.find(query.to);
+  if (!from || !to) {
+    fail(response, Status::NotFound, "unknown city: " + (from ? query.to : query.from));
+    return;
+  }
+  if (*from == *to) {
+    fail(response, Status::BadRequest, "latency dissection needs two distinct cities");
+    return;
+  }
+  LatencyDissectionResult result;
+  result.from = cities.city(*from).display_name();
+  result.to = cities.city(*to).display_name();
+  result.dissection = make_dissector(snap).dissect_pair(*from, *to);
+  response.body = std::move(result);
+}
+
+void execute_clatency_audit(const Snapshot& snap, const CLatencyAuditQuery& query,
+                            Response& response) {
+  if (query.top_k == 0) {
+    fail(response, Status::BadRequest, "audit top_k must be positive");
+    return;
+  }
+  if (query.target_factor < 1.0) {
+    fail(response, Status::BadRequest, "audit target factor must be >= 1");
+    return;
+  }
+  const auto& cities = core::Scenario::cities();
+  // The sweep runs serially inside this worker (no nested parallelism);
+  // the epoch-keyed cache makes repeats on the same snapshot free.
+  dissect::DissectOptions options;
+  options.target_factor = query.target_factor;
+  const auto study = make_dissector(snap).dissect(nullptr, options);
+
+  CLatencyAuditResult result;
+  result.cities = study.nodes.size();
+  result.pairs = study.pairs.size();
+  result.fiber_unreachable = study.fiber_unreachable;
+  result.median_stretch = study.median_stretch;
+  result.p95_stretch = study.p95_stretch;
+  result.within_target = study.within_target;
+  result.total_achievable_ms = study.total_achievable_ms;
+
+  std::vector<const dissect::PairDissection*> ranked;
+  ranked.reserve(study.pairs.size());
+  for (const auto& p : study.pairs) {
+    if (p.fiber_reachable && p.row_reachable) ranked.push_back(&p);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const dissect::PairDissection* a, const dissect::PairDissection* b) {
+                     return a->achievable_ms > b->achievable_ms;
+                   });
+  if (ranked.size() > query.top_k) ranked.resize(query.top_k);
+  for (const auto* p : ranked) {
+    result.top.push_back({cities.city(p->a).display_name(), cities.city(p->b).display_name(),
+                          p->clat_ms, p->achievable_ms, p->stretch});
+  }
+  response.body = std::move(result);
+}
+
 void execute_sleep(const SleepQuery& query, Response& response) {
   if (query.ms < 0.0) {
     fail(response, Status::BadRequest, "sleep duration must be non-negative");
@@ -266,6 +336,10 @@ std::string canonical_key(const Request& request) {
           key << "path:" << query.from << "|" << query.to;
         } else if constexpr (std::is_same_v<T, HammingNeighborsQuery>) {
           key << "hamming:" << query.isp << ":" << query.k;
+        } else if constexpr (std::is_same_v<T, LatencyDissectionQuery>) {
+          key << "dissect:" << query.from << "|" << query.to;
+        } else if constexpr (std::is_same_v<T, CLatencyAuditQuery>) {
+          key << "claudit:" << query.top_k << ":" << query.target_factor;
         } else if constexpr (std::is_same_v<T, SleepQuery>) {
           key << "sleep:" << query.ms;
         }
@@ -314,6 +388,10 @@ void Engine::execute(const Snapshot& snapshot, const Request& request,
           execute_city_path(snapshot, query, response);
         } else if constexpr (std::is_same_v<T, HammingNeighborsQuery>) {
           execute_hamming_neighbors(snapshot, query, response);
+        } else if constexpr (std::is_same_v<T, LatencyDissectionQuery>) {
+          execute_latency_dissection(snapshot, query, response);
+        } else if constexpr (std::is_same_v<T, CLatencyAuditQuery>) {
+          execute_clatency_audit(snapshot, query, response);
         } else if constexpr (std::is_same_v<T, SleepQuery>) {
           execute_sleep(query, response);
         }

@@ -27,6 +27,7 @@
 #include <variant>
 #include <vector>
 
+#include "dissect/dissector.hpp"
 #include "serve/cache.hpp"
 #include "serve/metrics.hpp"
 #include "serve/snapshot.hpp"
@@ -65,6 +66,23 @@ struct HammingNeighborsQuery {
   std::size_t k = 5;
 };
 
+/// Speed-of-light decomposition for one city pair: how far its best fiber
+/// path sits above c-latency, split into refraction / ROW inflation /
+/// fiber-detour components (dissect::LatencyDissector on the snapshot's
+/// conduit graph).
+struct LatencyDissectionQuery {
+  std::string from;
+  std::string to;
+};
+
+/// The all-pairs speed-of-light audit: stretch aggregates plus the top-k
+/// pairs by achievable improvement.  The full sweep runs once per
+/// snapshot epoch and is memoized; repeats are cache hits.
+struct CLatencyAuditQuery {
+  std::size_t top_k = 10;
+  double target_factor = 2.0;
+};
+
 /// Occupy a serve slot for `ms` milliseconds.  A load-testing aid (and the
 /// lever the admission-control tests use); never cached.
 struct SleepQuery {
@@ -73,7 +91,8 @@ struct SleepQuery {
 
 /// Alternative order must match serve::RequestType.
 using Request = std::variant<SharedRiskQuery, TopConduitsQuery, WhatIfCutQuery, CityPathQuery,
-                             HammingNeighborsQuery, SleepQuery>;
+                             HammingNeighborsQuery, LatencyDissectionQuery, CLatencyAuditQuery,
+                             SleepQuery>;
 
 RequestType request_type(const Request& request) noexcept;
 
@@ -136,10 +155,37 @@ struct HammingNeighborsResult {
   std::vector<HammingNeighbor> neighbors;
 };
 
+struct LatencyDissectionResult {
+  std::string from;
+  std::string to;
+  dissect::PairDissection dissection;
+};
+
+/// One audit table row, already resolved to display names.
+struct AuditPairRow {
+  std::string a;
+  std::string b;
+  double clat_ms = 0.0;
+  double achievable_ms = 0.0;
+  double stretch = 0.0;
+};
+
+struct CLatencyAuditResult {
+  std::size_t cities = 0;
+  std::size_t pairs = 0;
+  std::size_t fiber_unreachable = 0;
+  double median_stretch = 0.0;
+  double p95_stretch = 0.0;
+  std::size_t within_target = 0;
+  double total_achievable_ms = 0.0;
+  std::vector<AuditPairRow> top;  ///< ranked by achievable improvement
+};
+
 struct SleepResult {};
 
 using ResponseBody = std::variant<SharedRiskResult, TopConduitsResult, WhatIfCutResult,
-                                  CityPathResult, HammingNeighborsResult, SleepResult>;
+                                  CityPathResult, HammingNeighborsResult, LatencyDissectionResult,
+                                  CLatencyAuditResult, SleepResult>;
 
 enum class Status : std::uint8_t {
   Ok,

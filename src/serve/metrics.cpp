@@ -13,6 +13,8 @@ const char* request_type_name(RequestType type) noexcept {
     case RequestType::WhatIfCut: return "what-if-cut";
     case RequestType::CityPath: return "city-path";
     case RequestType::HammingNeighbors: return "hamming-neighbors";
+    case RequestType::LatencyDissection: return "latency-dissection";
+    case RequestType::CLatencyAudit: return "clat-audit";
     case RequestType::Sleep: return "sleep";
   }
   return "unknown";

@@ -21,9 +21,11 @@ enum class RequestType : std::uint8_t {
   WhatIfCut,
   CityPath,
   HammingNeighbors,
+  LatencyDissection,
+  CLatencyAudit,
   Sleep,
 };
-inline constexpr std::size_t kNumRequestTypes = 6;
+inline constexpr std::size_t kNumRequestTypes = 8;
 
 const char* request_type_name(RequestType type) noexcept;
 

@@ -79,6 +79,12 @@ class Snapshot {
   /// else here, so any number of request threads may query it.
   const route::PathEngine& path_engine() const noexcept { return *path_engine_; }
 
+  /// Shared handle to the same engine, for consumers (dissect/) that
+  /// alias it instead of compiling a duplicate.
+  std::shared_ptr<const route::PathEngine> shared_path_engine() const noexcept {
+    return path_engine_;
+  }
+
  private:
   friend class SnapshotStore;
   Snapshot() = default;

@@ -1,0 +1,165 @@
+// The all-pairs latency dissection on the canonical world: decomposition
+// identities, ordering invariants, sweep-vs-point-query agreement, and
+// the serial-vs-parallel bit-identity of the batched sweep.
+#include "dissect/dissector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "geo/latency.hpp"
+#include "sim/executor.hpp"
+#include "test_support.hpp"
+
+namespace intertubes::dissect {
+namespace {
+
+const LatencyDissector& dissector() {
+  static const LatencyDissector d(testing::shared_scenario().map(), core::Scenario::cities(),
+                                  testing::shared_scenario().row());
+  return d;
+}
+
+/// The serial study, shared across tests (the sweep is the expensive part).
+const DissectionStudy& study() {
+  static const DissectionStudy s = dissector().dissect();
+  return s;
+}
+
+TEST(DissectStudy, PairListCoversAllUnorderedPairs) {
+  const std::size_t n = dissector().nodes().size();
+  ASSERT_GE(n, 2u);
+  EXPECT_EQ(study().pairs.size(), n * (n - 1) / 2);
+  // (i, j > i) row-major order, endpoints ascending within each pair.
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j, ++idx) {
+      EXPECT_EQ(study().pairs[idx].a, dissector().nodes()[i]);
+      EXPECT_EQ(study().pairs[idx].b, dissector().nodes()[j]);
+    }
+  }
+}
+
+TEST(DissectStudy, ComponentsSumToFiberDelay) {
+  // clat + refraction + ROW inflation + detour == fiber, and the stacked
+  // bounds hold: clat <= los <= row <= fiber.
+  std::size_t both = 0;
+  for (const auto& p : study().pairs) {
+    EXPECT_GT(p.clat_ms, 0.0);
+    EXPECT_LE(p.clat_ms, p.los_ms);
+    EXPECT_LE(p.los_ms, p.row_ms + 1e-9);
+    if (!p.fiber_reachable || !p.row_reachable) continue;
+    ++both;
+    EXPECT_LE(p.row_ms, p.fiber_ms + 1e-9);
+    EXPECT_NEAR(p.clat_ms + p.refraction_ms + p.row_inflation_ms + p.detour_ms, p.fiber_ms,
+                1e-9);
+    EXPECT_NEAR(p.achievable_ms, std::max(0.0, p.detour_ms), 1e-12);
+    EXPECT_NEAR(p.stretch, p.fiber_ms / p.clat_ms, 1e-12);
+    EXPECT_GE(p.stretch, 1.0);
+  }
+  EXPECT_GT(both, 0u);
+}
+
+TEST(DissectStudy, UnreachablePairsCarryInfinityNotAliases) {
+  // The Figure 12 lesson: an unreachable pair must read as +inf, never as
+  // a copy of some other series.
+  std::size_t fiber_unreachable = 0;
+  std::size_t row_unreachable = 0;
+  for (const auto& p : study().pairs) {
+    if (!p.fiber_reachable) {
+      ++fiber_unreachable;
+      EXPECT_TRUE(std::isinf(p.fiber_ms));
+      EXPECT_TRUE(std::isinf(p.stretch));
+    }
+    if (!p.row_reachable) {
+      ++row_unreachable;
+      EXPECT_TRUE(std::isinf(p.row_ms));
+    }
+  }
+  EXPECT_EQ(fiber_unreachable, study().fiber_unreachable);
+  EXPECT_EQ(row_unreachable, study().row_unreachable);
+}
+
+TEST(DissectStudy, AggregatesConsistent) {
+  const std::size_t reachable = study().pairs.size() - study().fiber_unreachable;
+  EXPECT_LE(study().within_target, reachable);
+  EXPECT_GE(study().median_stretch, 1.0);
+  EXPECT_LE(study().median_stretch, study().p95_stretch);
+  EXPECT_GE(study().total_achievable_ms, 0.0);
+  double sum = 0.0;
+  for (const auto& p : study().pairs) {
+    if (p.fiber_reachable && p.row_reachable) sum += p.achievable_ms;
+  }
+  EXPECT_NEAR(study().total_achievable_ms, sum, 1e-9);
+}
+
+TEST(DissectStudy, SweepIsBitIdenticalAtAnyThreadCount) {
+  // The acceptance contract of the batched layer: the parallel sweep must
+  // reproduce the serial study bit for bit.
+  for (std::size_t threads : {1u, 4u}) {
+    sim::Executor executor(threads);
+    const auto parallel = dissector().dissect(&executor);
+    ASSERT_EQ(parallel.pairs.size(), study().pairs.size());
+    for (std::size_t i = 0; i < parallel.pairs.size(); ++i) {
+      const auto& a = study().pairs[i];
+      const auto& b = parallel.pairs[i];
+      // Bitwise comparisons (memcmp semantics via ==; +inf == +inf).
+      EXPECT_EQ(a.fiber_ms, b.fiber_ms) << "pair " << i << " at " << threads << " threads";
+      EXPECT_EQ(a.row_ms, b.row_ms);
+      EXPECT_EQ(a.detour_ms, b.detour_ms);
+      EXPECT_EQ(a.achievable_ms, b.achievable_ms);
+    }
+    EXPECT_EQ(parallel.median_stretch, study().median_stretch);
+    EXPECT_EQ(parallel.p95_stretch, study().p95_stretch);
+    EXPECT_EQ(parallel.total_achievable_ms, study().total_achievable_ms);
+    EXPECT_EQ(parallel.within_target, study().within_target);
+  }
+}
+
+TEST(DissectStudy, PointQueryMatchesSweepEntryBitwise) {
+  // dissect_pair and the sweep are the same pure function of the graphs;
+  // spot-check a spread of entries.
+  const std::size_t stride = study().pairs.size() / 7 + 1;
+  for (std::size_t i = 0; i < study().pairs.size(); i += stride) {
+    const auto& expected = study().pairs[i];
+    const auto got = dissector().dissect_pair(expected.a, expected.b);
+    EXPECT_EQ(got.fiber_ms, expected.fiber_ms);
+    EXPECT_EQ(got.row_ms, expected.row_ms);
+    EXPECT_EQ(got.clat_ms, expected.clat_ms);
+    EXPECT_EQ(got.refraction_ms, expected.refraction_ms);
+    EXPECT_EQ(got.row_inflation_ms, expected.row_inflation_ms);
+    EXPECT_EQ(got.detour_ms, expected.detour_ms);
+    EXPECT_EQ(got.stretch, expected.stretch);
+  }
+}
+
+TEST(DissectStudy, SharedEngineConstructorMatchesFreshBuild) {
+  // The serve/ path hands the dissector an already compiled conduit
+  // engine; that must be indistinguishable from building one from the map
+  // (same edges in the same order -> bitwise identical study).
+  const auto& map = testing::shared_scenario().map();
+  std::vector<route::EdgeSpec> edges;
+  for (const auto& c : map.conduits()) edges.push_back({c.a, c.b, c.length_km});
+  const auto shared = std::make_shared<const route::PathEngine>(
+      static_cast<route::NodeId>(core::Scenario::cities().size()), std::move(edges));
+  const LatencyDissector borrowed(shared, map.nodes(), core::Scenario::cities(),
+                                  testing::shared_scenario().row());
+  const auto borrowed_study = borrowed.dissect();
+  ASSERT_EQ(borrowed_study.pairs.size(), study().pairs.size());
+  for (std::size_t i = 0; i < borrowed_study.pairs.size(); ++i) {
+    EXPECT_EQ(borrowed_study.pairs[i].fiber_ms, study().pairs[i].fiber_ms);
+    EXPECT_EQ(borrowed_study.pairs[i].row_ms, study().pairs[i].row_ms);
+  }
+}
+
+TEST(DissectStudy, TargetFactorMovesWithinTargetMonotonically) {
+  DissectOptions loose;
+  loose.target_factor = 4.0;
+  const auto relaxed = dissector().dissect(nullptr, loose);
+  EXPECT_GE(relaxed.within_target, study().within_target);
+  EXPECT_EQ(relaxed.pairs.size(), study().pairs.size());
+}
+
+}  // namespace
+}  // namespace intertubes::dissect

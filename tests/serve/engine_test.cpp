@@ -346,5 +346,71 @@ TEST(ServeEngine, MixedLoadSurvivesSnapshotSwaps) {
   EXPECT_GT(served.load(), 0u);
 }
 
+TEST(ServeEngine, LatencyDissectionMatchesDirectDissector) {
+  Engine engine(shared_store(), sim::default_executor());
+  const auto response = engine.serve(LatencyDissectionQuery{"Seattle, WA", "Miami, FL"});
+  const auto& result = body_of<LatencyDissectionResult>(response);
+  EXPECT_EQ(result.from, "Seattle, WA");
+  EXPECT_EQ(result.to, "Miami, FL");
+
+  const auto& cities = core::Scenario::cities();
+  const dissect::LatencyDissector direct(testing::shared_scenario().map(), cities,
+                                         testing::shared_scenario().row());
+  const auto expected = direct.dissect_pair(*cities.find("Seattle, WA"),
+                                            *cities.find("Miami, FL"));
+  EXPECT_EQ(result.dissection.fiber_ms, expected.fiber_ms);
+  EXPECT_EQ(result.dissection.row_ms, expected.row_ms);
+  EXPECT_EQ(result.dissection.clat_ms, expected.clat_ms);
+  EXPECT_EQ(result.dissection.detour_ms, expected.detour_ms);
+  EXPECT_EQ(result.dissection.stretch, expected.stretch);
+
+  // Second ask is a cache hit with the identical body.
+  const auto hit = engine.serve(LatencyDissectionQuery{"Seattle, WA", "Miami, FL"});
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(body_of<LatencyDissectionResult>(hit).dissection.fiber_ms, expected.fiber_ms);
+}
+
+TEST(ServeEngine, LatencyDissectionRejectsBadPairs) {
+  Engine engine(shared_store(), sim::default_executor());
+  EXPECT_EQ(engine.serve(LatencyDissectionQuery{"Atlantis, XX", "Miami, FL"}).status,
+            Status::NotFound);
+  EXPECT_EQ(engine.serve(LatencyDissectionQuery{"Miami, FL", "Miami, FL"}).status,
+            Status::BadRequest);
+}
+
+TEST(ServeEngine, CLatencyAuditMatchesDirectStudyAndCaches) {
+  Engine engine(shared_store(), sim::default_executor());
+  const auto response = engine.serve(CLatencyAuditQuery{5, 2.0});
+  const auto& result = body_of<CLatencyAuditResult>(response);
+
+  const dissect::LatencyDissector direct(testing::shared_scenario().map(),
+                                         core::Scenario::cities(),
+                                         testing::shared_scenario().row());
+  const auto study = direct.dissect();
+  EXPECT_EQ(result.cities, study.nodes.size());
+  EXPECT_EQ(result.pairs, study.pairs.size());
+  EXPECT_EQ(result.median_stretch, study.median_stretch);
+  EXPECT_EQ(result.p95_stretch, study.p95_stretch);
+  EXPECT_EQ(result.within_target, study.within_target);
+  EXPECT_EQ(result.total_achievable_ms, study.total_achievable_ms);
+  ASSERT_LE(result.top.size(), 5u);
+  ASSERT_FALSE(result.top.empty());
+  // Ranked nonincreasing by achievable improvement.
+  for (std::size_t i = 1; i < result.top.size(); ++i) {
+    EXPECT_GE(result.top[i - 1].achievable_ms, result.top[i].achievable_ms);
+  }
+
+  // The sweep runs once per epoch: the repeat must be a hit.
+  EXPECT_TRUE(engine.serve(CLatencyAuditQuery{5, 2.0}).cache_hit);
+  // Different parameters are a different canonical key.
+  EXPECT_FALSE(engine.serve(CLatencyAuditQuery{3, 2.0}).cache_hit);
+}
+
+TEST(ServeEngine, CLatencyAuditRejectsBadParameters) {
+  Engine engine(shared_store(), sim::default_executor());
+  EXPECT_EQ(engine.serve(CLatencyAuditQuery{0, 2.0}).status, Status::BadRequest);
+  EXPECT_EQ(engine.serve(CLatencyAuditQuery{5, 0.5}).status, Status::BadRequest);
+}
+
 }  // namespace
 }  // namespace intertubes::serve
