@@ -27,12 +27,14 @@ import sys
 #   * serve engine throughput (queries/sec via items_per_second),
 #   * sim campaign throughput (trials/sec via items_per_second),
 #   * route engine reroute latency (cold + memoized, cpu_time),
-#   * dissect all-pairs sweep throughput (pairs_per_second counter).
+#   * dissect all-pairs sweep throughput (pairs_per_second counter),
+#   * cascade campaign throughput (trials_per_second counter).
 TRACKED = [
     ("bench_serve_engine", r".*", "items_per_second", True),
     ("bench_sim_campaign", r".*", "items_per_second", True),
     ("bench_route_engine", r".*Reroute.*", "cpu_time", False),
     ("bench_dissect", r"BM_(AllPairsBatched|DissectionSweep).*", "pairs_per_second", True),
+    ("bench_cascade", r"BM_CascadeCampaign.*", "trials_per_second", True),
 ]
 
 

@@ -27,6 +27,7 @@
 #include "serve/snapshot.hpp"
 
 #include "artifact/renderers.hpp"
+#include "cascade/cascade.hpp"
 #include "core/dataset_diff.hpp"
 #include "core/dataset_io.hpp"
 #include "dissect/dissector.hpp"
@@ -40,6 +41,7 @@
 #include "risk/cuts.hpp"
 #include "risk/geo_hazard.hpp"
 #include "risk/risk_matrix.hpp"
+#include "traceroute/l3_topology.hpp"
 #include "util/table.hpp"
 
 using namespace intertubes;
@@ -61,6 +63,9 @@ struct Args {
   std::size_t threads = 4;     ///< `serve` closed-loop client threads
   std::size_t top = 10;        ///< `dissect` audit rows
   double target = 2.0;         ///< `dissect` stretch target vs c-latency
+  std::size_t trials = 64;     ///< `cascade` Monte-Carlo trials
+  double margin = 0.25;        ///< `cascade` capacity margin
+  std::string adversary = "random";  ///< `cascade` stressor: random|targeted|hazard
   /// Parse policy for commands that read files (check, diff).  Lenient by
   /// default: quarantine bad records, report them, keep going.
   ParsePolicy policy = ParsePolicy::Lenient;
@@ -83,6 +88,8 @@ void usage(std::ostream& os) {
       "           (--requests, --threads; swaps in a what-if snapshot mid-run)\n"
       "  dissect  all-pairs speed-of-light audit + gap-closing conduit proposals\n"
       "           (--top, --target, --k)\n"
+      "  cascade  cross-layer cascade campaign + percolation sweep\n"
+      "           (--adversary, --k cuts/trial, --trials, --margin, --radius)\n"
       "  help     print this message\n"
       "\n"
       "flags:\n"
@@ -97,6 +104,9 @@ void usage(std::ostream& os) {
       "  --threads <n>  client threads for `serve` (default 4)\n"
       "  --top <n>      audit rows for `dissect` (default 10)\n"
       "  --target <f>   stretch target vs c-latency for `dissect` (default 2.0)\n"
+      "  --trials <n>   Monte-Carlo trials for `cascade` (default 64)\n"
+      "  --margin <f>   capacity margin for `cascade` (default 0.25)\n"
+      "  --adversary <a> cascade stressor: random, targeted, hazard (default random)\n"
       "  --strict       fail fast on the first malformed record\n"
       "  --lenient      quarantine malformed records and keep going (default)\n";
 }
@@ -157,6 +167,12 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.top = std::strtoul(value.c_str(), nullptr, 0);
     } else if (flag == "--target") {
       args.target = std::strtod(value.c_str(), nullptr);
+    } else if (flag == "--trials") {
+      args.trials = std::strtoul(value.c_str(), nullptr, 0);
+    } else if (flag == "--margin") {
+      args.margin = std::strtod(value.c_str(), nullptr);
+    } else if (flag == "--adversary") {
+      args.adversary = value;
     } else {
       std::cerr << "unknown flag: " << flag << "\n";
       return false;
@@ -426,6 +442,49 @@ int cmd_dissect(const core::Scenario& scenario, const Args& args) {
   return 0;
 }
 
+/// Cross-layer cascade campaign (overload-round curves + per-ISP damage)
+/// followed by a percolation sweep, both on the default executor.
+int cmd_cascade(const core::Scenario& scenario, const Args& args) {
+  if (args.trials == 0 || args.k == 0 || args.margin < 0.0) {
+    std::cerr << "cascade requires --trials >= 1, --k >= 1, --margin >= 0\n";
+    usage(std::cerr);
+    return kUsageError;
+  }
+  sim::Stressor stressor = sim::Stressor::random_cuts(args.k);
+  sim::StressorKind adversary = sim::StressorKind::RandomCuts;
+  if (args.adversary == "targeted") {
+    stressor = sim::Stressor::targeted_cuts(args.k);
+    adversary = sim::StressorKind::TargetedCuts;
+  } else if (args.adversary == "hazard") {
+    stressor = sim::Stressor::correlated_hazards(args.k, args.radius_km);
+    adversary = sim::StressorKind::CorrelatedHazards;
+  } else if (args.adversary != "random") {
+    std::cerr << "unknown adversary: " << args.adversary << " (random, targeted, hazard)\n";
+    return kUsageError;
+  }
+  const auto& cities = core::Scenario::cities();
+  auto& executor = sim::default_executor();
+  const auto l3 = traceroute::L3Topology::from_ground_truth(scenario.truth(), cities);
+  const cascade::CascadeEngine engine(scenario.map(), &l3, &cities, &scenario.row());
+
+  cascade::CascadeConfig config;
+  config.stressor = stressor;
+  config.params.capacity_margin = args.margin;
+  config.trials = args.trials;
+  config.seed = args.seed;
+  const auto report = engine.run(config, &executor);
+  std::cout << artifact::render_cascade(report, &scenario.truth().profiles());
+
+  cascade::PercolationConfig sweep_config;
+  sweep_config.adversary = adversary;
+  sweep_config.hazard_radius_km = args.radius_km;
+  sweep_config.trials = args.trials;
+  sweep_config.seed = args.seed;
+  const auto sweep = engine.percolation(sweep_config, &executor);
+  std::cout << "\n" << artifact::render_percolation(sweep);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -452,6 +511,7 @@ int main(int argc, char** argv) {
     if (args.command == "check") return cmd_check(scenario, args);
     if (args.command == "serve") return cmd_serve(scenario, args);
     if (args.command == "dissect") return cmd_dissect(scenario, args);
+    if (args.command == "cascade") return cmd_cascade(scenario, args);
     std::cerr << "unknown command: " << args.command << "\n";
     usage(std::cerr);
     return kUsageError;

@@ -177,4 +177,72 @@ std::string render_clatency_audit(const dissect::DissectionStudy& study,
   return out.str();
 }
 
+std::string render_cascade(const cascade::CascadeReport& report,
+                           const std::vector<isp::IspProfile>* profiles) {
+  std::ostringstream out;
+  out << "cascade: " << report.stressor << " — " << report.trials << " trials, capacity margin "
+      << format_double(report.params.capacity_margin, 2) << ", up to " << report.rounds
+      << " overload rounds\n\n";
+
+  TextTable table({"round", "dead mean", "dead p95", "overload", "giant", "L3 dead", "L3 reach",
+                   "delivered", "stretch"});
+  for (std::size_t r = 0; r < report.conduits_dead.points.size(); ++r) {
+    table.start_row();
+    table.add_cell(r);
+    table.add_cell(report.conduits_dead.points[r].mean, 1);
+    table.add_cell(report.conduits_dead.points[r].p95, 1);
+    table.add_cell(report.overload_failed.points[r].mean, 2);
+    table.add_cell(report.giant_component.points[r].mean, 4);
+    table.add_cell(report.l3_edges_dead.points[r].mean, 4);
+    table.add_cell(report.l3_reachability.points[r].mean, 4);
+    table.add_cell(report.demand_delivered.points[r].mean, 4);
+    // An all-undeliverable step has no finite stretch sample to show.
+    const auto& stretch = report.mean_stretch.points[r];
+    if (stretch.samples > 0) {
+      table.add_cell(stretch.mean, 3);
+    } else {
+      table.add_cell("-");
+    }
+  }
+  out << table.render("overload-round curve (across trials)");
+
+  if (!report.isp_impact.empty()) {
+    TextTable isp_table({"ISP", "mean links undeliverable", "p95", "max"});
+    for (const auto& impact : report.isp_impact) {
+      isp_table.start_row();
+      if (profiles && impact.isp < profiles->size()) {
+        isp_table.add_cell((*profiles)[impact.isp].name);
+      } else {
+        isp_table.add_cell("isp " + std::to_string(impact.isp));
+      }
+      isp_table.add_cell(impact.mean_links_lost, 2);
+      isp_table.add_cell(impact.p95_links_lost, 1);
+      isp_table.add_cell(impact.max_links_lost, 1);
+    }
+    out << "\n" << isp_table.render("per-ISP damage at the fixed point");
+  }
+  return out.str();
+}
+
+std::string render_percolation(const cascade::PercolationReport& report) {
+  std::ostringstream out;
+  out << "percolation: " << report.adversary << " — " << report.trials << " trials, "
+      << report.resolution << " grid points\n\n";
+
+  TextTable table({"fraction", "dead mean", "giant mean", "giant p5", "L3 dead", "L3 reach mean",
+                   "L3 reach p5"});
+  for (std::size_t k = 0; k < report.conduits_dead.points.size(); ++k) {
+    table.start_row();
+    table.add_cell(static_cast<double>(k) / static_cast<double>(report.resolution), 2);
+    table.add_cell(report.conduits_dead.points[k].mean, 4);
+    table.add_cell(report.giant_component.points[k].mean, 4);
+    table.add_cell(report.giant_component.points[k].p5, 4);
+    table.add_cell(report.l3_edges_dead.points[k].mean, 4);
+    table.add_cell(report.l3_reachability.points[k].mean, 4);
+    table.add_cell(report.l3_reachability.points[k].p5, 4);
+  }
+  out << table.render("structural damage vs fraction of conduits removed");
+  return out.str();
+}
+
 }  // namespace intertubes::artifact

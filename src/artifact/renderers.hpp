@@ -16,6 +16,7 @@
 
 #include <string>
 
+#include "cascade/cascade.hpp"
 #include "core/scenario.hpp"
 #include "dissect/dissector.hpp"
 #include "risk/risk_matrix.hpp"
@@ -40,5 +41,16 @@ std::string render_fig10(const core::Scenario& scenario, const risk::RiskMatrix&
 /// function of the study, so the bytes depend only on the scenario seed.
 std::string render_clatency_audit(const dissect::DissectionStudy& study,
                                   const transport::CityDatabase& cities, std::size_t top_k);
+
+/// Cross-layer cascade: per-overload-round mean/p5/p95 curves (physical
+/// fragmentation, L3 damage, demand delivery, stretch) plus the per-ISP
+/// undeliverable-demand table at the fixed point.  `profiles` (when
+/// given) supplies ISP display names.
+std::string render_cascade(const cascade::CascadeReport& report,
+                           const std::vector<isp::IspProfile>* profiles = nullptr);
+
+/// Percolation sweep: structural metrics across the fraction-removed
+/// grid for one adversary model.
+std::string render_percolation(const cascade::PercolationReport& report);
 
 }  // namespace intertubes::artifact

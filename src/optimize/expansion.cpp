@@ -55,21 +55,30 @@ struct RiskEval {
 
 /// ISP's average shared risk after min-risk re-routing of all its links,
 /// optionally with one tentative overlay edge.  Demands with no route are
-/// counted, not silently dropped.
+/// counted, not silently dropped.  Routed on the batched route_forest
+/// layer — one Dijkstra per distinct demand source instead of one per
+/// demand; every extracted tree path is bit-identical to the point query
+/// it replaces, so the greedy's choices (and the artifacts) are unchanged.
 RiskEval evaluate_avg_risk(const ExpansionGraph& graph,
                            const std::vector<route::EdgeSpec>* overlay,
-                           const std::vector<std::pair<CityId, CityId>>& endpoints,
-                           route::PathEngine::Workspace& ws) {
+                           const std::vector<std::pair<CityId, CityId>>& endpoints) {
   route::Query query;
   query.overlay = overlay;
   RiskEval eval;
+  std::vector<route::NodeId> sources;
+  sources.reserve(endpoints.size());
+  for (const auto& [a, b] : endpoints) sources.push_back(a);
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  const route::RouteForest forest = graph.engine->route_forest(sources, query);
   for (const auto& [a, b] : endpoints) {
-    const auto path = graph.engine->shortest_path(a, b, query, ws);
-    if (!path.reachable) {
+    const auto it = std::lower_bound(sources.begin(), sources.end(), a);
+    const auto row = static_cast<std::size_t>(it - sources.begin());
+    if (!forest.reachable(row, b)) {
       ++eval.unreachable;
       continue;
     }
-    eval.used.insert(path.edges.begin(), path.edges.end());
+    forest.for_each_path_edge(row, b, [&](route::EdgeId eid) { eval.used.insert(eid); });
   }
   if (eval.used.empty()) return eval;
   RunningStats stats;
@@ -110,9 +119,8 @@ ExpansionResult optimize_expansion(const FiberMap& map, const transport::RightOf
   }
   graph.rebuild();
 
-  route::PathEngine::Workspace ws;
   {
-    const RiskEval baseline = evaluate_avg_risk(graph, nullptr, endpoints, ws);
+    const RiskEval baseline = evaluate_avg_risk(graph, nullptr, endpoints);
     result.baseline_avg_shared_risk = baseline.avg;
     result.unreachable_demands = baseline.unreachable;
   }
@@ -155,7 +163,7 @@ ExpansionResult optimize_expansion(const FiberMap& map, const transport::RightOf
     // the greedy chases the remaining pain, not the original map's.
     std::unordered_map<CityId, double> pressure;
     {
-      const RiskEval current = evaluate_avg_risk(graph, nullptr, endpoints, ws);
+      const RiskEval current = evaluate_avg_risk(graph, nullptr, endpoints);
       for (route::EdgeId eid : current.used) {
         const auto& e = graph.edges[eid];
         const double excess = std::max(0.0, graph.sharing[eid] - 1.0);
@@ -193,7 +201,7 @@ ExpansionResult optimize_expansion(const FiberMap& map, const transport::RightOf
       const auto* corridor = candidates[scored[s].index];
       const std::vector<route::EdgeSpec> overlay{
           {corridor->a, corridor->b, kNewConduitSharing + 1e-4 * corridor->length_km}};
-      const RiskEval trial = evaluate_avg_risk(graph, &overlay, endpoints, ws);
+      const RiskEval trial = evaluate_avg_risk(graph, &overlay, endpoints);
       if (trial.unreachable > previous_unreachable) continue;
       const bool reconnects = trial.unreachable < best_unreachable;
       const bool lowers_risk =

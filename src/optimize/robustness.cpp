@@ -34,7 +34,35 @@ route::PathEngine build_conduit_engine(const FiberMap& map, const risk::RiskMatr
 RobustnessPlanner::RobustnessPlanner(const FiberMap& map, const risk::RiskMatrix& matrix)
     : map_(map), matrix_(matrix), engine_(build_conduit_engine(map, matrix)) {}
 
+void RobustnessPlanner::ensure_forest(sim::Executor* executor) const {
+  std::call_once(forest_once_, [&] {
+    std::vector<route::NodeId> sources;
+    sources.reserve(map_.conduits().size());
+    for (const auto& conduit : map_.conduits()) sources.push_back(conduit.a);
+    std::sort(sources.begin(), sources.end());
+    sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+
+    const route::RouteForest forest = engine_.route_forest(sources, {}, executor);
+    around_.resize(map_.conduits().size());
+    for (const auto& conduit : map_.conduits()) {
+      const auto it = std::lower_bound(sources.begin(), sources.end(), conduit.a);
+      const auto row = static_cast<std::size_t>(it - sources.begin());
+      route::Path path = forest.path_to(row, conduit.b);
+      if (path.reachable && path.edges.size() == 1 && path.edges[0] == conduit.id) {
+        // The unmasked optimum IS the target conduit — only here does the
+        // mask change the answer, so only here do we pay a point query.
+        continue;
+      }
+      around_[conduit.id] = std::make_shared<const route::Path>(std::move(path));
+    }
+    forest_built_.store(true, std::memory_order_release);
+  });
+}
+
 std::shared_ptr<const route::Path> RobustnessPlanner::route_around(ConduitId target) const {
+  if (forest_built_.load(std::memory_order_acquire)) {
+    if (const auto& cached = around_[target]) return cached;
+  }
   const auto& conduit = map_.conduit(target);
   const std::vector<route::EdgeId> mask{target};
   return router_.route(engine_, conduit.a, conduit.b, mask);
@@ -95,6 +123,7 @@ IspRobustnessSummary summarize_one(const RobustnessPlanner& planner,
 
 std::vector<IspRobustnessSummary> RobustnessPlanner::summarize_robustness(
     const std::vector<ConduitId>& targets) const {
+  ensure_forest(nullptr);
   std::vector<IspRobustnessSummary> out;
   out.reserve(map_.num_isps());
   for (IspId isp = 0; isp < map_.num_isps(); ++isp) {
@@ -105,6 +134,7 @@ std::vector<IspRobustnessSummary> RobustnessPlanner::summarize_robustness(
 
 std::vector<IspRobustnessSummary> RobustnessPlanner::summarize_robustness(
     const std::vector<ConduitId>& targets, sim::Executor& executor) const {
+  ensure_forest(&executor);
   // Slot i holds ISP i's summary: each summary is a pure function of the
   // (memoized) per-target suggestions, which are themselves deterministic,
   // so this is bit-identical to the serial overload for any thread count.
@@ -117,6 +147,7 @@ std::vector<IspRobustnessSummary> RobustnessPlanner::summarize_robustness(
 
 std::vector<PeeringSuggestion> RobustnessPlanner::suggest_peering(
     const std::vector<ConduitId>& targets, std::size_t count) const {
+  ensure_forest(nullptr);
   std::vector<PeeringSuggestion> out;
   for (IspId isp = 0; isp < map_.num_isps(); ++isp) {
     // Score candidate peers by how much low-risk capacity they would lend
@@ -210,6 +241,7 @@ NetworkWideGain fold_gain(const FiberMap& map, const risk::RiskMatrix& matrix,
 }  // namespace
 
 NetworkWideGain RobustnessPlanner::network_wide_gain(std::size_t top_count) const {
+  ensure_forest(nullptr);
   std::vector<GainObservation> obs;
   obs.reserve(map_.conduits().size());
   for (const auto& conduit : map_.conduits()) {
@@ -220,6 +252,7 @@ NetworkWideGain RobustnessPlanner::network_wide_gain(std::size_t top_count) cons
 
 NetworkWideGain RobustnessPlanner::network_wide_gain(std::size_t top_count,
                                                      sim::Executor& executor) const {
+  ensure_forest(&executor);
   const auto obs = executor.parallel_map<GainObservation>(
       map_.conduits().size(),
       [&](std::size_t cid) { return observe_conduit(*this, map_.conduits()[cid]); });

@@ -21,6 +21,8 @@
 // functions below are single-shot wrappers that build a private planner.
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <vector>
 
 #include "core/fiber_map.hpp"
@@ -109,10 +111,26 @@ class RobustnessPlanner {
   std::shared_ptr<const route::Path> route_around(core::ConduitId target) const;
   RerouteSuggestion build_suggestion(core::ConduitId target, isp::IspId isp) const;
 
+  /// Build the batched reroute table once: one unmasked route_forest row
+  /// per distinct conduit endpoint answers route_around for every target
+  /// whose unmasked shortest path does not ride the target itself (the
+  /// canonical tie-breaks freeze those paths, so masking the unused edge
+  /// changes nothing).  Targets whose endpoints' best path IS the direct
+  /// edge keep the memoized masked point query.  Bit-identical to the
+  /// query-per-target path; batch entry points call this, the single-shot
+  /// suggest_reroute stays lazy-free.
+  void ensure_forest(sim::Executor* executor) const;
+
   const core::FiberMap& map_;
   const risk::RiskMatrix& matrix_;
   route::PathEngine engine_;
   mutable route::MemoizedRouter router_;
+
+  mutable std::once_flag forest_once_;
+  mutable std::atomic<bool> forest_built_{false};
+  /// [target] → precomputed reroute path; null when the target must fall
+  /// back to the masked point query (direct-edge case).
+  mutable std::vector<std::shared_ptr<const route::Path>> around_;
 };
 
 /// Single-shot wrappers (each builds a private RobustnessPlanner; batch

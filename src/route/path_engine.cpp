@@ -216,6 +216,42 @@ void PathEngine::distances_into(NodeId from, const Query& query, Workspace& ws,
   }
 }
 
+void PathEngine::forest_into(NodeId from, const Query& query, Workspace& ws, double* dist,
+                             EdgeId* via_edge, NodeId* via_node) const {
+  run_dijkstra(from, kNoNode, query, ws);
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    if (ws.node_gen_[n] == ws.generation_) {
+      dist[n] = ws.dist_[n];
+      via_edge[n] = ws.via_edge_[n];
+      via_node[n] = ws.via_node_[n];
+    } else {
+      dist[n] = kInf;
+      via_edge[n] = kNoEdge;
+      via_node[n] = kNoNode;
+    }
+  }
+}
+
+Path RouteForest::path_to(std::size_t source_index, NodeId to) const {
+  // Mirrors PathEngine::reconstruct: an unreached target yields the
+  // default (unreachable) Path; from == to yields the trivial one.
+  Path path;
+  if (!reachable(source_index, to)) return path;
+  const std::size_t base = source_index * stride;
+  path.reachable = true;
+  path.cost = dist[base + to];
+  NodeId cur = to;
+  path.nodes.push_back(cur);
+  while (via_node[base + cur] != kNoNode) {
+    path.edges.push_back(via_edge[base + cur]);
+    cur = via_node[base + cur];
+    path.nodes.push_back(cur);
+  }
+  std::reverse(path.edges.begin(), path.edges.end());
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  return path;
+}
+
 /// RAII lease on the engine's workspace pool: pop under the lock, push
 /// back on destruction, so the convenience overloads stay allocation-free
 /// after warm-up without per-engine thread affinity.
@@ -268,6 +304,31 @@ DistanceMatrix PathEngine::distance_rows(const std::vector<NodeId>& sources, con
     executor->for_each_chunk(0, sources.size(), /*chunk=*/0, fill);
   }
   return matrix;
+}
+
+RouteForest PathEngine::route_forest(const std::vector<NodeId>& sources, const Query& query,
+                                     sim::Executor* executor) const {
+  for (NodeId s : sources) IT_CHECK(s < num_nodes_);
+  RouteForest forest;
+  forest.sources = sources;
+  forest.stride = num_nodes_;
+  forest.dist.resize(sources.size() * num_nodes_);
+  forest.via_edge.resize(sources.size() * num_nodes_);
+  forest.via_node.resize(sources.size() * num_nodes_);
+  const auto fill = [&](std::size_t begin, std::size_t end) {
+    WorkspaceLease lease(*this);
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t base = i * num_nodes_;
+      forest_into(sources[i], query, *lease.ws, forest.dist.data() + base,
+                  forest.via_edge.data() + base, forest.via_node.data() + base);
+    }
+  };
+  if (executor == nullptr || sources.size() < 2) {
+    fill(0, sources.size());
+  } else {
+    executor->for_each_chunk(0, sources.size(), /*chunk=*/0, fill);
+  }
+  return forest;
 }
 
 }  // namespace intertubes::route

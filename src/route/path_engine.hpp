@@ -85,6 +85,46 @@ struct DistanceMatrix {
   }
 };
 
+/// Dense shortest-path forests for many sources against one shared query —
+/// the parent-carrying sibling of DistanceMatrix.  Row i holds the full
+/// Dijkstra tree of sources[i]: distance, incoming edge, and predecessor
+/// per node, so consumers can materialize any tree path (or just walk its
+/// edge ids) without re-running a point-to-point query.  Every extracted
+/// path is bit-identical to shortest_path(sources[i], to, query): the
+/// canonical tie-breaks freeze a settled node's parent, so the full run
+/// and the early-exit run agree on every node settled before `to`.
+struct RouteForest {
+  std::vector<double> dist;      ///< row-major num_sources x stride, +inf unreached
+  std::vector<EdgeId> via_edge;  ///< incoming edge; kNoEdge at the source / unreached
+  std::vector<NodeId> via_node;  ///< predecessor; kNoNode at the source / unreached
+  std::vector<NodeId> sources;
+  std::size_t stride = 0;        ///< = engine.num_nodes()
+
+  double dist_at(std::size_t source_index, NodeId node) const noexcept {
+    return dist[source_index * stride + node];
+  }
+  bool reachable(std::size_t source_index, NodeId node) const noexcept {
+    return via_node[source_index * stride + node] != kNoNode ||
+           sources[source_index] == node;
+  }
+
+  /// The tree path sources[source_index] → to, bit-identical to the
+  /// point-to-point query under the forest's own Query.
+  Path path_to(std::size_t source_index, NodeId to) const;
+
+  /// Visit the edge ids on the tree path to → source (leaf-to-root order,
+  /// no allocation).  No-op when `to` is unreached or the source itself.
+  template <typename Fn>
+  void for_each_path_edge(std::size_t source_index, NodeId to, const Fn& fn) const {
+    const std::size_t base = source_index * stride;
+    NodeId cur = to;
+    while (via_node[base + cur] != kNoNode) {
+      fn(via_edge[base + cur]);
+      cur = via_node[base + cur];
+    }
+  }
+};
+
 /// Per-query perturbations.  All pointers are borrowed for the duration of
 /// the call and may be null.
 struct Query {
@@ -147,6 +187,12 @@ class PathEngine {
   /// generation-stamped scratch pass, no output vector per source).
   void distances_into(NodeId from, const Query& query, Workspace& ws, double* out) const;
 
+  /// Fill one forest row (distance + incoming edge + predecessor per
+  /// node) from `from` — the row primitive route_forest() is built on.
+  /// All three output spans cover [0 .. num_nodes()).
+  void forest_into(NodeId from, const Query& query, Workspace& ws, double* dist,
+                   EdgeId* via_edge, NodeId* via_node) const;
+
   /// Batched many-to-many sweep: one full Dijkstra per source, written
   /// into a flat row-major matrix.  When `executor` is non-null the
   /// sources fan out over its chunked parallel region with one leased
@@ -156,6 +202,14 @@ class PathEngine {
   /// the n(n-1)/2 point-to-point queries a per-pair sweep pays.
   DistanceMatrix distance_rows(const std::vector<NodeId>& sources, const Query& query = {},
                                sim::Executor* executor = nullptr) const;
+
+  /// Batched shortest-path forests: one full Dijkstra per source with the
+  /// parent arrays kept, so callers that need the *paths* of a fan-out
+  /// (load accumulation, used-edge sets, reroute suggestions) pay one row
+  /// per source instead of one point-to-point query per pair.  Same
+  /// executor fan-out and determinism contract as distance_rows.
+  RouteForest route_forest(const std::vector<NodeId>& sources, const Query& query = {},
+                           sim::Executor* executor = nullptr) const;
 
  private:
   struct WorkspaceLease;

@@ -302,6 +302,53 @@ void execute_clatency_audit(const Snapshot& snap, const CLatencyAuditQuery& quer
   response.body = std::move(result);
 }
 
+void execute_what_if_cascade(const Snapshot& snap, const WhatIfCascadeQuery& query,
+                             Response& response) {
+  if (query.cuts.empty()) {
+    fail(response, Status::BadRequest, "what-if-cascade needs at least one conduit");
+    return;
+  }
+  if (query.capacity_margin < 0.0) {
+    fail(response, Status::BadRequest, "capacity margin must be non-negative");
+    return;
+  }
+  if (query.max_rounds == 0 || query.max_rounds > 64) {
+    fail(response, Status::BadRequest, "max_rounds must be in [1, 64]");
+    return;
+  }
+  const auto& map = snap.map();
+  std::vector<core::ConduitId> cuts = query.cuts;
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  if (cuts.back() >= map.conduits().size()) {
+    fail(response, Status::BadRequest,
+         "conduit id " + std::to_string(cuts.back()) + " out of range");
+    return;
+  }
+  cascade::CascadeParams params;
+  params.capacity_margin = query.capacity_margin;
+  params.max_rounds = query.max_rounds;
+  const auto outcome = snap.cascade_engine().run_cascade(cuts, params);
+  const auto& fixed = outcome.rounds.back();
+
+  WhatIfCascadeResult result;
+  result.conduits_cut = cuts.size();
+  result.rounds = outcome.fixed_point_round;
+  result.converged = outcome.converged;
+  result.overload_failures = outcome.overload_failures;
+  result.conduits_dead = fixed.conduits_dead;
+  result.giant_component = fixed.giant_component;
+  result.l3_edges_dead = fixed.l3_edges_dead;
+  result.l3_reachability = fixed.l3_reachability;
+  result.demand_delivered = fixed.demand_delivered;
+  result.mean_stretch = fixed.mean_stretch;
+  for (std::uint32_t lost : outcome.isp_links_lost) {
+    result.links_undeliverable += lost;
+    if (lost > 0) ++result.isps_hit;
+  }
+  response.body = std::move(result);
+}
+
 void execute_sleep(const SleepQuery& query, Response& response) {
   if (query.ms < 0.0) {
     fail(response, Status::BadRequest, "sleep duration must be non-negative");
@@ -340,6 +387,13 @@ std::string canonical_key(const Request& request) {
           key << "dissect:" << query.from << "|" << query.to;
         } else if constexpr (std::is_same_v<T, CLatencyAuditQuery>) {
           key << "claudit:" << query.top_k << ":" << query.target_factor;
+        } else if constexpr (std::is_same_v<T, WhatIfCascadeQuery>) {
+          auto cuts = query.cuts;
+          std::sort(cuts.begin(), cuts.end());
+          cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+          key << "cascade:";
+          for (std::size_t i = 0; i < cuts.size(); ++i) key << (i ? "," : "") << cuts[i];
+          key << ";m=" << query.capacity_margin << ";r=" << query.max_rounds;
         } else if constexpr (std::is_same_v<T, SleepQuery>) {
           key << "sleep:" << query.ms;
         }
@@ -392,6 +446,8 @@ void Engine::execute(const Snapshot& snapshot, const Request& request,
           execute_latency_dissection(snapshot, query, response);
         } else if constexpr (std::is_same_v<T, CLatencyAuditQuery>) {
           execute_clatency_audit(snapshot, query, response);
+        } else if constexpr (std::is_same_v<T, WhatIfCascadeQuery>) {
+          execute_what_if_cascade(snapshot, query, response);
         } else if constexpr (std::is_same_v<T, SleepQuery>) {
           execute_sleep(query, response);
         }

@@ -83,6 +83,15 @@ struct CLatencyAuditQuery {
   double target_factor = 2.0;
 };
 
+/// What-if with dynamics: sever these conduits and run the capacity-aware
+/// overload cascade (cascade::CascadeEngine on the snapshot's shared
+/// conduit graph) to its fixed point, reporting cross-layer damage.
+struct WhatIfCascadeQuery {
+  std::vector<core::ConduitId> cuts;
+  double capacity_margin = 0.25;
+  std::size_t max_rounds = 8;
+};
+
 /// Occupy a serve slot for `ms` milliseconds.  A load-testing aid (and the
 /// lever the admission-control tests use); never cached.
 struct SleepQuery {
@@ -92,7 +101,7 @@ struct SleepQuery {
 /// Alternative order must match serve::RequestType.
 using Request = std::variant<SharedRiskQuery, TopConduitsQuery, WhatIfCutQuery, CityPathQuery,
                              HammingNeighborsQuery, LatencyDissectionQuery, CLatencyAuditQuery,
-                             SleepQuery>;
+                             WhatIfCascadeQuery, SleepQuery>;
 
 RequestType request_type(const Request& request) noexcept;
 
@@ -181,11 +190,28 @@ struct CLatencyAuditResult {
   std::vector<AuditPairRow> top;  ///< ranked by achievable improvement
 };
 
+/// The cascade's fixed point, summarized.  `rounds` counts overload waves
+/// after the initial cut (0 = the cut alone never overloaded anything).
+struct WhatIfCascadeResult {
+  std::size_t conduits_cut = 0;
+  std::size_t rounds = 0;
+  bool converged = true;  ///< false if stopped at max_rounds still overloading
+  std::vector<core::ConduitId> overload_failures;  ///< failed by load, ascending
+  std::size_t conduits_dead = 0;  ///< cut + overload-failed at the fixed point
+  double giant_component = 1.0;
+  double l3_edges_dead = 0.0;
+  double l3_reachability = 1.0;
+  double demand_delivered = 1.0;
+  double mean_stretch = 1.0;  ///< +inf when nothing is deliverable
+  std::size_t links_undeliverable = 0;
+  std::size_t isps_hit = 0;  ///< distinct ISPs with >= 1 undeliverable link
+};
+
 struct SleepResult {};
 
 using ResponseBody = std::variant<SharedRiskResult, TopConduitsResult, WhatIfCutResult,
                                   CityPathResult, HammingNeighborsResult, LatencyDissectionResult,
-                                  CLatencyAuditResult, SleepResult>;
+                                  CLatencyAuditResult, WhatIfCascadeResult, SleepResult>;
 
 enum class Status : std::uint8_t {
   Ok,

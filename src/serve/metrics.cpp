@@ -15,6 +15,7 @@ const char* request_type_name(RequestType type) noexcept {
     case RequestType::HammingNeighbors: return "hamming-neighbors";
     case RequestType::LatencyDissection: return "latency-dissection";
     case RequestType::CLatencyAudit: return "clat-audit";
+    case RequestType::WhatIfCascade: return "what-if-cascade";
     case RequestType::Sleep: return "sleep";
   }
   return "unknown";

@@ -23,9 +23,10 @@ enum class RequestType : std::uint8_t {
   HammingNeighbors,
   LatencyDissection,
   CLatencyAudit,
+  WhatIfCascade,
   Sleep,
 };
-inline constexpr std::size_t kNumRequestTypes = 8;
+inline constexpr std::size_t kNumRequestTypes = 9;
 
 const char* request_type_name(RequestType type) noexcept;
 

@@ -25,6 +25,11 @@ void Snapshot::derive() {
   // After this, every const query on the map is write-free and may run
   // from any number of threads concurrently.
   map_.prepare_for_concurrent_reads();
+  // The cascade engine aliases path_engine_ (edge id == conduit id holds
+  // by construction above) and snapshots the demand substrate once here,
+  // so what-if-cascade requests pay only the overload rounds.
+  cascade_ = std::make_shared<const cascade::CascadeEngine>(
+      map_, l3_.get(), &core::Scenario::cities(), &scenario_->row(), path_engine_);
 }
 
 std::shared_ptr<Snapshot> Snapshot::build(std::shared_ptr<const core::Scenario> scenario,

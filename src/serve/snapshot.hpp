@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "cascade/cascade.hpp"
 #include "core/scenario.hpp"
 #include "risk/risk_matrix.hpp"
 #include "route/path_engine.hpp"
@@ -85,6 +86,12 @@ class Snapshot {
     return path_engine_;
   }
 
+  /// Cross-layer cascade engine over this snapshot's map, aliasing the
+  /// snapshot's compiled path engine (the demand substrate and capacities
+  /// are precomputed at derive() time, so per-request work is just the
+  /// overload rounds).
+  const cascade::CascadeEngine& cascade_engine() const noexcept { return *cascade_; }
+
  private:
   friend class SnapshotStore;
   Snapshot() = default;
@@ -100,6 +107,7 @@ class Snapshot {
   std::vector<std::size_t> sharing_table_;
   std::vector<risk::RiskMatrix::IspRisk> risk_ranking_;
   std::shared_ptr<const route::PathEngine> path_engine_;
+  std::shared_ptr<const cascade::CascadeEngine> cascade_;
   std::size_t links_severed_ = 0;
 };
 

@@ -126,8 +126,9 @@ void CampaignEngine::connectivity(const std::vector<char>& dead, double& pair_fr
   pair_fraction = total_pairs > 0.0 ? connected_pairs / total_pairs : 1.0;
 }
 
-TrialResult CampaignEngine::run_trial(const Stressor& stressor, std::uint64_t seed,
-                                      std::size_t trial) const {
+std::vector<std::vector<ConduitId>> CampaignEngine::draw_cuts(const Stressor& stressor,
+                                                              std::uint64_t seed,
+                                                              std::size_t trial) const {
   const std::size_t num_conduits = map_.conduits().size();
   Rng rng = substream_rng(seed ^ stressor_salt(stressor.kind), trial);
 
@@ -142,6 +143,27 @@ TrialResult CampaignEngine::run_trial(const Stressor& stressor, std::uint64_t se
     IT_CHECK_MSG(cities_ && row_,
                  "CorrelatedHazards needs a CityDatabase and RightOfWayRegistry");
   }
+
+  std::vector<std::vector<ConduitId>> cuts(stressor.steps);
+  for (std::size_t step = 1; step <= stressor.steps; ++step) {
+    if (stressor.kind == StressorKind::CorrelatedHazards) {
+      const auto anchor = cities_->city(static_cast<CityId>(rng.weighted_pick(city_weights_)));
+      risk::HazardRegion region;
+      region.center = geo::destination(anchor.location, rng.uniform(0.0, 360.0),
+                                       std::abs(rng.normal(0.0, stressor.hazard_radius_km)));
+      region.radius_km = stressor.hazard_radius_km;
+      cuts[step - 1] = risk::conduits_in_region(map_, *row_, region);
+    } else if (step - 1 < order.size()) {
+      cuts[step - 1].push_back(order[step - 1]);
+    }
+  }
+  return cuts;
+}
+
+TrialResult CampaignEngine::run_trial(const Stressor& stressor, std::uint64_t seed,
+                                      std::size_t trial) const {
+  const std::size_t num_conduits = map_.conduits().size();
+  const auto cut_sets = draw_cuts(stressor, seed, trial);
 
   TrialResult result;
   result.isp_links_lost.assign(map_.num_isps(), 0);
@@ -174,17 +196,7 @@ TrialResult CampaignEngine::run_trial(const Stressor& stressor, std::uint64_t se
 
   for (std::size_t step = 0; step <= stressor.steps; ++step) {
     if (step > 0) {
-      if (stressor.kind == StressorKind::CorrelatedHazards) {
-        const auto anchor =
-            cities_->city(static_cast<CityId>(rng.weighted_pick(city_weights_)));
-        risk::HazardRegion region;
-        region.center = geo::destination(anchor.location, rng.uniform(0.0, 360.0),
-                                         std::abs(rng.normal(0.0, stressor.hazard_radius_km)));
-        region.radius_km = stressor.hazard_radius_km;
-        for (ConduitId cid : risk::conduits_in_region(map_, *row_, region)) kill(cid);
-      } else if (step - 1 < order.size()) {
-        kill(order[step - 1]);
-      }
+      for (ConduitId cid : cut_sets[step - 1]) kill(cid);
     }
     TrialPoint point;
     point.conduits_down = conduits_down;

@@ -76,6 +76,15 @@ class CampaignEngine {
   /// One trial, a pure function of (stressor, seed, trial).
   TrialResult run_trial(const Stressor& stressor, std::uint64_t seed, std::size_t trial) const;
 
+  /// The per-step cut draws of one trial: entry s holds the conduits the
+  /// stressor strikes at step s+1 (one id for cut stressors — empty past
+  /// the end of the failure order — or a whole disaster disc for
+  /// CorrelatedHazards; ids may repeat across steps).  Consumes exactly
+  /// the RNG stream run_trial does, so replaying these draws elsewhere
+  /// (the cascade engine) stays bit-compatible with the campaign.
+  std::vector<std::vector<core::ConduitId>> draw_cuts(const Stressor& stressor, std::uint64_t seed,
+                                                      std::size_t trial) const;
+
   /// Run the full campaign on `executor` and aggregate in trial order.
   CampaignReport run(const CampaignConfig& config, Executor& executor) const;
 

@@ -1,6 +1,8 @@
 #include "sim/report.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "util/check.hpp"
 #include "util/stats.hpp"
@@ -8,10 +10,56 @@
 
 namespace intertubes::sim {
 
+CurvePoint aggregate_samples(const std::vector<double>& values, InfPolicy policy,
+                             double saturate_cap) {
+  std::vector<double> kept;
+  kept.reserve(values.size());
+  double sum = 0.0;
+  for (double v : values) {  // ordered accumulation
+    if (!std::isfinite(v)) {
+      if (policy == InfPolicy::Exclude) continue;
+      v = saturate_cap;
+    }
+    kept.push_back(v);
+    sum += v;
+  }
+  CurvePoint point;
+  point.samples = kept.size();
+  if (kept.empty()) {
+    point.mean = point.p5 = point.p50 = point.p95 = std::numeric_limits<double>::infinity();
+    return point;
+  }
+  point.mean = sum / static_cast<double>(kept.size());
+  point.p5 = percentile(kept, 5.0);
+  point.p50 = percentile(kept, 50.0);
+  point.p95 = percentile(std::move(kept), 95.0);
+  return point;
+}
+
+MetricCurve aggregate_series(const std::vector<std::vector<double>>& series, std::string name,
+                             InfPolicy policy, double saturate_cap) {
+  IT_CHECK(!series.empty());
+  const std::size_t steps = series.front().size();
+  for (const auto& trial : series) {
+    IT_CHECK_MSG(trial.size() == steps, "series disagree on step count");
+  }
+  MetricCurve curve;
+  curve.name = std::move(name);
+  curve.points.resize(steps);
+  std::vector<double> values(series.size());
+  for (std::size_t step = 0; step < steps; ++step) {
+    for (std::size_t t = 0; t < series.size(); ++t) values[t] = series[t][step];
+    curve.points[step] = aggregate_samples(values, policy, saturate_cap);
+  }
+  return curve;
+}
+
 namespace {
 
 /// Aggregate one metric: extract(trial, step) sampled across trials in
-/// trial order, reduced to a CurvePoint per step.
+/// trial order, reduced to a CurvePoint per step.  Campaign metrics are
+/// always finite, so the Exclude policy is a no-op here — this is the
+/// same code path the +inf-carrying cascade curves harden.
 template <typename Extract>
 MetricCurve aggregate_metric(const std::vector<TrialResult>& trials, std::size_t steps,
                              std::string name, const Extract& extract) {
@@ -20,16 +68,10 @@ MetricCurve aggregate_metric(const std::vector<TrialResult>& trials, std::size_t
   curve.points.resize(steps);
   std::vector<double> values(trials.size());
   for (std::size_t step = 0; step < steps; ++step) {
-    double sum = 0.0;
-    for (std::size_t t = 0; t < trials.size(); ++t) {  // ordered accumulation
+    for (std::size_t t = 0; t < trials.size(); ++t) {
       values[t] = extract(trials[t].points[step]);
-      sum += values[t];
     }
-    auto& point = curve.points[step];
-    point.mean = sum / static_cast<double>(trials.size());
-    point.p5 = percentile(values, 5.0);
-    point.p50 = percentile(values, 50.0);
-    point.p95 = percentile(values, 95.0);
+    curve.points[step] = aggregate_samples(values, InfPolicy::Exclude);
   }
   return curve;
 }
@@ -64,28 +106,40 @@ CampaignReport aggregate_trials(const std::vector<TrialResult>& trials, std::siz
     return p.weight_lost;
   });
 
-  std::vector<double> losses(trials.size());
+  std::vector<std::vector<std::uint32_t>> losses(trials.size());
+  for (std::size_t t = 0; t < trials.size(); ++t) losses[t] = trials[t].isp_links_lost;
+  report.isp_impact = aggregate_isp_impact(losses, num_isps);
+  return report;
+}
+
+std::vector<IspImpact> aggregate_isp_impact(const std::vector<std::vector<std::uint32_t>>& losses,
+                                            std::size_t num_isps) {
+  IT_CHECK(!losses.empty());
+  for (const auto& trial : losses) {
+    IT_CHECK_MSG(trial.size() == num_isps, "trials disagree on ISP count");
+  }
+  std::vector<IspImpact> table;
+  std::vector<double> values(losses.size());
   for (isp::IspId i = 0; i < num_isps; ++i) {
     double sum = 0.0;
     double worst = 0.0;
-    for (std::size_t t = 0; t < trials.size(); ++t) {
-      losses[t] = static_cast<double>(trials[t].isp_links_lost[i]);
-      sum += losses[t];
-      worst = std::max(worst, losses[t]);
+    for (std::size_t t = 0; t < losses.size(); ++t) {
+      values[t] = static_cast<double>(losses[t][i]);
+      sum += values[t];
+      worst = std::max(worst, values[t]);
     }
     if (worst <= 0.0) continue;
     IspImpact impact;
     impact.isp = i;
-    impact.mean_links_lost = sum / static_cast<double>(trials.size());
-    impact.p95_links_lost = percentile(losses, 95.0);
+    impact.mean_links_lost = sum / static_cast<double>(losses.size());
+    impact.p95_links_lost = percentile(values, 95.0);
     impact.max_links_lost = worst;
-    report.isp_impact.push_back(impact);
+    table.push_back(impact);
   }
-  std::stable_sort(report.isp_impact.begin(), report.isp_impact.end(),
-                   [](const IspImpact& a, const IspImpact& b) {
-                     return a.mean_links_lost > b.mean_links_lost;
-                   });
-  return report;
+  std::stable_sort(table.begin(), table.end(), [](const IspImpact& a, const IspImpact& b) {
+    return a.mean_links_lost > b.mean_links_lost;
+  });
+  return table;
 }
 
 std::string render_report(const CampaignReport& report,

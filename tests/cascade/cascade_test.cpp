@@ -1,0 +1,215 @@
+// Unit suite for the cross-layer cascade engine: exact fixed points on
+// the hand-built barbell fixture (where every load and capacity is
+// computable by eye), monotonicity invariants at scenario scale, trial
+// padding, and the percolation grid endpoints.
+#include "cascade/cascade.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "artifact/renderers.hpp"
+#include "risk/risk_matrix.hpp"
+#include "sim/executor.hpp"
+#include "test_support.hpp"
+#include "traceroute/l3_topology.hpp"
+
+namespace intertubes::cascade {
+namespace {
+
+using core::ConduitId;
+
+/// Barbell (prop::barbell_map): path 0-1-2 over bridge conduits 0=(0,1)
+/// and 1=(1,2); cycle 2-3-4-2 over conduits 2=(2,3), 3=(3,4), 4=(4,2).
+/// Demands: ISP 0 rides {0,1}; ISP 1 rides {2,3} and {4}.  Every conduit
+/// is 100 km and carries exactly one unit of baseline load.
+const CascadeEngine& barbell_engine() {
+  static const core::FiberMap* map = new core::FiberMap(prop::barbell_map());
+  static const CascadeEngine* engine = new CascadeEngine(*map);
+  return *engine;
+}
+
+/// Scenario-scale engine with the L3 topology attached.
+const CascadeEngine& scenario_engine() {
+  static const auto* l3 = new traceroute::L3Topology(traceroute::L3Topology::from_ground_truth(
+      testing::shared_scenario().truth(), core::Scenario::cities()));
+  static const CascadeEngine* engine =
+      new CascadeEngine(testing::shared_scenario().map(), l3, &core::Scenario::cities(),
+                        &testing::shared_scenario().row());
+  return *engine;
+}
+
+TEST(Cascade, BaselineWorldIsAFixedPoint) {
+  const auto& engine = barbell_engine();
+  EXPECT_EQ(engine.num_demands(), 3u);
+  EXPECT_EQ(engine.baseline_load(), (std::vector<std::uint32_t>{1, 1, 1, 1, 1}));
+
+  const auto outcome = engine.run_cascade({}, {});
+  ASSERT_EQ(outcome.rounds.size(), 1u);
+  EXPECT_TRUE(outcome.converged);
+  EXPECT_EQ(outcome.fixed_point_round, 0u);
+  EXPECT_TRUE(outcome.overload_failures.empty());
+  const auto& point = outcome.rounds[0];
+  EXPECT_EQ(point.conduits_dead, 0u);
+  EXPECT_DOUBLE_EQ(point.giant_component, 1.0);
+  EXPECT_DOUBLE_EQ(point.demand_delivered, 1.0);
+  EXPECT_DOUBLE_EQ(point.mean_stretch, 1.0);
+  EXPECT_EQ(outcome.isp_links_lost, (std::vector<std::uint32_t>{0, 0}));
+}
+
+TEST(Cascade, BridgeCutStrandsOnlyTheDemandRidingIt) {
+  // Conduit 0 is a bridge: ISP 0's demand cannot reroute, ISP 1's two
+  // cycle demands are untouched, and nothing overloads.
+  const auto outcome = barbell_engine().run_cascade({0}, {});
+  EXPECT_TRUE(outcome.converged);
+  EXPECT_EQ(outcome.fixed_point_round, 0u);
+  EXPECT_TRUE(outcome.overload_failures.empty());
+  const auto& point = outcome.rounds.back();
+  EXPECT_EQ(point.conduits_dead, 1u);
+  EXPECT_DOUBLE_EQ(point.giant_component, 4.0 / 5.0);
+  EXPECT_DOUBLE_EQ(point.demand_delivered, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(point.mean_stretch, 1.0);  // survivors keep their chains
+  EXPECT_EQ(outcome.isp_links_lost, (std::vector<std::uint32_t>{1, 0}));
+}
+
+TEST(Cascade, RerouteOverloadsTheDetourAndCascades) {
+  // Cut conduit 2 = (2,3).  ISP 1's 2->4 demand reroutes over conduit 4
+  // (100 km vs its 200 km chain), which already carries the 4->2 demand:
+  // load 2.0 > capacity 1.25 = (1 + 0.25) x baseline 1.  Conduit 4 fails
+  // in the overload wave, stranding both cycle demands — the classic
+  // Motter–Lai amplification, exact at this scale.
+  const auto outcome = barbell_engine().run_cascade({2}, {});
+  ASSERT_EQ(outcome.rounds.size(), 2u);
+  EXPECT_TRUE(outcome.converged);
+  EXPECT_EQ(outcome.fixed_point_round, 1u);
+  EXPECT_EQ(outcome.overload_failures, (std::vector<ConduitId>{4}));
+
+  const auto& after_cut = outcome.rounds[0];
+  EXPECT_EQ(after_cut.conduits_dead, 1u);
+  EXPECT_DOUBLE_EQ(after_cut.demand_delivered, 1.0);  // the reroute still delivers
+  EXPECT_DOUBLE_EQ(after_cut.mean_stretch, (1.0 + 0.5 + 1.0) / 3.0);
+
+  const auto& fixed = outcome.rounds[1];
+  EXPECT_EQ(fixed.conduits_dead, 2u);
+  EXPECT_EQ(fixed.overload_failed, 1u);
+  EXPECT_DOUBLE_EQ(fixed.giant_component, 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(fixed.demand_delivered, 1.0 / 3.0);
+  EXPECT_EQ(outcome.isp_links_lost, (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST(Cascade, HigherMarginAbsorbsTheSameReroute)
+{
+  // With a 100% capacity margin the detour conduit holds (2.0 <= 2.0) and
+  // every demand stays delivered — margin is the control knob.
+  CascadeParams params;
+  params.capacity_margin = 1.0;
+  const auto outcome = barbell_engine().run_cascade({2}, params);
+  EXPECT_TRUE(outcome.converged);
+  EXPECT_TRUE(outcome.overload_failures.empty());
+  EXPECT_DOUBLE_EQ(outcome.rounds.back().demand_delivered, 1.0);
+}
+
+TEST(Cascade, NothingDeliverableReportsInfiniteStretch) {
+  // Cutting one conduit of every demand's chain strands all three.
+  const auto outcome = barbell_engine().run_cascade({0, 2, 4}, {});
+  const auto& point = outcome.rounds.back();
+  EXPECT_DOUBLE_EQ(point.demand_delivered, 0.0);
+  EXPECT_TRUE(std::isinf(point.mean_stretch));
+  EXPECT_EQ(outcome.isp_links_lost, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(Cascade, EvaluateStructureSeparatesBridgesFromCycleEdges) {
+  const auto& engine = barbell_engine();
+  EXPECT_DOUBLE_EQ(engine.evaluate_structure({}).giant_component, 1.0);
+  // Bridge (1,2): city 0-1 splits off from the 2-3-4 triangle.
+  EXPECT_DOUBLE_EQ(engine.evaluate_structure({1}).giant_component, 3.0 / 5.0);
+  // Cycle edge (2,3): the triangle stays connected the long way round.
+  EXPECT_DOUBLE_EQ(engine.evaluate_structure({2}).giant_component, 1.0);
+  // Without an L3 topology the L3 metrics hold their baseline constants.
+  EXPECT_DOUBLE_EQ(engine.evaluate_structure({1}).l3_edges_dead, 0.0);
+  EXPECT_DOUBLE_EQ(engine.evaluate_structure({1}).l3_reachability, 1.0);
+}
+
+TEST(Cascade, ScenarioCascadeRoundsAreMonotone) {
+  // The dead set only grows, so every structural metric must move one way
+  // across rounds: conduits die, the giant component shrinks, L3 edges
+  // die, reachability and delivered demand fall.
+  const auto& engine = scenario_engine();
+  const auto matrix = risk::RiskMatrix::from_map(testing::shared_scenario().map());
+  CascadeParams params;
+  params.capacity_margin = 0.1;
+  const auto outcome = engine.run_cascade(matrix.most_shared_conduits(8), params);
+  ASSERT_GE(outcome.rounds.size(), 1u);
+  for (std::size_t r = 1; r < outcome.rounds.size(); ++r) {
+    const auto& prev = outcome.rounds[r - 1];
+    const auto& cur = outcome.rounds[r];
+    EXPECT_EQ(cur.round, r);
+    EXPECT_GE(cur.conduits_dead, prev.conduits_dead);
+    EXPECT_GE(cur.overload_failed, prev.overload_failed);
+    EXPECT_LE(cur.giant_component, prev.giant_component);
+    EXPECT_GE(cur.l3_edges_dead, prev.l3_edges_dead);
+    EXPECT_LE(cur.l3_reachability, prev.l3_reachability);
+    EXPECT_LE(cur.demand_delivered, prev.demand_delivered);
+  }
+  // Cut count + overload failures reconcile with the cumulative counter.
+  const auto& fixed = outcome.rounds.back();
+  EXPECT_EQ(fixed.overload_failed, outcome.overload_failures.size());
+  EXPECT_EQ(fixed.conduits_dead, 8u + outcome.overload_failures.size());
+}
+
+TEST(Cascade, TrialsPadToFixedWidthCurves) {
+  CascadeConfig config;
+  config.stressor = sim::Stressor::random_cuts(2);
+  config.params.max_rounds = 6;
+  const auto result = barbell_engine().run_trial(config, 0);
+  ASSERT_EQ(result.rounds.size(), 7u);
+  for (std::size_t r = 0; r < result.rounds.size(); ++r) {
+    EXPECT_EQ(result.rounds[r].round, r);
+  }
+  // The padding repeats the fixed point verbatim (modulo the round index).
+  auto tail = result.rounds.back();
+  tail.round = result.rounds[result.rounds.size() - 2].round;
+  EXPECT_EQ(tail, result.rounds[result.rounds.size() - 2]);
+}
+
+TEST(Cascade, CampaignAggregatesAndRenders) {
+  CascadeConfig config;
+  config.stressor = sim::Stressor::random_cuts(2);
+  config.trials = 8;
+  const auto report = barbell_engine().run(config);
+  EXPECT_EQ(report.trials, 8u);
+  ASSERT_EQ(report.conduits_dead.points.size(), config.params.max_rounds + 1);
+  // Round 0 of every trial has exactly the drawn cuts dead: random_cuts
+  // draws from a shuffled permutation, so 2 steps = 2 distinct conduits.
+  EXPECT_DOUBLE_EQ(report.conduits_dead.points[0].mean, 2.0);
+  EXPECT_FALSE(artifact::render_cascade(report).empty());
+}
+
+TEST(Cascade, PercolationGridEndpointsAreExact) {
+  // Resolution 5 over 5 conduits: grid point k kills exactly k conduits,
+  // so the achieved dead fraction is the grid fraction itself; the empty
+  // grid point is intact and the full one isolates every city.
+  PercolationConfig config;
+  config.resolution = 5;
+  config.trials = 4;
+  const auto report = barbell_engine().percolation(config);
+  ASSERT_EQ(report.conduits_dead.points.size(), 6u);
+  for (std::size_t k = 0; k <= 5; ++k) {
+    EXPECT_DOUBLE_EQ(report.conduits_dead.points[k].mean, static_cast<double>(k) / 5.0);
+  }
+  EXPECT_DOUBLE_EQ(report.giant_component.points.front().mean, 1.0);
+  EXPECT_DOUBLE_EQ(report.giant_component.points.back().mean, 1.0 / 5.0);
+  EXPECT_FALSE(artifact::render_percolation(report).empty());
+}
+
+TEST(Cascade, CampaignMatchesExecutorRun) {
+  CascadeConfig config;
+  config.stressor = sim::Stressor::targeted_cuts(3);
+  config.trials = 6;
+  sim::Executor two(2);
+  const auto serial = barbell_engine().run(config);
+  EXPECT_EQ(barbell_engine().run(config, &two), serial);
+}
+
+}  // namespace
+}  // namespace intertubes::cascade

@@ -180,6 +180,53 @@ TEST(RobustnessScenario, NetworkWideGainConcentratedInTopTargets) {
   EXPECT_GT(gain.already_optimal, map.conduits().size() / 20);
 }
 
+TEST(RobustnessScenario, ForestMemoMatchesMaskedPointQueries) {
+  // The Fig 10 migration claim: the batched route forest that memoizes
+  // route-around paths must agree with (a) the cold per-target masked
+  // point query it replaced and (b) an independently rebuilt risk-weighted
+  // PathEngine — bit-identical edges, not just equal cost.
+  const auto& map = testing::shared_scenario().map();
+  const auto matrix = risk::RiskMatrix::from_map(map);
+  RobustnessPlanner planner(map, matrix);
+  const auto targets = matrix.most_shared_conduits(16);
+
+  // Cold answers go through the masked point query (no forest yet).
+  std::vector<std::vector<ConduitId>> cold;
+  for (ConduitId target : targets) {
+    cold.push_back(planner.suggest_reroute(target, 0).optimized_path);
+  }
+  planner.summarize_robustness(targets);  // compiles the forest memo
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_EQ(planner.suggest_reroute(targets[i], 0).optimized_path, cold[i])
+        << "forest-memoized path diverged for target " << targets[i];
+  }
+
+  // Independent oracle: same weighting recipe, fresh engine, one masked
+  // Dijkstra per target.
+  route::NodeId num_nodes = 0;
+  std::vector<route::EdgeSpec> edges;
+  edges.reserve(map.conduits().size());
+  for (const auto& c : map.conduits()) {
+    num_nodes = std::max(num_nodes, std::max(c.a, c.b) + 1);
+    edges.push_back(
+        {c.a, c.b, static_cast<double>(matrix.sharing_count(c.id)) + 1e-4 * c.length_km});
+  }
+  const route::PathEngine oracle(num_nodes, std::move(edges));
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const auto& conduit = map.conduit(targets[i]);
+    const std::vector<route::EdgeId> mask{targets[i]};
+    route::Query query;
+    query.masked = &mask;
+    const auto path = oracle.shortest_path(conduit.a, conduit.b, query);
+    if (!path.reachable) {
+      EXPECT_TRUE(cold[i].empty()) << "planner found a path the oracle says is unreachable";
+      continue;
+    }
+    EXPECT_EQ(cold[i], std::vector<ConduitId>(path.edges.begin(), path.edges.end()))
+        << "planner path diverged from the masked oracle for target " << targets[i];
+  }
+}
+
 TEST(RobustnessScenario, SuggestionsNeverRouteThroughTarget) {
   const auto& map = testing::shared_scenario().map();
   const auto matrix = risk::RiskMatrix::from_map(map);

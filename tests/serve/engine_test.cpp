@@ -2,12 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
 #include <thread>
 #include <vector>
 
+#include "cascade/cascade.hpp"
 #include "geo/latency.hpp"
 #include "test_support.hpp"
 
@@ -410,6 +412,67 @@ TEST(ServeEngine, CLatencyAuditRejectsBadParameters) {
   Engine engine(shared_store(), sim::default_executor());
   EXPECT_EQ(engine.serve(CLatencyAuditQuery{0, 2.0}).status, Status::BadRequest);
   EXPECT_EQ(engine.serve(CLatencyAuditQuery{5, 0.5}).status, Status::BadRequest);
+}
+
+TEST(ServeEngine, WhatIfCascadeMatchesDirectEngineRun) {
+  Engine engine(shared_store(), sim::default_executor());
+  const auto snap = shared_store().current();
+  auto cuts = snap->matrix().most_shared_conduits(4);
+
+  WhatIfCascadeQuery query;
+  query.cuts = cuts;
+  query.capacity_margin = 0.1;
+  query.max_rounds = 6;
+  const auto response = engine.serve(query);
+  const auto& result = body_of<WhatIfCascadeResult>(response);
+
+  cascade::CascadeParams params;
+  params.capacity_margin = 0.1;
+  params.max_rounds = 6;
+  std::sort(cuts.begin(), cuts.end());
+  const auto outcome = snap->cascade_engine().run_cascade(cuts, params);
+  const auto& fixed = outcome.rounds.back();
+  EXPECT_EQ(result.conduits_cut, cuts.size());
+  EXPECT_EQ(result.rounds, outcome.fixed_point_round);
+  EXPECT_EQ(result.converged, outcome.converged);
+  EXPECT_EQ(result.overload_failures, outcome.overload_failures);
+  EXPECT_EQ(result.conduits_dead, fixed.conduits_dead);
+  EXPECT_DOUBLE_EQ(result.giant_component, fixed.giant_component);
+  EXPECT_DOUBLE_EQ(result.l3_edges_dead, fixed.l3_edges_dead);
+  EXPECT_DOUBLE_EQ(result.l3_reachability, fixed.l3_reachability);
+  EXPECT_DOUBLE_EQ(result.demand_delivered, fixed.demand_delivered);
+  EXPECT_DOUBLE_EQ(result.mean_stretch, fixed.mean_stretch);
+  std::size_t lost = 0;
+  std::size_t hit = 0;
+  for (std::uint32_t links : outcome.isp_links_lost) {
+    lost += links;
+    if (links > 0) ++hit;
+  }
+  EXPECT_EQ(result.links_undeliverable, lost);
+  EXPECT_EQ(result.isps_hit, hit);
+}
+
+TEST(ServeEngine, WhatIfCascadeRejectsBadParameters) {
+  Engine engine(shared_store(), sim::default_executor());
+  EXPECT_EQ(engine.serve(WhatIfCascadeQuery{{}}).status, Status::BadRequest);
+  const auto huge =
+      static_cast<core::ConduitId>(testing::shared_scenario().map().conduits().size());
+  EXPECT_EQ(engine.serve(WhatIfCascadeQuery{{huge}}).status, Status::BadRequest);
+  EXPECT_EQ(engine.serve(WhatIfCascadeQuery{{0}, -0.1}).status, Status::BadRequest);
+  EXPECT_EQ(engine.serve(WhatIfCascadeQuery{{0}, 0.25, 0}).status, Status::BadRequest);
+  EXPECT_EQ(engine.serve(WhatIfCascadeQuery{{0}, 0.25, 65}).status, Status::BadRequest);
+}
+
+TEST(ServeEngine, WhatIfCascadeCanonicalKeyCollapsesEquivalentCutSets) {
+  // Permutations and duplicates cache under one key; different overload
+  // parameters must not collide.
+  const WhatIfCascadeQuery a{{5, 2, 9}, 0.25, 8};
+  const WhatIfCascadeQuery b{{9, 2, 5, 2}, 0.25, 8};
+  EXPECT_EQ(canonical_key(Request{a}), canonical_key(Request{b}));
+  const WhatIfCascadeQuery tighter{{5, 2, 9}, 0.1, 8};
+  const WhatIfCascadeQuery shorter{{5, 2, 9}, 0.25, 4};
+  EXPECT_NE(canonical_key(Request{a}), canonical_key(Request{tighter}));
+  EXPECT_NE(canonical_key(Request{a}), canonical_key(Request{shorter}));
 }
 
 }  // namespace
