@@ -71,6 +71,7 @@ BENCHMARK(BM_GroundTruthRegeneration)->Unit(benchmark::kMillisecond)->Iterations
 }  // namespace
 
 int main(int argc, char** argv) {
+  intertubes::bench::init(&argc, argv);
   print_artifact();
   return intertubes::bench::run_benchmarks(argc, argv);
 }

@@ -82,6 +82,7 @@ BENCHMARK(BM_WorstCasePlacement)->Unit(benchmark::kMillisecond)->Iterations(3);
 }  // namespace
 
 int main(int argc, char** argv) {
+  intertubes::bench::init(&argc, argv);
   print_artifact();
   return intertubes::bench::run_benchmarks(argc, argv);
 }

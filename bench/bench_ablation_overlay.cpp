@@ -62,6 +62,7 @@ BENCHMARK(BM_EvaluateOverlayAccuracy)->Unit(benchmark::kMillisecond)->Iterations
 }  // namespace
 
 int main(int argc, char** argv) {
+  intertubes::bench::init(&argc, argv);
   print_artifact();
   return intertubes::bench::run_benchmarks(argc, argv);
 }

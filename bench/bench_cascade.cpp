@@ -22,8 +22,8 @@ namespace {
 using namespace intertubes;
 
 const cascade::CascadeEngine& engine() {
-  static const cascade::CascadeEngine e(bench::scenario().map(), &bench::l3_topology(),
-                                        &core::Scenario::cities(), &bench::scenario().row());
+  static const cascade::CascadeEngine e(bench::map(), &bench::l3_topology(),
+                                        &bench::cities(), &bench::row());
   return e;
 }
 
@@ -94,10 +94,11 @@ BENCHMARK(BM_Percolation)->Arg(0)->Arg(4)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  intertubes::bench::init(&argc, argv);
   bench::artifact_banner("CASCADE", "cross-layer cascade & percolation (overload rounds)");
   sim::Executor executor(4);
   const auto report = engine().run(campaign_config(), &executor);
-  std::cout << artifact::render_cascade(report, &bench::scenario().truth().profiles());
+  std::cout << artifact::render_cascade(report, &bench::truth().profiles());
   cascade::PercolationConfig sweep;
   sweep.trials = 8;
   sweep.seed = bench::kSeed;

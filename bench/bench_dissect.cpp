@@ -28,8 +28,8 @@ namespace {
 using namespace intertubes;
 
 const dissect::LatencyDissector& dissector() {
-  static const dissect::LatencyDissector d(bench::scenario().map(), core::Scenario::cities(),
-                                           bench::scenario().row());
+  static const dissect::LatencyDissector d(bench::map(), bench::cities(),
+                                           bench::row());
   return d;
 }
 
@@ -37,11 +37,11 @@ const dissect::LatencyDissector& dissector() {
 /// dissector compiles; built once so both shapes pay identical setup).
 const route::PathEngine& fiber_engine() {
   static const route::PathEngine e = [] {
-    const auto& map = bench::scenario().map();
+    const auto& map = bench::map();
     std::vector<route::EdgeSpec> edges;
     edges.reserve(map.conduits().size());
     for (const auto& c : map.conduits()) edges.push_back({c.a, c.b, c.length_km});
-    return route::PathEngine(static_cast<route::NodeId>(core::Scenario::cities().size()),
+    return route::PathEngine(static_cast<route::NodeId>(bench::cities().size()),
                              std::move(edges));
   }();
   return e;
@@ -125,8 +125,8 @@ void BM_GapClosing(benchmark::State& state) {
   dissect::GapClosingParams params;
   params.max_k = 3;
   for (auto _ : state) {
-    const auto result = dissect::close_gaps(bench::scenario().map(), core::Scenario::cities(),
-                                            bench::scenario().row(), params, &executor);
+    const auto result = dissect::close_gaps(bench::map(), bench::cities(),
+                                            bench::row(), params, &executor);
     benchmark::DoNotOptimize(result.excess_ms_after);
   }
 }
@@ -135,10 +135,11 @@ BENCHMARK(BM_GapClosing)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  intertubes::bench::init(&argc, argv);
   bench::artifact_banner("DISSECT", "all-pairs speed-of-light audit (batched vs per-pair)");
   sim::Executor executor(4);
   const auto study = dissector().dissect(&executor);
-  std::cout << artifact::render_clatency_audit(study, core::Scenario::cities(), 10);
+  std::cout << artifact::render_clatency_audit(study, bench::cities(), 10);
 
   // --trials=small rewrites to a short min-time for CI smoke runs.
   std::vector<char*> args(argv, argv + argc);

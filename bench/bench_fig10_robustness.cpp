@@ -91,6 +91,7 @@ BENCHMARK(BM_SummarizeRobustnessAllIsps)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  intertubes::bench::init(&argc, argv);
   print_artifact();
   print_speedup();
   return intertubes::bench::run_benchmarks(argc, argv);

@@ -25,7 +25,7 @@ using namespace intertubes;
 /// RobustnessPlanner performs.
 const route::PathEngine& engine() {
   static const route::PathEngine e = [] {
-    const auto& map = bench::scenario().map();
+    const auto& map = bench::map();
     const auto& matrix = bench::risk_matrix();
     route::NodeId num_nodes = 0;
     std::vector<route::EdgeSpec> edges;
@@ -41,7 +41,7 @@ const route::PathEngine& engine() {
 }
 
 void BM_ColdRerouteQuery(benchmark::State& state) {
-  const auto& map = bench::scenario().map();
+  const auto& map = bench::map();
   route::PathEngine::Workspace ws;
   std::size_t i = 0;
   for (auto _ : state) {
@@ -57,7 +57,7 @@ void BM_ColdRerouteQuery(benchmark::State& state) {
 BENCHMARK(BM_ColdRerouteQuery)->Unit(benchmark::kMicrosecond);
 
 void BM_MemoizedRerouteQuery(benchmark::State& state) {
-  const auto& map = bench::scenario().map();
+  const auto& map = bench::map();
   static route::MemoizedRouter router(/*capacity=*/1 << 14);
   // Warm every key once so the loop measures steady-state hits.
   for (const auto& conduit : map.conduits()) {
@@ -77,7 +77,7 @@ BENCHMARK(BM_MemoizedRerouteQuery)->Unit(benchmark::kMicrosecond);
 /// the executor with ordered reduction (cold cache each iteration, so the
 /// timing measures the engine + executor, not the memoization).
 void BM_RerouteFanout(benchmark::State& state) {
-  const auto& map = bench::scenario().map();
+  const auto& map = bench::map();
   sim::Executor executor(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     const auto costs = executor.parallel_map<double>(
@@ -98,7 +98,7 @@ BENCHMARK(BM_RerouteFanout)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMi
 void BM_RobustnessPlannerEndToEnd(benchmark::State& state) {
   const auto targets = bench::risk_matrix().most_shared_conduits(12);
   for (auto _ : state) {
-    optimize::RobustnessPlanner planner(bench::scenario().map(), bench::risk_matrix());
+    optimize::RobustnessPlanner planner(bench::map(), bench::risk_matrix());
     const auto summaries = planner.summarize_robustness(targets);
     const auto gain = planner.network_wide_gain(12);
     benchmark::DoNotOptimize(summaries.size());
@@ -110,6 +110,7 @@ BENCHMARK(BM_RobustnessPlannerEndToEnd)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  intertubes::bench::init(&argc, argv);
   // Translate --trials=small into a short google-benchmark min time.
   std::vector<char*> args(argv, argv + argc);
   static char small_flag[] = "--benchmark_min_time=0.01";

@@ -22,11 +22,8 @@ namespace {
 using namespace intertubes;
 
 const std::shared_ptr<serve::Snapshot>& snapshot() {
-  static const std::shared_ptr<serve::Snapshot> snap = [] {
-    const std::shared_ptr<const core::Scenario> world{std::shared_ptr<const core::Scenario>{},
-                                                      &bench::scenario()};
-    return serve::Snapshot::build(world, {0, "bench"});
-  }();
+  static const std::shared_ptr<serve::Snapshot> snap =
+      serve::Snapshot::build(bench::world(), {0, "bench"});
   return snap;
 }
 
@@ -160,6 +157,7 @@ BENCHMARK(BM_SnapshotWhatIfCut)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  intertubes::bench::init(&argc, argv);
   print_artifact();
   return intertubes::bench::run_benchmarks(argc, argv);
 }

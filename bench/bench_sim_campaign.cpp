@@ -24,8 +24,8 @@ std::vector<std::uint64_t> probe_counts() {
 }
 
 const sim::CampaignEngine& engine() {
-  static const sim::CampaignEngine e(bench::scenario().map(), &core::Scenario::cities(),
-                                     &bench::scenario().row(), probe_counts());
+  static const sim::CampaignEngine e(bench::map(), &bench::cities(),
+                                     &bench::row(), probe_counts());
   return e;
 }
 
@@ -38,7 +38,7 @@ sim::CampaignConfig default_config() {
 }
 
 void print_artifact() {
-  const auto& profiles = bench::scenario().truth().profiles();
+  const auto& profiles = bench::truth().profiles();
 
   bench::artifact_banner("Simulation engine",
                          "Monte-Carlo failure campaigns (§4 cuts + §7 disasters)");
@@ -115,6 +115,7 @@ BENCHMARK(BM_SingleTrial)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  intertubes::bench::init(&argc, argv);
   print_artifact();
   return intertubes::bench::run_benchmarks(argc, argv);
 }

@@ -8,31 +8,113 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "core/world_view.hpp"
 #include "risk/risk_matrix.hpp"
+#include "sim/executor.hpp"
 #include "traceroute/overlay.hpp"
+#include "worldgen/worldgen.hpp"
 
 namespace intertubes::bench {
 
 inline constexpr std::uint64_t kSeed = 0x1257;
+
+inline double& scale_slot() {
+  static double s = 1.0;
+  return s;
+}
+
+/// World scale selected by --scale=<f> (default 1 = the paper world).
+inline double scale() { return scale_slot(); }
+
+/// Strip harness-level flags google-benchmark would reject (--scale=<f>)
+/// and record their values.  Call FIRST in main, before any accessor below
+/// materializes its static — the scale is latched into those statics on
+/// first use.
+inline void init(int* argc, char** argv) {
+  static const std::string kScaleFlag = "--scale=";
+  int kept = 0;
+  for (int i = 0; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(kScaleFlag, 0) == 0) {
+      scale_slot() = std::strtod(arg.c_str() + kScaleFlag.size(), nullptr);
+      if (scale_slot() <= 0.0) scale_slot() = 1.0;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  *argc = kept;
+}
 
 inline const core::Scenario& scenario() {
   static const core::Scenario s{core::ScenarioParams::with_seed(kSeed)};
   return s;
 }
 
+/// The worldgen world at the selected --scale (only materialized when a
+/// scale-generic accessor is used above scale 1).
+inline const worldgen::World& generated_world() {
+  static const worldgen::World w = [] {
+    worldgen::WorldSpec spec;
+    spec.scale = scale();
+    spec.seed = kSeed;
+    return worldgen::generate_world(spec, &sim::default_executor());
+  }();
+  return w;
+}
+
+/// Scale-generic world view: the paper Scenario at --scale=1 (the default,
+/// keeping every committed artifact number identical) and a worldgen
+/// world above it.  Harnesses that can run at any size use these instead
+/// of scenario() directly.
+inline const core::WorldView& world() {
+  static const core::WorldView v = [] {
+    if (scale() == 1.0) {
+      core::WorldView view;
+      view.cities = &core::Scenario::cities();
+      view.row = &scenario().row();
+      view.truth = &scenario().truth();
+      view.map = &scenario().map();
+      return view;
+    }
+    return generated_world().view();
+  }();
+  return v;
+}
+
+inline const core::FiberMap& map() { return *world().map; }
+inline const transport::CityDatabase& cities() { return *world().cities; }
+inline const transport::RightOfWayRegistry& row() { return *world().row; }
+inline const isp::GroundTruth& truth() { return *world().truth; }
+
+/// Peak resident set (VmHWM) in KiB from /proc/self/status; 0 when the
+/// platform has no procfs.
+inline std::size_t peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<std::size_t>(std::strtoull(line.c_str() + 6, nullptr, 10));
+    }
+  }
+  return 0;
+}
+
 inline const risk::RiskMatrix& risk_matrix() {
-  static const risk::RiskMatrix m = risk::RiskMatrix::from_map(scenario().map());
+  static const risk::RiskMatrix m = risk::RiskMatrix::from_map(map());
   return m;
 }
 
 inline const traceroute::L3Topology& l3_topology() {
   static const traceroute::L3Topology t =
-      traceroute::L3Topology::from_ground_truth(scenario().truth(), core::Scenario::cities());
+      traceroute::L3Topology::from_ground_truth(truth(), cities());
   return t;
 }
 
@@ -44,14 +126,14 @@ inline const traceroute::Campaign& campaign() {
     traceroute::CampaignParams params;
     params.seed = kSeed;
     params.num_probes = 500000;
-    return run_campaign(l3_topology(), core::Scenario::cities(), params);
+    return run_campaign(l3_topology(), cities(), params);
   }();
   return c;
 }
 
 inline const traceroute::OverlayResult& overlay() {
   static const traceroute::OverlayResult o =
-      traceroute::overlay_campaign(scenario().map(), core::Scenario::cities(), campaign());
+      traceroute::overlay_campaign(map(), cities(), campaign());
   return o;
 }
 
@@ -70,14 +152,20 @@ inline void artifact_banner(const std::string& id, const std::string& caption) {
 /// uniform flag.  All native --benchmark_* flags still pass through.
 inline int run_benchmarks(int argc, char** argv) {
   static const std::string kJsonFlag = "--bench_json=";
+  std::string json_path;
   std::vector<std::string> storage;
   std::vector<char*> rewritten;
   storage.reserve(static_cast<std::size_t>(argc) + 1);
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind(kJsonFlag, 0) == 0) {
-      storage.push_back("--benchmark_out=" + arg.substr(kJsonFlag.size()));
+      json_path = arg.substr(kJsonFlag.size());
+      storage.push_back("--benchmark_out=" + json_path);
       storage.push_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      // Harness-level flag; tolerated here for mains predating init().
+      scale_slot() = std::strtod(arg.c_str() + 8, nullptr);
+      if (scale_slot() <= 0.0) scale_slot() = 1.0;
     } else {
       storage.push_back(arg);
     }
@@ -89,6 +177,30 @@ inline int run_benchmarks(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(rewritten_argc, rewritten.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  // Process-wide peak RSS: printed for humans and spliced into the JSON
+  // context for check_regressions.py / EXPERIMENTS.md extraction.
+  const std::size_t rss_kb = peak_rss_kb();
+  if (rss_kb != 0) {
+    std::cout << "peak_rss_kb: " << rss_kb << "\n";
+    if (!json_path.empty()) {
+      std::ifstream in(json_path);
+      if (in) {
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::string json = buf.str();
+        in.close();
+        const std::string anchor = "\"context\": {";
+        const std::size_t at = json.find(anchor);
+        if (at != std::string::npos) {
+          json.insert(at + anchor.size(),
+                      "\n    \"peak_rss_kb\": " + std::to_string(rss_kb) + ",");
+          std::ofstream out(json_path, std::ios::trunc);
+          out << json;
+        }
+      }
+    }
+  }
   return 0;
 }
 

@@ -64,6 +64,7 @@ BENCHMARK(BM_OverlayCampaign)->Unit(benchmark::kMillisecond)->Iterations(5);
 }  // namespace
 
 int main(int argc, char** argv) {
+  intertubes::bench::init(&argc, argv);
   print_artifact();
   return intertubes::bench::run_benchmarks(argc, argv);
 }

@@ -1,0 +1,163 @@
+// Benchmarks for worldgen/: the seeded planet-scale world generator and
+// the downstream build pipeline it feeds.
+//
+// This is the scaling baseline for generated worlds.  The size sweep runs
+// the four stages a generated world pays before it can serve requests —
+// generation itself, strict dataset ingest, risk-matrix build, and serve
+// snapshot build — at scales 1 and 10 by default.  items_per_second is
+// nodes/sec (cities for generation/ingest/snapshot, conduits for the risk
+// matrix) so throughput is comparable across scales; peak RSS lands in
+// the JSON context via bench_support's run_benchmarks.
+//
+// Extra flags:
+//   --worldgen_full   also register the 100x rows (minutes, not CI-sized)
+//   --trials=small    shrink benchmark min-time for CI smoke runs
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bench_support.hpp"
+#include "core/dataset_io.hpp"
+#include "risk/risk_matrix.hpp"
+#include "serve/snapshot.hpp"
+#include "sim/executor.hpp"
+#include "worldgen/worldgen.hpp"
+
+namespace {
+
+using namespace intertubes;
+
+worldgen::WorldSpec spec_at(double scale) {
+  worldgen::WorldSpec spec;
+  spec.scale = scale;
+  spec.seed = bench::kSeed;
+  return spec;
+}
+
+/// Worlds cached per scale so the ingest/risk/snapshot stages don't
+/// re-pay generation inside their timing loops.
+const worldgen::World& world_at(double scale) {
+  static std::map<double, std::unique_ptr<worldgen::World>> cache;
+  auto& slot = cache[scale];
+  if (!slot) {
+    slot = std::make_unique<worldgen::World>(
+        worldgen::generate_world(spec_at(scale), &sim::default_executor()));
+  }
+  return *slot;
+}
+
+/// Full generation: continental meshes, submarine cables, strict
+/// round-trip ingest.  items_per_second = cities generated per second.
+void BM_GenerateWorld(benchmark::State& state) {
+  const auto scale = static_cast<double>(state.range(0));
+  std::size_t cities = 0;
+  for (auto _ : state) {
+    const auto world = worldgen::generate_world(spec_at(scale), &sim::default_executor());
+    cities = world.cities().size();
+    benchmark::DoNotOptimize(world.map().conduits().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * cities));
+  state.counters["peak_rss_mb"] = static_cast<double>(bench::peak_rss_kb()) / 1024.0;
+}
+
+/// Strict dataset ingest of the serialized world (the path every consumer
+/// shares with the paper dataset).  items_per_second = cities/sec.
+void BM_StrictIngest(benchmark::State& state) {
+  const auto scale = static_cast<double>(state.range(0));
+  const auto& world = world_at(scale);
+  const std::string text = world.dataset();
+  for (auto _ : state) {
+    const auto map =
+        core::parse_dataset(text, world.cities(), world.row(), world.truth().profiles());
+    benchmark::DoNotOptimize(map.links().size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * world.cities().size()));
+}
+
+/// Shared-risk matrix build on the generated map.  items_per_second =
+/// conduits/sec.
+void BM_RiskMatrix(benchmark::State& state) {
+  const auto scale = static_cast<double>(state.range(0));
+  const auto& world = world_at(scale);
+  for (auto _ : state) {
+    const auto matrix = risk::RiskMatrix::from_map(world.map());
+    benchmark::DoNotOptimize(matrix.num_conduits());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * world.map().conduits().size()));
+}
+
+/// serve::Snapshot build (map copy, L3 derivation, path engine, cascade
+/// engine) from the generated world view.  items_per_second = cities/sec.
+void BM_SnapshotBuild(benchmark::State& state) {
+  const auto scale = static_cast<double>(state.range(0));
+  const auto& world = world_at(scale);
+  for (auto _ : state) {
+    const auto snapshot = serve::Snapshot::build(world.view());
+    benchmark::DoNotOptimize(snapshot->map().links().size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * world.cities().size()));
+}
+
+void register_sweep(bool full) {
+  struct Stage {
+    const char* name;
+    void (*fn)(benchmark::State&);
+  };
+  const Stage stages[] = {{"BM_GenerateWorld", BM_GenerateWorld},
+                          {"BM_StrictIngest", BM_StrictIngest},
+                          {"BM_RiskMatrix", BM_RiskMatrix},
+                          {"BM_SnapshotBuild", BM_SnapshotBuild}};
+  for (const auto& stage : stages) {
+    benchmark::RegisterBenchmark(stage.name, stage.fn)
+        ->Arg(1)
+        ->Arg(10)
+        ->Unit(benchmark::kMillisecond);
+    // The 100x rows take minutes each; registered separately so the
+    // single-iteration cap doesn't shorten the 1x/10x timings.
+    if (full) {
+      benchmark::RegisterBenchmark(stage.name, stage.fn)
+          ->Arg(100)
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  intertubes::bench::init(&argc, argv);
+
+  // Strip harness flags before google-benchmark sees them.
+  bool full = false;
+  std::vector<char*> args;
+  static char small[] = "--benchmark_min_time=0.01";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--worldgen_full") == 0) {
+      full = true;
+    } else if (std::strcmp(argv[i], "--trials=small") == 0) {
+      args.push_back(small);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+
+  bench::artifact_banner("WORLDGEN", "seeded world generation size sweep");
+  std::cout << "scale  cities   nodes   links  conduits  submarine  isps  continents  cables\n";
+  for (double scale : full ? std::vector<double>{1, 10, 100} : std::vector<double>{1, 10}) {
+    const auto s = worldgen::summarize(world_at(scale));
+    std::cout << scale << "x: " << s.cities << " cities, " << s.nodes << " nodes, " << s.links
+              << " links, " << s.conduits << " conduits (" << s.submarine_conduits
+              << " submarine), " << s.isps << " isps, " << s.continents << " continents, "
+              << s.cables << " cables; mean degree " << s.mean_degree << ", mean tenants "
+              << s.mean_tenants << "\n";
+  }
+
+  register_sweep(full);
+  int n = static_cast<int>(args.size());
+  return bench::run_benchmarks(n, args.data());
+}

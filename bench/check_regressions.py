@@ -35,6 +35,8 @@ TRACKED = [
     ("bench_route_engine", r".*Reroute.*", "cpu_time", False),
     ("bench_dissect", r"BM_(AllPairsBatched|DissectionSweep).*", "pairs_per_second", True),
     ("bench_cascade", r"BM_CascadeCampaign.*", "trials_per_second", True),
+    ("bench_worldgen", r"BM_(GenerateWorld|StrictIngest|RiskMatrix|SnapshotBuild)/(1|10)$",
+     "items_per_second", True),
 ]
 
 

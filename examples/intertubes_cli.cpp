@@ -43,6 +43,7 @@
 #include "risk/risk_matrix.hpp"
 #include "traceroute/l3_topology.hpp"
 #include "util/table.hpp"
+#include "worldgen/worldgen.hpp"
 
 using namespace intertubes;
 
@@ -65,6 +66,9 @@ struct Args {
   double target = 2.0;         ///< `dissect` stretch target vs c-latency
   std::size_t trials = 64;     ///< `cascade` Monte-Carlo trials
   double margin = 0.25;        ///< `cascade` capacity margin
+  double scale = 1.0;          ///< `generate` world scale (vs the paper world)
+  std::size_t continents = 0;  ///< `generate` continents (0 = auto from scale)
+  bool out_set = false;        ///< --out was passed explicitly
   std::string adversary = "random";  ///< `cascade` stressor: random|targeted|hazard
   /// Parse policy for commands that read files (check, diff).  Lenient by
   /// default: quarantine bad records, report them, keep going.
@@ -90,6 +94,9 @@ void usage(std::ostream& os) {
       "           (--top, --target, --k)\n"
       "  cascade  cross-layer cascade campaign + percolation sweep\n"
       "           (--adversary, --k cuts/trial, --trials, --margin, --radius)\n"
+      "  generate synthesize a planet-scale world (--scale, --continents, --seed),\n"
+      "           strict-ingest it, and run the full analysis stack over it;\n"
+      "           --out additionally saves the dataset TSV\n"
       "  help     print this message\n"
       "\n"
       "flags:\n"
@@ -107,6 +114,8 @@ void usage(std::ostream& os) {
       "  --trials <n>   Monte-Carlo trials for `cascade` (default 64)\n"
       "  --margin <f>   capacity margin for `cascade` (default 0.25)\n"
       "  --adversary <a> cascade stressor: random, targeted, hazard (default random)\n"
+      "  --scale <f>    world size multiplier for `generate` (default 1.0)\n"
+      "  --continents <n> continental meshes for `generate` (default auto)\n"
       "  --strict       fail fast on the first malformed record\n"
       "  --lenient      quarantine malformed records and keep going (default)\n";
 }
@@ -147,6 +156,11 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.isp = value;
     } else if (flag == "--out") {
       args.out = value;
+      args.out_set = true;
+    } else if (flag == "--scale") {
+      args.scale = std::strtod(value.c_str(), nullptr);
+    } else if (flag == "--continents") {
+      args.continents = std::strtoul(value.c_str(), nullptr, 0);
     } else if (flag == "--prefix") {
       args.prefix = value;
     } else if (flag == "--before") {
@@ -485,6 +499,68 @@ int cmd_cascade(const core::Scenario& scenario, const Args& args) {
   return 0;
 }
 
+/// Synthesize a planet-scale world at --scale, strict-ingest it (inherent
+/// in generate_world's dataset round-trip), then prove the whole analysis
+/// stack runs on it: risk matrix, serve snapshot, a cascade campaign, and
+/// the all-pairs dissection sweep.  `generate` needs no Scenario — the
+/// synthetic world replaces it.
+int cmd_generate(const Args& args) {
+  if (args.scale <= 0.0) {
+    std::cerr << "generate requires --scale > 0\n";
+    usage(std::cerr);
+    return kUsageError;
+  }
+  auto& executor = sim::default_executor();
+  worldgen::WorldSpec spec;
+  spec.scale = args.scale;
+  spec.continents = args.continents;
+  spec.seed = args.seed;
+  const worldgen::World world = worldgen::generate_world(spec, &executor);
+  for (const auto& violation : worldgen::validate(world)) {
+    std::cerr << "invariant violation: " << violation << "\n";
+  }
+  if (!worldgen::validate(world).empty()) return 1;
+
+  const auto summary = worldgen::summarize(world);
+  std::cout << "generated world (scale " << format_double(args.scale, 1) << ", seed 0x" << std::hex
+            << args.seed << std::dec << "):\n"
+            << "  " << summary.cities << " cities on " << summary.continents << " continents, "
+            << summary.cables << " submarine cables\n"
+            << "  map: " << summary.nodes << " nodes, " << summary.links << " links, "
+            << summary.conduits << " conduits (" << summary.submarine_conduits << " submarine), "
+            << summary.isps << " ISPs\n"
+            << "  mean degree " << format_double(summary.mean_degree, 2) << ", mean tenancy "
+            << format_double(summary.mean_tenants, 2) << ", "
+            << format_double(summary.total_conduit_km, 0) << " conduit-km\n";
+
+  // The full downstream stack, unchanged from the paper world.
+  const auto snapshot = serve::Snapshot::build(world.view(), {0, "generated world"});
+  std::cout << "\nrisk: " << snapshot->sharing_table()[1] << " conduits shared by >= 2 ISPs\n";
+
+  cascade::CascadeConfig config;
+  config.stressor = sim::Stressor::random_cuts(args.k);
+  config.params.capacity_margin = args.margin;
+  config.trials = args.trials;
+  config.seed = args.seed;
+  const auto report = snapshot->cascade_engine().run(config, &executor);
+  std::cout << "cascade (" << args.trials << " trials, k=" << args.k << "): demand delivered "
+            << format_double(100.0 * report.demand_delivered.points.back().mean, 1)
+            << "% at the fixed point\n";
+
+  const dissect::LatencyDissector dissector(snapshot->shared_path_engine(),
+                                            snapshot->map().nodes(), world.cities(), world.row());
+  const auto study = dissector.dissect(&executor, {});
+  std::cout << "dissect: " << (study.pairs.size() - study.fiber_unreachable)
+            << " fiber-reachable pairs, median stretch " << format_double(study.median_stretch, 2)
+            << "x c-latency\n";
+
+  if (args.out_set) {
+    write_file(args.out, world.dataset());
+    std::cout << "\ndataset written to " << args.out << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -500,6 +576,8 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
+    // `generate` builds its own synthetic world; skip the paper Scenario.
+    if (args.command == "generate") return cmd_generate(args);
     const core::Scenario scenario{core::ScenarioParams::with_seed(args.seed)};
     if (args.command == "build") return cmd_build(scenario, args);
     if (args.command == "stats") return cmd_stats(scenario, args);

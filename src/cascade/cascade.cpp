@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <limits>
 #include <map>
 #include <numeric>
@@ -61,8 +62,13 @@ double connected_pair_fraction(DisjointSets& ds, std::size_t n) {
 CascadeEngine::CascadeEngine(const core::FiberMap& map, const traceroute::L3Topology* l3,
                              const transport::CityDatabase* cities,
                              const transport::RightOfWayRegistry* row,
-                             std::shared_ptr<const route::PathEngine> engine)
+                             std::shared_ptr<const route::PathEngine> engine,
+                             const std::vector<double>* demand_weights)
     : map_(map), l3_(l3), engine_(std::move(engine)), campaign_(map, cities, row) {
+  if (demand_weights) {
+    IT_CHECK_MSG(demand_weights->size() == map.links().size(),
+                 "demand_weights must be indexed by LinkId");
+  }
   const std::size_t num_conduits = map.conduits().size();
 
   if (!engine_) {
@@ -84,7 +90,7 @@ CascadeEngine::CascadeEngine(const core::FiberMap& map, const traceroute::L3Topo
                "cascade engine needs edge ids == conduit ids");
 
   demands_.reserve(map.links().size());
-  baseline_load_.assign(num_conduits, 0);
+  baseline_load_.assign(num_conduits, 0.0);
   for (const auto& link : map.links()) {
     IT_CHECK(link.a < engine_->num_nodes() && link.b < engine_->num_nodes());
     Demand demand;
@@ -92,10 +98,15 @@ CascadeEngine::CascadeEngine(const core::FiberMap& map, const traceroute::L3Topo
     demand.b = link.b;
     demand.isp = link.isp;
     demand.link = link.id;
+    if (demand_weights) {
+      demand.weight = (*demand_weights)[link.id];
+      IT_CHECK_MSG(demand.weight > 0.0, "demand weights must be positive");
+    }
     for (ConduitId cid : link.conduits) {
       demand.baseline_km += map.conduit(cid).length_km;
-      ++baseline_load_[cid];
+      baseline_load_[cid] += demand.weight;
     }
+    total_weight_ += demand.weight;
     demands_.push_back(demand);
   }
 
@@ -196,8 +207,8 @@ CascadeOutcome CascadeEngine::run_cascade(const std::vector<ConduitId>& cuts,
 
   std::vector<double> capacity(num_conduits);
   for (ConduitId c = 0; c < num_conduits; ++c) {
-    capacity[c] = std::max(params.capacity_floor,
-                           (1.0 + params.capacity_margin) * static_cast<double>(baseline_load_[c]));
+    capacity[c] =
+        std::max(params.capacity_floor, (1.0 + params.capacity_margin) * baseline_load_[c]);
   }
 
   CascadeOutcome outcome;
@@ -231,7 +242,7 @@ CascadeOutcome CascadeEngine::run_cascade(const std::vector<ConduitId>& cuts,
       if (intact) {
         delivered[i] = 1;
         km[i] = demands_[i].baseline_km;
-        for (ConduitId cid : chain) load[cid] += 1.0;
+        for (ConduitId cid : chain) load[cid] += demands_[i].weight;
       } else {
         affected.push_back(i);
       }
@@ -250,7 +261,8 @@ CascadeOutcome CascadeEngine::run_cascade(const std::vector<ConduitId>& cuts,
         if (forest.reachable(row, demands_[i].b)) {
           delivered[i] = 1;
           km[i] = forest.dist_at(row, demands_[i].b);
-          forest.for_each_path_edge(row, demands_[i].b, [&](route::EdgeId eid) { load[eid] += 1.0; });
+          forest.for_each_path_edge(row, demands_[i].b,
+                                    [&](route::EdgeId eid) { load[eid] += demands_[i].weight; });
         } else {
           delivered[i] = 0;
           km[i] = std::numeric_limits<double>::infinity();
@@ -266,19 +278,20 @@ CascadeOutcome CascadeEngine::run_cascade(const std::vector<ConduitId>& cuts,
     point.giant_component = structure.giant_component;
     point.l3_edges_dead = structure.l3_edges_dead;
     point.l3_reachability = structure.l3_reachability;
-    std::size_t delivered_count = 0;
+    // Weight-aware delivery and stretch.  Under unit weights these sums
+    // are exact integer arithmetic in double, so the curves are
+    // bit-identical to the historical count-based aggregation.
+    double delivered_weight = 0.0;
     double stretch_sum = 0.0;
     for (std::size_t i = 0; i < demands_.size(); ++i) {
       if (!delivered[i]) continue;
-      ++delivered_count;
+      delivered_weight += demands_[i].weight;
       const double baseline = demands_[i].baseline_km > 0.0 ? demands_[i].baseline_km : 1.0;
-      stretch_sum += km[i] / baseline;
+      stretch_sum += demands_[i].weight * (km[i] / baseline);
     }
-    point.demand_delivered =
-        demands_.empty() ? 1.0
-                         : static_cast<double>(delivered_count) / static_cast<double>(demands_.size());
-    point.mean_stretch = delivered_count > 0 ? stretch_sum / static_cast<double>(delivered_count)
-                                             : std::numeric_limits<double>::infinity();
+    point.demand_delivered = demands_.empty() ? 1.0 : delivered_weight / total_weight_;
+    point.mean_stretch = delivered_weight > 0.0 ? stretch_sum / delivered_weight
+                                                : std::numeric_limits<double>::infinity();
     outcome.rounds.push_back(point);
 
     std::vector<ConduitId> overloaded;
@@ -449,6 +462,20 @@ PercolationReport CascadeEngine::percolation(const PercolationConfig& config,
   report.l3_edges_dead = sim::aggregate_series(series_of(2), "L3 edges dead");
   report.l3_reachability = sim::aggregate_series(series_of(3), "L3 reachability");
   return report;
+}
+
+std::vector<double> traffic_demand_weights(const core::FiberMap& map,
+                                           const std::vector<std::uint64_t>& probes_per_conduit) {
+  IT_CHECK_MSG(probes_per_conduit.size() == map.conduits().size(),
+               "probes_per_conduit must be indexed by ConduitId");
+  std::vector<double> weights;
+  weights.reserve(map.links().size());
+  for (const auto& link : map.links()) {
+    std::uint64_t probes = 0;
+    for (ConduitId cid : link.conduits) probes += probes_per_conduit[cid];
+    weights.push_back(std::max(1.0, std::log2(1.0 + static_cast<double>(probes))));
+  }
+  return weights;
 }
 
 }  // namespace intertubes::cascade

@@ -51,8 +51,9 @@ namespace intertubes::cascade {
 
 /// Overload-round knobs.  Capacity of conduit c is
 /// max(capacity_floor, (1 + capacity_margin) * baseline_load(c)) where
-/// baseline_load counts the ISP links riding c in the intact map — the
-/// usual "provisioned for normal load plus a tolerance" model.
+/// baseline_load sums the demand weights of the ISP links riding c in the
+/// intact map (the link count under unit demands) — the usual
+/// "provisioned for normal load plus a tolerance" model.
 struct CascadeParams {
   double capacity_margin = 0.25;
   double capacity_floor = 1.0;
@@ -195,17 +196,23 @@ class CascadeEngine {
   /// only for the CorrelatedHazards stressor.  `engine` (when non-null)
   /// shares an already compiled length-weighted conduit engine whose edge
   /// ids equal conduit ids (serve::Snapshot's); otherwise one is built.
-  /// All borrowed pointers/references must outlive the engine.
+  /// `demand_weights` (when non-null, indexed by LinkId) makes demands
+  /// non-uniform — traffic-weighted via traffic_demand_weights below, or
+  /// any positive per-link weighting; null keeps the historical unit
+  /// demands, bit-identically (a weight of 1.0 multiplies and sums
+  /// exactly).  All borrowed pointers/references must outlive the engine.
   explicit CascadeEngine(const core::FiberMap& map,
                          const traceroute::L3Topology* l3 = nullptr,
                          const transport::CityDatabase* cities = nullptr,
                          const transport::RightOfWayRegistry* row = nullptr,
-                         std::shared_ptr<const route::PathEngine> engine = nullptr);
+                         std::shared_ptr<const route::PathEngine> engine = nullptr,
+                         const std::vector<double>* demand_weights = nullptr);
 
   const core::FiberMap& map() const noexcept { return map_; }
   std::size_t num_demands() const noexcept { return demands_.size(); }
-  /// [conduit] ISP links riding it in the intact map.
-  const std::vector<std::uint32_t>& baseline_load() const noexcept { return baseline_load_; }
+  /// [conduit] summed demand weight riding it in the intact map (= the
+  /// ISP-link count under unit demands).
+  const std::vector<double>& baseline_load() const noexcept { return baseline_load_; }
 
   /// Structure-only damage of a cut set — the brute-force-checkable
   /// surface the prop oracle compares against an independent BFS.
@@ -237,6 +244,7 @@ class CascadeEngine {
     isp::IspId isp = isp::kNoIsp;
     core::LinkId link = 0;
     double baseline_km = 0.0;  ///< intact chain length
+    double weight = 1.0;       ///< traffic weight (unit by default)
   };
 
   StructuralMetrics structure_of(const std::vector<char>& dead) const;
@@ -246,13 +254,23 @@ class CascadeEngine {
   std::shared_ptr<const route::PathEngine> engine_;
   sim::CampaignEngine campaign_;  ///< the stressor draw (and only that)
 
-  std::vector<Demand> demands_;               // one per ISP link
-  std::vector<std::uint32_t> baseline_load_;  // [conduit]
+  std::vector<Demand> demands_;        // one per ISP link
+  std::vector<double> baseline_load_;  // [conduit] summed demand weight
+  double total_weight_ = 0.0;          // sum of demand weights
   // [l3 edge] → conduit ids under its corridors (unmapped corridors and
   // peering edges resolve to none and keep the edge alive).
   std::vector<std::vector<core::ConduitId>> l3_edge_conduits_;
   // Compact physical adjacency over map_.nodes() for component sweeps.
   std::vector<std::vector<std::pair<std::uint32_t, core::ConduitId>>> adjacency_;
 };
+
+/// §4.3 probe-weighted demand weights, indexed by LinkId: weight of link L
+/// = max(1, log2(1 + probes riding L's conduits)) — logarithmic in traffic
+/// (route popularity is heavy-tailed, same shaping as the traffic-weighted
+/// risk ranking), floored at the unit demand so an unprobed link still
+/// counts as one deployment.  `probes_per_conduit` comes from any
+/// traceroute overlay (see risk/traffic_weighted.hpp).
+std::vector<double> traffic_demand_weights(const core::FiberMap& map,
+                                           const std::vector<std::uint64_t>& probes_per_conduit);
 
 }  // namespace intertubes::cascade

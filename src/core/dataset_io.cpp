@@ -61,6 +61,7 @@ struct RecordParser {
     if (name == "road") return transport::TransportMode::Road;
     if (name == "rail") return transport::TransportMode::Rail;
     if (name == "pipeline") return transport::TransportMode::Pipeline;
+    if (name == "submarine") return transport::TransportMode::Submarine;
     return std::nullopt;
   }
 

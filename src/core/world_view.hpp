@@ -1,0 +1,45 @@
+// A non-owning (but lifetime-pinning) view of "a world": the four
+// artifacts every downstream analysis needs — the city database, the
+// right-of-way registry, the ground-truth deployments, and the constructed
+// FiberMap — decoupled from which generator produced them.
+//
+// The paper world comes from core::Scenario (the US map at a seed);
+// synthetic planet-scale worlds come from worldgen::World.  Consumers that
+// take a WorldView (serve::Snapshot and everything behind it) run on
+// either unchanged.  `owner` type-erases the backing object so the view
+// can be copied into long-lived snapshots without dangling.
+#pragma once
+
+#include <memory>
+
+#include "core/fiber_map.hpp"
+#include "core/scenario.hpp"
+
+namespace intertubes::core {
+
+struct WorldView {
+  /// Keeps the backing world (Scenario, worldgen::World, ...) alive for as
+  /// long as any copy of the view exists.
+  std::shared_ptr<const void> owner;
+  const transport::CityDatabase* cities = nullptr;
+  const transport::RightOfWayRegistry* row = nullptr;
+  const isp::GroundTruth* truth = nullptr;
+  const FiberMap* map = nullptr;
+
+  bool valid() const noexcept {
+    return cities != nullptr && row != nullptr && truth != nullptr && map != nullptr;
+  }
+
+  /// View of the paper world.  The scenario is pinned by `owner`.
+  static WorldView of(std::shared_ptr<const Scenario> scenario) {
+    WorldView view;
+    view.cities = &Scenario::cities();
+    view.row = &scenario->row();
+    view.truth = &scenario->truth();
+    view.map = &scenario->map();
+    view.owner = std::move(scenario);
+    return view;
+  }
+};
+
+}  // namespace intertubes::core

@@ -241,6 +241,7 @@ GroundTruth generate_ground_truth(const CityDatabase& cities, const RightOfWayRe
     auto weight = [&](const Corridor& c) {
       double w = c.length_km;
       if (c.mode == TransportMode::Pipeline) w *= params.pipeline_factor;
+      if (c.mode == TransportMode::Submarine) w *= params.submarine_factor;
       const auto& occ = occupancy[c.id];
       if (std::find(occ.begin(), occ.end(), isp) != occ.end()) {
         w *= params.own_reuse_factor;  // own conduit: nearly free

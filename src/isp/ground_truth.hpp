@@ -30,6 +30,10 @@ struct GroundTruthParams {
   double route_jitter = 0.42;
   /// Cost factor applied to pipeline corridors (harder ROW negotiations).
   double pipeline_factor = 1.12;
+  /// Cost factor applied to submarine-cable corridors.  Well above 1: an
+  /// intra-continent deployment never prefers an undersea detour, so cables
+  /// are lit only by the explicit intercontinental links worldgen plans.
+  double submarine_factor = 4.0;
   /// Deployment-order shuffling jitter: ISPs deploy in decreasing order of
   /// reuse_discount (facilities owners dig first, lessees arrive later).
   double order_jitter = 0.05;

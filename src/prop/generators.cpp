@@ -1,6 +1,7 @@
 #include "prop/generators.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <unordered_map>
 
@@ -10,6 +11,16 @@
 namespace intertubes::prop {
 
 namespace {
+
+/// Stretch a generator size cap by the process-wide --scale factor
+/// (Config::active().scale), never below `floor_`.  At scale 1 this is
+/// the identity, so default-scale case streams stay bit-identical.
+std::size_t scaled_cap(std::size_t value, std::size_t floor_) {
+  const double s = Config::active().scale;
+  const auto stretched =
+      static_cast<std::size_t>(std::llround(static_cast<double>(value) * s));
+  return std::max(floor_, stretched);
+}
 
 /// Append "drop chunks / drop one" candidates for a vector-valued field.
 template <typename Whole, typename Elem, typename Setter>
@@ -67,7 +78,10 @@ core::FiberMap barbell_map() {
 
 // --- Routing-engine cases ---------------------------------------------
 
-Gen<GraphCase> graph_cases(const GraphGenParams& params) {
+Gen<GraphCase> graph_cases(const GraphGenParams& base) {
+  GraphGenParams params = base;
+  params.max_nodes = static_cast<route::NodeId>(
+      scaled_cap(params.max_nodes, params.min_nodes));
   IT_CHECK(params.min_nodes >= 2 && params.min_nodes <= params.max_nodes);
   const Gen<double> weight = dyadic_weights();
   Gen<GraphCase> gen;
@@ -243,7 +257,11 @@ std::vector<MapSpec> shrink_map_spec(const MapSpec& spec) {
 
 }  // namespace
 
-Gen<MapSpec> fiber_maps(const MapGenParams& params) {
+Gen<MapSpec> fiber_maps(const MapGenParams& base) {
+  MapGenParams params = base;
+  params.max_cities = scaled_cap(params.max_cities, params.min_cities);
+  params.max_isps = scaled_cap(params.max_isps, params.min_isps);
+  params.max_links_per_isp = scaled_cap(params.max_links_per_isp, 1);
   IT_CHECK(params.min_cities >= 2 && params.min_cities <= params.max_cities);
   IT_CHECK(params.min_isps >= 1 && params.min_isps <= params.max_isps);
   Gen<MapSpec> gen;
@@ -319,7 +337,10 @@ Gen<MapSpec> fiber_maps(const MapGenParams& params) {
 }
 
 Gen<MapSpec> scenario_map_specs(const transport::RightOfWayRegistry& row, std::size_t num_isps,
-                                const MapGenParams& params) {
+                                const MapGenParams& base) {
+  MapGenParams params = base;
+  params.max_links_per_isp = scaled_cap(params.max_links_per_isp, 1);
+  params.max_walk_len = scaled_cap(params.max_walk_len, 1);
   IT_CHECK(num_isps >= 1);
   IT_CHECK(row.num_cities() >= 2);
   const transport::RightOfWayRegistry* registry = &row;

@@ -18,6 +18,12 @@
 // This header is also the single source of truth for the hand-shaped
 // fixtures the unit suites share (make_corridor, barbell_map): the ad-hoc
 // per-file copies were replaced by these.
+//
+// Every entry point below respects the process-wide --scale=N knob
+// (prop::Config::active().scale, also INTERTUBES_PROP_SCALE): size caps
+// (max nodes/cities/ISPs/links) are stretched by the factor before
+// generation, so the same property suites exercise N-times-bigger cases
+// without per-test plumbing.  Scale 1 is the bit-identical default.
 #pragma once
 
 #include <cstdint>

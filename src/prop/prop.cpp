@@ -14,12 +14,19 @@ namespace {
 std::optional<std::uint64_t> g_seed_override;
 std::optional<std::size_t> g_trials_override;
 std::optional<std::size_t> g_trial_override;
+std::optional<double> g_scale_override;
 std::mutex g_override_mu;
 
 std::optional<std::uint64_t> env_u64(const char* name) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return std::nullopt;
   return std::strtoull(raw, nullptr, 0);  // base 0: accepts 0x... and decimal
+}
+
+std::optional<double> env_f64(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  return std::strtod(raw, nullptr);
 }
 
 /// FNV-1a over the property name, so distinct properties draw distinct
@@ -41,19 +48,23 @@ Config Config::active() {
   if (const auto trials = env_u64("INTERTUBES_PROP_TRIALS")) {
     config.trials = static_cast<std::size_t>(*trials);
   }
+  if (const auto scale = env_f64("INTERTUBES_PROP_SCALE")) config.scale = *scale;
   std::lock_guard<std::mutex> lock(g_override_mu);
   if (g_seed_override) config.seed = *g_seed_override;
   if (g_trials_override) config.trials = *g_trials_override;
   if (g_trial_override) config.forced_trial = *g_trial_override;
+  if (g_scale_override) config.scale = *g_scale_override;
+  if (config.scale <= 0.0) config.scale = 1.0;
   return config;
 }
 
 void set_global_overrides(std::optional<std::uint64_t> seed, std::optional<std::size_t> trials,
-                          std::optional<std::size_t> forced_trial) {
+                          std::optional<std::size_t> forced_trial, std::optional<double> scale) {
   std::lock_guard<std::mutex> lock(g_override_mu);
   g_seed_override = seed;
   g_trials_override = trials;
   g_trial_override = forced_trial;
+  g_scale_override = scale;
 }
 
 std::string CheckResult::report() const {

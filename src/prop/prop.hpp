@@ -33,13 +33,19 @@
 namespace intertubes::prop {
 
 /// Runtime knobs.  Resolution order: explicit Config argument, process
-/// overrides installed by the test main's --seed=/--prop_trials= flags,
-/// then the INTERTUBES_PROP_SEED / INTERTUBES_PROP_TRIALS environment
-/// variables, then the built-in defaults.
+/// overrides installed by the test main's --seed=/--prop_trials=/--scale=
+/// flags, then the INTERTUBES_PROP_SEED / INTERTUBES_PROP_TRIALS /
+/// INTERTUBES_PROP_SCALE environment variables, then the built-in
+/// defaults.
 struct Config {
   std::uint64_t seed = 0x1257;
   std::size_t trials = 64;
   std::size_t max_shrink_steps = 400;
+  /// Multiplier on generated-world sizes (see generators.hpp): the
+  /// domain generators stretch their size caps by this factor, so the
+  /// same properties exercise bigger worlds under --scale=N without any
+  /// per-test plumbing.  1 = the historical case sizes, bit-identically.
+  double scale = 1.0;
   /// When set, run only this trial index (the --prop_trial= repro knob).
   std::optional<std::size_t> forced_trial;
 
@@ -50,7 +56,8 @@ struct Config {
 /// Install overrides parsed from the command line (nullopt = keep the
 /// env/default value).  Called once from the test main.
 void set_global_overrides(std::optional<std::uint64_t> seed, std::optional<std::size_t> trials,
-                          std::optional<std::size_t> forced_trial);
+                          std::optional<std::size_t> forced_trial,
+                          std::optional<double> scale = std::nullopt);
 
 /// A generator: create a value from an Rng, propose smaller variants of a
 /// failing value, and render a value for the repro report.  Shrink

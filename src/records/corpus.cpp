@@ -27,6 +27,9 @@ std::string mode_phrase(TransportMode m, Rng& rng) {
     case TransportMode::Pipeline:
       return rng.chance(0.5) ? "the refined-products pipeline easement"
                              : "the natural gas pipeline right-of-way";
+    case TransportMode::Submarine:
+      return rng.chance(0.5) ? "the submarine cable route between landing stations"
+                             : "the undersea cable corridor";
   }
   return "the right-of-way";
 }

@@ -82,6 +82,9 @@ ExtractedEntities EntityExtractor::extract(const Document& doc) const {
     out.row_mode = transport::TransportMode::Rail;
   } else if (contains(lower, "pipeline")) {
     out.row_mode = transport::TransportMode::Pipeline;
+  } else if (contains(lower, "submarine cable") || contains(lower, "undersea cable") ||
+             contains(lower, "landing station")) {
+    out.row_mode = transport::TransportMode::Submarine;
   } else if (contains(lower, "highway") || contains(lower, "interstate")) {
     out.row_mode = transport::TransportMode::Road;
   }

@@ -84,7 +84,7 @@ void fail(Response& response, Status status, std::string message) {
 
 void execute_shared_risk(const Snapshot& snap, const SharedRiskQuery& query,
                          Response& response) {
-  const auto& profiles = snap.scenario().truth().profiles();
+  const auto& profiles = snap.truth().profiles();
   const isp::IspId id = isp::find_profile(profiles, query.isp);
   if (id == isp::kNoIsp) {
     fail(response, Status::NotFound, "unknown ISP: " + query.isp);
@@ -110,7 +110,7 @@ void execute_top_conduits(const Snapshot& snap, const TopConduitsQuery& query,
     fail(response, Status::BadRequest, "top-conduits k must be positive");
     return;
   }
-  const auto& cities = core::Scenario::cities();
+  const auto& cities = snap.cities();
   TopConduitsResult result;
   for (core::ConduitId id : snap.matrix().most_shared_conduits(query.k)) {
     const auto& conduit = snap.map().conduit(id);
@@ -164,7 +164,7 @@ void execute_what_if_cut(const Snapshot& snap, const WhatIfCutQuery& query,
 }
 
 void execute_city_path(const Snapshot& snap, const CityPathQuery& query, Response& response) {
-  const auto& cities = core::Scenario::cities();
+  const auto& cities = snap.cities();
   const auto from = cities.find(query.from);
   const auto to = cities.find(query.to);
   if (!from || !to) {
@@ -205,7 +205,7 @@ void execute_hamming_neighbors(const Snapshot& snap, const HammingNeighborsQuery
     fail(response, Status::BadRequest, "hamming-neighbors k must be positive");
     return;
   }
-  const auto& profiles = snap.scenario().truth().profiles();
+  const auto& profiles = snap.truth().profiles();
   const isp::IspId id = isp::find_profile(profiles, query.isp);
   if (id == isp::kNoIsp) {
     fail(response, Status::NotFound, "unknown ISP: " + query.isp);
@@ -236,12 +236,12 @@ dissect::LatencyDissector make_dissector(const Snapshot& snap) {
   // Alias the snapshot's compiled conduit graph instead of building a
   // duplicate; the snapshot shared_ptr held by the request pins it.
   return dissect::LatencyDissector(snap.shared_path_engine(), snap.map().nodes(),
-                                   core::Scenario::cities(), snap.scenario().row());
+                                   snap.cities(), snap.row());
 }
 
 void execute_latency_dissection(const Snapshot& snap, const LatencyDissectionQuery& query,
                                 Response& response) {
-  const auto& cities = core::Scenario::cities();
+  const auto& cities = snap.cities();
   const auto from = cities.find(query.from);
   const auto to = cities.find(query.to);
   if (!from || !to) {
@@ -269,7 +269,7 @@ void execute_clatency_audit(const Snapshot& snap, const CLatencyAuditQuery& quer
     fail(response, Status::BadRequest, "audit target factor must be >= 1");
     return;
   }
-  const auto& cities = core::Scenario::cities();
+  const auto& cities = snap.cities();
   // The sweep runs serially inside this worker (no nested parallelism);
   // the epoch-keyed cache makes repeats on the same snapshot free.
   dissect::DissectOptions options;

@@ -21,32 +21,30 @@ void Snapshot::derive() {
     edges.push_back({conduit.a, conduit.b, conduit.length_km});
   }
   path_engine_ = std::make_shared<const route::PathEngine>(
-      static_cast<route::NodeId>(core::Scenario::cities().size()), std::move(edges));
+      static_cast<route::NodeId>(world_.cities->size()), std::move(edges));
   // After this, every const query on the map is write-free and may run
   // from any number of threads concurrently.
   map_.prepare_for_concurrent_reads();
   // The cascade engine aliases path_engine_ (edge id == conduit id holds
   // by construction above) and snapshots the demand substrate once here,
   // so what-if-cascade requests pay only the overload rounds.
-  cascade_ = std::make_shared<const cascade::CascadeEngine>(
-      map_, l3_.get(), &core::Scenario::cities(), &scenario_->row(), path_engine_);
+  cascade_ = std::make_shared<const cascade::CascadeEngine>(map_, l3_.get(), world_.cities,
+                                                           world_.row, path_engine_);
 }
 
-std::shared_ptr<Snapshot> Snapshot::build(std::shared_ptr<const core::Scenario> scenario,
-                                          SnapshotOptions options) {
-  IT_CHECK(scenario != nullptr);
+std::shared_ptr<Snapshot> Snapshot::build(core::WorldView world, SnapshotOptions options) {
+  IT_CHECK(world.valid());
   auto snap = std::shared_ptr<Snapshot>(new Snapshot());
-  snap->scenario_ = scenario;
-  snap->map_ = scenario->map();
-  snap->l3_ = std::make_shared<traceroute::L3Topology>(traceroute::L3Topology::from_ground_truth(
-      scenario->truth(), core::Scenario::cities()));
+  snap->world_ = std::move(world);
+  snap->map_ = *snap->world_.map;
+  snap->l3_ = std::make_shared<traceroute::L3Topology>(
+      traceroute::L3Topology::from_ground_truth(*snap->world_.truth, *snap->world_.cities));
   if (options.overlay_probes > 0) {
     traceroute::CampaignParams params;
     params.num_probes = options.overlay_probes;
-    const auto campaign =
-        traceroute::run_campaign(*snap->l3_, core::Scenario::cities(), params);
+    const auto campaign = traceroute::run_campaign(*snap->l3_, *snap->world_.cities, params);
     snap->overlay_ = std::make_shared<traceroute::OverlayResult>(
-        traceroute::overlay_campaign(snap->map_, core::Scenario::cities(), campaign));
+        traceroute::overlay_campaign(snap->map_, *snap->world_.cities, campaign));
   }
   snap->label_ = options.label.empty() ? "base world" : options.label;
   snap->derive();
@@ -65,10 +63,10 @@ std::shared_ptr<Snapshot> Snapshot::with_conduits_cut(const Snapshot& base,
   };
 
   auto snap = std::shared_ptr<Snapshot>(new Snapshot());
-  snap->scenario_ = base.scenario_;
+  snap->world_ = base.world_;
   snap->l3_ = base.l3_;  // ground-truth topology is unaffected by map cuts
 
-  const auto& row = snap->scenario_->row();
+  const auto& row = *snap->world_.row;
   core::FiberMap map(old_map.num_isps());
   // Surviving conduits keep tenancy (including overlay-inferred tenants
   // with no surviving link) and validation state.  Ids are re-assigned;

@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "cascade/cascade.hpp"
-#include "core/scenario.hpp"
+#include "core/world_view.hpp"
 #include "risk/risk_matrix.hpp"
 #include "route/path_engine.hpp"
 #include "traceroute/overlay.hpp"
@@ -37,12 +37,18 @@ struct SnapshotOptions {
 
 class Snapshot {
  public:
-  /// Derive every artifact from an already-built world.  The scenario is
-  /// held by shared_ptr so what-if variants can share it.  Also eagerly
-  /// builds the map's lazy adjacency, making all const queries on the
-  /// snapshot safe from any number of threads.
+  /// Derive every artifact from an already-built world.  The view's owner
+  /// handle pins the backing world so what-if variants can share it.  Also
+  /// eagerly builds the map's lazy adjacency, making all const queries on
+  /// the snapshot safe from any number of threads.  Works for any world
+  /// source: the paper Scenario or a worldgen::World.
+  static std::shared_ptr<Snapshot> build(core::WorldView world, SnapshotOptions options = {});
+
+  /// Paper-world convenience: build from a Scenario.
   static std::shared_ptr<Snapshot> build(std::shared_ptr<const core::Scenario> scenario,
-                                         SnapshotOptions options = {});
+                                         SnapshotOptions options = {}) {
+    return build(core::WorldView::of(std::move(scenario)), std::move(options));
+  }
 
   /// A what-if world: `cuts` (conduit ids of *base's* map) severed.  The
   /// surviving conduits keep their tenancy and validation state; links
@@ -57,7 +63,12 @@ class Snapshot {
   std::uint64_t epoch() const noexcept { return epoch_; }
   const std::string& label() const noexcept { return label_; }
 
-  const core::Scenario& scenario() const noexcept { return *scenario_; }
+  /// The world this snapshot was derived from.  Note map() below is the
+  /// snapshot's own (possibly what-if-cut) copy, not world().map.
+  const core::WorldView& world() const noexcept { return world_; }
+  const transport::CityDatabase& cities() const noexcept { return *world_.cities; }
+  const transport::RightOfWayRegistry& row() const noexcept { return *world_.row; }
+  const isp::GroundTruth& truth() const noexcept { return *world_.truth; }
   const core::FiberMap& map() const noexcept { return map_; }
   const risk::RiskMatrix& matrix() const noexcept { return matrix_; }
   const traceroute::L3Topology& l3() const noexcept { return *l3_; }
@@ -99,7 +110,7 @@ class Snapshot {
 
   std::uint64_t epoch_ = 0;
   std::string label_;
-  std::shared_ptr<const core::Scenario> scenario_;
+  core::WorldView world_;
   core::FiberMap map_{0};
   risk::RiskMatrix matrix_;
   std::shared_ptr<const traceroute::L3Topology> l3_;

@@ -261,7 +261,14 @@ const CityDatabase& CityDatabase::us_default() {
 
 CityDatabase::CityDatabase(std::vector<City> cities) : cities_(std::move(cities)) {
   IT_CHECK(!cities_.empty());
-  for (const auto& c : cities_) total_population_ += c.population;
+  by_display_name_.reserve(cities_.size());
+  by_name_.reserve(cities_.size());
+  for (CityId id = 0; id < cities_.size(); ++id) {
+    const auto& c = cities_[id];
+    total_population_ += c.population;
+    by_display_name_.emplace(to_lower(c.display_name()), id);  // first id wins
+    by_name_.emplace(to_lower(c.name), id);
+  }
 }
 
 const City& CityDatabase::city(CityId id) const {
@@ -272,12 +279,10 @@ const City& CityDatabase::city(CityId id) const {
 std::optional<CityId> CityDatabase::find(std::string_view name) const {
   const std::string wanted = to_lower(trim(name));
   // Exact "name, st" match first.
-  for (CityId id = 0; id < cities_.size(); ++id) {
-    if (to_lower(cities_[id].display_name()) == wanted) return id;
+  if (const auto it = by_display_name_.find(wanted); it != by_display_name_.end()) {
+    return it->second;
   }
-  for (CityId id = 0; id < cities_.size(); ++id) {
-    if (to_lower(cities_[id].name) == wanted) return id;
-  }
+  if (const auto it = by_name_.find(wanted); it != by_name_.end()) return it->second;
   return std::nullopt;
 }
 

@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "geo/geo_point.hpp"
@@ -64,6 +65,11 @@ class CityDatabase {
  private:
   std::vector<City> cities_;
   std::uint64_t total_population_ = 0;
+  // Name lookup index (lowercased keys, first id wins on duplicates —
+  // identical to the original linear scan's semantics, but O(1) so that
+  // dataset ingest stays linear at worldgen scales).
+  std::unordered_map<std::string, CityId> by_display_name_;
+  std::unordered_map<std::string, CityId> by_name_;
 };
 
 }  // namespace intertubes::transport

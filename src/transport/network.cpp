@@ -1,8 +1,10 @@
 #include "transport/network.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <functional>
+#include <unordered_set>
 
 #include "util/check.hpp"
 
@@ -13,6 +15,7 @@ std::string_view mode_name(TransportMode m) noexcept {
     case TransportMode::Road: return "road";
     case TransportMode::Rail: return "rail";
     case TransportMode::Pipeline: return "pipeline";
+    case TransportMode::Submarine: return "submarine";
   }
   return "?";
 }
@@ -43,8 +46,129 @@ bool TransportNetwork::connects(CityId a, CityId b) const {
   return false;
 }
 
+namespace {
+
+// Spatial accelerator for the Gabriel construction: a uniform lat/lon grid
+// answering "does any city lie strictly inside this disc?".  Purely a
+// pruning structure — every candidate is re-checked with the exact
+// distance_km predicate the naive O(N^3) scan used, so the resulting edge
+// set is bit-identical to it.
+class GabrielGrid {
+ public:
+  explicit GabrielGrid(const CityDatabase& cities) : cities_(cities) {
+    const auto n = static_cast<CityId>(cities.size());
+    for (CityId i = 0; i < n; ++i) {
+      const auto& p = cities.city(i).location;
+      min_lat_ = std::min(min_lat_, p.lat_deg);
+      max_lat_ = std::max(max_lat_, p.lat_deg);
+      min_lon_ = std::min(min_lon_, p.lon_deg);
+      max_lon_ = std::max(max_lon_, p.lon_deg);
+    }
+    const double span_lat = std::max(1e-3, max_lat_ - min_lat_);
+    const double span_lon = std::max(1e-3, max_lon_ - min_lon_);
+    // ~2 cities per cell keeps probe scans short without bloating the grid.
+    cell_deg_ =
+        std::max(0.05, std::sqrt(span_lat * span_lon * 2.0 / static_cast<double>(std::max<CityId>(n, 1))));
+    rows_ = static_cast<long>(span_lat / cell_deg_) + 1;
+    cols_ = static_cast<long>(span_lon / cell_deg_) + 1;
+    cells_.resize(static_cast<std::size_t>(rows_ * cols_));
+    for (CityId i = 0; i < n; ++i) {
+      const auto& p = cities.city(i).location;
+      cells_[static_cast<std::size_t>(row_of(p.lat_deg) * cols_ + col_of(p.lon_deg))].push_back(i);
+    }
+  }
+
+  /// True iff some city other than a/b satisfies
+  /// distance_km(center, c) < radius - 1e-9 — the exact naive predicate.
+  bool any_strictly_inside(const geo::GeoPoint& center, double radius, CityId a, CityId b) const {
+    // Conservative search box.  On the sphere, d >= R|dlat| bounds the
+    // latitude band; for longitude, haversine gives
+    //   sin(d/2R) >= cos(phi_band) * sin(|dlon|/2)
+    // where phi_band bounds |lat| of both endpoints, so any point within
+    // `radius` of `center` falls inside the box (wraparound handled below).
+    const double km_per_deg = geo::kEarthRadiusKm * geo::kPi / 180.0;
+    const double lat_hw = radius / km_per_deg;
+    const long r0 = row_of(center.lat_deg - lat_hw);
+    const long r1 = row_of(center.lat_deg + lat_hw);
+
+    const double band = std::min(89.9, std::abs(center.lat_deg) + lat_hw);
+    const double cos_band = std::cos(band * geo::kPi / 180.0);
+    const double half_angle = std::min(geo::kPi / 2.0, radius / (2.0 * geo::kEarthRadiusKm));
+    const double s = std::sin(half_angle);
+    double lon_hw = 180.0;
+    if (cos_band > s) lon_hw = 2.0 * std::asin(s / cos_band) * 180.0 / geo::kPi;
+
+    // Fast path: the center cell and its neighbours catch nearly every
+    // blocked pair in a dense map.
+    {
+      const long cr = row_of(center.lat_deg);
+      const long cc = col_of(center.lon_deg);
+      for (long r = std::max(cr - 1, 0L); r <= std::min(cr + 1, rows_ - 1); ++r) {
+        for (long c = std::max(cc - 1, 0L); c <= std::min(cc + 1, cols_ - 1); ++c) {
+          if (scan_cell(r, c, center, radius, a, b)) return true;
+        }
+      }
+    }
+
+    // Up to three column intervals: the raw one plus +-360-degree images
+    // (a disc straddling the antimeridian sees cities on the far side).
+    std::array<std::pair<long, long>, 3> ranges{};
+    std::size_t num_ranges = 0;
+    const auto add_range = [&](double lo, double hi) {
+      lo = std::max(lo, min_lon_);
+      hi = std::min(hi, max_lon_);
+      if (lo > hi) return;
+      ranges[num_ranges++] = {col_of(lo), col_of(hi)};
+    };
+    if (lon_hw >= 180.0) {
+      add_range(min_lon_, max_lon_);
+    } else {
+      add_range(center.lon_deg - lon_hw, center.lon_deg + lon_hw);
+      add_range(center.lon_deg - 360.0 - lon_hw, center.lon_deg - 360.0 + lon_hw);
+      add_range(center.lon_deg + 360.0 - lon_hw, center.lon_deg + 360.0 + lon_hw);
+    }
+
+    for (long r = std::max(r0, 0L); r <= std::min(r1, rows_ - 1); ++r) {
+      for (std::size_t k = 0; k < num_ranges; ++k) {
+        for (long c = ranges[k].first; c <= ranges[k].second; ++c) {
+          if (scan_cell(r, c, center, radius, a, b)) return true;
+        }
+      }
+    }
+    return false;
+  }
+
+ private:
+  long row_of(double lat) const {
+    return std::clamp(static_cast<long>((lat - min_lat_) / cell_deg_), 0L, rows_ - 1);
+  }
+  long col_of(double lon) const {
+    return std::clamp(static_cast<long>((lon - min_lon_) / cell_deg_), 0L, cols_ - 1);
+  }
+
+  bool scan_cell(long r, long c, const geo::GeoPoint& center, double radius, CityId a,
+                 CityId b) const {
+    for (CityId id : cells_[static_cast<std::size_t>(r * cols_ + c)]) {
+      if (id == a || id == b) continue;
+      // Strictly inside the diameter disc (small epsilon avoids ties for
+      // collinear metro clusters).
+      if (geo::distance_km(center, cities_.city(id).location) < radius - 1e-9) return true;
+    }
+    return false;
+  }
+
+  const CityDatabase& cities_;
+  double min_lat_ = 90.0, max_lat_ = -90.0, min_lon_ = 180.0, max_lon_ = -180.0;
+  double cell_deg_ = 1.0;
+  long rows_ = 1, cols_ = 1;
+  std::vector<std::vector<CityId>> cells_;
+};
+
+}  // namespace
+
 std::vector<std::pair<CityId, CityId>> gabriel_graph(const CityDatabase& cities) {
   const auto n = static_cast<CityId>(cities.size());
+  const GabrielGrid grid(cities);
   std::vector<std::pair<CityId, CityId>> edges;
   for (CityId a = 0; a < n; ++a) {
     for (CityId b = a + 1; b < n; ++b) {
@@ -52,14 +176,7 @@ std::vector<std::pair<CityId, CityId>> gabriel_graph(const CityDatabase& cities)
       const auto& pb = cities.city(b).location;
       const geo::GeoPoint mid = geo::midpoint(pa, pb);
       const double radius = geo::distance_km(pa, pb) / 2.0;
-      bool blocked = false;
-      for (CityId c = 0; c < n && !blocked; ++c) {
-        if (c == a || c == b) continue;
-        // Strictly inside the diameter disc (small epsilon avoids ties for
-        // collinear metro clusters).
-        if (geo::distance_km(mid, cities.city(c).location) < radius - 1e-9) blocked = true;
-      }
-      if (!blocked) edges.emplace_back(a, b);
+      if (!grid.any_strictly_inside(mid, radius, a, b)) edges.emplace_back(a, b);
     }
   }
   return edges;
@@ -75,6 +192,7 @@ geo::Polyline curved_path(const CityDatabase& cities, CityId a, CityId b, Transp
   double curvature = params.road_curvature;
   if (mode == TransportMode::Rail) curvature = params.rail_curvature;
   if (mode == TransportMode::Pipeline) curvature = params.pipeline_curvature;
+  if (mode == TransportMode::Submarine) curvature = params.submarine_curvature;
 
   // Deterministic per (seed, unordered city pair, mode): geometry is a
   // property of the corridor, not of which endpoint we started from.
@@ -112,14 +230,20 @@ geo::Polyline curved_path(const CityDatabase& cities, CityId a, CityId b, Transp
 namespace {
 
 std::vector<std::pair<CityId, CityId>> road_edge_set(const CityDatabase& cities,
-                                                     const NetworkGenParams& params) {
-  auto edges = gabriel_graph(cities);
-  // Roads: augment with each city's k nearest neighbours that are not
-  // already connected (interstates cross Gabriel-blocked regions).
+                                                     const NetworkGenParams& params,
+                                                     std::vector<std::pair<CityId, CityId>> edges) {
+  // Roads: augment the Gabriel graph with each city's k nearest neighbours
+  // that are not already connected (interstates cross Gabriel-blocked
+  // regions).
   const auto n = static_cast<CityId>(cities.size());
-  auto has_edge = [&edges](CityId a, CityId b) {
-    const auto key = std::make_pair(std::min(a, b), std::max(a, b));
-    return std::find(edges.begin(), edges.end(), key) != edges.end();
+  const auto pack = [](CityId a, CityId b) {
+    return (static_cast<std::uint64_t>(std::min(a, b)) << 32) | std::max(a, b);
+  };
+  std::unordered_set<std::uint64_t> edge_keys;
+  edge_keys.reserve(edges.size() * 2);
+  for (const auto& [a, b] : edges) edge_keys.insert(pack(a, b));
+  auto has_edge = [&edge_keys, &pack](CityId a, CityId b) {
+    return edge_keys.contains(pack(a, b));
   };
   for (CityId a = 0; a < n; ++a) {
     std::vector<std::pair<double, CityId>> dists;
@@ -133,6 +257,7 @@ std::vector<std::pair<CityId, CityId>> road_edge_set(const CityDatabase& cities,
       if (added >= params.road_extra_neighbors) break;
       if (!has_edge(a, b)) {
         edges.emplace_back(std::min(a, b), std::max(a, b));
+        edge_keys.insert(pack(a, b));
         ++added;
       }
     }
@@ -143,8 +268,8 @@ std::vector<std::pair<CityId, CityId>> road_edge_set(const CityDatabase& cities,
 }
 
 std::vector<std::pair<CityId, CityId>> pruned_edge_set(const CityDatabase& cities,
-                                                       double keep_fraction, Rng& rng) {
-  auto gabriel = gabriel_graph(cities);
+                                                       double keep_fraction, Rng& rng,
+                                                       std::vector<std::pair<CityId, CityId>> gabriel) {
   // Score each edge by endpoint population product (trunk lines between big
   // cities survive) with random jitter; keep the top fraction, then patch
   // connectivity with a spanning pass so no city is isolated.
@@ -209,33 +334,49 @@ TransportNetwork build_network(const CityDatabase& cities, TransportMode mode,
   return TransportNetwork(mode, std::move(edges), cities.size());
 }
 
-}  // namespace
-
-TransportNetwork generate_network(const CityDatabase& cities, TransportMode mode,
-                                  const NetworkGenParams& params) {
+TransportNetwork generate_from_gabriel(const CityDatabase& cities, TransportMode mode,
+                                       const NetworkGenParams& params,
+                                       std::vector<std::pair<CityId, CityId>> gabriel) {
   switch (mode) {
     case TransportMode::Road:
-      return build_network(cities, mode, road_edge_set(cities, params), params);
+      return build_network(cities, mode, road_edge_set(cities, params, std::move(gabriel)),
+                           params);
     case TransportMode::Rail: {
       Rng rng(mix64(params.seed ^ 0x5a11ULL));
-      return build_network(cities, mode, pruned_edge_set(cities, params.rail_keep_fraction, rng),
-                           params);
+      return build_network(
+          cities, mode, pruned_edge_set(cities, params.rail_keep_fraction, rng, std::move(gabriel)),
+          params);
     }
     case TransportMode::Pipeline: {
       Rng rng(mix64(params.seed ^ 0x919eULL));
-      return build_network(cities, mode,
-                           pruned_edge_set(cities, params.pipeline_keep_fraction, rng), params);
+      return build_network(
+          cities, mode,
+          pruned_edge_set(cities, params.pipeline_keep_fraction, rng, std::move(gabriel)), params);
     }
+    case TransportMode::Submarine:
+      // Submarine networks are laid cable by cable (worldgen plans landing
+      // pairs explicitly); there is no proximity-graph generator for them.
+      break;
   }
   IT_CHECK_MSG(false, "unreachable");
   throw std::logic_error("unreachable");
 }
 
+}  // namespace
+
+TransportNetwork generate_network(const CityDatabase& cities, TransportMode mode,
+                                  const NetworkGenParams& params) {
+  return generate_from_gabriel(cities, mode, params, gabriel_graph(cities));
+}
+
 TransportBundle generate_bundle(const CityDatabase& cities, const NetworkGenParams& params) {
+  // One Gabriel construction feeds all three mode-specific edge sets;
+  // results are identical to three generate_network calls.
+  const auto gabriel = gabriel_graph(cities);
   return TransportBundle{
-      generate_network(cities, TransportMode::Road, params),
-      generate_network(cities, TransportMode::Rail, params),
-      generate_network(cities, TransportMode::Pipeline, params),
+      generate_from_gabriel(cities, TransportMode::Road, params, gabriel),
+      generate_from_gabriel(cities, TransportMode::Rail, params, gabriel),
+      generate_from_gabriel(cities, TransportMode::Pipeline, params, gabriel),
   };
 }
 

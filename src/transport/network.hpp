@@ -20,7 +20,7 @@
 
 namespace intertubes::transport {
 
-enum class TransportMode : std::uint8_t { Road, Rail, Pipeline };
+enum class TransportMode : std::uint8_t { Road, Rail, Pipeline, Submarine };
 
 std::string_view mode_name(TransportMode m) noexcept;
 
@@ -79,6 +79,9 @@ struct NetworkGenParams {
   double road_curvature = 0.095;
   double rail_curvature = 0.15;
   double pipeline_curvature = 0.12;
+  /// Submarine cables run close to great circles; the small residual
+  /// curvature models seabed routing around bathymetry.
+  double submarine_curvature = 0.05;
   /// Number of interior vertices per 100 km of edge length.
   double vertices_per_100km = 4.0;
 };

@@ -6,7 +6,8 @@
 
 namespace intertubes::transport {
 
-RightOfWayRegistry::RightOfWayRegistry(const TransportBundle& bundle) {
+RightOfWayRegistry::RightOfWayRegistry(const TransportBundle& bundle,
+                                       const TransportNetwork* submarine) {
   num_cities_ = bundle.road.num_cities();
   IT_CHECK(bundle.rail.num_cities() == num_cities_);
   IT_CHECK(bundle.pipeline.num_cities() == num_cities_);
@@ -14,6 +15,10 @@ RightOfWayRegistry::RightOfWayRegistry(const TransportBundle& bundle) {
   add_network(bundle.road);
   add_network(bundle.rail);
   add_network(bundle.pipeline);
+  if (submarine) {
+    IT_CHECK(submarine->num_cities() == num_cities_);
+    add_network(*submarine);
+  }
   // Compile the corridor graph once; corridors are fixed from here on.
   std::vector<route::EdgeSpec> edges;
   edges.reserve(corridors_.size());

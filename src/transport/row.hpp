@@ -45,7 +45,13 @@ class RightOfWayRegistry {
   /// Build from the three-mode bundle.  Corridors joining the same city
   /// pair in different modes are kept distinct (a road and a rail between
   /// the same cities are different trenching opportunities).
-  explicit RightOfWayRegistry(const TransportBundle& bundle);
+  explicit RightOfWayRegistry(const TransportBundle& bundle)
+      : RightOfWayRegistry(bundle, nullptr) {}
+
+  /// Same, plus an optional submarine-cable network appended after the
+  /// land modes (worldgen's intercontinental corridors).  Corridor ids for
+  /// the land modes are identical to the three-mode constructor's.
+  RightOfWayRegistry(const TransportBundle& bundle, const TransportNetwork* submarine);
 
   std::size_t num_cities() const noexcept { return num_cities_; }
   const std::vector<Corridor>& corridors() const noexcept { return corridors_; }

@@ -1,0 +1,649 @@
+#include "worldgen/worldgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <memory>
+#include <unordered_set>
+
+#include "core/dataset_io.hpp"
+#include "sim/executor.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace intertubes::worldgen {
+
+using isp::IspId;
+using isp::IspProfile;
+using transport::CityId;
+using transport::CorridorId;
+using transport::TransportMode;
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Continent layout
+
+struct ContinentLayout {
+  geo::GeoPoint center;
+  double a_deg = 0.0;  ///< longitude semi-axis
+  double b_deg = 0.0;  ///< latitude semi-axis
+  std::size_t num_cities = 0;
+  std::string code;
+};
+
+std::size_t auto_continents(double scale) {
+  if (scale <= 1.0) return 1;
+  const auto c = static_cast<std::size_t>(1.0 + std::floor(std::log2(scale)));
+  return std::clamp<std::size_t>(c, 1, 12);
+}
+
+std::vector<ContinentLayout> layout_continents(const WorldSpec& spec, std::size_t num_continents,
+                                               std::size_t total_cities,
+                                               std::size_t paper_cities) {
+  std::vector<ContinentLayout> out(num_continents);
+  const double spacing = 320.0 / static_cast<double>(num_continents);
+  for (std::size_t c = 0; c < num_continents; ++c) {
+    Rng rng(mix64(spec.seed ^ (0xc0271e17ULL * (c + 1))));
+    auto& lay = out[c];
+    // Cities split evenly; the remainder goes to the westernmost meshes.
+    lay.num_cities = total_cities / num_continents + (c < total_cities % num_continents ? 1 : 0);
+    lay.num_cities = std::max<std::size_t>(lay.num_cities, 6);
+    // Landmass grows with the square root of its city count relative to
+    // the paper world, so density rises with scale (metro densification)
+    // instead of the ellipse swallowing the ocean gaps cables need.
+    const double f = std::sqrt(static_cast<double>(lay.num_cities) /
+                               static_cast<double>(std::max<std::size_t>(paper_cities, 1)));
+    lay.center.lon_deg = -160.0 + (static_cast<double>(c) + 0.5) * spacing;
+    lay.center.lat_deg = rng.uniform(-25.0, 40.0);
+    lay.a_deg = std::min(24.0 * std::clamp(f, 0.6, 3.2), 0.38 * spacing);
+    lay.b_deg = std::min(10.0 * std::clamp(f, 0.6, 3.2), 62.0 - std::abs(lay.center.lat_deg));
+    lay.code = {static_cast<char>('A' + c / 26), static_cast<char>('A' + c % 26)};
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// City synthesis
+
+const char* const kNameHeads[] = {"Bel", "Cor", "Dan", "El",  "Fen",  "Gar", "Hal", "Ist", "Jor",
+                                  "Kel", "Lor", "Mar", "Nor", "Osk",  "Per", "Quin", "Ros", "Sel",
+                                  "Tor", "Ul",  "Ver", "Wes", "Xan",  "Yor", "Zel"};
+const char* const kNameMids[] = {"a", "e", "i", "o", "u", "ar", "en", "il", "on", "ur"};
+const char* const kNameTails[] = {"burg",  "by",   "dale", "field", "ford", "gate",
+                                  "ham",   "haven", "mont", "mouth", "port", "ridge",
+                                  "side",  "stad",  "ton",  "ville", "wick", "worth"};
+
+std::string synth_name(Rng& rng, std::unordered_set<std::string>& used) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::string name = kNameHeads[rng.next_below(std::size(kNameHeads))];
+    name += kNameMids[rng.next_below(std::size(kNameMids))];
+    name += kNameTails[rng.next_below(std::size(kNameTails))];
+    if (used.insert(name).second) return name;
+  }
+  // Combinatorially exhausted (only plausible at extreme per-continent
+  // sizes): disambiguate with a counter.
+  for (std::size_t n = 2;; ++n) {
+    std::string name = kNameHeads[rng.next_below(std::size(kNameHeads))];
+    name += kNameTails[rng.next_below(std::size(kNameTails))];
+    name += " " + std::to_string(n);
+    if (used.insert(name).second) return name;
+  }
+}
+
+transport::Region region_of(const ContinentLayout& lay, double lon_deg) {
+  const double t =
+      std::clamp((lon_deg - (lay.center.lon_deg - lay.a_deg)) / (2.0 * lay.a_deg), 0.0, 0.999);
+  return static_cast<transport::Region>(static_cast<int>(t * 5.0));
+}
+
+std::vector<transport::City> synth_cities(const WorldSpec& spec, const ContinentLayout& lay,
+                                          std::size_t continent_index) {
+  Rng rng(mix64(spec.seed ^ (0xc171e500b5ULL * (continent_index + 1))));
+  const std::size_t n = lay.num_cities;
+  const std::size_t anchors = std::min<std::size_t>(n, std::clamp<std::size_t>(n / 18, 4, 48));
+
+  const auto sample_in_ellipse = [&]() {
+    for (;;) {
+      const double u = rng.uniform(-1.0, 1.0);
+      const double v = rng.uniform(-1.0, 1.0);
+      if (u * u + v * v > 1.0) continue;
+      return geo::GeoPoint{lay.center.lat_deg + v * lay.b_deg, lay.center.lon_deg + u * lay.a_deg};
+    }
+  };
+
+  std::vector<transport::City> cities;
+  cities.reserve(n);
+  std::unordered_set<std::string> used_names;
+  std::vector<double> anchor_mass;
+
+  // Anchor metros: uniform in the ellipse with a Zipf-ish population tail.
+  for (std::size_t i = 0; i < anchors; ++i) {
+    transport::City city;
+    city.name = synth_name(rng, used_names);
+    city.state = lay.code;
+    city.location = sample_in_ellipse();
+    const double pop = 8.5e6 * std::pow(static_cast<double>(i + 1), -0.9) * rng.uniform(0.75, 1.25);
+    city.population = static_cast<std::uint32_t>(std::max(pop, 4.0e5));
+    city.region = region_of(lay, city.location.lon_deg);
+    anchor_mass.push_back(static_cast<double>(city.population));
+    cities.push_back(std::move(city));
+  }
+
+  // Satellites cluster around population-weighted anchors.
+  for (std::size_t i = anchors; i < n; ++i) {
+    const std::size_t k = rng.weighted_pick(anchor_mass);
+    transport::City city;
+    city.name = synth_name(rng, used_names);
+    city.state = lay.code;
+    bool placed = false;
+    for (int attempt = 0; attempt < 16 && !placed; ++attempt) {
+      const geo::GeoPoint p{cities[k].location.lat_deg + rng.normal(0.0, 0.16 * lay.b_deg),
+                            cities[k].location.lon_deg + rng.normal(0.0, 0.16 * lay.a_deg)};
+      const double du = (p.lon_deg - lay.center.lon_deg) / lay.a_deg;
+      const double dv = (p.lat_deg - lay.center.lat_deg) / lay.b_deg;
+      if (du * du + dv * dv <= 1.0) {
+        city.location = p;
+        placed = true;
+      }
+    }
+    if (!placed) city.location = sample_in_ellipse();
+    city.population =
+        static_cast<std::uint32_t>(std::exp(rng.uniform(std::log(1.8e4), std::log(5.2e5))));
+    city.region = region_of(lay, city.location.lon_deg);
+    cities.push_back(std::move(city));
+  }
+  return cities;
+}
+
+// --------------------------------------------------------------------------
+// Per-continent profiles and meshes
+
+bool is_global_carrier(const IspProfile& p) { return p.kind == isp::IspKind::Tier1; }
+
+/// The per-continent deployment profile set: every default profile, with
+/// footprint sizes scaled to the continent's share of the world and local
+/// (non-Tier1) carriers renamed per continent so profile names stay
+/// globally unique.  Order matches default_profiles().
+std::vector<IspProfile> continent_profiles(const ContinentLayout& lay, std::size_t paper_cities,
+                                           bool suffix_locals) {
+  const double f =
+      static_cast<double>(lay.num_cities) / static_cast<double>(std::max<std::size_t>(paper_cities, 1));
+  std::vector<IspProfile> out = isp::default_profiles();
+  for (auto& p : out) {
+    if (suffix_locals && !is_global_carrier(p)) p.name += " (" + lay.code + ")";
+    p.target_pops = std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::llround(static_cast<double>(p.target_pops) * f)), 3,
+        lay.num_cities);
+    p.express_links = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(static_cast<double>(p.express_links) *
+                                                 std::min(f, 4.0))));
+  }
+  return out;
+}
+
+struct LocalMesh {
+  transport::CityDatabase cities;
+  transport::TransportBundle bundle;
+  transport::RightOfWayRegistry row;
+  isp::GroundTruth truth;
+};
+
+LocalMesh make_mesh(const WorldSpec& spec, const ContinentLayout& lay, std::size_t ci,
+                    std::size_t paper_cities, bool suffix_locals) {
+  transport::CityDatabase cities(synth_cities(spec, lay, ci));
+  transport::NetworkGenParams net = spec.network;
+  net.seed = mix64(spec.seed ^ (0x7e11a2d4c6e8f0abULL * (ci + 1)));
+  transport::TransportBundle bundle = transport::generate_bundle(cities, net);
+  transport::RightOfWayRegistry row(bundle);
+  isp::GroundTruthParams gt = spec.ground_truth;
+  gt.seed = mix64(spec.seed ^ (0x97a3d5f1c2e4b687ULL * (ci + 1)));
+  isp::GroundTruth truth =
+      isp::generate_ground_truth(cities, row, continent_profiles(lay, paper_cities, suffix_locals), gt);
+  return LocalMesh{std::move(cities), std::move(bundle), std::move(row), std::move(truth)};
+}
+
+// --------------------------------------------------------------------------
+// Submarine cables
+
+/// Seaward cable geometry between two landing stations: great-circle
+/// interpolation with a perpendicular sin(pi t) bulge (the undersea-festoon
+/// idiom), keeping the wet segment off the straight line so its latency
+/// profile is distinct from a hypothetical land path.
+geo::Polyline cable_arc(const geo::GeoPoint& pa, const geo::GeoPoint& pb, Rng& rng) {
+  const double d = geo::distance_km(pa, pb);
+  const double amp = rng.uniform(0.04, 0.10) * d;
+  const double side = rng.chance(0.5) ? 1.0 : -1.0;
+  const auto interior = std::clamp<std::size_t>(static_cast<std::size_t>(d / 250.0), 8, 48);
+  std::vector<geo::GeoPoint> pts;
+  pts.reserve(interior + 2);
+  pts.push_back(pa);
+  for (std::size_t i = 1; i <= interior; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(interior + 1);
+    const geo::GeoPoint on_gc = geo::interpolate(pa, pb, t);
+    const double bearing = geo::initial_bearing_deg(on_gc, pb);
+    const double offset = side * amp * std::sin(geo::kPi * t) +
+                          rng.normal(0.0, 0.01 * d / static_cast<double>(interior + 1));
+    pts.push_back(geo::destination(on_gc, bearing + 90.0, offset));
+  }
+  pts.push_back(pb);
+  return geo::Polyline(std::move(pts));
+}
+
+/// Coastal landing candidates of a continent facing east (+1) or west
+/// (-1): the cities in the facing-most fifth of the mesh, best first by a
+/// coast-proximity x population score.
+std::vector<CityId> landing_candidates(const transport::CityDatabase& cities, int facing) {
+  std::vector<std::pair<double, CityId>> scored;
+  for (CityId id = 0; id < cities.size(); ++id) {
+    const auto& c = cities.city(id);
+    const double coast = static_cast<double>(facing) * c.location.lon_deg;
+    scored.emplace_back(coast + 0.35 * std::log1p(static_cast<double>(c.population)), id);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& x, const auto& y) {
+    if (x.first != y.first) return x.first > y.first;
+    return x.second < y.second;
+  });
+  const std::size_t keep = std::max<std::size_t>(4, cities.size() / 5);
+  std::vector<CityId> out;
+  for (std::size_t i = 0; i < keep && i < scored.size(); ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// World
+
+World::World(WorldSpec spec, transport::CityDatabase cities, transport::TransportBundle bundle,
+             transport::TransportNetwork submarine, std::vector<ContinentInfo> continents)
+    : spec_(std::move(spec)),
+      cities_(std::move(cities)),
+      bundle_(std::move(bundle)),
+      submarine_(std::move(submarine)),
+      row_(bundle_, &submarine_),
+      continents_(std::move(continents)) {}
+
+std::size_t World::continent_of(CityId id) const {
+  for (std::size_t c = 0; c < continents_.size(); ++c) {
+    if (continents_[c].contains_city(id)) return c;
+  }
+  IT_CHECK_MSG(false, "city id outside every continent range");
+  return continents_.size();
+}
+
+std::string World::dataset() const {
+  return core::serialize_dataset(map_, cities_, row_, truth_.profiles());
+}
+
+World generate_world(const WorldSpec& spec, sim::Executor* executor) {
+  IT_CHECK_MSG(spec.scale > 0.0, "WorldSpec.scale must be positive");
+  const std::size_t paper_cities = transport::CityDatabase::us_default().size();
+  const std::size_t total_cities = std::max<std::size_t>(
+      static_cast<std::size_t>(std::llround(spec.scale * static_cast<double>(paper_cities))), 6);
+  const std::size_t num_continents =
+      spec.continents > 0 ? spec.continents : auto_continents(spec.scale);
+  IT_CHECK_MSG(num_continents <= 312, "continent count out of range");
+  const bool suffix_locals = num_continents > 1;
+
+  const auto layouts = layout_continents(spec, num_continents, total_cities, paper_cities);
+
+  // Per-continent meshes: each is a pure function of (spec, index), so the
+  // parallel fan-out merges bit-identically in continent order.
+  std::vector<std::unique_ptr<LocalMesh>> meshes;
+  if (executor && num_continents > 1) {
+    meshes = executor->parallel_map<std::unique_ptr<LocalMesh>>(num_continents, [&](std::size_t ci) {
+      return std::make_unique<LocalMesh>(make_mesh(spec, layouts[ci], ci, paper_cities, suffix_locals));
+    });
+  } else {
+    meshes.reserve(num_continents);
+    for (std::size_t ci = 0; ci < num_continents; ++ci) {
+      meshes.push_back(
+          std::make_unique<LocalMesh>(make_mesh(spec, layouts[ci], ci, paper_cities, suffix_locals)));
+    }
+  }
+
+  // ---- merge cities ------------------------------------------------------
+  std::vector<ContinentInfo> continents(num_continents);
+  std::vector<CityId> city_offset(num_continents, 0);
+  std::vector<transport::City> all_cities;
+  for (std::size_t ci = 0; ci < num_continents; ++ci) {
+    city_offset[ci] = static_cast<CityId>(all_cities.size());
+    continents[ci].code = layouts[ci].code;
+    continents[ci].center = layouts[ci].center;
+    continents[ci].lon_semi_axis_deg = layouts[ci].a_deg;
+    continents[ci].lat_semi_axis_deg = layouts[ci].b_deg;
+    continents[ci].city_begin = city_offset[ci];
+    for (const auto& c : meshes[ci]->cities.all()) all_cities.push_back(c);
+    continents[ci].city_end = static_cast<CityId>(all_cities.size());
+  }
+  const std::size_t num_cities = all_cities.size();
+
+  // ---- merge transport networks per mode ---------------------------------
+  const auto merge_mode = [&](TransportMode mode) {
+    std::vector<transport::TransportEdge> merged;
+    for (std::size_t ci = 0; ci < num_continents; ++ci) {
+      const transport::TransportNetwork& net = mode == TransportMode::Road ? meshes[ci]->bundle.road
+                                               : mode == TransportMode::Rail
+                                                   ? meshes[ci]->bundle.rail
+                                                   : meshes[ci]->bundle.pipeline;
+      for (const auto& e : net.edges()) {
+        transport::TransportEdge ge = e;
+        ge.id = static_cast<transport::EdgeId>(merged.size());
+        ge.a = e.a + city_offset[ci];
+        ge.b = e.b + city_offset[ci];
+        merged.push_back(std::move(ge));
+      }
+    }
+    return transport::TransportNetwork(mode, std::move(merged), num_cities);
+  };
+  transport::TransportBundle bundle{merge_mode(TransportMode::Road),
+                                    merge_mode(TransportMode::Rail),
+                                    merge_mode(TransportMode::Pipeline)};
+
+  // Global corridor layout mirrors RightOfWayRegistry's insertion order:
+  // all roads (by continent), all rails, all pipelines, then cables.
+  std::vector<std::size_t> road_base(num_continents), rail_base(num_continents),
+      pipe_base(num_continents);
+  {
+    std::size_t roads = 0, rails = 0, pipes = 0;
+    for (std::size_t ci = 0; ci < num_continents; ++ci) {
+      road_base[ci] = roads;
+      roads += meshes[ci]->bundle.road.edges().size();
+    }
+    for (std::size_t ci = 0; ci < num_continents; ++ci) {
+      rail_base[ci] = roads + rails;
+      rails += meshes[ci]->bundle.rail.edges().size();
+    }
+    for (std::size_t ci = 0; ci < num_continents; ++ci) {
+      pipe_base[ci] = roads + rails + pipes;
+      pipes += meshes[ci]->bundle.pipeline.edges().size();
+    }
+  }
+  const std::size_t land_corridors = bundle.road.edges().size() + bundle.rail.edges().size() +
+                                     bundle.pipeline.edges().size();
+  const auto remap_corridor = [&](std::size_t ci, CorridorId local) -> CorridorId {
+    const std::size_t roads = meshes[ci]->bundle.road.edges().size();
+    const std::size_t rails = meshes[ci]->bundle.rail.edges().size();
+    if (local < roads) return static_cast<CorridorId>(road_base[ci] + local);
+    if (local < roads + rails) return static_cast<CorridorId>(rail_base[ci] + (local - roads));
+    return static_cast<CorridorId>(pipe_base[ci] + (local - roads - rails));
+  };
+
+  // ---- plan submarine cables ---------------------------------------------
+  struct PlannedCable {
+    std::size_t u = 0, v = 0;            // continents
+    CityId landing_u = 0, landing_v = 0; // local ids
+  };
+  std::vector<PlannedCable> planned;
+  if (num_continents > 1) {
+    std::vector<std::pair<std::size_t, std::size_t>> adjacent;
+    for (std::size_t ci = 0; ci + 1 < num_continents; ++ci) adjacent.emplace_back(ci, ci + 1);
+    // Close the ring across the antimeridian ocean when there are enough
+    // landmasses for the "round the world" route to make sense.
+    if (num_continents >= 3) adjacent.emplace_back(num_continents - 1, 0);
+    for (std::size_t pi = 0; pi < adjacent.size(); ++pi) {
+      const auto [u, v] = adjacent[pi];
+      Rng rng(mix64(spec.seed ^ (0x5eacab1e77ULL * (pi + 1))));
+      // u faces east toward v, v faces west toward u (also true for the
+      // ring-closing pair, whose geodesic crosses the antimeridian).
+      auto east = landing_candidates(meshes[u]->cities, +1);
+      auto west = landing_candidates(meshes[v]->cities, -1);
+      for (std::size_t k = 0; k < spec.cables_per_adjacency; ++k) {
+        PlannedCable cable;
+        cable.u = u;
+        cable.v = v;
+        // Distinct landings per cable: draw without replacement, biased to
+        // the best-ranked coastal cities.
+        const auto draw = [&rng](std::vector<CityId>& pool) {
+          std::vector<double> w(pool.size());
+          for (std::size_t i = 0; i < pool.size(); ++i)
+            w[i] = 1.0 / static_cast<double>(i + 1);
+          const std::size_t pick = rng.weighted_pick(w);
+          const CityId id = pool[pick];
+          if (pool.size() > 1) pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+          return id;
+        };
+        cable.landing_u = draw(east);
+        cable.landing_v = draw(west);
+        planned.push_back(cable);
+      }
+    }
+  }
+
+  std::vector<transport::TransportEdge> cable_edges;
+  std::vector<CableSystem> cables;
+  for (std::size_t k = 0; k < planned.size(); ++k) {
+    const auto& plan = planned[k];
+    Rng rng(mix64(spec.seed ^ (0xcab1e5a7c9ULL * (k + 1))));
+    const CityId ga = plan.landing_u + city_offset[plan.u];
+    const CityId gb = plan.landing_v + city_offset[plan.v];
+    transport::TransportEdge e;
+    e.id = static_cast<transport::EdgeId>(cable_edges.size());
+    e.a = ga;
+    e.b = gb;
+    e.mode = TransportMode::Submarine;
+    e.path = cable_arc(all_cities[ga].location, all_cities[gb].location, rng);
+    e.length_km = e.path.length_km();
+    CableSystem sys;
+    sys.name = all_cities[ga].name + "-" + all_cities[gb].name + " cable";
+    sys.corridor = static_cast<CorridorId>(land_corridors + k);
+    sys.landing_a = ga;
+    sys.landing_b = gb;
+    sys.continent_a = plan.u;
+    sys.continent_b = plan.v;
+    sys.length_km = e.length_km;
+    cables.push_back(std::move(sys));
+    cable_edges.push_back(std::move(e));
+  }
+  transport::TransportNetwork submarine(TransportMode::Submarine, std::move(cable_edges),
+                                        num_cities);
+
+  // ---- construct the world (compiles the global ROW registry) ------------
+  World world(spec, transport::CityDatabase(std::move(all_cities)), std::move(bundle),
+              std::move(submarine), std::move(continents));
+  const std::size_t num_corridors = world.row_.corridors().size();
+  IT_CHECK(num_corridors == land_corridors + planned.size());
+
+  // ---- merge ground truth -------------------------------------------------
+  // Global profile list: the Tier1 carriers once (they deploy on every
+  // continent under one identity), then each continent's local carriers.
+  const auto& base_profiles = isp::default_profiles();
+  std::vector<std::size_t> tier1_slots;  // positions of globals in default order
+  for (std::size_t i = 0; i < base_profiles.size(); ++i) {
+    if (is_global_carrier(base_profiles[i])) tier1_slots.push_back(i);
+  }
+  std::vector<IspProfile> profiles;
+  // local profile index (= default order) -> global IspId, per continent
+  std::vector<std::vector<IspId>> isp_remap(num_continents,
+                                            std::vector<IspId>(base_profiles.size(), isp::kNoIsp));
+  for (std::size_t g = 0; g < tier1_slots.size(); ++g) {
+    IspProfile p = base_profiles[tier1_slots[g]];
+    p.target_pops = static_cast<std::size_t>(
+        std::llround(static_cast<double>(p.target_pops) * std::max(spec.scale, 1.0)));
+    for (std::size_t ci = 0; ci < num_continents; ++ci) {
+      isp_remap[ci][tier1_slots[g]] = static_cast<IspId>(g);
+    }
+    profiles.push_back(std::move(p));
+  }
+  for (std::size_t ci = 0; ci < num_continents; ++ci) {
+    const auto& local_profiles = meshes[ci]->truth.profiles();
+    for (std::size_t i = 0; i < local_profiles.size(); ++i) {
+      if (is_global_carrier(local_profiles[i])) continue;
+      isp_remap[ci][i] = static_cast<IspId>(profiles.size());
+      profiles.push_back(local_profiles[i]);  // already suffixed + scaled
+    }
+  }
+  const std::size_t num_globals = tier1_slots.size();
+
+  std::vector<std::vector<CityId>> pops(profiles.size());
+  std::vector<isp::TrueLink> links;
+  for (std::size_t ci = 0; ci < num_continents; ++ci) {
+    const auto& truth = meshes[ci]->truth;
+    for (std::size_t i = 0; i < truth.profiles().size(); ++i) {
+      const IspId gid = isp_remap[ci][i];
+      for (CityId pop : truth.pops_of(static_cast<IspId>(i))) {
+        pops[gid].push_back(pop + city_offset[ci]);
+      }
+    }
+    for (const auto& link : truth.links()) {
+      isp::TrueLink gl;
+      gl.isp = isp_remap[ci][link.isp];
+      gl.a = link.a + city_offset[ci];
+      gl.b = link.b + city_offset[ci];
+      gl.corridors.reserve(link.corridors.size());
+      for (CorridorId cid : link.corridors) gl.corridors.push_back(remap_corridor(ci, cid));
+      gl.length_km = link.length_km;
+      links.push_back(std::move(gl));
+    }
+  }
+
+  // Intercontinental links: each cable is lit by a consortium of global
+  // carriers; every member lands a hub-to-hub link riding its continental
+  // backhaul, the wet segment, and the far-side backhaul.
+  for (std::size_t k = 0; k < cables.size(); ++k) {
+    auto& cable = cables[k];
+    const auto& plan = planned[k];
+    Rng rng(mix64(spec.seed ^ (0xc0507471a3ULL * (k + 1))));
+    const std::size_t consortium =
+        std::min<std::size_t>(num_globals, spec.min_cable_tenants + rng.next_below(2));
+    auto members = rng.sample_indices(num_globals, consortium);
+    std::sort(members.begin(), members.end());
+    for (std::size_t g : members) {
+      const std::size_t local_slot = tier1_slots[g];
+      // The carrier's busiest POP on each side is the cable's backhaul hub
+      // (ties break to the lowest city id for determinism).
+      const auto hub_of = [&](std::size_t ci) {
+        const auto& mesh_pops = meshes[ci]->truth.pops_of(static_cast<IspId>(local_slot));
+        CityId best = mesh_pops.empty() ? 0 : mesh_pops.front();
+        for (CityId p : mesh_pops) {
+          const auto& cand = meshes[ci]->cities.city(p);
+          const auto& cur = meshes[ci]->cities.city(best);
+          if (cand.population > cur.population ||
+              (cand.population == cur.population && p < best)) {
+            best = p;
+          }
+        }
+        return best;
+      };
+      const CityId hub_u = hub_of(plan.u);
+      const CityId hub_v = hub_of(plan.v);
+      isp::TrueLink link;
+      link.isp = static_cast<IspId>(g);
+      link.a = hub_u + city_offset[plan.u];
+      link.b = hub_v + city_offset[plan.v];
+      if (hub_u != plan.landing_u) {
+        const auto path = meshes[plan.u]->row.shortest_path(hub_u, plan.landing_u);
+        for (CorridorId cid : path.corridors) link.corridors.push_back(remap_corridor(plan.u, cid));
+      }
+      link.corridors.push_back(cable.corridor);
+      if (hub_v != plan.landing_v) {
+        const auto path = meshes[plan.v]->row.shortest_path(plan.landing_v, hub_v);
+        for (CorridorId cid : path.corridors) link.corridors.push_back(remap_corridor(plan.v, cid));
+      }
+      for (CorridorId cid : link.corridors) {
+        link.length_km += world.row_.corridor(cid).length_km;
+      }
+      cable.tenants.push_back(static_cast<IspId>(g));
+      links.push_back(std::move(link));
+    }
+  }
+
+  world.truth_ = isp::GroundTruth(std::move(profiles), std::move(pops), std::move(links),
+                                  num_corridors);
+  world.cables_ = std::move(cables);
+
+  // ---- emit through the published-dataset ingest path --------------------
+  // The oracle map is serialized to the TSV dataset format and strictly
+  // re-parsed; World::map() is the ingested copy, so every generated world
+  // is certified against the same validation the real dataset gets.
+  const core::FiberMap oracle = core::map_from_ground_truth(world.truth_, world.row_);
+  const std::string text =
+      core::serialize_dataset(oracle, world.cities_, world.row_, world.truth_.profiles());
+  world.map_ = core::parse_dataset(text, world.cities_, world.row_, world.truth_.profiles());
+  return world;
+}
+
+// --------------------------------------------------------------------------
+// Summary + validation
+
+WorldSummary summarize(const World& world) {
+  WorldSummary s;
+  s.cities = world.cities().size();
+  s.continents = world.continents().size();
+  s.cables = world.cables().size();
+  s.isps = world.truth().num_isps();
+  const core::MapStats stats = core::compute_stats(world.map());
+  s.nodes = stats.nodes;
+  s.links = stats.links;
+  s.conduits = stats.conduits;
+  s.total_conduit_km = stats.total_conduit_km;
+  std::size_t tenant_sum = 0;
+  for (const auto& conduit : world.map().conduits()) {
+    tenant_sum += conduit.tenants.size();
+    if (world.row().corridor(conduit.corridor).mode == TransportMode::Submarine) {
+      ++s.submarine_conduits;
+    }
+  }
+  if (s.conduits > 0) {
+    s.mean_tenants = static_cast<double>(tenant_sum) / static_cast<double>(s.conduits);
+    s.mean_conduit_km = s.total_conduit_km / static_cast<double>(s.conduits);
+  }
+  if (s.nodes > 0) s.mean_degree = 2.0 * static_cast<double>(s.conduits) / static_cast<double>(s.nodes);
+  return s;
+}
+
+std::vector<std::string> validate(const World& world) {
+  std::vector<std::string> violations;
+  const auto fail = [&violations](std::string msg) { violations.push_back(std::move(msg)); };
+
+  for (std::size_t c = 0; c < world.continents().size(); ++c) {
+    const auto& info = world.continents()[c];
+    if (info.city_begin >= info.city_end) {
+      fail("continent " + info.code + " has an empty city range");
+    }
+  }
+
+  // Only submarine conduits may join two continents.
+  for (const auto& conduit : world.map().conduits()) {
+    const auto mode = world.row().corridor(conduit.corridor).mode;
+    const bool crosses = world.continent_of(conduit.a) != world.continent_of(conduit.b);
+    if (crosses && mode != TransportMode::Submarine) {
+      fail("inter-continent conduit " + std::to_string(conduit.id) + " has land mode");
+    }
+    if (!crosses && mode == TransportMode::Submarine) {
+      fail("submarine conduit " + std::to_string(conduit.id) + " stays on one continent");
+    }
+  }
+
+  // Cables are genuinely shared wet segments.
+  for (const auto& cable : world.cables()) {
+    if (cable.tenants.size() < world.spec().min_cable_tenants) {
+      fail(cable.name + " has " + std::to_string(cable.tenants.size()) + " tenants (min " +
+           std::to_string(world.spec().min_cable_tenants) + ")");
+    }
+  }
+
+  // Every link's conduit chain is a connected walk from link.a to link.b.
+  for (const auto& link : world.map().links()) {
+    CityId at = link.a;
+    bool ok = true;
+    for (core::ConduitId cid : link.conduits) {
+      const auto& conduit = world.map().conduit(cid);
+      if (conduit.a == at) {
+        at = conduit.b;
+      } else if (conduit.b == at) {
+        at = conduit.a;
+      } else {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok || at != link.b) {
+      fail("link " + std::to_string(link.id) + " chain is not a connected a-to-b walk");
+    }
+  }
+  return violations;
+}
+
+}  // namespace intertubes::worldgen

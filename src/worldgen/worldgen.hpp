@@ -1,0 +1,178 @@
+// Deterministic, seeded, planet-scale synthetic world generation.
+//
+// The paper's construction (§3) builds one US world: a city set, road/rail/
+// pipeline rights-of-way, and per-ISP deployments over them.  This module
+// scales that construction to N continental meshes — population-weighted
+// city placement inside elliptical landmasses, the same Gabriel-graph
+// corridor synthesis per continent — stitched together by submarine cable
+// systems: long, distinct-hazard, distinct-latency conduits between coastal
+// landing stations, each shared by a consortium of global carriers (the
+// substrate shape of Nautilus-style cable cartography).
+//
+// A single WorldSpec{scale, continents, seed} drives sizes from 1x (the
+// paper world's statistical envelope) to 100x.  The generated map is
+// emitted through the existing dataset_io ingest path — serialized to the
+// TSV dataset format and strictly re-parsed — so every downstream consumer
+// (risk matrix, route::PathEngine, dissect, cascade, serve snapshots) runs
+// on generated worlds unchanged.
+//
+// Determinism contract: generate_world(spec) is a pure function of the
+// spec.  Each continent is generated from its own RNG substream of
+// spec.seed and merged in continent order, so results are bit-identical
+// for any executor thread count (including none).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fiber_map.hpp"
+#include "core/world_view.hpp"
+#include "isp/ground_truth.hpp"
+#include "transport/cities.hpp"
+#include "transport/network.hpp"
+#include "transport/row.hpp"
+
+namespace intertubes::sim {
+class Executor;
+}
+
+namespace intertubes::worldgen {
+
+struct WorldSpec {
+  /// Total city count ≈ scale × the paper world's (~140 cities at 1x).
+  double scale = 1.0;
+  /// Continental meshes; 0 = auto (1 + floor(log2(scale)), capped at 12).
+  std::size_t continents = 0;
+  std::uint64_t seed = 0x1257;
+  /// Cable systems laid per adjacent continent pair (a west-to-east chain,
+  /// plus one trans-ocean closing cable when there are 3+ continents).
+  std::size_t cables_per_adjacency = 2;
+  /// Minimum consortium size per cable (ISPs sharing the wet segment).
+  std::size_t min_cable_tenants = 2;
+  /// Corridor-synthesis knobs, reused from the paper's §3 generator.  The
+  /// seed fields are overridden per continent from `seed`.
+  transport::NetworkGenParams network;
+  isp::GroundTruthParams ground_truth;
+
+  WorldSpec with_seed(std::uint64_t s) const {
+    WorldSpec out = *this;
+    out.seed = s;
+    return out;
+  }
+};
+
+/// One generated landmass: an elliptical region of the globe plus the
+/// contiguous city-id range its mesh occupies in the global database.
+struct ContinentInfo {
+  std::string code;  ///< Two-letter "state" code of every city on it.
+  geo::GeoPoint center;
+  double lon_semi_axis_deg = 0.0;
+  double lat_semi_axis_deg = 0.0;
+  transport::CityId city_begin = 0;
+  transport::CityId city_end = 0;  ///< exclusive
+
+  bool contains_city(transport::CityId id) const noexcept {
+    return id >= city_begin && id < city_end;
+  }
+};
+
+/// One submarine cable system: a single long conduit between two landing
+/// stations, lit by a consortium of global carriers.
+struct CableSystem {
+  std::string name;
+  transport::CorridorId corridor = transport::kNoCorridor;
+  transport::CityId landing_a = transport::kNoCity;
+  transport::CityId landing_b = transport::kNoCity;
+  std::size_t continent_a = 0;
+  std::size_t continent_b = 0;
+  std::vector<isp::IspId> tenants;  ///< global-carrier consortium, sorted
+  double length_km = 0.0;
+};
+
+/// Summary statistics for validation against the paper world (and for the
+/// CLI's generation report).
+struct WorldSummary {
+  std::size_t cities = 0;
+  std::size_t nodes = 0;  ///< map nodes (cities touched by conduits)
+  std::size_t links = 0;
+  std::size_t conduits = 0;
+  std::size_t submarine_conduits = 0;
+  std::size_t isps = 0;
+  std::size_t continents = 0;
+  std::size_t cables = 0;
+  double mean_degree = 0.0;       ///< conduit-graph node degree
+  double mean_tenants = 0.0;      ///< tenants per conduit (sharing)
+  double mean_conduit_km = 0.0;
+  double total_conduit_km = 0.0;
+};
+
+/// A fully generated world, self-contained (no references into the spec or
+/// any generator state).  The map() accessor is the *ingested* map: the
+/// generator serializes its oracle map through core::serialize_dataset and
+/// strictly re-parses it, so holding a World proves the world round-trips
+/// the published-dataset path.
+class World {
+ public:
+  const WorldSpec& spec() const noexcept { return spec_; }
+  const transport::CityDatabase& cities() const noexcept { return cities_; }
+  const transport::TransportBundle& bundle() const noexcept { return bundle_; }
+  const transport::TransportNetwork& submarine() const noexcept { return submarine_; }
+  const transport::RightOfWayRegistry& row() const noexcept { return row_; }
+  const isp::GroundTruth& truth() const noexcept { return truth_; }
+  /// The strict-ingested FiberMap (round-tripped through dataset_io).
+  const core::FiberMap& map() const noexcept { return map_; }
+  const std::vector<ContinentInfo>& continents() const noexcept { return continents_; }
+  const std::vector<CableSystem>& cables() const noexcept { return cables_; }
+
+  /// Continent index owning a city id.
+  std::size_t continent_of(transport::CityId id) const;
+
+  /// Serialize the map as a TSV dataset (the same bytes the generator
+  /// ingested; re-serialization is deterministic).
+  std::string dataset() const;
+
+  /// Non-owning world view for serve::Snapshot::build and friends; the
+  /// caller must keep this World alive for the view's lifetime (pass a
+  /// shared_ptr-backed view via core::WorldView{...} with `owner` set when
+  /// the lifetime is not lexically obvious).
+  core::WorldView view() const noexcept {
+    core::WorldView v;
+    v.cities = &cities_;
+    v.row = &row_;
+    v.truth = &truth_;
+    v.map = &map_;
+    return v;
+  }
+
+ private:
+  friend World generate_world(const WorldSpec&, sim::Executor*);
+  World(WorldSpec spec, transport::CityDatabase cities, transport::TransportBundle bundle,
+        transport::TransportNetwork submarine, std::vector<ContinentInfo> continents);
+
+  WorldSpec spec_;
+  transport::CityDatabase cities_;
+  transport::TransportBundle bundle_;
+  transport::TransportNetwork submarine_;
+  transport::RightOfWayRegistry row_;
+  isp::GroundTruth truth_{{}, {}, {}, 0};
+  core::FiberMap map_{0};
+  std::vector<ContinentInfo> continents_;
+  std::vector<CableSystem> cables_;
+};
+
+/// Generate a world from the spec.  When `executor` is non-null the
+/// per-continent meshes are generated in parallel; results are
+/// bit-identical either way.
+World generate_world(const WorldSpec& spec, sim::Executor* executor = nullptr);
+
+/// Summary statistics of a generated world.
+WorldSummary summarize(const World& world);
+
+/// Cheap structural invariant checks; returns human-readable violations
+/// (empty = valid).  Checks: every inter-continent conduit is submarine,
+/// every cable has at least spec.min_cable_tenants tenants, every link's
+/// conduit chain is connected, and every continent's mesh is non-empty.
+std::vector<std::string> validate(const World& world);
+
+}  // namespace intertubes::worldgen

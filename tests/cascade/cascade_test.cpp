@@ -42,7 +42,7 @@ const CascadeEngine& scenario_engine() {
 TEST(Cascade, BaselineWorldIsAFixedPoint) {
   const auto& engine = barbell_engine();
   EXPECT_EQ(engine.num_demands(), 3u);
-  EXPECT_EQ(engine.baseline_load(), (std::vector<std::uint32_t>{1, 1, 1, 1, 1}));
+  EXPECT_EQ(engine.baseline_load(), (std::vector<double>{1, 1, 1, 1, 1}));
 
   const auto outcome = engine.run_cascade({}, {});
   ASSERT_EQ(outcome.rounds.size(), 1u);
@@ -116,6 +116,59 @@ TEST(Cascade, NothingDeliverableReportsInfiniteStretch) {
   EXPECT_DOUBLE_EQ(point.demand_delivered, 0.0);
   EXPECT_TRUE(std::isinf(point.mean_stretch));
   EXPECT_EQ(outcome.isp_links_lost, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(Cascade, ExplicitUnitWeightsAreBitIdenticalToDefault) {
+  // Passing an all-1.0 weight vector must reproduce the unit-demand
+  // engine exactly — every curve value, not just approximately.
+  const auto map = prop::barbell_map();
+  const std::vector<double> unit(map.links().size(), 1.0);
+  const CascadeEngine weighted(map, nullptr, nullptr, nullptr, nullptr, &unit);
+  EXPECT_EQ(weighted.baseline_load(), barbell_engine().baseline_load());
+  for (const std::vector<ConduitId>& cuts :
+       {std::vector<ConduitId>{}, {0}, {2}, {0, 2, 4}}) {
+    EXPECT_EQ(weighted.run_cascade(cuts, {}), barbell_engine().run_cascade(cuts, {}));
+  }
+}
+
+TEST(Cascade, TrafficWeightsReprovisionTheDetour) {
+  // Weight the cycle demand riding conduit 4 at 4x: baseline load on the
+  // detour becomes 4, capacity 5, and the reroute of the (unit) 2->3->4
+  // demand after cutting conduit 2 now fits (load 5 <= 5) where the unit
+  // world cascaded (RerouteOverloadsTheDetourAndCascades above).  Traffic
+  // weighting changes which failures amplify — the §4.3 point.
+  const auto map = prop::barbell_map();
+  const std::vector<double> weights = {1.0, 1.0, 4.0};  // by LinkId
+  const CascadeEngine engine(map, nullptr, nullptr, nullptr, nullptr, &weights);
+  EXPECT_EQ(engine.baseline_load(), (std::vector<double>{1, 1, 1, 1, 4}));
+
+  const auto outcome = engine.run_cascade({2}, {});
+  EXPECT_TRUE(outcome.converged);
+  EXPECT_TRUE(outcome.overload_failures.empty());
+  EXPECT_DOUBLE_EQ(outcome.rounds.back().demand_delivered, 1.0);
+}
+
+TEST(Cascade, DeliveredFractionIsWeightAware) {
+  // Strand the heavy demand: losing a weight-2 demand out of total 4
+  // delivers 1/2, not the 2/3 the unit count would report.
+  const auto map = prop::barbell_map();
+  const std::vector<double> weights = {2.0, 1.0, 1.0};
+  const CascadeEngine engine(map, nullptr, nullptr, nullptr, nullptr, &weights);
+  const auto outcome = engine.run_cascade({0}, {});
+  EXPECT_DOUBLE_EQ(outcome.rounds.back().demand_delivered, 0.5);
+  EXPECT_EQ(outcome.isp_links_lost, (std::vector<std::uint32_t>{1, 0}));
+}
+
+TEST(Cascade, TrafficDemandWeightsFollowProbeVolume) {
+  // weight = max(1, log2(1 + probes over the link's chain)) with a unit
+  // floor for unprobed links.
+  const auto map = prop::barbell_map();
+  const std::vector<std::uint64_t> probes = {0, 0, 3, 0, 0};  // by ConduitId
+  const auto weights = traffic_demand_weights(map, probes);
+  ASSERT_EQ(weights.size(), 3u);
+  EXPECT_DOUBLE_EQ(weights[0], 1.0);  // chain {0,1}: no probes -> floor
+  EXPECT_DOUBLE_EQ(weights[1], 2.0);  // chain {2,3}: log2(1 + 3)
+  EXPECT_DOUBLE_EQ(weights[2], 1.0);  // chain {4}: no probes -> floor
 }
 
 TEST(Cascade, EvaluateStructureSeparatesBridgesFromCycleEdges) {

@@ -1,0 +1,119 @@
+// Property oracles for worldgen/: for any spec the generator accepts,
+// the produced world must (a) strictly ingest through dataset_io and
+// re-serialize to the same bytes, (b) keep submarine cables as the only
+// inter-continent conduits (plus the other validate() invariants), and
+// (c) be bit-identical across seeds of parallelism — no executor, a
+// 1-thread executor, and a 4-thread executor must produce byte-equal
+// datasets.
+//
+// Generation dominates the trial cost, so these run few trials with
+// small scales; --seed=/--prop_trial= repro lines apply as usual.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "core/dataset_io.hpp"
+#include "prop/prop.hpp"
+#include "util/diag.hpp"
+#include "prop/prop_gtest.hpp"
+#include "sim/executor.hpp"
+#include "worldgen/worldgen.hpp"
+
+namespace intertubes::testing {
+namespace {
+
+std::string describe_spec(const worldgen::WorldSpec& spec) {
+  std::ostringstream out;
+  out << "WorldSpec{scale=" << spec.scale << ", continents=" << spec.continents << ", seed=0x"
+      << std::hex << spec.seed << "}";
+  return out.str();
+}
+
+/// Random world specs: scale in [0.25, 1.5] (kept small — generation cost
+/// is the whole trial), 1–3 continents or auto, fresh seed per trial.
+/// Scale stretches with the process-wide --scale knob like every other
+/// domain generator.
+prop::Gen<worldgen::WorldSpec> world_specs() {
+  prop::Gen<worldgen::WorldSpec> gen;
+  gen.create = [](Rng& rng) {
+    worldgen::WorldSpec spec;
+    spec.scale = (0.25 + 1.25 * rng.next_double()) * prop::Config::active().scale;
+    spec.continents = static_cast<std::size_t>(rng.next_below(4));  // 0 = auto
+    spec.seed = rng.next_u64();
+    return spec;
+  };
+  gen.shrink = [](const worldgen::WorldSpec&) { return std::vector<worldgen::WorldSpec>{}; };
+  gen.describe = describe_spec;
+  return gen;
+}
+
+prop::Config few_trials() {
+  prop::Config config = prop::Config::active();
+  config.trials = std::min<std::size_t>(config.trials, 6);
+  return config;
+}
+
+TEST(PropWorldgen, EveryGeneratedWorldIngestsStrictlyAndRoundTrips) {
+  EXPECT_PROP(prop::check<worldgen::WorldSpec>(
+      "worldgen_strict_ingest", world_specs(),
+      [](const worldgen::WorldSpec& spec) -> std::optional<std::string> {
+        const auto world = worldgen::generate_world(spec);
+        const std::string text = world.dataset();
+        try {
+          const auto map = core::parse_dataset(text, world.cities(), world.row(),
+                                               world.truth().profiles());
+          const auto again = core::serialize_dataset(map, world.cities(), world.row(),
+                                                     world.truth().profiles());
+          if (again != text) return "re-serialization is not a fixed point";
+        } catch (const ParseError& e) {
+          return std::string("strict parse rejected generated world: ") + e.what();
+        }
+        return std::nullopt;
+      },
+      few_trials()));
+}
+
+TEST(PropWorldgen, StructuralInvariantsHoldForAnySpec) {
+  EXPECT_PROP(prop::check<worldgen::WorldSpec>(
+      "worldgen_validate", world_specs(),
+      [](const worldgen::WorldSpec& spec) -> std::optional<std::string> {
+        const auto world = worldgen::generate_world(spec);
+        const auto violations = worldgen::validate(world);
+        if (!violations.empty()) return violations.front();
+        // validate() covers submarine-only crossings via corridor modes;
+        // double-check against the continent ranges independently.
+        for (const auto& conduit : world.map().conduits()) {
+          const bool crosses =
+              world.continent_of(conduit.a) != world.continent_of(conduit.b);
+          const bool submarine = world.row().corridor(conduit.corridor).mode ==
+                                 transport::TransportMode::Submarine;
+          if (crosses != submarine) return "inter-continent conduit is not submarine";
+        }
+        return std::nullopt;
+      },
+      few_trials()));
+}
+
+TEST(PropWorldgen, GenerationIsBitIdenticalAcrossThreadCounts) {
+  EXPECT_PROP(prop::check<worldgen::WorldSpec>(
+      "worldgen_thread_invariance", world_specs(),
+      [](const worldgen::WorldSpec& spec) -> std::optional<std::string> {
+        const auto serial = worldgen::generate_world(spec, nullptr);
+        sim::Executor one(1);
+        sim::Executor four(4);
+        const auto threaded1 = worldgen::generate_world(spec, &one);
+        const auto threaded4 = worldgen::generate_world(spec, &four);
+        if (serial.dataset() != threaded1.dataset()) {
+          return "1-thread executor changed the dataset bytes";
+        }
+        if (serial.dataset() != threaded4.dataset()) {
+          return "4-thread executor changed the dataset bytes";
+        }
+        return std::nullopt;
+      },
+      few_trials()));
+}
+
+}  // namespace
+}  // namespace intertubes::testing

@@ -87,8 +87,9 @@ TEST(ServeSnapshot, WhatIfCutSeversExactlyTheAffectedLinks) {
   EXPECT_EQ(cut->map().links().size(), base.map().links().size() - expect_severed);
   EXPECT_EQ(cut->matrix().num_conduits(), cut->map().conduits().size());
   EXPECT_NE(cut->label().find("cut {"), std::string::npos);
-  // Base world shares the scenario and is untouched.
-  EXPECT_EQ(&cut->scenario(), &base.scenario());
+  // Base world shares the backing world and is untouched.
+  EXPECT_EQ(cut->world().owner, base.world().owner);
+  EXPECT_EQ(&cut->truth(), &base.truth());
   EXPECT_EQ(base.map().conduits().size(), testing::shared_scenario().map().conduits().size());
 }
 

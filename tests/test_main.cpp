@@ -23,9 +23,11 @@ int main(int argc, char** argv) {
   //   --seed=0x1257    root seed for every prop::check in this run
   //   --prop_trials=N  trials per property
   //   --prop_trial=N   run exactly one trial (the printed repro line)
+  //   --scale=N        stretch domain-generator size caps by N
   std::optional<std::uint64_t> seed;
   std::optional<std::size_t> trials;
   std::optional<std::size_t> trial;
+  std::optional<double> scale;
   for (int i = 1; i < argc; ++i) {
     if (const char* v = flag_value(argv[i], "--seed")) {
       seed = std::strtoull(v, nullptr, 0);
@@ -33,8 +35,10 @@ int main(int argc, char** argv) {
       trials = static_cast<std::size_t>(std::strtoull(v, nullptr, 0));
     } else if (const char* v = flag_value(argv[i], "--prop_trial")) {
       trial = static_cast<std::size_t>(std::strtoull(v, nullptr, 0));
+    } else if (const char* v = flag_value(argv[i], "--scale")) {
+      scale = std::strtod(v, nullptr);
     }
   }
-  intertubes::prop::set_global_overrides(seed, trials, trial);
+  intertubes::prop::set_global_overrides(seed, trials, trial, scale);
   return RUN_ALL_TESTS();
 }

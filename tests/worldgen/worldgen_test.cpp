@@ -1,0 +1,148 @@
+// Unit suites for worldgen/: structural invariants of generated worlds,
+// statistical agreement with the paper world at 1x, determinism, and the
+// downstream-consumer smoke path (snapshot -> cascade -> dissect).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cascade/cascade.hpp"
+#include "core/dataset_io.hpp"
+#include "dissect/dissector.hpp"
+#include "serve/snapshot.hpp"
+#include "sim/executor.hpp"
+#include "test_support.hpp"
+#include "worldgen/worldgen.hpp"
+
+namespace intertubes::testing {
+namespace {
+
+worldgen::WorldSpec small_spec() {
+  worldgen::WorldSpec spec;
+  spec.scale = 1.0;
+  spec.continents = 2;  // force a submarine adjacency at paper size
+  spec.seed = 0x1257;
+  return spec;
+}
+
+const worldgen::World& small_world() {
+  static const worldgen::World w = worldgen::generate_world(small_spec());
+  return w;
+}
+
+TEST(Worldgen, GeneratedWorldPassesValidation) {
+  const auto violations = worldgen::validate(small_world());
+  EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST(Worldgen, ContinentsPartitionTheCitySet) {
+  const auto& world = small_world();
+  ASSERT_EQ(world.continents().size(), 2u);
+  transport::CityId next = 0;
+  for (const auto& continent : world.continents()) {
+    EXPECT_EQ(continent.city_begin, next);
+    EXPECT_GT(continent.city_end, continent.city_begin);
+    next = continent.city_end;
+  }
+  EXPECT_EQ(next, static_cast<transport::CityId>(world.cities().size()));
+  EXPECT_EQ(world.continent_of(0), 0u);
+  EXPECT_EQ(world.continent_of(next - 1), world.continents().size() - 1);
+}
+
+TEST(Worldgen, CablesAreSharedSubmarineCorridors) {
+  const auto& world = small_world();
+  ASSERT_FALSE(world.cables().empty());
+  for (const auto& cable : world.cables()) {
+    EXPECT_GE(cable.tenants.size(), world.spec().min_cable_tenants);
+    EXPECT_TRUE(std::is_sorted(cable.tenants.begin(), cable.tenants.end()));
+    const auto& corridor = world.row().corridor(cable.corridor);
+    EXPECT_EQ(corridor.mode, transport::TransportMode::Submarine);
+    EXPECT_NE(world.continent_of(cable.landing_a), world.continent_of(cable.landing_b));
+    EXPECT_GT(cable.length_km, 0.0);
+  }
+}
+
+TEST(Worldgen, SubmarineConduitsCrossContinentsLandConduitsDoNot) {
+  const auto& world = small_world();
+  std::size_t submarine = 0;
+  for (const auto& conduit : world.map().conduits()) {
+    const bool crosses = world.continent_of(conduit.a) != world.continent_of(conduit.b);
+    const bool is_submarine =
+        world.row().corridor(conduit.corridor).mode == transport::TransportMode::Submarine;
+    EXPECT_EQ(crosses, is_submarine) << "conduit " << conduit.a << "-" << conduit.b;
+    submarine += is_submarine ? 1 : 0;
+  }
+  EXPECT_EQ(submarine, world.cables().size());
+}
+
+TEST(Worldgen, PaperScaleWorldMatchesScenarioEnvelope) {
+  // A 1x single-continent world must land in the paper world's
+  // statistical envelope: same city count and ISP roster size, and the
+  // same order of magnitude in density/sharing (the generator reuses the
+  // §3 construction, not its exact corridor draw).
+  worldgen::WorldSpec spec;
+  spec.continents = 1;
+  const auto world = worldgen::generate_world(spec);
+  const auto summary = worldgen::summarize(world);
+  const auto& scenario = shared_scenario();
+  const auto stats = core::compute_stats(scenario.map());
+
+  EXPECT_EQ(summary.cities, scenario.row().num_cities());
+  EXPECT_EQ(summary.isps, scenario.truth().profiles().size());
+  EXPECT_EQ(summary.continents, 1u);
+  EXPECT_EQ(summary.submarine_conduits, 0u);
+
+  const auto ratio = [](double a, double b) { return a / b; };
+  const double conduit_ratio =
+      ratio(static_cast<double>(summary.conduits), static_cast<double>(stats.conduits));
+  const double link_ratio =
+      ratio(static_cast<double>(summary.links), static_cast<double>(stats.links));
+  EXPECT_GT(conduit_ratio, 0.5);
+  EXPECT_LT(conduit_ratio, 2.0);
+  EXPECT_GT(link_ratio, 0.5);
+  EXPECT_LT(link_ratio, 2.0);
+  EXPECT_GT(summary.mean_tenants, 1.0);
+  EXPECT_GT(summary.mean_degree, 2.0);
+}
+
+TEST(Worldgen, GenerationIsDeterministicAndSeedSensitive) {
+  const auto again = worldgen::generate_world(small_spec());
+  EXPECT_EQ(small_world().dataset(), again.dataset());
+
+  const auto other = worldgen::generate_world(small_spec().with_seed(0x9e37));
+  EXPECT_NE(small_world().dataset(), other.dataset());
+}
+
+TEST(Worldgen, DatasetRoundTripsStrictly) {
+  const auto& world = small_world();
+  const std::string text = world.dataset();
+  // Strict parse throws on any defect; re-serialization is a fixed point.
+  const auto reparsed =
+      core::parse_dataset(text, world.cities(), world.row(), world.truth().profiles());
+  EXPECT_EQ(core::serialize_dataset(reparsed, world.cities(), world.row(),
+                                    world.truth().profiles()),
+            text);
+}
+
+TEST(Worldgen, SnapshotCascadeAndDissectRunOnGeneratedWorlds) {
+  const auto& world = small_world();
+  const auto snapshot = serve::Snapshot::build(world.view(), {0, "worldgen test"});
+  EXPECT_EQ(&snapshot->cities(), &world.cities());
+  EXPECT_EQ(snapshot->map().links().size(), world.map().links().size());
+
+  cascade::CascadeConfig config;
+  config.stressor = sim::Stressor::random_cuts(3);
+  config.trials = 4;
+  const auto report = snapshot->cascade_engine().run(config);
+  EXPECT_EQ(report.trials, 4u);
+  EXPECT_GT(report.demand_delivered.points.back().mean, 0.0);
+
+  sim::Executor executor(2);
+  dissect::LatencyDissector dissector(snapshot->shared_path_engine(),
+                                      snapshot->map().nodes(), world.cities(), world.row());
+  const auto study = dissector.dissect(&executor, {});
+  EXPECT_GT(study.pairs.size(), study.fiber_unreachable);
+}
+
+}  // namespace
+}  // namespace intertubes::testing
