@@ -9,6 +9,7 @@
 // Extra flag: `--trials=small` shrinks benchmark min-time for CI smoke
 // runs (it rewrites to --benchmark_min_time=0.01 before the native flags
 // are parsed).
+#include <algorithm>
 #include <cstring>
 
 #include "bench_support.hpp"
@@ -16,6 +17,7 @@
 #include "route/cache.hpp"
 #include "route/path_engine.hpp"
 #include "sim/executor.hpp"
+#include "util/alloc.hpp"
 
 namespace {
 
@@ -72,6 +74,41 @@ void BM_MemoizedRerouteQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MemoizedRerouteQuery)->Unit(benchmark::kMicrosecond);
+
+/// The zero-allocation steady state: warmed workspace, reused mask and
+/// Path output buffers, reroute via the into-caller-buffer overload.
+/// allocs_per_query is the tracked counter — 0 is the DESIGN.md §14
+/// guarantee (requires util/alloc_hooks.cpp linked into this binary).
+void BM_SteadyStateReroute(benchmark::State& state) {
+  const auto& map = bench::map();
+  route::PathEngine::Workspace ws;
+  engine().warm_workspace(ws);
+  route::Path out;
+  // Warm the output buffers to the graph bound (a path visits each node
+  // at most once), so no query in the loop ever grows them.
+  out.edges.reserve(engine().num_nodes());
+  out.nodes.reserve(engine().num_nodes());
+  std::vector<route::EdgeId> mask(1, 0);
+  route::Query query;
+  query.masked = &mask;
+  std::size_t i = 0;
+  // Per-iteration deltas: counts only the query itself, not the harness's
+  // own between-iteration bookkeeping.
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const auto& conduit = map.conduits()[i % map.conduits().size()];
+    mask[0] = conduit.id;
+    const std::uint64_t before = util::thread_alloc_counts().allocs;
+    engine().shortest_path(conduit.a, conduit.b, query, ws, out);
+    allocs += util::thread_alloc_counts().allocs - before;
+    benchmark::DoNotOptimize(out.cost);
+    ++i;
+  }
+  const double iterations = static_cast<double>(std::max<std::int64_t>(state.iterations(), 1));
+  state.counters["allocs_per_query"] = static_cast<double>(allocs) / iterations;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SteadyStateReroute)->Unit(benchmark::kMicrosecond);
 
 /// The Fig-10 fan-out shape: one reroute per conduit, parallelized over
 /// the executor with ordered reduction (cold cache each iteration, so the

@@ -7,6 +7,7 @@
 // number — the cache must buy >= 5x.  Then google-benchmark timings of the
 // end-to-end serve path (per-request latency, cold vs warm) for JSON
 // extraction via --bench_json=<path>.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -14,7 +15,9 @@
 
 #include "bench_support.hpp"
 #include "serve/engine.hpp"
+#include "serve/fastpath.hpp"
 #include "serve/snapshot.hpp"
+#include "util/alloc.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -144,6 +147,88 @@ void BM_ServeWarmMixed(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ServeWarmMixed)->Unit(benchmark::kMicrosecond);
+
+/// Accumulates operator-new calls across the timed kernel invocations only
+/// (per-iteration deltas, so google-benchmark's own between-iteration
+/// bookkeeping is not attributed to the kernel) and reports the tracked
+/// allocs_per_query counter.  0 at steady state is the DESIGN.md §14
+/// guarantee; requires the util/alloc_hooks.cpp object linked into this
+/// binary.
+struct AllocTally {
+  std::uint64_t allocs = 0;
+  std::uint64_t before = 0;
+  void begin() { before = util::thread_alloc_counts().allocs; }
+  void end() { allocs += util::thread_alloc_counts().allocs - before; }
+  void report(benchmark::State& state) const {
+    const double iterations =
+        static_cast<double>(std::max<std::int64_t>(state.iterations(), 1));
+    state.counters["allocs_per_query"] = static_cast<double>(allocs) / iterations;
+  }
+};
+
+/// Zero-alloc kernel: what-if-cut blast radius over the SoA projections.
+void BM_FastWhatIfCut(benchmark::State& state) {
+  const auto& snap = *snapshot();
+  const auto targets = snap.matrix().most_shared_conduits(2);
+  const std::vector<core::ConduitId> cuts{targets[0], targets[1]};
+  serve::fastpath::RequestScratch scratch;
+  scratch.warm(snap);
+  serve::fastpath::CutImpact impact;
+  serve::fastpath::fast_what_if_cut(snap.soa(), cuts, scratch, impact);  // cold pass
+  AllocTally tally;
+  for (auto _ : state) {
+    tally.begin();
+    serve::fastpath::fast_what_if_cut(snap.soa(), cuts, scratch, impact);
+    tally.end();
+    benchmark::DoNotOptimize(impact.connected_fraction_after);
+  }
+  tally.report(state);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FastWhatIfCut)->Unit(benchmark::kMicrosecond);
+
+/// Zero-alloc kernel: Hamming nearest neighbors over the usage bitset.
+void BM_FastHammingNeighbors(benchmark::State& state) {
+  const auto& snap = *snapshot();
+  serve::fastpath::RequestScratch scratch;
+  scratch.warm(snap);
+  serve::fastpath::fast_hamming_neighbors(snap.soa(), 0, 5, scratch);  // cold pass
+  std::uint32_t isp = 0;
+  const auto num_isps = static_cast<std::uint32_t>(snap.soa().num_isps);
+  AllocTally tally;
+  for (auto _ : state) {
+    tally.begin();
+    const auto count =
+        serve::fastpath::fast_hamming_neighbors(snap.soa(), isp++ % num_isps, 5, scratch);
+    tally.end();
+    benchmark::DoNotOptimize(count);
+  }
+  tally.report(state);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FastHammingNeighbors)->Unit(benchmark::kMicrosecond);
+
+/// Zero-alloc kernel: city-pair shortest path into scratch buffers.
+void BM_FastCityPath(benchmark::State& state) {
+  const auto& snap = *snapshot();
+  const auto& soa = snap.soa();
+  serve::fastpath::RequestScratch scratch;
+  scratch.warm(snap);
+  serve::fastpath::fast_city_path(snap, soa.conduit_a[0], soa.conduit_b[0], scratch);
+  std::size_t i = 0;
+  const std::size_t num_conduits = soa.conduit_a.size();
+  AllocTally tally;
+  for (auto _ : state) {
+    const std::size_t c = i++ % num_conduits;
+    tally.begin();
+    serve::fastpath::fast_city_path(snap, soa.conduit_a[c], soa.conduit_b[c], scratch);
+    tally.end();
+    benchmark::DoNotOptimize(scratch.path.cost);
+  }
+  tally.report(state);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FastCityPath)->Unit(benchmark::kMicrosecond);
 
 void BM_SnapshotWhatIfCut(benchmark::State& state) {
   const auto targets = snapshot()->matrix().most_shared_conduits(1);

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cctype>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -137,6 +138,56 @@ inline const traceroute::OverlayResult& overlay() {
   return o;
 }
 
+/// Replace bare non-finite numeric tokens (`inf`, `-inf`, `nan`, `-nan`)
+/// outside string literals with `null`, returning how many were rewritten.
+/// google-benchmark prints doubles through printf, so an infinite rate or
+/// NaN counter lands in the dump as a bare token — which is not JSON, and
+/// used to crash every downstream consumer (check_regressions.py,
+/// run_all.py, EXPERIMENTS.md extraction).  String contents are left
+/// untouched: benchmark names like "BM_Infinity" must survive.
+inline std::size_t sanitize_nonfinite_json(std::string& json) {
+  static constexpr const char* kTokens[] = {"-inf", "inf", "-nan", "nan"};
+  std::string out;
+  out.reserve(json.size());
+  std::size_t replaced = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (std::size_t i = 0; i < json.size();) {
+    const char c = json[i];
+    if (in_string) {
+      out.push_back(c);
+      escaped = !escaped && c == '\\';
+      if (!escaped && c == '"') in_string = false;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    bool matched = false;
+    for (const char* token : kTokens) {
+      const std::size_t len = std::char_traits<char>::length(token);
+      if (json.compare(i, len, token) != 0) continue;
+      const char next = i + len < json.size() ? json[i + len] : '\0';
+      if (std::isalnum(static_cast<unsigned char>(next)) || next == '_') continue;
+      out += "null";
+      i += len;
+      ++replaced;
+      matched = true;
+      break;
+    }
+    if (!matched) {
+      out.push_back(c);
+      ++i;
+    }
+  }
+  if (replaced != 0) json = std::move(out);
+  return replaced;
+}
+
 /// Print the artifact header used by EXPERIMENTS.md extraction.
 inline void artifact_banner(const std::string& id, const std::string& caption) {
   std::cout << "\n================================================================\n"
@@ -181,24 +232,30 @@ inline int run_benchmarks(int argc, char** argv) {
   // Process-wide peak RSS: printed for humans and spliced into the JSON
   // context for check_regressions.py / EXPERIMENTS.md extraction.
   const std::size_t rss_kb = peak_rss_kb();
-  if (rss_kb != 0) {
-    std::cout << "peak_rss_kb: " << rss_kb << "\n";
-    if (!json_path.empty()) {
-      std::ifstream in(json_path);
-      if (in) {
-        std::ostringstream buf;
-        buf << in.rdbuf();
-        std::string json = buf.str();
-        in.close();
-        const std::string anchor = "\"context\": {";
-        const std::size_t at = json.find(anchor);
-        if (at != std::string::npos) {
-          json.insert(at + anchor.size(),
-                      "\n    \"peak_rss_kb\": " + std::to_string(rss_kb) + ",");
-          std::ofstream out(json_path, std::ios::trunc);
-          out << json;
-        }
+  if (rss_kb != 0) std::cout << "peak_rss_kb: " << rss_kb << "\n";
+
+  // Post-process the dump once: rewrite non-finite tokens to null (so the
+  // file is always valid JSON) and splice in the peak RSS.
+  if (!json_path.empty()) {
+    std::ifstream in(json_path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      std::string json = buf.str();
+      in.close();
+      const std::size_t sanitized = sanitize_nonfinite_json(json);
+      if (sanitized != 0) {
+        std::cout << "bench_json: rewrote " << sanitized
+                  << " non-finite metric value(s) to null\n";
       }
+      const std::string anchor = "\"context\": {";
+      const std::size_t at = json.find(anchor);
+      if (rss_kb != 0 && at != std::string::npos) {
+        json.insert(at + anchor.size(),
+                    "\n    \"peak_rss_kb\": " + std::to_string(rss_kb) + ",");
+      }
+      std::ofstream out(json_path, std::ios::trunc);
+      out << json;
     }
   }
   return 0;

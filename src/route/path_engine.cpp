@@ -178,20 +178,29 @@ void PathEngine::run_dijkstra(NodeId from, NodeId to, const Query& query, Worksp
   }
 }
 
+void PathEngine::reconstruct_into(NodeId from, NodeId to, const Workspace& ws,
+                                  Path& out) const {
+  out.edges.clear();
+  out.nodes.clear();
+  out.cost = kInf;
+  out.reachable = false;
+  if (ws.node_gen_[to] != ws.generation_) return;  // never reached
+  out.reachable = true;
+  out.cost = ws.dist_[to];
+  NodeId cur = to;
+  out.nodes.push_back(cur);
+  while (cur != from) {
+    out.edges.push_back(ws.via_edge_[cur]);
+    cur = ws.via_node_[cur];
+    out.nodes.push_back(cur);
+  }
+  std::reverse(out.edges.begin(), out.edges.end());
+  std::reverse(out.nodes.begin(), out.nodes.end());
+}
+
 Path PathEngine::reconstruct(NodeId from, NodeId to, const Workspace& ws) const {
   Path path;
-  if (ws.node_gen_[to] != ws.generation_) return path;  // never reached
-  path.reachable = true;
-  path.cost = ws.dist_[to];
-  NodeId cur = to;
-  path.nodes.push_back(cur);
-  while (cur != from) {
-    path.edges.push_back(ws.via_edge_[cur]);
-    cur = ws.via_node_[cur];
-    path.nodes.push_back(cur);
-  }
-  std::reverse(path.edges.begin(), path.edges.end());
-  std::reverse(path.nodes.begin(), path.nodes.end());
+  reconstruct_into(from, to, ws, path);
   return path;
 }
 
@@ -199,6 +208,20 @@ Path PathEngine::shortest_path(NodeId from, NodeId to, const Query& query, Works
   IT_CHECK(to < num_nodes_);
   run_dijkstra(from, to, query, ws);
   return reconstruct(from, to, ws);
+}
+
+void PathEngine::shortest_path(NodeId from, NodeId to, const Query& query, Workspace& ws,
+                               Path& out) const {
+  IT_CHECK(to < num_nodes_);
+  run_dijkstra(from, to, query, ws);
+  reconstruct_into(from, to, ws, out);
+}
+
+void PathEngine::warm_workspace(Workspace& ws) const {
+  ws.prepare(num_nodes_, edges_.size());
+  // prepare() sizes every generation-stamped array; the heap is the one
+  // buffer that otherwise grows lazily as Dijkstra pushes nodes.
+  ws.heap_.reserve(num_nodes_);
 }
 
 std::vector<double> PathEngine::distances_from(NodeId from, const Query& query,
@@ -252,35 +275,14 @@ Path RouteForest::path_to(std::size_t source_index, NodeId to) const {
   return path;
 }
 
-/// RAII lease on the engine's workspace pool: pop under the lock, push
-/// back on destruction, so the convenience overloads stay allocation-free
-/// after warm-up without per-engine thread affinity.
-struct PathEngine::WorkspaceLease {
-  const PathEngine& engine;
-  std::unique_ptr<Workspace> ws;
-
-  explicit WorkspaceLease(const PathEngine& e) : engine(e) {
-    std::lock_guard<std::mutex> lock(engine.pool_mu_);
-    if (!engine.pool_.empty()) {
-      ws = std::move(engine.pool_.back());
-      engine.pool_.pop_back();
-    }
-    if (ws == nullptr) ws = std::make_unique<Workspace>();
-  }
-  ~WorkspaceLease() {
-    std::lock_guard<std::mutex> lock(engine.pool_mu_);
-    engine.pool_.push_back(std::move(ws));
-  }
-};
-
 Path PathEngine::shortest_path(NodeId from, NodeId to, const Query& query) const {
-  WorkspaceLease lease(*this);
-  return shortest_path(from, to, query, *lease.ws);
+  const auto lease = pool_.acquire();
+  return shortest_path(from, to, query, *lease);
 }
 
 std::vector<double> PathEngine::distances_from(NodeId from, const Query& query) const {
-  WorkspaceLease lease(*this);
-  return distances_from(from, query, *lease.ws);
+  const auto lease = pool_.acquire();
+  return distances_from(from, query, *lease);
 }
 
 DistanceMatrix PathEngine::distance_rows(const std::vector<NodeId>& sources, const Query& query,
@@ -290,12 +292,13 @@ DistanceMatrix PathEngine::distance_rows(const std::vector<NodeId>& sources, con
   matrix.num_sources = sources.size();
   matrix.stride = num_nodes_;
   matrix.cells.resize(sources.size() * num_nodes_);
-  // One Workspace lease per chunk: the pool grows to the number of chunks
-  // in flight (= thread count) and every later sweep is allocation-free.
+  // One Workspace lease per chunk: the pool warms to the number of chunks
+  // in flight (= thread count, capped) and every later sweep is
+  // allocation-free.
   const auto fill = [&](std::size_t begin, std::size_t end) {
-    WorkspaceLease lease(*this);
+    const auto lease = pool_.acquire();
     for (std::size_t i = begin; i < end; ++i) {
-      distances_into(sources[i], query, *lease.ws, matrix.cells.data() + i * num_nodes_);
+      distances_into(sources[i], query, *lease, matrix.cells.data() + i * num_nodes_);
     }
   };
   if (executor == nullptr || sources.size() < 2) {
@@ -316,10 +319,10 @@ RouteForest PathEngine::route_forest(const std::vector<NodeId>& sources, const Q
   forest.via_edge.resize(sources.size() * num_nodes_);
   forest.via_node.resize(sources.size() * num_nodes_);
   const auto fill = [&](std::size_t begin, std::size_t end) {
-    WorkspaceLease lease(*this);
+    const auto lease = pool_.acquire();
     for (std::size_t i = begin; i < end; ++i) {
       const std::size_t base = i * num_nodes_;
-      forest_into(sources[i], query, *lease.ws, forest.dist.data() + base,
+      forest_into(sources[i], query, *lease, forest.dist.data() + base,
                   forest.via_edge.data() + base, forest.via_node.data() + base);
     }
   };

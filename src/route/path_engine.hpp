@@ -36,8 +36,9 @@
 #include <functional>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "util/alloc.hpp"
 
 namespace intertubes::sim {
 class Executor;
@@ -174,6 +175,13 @@ class PathEngine {
   /// scratch (the zero-allocation hot path; reuse `ws` across queries).
   Path shortest_path(NodeId from, NodeId to, const Query& query, Workspace& ws) const;
 
+  /// Fully reusable variant: the result lands in `out`, whose vectors are
+  /// cleared and refilled in place.  With a warmed `ws` and an `out` that
+  /// has served a query before, this performs zero heap allocations — the
+  /// serve fast-path primitive (see ZeroAllocGuard in util/alloc.hpp).
+  void shortest_path(NodeId from, NodeId to, const Query& query, Workspace& ws,
+                     Path& out) const;
+
   /// Convenience overload borrowing a Workspace from the engine's
   /// internal pool — thread-safe, allocation-free after warm-up.
   Path shortest_path(NodeId from, NodeId to, const Query& query = {}) const;
@@ -211,11 +219,28 @@ class PathEngine {
   RouteForest route_forest(const std::vector<NodeId>& sources, const Query& query = {},
                            sim::Executor* executor = nullptr) const;
 
- private:
-  struct WorkspaceLease;
+  /// Lease a Workspace from the engine's internal capped pool — what the
+  /// convenience overloads use.  Allocation-free once the pool has warmed
+  /// to the steady-state concurrency level; releases beyond the cap free
+  /// their workspace instead of growing the pool forever.
+  util::LeasePool<Workspace>::Lease lease_workspace() const { return pool_.acquire(); }
 
+  /// Size every scratch array in `ws` (including the heap) to this
+  /// graph's node/edge counts, so the *first* query on it is already
+  /// allocation-free.  Without this, the first query on a fresh Workspace
+  /// sizes the arrays itself (the documented warm-up allocation).
+  void warm_workspace(Workspace& ws) const;
+
+  /// Pool observability for the capped-growth regression tests.
+  std::size_t workspace_pool_idle() const { return pool_.idle(); }
+  std::size_t workspace_pool_cap() const noexcept { return pool_.cap(); }
+  std::size_t workspaces_created() const noexcept { return pool_.created(); }
+  std::size_t workspaces_dropped() const noexcept { return pool_.dropped(); }
+
+ private:
   void run_dijkstra(NodeId from, NodeId to, const Query& query, Workspace& ws) const;
   Path reconstruct(NodeId from, NodeId to, const Workspace& ws) const;
+  void reconstruct_into(NodeId from, NodeId to, const Workspace& ws, Path& out) const;
 
   std::size_t num_nodes_ = 0;
   std::vector<EdgeSpec> edges_;
@@ -225,8 +250,7 @@ class PathEngine {
   std::vector<EdgeId> edge_ids_;
   std::uint64_t epoch_ = 0;
 
-  mutable std::mutex pool_mu_;
-  mutable std::vector<std::unique_ptr<Workspace>> pool_;
+  mutable util::LeasePool<Workspace> pool_;
 };
 
 }  // namespace intertubes::route

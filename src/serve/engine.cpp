@@ -1,81 +1,18 @@
 #include "serve/engine.hpp"
 
 #include <algorithm>
-#include <functional>
-#include <limits>
-#include <queue>
 #include <sstream>
 #include <thread>
-#include <unordered_map>
 
 #include "geo/latency.hpp"
 #include "isp/profiles.hpp"
+#include "serve/fastpath.hpp"
 
 namespace intertubes::serve {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-/// Union-find over dense node indices for the what-if connectivity delta.
-class DisjointSets {
- public:
-  explicit DisjointSets(std::size_t n) : parent_(n) {
-    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
-  }
-  std::size_t find(std::size_t x) {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
-    }
-    return x;
-  }
-  void unite(std::size_t a, std::size_t b) {
-    a = find(a);
-    b = find(b);
-    if (a != b) parent_[a] = b;
-  }
-
- private:
-  std::vector<std::size_t> parent_;
-};
-
-struct Connectivity {
-  double connected_fraction = 0.0;
-  std::size_t components = 0;
-};
-
-/// Connectivity of the conduit graph restricted to conduits where
-/// `alive(id)` holds, over the *uncut* map's node set (so severed nodes
-/// count as disconnected, not vanished).
-template <typename AlivePred>
-Connectivity connectivity(const core::FiberMap& map, const AlivePred& alive) {
-  const auto nodes = map.nodes();
-  Connectivity out;
-  if (nodes.size() < 2) {
-    out.connected_fraction = 1.0;
-    out.components = nodes.size();
-    return out;
-  }
-  std::unordered_map<transport::CityId, std::size_t> dense;
-  dense.reserve(nodes.size());
-  for (std::size_t i = 0; i < nodes.size(); ++i) dense[nodes[i]] = i;
-  DisjointSets sets(nodes.size());
-  for (const auto& conduit : map.conduits()) {
-    if (alive(conduit.id)) sets.unite(dense[conduit.a], dense[conduit.b]);
-  }
-  std::unordered_map<std::size_t, std::size_t> component_sizes;
-  for (std::size_t i = 0; i < nodes.size(); ++i) ++component_sizes[sets.find(i)];
-  double connected_pairs = 0.0;
-  for (const auto& [root, size] : component_sizes) {
-    (void)root;
-    connected_pairs += 0.5 * static_cast<double>(size) * static_cast<double>(size - 1);
-  }
-  const double n = static_cast<double>(nodes.size());
-  out.connected_fraction = connected_pairs / (0.5 * n * (n - 1.0));
-  out.components = component_sizes.size();
-  return out;
-}
 
 void fail(Response& response, Status status, std::string message) {
   response.status = status;
@@ -92,78 +29,59 @@ void execute_shared_risk(const Snapshot& snap, const SharedRiskQuery& query,
   }
   SharedRiskResult result;
   result.isp = profiles[id].name;
-  for (const auto& row : snap.risk_ranking()) {
-    if (row.isp != id) continue;
-    result.conduits_used = row.conduits_used;
-    result.mean_sharing = row.mean_sharing;
-    result.standard_error = row.standard_error;
-    result.p25 = row.p25;
-    result.p75 = row.p75;
-    break;
-  }
+  const auto& row = fastpath::fast_shared_risk(snap.soa(), id);
+  result.conduits_used = row.conduits_used;
+  result.mean_sharing = row.mean_sharing;
+  result.standard_error = row.standard_error;
+  result.p25 = row.p25;
+  result.p75 = row.p75;
   response.body = std::move(result);
 }
 
 void execute_top_conduits(const Snapshot& snap, const TopConduitsQuery& query,
                           Response& response) {
-  if (query.k == 0) {
-    fail(response, Status::BadRequest, "top-conduits k must be positive");
-    return;
-  }
+  const auto& soa = snap.soa();
   const auto& cities = snap.cities();
+  const std::size_t count = fastpath::fast_top_conduits(soa, query.k);
   TopConduitsResult result;
-  for (core::ConduitId id : snap.matrix().most_shared_conduits(query.k)) {
-    const auto& conduit = snap.map().conduit(id);
+  result.rows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const core::ConduitId id = soa.conduits_by_tenancy[i];
     TopConduitRow row;
     row.conduit = id;
-    row.a = cities.city(conduit.a).display_name();
-    row.b = cities.city(conduit.b).display_name();
-    row.tenants = conduit.tenants.size();
-    row.validated = conduit.validated;
+    row.a = cities.city(soa.conduit_a[id]).display_name();
+    row.b = cities.city(soa.conduit_b[id]).display_name();
+    row.tenants = soa.conduit_tenants[id];
+    row.validated = soa.conduit_validated[id] != 0;
     result.rows.push_back(std::move(row));
   }
   response.body = std::move(result);
 }
 
 void execute_what_if_cut(const Snapshot& snap, const WhatIfCutQuery& query,
-                         Response& response) {
+                         fastpath::RequestScratch& scratch, Response& response) {
   if (query.cuts.empty()) {
     fail(response, Status::BadRequest, "what-if-cut needs at least one conduit");
     return;
   }
-  const auto& map = snap.map();
-  std::vector<core::ConduitId> cuts = query.cuts;
-  std::sort(cuts.begin(), cuts.end());
-  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
-  if (cuts.back() >= map.conduits().size()) {
+  fastpath::CutImpact impact;
+  if (!fastpath::fast_what_if_cut(snap.soa(), query.cuts, scratch, impact)) {
     fail(response, Status::BadRequest,
-         "conduit id " + std::to_string(cuts.back()) + " out of range");
+         "conduit id " + std::to_string(scratch.cut_ids.back()) + " out of range");
     return;
   }
-  const auto is_cut = [&cuts](core::ConduitId c) {
-    return std::binary_search(cuts.begin(), cuts.end(), c);
-  };
   WhatIfCutResult result;
-  result.conduits_cut = cuts.size();
-  std::vector<char> isp_hit(map.num_isps(), 0);
-  for (const auto& link : map.links()) {
-    const bool severed =
-        std::any_of(link.conduits.begin(), link.conduits.end(), is_cut);
-    if (!severed) continue;
-    ++result.links_severed;
-    isp_hit[link.isp] = 1;
-  }
-  result.isps_hit =
-      static_cast<std::size_t>(std::count(isp_hit.begin(), isp_hit.end(), 1));
-  const auto before = connectivity(map, [](core::ConduitId) { return true; });
-  const auto after = connectivity(map, [&is_cut](core::ConduitId c) { return !is_cut(c); });
-  result.connected_fraction_before = before.connected_fraction;
-  result.connected_fraction_after = after.connected_fraction;
-  result.components_after = after.components;
+  result.conduits_cut = impact.conduits_cut;
+  result.links_severed = impact.links_severed;
+  result.isps_hit = impact.isps_hit;
+  result.connected_fraction_before = impact.connected_fraction_before;
+  result.connected_fraction_after = impact.connected_fraction_after;
+  result.components_after = impact.components_after;
   response.body = std::move(result);
 }
 
-void execute_city_path(const Snapshot& snap, const CityPathQuery& query, Response& response) {
+void execute_city_path(const Snapshot& snap, const CityPathQuery& query,
+                       fastpath::RequestScratch& scratch, Response& response) {
   const auto& cities = snap.cities();
   const auto from = cities.find(query.from);
   const auto to = cities.find(query.to);
@@ -178,20 +96,22 @@ void execute_city_path(const Snapshot& snap, const CityPathQuery& query, Respons
     response.body = std::move(result);
     return;
   }
-  // Min-length route over the snapshot's compiled conduit graph.
-  const auto& map = snap.map();
-  const auto path = snap.path_engine().shortest_path(*from, *to);
+  // Min-length route over the snapshot's compiled conduit graph, into
+  // scratch-owned workspace and path buffers.
+  fastpath::fast_city_path(snap, *from, *to, scratch);
+  const auto& path = scratch.path;
   if (!path.reachable) {
     response.body = std::move(result);  // reachable = false is the answer
     return;
   }
+  const auto& soa = snap.soa();
   result.reachable = true;
   result.hops.reserve(path.edges.size());
   for (std::size_t i = 0; i < path.edges.size(); ++i) {
     PathHop hop;
     hop.a = cities.city(path.nodes[i]).display_name();
     hop.b = cities.city(path.nodes[i + 1]).display_name();
-    hop.km = map.conduit(path.edges[i]).length_km;
+    hop.km = soa.conduit_km[path.edges[i]];
     result.hops.push_back(std::move(hop));
   }
   result.km = path.cost;
@@ -200,34 +120,21 @@ void execute_city_path(const Snapshot& snap, const CityPathQuery& query, Respons
 }
 
 void execute_hamming_neighbors(const Snapshot& snap, const HammingNeighborsQuery& query,
-                               Response& response) {
-  if (query.k == 0) {
-    fail(response, Status::BadRequest, "hamming-neighbors k must be positive");
-    return;
-  }
+                               fastpath::RequestScratch& scratch, Response& response) {
   const auto& profiles = snap.truth().profiles();
   const isp::IspId id = isp::find_profile(profiles, query.isp);
   if (id == isp::kNoIsp) {
     fail(response, Status::NotFound, "unknown ISP: " + query.isp);
     return;
   }
-  const auto& matrix = snap.matrix();
   HammingNeighborsResult result;
   result.isp = profiles[id].name;
-  std::vector<std::pair<std::size_t, isp::IspId>> distances;
-  for (isp::IspId other = 0; other < matrix.num_isps(); ++other) {
-    if (other == id) continue;
-    std::size_t distance = 0;
-    for (core::ConduitId c = 0; c < matrix.num_conduits(); ++c) {
-      if (matrix.uses(id, c) != matrix.uses(other, c)) ++distance;
-    }
-    distances.emplace_back(distance, other);
-  }
-  const std::size_t k = std::min(query.k, distances.size());
-  std::partial_sort(distances.begin(), distances.begin() + static_cast<std::ptrdiff_t>(k),
-                    distances.end());
-  for (std::size_t i = 0; i < k; ++i) {
-    result.neighbors.push_back({profiles[distances[i].second].name, distances[i].first});
+  const std::size_t count =
+      fastpath::fast_hamming_neighbors(snap.soa(), id, query.k, scratch);
+  result.neighbors.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    result.neighbors.push_back({profiles[scratch.hamming[i].second].name,
+                                static_cast<std::size_t>(scratch.hamming[i].first)});
   }
   response.body = std::move(result);
 }
@@ -261,10 +168,7 @@ void execute_latency_dissection(const Snapshot& snap, const LatencyDissectionQue
 
 void execute_clatency_audit(const Snapshot& snap, const CLatencyAuditQuery& query,
                             Response& response) {
-  if (query.top_k == 0) {
-    fail(response, Status::BadRequest, "audit top_k must be positive");
-    return;
-  }
+  // top_k == 0 is a valid query: aggregates only, empty pair table.
   if (query.target_factor < 1.0) {
     fail(response, Status::BadRequest, "audit target factor must be >= 1");
     return;
@@ -437,11 +341,14 @@ void Engine::execute(const Snapshot& snapshot, const Request& request,
         } else if constexpr (std::is_same_v<T, TopConduitsQuery>) {
           execute_top_conduits(snapshot, query, response);
         } else if constexpr (std::is_same_v<T, WhatIfCutQuery>) {
-          execute_what_if_cut(snapshot, query, response);
+          const auto scratch = scratch_pool_.acquire();
+          execute_what_if_cut(snapshot, query, *scratch, response);
         } else if constexpr (std::is_same_v<T, CityPathQuery>) {
-          execute_city_path(snapshot, query, response);
+          const auto scratch = scratch_pool_.acquire();
+          execute_city_path(snapshot, query, *scratch, response);
         } else if constexpr (std::is_same_v<T, HammingNeighborsQuery>) {
-          execute_hamming_neighbors(snapshot, query, response);
+          const auto scratch = scratch_pool_.acquire();
+          execute_hamming_neighbors(snapshot, query, *scratch, response);
         } else if constexpr (std::is_same_v<T, LatencyDissectionQuery>) {
           execute_latency_dissection(snapshot, query, response);
         } else if constexpr (std::is_same_v<T, CLatencyAuditQuery>) {

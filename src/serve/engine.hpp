@@ -29,9 +29,11 @@
 
 #include "dissect/dissector.hpp"
 #include "serve/cache.hpp"
+#include "serve/fastpath.hpp"
 #include "serve/metrics.hpp"
 #include "serve/snapshot.hpp"
 #include "sim/executor.hpp"
+#include "util/alloc.hpp"
 
 namespace intertubes::serve {
 
@@ -43,6 +45,9 @@ struct SharedRiskQuery {
 };
 
 /// The k most-shared conduits with tenancy and endpoints (Tables 2/3 shape).
+/// Degenerate k is well-defined: k == 0 answers an empty table, k larger
+/// than the conduit count answers the whole ranking — both Ok, both
+/// deterministic.
 struct TopConduitsQuery {
   std::size_t k = 10;
 };
@@ -60,7 +65,8 @@ struct CityPathQuery {
 };
 
 /// The k ISPs with the most similar risk profile (smallest Hamming
-/// distance between risk-matrix usage rows, Fig. 8).
+/// distance between risk-matrix usage rows, Fig. 8).  Same degenerate-k
+/// contract as TopConduitsQuery: k == 0 → empty, k > |ISPs| - 1 → all.
 struct HammingNeighborsQuery {
   std::string isp;
   std::size_t k = 5;
@@ -217,7 +223,7 @@ enum class Status : std::uint8_t {
   Ok,
   Overloaded,  ///< shed at admission; request was never executed
   NotFound,    ///< unknown ISP / city name
-  BadRequest,  ///< malformed parameters (conduit id out of range, k = 0)
+  BadRequest,  ///< malformed parameters (conduit id out of range, empty cut set)
   NoSnapshot,  ///< nothing published yet
   Error,       ///< unexpected exception during execution
 };
@@ -271,6 +277,12 @@ class Engine {
   /// Operator report: latency table + cache summary.
   std::string render_metrics() const { return metrics_.render(cache_.stats()); }
 
+  /// Scratch-pool observability (capped-growth regression tests).
+  std::size_t scratch_pool_idle() const { return scratch_pool_.idle(); }
+  std::size_t scratch_pool_cap() const noexcept { return scratch_pool_.cap(); }
+  std::size_t scratch_created() const noexcept { return scratch_pool_.created(); }
+  std::size_t scratch_dropped() const noexcept { return scratch_pool_.dropped(); }
+
  private:
   void execute(const Snapshot& snapshot, const Request& request, Response& response) const;
   Response run(Request request, std::chrono::steady_clock::time_point admitted);
@@ -280,6 +292,10 @@ class Engine {
   sim::Executor& executor_;
   EngineOptions options_;
   ShardedLruCache<std::shared_ptr<const Response>> cache_;
+  /// Reusable per-request kernel scratch (fastpath::RequestScratch),
+  /// leased per request by execute().  Capped: a concurrency burst can
+  /// never pin more than cap() idle scratch objects.
+  util::LeasePool<fastpath::RequestScratch> scratch_pool_;
   MetricsRegistry metrics_;
   std::atomic<std::size_t> pending_{0};
   std::mutex idle_mu_;

@@ -8,10 +8,124 @@
 
 namespace intertubes::serve {
 
+namespace {
+
+/// The uncut-map connectivity baseline, precomputed once per snapshot so
+/// what-if-cut queries only ever pay for the *after* side.  Union-find
+/// over the dense node index; the pair-count terms are exact integers in
+/// double, so the sum is bit-identical to the old per-query hash-map scan
+/// regardless of accumulation order.
+void derive_base_connectivity(const core::FiberMap& map, SnapshotSoA& soa) {
+  const std::size_t n = soa.num_map_nodes;
+  if (n < 2) {
+    soa.connected_fraction_before = 1.0;
+    soa.components_before = n;
+    return;
+  }
+  std::vector<std::uint32_t> parent(n);
+  for (std::size_t i = 0; i < n; ++i) parent[i] = static_cast<std::uint32_t>(i);
+  const auto find = [&parent](std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& conduit : map.conduits()) {
+    const std::uint32_t a = find(soa.node_dense[conduit.a]);
+    const std::uint32_t b = find(soa.node_dense[conduit.b]);
+    if (a != b) parent[a] = b;
+  }
+  std::vector<std::uint32_t> component_size(n, 0);
+  for (std::size_t i = 0; i < n; ++i) ++component_size[find(static_cast<std::uint32_t>(i))];
+  double connected_pairs = 0.0;
+  std::size_t components = 0;
+  for (const std::uint32_t size : component_size) {
+    if (size == 0) continue;
+    ++components;
+    connected_pairs += 0.5 * static_cast<double>(size) * static_cast<double>(size - 1);
+  }
+  const double nodes = static_cast<double>(n);
+  soa.connected_fraction_before = connected_pairs / (0.5 * nodes * (nodes - 1.0));
+  soa.components_before = components;
+}
+
+/// Build every flat projection the fast path streams over.
+SnapshotSoA derive_soa(const core::FiberMap& map, const risk::RiskMatrix& matrix,
+                       const std::vector<risk::RiskMatrix::IspRisk>& ranking,
+                       std::size_t num_cities) {
+  SnapshotSoA soa;
+  const std::size_t num_conduits = map.conduits().size();
+  soa.num_isps = map.num_isps();
+
+  // Usage bitset rows (Hamming = XOR + popcount over these words).
+  soa.words_per_isp = (num_conduits + 63) / 64;
+  soa.usage_bits.assign(soa.num_isps * soa.words_per_isp, 0);
+  for (const auto& conduit : map.conduits()) {
+    const std::size_t word = conduit.id / 64;
+    const std::uint64_t bit = std::uint64_t{1} << (conduit.id % 64);
+    for (const isp::IspId tenant : conduit.tenants) {
+      soa.usage_bits[tenant * soa.words_per_isp + word] |= bit;
+    }
+  }
+
+  // O(1) shared-risk rows (the ranking covers every IspId exactly once).
+  soa.risk_by_isp.assign(soa.num_isps, {});
+  for (const auto& row : ranking) soa.risk_by_isp[row.isp] = row;
+
+  // The full most-shared ordering; any top-k is a prefix copy.
+  soa.conduits_by_tenancy = matrix.most_shared_conduits(num_conduits);
+
+  // Conduit columns.
+  soa.conduit_a.resize(num_conduits);
+  soa.conduit_b.resize(num_conduits);
+  soa.conduit_tenants.resize(num_conduits);
+  soa.conduit_validated.resize(num_conduits);
+  soa.conduit_km.resize(num_conduits);
+  for (const auto& conduit : map.conduits()) {
+    soa.conduit_a[conduit.id] = conduit.a;
+    soa.conduit_b[conduit.id] = conduit.b;
+    soa.conduit_tenants[conduit.id] = static_cast<std::uint16_t>(conduit.tenants.size());
+    soa.conduit_validated[conduit.id] = conduit.validated ? 1 : 0;
+    soa.conduit_km[conduit.id] = conduit.length_km;
+  }
+
+  // Link → conduit incidence CSR.
+  const auto& links = map.links();
+  soa.link_isp.resize(links.size());
+  soa.link_conduit_offsets.assign(links.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    soa.link_isp[i] = links[i].isp;
+    soa.link_conduit_offsets[i] = static_cast<std::uint32_t>(total);
+    total += links[i].conduits.size();
+  }
+  soa.link_conduit_offsets[links.size()] = static_cast<std::uint32_t>(total);
+  soa.link_conduits.reserve(total);
+  for (const auto& link : links) {
+    soa.link_conduits.insert(soa.link_conduits.end(), link.conduits.begin(),
+                             link.conduits.end());
+  }
+
+  // Dense node index over the conduit-endpoint cities.
+  soa.node_dense.assign(num_cities, kNoDenseNode);
+  const auto nodes = map.nodes();
+  soa.num_map_nodes = nodes.size();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    soa.node_dense[nodes[i]] = static_cast<std::uint32_t>(i);
+  }
+
+  derive_base_connectivity(map, soa);
+  return soa;
+}
+
+}  // namespace
+
 void Snapshot::derive() {
   matrix_ = risk::RiskMatrix::from_map(map_);
   sharing_table_ = matrix_.conduits_shared_by_at_least();
   risk_ranking_ = matrix_.isp_risk_ranking();
+  soa_ = derive_soa(map_, matrix_, risk_ranking_, world_.cities->size());
   // Compile the conduit graph for city-pair path queries.  The snapshot's
   // publish epoch isn't assigned yet, but the serve response cache keys on
   // that epoch itself, so the engine epoch can stay 0.

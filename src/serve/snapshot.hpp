@@ -26,6 +26,56 @@
 
 namespace intertubes::serve {
 
+/// Sentinel for SnapshotSoA::node_dense entries of cities that are not a
+/// conduit endpoint.
+inline constexpr std::uint32_t kNoDenseNode = 0xffffffffu;
+
+/// Struct-of-arrays projections of the derived artifacts, built once at
+/// Snapshot::derive() time.  The serve fast path (serve/fastpath.hpp)
+/// streams over these flat arrays instead of chasing unordered_map /
+/// vector<vector> nodes, which is what makes steady-state queries
+/// allocation-free: every per-query structure the old handlers built
+/// (dense node maps, component-size hash maps, usage-row scans) is either
+/// precomputed here or replaced by an array pass over caller scratch.
+struct SnapshotSoA {
+  // --- risk rows (Hamming / shared-risk) ------------------------------
+  /// Usage bitset, row-major: ISP i uses conduit c  <=>  bit (c % 64) of
+  /// usage_bits[i * words_per_isp + c / 64].  Hamming distance between
+  /// two ISPs = popcount of the XOR of their rows.
+  std::size_t words_per_isp = 0;
+  std::vector<std::uint64_t> usage_bits;
+  /// Per-ISP shared-risk row indexed by IspId (zeros for ISPs using no
+  /// conduits) — O(1) lookup vs scanning risk_ranking() per query.
+  std::vector<risk::RiskMatrix::IspRisk> risk_by_isp;
+
+  // --- conduit columns (top-k / city-path hops) -----------------------
+  /// Every conduit id in most_shared_conduits order (descending tenancy,
+  /// ascending id ties): the top-k answer is the first k entries.
+  std::vector<core::ConduitId> conduits_by_tenancy;
+  std::vector<transport::CityId> conduit_a;    ///< indexed by ConduitId
+  std::vector<transport::CityId> conduit_b;
+  std::vector<std::uint16_t> conduit_tenants;
+  std::vector<std::uint8_t> conduit_validated;
+  std::vector<double> conduit_km;
+
+  // --- link → conduit incidence CSR (what-if-cut) ---------------------
+  std::vector<std::uint32_t> link_isp;             ///< indexed by link order
+  std::vector<std::uint32_t> link_conduit_offsets; ///< size links()+1
+  std::vector<core::ConduitId> link_conduits;      ///< CSR payload
+  std::size_t num_isps = 0;
+
+  // --- dense node indexing (what-if-cut connectivity) -----------------
+  /// Dense index per CityId over the cities that appear as a conduit
+  /// endpoint (kNoDenseNode otherwise); replaces the per-query
+  /// unordered_map the connectivity scan used to build.
+  std::vector<std::uint32_t> node_dense;
+  std::size_t num_map_nodes = 0;
+  /// Connectivity of the *uncut* conduit graph — the what-if baseline,
+  /// identical for every query on this snapshot.
+  double connected_fraction_before = 0.0;
+  std::size_t components_before = 0;
+};
+
 struct SnapshotOptions {
   /// Probes for the traceroute campaign feeding the overlay; 0 skips the
   /// overlay entirely (it is the most expensive derived artifact).
@@ -75,6 +125,10 @@ class Snapshot {
   /// Null when overlay_probes was 0 or for what-if snapshots.
   const traceroute::OverlayResult* overlay() const noexcept { return overlay_.get(); }
 
+  /// Flat struct-of-arrays projections for the zero-alloc serve fast
+  /// path (see serve/fastpath.hpp); derived once per snapshot.
+  const SnapshotSoA& soa() const noexcept { return soa_; }
+
   /// Precomputed sharing tables: conduits_shared_by_at_least (Fig. 6
   /// series) and the per-ISP risk ranking, both derived from matrix().
   const std::vector<std::size_t>& sharing_table() const noexcept { return sharing_table_; }
@@ -117,6 +171,7 @@ class Snapshot {
   std::shared_ptr<const traceroute::OverlayResult> overlay_;
   std::vector<std::size_t> sharing_table_;
   std::vector<risk::RiskMatrix::IspRisk> risk_ranking_;
+  SnapshotSoA soa_;
   std::shared_ptr<const route::PathEngine> path_engine_;
   std::shared_ptr<const cascade::CascadeEngine> cascade_;
   std::size_t links_severed_ = 0;

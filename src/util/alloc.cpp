@@ -1,0 +1,39 @@
+#include "util/alloc.hpp"
+
+#include <atomic>
+
+namespace intertubes::util {
+
+namespace {
+
+// Constant-initialized thread-locals: safe to touch from the operator new
+// replacement even during static initialization and thread start-up.
+thread_local std::uint64_t t_allocs = 0;
+thread_local std::uint64_t t_frees = 0;
+thread_local std::uint64_t t_bytes = 0;
+
+std::atomic<bool> g_counting_active{false};
+
+}  // namespace
+
+AllocCounts thread_alloc_counts() noexcept { return {t_allocs, t_frees, t_bytes}; }
+
+bool alloc_counting_active() noexcept {
+  return g_counting_active.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void note_alloc(std::size_t bytes) noexcept {
+  ++t_allocs;
+  t_bytes += bytes;
+}
+
+void note_free() noexcept { ++t_frees; }
+
+void set_alloc_counting_active() noexcept {
+  g_counting_active.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+}  // namespace intertubes::util

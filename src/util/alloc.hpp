@@ -1,0 +1,276 @@
+// Fixed-capacity allocation machinery for the serve/route hot paths, plus
+// the instrumentation that *proves* those paths allocation-free.
+//
+// The serving fast path (DESIGN.md §14) promises zero heap allocations per
+// steady-state query.  Three pieces make that promise cheap to keep and
+// impossible to break silently:
+//
+//   * BumpArena / FixedPool<T> — the classic fixed-pool idiom (swap STL
+//     node containers for flat preallocated storage): a monotonic bump
+//     allocator with O(1) reset for per-query scratch, and a free-list
+//     pool of T slots for objects with identity.
+//
+//   * LeasePool<T> — a thread-safe, *capped* pool of reusable scratch
+//     objects handed out as RAII leases.  Unlike a grow-only pool, a
+//     lease released into a full pool is destroyed instead of retained,
+//     so a burst of N concurrent callers can never pin N workspaces
+//     forever (the route::PathEngine bug this layer fixes).
+//
+//   * Thread-local allocation counters + ZeroAllocGuard — a counting
+//     layer fed by optional global operator new/delete replacements
+//     (util/alloc_hooks.cpp, linked only into test and bench binaries).
+//     ZeroAllocGuard snapshots this thread's counter; tests assert the
+//     delta across a steady-state query is exactly zero, turning the
+//     zero-alloc invariant into a machine-checked regression gate
+//     (`ctest -L alloc`, allocs_per_query in the bench dumps).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace intertubes::util {
+
+// --- Allocation counting ----------------------------------------------
+
+/// Totals for the calling thread since it started.  `allocs`/`frees`
+/// count operator new/delete calls; `bytes` sums requested sizes.
+struct AllocCounts {
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// This thread's counters.  All zeros (and never moving) unless the
+/// counting hooks TU is linked into the binary.
+AllocCounts thread_alloc_counts() noexcept;
+
+/// True when util/alloc_hooks.cpp is linked in and counters actually
+/// advance.  Tests that assert on deltas must skip when this is false.
+bool alloc_counting_active() noexcept;
+
+namespace detail {
+void note_alloc(std::size_t bytes) noexcept;  ///< called by the new hook
+void note_free() noexcept;                    ///< called by the delete hook
+void set_alloc_counting_active() noexcept;    ///< called once by the hooks TU
+}  // namespace detail
+
+/// RAII window over this thread's allocation counters: construct at the
+/// start of the region under test, then assert allocations() == 0 after
+/// the steady-state work.  Construction/destruction never allocates.
+class ZeroAllocGuard {
+ public:
+  ZeroAllocGuard() noexcept : start_(thread_alloc_counts()) {}
+
+  /// operator new calls on this thread since construction.
+  std::uint64_t allocations() const noexcept {
+    return thread_alloc_counts().allocs - start_.allocs;
+  }
+  /// operator delete calls on this thread since construction.
+  std::uint64_t frees() const noexcept { return thread_alloc_counts().frees - start_.frees; }
+  /// Bytes requested on this thread since construction.
+  std::uint64_t bytes() const noexcept { return thread_alloc_counts().bytes - start_.bytes; }
+
+ private:
+  AllocCounts start_;
+};
+
+// --- BumpArena --------------------------------------------------------
+
+/// Monotonic bump allocator over one fixed buffer.  allocate() is a
+/// pointer bump; reset() recycles the whole arena in O(1).  Exhaustion
+/// returns nullptr (typed helpers IT_CHECK instead) — the arena never
+/// falls back to the heap, which is the point.
+class BumpArena {
+ public:
+  explicit BumpArena(std::size_t capacity)
+      : buffer_(std::make_unique<std::byte[]>(capacity)), capacity_(capacity) {}
+
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+
+  /// Aligned raw storage, or nullptr when the arena is exhausted.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) noexcept {
+    const std::size_t aligned = (used_ + align - 1) & ~(align - 1);
+    if (aligned + bytes > capacity_) return nullptr;
+    used_ = aligned + bytes;
+    high_water_ = used_ > high_water_ ? used_ : high_water_;
+    return buffer_.get() + aligned;
+  }
+
+  /// `count` default-initialized Ts; IT_CHECKs on exhaustion (a fixed
+  /// arena sized too small is a bug, not a runtime condition).
+  template <typename T>
+  T* allocate_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "BumpArena::reset never runs destructors");
+    void* raw = allocate(count * sizeof(T), alignof(T));
+    IT_CHECK(raw != nullptr);
+    return new (raw) T[count];
+  }
+
+  /// Recycle everything.  O(1); no destructors run (see allocate_array).
+  void reset() noexcept { used_ = 0; }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t used() const noexcept { return used_; }
+  /// Peak bytes ever live at once — how big the arena actually needs to be.
+  std::size_t high_water() const noexcept { return high_water_; }
+
+ private:
+  std::unique_ptr<std::byte[]> buffer_;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+// --- FixedPool --------------------------------------------------------
+
+/// Free-list pool over `capacity` preconstructed T slots.  acquire()
+/// pops a slot (nullptr when exhausted), release() pushes it back; no
+/// heap traffic after construction.  Single-threaded by design — wrap in
+/// LeasePool (below) when slots cross threads.
+template <typename T>
+class FixedPool {
+ public:
+  explicit FixedPool(std::size_t capacity) : slots_(capacity), free_(capacity) {
+    for (std::size_t i = 0; i < capacity; ++i) free_[i] = capacity - 1 - i;
+  }
+
+  FixedPool(const FixedPool&) = delete;
+  FixedPool& operator=(const FixedPool&) = delete;
+
+  /// A slot, or nullptr when all `capacity()` slots are in use.  Slots
+  /// are reused as-is (not reconstructed) — callers reset what they use.
+  T* acquire() noexcept {
+    if (free_.empty()) return nullptr;
+    T* slot = &slots_[free_.back()];
+    free_.pop_back();
+    return slot;
+  }
+
+  /// Return a slot obtained from acquire().
+  void release(T* slot) noexcept {
+    IT_CHECK(slot >= slots_.data() && slot < slots_.data() + slots_.size());
+    free_.push_back(static_cast<std::size_t>(slot - slots_.data()));
+  }
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  std::size_t available() const noexcept { return free_.size(); }
+  std::size_t in_use() const noexcept { return slots_.size() - free_.size(); }
+
+ private:
+  std::vector<T> slots_;
+  std::vector<std::size_t> free_;  ///< indices of free slots, LIFO
+};
+
+// --- LeasePool --------------------------------------------------------
+
+/// Thread-safe pool of reusable scratch objects with a hard retention
+/// cap.  acquire() pops an idle object (or default-constructs one when
+/// the pool is empty — the only allocation, paid once per steady-state
+/// concurrency level); the returned Lease releases it back on
+/// destruction.  A release into a pool already holding `cap` idle
+/// objects destroys the object instead, so peak-burst concurrency never
+/// pins memory forever (the unbounded-growth bug this replaces).
+template <typename T>
+class LeasePool {
+ public:
+  explicit LeasePool(std::size_t cap = kDefaultCap) : cap_(cap) { IT_CHECK(cap > 0); }
+
+  LeasePool(const LeasePool&) = delete;
+  LeasePool& operator=(const LeasePool&) = delete;
+
+  /// RAII handle; movable, returns the object to the pool on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)), object_(std::move(other.object_)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        reset();
+        pool_ = std::exchange(other.pool_, nullptr);
+        object_ = std::move(other.object_);
+      }
+      return *this;
+    }
+    ~Lease() { reset(); }
+
+    T& operator*() const noexcept { return *object_; }
+    T* operator->() const noexcept { return object_.get(); }
+    explicit operator bool() const noexcept { return object_ != nullptr; }
+
+   private:
+    friend class LeasePool;
+    Lease(const LeasePool* pool, std::unique_ptr<T> object)
+        : pool_(pool), object_(std::move(object)) {}
+    void reset() {
+      if (pool_ != nullptr && object_ != nullptr) pool_->release(std::move(object_));
+      pool_ = nullptr;
+      object_ = nullptr;
+    }
+
+    const LeasePool* pool_ = nullptr;
+    std::unique_ptr<T> object_;
+  };
+
+  /// Lease an object.  Allocation-free when an idle object is pooled.
+  Lease acquire() const {
+    std::unique_ptr<T> object;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!idle_.empty()) {
+        object = std::move(idle_.back());
+        idle_.pop_back();
+      }
+    }
+    if (object == nullptr) {
+      object = std::make_unique<T>();
+      created_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Lease(this, std::move(object));
+  }
+
+  std::size_t cap() const noexcept { return cap_; }
+  /// Idle objects currently retained; never exceeds cap().
+  std::size_t idle() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return idle_.size();
+  }
+  /// Objects ever constructed (idle + in flight + since-dropped).
+  std::size_t created() const noexcept { return created_.load(std::memory_order_relaxed); }
+  /// Releases that found the pool full and destroyed their object.
+  std::size_t dropped() const noexcept { return dropped_.load(std::memory_order_relaxed); }
+
+  static constexpr std::size_t kDefaultCap = 32;
+
+ private:
+  void release(std::unique_ptr<T> object) const {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (idle_.size() < cap_) {
+        idle_.push_back(std::move(object));
+        return;
+      }
+    }
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    // object destroyed here, outside the lock
+  }
+
+  std::size_t cap_;
+  mutable std::mutex mu_;
+  mutable std::vector<std::unique_ptr<T>> idle_;
+  mutable std::atomic<std::size_t> created_{0};
+  mutable std::atomic<std::size_t> dropped_{0};
+};
+
+}  // namespace intertubes::util

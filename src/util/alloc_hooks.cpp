@@ -1,0 +1,111 @@
+// Counting replacements for the global allocation functions.
+//
+// This TU is compiled into an OBJECT library (it_alloc_hooks) and linked
+// only into binaries that measure allocations — the test runner and the
+// bench harnesses.  Production consumers of it_util never see it, so the
+// hot path carries no instrumentation there.
+//
+// The replacements forward to malloc/free (which is what the default
+// operators do) and bump the thread-local counters in util/alloc.cpp.
+// Sanitizer builds still work: ASan/TSan intercept malloc underneath us,
+// so leak/overflow detection composes with the counting.
+#include <cstdlib>
+#include <new>
+
+#include "util/alloc.hpp"
+
+namespace {
+
+void* counted_alloc(std::size_t size) noexcept {
+  intertubes::util::detail::note_alloc(size);
+  // malloc(0) may return nullptr legally; operator new must not.
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) noexcept {
+  intertubes::util::detail::note_alloc(size);
+  // aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t padded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, padded == 0 ? align : padded);
+}
+
+// Flip util::alloc_counting_active() as soon as this TU is part of the
+// link (object-library members always run their initializers).
+const struct HookRegistrar {
+  HookRegistrar() noexcept { intertubes::util::detail::set_alloc_counting_active(); }
+} g_registrar;
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_alloc_aligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_alloc_aligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept {
+  if (p != nullptr) intertubes::util::detail::note_free();
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept {
+  if (p != nullptr) intertubes::util::detail::note_free();
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { ::operator delete[](p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { ::operator delete(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { ::operator delete[](p); }
+
+void operator delete(void* p, std::align_val_t) noexcept {
+  if (p != nullptr) intertubes::util::detail::note_free();
+  std::free(p);
+}
+
+void operator delete[](void* p, std::align_val_t) noexcept {
+  if (p != nullptr) intertubes::util::detail::note_free();
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t, std::align_val_t align) noexcept {
+  ::operator delete(p, align);
+}
+
+void operator delete[](void* p, std::size_t, std::align_val_t align) noexcept {
+  ::operator delete[](p, align);
+}

@@ -1,0 +1,89 @@
+// Regression tests for the PathEngine's capped workspace pool (the
+// unbounded-growth bug: the old grow-only pool retained one Workspace per
+// peak concurrent caller forever).  Registered in the `ctest -L alloc`
+// suite alongside the zero-allocation guards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "route/path_engine.hpp"
+#include "sim/executor.hpp"
+#include "util/alloc.hpp"
+
+namespace intertubes::route {
+namespace {
+
+/// A ladder graph: 2n nodes, rails + rungs, everything reachable.
+PathEngine ladder(NodeId n) {
+  std::vector<EdgeSpec> edges;
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    edges.push_back({i, i + 1, 1.0});
+    edges.push_back({n + i, n + i + 1, 1.0});
+  }
+  for (NodeId i = 0; i < n; ++i) edges.push_back({i, n + i, 2.0});
+  return PathEngine(2 * n, std::move(edges));
+}
+
+TEST(RouteWorkspacePool, IdleRetentionNeverExceedsCap) {
+  const auto engine = ladder(16);
+  const std::size_t cap = engine.workspace_pool_cap();
+  ASSERT_GT(cap, 0u);
+  {
+    // Burst: hold strictly more leases than the cap at once.
+    std::vector<util::LeasePool<PathEngine::Workspace>::Lease> burst;
+    for (std::size_t i = 0; i < cap + 7; ++i) burst.push_back(engine.lease_workspace());
+    EXPECT_EQ(engine.workspaces_created(), cap + 7);
+    EXPECT_EQ(engine.workspace_pool_idle(), 0u);
+  }  // every lease released here
+  EXPECT_EQ(engine.workspace_pool_idle(), cap);
+  EXPECT_EQ(engine.workspaces_dropped(), 7u);
+  // Accounting closes: everything created is either retained or destroyed.
+  EXPECT_EQ(engine.workspaces_created(),
+            engine.workspace_pool_idle() + engine.workspaces_dropped());
+}
+
+TEST(RouteWorkspacePool, ExecutorHammerStaysCappedAndCorrect) {
+  const auto engine = ladder(32);
+  sim::Executor executor(4);
+  const auto reference = engine.shortest_path(0, 63);
+  ASSERT_TRUE(reference.reachable);
+
+  std::atomic<std::size_t> mismatches{0};
+  // 512 convenience-overload queries fanned over the pool's worker
+  // threads, each leasing a workspace for its duration.
+  executor.parallel_for(0, 512, [&](std::size_t) {
+    const auto path = engine.shortest_path(0, 63);
+    if (!path.reachable || path.cost != reference.cost || path.edges != reference.edges) {
+      mismatches.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_LE(engine.workspace_pool_idle(), engine.workspace_pool_cap());
+  // Steady-state reuse: the pool warmed to at most one workspace per
+  // executor thread, not one per query.
+  EXPECT_LE(engine.workspaces_created(), executor.num_threads());
+  EXPECT_EQ(engine.workspaces_created(),
+            engine.workspace_pool_idle() + engine.workspaces_dropped());
+}
+
+TEST(RouteWorkspacePool, WarmedWorkspaceServesQueriesWithoutAllocating) {
+  if (!util::alloc_counting_active()) GTEST_SKIP() << "alloc hooks not linked";
+  const auto engine = ladder(32);
+  PathEngine::Workspace ws;
+  engine.warm_workspace(ws);
+  Path out;
+  engine.shortest_path(0, 63, {}, ws, out);  // sizes out's vectors once
+  ASSERT_TRUE(out.reachable);
+
+  util::ZeroAllocGuard guard;
+  for (NodeId to = 1; to < 64; ++to) {
+    engine.shortest_path(0, to, {}, ws, out);
+  }
+  const auto allocations = guard.allocations();
+  EXPECT_EQ(allocations, 0u);
+  EXPECT_EQ(guard.frees(), 0u);
+}
+
+}  // namespace
+}  // namespace intertubes::route

@@ -62,13 +62,40 @@ TEST(ServeEngine, UnknownNamesAreNotFound) {
 
 TEST(ServeEngine, BadParametersAreBadRequests) {
   Engine engine(shared_store(), sim::default_executor());
-  EXPECT_EQ(engine.serve(TopConduitsQuery{0}).status, Status::BadRequest);
-  EXPECT_EQ(engine.serve(HammingNeighborsQuery{"Sprint", 0}).status, Status::BadRequest);
   EXPECT_EQ(engine.serve(WhatIfCutQuery{{}}).status, Status::BadRequest);
   const auto huge =
       static_cast<core::ConduitId>(testing::shared_scenario().map().conduits().size());
   EXPECT_EQ(engine.serve(WhatIfCutQuery{{huge}}).status, Status::BadRequest);
   EXPECT_EQ(engine.serve(SleepQuery{-1.0}).status, Status::BadRequest);
+}
+
+TEST(ServeEngine, DegenerateKIsWellDefinedNotAnError) {
+  // k == 0 answers empty, k beyond the candidate count answers the whole
+  // ranking — deterministically Ok, never BadRequest.
+  Engine engine(shared_store(), sim::default_executor());
+  const auto snap = shared_store().current();
+
+  const auto empty_top = engine.serve(TopConduitsQuery{0});
+  ASSERT_EQ(empty_top.status, Status::Ok);
+  EXPECT_TRUE(body_of<TopConduitsResult>(empty_top).rows.empty());
+
+  const std::size_t num_conduits = snap->map().conduits().size();
+  const auto all_top = engine.serve(TopConduitsQuery{num_conduits + 100});
+  ASSERT_EQ(all_top.status, Status::Ok);
+  EXPECT_EQ(body_of<TopConduitsResult>(all_top).rows.size(), num_conduits);
+  // Deterministic: the oversized ask answers exactly the full ranking.
+  const auto full = snap->matrix().most_shared_conduits(num_conduits);
+  const auto& rows = body_of<TopConduitsResult>(all_top).rows;
+  for (std::size_t i = 0; i < rows.size(); ++i) EXPECT_EQ(rows[i].conduit, full[i]);
+
+  const auto empty_hamming = engine.serve(HammingNeighborsQuery{"Sprint", 0});
+  ASSERT_EQ(empty_hamming.status, Status::Ok);
+  EXPECT_TRUE(body_of<HammingNeighborsResult>(empty_hamming).neighbors.empty());
+
+  const std::size_t num_isps = snap->map().num_isps();
+  const auto all_hamming = engine.serve(HammingNeighborsQuery{"Sprint", num_isps + 100});
+  ASSERT_EQ(all_hamming.status, Status::Ok);
+  EXPECT_EQ(body_of<HammingNeighborsResult>(all_hamming).neighbors.size(), num_isps - 1);
 }
 
 TEST(ServeEngine, TopConduitsMatchesMatrix) {
@@ -410,8 +437,13 @@ TEST(ServeEngine, CLatencyAuditMatchesDirectStudyAndCaches) {
 
 TEST(ServeEngine, CLatencyAuditRejectsBadParameters) {
   Engine engine(shared_store(), sim::default_executor());
-  EXPECT_EQ(engine.serve(CLatencyAuditQuery{0, 2.0}).status, Status::BadRequest);
   EXPECT_EQ(engine.serve(CLatencyAuditQuery{5, 0.5}).status, Status::BadRequest);
+  // top_k == 0 is a valid degenerate ask: aggregates only, no pair table.
+  const auto response = engine.serve(CLatencyAuditQuery{0, 2.0});
+  ASSERT_EQ(response.status, Status::Ok);
+  const auto& result = body_of<CLatencyAuditResult>(response);
+  EXPECT_TRUE(result.top.empty());
+  EXPECT_GT(result.pairs, 0u);
 }
 
 TEST(ServeEngine, WhatIfCascadeMatchesDirectEngineRun) {

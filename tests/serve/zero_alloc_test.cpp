@@ -1,0 +1,160 @@
+// The measured allocations-per-query guarantee (DESIGN.md §14).
+//
+// Every serve fast-path kernel is wrapped in a util::ZeroAllocGuard and
+// asserted to perform exactly zero heap allocations at steady state.
+// "Steady state" means: the RequestScratch has been warmed (warm() plus
+// one cold query per kernel, which sizes the scratch buffers to this
+// snapshot's dimensions — the documented warm-up allocations).  From then
+// on, every query is a pure pass over the Snapshot SoA and the scratch.
+//
+// These tests only run for real when util/alloc_hooks.cpp is linked into
+// the binary (it is, for intertubes_tests); under a build that drops the
+// hooks they skip rather than pass vacuously.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/fastpath.hpp"
+#include "serve/snapshot.hpp"
+#include "test_support.hpp"
+#include "util/alloc.hpp"
+
+namespace intertubes::serve {
+namespace {
+
+std::shared_ptr<const core::Scenario> scenario_ptr() {
+  return {std::shared_ptr<const core::Scenario>{}, &testing::shared_scenario()};
+}
+
+/// One snapshot + one warmed scratch, shared by every ZeroAlloc test.
+struct Harness {
+  std::shared_ptr<Snapshot> snapshot = Snapshot::build(scenario_ptr());
+  fastpath::RequestScratch scratch;
+
+  Harness() { scratch.warm(*snapshot); }
+};
+
+Harness& harness() {
+  static Harness* h = new Harness();
+  return *h;
+}
+
+class ZeroAllocServe : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!util::alloc_counting_active()) GTEST_SKIP() << "alloc hooks not linked";
+  }
+};
+
+TEST_F(ZeroAllocServe, SharedRiskRowIsAllocationFree) {
+  auto& h = harness();
+  const auto& soa = h.snapshot->soa();
+  ASSERT_GT(soa.num_isps, 0u);
+  double sink = 0.0;
+  util::ZeroAllocGuard guard;
+  for (std::uint32_t isp = 0; isp < soa.num_isps; ++isp) {
+    sink += fastpath::fast_shared_risk(soa, isp).mean_sharing;
+  }
+  const auto allocations = guard.allocations();
+  EXPECT_EQ(allocations, 0u);
+  EXPECT_GE(sink, 0.0);
+}
+
+TEST_F(ZeroAllocServe, TopConduitsPrefixIsAllocationFree) {
+  auto& h = harness();
+  const auto& soa = h.snapshot->soa();
+  std::uint64_t sink = 0;
+  util::ZeroAllocGuard guard;
+  for (std::size_t k = 0; k <= soa.conduits_by_tenancy.size() + 3; ++k) {
+    const std::size_t count = fastpath::fast_top_conduits(soa, k);
+    for (std::size_t i = 0; i < count; ++i) sink += soa.conduits_by_tenancy[i];
+  }
+  const auto allocations = guard.allocations();
+  EXPECT_EQ(allocations, 0u);
+  EXPECT_GT(sink, 0u);
+}
+
+TEST_F(ZeroAllocServe, CityPathAndDelayAreAllocationFree) {
+  auto& h = harness();
+  const auto& soa = h.snapshot->soa();
+  ASSERT_GT(soa.conduit_a.size(), 4u);
+  // Cold pass: sizes the workspace + path buffers for this graph.
+  fastpath::fast_city_path(*h.snapshot, soa.conduit_a[0], soa.conduit_b[1], h.scratch);
+
+  util::ZeroAllocGuard guard;
+  double km = 0.0;
+  for (std::size_t c = 0; c + 1 < 5; ++c) {
+    fastpath::fast_city_path(*h.snapshot, soa.conduit_a[c], soa.conduit_b[c + 1], h.scratch);
+    if (h.scratch.path.reachable) km += h.scratch.path.cost;
+  }
+  const auto allocations = guard.allocations();
+  EXPECT_EQ(allocations, 0u);
+  EXPECT_GT(km, 0.0);
+}
+
+TEST_F(ZeroAllocServe, HammingNeighborsAreAllocationFree) {
+  auto& h = harness();
+  const auto& soa = h.snapshot->soa();
+  ASSERT_GT(soa.num_isps, 2u);
+  // Cold pass sizes scratch.hamming once.
+  (void)fastpath::fast_hamming_neighbors(soa, 0, 3, h.scratch);
+
+  std::uint64_t sink = 0;
+  util::ZeroAllocGuard guard;
+  for (std::uint32_t isp = 0; isp < soa.num_isps; ++isp) {
+    const std::size_t count = fastpath::fast_hamming_neighbors(soa, isp, 3, h.scratch);
+    for (std::size_t i = 0; i < count; ++i) sink += h.scratch.hamming[i].first;
+  }
+  const auto allocations = guard.allocations();
+  EXPECT_EQ(allocations, 0u);
+  EXPECT_GT(sink, 0u);
+}
+
+TEST_F(ZeroAllocServe, WhatIfCutIsAllocationFree) {
+  auto& h = harness();
+  const auto& soa = h.snapshot->soa();
+  ASSERT_GT(soa.conduit_a.size(), 8u);
+  const std::vector<core::ConduitId> single = {3};
+  const std::vector<core::ConduitId> multi = {7, 1, 5, 1};
+  fastpath::CutImpact impact;
+  // Cold pass sizes the cut bitmap, union-find and component arrays.
+  ASSERT_TRUE(fastpath::fast_what_if_cut(soa, multi, h.scratch, impact));
+
+  util::ZeroAllocGuard guard;
+  for (int repeat = 0; repeat < 8; ++repeat) {
+    ASSERT_TRUE(fastpath::fast_what_if_cut(soa, single, h.scratch, impact));
+    ASSERT_TRUE(fastpath::fast_what_if_cut(soa, multi, h.scratch, impact));
+  }
+  const auto allocations = guard.allocations();
+  EXPECT_EQ(allocations, 0u);
+  EXPECT_GT(impact.connected_fraction_before, 0.0);
+  EXPECT_LE(impact.connected_fraction_after, impact.connected_fraction_before);
+}
+
+TEST_F(ZeroAllocServe, KernelsMatchTheEngineHandlers) {
+  // The zero-alloc kernels must answer exactly what the (string-bearing)
+  // handlers answer; spot-check the what-if-cut numbers against the
+  // snapshot-rebuild oracle used elsewhere in the suite.
+  auto& h = harness();
+  const auto& soa = h.snapshot->soa();
+  const std::vector<core::ConduitId> cuts = {2, 9};
+  fastpath::CutImpact impact;
+  ASSERT_TRUE(fastpath::fast_what_if_cut(soa, cuts, h.scratch, impact));
+  EXPECT_EQ(impact.conduits_cut, 2u);
+
+  const auto cut_snap = Snapshot::with_conduits_cut(*h.snapshot, cuts);
+  EXPECT_EQ(impact.links_severed, cut_snap->links_severed());
+  // The cut world's own baseline connectivity is the kernel's "after"
+  // (modulo node-set differences when a cut strands endpoints entirely —
+  // both sides keep the uncut node set here, so they agree).
+  EXPECT_EQ(impact.connected_fraction_before, soa.connected_fraction_before);
+
+  // Out-of-range ids are refused, never partially applied.
+  const std::vector<core::ConduitId> bad = {
+      static_cast<core::ConduitId>(soa.conduit_a.size())};
+  EXPECT_FALSE(fastpath::fast_what_if_cut(soa, bad, h.scratch, impact));
+}
+
+}  // namespace
+}  // namespace intertubes::serve
