@@ -44,6 +44,8 @@ import sys
 TRACKED = [
     ("bench_serve_engine", r".*", "items_per_second", True),
     ("bench_serve_engine", r"BM_Fast.*", "allocs_per_query", False),
+    ("bench_serve_sharded", r"BM_ShardedWarm/.*", "items_per_second", True),
+    ("bench_serve_sharded", r"BM_ShardedDeltaApply", "items_per_second", True),
     ("bench_route_engine", r".*Reroute.*", "allocs_per_query", False),
     ("bench_sim_campaign", r".*", "items_per_second", True),
     ("bench_route_engine", r".*Reroute.*", "cpu_time", False),

@@ -36,6 +36,29 @@ void MetricsRegistry::record_shed(RequestType type) {
   ++t.shed;
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (std::size_t i = 0; i < kNumRequestTypes; ++i) {
+    const PerType& src = other.types_[i];
+    LatencyHistogram hist;
+    std::uint64_t count, cache_hits, shed, errors;
+    {
+      std::lock_guard<std::mutex> lock(src.mu);
+      hist = src.hist;
+      count = src.count;
+      cache_hits = src.cache_hits;
+      shed = src.shed;
+      errors = src.errors;
+    }
+    PerType& dst = types_[i];
+    std::lock_guard<std::mutex> lock(dst.mu);
+    dst.hist.merge(hist);
+    dst.count += count;
+    dst.cache_hits += cache_hits;
+    dst.shed += shed;
+    dst.errors += errors;
+  }
+}
+
 RequestTypeMetrics MetricsRegistry::snapshot_of(RequestType type) const {
   const PerType& t = types_[static_cast<std::size_t>(type)];
   std::lock_guard<std::mutex> lock(t.mu);

@@ -51,6 +51,14 @@ class MetricsRegistry {
   void record(RequestType type, double latency_us, bool cache_hit, bool error);
   void record_shed(RequestType type);
 
+  /// Fold another registry's counters and histograms into this one (the
+  /// sharded front-end merges per-shard registries into a combined
+  /// report).  `other` may still be recording: each source type is copied
+  /// out under its own lock, then folded under ours, so the merge sees a
+  /// consistent point-in-time view per type without holding both locks at
+  /// once.
+  void merge_from(const MetricsRegistry& other);
+
   RequestTypeMetrics snapshot_of(RequestType type) const;
   std::uint64_t total_served() const;
   std::uint64_t total_shed() const;

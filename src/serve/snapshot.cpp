@@ -127,15 +127,20 @@ void Snapshot::derive() {
   risk_ranking_ = matrix_.isp_risk_ranking();
   soa_ = derive_soa(map_, matrix_, risk_ranking_, world_.cities->size());
   // Compile the conduit graph for city-pair path queries.  The snapshot's
-  // publish epoch isn't assigned yet, but the serve response cache keys on
-  // that epoch itself, so the engine epoch can stay 0.
+  // publish epoch isn't assigned yet, so stamp the engine with a
+  // process-unique generation instead: a route::MemoizedRouter reused
+  // across live-updated snapshots (the delta/RCU path) keys on
+  // engine.epoch(), and two epochs sharing generation 0 would serve each
+  // other's stale paths.
+  static std::atomic<std::uint64_t> next_generation{1};
   std::vector<route::EdgeSpec> edges;
   edges.reserve(map_.conduits().size());
   for (const auto& conduit : map_.conduits()) {
     edges.push_back({conduit.a, conduit.b, conduit.length_km});
   }
   path_engine_ = std::make_shared<const route::PathEngine>(
-      static_cast<route::NodeId>(world_.cities->size()), std::move(edges));
+      static_cast<route::NodeId>(world_.cities->size()), std::move(edges),
+      next_generation.fetch_add(1, std::memory_order_relaxed));
   // After this, every const query on the map is write-free and may run
   // from any number of threads concurrently.
   map_.prepare_for_concurrent_reads();
@@ -176,11 +181,8 @@ std::shared_ptr<Snapshot> Snapshot::with_conduits_cut(const Snapshot& base,
     return std::binary_search(cuts.begin(), cuts.end(), c);
   };
 
-  auto snap = std::shared_ptr<Snapshot>(new Snapshot());
-  snap->world_ = base.world_;
-  snap->l3_ = base.l3_;  // ground-truth topology is unaffected by map cuts
-
-  const auto& row = *snap->world_.row;
+  const auto& row = *base.world_.row;
+  std::size_t links_severed = 0;
   core::FiberMap map(old_map.num_isps());
   // Surviving conduits keep tenancy (including overlay-inferred tenants
   // with no surviving link) and validation state.  Ids are re-assigned;
@@ -204,18 +206,27 @@ std::shared_ptr<Snapshot> Snapshot::with_conduits_cut(const Snapshot& base,
       remapped.push_back(*map.conduit_for_corridor(old_map.conduit(cid).corridor));
     }
     if (severed) {
-      ++snap->links_severed_;
+      ++links_severed;
       continue;
     }
     map.add_link(link.isp, link.a, link.b, remapped, link.geocoded);
   }
-  snap->map_ = std::move(map);
 
   std::ostringstream label;
   label << base.label_ << " - cut {";
   for (std::size_t i = 0; i < cuts.size(); ++i) label << (i ? "," : "") << cuts[i];
   label << "}";
-  snap->label_ = label.str();
+  return with_map(base, std::move(map), label.str(), links_severed);
+}
+
+std::shared_ptr<Snapshot> Snapshot::with_map(const Snapshot& base, core::FiberMap map,
+                                             std::string label, std::size_t links_severed) {
+  auto snap = std::shared_ptr<Snapshot>(new Snapshot());
+  snap->world_ = base.world_;
+  snap->l3_ = base.l3_;  // ground-truth topology is unaffected by map mutations
+  snap->map_ = std::move(map);
+  snap->label_ = std::move(label);
+  snap->links_severed_ = links_severed;
   snap->derive();
   return snap;
 }
@@ -226,6 +237,18 @@ std::uint64_t SnapshotStore::publish(std::shared_ptr<Snapshot> snapshot) {
   snapshot->epoch_ = epoch;
   current_.store(std::move(snapshot), std::memory_order_release);
   return epoch;
+}
+
+void SnapshotStore::install(std::shared_ptr<const Snapshot> snapshot) {
+  IT_CHECK(snapshot != nullptr);
+  // Keep next_epoch_ strictly above the installed epoch (CAS max, so
+  // concurrent installs of out-of-order replicas cannot wind it back).
+  std::uint64_t next = next_epoch_.load(std::memory_order_relaxed);
+  while (next <= snapshot->epoch() &&
+         !next_epoch_.compare_exchange_weak(next, snapshot->epoch() + 1,
+                                            std::memory_order_relaxed)) {
+  }
+  current_.store(std::move(snapshot), std::memory_order_release);
 }
 
 }  // namespace intertubes::serve

@@ -109,6 +109,15 @@ class Snapshot {
   static std::shared_ptr<Snapshot> with_conduits_cut(const Snapshot& base,
                                                      std::vector<core::ConduitId> cuts);
 
+  /// A sibling snapshot over a rebuilt FiberMap (the live-delta path:
+  /// serve::LiveMap folds a DeltaBatch into a mutated map and derives the
+  /// next epoch through here).  The base world and L3 topology are
+  /// shared; the overlay is dropped (its probe evidence refers to the
+  /// base map).  `links_severed` records base-map links the mutation
+  /// dropped, for parity with with_conduits_cut().
+  static std::shared_ptr<Snapshot> with_map(const Snapshot& base, core::FiberMap map,
+                                            std::string label, std::size_t links_severed = 0);
+
   /// Epoch this snapshot was published at; 0 until SnapshotStore::publish.
   std::uint64_t epoch() const noexcept { return epoch_; }
   const std::string& label() const noexcept { return label_; }
@@ -191,6 +200,14 @@ class SnapshotStore {
   /// assigned epoch.  In-flight readers keep the previous snapshot alive
   /// until they finish.
   std::uint64_t publish(std::shared_ptr<Snapshot> snapshot);
+
+  /// Install an already epoch-stamped snapshot without restamping it —
+  /// the replica-distribution path: the sharded front-end stamps each
+  /// snapshot exactly once through its primary store, then installs the
+  /// same pointer into every shard's store so all shards agree on the
+  /// epoch.  Keeps this store's own epoch counter ahead of the installed
+  /// epoch, so a later direct publish() here stays strictly monotone.
+  void install(std::shared_ptr<const Snapshot> snapshot);
 
   /// Epoch of the currently published snapshot (0 when empty).
   std::uint64_t epoch() const noexcept {

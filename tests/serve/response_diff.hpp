@@ -1,0 +1,197 @@
+// Bit-exact serve::Response comparison, shared by the sharded functional
+// suite and the PropServeSharded oracle.
+//
+// "Bit-identical" is literal: doubles compare by bit pattern (so +inf ==
+// +inf and a hypothetical NaN equals itself, but no epsilon ever hides a
+// divergence between the sharded and single-engine paths).  latency_us
+// and cache_hit are deliberately excluded — timing is not part of the
+// answer, and hit/miss depends on each engine's private cache history.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "serve/engine.hpp"
+
+namespace intertubes::testing {
+
+inline bool bits_equal(double a, double b) {
+  std::uint64_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  return ia == ib;
+}
+
+namespace response_diff_detail {
+
+class Diff {
+ public:
+  template <typename T>
+  void field(const char* name, const T& a, const T& b) {
+    if (mismatch_ || a == b) return;
+    std::ostringstream out;
+    out << name << ": " << a << " vs " << b;
+    mismatch_ = out.str();
+  }
+  void field(const char* name, double a, double b) {
+    if (mismatch_ || bits_equal(a, b)) return;
+    std::ostringstream out;
+    out << name << ": " << a << " vs " << b;
+    mismatch_ = out.str();
+  }
+  void note(const char* name) {
+    if (!mismatch_) mismatch_ = name;
+  }
+  bool failed() const { return mismatch_.has_value(); }
+  const std::optional<std::string>& result() const { return mismatch_; }
+
+ private:
+  std::optional<std::string> mismatch_;
+};
+
+inline void diff_body(const serve::SharedRiskResult& a, const serve::SharedRiskResult& b,
+                      Diff& d) {
+  d.field("isp", a.isp, b.isp);
+  d.field("conduits_used", a.conduits_used, b.conduits_used);
+  d.field("mean_sharing", a.mean_sharing, b.mean_sharing);
+  d.field("standard_error", a.standard_error, b.standard_error);
+  d.field("p25", a.p25, b.p25);
+  d.field("p75", a.p75, b.p75);
+}
+
+inline void diff_body(const serve::TopConduitsResult& a, const serve::TopConduitsResult& b,
+                      Diff& d) {
+  d.field("rows.size", a.rows.size(), b.rows.size());
+  if (d.failed()) return;
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    d.field("row.conduit", a.rows[i].conduit, b.rows[i].conduit);
+    d.field("row.a", a.rows[i].a, b.rows[i].a);
+    d.field("row.b", a.rows[i].b, b.rows[i].b);
+    d.field("row.tenants", a.rows[i].tenants, b.rows[i].tenants);
+    d.field("row.validated", a.rows[i].validated, b.rows[i].validated);
+  }
+}
+
+inline void diff_body(const serve::WhatIfCutResult& a, const serve::WhatIfCutResult& b,
+                      Diff& d) {
+  d.field("conduits_cut", a.conduits_cut, b.conduits_cut);
+  d.field("links_severed", a.links_severed, b.links_severed);
+  d.field("isps_hit", a.isps_hit, b.isps_hit);
+  d.field("connected_fraction_before", a.connected_fraction_before,
+          b.connected_fraction_before);
+  d.field("connected_fraction_after", a.connected_fraction_after, b.connected_fraction_after);
+  d.field("components_after", a.components_after, b.components_after);
+}
+
+inline void diff_body(const serve::CityPathResult& a, const serve::CityPathResult& b, Diff& d) {
+  d.field("reachable", a.reachable, b.reachable);
+  d.field("km", a.km, b.km);
+  d.field("delay_ms", a.delay_ms, b.delay_ms);
+  d.field("hops.size", a.hops.size(), b.hops.size());
+  if (d.failed()) return;
+  for (std::size_t i = 0; i < a.hops.size(); ++i) {
+    d.field("hop.a", a.hops[i].a, b.hops[i].a);
+    d.field("hop.b", a.hops[i].b, b.hops[i].b);
+    d.field("hop.km", a.hops[i].km, b.hops[i].km);
+  }
+}
+
+inline void diff_body(const serve::HammingNeighborsResult& a,
+                      const serve::HammingNeighborsResult& b, Diff& d) {
+  d.field("isp", a.isp, b.isp);
+  d.field("neighbors.size", a.neighbors.size(), b.neighbors.size());
+  if (d.failed()) return;
+  for (std::size_t i = 0; i < a.neighbors.size(); ++i) {
+    d.field("neighbor.isp", a.neighbors[i].isp, b.neighbors[i].isp);
+    d.field("neighbor.distance", a.neighbors[i].distance, b.neighbors[i].distance);
+  }
+}
+
+inline void diff_dissection(const dissect::PairDissection& a, const dissect::PairDissection& b,
+                            Diff& d) {
+  d.field("pair.a", a.a, b.a);
+  d.field("pair.b", a.b, b.b);
+  d.field("clat_ms", a.clat_ms, b.clat_ms);
+  d.field("los_ms", a.los_ms, b.los_ms);
+  d.field("row_ms", a.row_ms, b.row_ms);
+  d.field("fiber_ms", a.fiber_ms, b.fiber_ms);
+  d.field("refraction_ms", a.refraction_ms, b.refraction_ms);
+  d.field("row_inflation_ms", a.row_inflation_ms, b.row_inflation_ms);
+  d.field("detour_ms", a.detour_ms, b.detour_ms);
+  d.field("stretch", a.stretch, b.stretch);
+  d.field("achievable_ms", a.achievable_ms, b.achievable_ms);
+  d.field("fiber_reachable", a.fiber_reachable, b.fiber_reachable);
+  d.field("row_reachable", a.row_reachable, b.row_reachable);
+}
+
+inline void diff_body(const serve::LatencyDissectionResult& a,
+                      const serve::LatencyDissectionResult& b, Diff& d) {
+  d.field("from", a.from, b.from);
+  d.field("to", a.to, b.to);
+  diff_dissection(a.dissection, b.dissection, d);
+}
+
+inline void diff_body(const serve::CLatencyAuditResult& a, const serve::CLatencyAuditResult& b,
+                      Diff& d) {
+  d.field("cities", a.cities, b.cities);
+  d.field("pairs", a.pairs, b.pairs);
+  d.field("fiber_unreachable", a.fiber_unreachable, b.fiber_unreachable);
+  d.field("median_stretch", a.median_stretch, b.median_stretch);
+  d.field("p95_stretch", a.p95_stretch, b.p95_stretch);
+  d.field("within_target", a.within_target, b.within_target);
+  d.field("total_achievable_ms", a.total_achievable_ms, b.total_achievable_ms);
+  d.field("top.size", a.top.size(), b.top.size());
+  if (d.failed()) return;
+  for (std::size_t i = 0; i < a.top.size(); ++i) {
+    d.field("top.a", a.top[i].a, b.top[i].a);
+    d.field("top.b", a.top[i].b, b.top[i].b);
+    d.field("top.clat_ms", a.top[i].clat_ms, b.top[i].clat_ms);
+    d.field("top.achievable_ms", a.top[i].achievable_ms, b.top[i].achievable_ms);
+    d.field("top.stretch", a.top[i].stretch, b.top[i].stretch);
+  }
+}
+
+inline void diff_body(const serve::WhatIfCascadeResult& a, const serve::WhatIfCascadeResult& b,
+                      Diff& d) {
+  d.field("conduits_cut", a.conduits_cut, b.conduits_cut);
+  d.field("rounds", a.rounds, b.rounds);
+  d.field("converged", a.converged, b.converged);
+  if (a.overload_failures != b.overload_failures) d.note("overload_failures differ");
+  d.field("conduits_dead", a.conduits_dead, b.conduits_dead);
+  d.field("giant_component", a.giant_component, b.giant_component);
+  d.field("l3_edges_dead", a.l3_edges_dead, b.l3_edges_dead);
+  d.field("l3_reachability", a.l3_reachability, b.l3_reachability);
+  d.field("demand_delivered", a.demand_delivered, b.demand_delivered);
+  d.field("mean_stretch", a.mean_stretch, b.mean_stretch);
+  d.field("links_undeliverable", a.links_undeliverable, b.links_undeliverable);
+  d.field("isps_hit", a.isps_hit, b.isps_hit);
+}
+
+inline void diff_body(const serve::SleepResult&, const serve::SleepResult&, Diff&) {}
+
+}  // namespace response_diff_detail
+
+/// First divergent field between two responses, or nullopt when they are
+/// bit-identical answers.
+inline std::optional<std::string> response_mismatch(const serve::Response& a,
+                                                    const serve::Response& b) {
+  response_diff_detail::Diff d;
+  d.field("status", static_cast<int>(a.status), static_cast<int>(b.status));
+  d.field("error", a.error, b.error);
+  d.field("epoch", a.epoch, b.epoch);
+  d.field("body.index", a.body.index(), b.body.index());
+  if (!d.failed()) {
+    std::visit(
+        [&](const auto& body_a) {
+          using T = std::decay_t<decltype(body_a)>;
+          response_diff_detail::diff_body(body_a, std::get<T>(b.body), d);
+        },
+        a.body);
+  }
+  return d.result();
+}
+
+}  // namespace intertubes::testing

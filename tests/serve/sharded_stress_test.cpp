@@ -1,0 +1,214 @@
+// Epoch-churn stress: thousands of in-flight queries across shards while
+// a churn thread applies delta batches (cut / repair of real corridors)
+// and purges stale cache entries.  Run under TSan in CI (the serve-sharded
+// label is in the tsan ctest leg).
+//
+// Invariants asserted:
+//   * no dropped or garbled responses — every future resolves, every Ok
+//     response carries the body alternative matching its request;
+//   * epochs are plausible (within the published range) and, per
+//     (client, shard), non-decreasing — a shard's replica never moves
+//     backwards, and a client serializes its own requests, so any
+//     decrease would mean a stale snapshot was served;
+//   * purge_stale never removes current-epoch entries: after the churn
+//     settles, a purge at the final epoch is a no-op for freshly-cached
+//     answers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "serve/sharded.hpp"
+#include "test_support.hpp"
+
+namespace intertubes::serve {
+namespace {
+
+std::shared_ptr<const core::Scenario> scenario_ptr() {
+  return {std::shared_ptr<const core::Scenario>{}, &testing::shared_scenario()};
+}
+
+Request pick_request(std::mt19937_64& rng, const std::vector<std::string>& isps,
+                     std::size_t step) {
+  // Mostly cheap kernels; every 41st request a cascade, every 23rd a
+  // dissection, so the heavy handlers ride the churn too.
+  if (step % 41 == 17) return WhatIfCascadeQuery{{0, 1}, 0.25, 4};
+  if (step % 23 == 11) return LatencyDissectionQuery{"Seattle, WA", "Miami, FL"};
+  switch (rng() % 5) {
+    case 0:
+      return SharedRiskQuery{isps[rng() % isps.size()]};
+    case 1:
+      return TopConduitsQuery{1 + rng() % 8};
+    case 2:
+      return HammingNeighborsQuery{isps[rng() % isps.size()], 3};
+    case 3:
+      // Low conduit ids stay valid at every epoch: churn cuts at most two
+      // corridors at a time, so the conduit count never drops below
+      // base - 2 and ids {0, 1, 2} always resolve.
+      return WhatIfCutQuery{{static_cast<core::ConduitId>(rng() % 3)}};
+    default:
+      return CityPathQuery{"San Francisco, CA", "New York, NY"};
+  }
+}
+
+TEST(ServeShardedStress, EpochChurnKeepsEveryResponseCoherent) {
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kRequestsPerClient = 300;
+  constexpr std::size_t kChurnBatches = 8;
+
+  ShardedEngine sharded({.shards = kShards, .threads_per_shard = 1});
+  const std::uint64_t first_epoch = sharded.publish(Snapshot::build(scenario_ptr()));
+
+  std::vector<std::string> isps;
+  for (const auto& profile : testing::shared_scenario().truth().profiles()) {
+    isps.push_back(profile.name);
+  }
+  // Corridors are the stable cross-epoch identity; conduit ids are not.
+  const auto& base = *sharded.current();
+  const auto targets = base.matrix().most_shared_conduits(2);
+  const std::vector<transport::CorridorId> corridors = {
+      base.map().conduit(targets[0]).corridor, base.map().conduit(targets[1]).corridor};
+
+  std::atomic<bool> failed{false};
+  std::atomic<std::size_t> served{0};
+  std::atomic<std::size_t> shed{0};
+
+  const auto client = [&](std::size_t client_index) {
+    std::mt19937_64 rng(0x5eed0000 + client_index);
+    // Per-(client, shard) last-seen epoch: monotonicity witness.
+    std::vector<std::uint64_t> last_epoch(kShards, 0);
+    for (std::size_t step = 0; step < kRequestsPerClient && !failed.load(); ++step) {
+      Request request = pick_request(rng, isps, step);
+      const std::size_t shard = sharded.shard_of(request);
+      const std::size_t body_index = request.index();
+      const Response response = sharded.serve(std::move(request));
+      if (response.status == Status::Overloaded) {
+        shed.fetch_add(1);
+        continue;
+      }
+      served.fetch_add(1);
+      if (response.status != Status::Ok) {
+        failed.store(true);
+        ADD_FAILURE() << "client " << client_index << " step " << step << ": "
+                      << status_name(response.status) << " — " << response.error;
+        return;
+      }
+      if (response.body.index() != body_index) {
+        failed.store(true);
+        ADD_FAILURE() << "garbled response: body " << response.body.index() << " for request "
+                      << body_index;
+        return;
+      }
+      if (response.epoch < first_epoch || response.epoch > first_epoch + kChurnBatches) {
+        failed.store(true);
+        ADD_FAILURE() << "epoch " << response.epoch << " outside published range ["
+                      << first_epoch << ", " << first_epoch + kChurnBatches << "]";
+        return;
+      }
+      if (response.epoch < last_epoch[shard]) {
+        failed.store(true);
+        ADD_FAILURE() << "shard " << shard << " went backwards: epoch " << response.epoch
+                      << " after " << last_epoch[shard];
+        return;
+      }
+      last_epoch[shard] = response.epoch;
+    }
+  };
+
+  const auto churn = [&] {
+    // cut A, cut B, repair A, repair B — twice.  Each apply() builds the
+    // next snapshot off the hot path and swaps all shard replicas; the
+    // purge after each swap must never break in-flight queries (they
+    // pinned their snapshot) or future hits at the new epoch.
+    for (std::size_t batch = 0; batch < kChurnBatches && !failed.load(); ++batch) {
+      DeltaBatch delta;
+      const auto& corridor = corridors[batch % 2];
+      if ((batch / 2) % 2 == 0) {
+        delta.cut = {corridor};
+      } else {
+        delta.repair = {corridor};
+      }
+      delta.label = "stress churn";
+      const std::uint64_t epoch = sharded.apply(delta);
+      EXPECT_EQ(epoch, first_epoch + batch + 1);
+      sharded.purge_stale_cache();
+      std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kClients + 1);
+  for (std::size_t c = 0; c < kClients; ++c) threads.emplace_back(client, c);
+  threads.emplace_back(churn);
+  for (auto& t : threads) t.join();
+
+  ASSERT_FALSE(failed.load());
+  EXPECT_EQ(sharded.deltas_applied(), kChurnBatches);
+  EXPECT_EQ(sharded.epoch(), first_epoch + kChurnBatches);
+  // Nothing silently dropped: every request either served or was shed at
+  // admission, and the fleet's metrics agree with the client-side count.
+  EXPECT_EQ(served.load() + shed.load(), kClients * kRequestsPerClient);
+  EXPECT_EQ(sharded.total_served() + sharded.total_shed(),
+            kClients * kRequestsPerClient);
+
+  // After the churn settles: stale entries purge, fresh entries at the
+  // final epoch survive a purge and hit.
+  sharded.purge_stale_cache();
+  sharded.clear_cache();
+  const Request probe = TopConduitsQuery{4};
+  const auto cold = sharded.serve(probe);
+  ASSERT_EQ(cold.status, Status::Ok);
+  EXPECT_EQ(cold.epoch, first_epoch + kChurnBatches);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_EQ(sharded.purge_stale_cache(), 0u);  // current-epoch entry stays
+  const auto warm = sharded.serve(probe);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.epoch, cold.epoch);
+}
+
+// The fleet-wide admission bound under deliberate overload: tiny
+// max_pending, slow sleep requests, a burst larger than the fleet can
+// hold.  Shed responses must be Overloaded (never garbled), and every
+// admitted request completes.
+TEST(ServeShardedStress, OverloadShedsCleanlyAcrossShards) {
+  ShardedEngine sharded(
+      {.shards = 2, .threads_per_shard = 1, .engine = {.max_pending = 4}});
+  sharded.publish(Snapshot::build(scenario_ptr()));
+
+  std::vector<std::future<Response>> futures;
+  futures.reserve(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    // Distinct durations dodge the cache (canonical keys differ).
+    futures.push_back(sharded.submit(SleepQuery{0.2 + 0.001 * static_cast<double>(i)}));
+  }
+  std::size_t ok = 0, overloaded = 0;
+  for (auto& f : futures) {
+    const Response response = f.get();
+    if (response.status == Status::Ok) {
+      EXPECT_TRUE(std::holds_alternative<SleepResult>(response.body));
+      ++ok;
+    } else {
+      ASSERT_EQ(response.status, Status::Overloaded) << response.error;
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(ok + overloaded, 64u);
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(overloaded, 0u);  // 64 >> 2 shards * 4 pending
+  EXPECT_EQ(sharded.total_served(), ok);
+  EXPECT_EQ(sharded.total_shed(), overloaded);
+  // The future resolves just before the pending counter decrements; wait
+  // out that window rather than racing it.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (sharded.pending() != 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(sharded.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace intertubes::serve
